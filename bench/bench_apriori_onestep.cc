@@ -1,0 +1,72 @@
+// §8.2 "Incremental One-Step Processing": APriori frequent word-pair
+// mining. The paper reports MapReduce re-computation at 1608 s vs
+// i2MapReduce at 131 s — a 12.3x speedup — with the last week of tweets
+// (7.9% of the corpus) as the insertion-only delta.
+#include "apps/apriori.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/text_gen.h"
+#include "mr/cluster.h"
+
+using namespace i2mr;
+using namespace i2mr::bench;
+
+int main() {
+  Title("APriori one-step incremental processing (§8.2)");
+
+  TextGenOptions gen;
+  gen.num_docs = ScaledInt(800000);
+  gen.vocab_size = 3000;
+  gen.words_per_doc = 14;
+  auto tweets = GenDocs(gen);
+
+  LocalCluster cluster(BenchRoot("apriori"), Workers(), PaperCosts());
+  I2MR_CHECK_OK(cluster.dfs()->WriteDataset("tweets", tweets, Workers() * 2));
+
+  auto frequent =
+      apriori::FrequentWords(&cluster, "tweets", gen.num_docs / 30);
+  I2MR_CHECK(frequent.ok());
+  std::printf("corpus: %zu tweets, %zu frequent words\n", tweets.size(),
+              frequent->size());
+
+  IncrementalOneStepJob job(&cluster, apriori::MakeSpec("apriori", Workers(),
+                                                        *frequent));
+  WallTimer initial_timer;
+  auto init = job.RunInitial(*cluster.dfs()->Parts("tweets"));
+  I2MR_CHECK(init.ok()) << init.status().ToString();
+  double initial_ms = initial_timer.ElapsedMillis();
+
+  // The last week's tweets: 7.9% of the corpus, insertion-only (§8.1.5).
+  auto delta = GenDocsDelta(gen, 0.079, 99, &tweets);
+  I2MR_CHECK_OK(cluster.dfs()->WriteDeltaDataset("delta", delta, Workers()));
+
+  // Re-computation baseline: run the full counting job from scratch over
+  // the grown corpus.
+  double recompute_ms;
+  {
+    LocalCluster recluster(BenchRoot("apriori_recomp"), Workers(), PaperCosts());
+    I2MR_CHECK_OK(recluster.dfs()->WriteDataset("tweets", tweets, Workers() * 2));
+    IncrementalOneStepJob rejob(
+        &recluster, apriori::MakeSpec("apriori", Workers(), *frequent));
+    WallTimer timer;
+    auto rerun = rejob.RunInitial(*recluster.dfs()->Parts("tweets"));
+    I2MR_CHECK(rerun.ok());
+    recompute_ms = timer.ElapsedMillis();
+  }
+
+  // i2MapReduce: fold the delta into the preserved results (accumulator
+  // Reduce, §3.5 — no MRBGraph needed).
+  WallTimer incr_timer;
+  auto incr = job.RunIncremental(*cluster.dfs()->Parts("delta"));
+  I2MR_CHECK(incr.ok()) << incr.status().ToString();
+  double incremental_ms = incr_timer.ElapsedMillis();
+
+  std::printf("\n%-28s %12s\n", "solution", "time");
+  std::printf("%-28s %10.0fms\n", "MapReduce re-computation", recompute_ms);
+  std::printf("%-28s %10.0fms\n", "i2MapReduce incremental", incremental_ms);
+  std::printf("\nspeedup: %.1fx   (paper: 1608s vs 131s = 12.3x)\n",
+              recompute_ms / incremental_ms);
+  std::printf("initial run (for context): %.0fms; delta: %zu tweets (7.9%%)\n",
+              initial_ms, delta.size());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 10: effect of the change propagation control filter threshold on
+// incremental PageRank (10% data changed): runtime falls and mean error
+// rises as the threshold grows from 0.1 to 1 (paper: all mean errors below
+// 0.2%, runtime drops with FT).
+#include "apps/pagerank.h"
+#include "bench_util.h"
+#include "core/incr_iter_engine.h"
+#include "data/graph_gen.h"
+#include "mr/cluster.h"
+
+using namespace i2mr;
+using namespace i2mr::bench;
+
+int main() {
+  Title("Figure 10: change propagation control threshold sweep (PageRank)");
+
+  GraphGenOptions gen;
+  gen.num_vertices = ScaledInt(10000);
+  gen.avg_degree = 8;
+
+  std::printf("\n%-10s %12s %12s %16s %16s\n", "FT", "refresh", "iterations",
+              "propagated", "mean error");
+  for (double ft : {0.1, 0.5, 1.0}) {
+    auto graph = GenGraph(gen);
+    LocalCluster cluster(BenchRoot("fig10_ft" + std::to_string(ft)), Workers(),
+                         PaperCosts());
+    IncrIterOptions options;
+    options.filter_threshold = ft;
+    IncrementalIterativeEngine engine(
+        &cluster, pagerank::MakeIterSpec("fig10", Workers(), 40, 1e-3),
+        options);
+    I2MR_CHECK(engine.RunInitial(graph, UnitState(graph)).ok());
+
+    GraphDeltaOptions dopt;
+    dopt.update_fraction = 0.1;
+    auto delta = GenGraphDelta(gen, dopt, &graph);
+    auto refresh = engine.RunIncremental(delta);
+    I2MR_CHECK(refresh.ok()) << refresh.status().ToString();
+
+    int64_t propagated = 0;
+    for (const auto& it : refresh->iterations) {
+      propagated += it.propagated_pairs;
+    }
+    // Exact values computed off-line (as in the paper).
+    auto reference = pagerank::Reference(graph, 100, 1e-9);
+    auto state = engine.StateSnapshot();
+    I2MR_CHECK(state.ok());
+    double err = pagerank::MeanError(*state, reference);
+    std::printf("%-10.1f %10.0fms %12zu %16lld %15.4f%%\n", ft,
+                refresh->wall_ms, refresh->iterations.size(),
+                static_cast<long long>(propagated), err * 100);
+  }
+  std::printf(
+      "\npaper shape: larger threshold -> fewer propagated kv-pairs, lower\n"
+      "runtime, slightly higher mean error ('influential' kv-pairs always\n"
+      "propagate, so the error stays bounded).\n");
+  return 0;
+}

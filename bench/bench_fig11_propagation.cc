@@ -1,0 +1,103 @@
+// Figure 11: change propagation over the iterations of an incremental
+// PageRank refresh with only 1% of the input changed. Without CPC the
+// changes reach (almost) all kv-pairs within a few iterations and every
+// iteration stays expensive; with CPC the number of propagated (non-
+// converged) kv-pairs first rises, then falls steadily, and the
+// per-iteration runtime follows.
+#include "apps/pagerank.h"
+#include "bench_util.h"
+#include "core/incr_iter_engine.h"
+#include "data/graph_gen.h"
+#include "mr/cluster.h"
+
+using namespace i2mr;
+using namespace i2mr::bench;
+
+namespace {
+
+struct Series {
+  std::string label;
+  std::vector<int64_t> propagated;
+  std::vector<double> runtime_ms;
+};
+
+}  // namespace
+
+int main() {
+  Title("Figure 11: per-iteration propagation, 1% input changed (PageRank)");
+
+  GraphGenOptions gen;
+  gen.num_vertices = ScaledInt(10000);
+  gen.avg_degree = 8;
+  const int kMaxIters = 10;
+
+  std::vector<Series> series;
+  struct Config {
+    std::string label;
+    double ft;
+  };
+  for (const Config& cfg : std::vector<Config>{
+           {"w/o CPC", -1.0}, {"FT=0.1", 0.1}, {"FT=0.5", 0.5}, {"FT=1", 1.0}}) {
+    auto graph = GenGraph(gen);
+    LocalCluster cluster(BenchRoot("fig11_" + cfg.label), Workers(),
+                         PaperCosts());
+    IncrIterOptions options;
+    options.filter_threshold = cfg.ft;
+    options.mrbg_auto_off_ratio = 2.0;  // observe raw propagation
+    auto spec = pagerank::MakeIterSpec("fig11", Workers(), kMaxIters, 0);
+    IncrementalIterativeEngine engine(&cluster, spec, options);
+    I2MR_CHECK(engine.RunInitial(graph, UnitState(graph)).ok());
+
+    GraphDeltaOptions dopt;
+    dopt.update_fraction = 0.01;  // 1% changed (200k of 20M in the paper)
+    auto delta = GenGraphDelta(gen, dopt, &graph);
+    auto refresh = engine.RunIncremental(delta);
+    I2MR_CHECK(refresh.ok()) << refresh.status().ToString();
+
+    Series s;
+    s.label = cfg.label;
+    for (const auto& it : refresh->iterations) {
+      s.propagated.push_back(it.propagated_pairs);
+      s.runtime_ms.push_back(it.wall_ms);
+    }
+    series.push_back(std::move(s));
+  }
+
+  std::printf("\n(a) propagated kv-pairs per iteration\n");
+  std::printf("%-10s", "iter");
+  for (const auto& s : series) std::printf(" %12s", s.label.c_str());
+  std::printf("\n");
+  for (int it = 0; it < kMaxIters; ++it) {
+    std::printf("%-10d", it + 1);
+    for (const auto& s : series) {
+      if (it < static_cast<int>(s.propagated.size())) {
+        std::printf(" %12lld", static_cast<long long>(s.propagated[it]));
+      } else {
+        std::printf(" %12s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) runtime per iteration (ms)\n");
+  std::printf("%-10s", "iter");
+  for (const auto& s : series) std::printf(" %12s", s.label.c_str());
+  std::printf("\n");
+  for (int it = 0; it < kMaxIters; ++it) {
+    std::printf("%-10d", it + 1);
+    for (const auto& s : series) {
+      if (it < static_cast<int>(s.runtime_ms.size())) {
+        std::printf(" %12.0f", s.runtime_ms[it]);
+      } else {
+        std::printf(" %12s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper shape: w/o CPC the propagated count reaches ~all kv-pairs by\n"
+      "iteration 3 and runtime stays high; with CPC the count rises then\n"
+      "falls steadily, and higher thresholds filter more aggressively.\n"
+      "(Iteration 1 is the longest: it merges the delta MRBGraph, §8.5.)\n");
+  return 0;
+}

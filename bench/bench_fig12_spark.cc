@@ -1,0 +1,135 @@
+// Figure 12 (§8.7): PageRank runtime of PlainMR vs iterMR vs a Spark-like
+// in-memory engine across four graph sizes (ClueWeb-xs/s/m/l analogues).
+// Spark wins while the working set fits its memory budget; once input +
+// intermediate data exceed the budget it spills and degrades below iterMR
+// (the paper's crossover on ClueWeb-l).
+#include "apps/pagerank.h"
+#include "baselines/plain_driver.h"
+#include "baselines/spark_sim.h"
+#include "bench_util.h"
+#include "common/codec.h"
+#include "common/timer.h"
+#include "core/iter_engine.h"
+#include "data/graph_gen.h"
+#include "mr/cluster.h"
+
+using namespace i2mr;
+using namespace i2mr::bench;
+
+namespace {
+
+constexpr int kIterations = 10;
+
+double RunPlain(const std::vector<KV>& graph, const std::string& tag) {
+  LocalCluster cluster(BenchRoot("fig12_plain_" + tag), Workers(), PaperCosts());
+  std::vector<KV> mixed;
+  for (const auto& kv : graph) {
+    mixed.push_back(KV{kv.key, pagerank::MixedValue(kv.value, 1.0)});
+  }
+  I2MR_CHECK_OK(cluster.dfs()->WriteDataset("in", mixed, Workers()));
+  PlainIterSpec spec;
+  spec.name = "fig12_plain";
+  spec.mapper = pagerank::PlainMapper();
+  spec.reducer = pagerank::PlainReducer();
+  spec.num_reduce_tasks = Workers();
+  spec.num_iterations = kIterations;
+  auto result = RunPlainIterations(&cluster, spec, "in");
+  I2MR_CHECK(result.ok());
+  return result.wall_ms;
+}
+
+double RunIterMr(const std::vector<KV>& graph, const std::string& tag) {
+  LocalCluster cluster(BenchRoot("fig12_itermr_" + tag), Workers(), PaperCosts());
+  auto spec = pagerank::MakeIterSpec("fig12_itermr", Workers(), kIterations, 0);
+  IterativeEngine engine(&cluster, spec);
+  I2MR_CHECK_OK(engine.Prepare(graph, UnitState(graph)));
+  WallTimer timer;
+  I2MR_CHECK(engine.Run().ok());
+  return timer.ElapsedMillis();
+}
+
+double RunSpark(const std::vector<KV>& graph, const std::string& tag,
+                size_t memory_budget, uint64_t* spilled_bytes) {
+  ThreadPool pool(Workers());
+  sparksim::Options options;
+  options.num_partitions = Workers();
+  options.memory_budget_bytes = memory_budget;
+  options.spill_dir = BenchRoot("fig12_spark_" + tag);
+  options.pool = &pool;
+  sparksim::SparkSim spark(options);
+
+  WallTimer timer;
+  auto links = spark.Parallelize(graph);
+  I2MR_CHECK(links.ok());
+  std::vector<KV> rank0 = UnitState(graph);
+  auto ranks = spark.Parallelize(rank0);
+  I2MR_CHECK(ranks.ok());
+
+  for (int it = 0; it < kIterations; ++it) {
+    auto contribs = spark.JoinFlatMap(
+        *links, *ranks,
+        [](const std::string&, const std::string& adj, const std::string& rank,
+           std::vector<KV>* out) {
+          auto dests = ParseAdjacency(adj);
+          if (dests.empty()) return;
+          double share = *ParseDouble(rank) / dests.size();
+          std::string enc = FormatDouble(share);
+          for (const auto& j : dests) out->push_back({j, enc});
+        });
+    I2MR_CHECK(contribs.ok());
+    auto summed = spark.ReduceByKey(
+        *contribs, [](const std::string& a, const std::string& b) {
+          return FormatDouble(*ParseDouble(a) + *ParseDouble(b));
+        });
+    I2MR_CHECK(summed.ok());
+    auto damped = spark.FlatMap(*summed, [](const KV& kv, std::vector<KV>* out) {
+      out->push_back(
+          {kv.key, FormatDouble(0.85 * *ParseDouble(kv.value) + 0.15)});
+    });
+    I2MR_CHECK(damped.ok());
+    ranks = *damped;
+  }
+  auto result = spark.Collect(*ranks);
+  I2MR_CHECK(result.ok());
+  *spilled_bytes = spark.stats().spilled_bytes;
+  return timer.ElapsedMillis();
+}
+
+}  // namespace
+
+int main() {
+  Title("Figure 12: PlainMR vs iterMR vs Spark across graph sizes");
+
+  // ClueWeb-xs/s/m/l analogues; Spark memory budget fits ~m but not l.
+  struct Size {
+    const char* name;
+    int vertices;
+  };
+  const Size sizes[] = {{"ClueWeb-xs", 1500},
+                        {"ClueWeb-s", 6000},
+                        {"ClueWeb-m", 24000},
+                        {"ClueWeb-l", 48000}};
+  const size_t kSparkBudget = static_cast<size_t>(20.0 * Scale()) << 20;
+
+  std::printf("\nSpark memory budget: %.1f MB; %d PageRank iterations each\n",
+              kSparkBudget / 1e6, kIterations);
+  std::printf("\n%-12s %10s %12s %12s %12s %14s\n", "data set", "pages",
+              "PlainMR", "iterMR", "Spark", "Spark spilled");
+  for (const auto& size : sizes) {
+    GraphGenOptions gen;
+    gen.num_vertices = static_cast<uint64_t>(ScaledInt(size.vertices));
+    gen.avg_degree = 10;
+    auto graph = GenGraph(gen);
+    double plain = RunPlain(graph, size.name);
+    double itermr = RunIterMr(graph, size.name);
+    uint64_t spilled = 0;
+    double spark = RunSpark(graph, size.name, kSparkBudget, &spilled);
+    std::printf("%-12s %10zu %10.0fms %10.0fms %10.0fms %11.1fMB\n", size.name,
+                graph.size(), plain, itermr, spark, spilled / 1e6);
+  }
+  std::printf(
+      "\npaper shape: Spark fastest on the small sets (in-memory, no job\n"
+      "startup); iterMR ~2.5x faster than PlainMR throughout; on the\n"
+      "largest set Spark exceeds its memory and falls behind iterMR.\n");
+  return 0;
+}

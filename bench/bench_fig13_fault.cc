@@ -1,0 +1,76 @@
+// Figure 13 (§8.8): fault recovery during incremental PageRank. Three
+// prime-task failures are injected at different iterations; the engine
+// recovers each from the per-iteration checkpoints (state data + MRBGraph
+// file on the Dfs, §6.1) and the final result is bit-identical to a
+// failure-free run. The paper reports recovery within ~12 s per failure on
+// EC2; here recovery = restore checkpoint + re-run the task.
+#include "apps/pagerank.h"
+#include "bench_util.h"
+#include "core/incr_iter_engine.h"
+#include "data/graph_gen.h"
+#include "mr/cluster.h"
+
+using namespace i2mr;
+using namespace i2mr::bench;
+
+int main() {
+  Title("Figure 13: fault recovery in incremental PageRank (§6.1)");
+
+  GraphGenOptions gen;
+  gen.num_vertices = ScaledInt(8000);
+  gen.avg_degree = 8;
+
+  auto run = [&](bool inject, std::vector<RecoveryEvent>* recoveries,
+                 double* wall_ms) {
+    auto graph = GenGraph(gen);
+    LocalCluster cluster(BenchRoot(inject ? "fig13_faulty" : "fig13_clean"),
+                         Workers(), PaperCosts());
+    IncrIterOptions options;
+    options.filter_threshold = 0.1;
+    options.checkpoint_each_iteration = true;
+    if (inject) {
+      options.fail_hook = [](int iteration, TaskId::Kind kind, int partition) {
+        return (iteration == 2 && kind == TaskId::Kind::kMap && partition == 1) ||
+               (iteration == 3 && kind == TaskId::Kind::kReduce && partition == 0) ||
+               (iteration == 4 && kind == TaskId::Kind::kMap && partition == 3);
+      };
+    }
+    IncrementalIterativeEngine engine(
+        &cluster, pagerank::MakeIterSpec("fig13", Workers(), 40, 1e-3),
+        options);
+    I2MR_CHECK(engine.RunInitial(graph, UnitState(graph)).ok());
+    GraphDeltaOptions dopt;
+    dopt.update_fraction = 0.1;
+    auto delta = GenGraphDelta(gen, dopt, &graph);
+    auto refresh = engine.RunIncremental(delta);
+    I2MR_CHECK(refresh.ok()) << refresh.status().ToString();
+    if (recoveries != nullptr) *recoveries = refresh->recoveries;
+    *wall_ms = refresh->wall_ms;
+    auto state = engine.StateSnapshot();
+    I2MR_CHECK(state.ok());
+    return *state;
+  };
+
+  double clean_ms = 0, faulty_ms = 0;
+  auto clean = run(false, nullptr, &clean_ms);
+  std::vector<RecoveryEvent> recoveries;
+  auto faulty = run(true, &recoveries, &faulty_ms);
+
+  std::printf("\ninjected failures and recoveries:\n");
+  std::printf("%-12s %-14s %-10s %14s\n", "iteration", "task", "partition",
+              "recovery");
+  for (const auto& ev : recoveries) {
+    std::printf("%-12d %-14s %-10d %12.1fms\n", ev.iteration,
+                ev.kind == TaskId::Kind::kMap ? "prime Map" : "prime Reduce",
+                ev.partition, ev.recovery_ms);
+  }
+  std::printf("\nrefresh runtime: %.0f ms clean vs %.0f ms with failures "
+              "(+%.0f%%)\n", clean_ms, faulty_ms,
+              100.0 * (faulty_ms - clean_ms) / clean_ms);
+  std::printf("final state identical to failure-free run: %s\n",
+              clean == faulty ? "YES" : "NO (BUG)");
+  std::printf(
+      "\npaper shape: all failed tasks recover quickly (EC2: <12 s each)\n"
+      "without significantly prolonging the computation.\n");
+  return clean == faulty ? 0 : 1;
+}

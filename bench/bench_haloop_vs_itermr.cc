@@ -1,0 +1,111 @@
+// §8.6 (HaLoop vs iterMR): PageRank re-computation across the Table-5
+// graph sizes on PlainMR (Algorithm 2, one job per iteration), HaLoop
+// (Algorithm 5, two jobs per iteration with structure caching) and iterMR
+// (single phase with Project-based co-partitioning).
+//
+// Paper: HaLoop's extra join job makes it *slower* than plain MapReduce on
+// PageRank — "the profit of caching cannot compensate for the extra cost
+// when the structure data is not big enough" — while iterMR avoids the
+// join entirely.
+#include "apps/pagerank.h"
+#include "baselines/haloop_driver.h"
+#include "baselines/plain_driver.h"
+#include "bench_util.h"
+#include "common/codec.h"
+#include "common/timer.h"
+#include "core/iter_engine.h"
+#include "data/graph_gen.h"
+#include "mr/cluster.h"
+
+using namespace i2mr;
+using namespace i2mr::bench;
+
+namespace {
+
+constexpr int kIterations = 8;
+
+}  // namespace
+
+int main() {
+  Title("§8.6: HaLoop vs iterMR vs PlainMR (PageRank, Table 5 sizes)");
+
+  struct Size {
+    const char* name;
+    int vertices;
+  };
+  const Size sizes[] = {{"ClueWeb-xs", 2000},
+                        {"ClueWeb-s", 8000},
+                        {"ClueWeb-m", 20000}};
+
+  std::printf("\n%-12s %10s %12s %12s %12s\n", "data set", "pages", "PlainMR",
+              "HaLoop", "iterMR");
+  for (const auto& size : sizes) {
+    GraphGenOptions gen;
+    gen.num_vertices = static_cast<uint64_t>(ScaledInt(size.vertices));
+    gen.avg_degree = 10;
+    auto graph = GenGraph(gen);
+
+    double plain_ms;
+    {
+      LocalCluster cluster(BenchRoot(std::string("h86p_") + size.name),
+                           Workers(), PaperCosts());
+      std::vector<KV> mixed;
+      for (const auto& kv : graph) {
+        mixed.push_back(KV{kv.key, pagerank::MixedValue(kv.value, 1.0)});
+      }
+      I2MR_CHECK_OK(cluster.dfs()->WriteDataset("in", mixed, Workers()));
+      PlainIterSpec spec;
+      spec.name = "plain";
+      spec.mapper = pagerank::PlainMapper();
+      spec.reducer = pagerank::PlainReducer();
+      spec.num_reduce_tasks = Workers();
+      spec.num_iterations = kIterations;
+      auto result = RunPlainIterations(&cluster, spec, "in");
+      I2MR_CHECK(result.ok());
+      plain_ms = result.wall_ms;
+    }
+
+    double haloop_ms;
+    {
+      LocalCluster cluster(BenchRoot(std::string("h86h_") + size.name),
+                           Workers(), PaperCosts());
+      std::vector<KV> structure, state;
+      for (const auto& kv : graph) {
+        structure.push_back(KV{kv.key, "S" + kv.value});
+        state.push_back(KV{kv.key, "R1"});
+      }
+      I2MR_CHECK_OK(cluster.dfs()->WriteDataset("struct", structure, Workers()));
+      I2MR_CHECK_OK(cluster.dfs()->WriteDataset("state", state, Workers()));
+      TwoJobIterSpec spec;
+      spec.name = "haloop";
+      spec.mapper1 = pagerank::HaLoopIdentityMapper();
+      spec.reducer1 = pagerank::HaLoopJoinReducer();
+      spec.mapper2 = pagerank::HaLoopIdentityMapper();
+      spec.reducer2 = pagerank::HaLoopSumReducer();
+      spec.num_reduce_tasks = Workers();
+      spec.num_iterations = kIterations;
+      auto result = RunTwoJobIterations(&cluster, spec, "struct", "state");
+      I2MR_CHECK(result.ok());
+      haloop_ms = result.wall_ms;
+    }
+
+    double itermr_ms;
+    {
+      LocalCluster cluster(BenchRoot(std::string("h86i_") + size.name),
+                           Workers(), PaperCosts());
+      auto spec = pagerank::MakeIterSpec("itermr", Workers(), kIterations, 0);
+      IterativeEngine engine(&cluster, spec);
+      I2MR_CHECK_OK(engine.Prepare(graph, UnitState(graph)));
+      WallTimer timer;
+      I2MR_CHECK(engine.Run().ok());
+      itermr_ms = timer.ElapsedMillis();
+    }
+
+    std::printf("%-12s %10zu %10.0fms %10.0fms %10.0fms\n", size.name,
+                graph.size(), plain_ms, haloop_ms, itermr_ms);
+  }
+  std::printf(
+      "\npaper shape: HaLoop > PlainMR at every size (extra join job per\n"
+      "iteration); iterMR well below both.\n");
+  return 0;
+}

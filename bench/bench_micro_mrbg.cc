@@ -1,0 +1,145 @@
+// MRBG-Store microbenchmarks (google-benchmark): chunk codec, appends,
+// point queries under each read mode, delta merge, compaction.
+#include <benchmark/benchmark.h>
+
+#include "common/codec.h"
+#include "io/env.h"
+#include "mrbg/chunk.h"
+#include "mrbg/mrbg_store.h"
+
+namespace i2mr {
+namespace {
+
+Chunk MakeChunk(const std::string& key, int entries, int value_bytes) {
+  Chunk c;
+  c.key = key;
+  std::string v(value_bytes, 'v');
+  for (int i = 0; i < entries; ++i) {
+    c.entries.push_back(ChunkEntry{static_cast<uint64_t>(i * 7 + 1), v});
+  }
+  return c;
+}
+
+void BM_ChunkEncode(benchmark::State& state) {
+  Chunk c = MakeChunk("key-000123", static_cast<int>(state.range(0)), 16);
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    benchmark::DoNotOptimize(EncodeChunk(c, &buf));
+  }
+  state.SetBytesProcessed(state.iterations() * buf.size());
+}
+BENCHMARK(BM_ChunkEncode)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_ChunkDecode(benchmark::State& state) {
+  Chunk c = MakeChunk("key-000123", static_cast<int>(state.range(0)), 16);
+  std::string buf;
+  EncodeChunk(c, &buf);
+  Chunk out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeChunk(buf, &out));
+  }
+  state.SetBytesProcessed(state.iterations() * buf.size());
+}
+BENCHMARK(BM_ChunkDecode)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_ApplyDelta(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Chunk base = MakeChunk("k", n, 16);
+  std::vector<DeltaEdge> deltas;
+  for (int i = 0; i < n / 4 + 1; ++i) {
+    deltas.push_back(DeltaEdge{"k", static_cast<uint64_t>(i * 7 + 1), "upd", false});
+  }
+  for (auto _ : state) {
+    Chunk c = base;
+    ApplyDeltaToChunk(deltas, &c);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ApplyDelta)->Arg(8)->Arg(64)->Arg(512);
+
+class StoreFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    dir_ = "/tmp/i2mr_bench/micro_mrbg";
+    RemoveAll(dir_).ok();
+    MRBGStoreOptions options;
+    options.read_mode = static_cast<ReadMode>(state.range(0));
+    auto s = MRBGStore::Open(dir_, options);
+    store_ = std::move(s.value());
+    // Two batches of 2000 chunks.
+    for (int b = 0; b < 2; ++b) {
+      for (int k = 0; k < 2000; ++k) {
+        store_->AppendChunk(MakeChunk(PaddedNum(k), 8, 24));
+      }
+      store_->FinishBatch();
+    }
+    keys_.clear();
+    for (int k = 0; k < 2000; k += 2) keys_.push_back(PaddedNum(k));
+  }
+
+  void TearDown(const benchmark::State&) override {
+    store_->Close();
+    store_.reset();
+    RemoveAll(dir_).ok();
+  }
+
+ protected:
+  std::string dir_;
+  std::unique_ptr<MRBGStore> store_;
+  std::vector<std::string> keys_;
+};
+
+BENCHMARK_DEFINE_F(StoreFixture, QuerySweep)(benchmark::State& state) {
+  for (auto _ : state) {
+    store_->PrepareQueries(keys_);
+    for (const auto& k : keys_) {
+      auto c = store_->Query(k);
+      benchmark::DoNotOptimize(c);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * keys_.size());
+  state.SetLabel(ReadModeName(static_cast<ReadMode>(state.range(0))));
+}
+BENCHMARK_REGISTER_F(StoreFixture, QuerySweep)
+    ->Arg(static_cast<int>(ReadMode::kIndexOnly))
+    ->Arg(static_cast<int>(ReadMode::kSingleFixedWindow))
+    ->Arg(static_cast<int>(ReadMode::kMultiFixedWindow))
+    ->Arg(static_cast<int>(ReadMode::kMultiDynamicWindow));
+
+BENCHMARK_DEFINE_F(StoreFixture, MergeGroups)(benchmark::State& state) {
+  for (auto _ : state) {
+    store_->PrepareQueries(keys_);
+    Chunk merged;
+    for (const auto& k : keys_) {
+      std::vector<DeltaEdge> deltas = {{k, 1, "new-value", false},
+                                       {k, 8, "", true}};
+      store_->MergeGroup(k, deltas, &merged);
+    }
+    store_->FinishBatch();
+  }
+  state.SetItemsProcessed(state.iterations() * keys_.size());
+  state.SetLabel(ReadModeName(static_cast<ReadMode>(state.range(0))));
+}
+BENCHMARK_REGISTER_F(StoreFixture, MergeGroups)
+    ->Arg(static_cast<int>(ReadMode::kIndexOnly))
+    ->Arg(static_cast<int>(ReadMode::kMultiDynamicWindow));
+
+BENCHMARK_DEFINE_F(StoreFixture, Compact)(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Add garbage: overwrite every chunk once more.
+    for (int k = 0; k < 2000; ++k) {
+      store_->AppendChunk(MakeChunk(PaddedNum(k), 8, 24));
+    }
+    store_->FinishBatch();
+    state.ResumeTiming();
+    store_->Compact();
+  }
+}
+BENCHMARK_REGISTER_F(StoreFixture, Compact)
+    ->Arg(static_cast<int>(ReadMode::kMultiDynamicWindow))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace i2mr

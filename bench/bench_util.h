@@ -1,0 +1,65 @@
+// Shared helpers for the experiment harnesses. Every bench binary runs with
+// no arguments at laptop scale; set I2MR_SCALE=<float> to grow workloads.
+#ifndef I2MR_BENCH_BENCH_UTIL_H_
+#define I2MR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+#include "common/logging.h"
+#include "mr/cost_model.h"
+
+namespace i2mr {
+namespace bench {
+
+/// Workload scale multiplier (env I2MR_SCALE, default 1).
+inline double Scale() {
+  const char* s = std::getenv("I2MR_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline int ScaledInt(int base) { return static_cast<int>(base * Scale()); }
+
+/// Cluster cost model shaped like the paper's EC2 testbed, scaled down:
+/// Hadoop job startup (~20 s there) becomes 80 ms; shuffle and Dfs reads
+/// pay a simulated network of 250 MB/s with 0.2 ms per-transfer latency.
+inline CostModel PaperCosts() {
+  CostModel cost;
+  cost.job_startup_ms = 80;
+  cost.task_startup_ms = 1;
+  cost.net_mb_per_s = 250;
+  cost.net_latency_ms = 0.2;
+  return cost;
+}
+
+inline void Title(const std::string& title) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void Note(const std::string& note) { std::printf("%s\n", note.c_str()); }
+
+inline std::vector<KV> UnitState(const std::vector<KV>& structure) {
+  std::vector<KV> state;
+  state.reserve(structure.size());
+  for (const auto& kv : structure) state.push_back(KV{kv.key, "1"});
+  return state;
+}
+
+/// Number of workers used by all benches.
+inline int Workers() { return 4; }
+
+inline std::string BenchRoot(const std::string& name) {
+  return "/tmp/i2mr_bench/" + name;
+}
+
+}  // namespace bench
+}  // namespace i2mr
+
+#endif  // I2MR_BENCH_BENCH_UTIL_H_

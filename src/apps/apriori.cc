@@ -1,0 +1,131 @@
+#include "apps/apriori.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/codec.h"
+#include "apps/wordcount.h"
+#include "io/env.h"
+#include "io/record_file.h"
+
+namespace i2mr {
+namespace apriori {
+namespace {
+
+// Counts candidate pairs with per-task local aggregation (the paper's
+// "local count per pair"), emitting totals in Flush.
+class PairCountMapper : public Mapper {
+ public:
+  explicit PairCountMapper(const std::set<std::string>* frequent)
+      : frequent_(frequent) {}
+
+  void Map(const std::string& /*key*/, const std::string& value,
+           MapContext* /*ctx*/) override {
+    std::vector<std::string> words;
+    for (const auto& w : wordcount::Tokenize(value)) {
+      if (frequent_->count(w) > 0) words.push_back(w);
+    }
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    for (size_t a = 0; a < words.size(); ++a) {
+      for (size_t b = a + 1; b < words.size(); ++b) {
+        local_counts_[PairKey(words[a], words[b])]++;
+      }
+    }
+  }
+
+  void Flush(MapContext* ctx) override {
+    for (const auto& [pair, count] : local_counts_) {
+      ctx->Emit(pair, std::to_string(count));
+    }
+    local_counts_.clear();
+  }
+
+ private:
+  const std::set<std::string>* frequent_;
+  std::map<std::string, uint64_t> local_counts_;
+};
+
+}  // namespace
+
+StatusOr<std::set<std::string>> FrequentWords(LocalCluster* cluster,
+                                              const std::string& docs_dataset,
+                                              uint64_t min_support) {
+  auto parts = cluster->dfs()->Parts(docs_dataset);
+  if (!parts.ok()) return parts.status();
+
+  JobSpec spec;
+  spec.name = "apriori-pass1";
+  spec.input_parts = *parts;
+  spec.mapper = [] {
+    return std::make_unique<FnMapper>(
+        [](const std::string&, const std::string& value, MapContext* ctx) {
+          for (const auto& w : wordcount::Tokenize(value)) ctx->Emit(w, "1");
+        });
+  };
+  auto sum = [] {
+    return std::make_unique<FnReducer>(
+        [](const std::string& key, const std::vector<std::string>& values,
+           ReduceContext* ctx) {
+          uint64_t total = 0;
+          for (const auto& v : values) total += *ParseNum(v);
+          ctx->Emit(key, std::to_string(total));
+        });
+  };
+  spec.reducer = sum;
+  spec.combiner = sum;
+  spec.num_reduce_tasks = cluster->num_workers();
+  spec.output_dir = JoinPath(cluster->root(), "out/apriori-pass1");
+  JobResult result = cluster->RunJob(spec);
+  if (!result.ok()) return result.status;
+
+  std::set<std::string> frequent;
+  for (const auto& part : result.output_parts) {
+    if (!FileExists(part)) continue;
+    auto recs = ReadRecords(part);
+    if (!recs.ok()) return recs.status();
+    for (const auto& kv : *recs) {
+      if (*ParseNum(kv.value) >= min_support) frequent.insert(kv.key);
+    }
+  }
+  return frequent;
+}
+
+IncrJobSpec MakeSpec(const std::string& name, int num_reduce_tasks,
+                     std::set<std::string> frequent) {
+  IncrJobSpec spec;
+  spec.name = name;
+  spec.num_reduce_tasks = num_reduce_tasks;
+  auto shared = std::make_shared<std::set<std::string>>(std::move(frequent));
+  spec.mapper = [shared] { return std::make_unique<PairCountMapper>(shared.get()); };
+  spec.accumulate = [](const std::string& cur, const std::string& delta) {
+    return std::to_string(*ParseNum(cur) + *ParseNum(delta));
+  };
+  return spec;
+}
+
+std::string PairKey(const std::string& a, const std::string& b) {
+  return a < b ? a + "|" + b : b + "|" + a;
+}
+
+std::map<std::string, uint64_t> Reference(
+    const std::vector<KV>& docs, const std::set<std::string>& frequent) {
+  std::map<std::string, uint64_t> counts;
+  for (const auto& kv : docs) {
+    std::vector<std::string> words;
+    for (const auto& w : wordcount::Tokenize(kv.value)) {
+      if (frequent.count(w) > 0) words.push_back(w);
+    }
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    for (size_t a = 0; a < words.size(); ++a) {
+      for (size_t b = a + 1; b < words.size(); ++b) {
+        counts[PairKey(words[a], words[b])]++;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace apriori
+}  // namespace i2mr

@@ -1,0 +1,47 @@
+// APriori frequent word-pair mining (paper §8.1.3): a one-step algorithm
+// with accumulator Reduce.
+//
+// A preprocessing job computes the frequent single words (support >=
+// min_support); the counting job then loads the frequent-word list in every
+// Map task, counts candidate pairs per tweet with local aggregation, and
+// sums global pair frequencies with an integer-sum accumulator — so
+// incremental refreshes with insertion-only deltas (new tweets) fold
+// directly into the preserved counts (§3.5).
+#ifndef I2MR_APPS_APRIORI_H_
+#define I2MR_APPS_APRIORI_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+#include "core/incr_job.h"
+#include "mr/cluster.h"
+
+namespace i2mr {
+namespace apriori {
+
+/// Pass 1: frequent single words (count >= min_support), computed with a
+/// WordCount MapReduce job on `cluster`.
+StatusOr<std::set<std::string>> FrequentWords(LocalCluster* cluster,
+                                              const std::string& docs_dataset,
+                                              uint64_t min_support);
+
+/// Counting-pass spec (accumulator mode). `frequent` is the candidate
+/// vocabulary loaded by every Map task.
+IncrJobSpec MakeSpec(const std::string& name, int num_reduce_tasks,
+                     std::set<std::string> frequent);
+
+/// Pair key "w1|w2" with w1 < w2.
+std::string PairKey(const std::string& a, const std::string& b);
+
+/// Sequential reference: pair -> count over all docs (only pairs of frequent
+/// words, counted once per distinct pair per doc).
+std::map<std::string, uint64_t> Reference(const std::vector<KV>& docs,
+                                          const std::set<std::string>& frequent);
+
+}  // namespace apriori
+}  // namespace i2mr
+
+#endif  // I2MR_APPS_APRIORI_H_

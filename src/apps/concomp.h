@@ -1,0 +1,46 @@
+// Connected Components via iterative label propagation (the paper cites
+// connected components as one of the graph-mining operations expressible
+// in the GIM-V family, §4.1). One-to-one correlation, like PageRank:
+//
+//   state:  DV = component label (the smallest vertex id seen so far)
+//   Map:    <i, Ni | ci>  ->  <j, ci> for each neighbor j
+//   Reduce: <j, {ci}>     ->  cj = min(cj_prev, min{ci})
+//
+// Labels only decrease, so an incremental refresh with edge/vertex
+// *insertions* from the converged labels is exact with filter threshold 0
+// (component merges propagate; unchanged components are untouched).
+// Deletions can split components, which monotone propagation cannot undo —
+// the engine's re-computation fallback (maintain_mrbg = false) covers that
+// case; see README "implementation limits".
+#ifndef I2MR_APPS_CONCOMP_H_
+#define I2MR_APPS_CONCOMP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/iter_engine.h"
+
+namespace i2mr {
+namespace concomp {
+
+/// Iterative spec. Graph encoding as data/graph_gen.h (unweighted); run on
+/// a symmetrized graph for true (undirected) connected components.
+IterJobSpec MakeIterSpec(const std::string& name, int num_partitions,
+                         int max_iterations = 100);
+
+/// Initial state: every vertex is its own component.
+std::vector<KV> InitialState(const std::vector<KV>& graph);
+
+/// Make the adjacency symmetric (adds the reverse of every edge).
+std::vector<KV> Symmetrize(const std::vector<KV>& graph);
+
+/// Union-find reference: vertex -> component label (smallest member id).
+std::vector<KV> Reference(const std::vector<KV>& graph);
+
+/// Fraction of vertices whose label differs from the reference.
+double ErrorRate(const std::vector<KV>& state, const std::vector<KV>& reference);
+
+}  // namespace concomp
+}  // namespace i2mr
+
+#endif  // I2MR_APPS_CONCOMP_H_

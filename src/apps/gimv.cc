@@ -1,0 +1,274 @@
+#include "apps/gimv.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "data/matrix_gen.h"
+#include "data/points_gen.h"  // vector codecs
+
+namespace i2mr {
+namespace gimv {
+namespace {
+
+// combine2: multiply a sparse block with a vector block.
+std::vector<double> MultiplyBlock(const std::vector<MatrixTriple>& triples,
+                                  const std::vector<double>& v,
+                                  int block_size) {
+  std::vector<double> mv(block_size, 0.0);
+  for (const auto& t : triples) {
+    I2MR_CHECK(t.i < block_size && t.j < static_cast<int>(v.size()))
+        << "triple out of range";
+    mv[t.i] += t.val * v[t.j];
+  }
+  return mv;
+}
+
+class GimvMapper : public IterMapper {
+ public:
+  explicit GimvMapper(int block_size) : block_size_(block_size) {}
+
+  void Map(const std::string& sk, const std::string& sv,
+           const std::string& /*dk*/, const std::string& dv,
+           MapContext* ctx) override {
+    auto [r, c] = ParseBlockKey(sk);
+    (void)c;
+    auto mv = MultiplyBlock(ParseBlock(sv), ParseVector(dv), block_size_);
+    ctx->Emit(PaddedNum(r, 6), JoinVector(mv));
+  }
+
+ private:
+  int block_size_;
+};
+
+class GimvReducer : public IterReducer {
+ public:
+  GimvReducer(int block_size, double bias)
+      : block_size_(block_size), bias_(bias) {}
+
+  std::string Reduce(const std::string& /*dk*/,
+                     const std::vector<std::string>& values,
+                     const std::string* /*prev_dv*/) override {
+    // combineAll + assign: v'_i = Σ_j mv_ij + bias.
+    std::vector<double> sum(block_size_, bias_);
+    for (const auto& v : values) {
+      auto mv = ParseVector(v);
+      for (int d = 0; d < block_size_ && d < static_cast<int>(mv.size()); ++d) {
+        sum[d] += mv[d];
+      }
+    }
+    return JoinVector(sum);
+  }
+
+ private:
+  int block_size_;
+  double bias_;
+};
+
+double VecDelta(const std::string& a, const std::string& b) {
+  auto va = ParseVector(a);
+  auto vb = b.empty() ? std::vector<double>(va.size(), 0.0) : ParseVector(b);
+  double d = 0;
+  for (size_t i = 0; i < va.size() && i < vb.size(); ++i) {
+    d += std::abs(va[i] - vb[i]);
+  }
+  return d;
+}
+
+}  // namespace
+
+IterJobSpec MakeIterSpec(const std::string& name, int num_partitions,
+                         int block_size, double bias, int max_iterations,
+                         double epsilon) {
+  IterJobSpec spec;
+  spec.name = name;
+  spec.num_partitions = num_partitions;
+  // Block (i, j) depends on vector block j: project("i,j") = "j".
+  spec.projector = std::make_shared<FnProjector>(
+      [](const std::string& sk) {
+        return PaddedNum(ParseBlockKey(sk).second, 6);
+      },
+      DepType::kManyToOne);
+  spec.mapper = [block_size] { return std::make_unique<GimvMapper>(block_size); };
+  spec.reducer = [block_size, bias] {
+    return std::make_unique<GimvReducer>(block_size, bias);
+  };
+  spec.difference = [](const std::string& cur, const std::string& prev) {
+    return VecDelta(cur, prev);
+  };
+  spec.max_iterations = max_iterations;
+  spec.convergence_epsilon = epsilon;
+  spec.reduce_untouched_keys = true;  // rows without blocks settle to bias
+  return spec;
+}
+
+std::vector<KV> Reference(const std::vector<KV>& blocks,
+                          const std::vector<KV>& init_vector, int block_size,
+                          double bias, int max_iterations, double epsilon) {
+  std::map<std::string, std::vector<double>> vec;
+  for (const auto& kv : init_vector) vec[kv.key] = ParseVector(kv.value);
+  for (int it = 0; it < max_iterations; ++it) {
+    std::map<std::string, std::vector<double>> next;
+    for (const auto& [k, v] : vec) {
+      next[k] = std::vector<double>(v.size(), bias);
+    }
+    for (const auto& kv : blocks) {
+      auto [r, c] = ParseBlockKey(kv.key);
+      auto vit = vec.find(PaddedNum(c, 6));
+      if (vit == vec.end()) continue;
+      auto mv = MultiplyBlock(ParseBlock(kv.value), vit->second, block_size);
+      auto& dst = next[PaddedNum(r, 6)];
+      if (dst.empty()) dst.resize(block_size, bias);
+      for (int d = 0; d < block_size; ++d) dst[d] += mv[d];
+    }
+    double diff = 0;
+    for (const auto& [k, v] : next) {
+      diff += VecDelta(JoinVector(v), vec.count(k) ? JoinVector(vec[k]) : "");
+    }
+    vec = std::move(next);
+    if (diff <= epsilon) break;
+  }
+  std::vector<KV> out;
+  for (const auto& [k, v] : vec) out.push_back(KV{k, JoinVector(v)});
+  return out;
+}
+
+double MaxDelta(const std::vector<KV>& a, const std::vector<KV>& b) {
+  std::map<std::string, std::vector<double>> bm;
+  for (const auto& kv : b) bm[kv.key] = ParseVector(kv.value);
+  double max_d = 0;
+  for (const auto& kv : a) {
+    auto it = bm.find(kv.key);
+    if (it == bm.end()) {
+      max_d = std::max(max_d, 1e18);
+      continue;
+    }
+    auto va = ParseVector(kv.value);
+    for (size_t i = 0; i < va.size() && i < it->second.size(); ++i) {
+      max_d = std::max(max_d, std::abs(va[i] - it->second[i]));
+    }
+  }
+  return max_d;
+}
+
+// ---------------------------------------------------------------------------
+// Plain / HaLoop two-job formulation (Algorithm 4)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Map Phase 1: matrix records pass through keyed by block; vector records
+// are broadcast to every block row.
+class GimvPhase1Mapper : public Mapper {
+ public:
+  explicit GimvPhase1Mapper(int num_blocks) : num_blocks_(num_blocks) {}
+
+  void Map(const std::string& key, const std::string& value,
+           MapContext* ctx) override {
+    I2MR_CHECK(!value.empty());
+    if (value[0] == 'M') {
+      ctx->Emit(key, value);
+    } else {
+      I2MR_CHECK(value[0] == 'V') << "bad gimv record";
+      auto j = ParseNum(key);
+      I2MR_CHECK(j.ok());
+      for (int i = 0; i < num_blocks_; ++i) {
+        ctx->Emit(BlockKey(i, static_cast<int>(*j)), value);
+      }
+    }
+  }
+
+ private:
+  int num_blocks_;
+};
+
+// Reduce Phase 1: combine2 — multiply the block with the vector; pass the
+// vector through to its own row group for assign in phase 2.
+class GimvPhase1Reducer : public Reducer {
+ public:
+  explicit GimvPhase1Reducer(int block_size) : block_size_(block_size) {}
+
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    auto [r, c] = ParseBlockKey(key);
+    const std::string* block = nullptr;
+    const std::string* vec = nullptr;
+    for (const auto& v : values) {
+      if (v[0] == 'M') block = &v;
+      if (v[0] == 'V') vec = &v;
+    }
+    if (vec == nullptr) return;  // column has no vector block
+    ctx->Emit(PaddedNum(c, 6), *vec);  // <j, vj> pass-through
+    if (block == nullptr) return;
+    auto mv = MultiplyBlock(ParseBlock(block->substr(1)),
+                            ParseVector(vec->substr(1)), block_size_);
+    ctx->Emit(PaddedNum(r, 6), "P" + JoinVector(mv));
+  }
+
+ private:
+  int block_size_;
+};
+
+class GimvIdentityMapper : public Mapper {
+ public:
+  void Map(const std::string& key, const std::string& value,
+           MapContext* ctx) override {
+    ctx->Emit(key, value);
+  }
+};
+
+// Reduce Phase 2: combineAll + assign.
+class GimvPhase2Reducer : public Reducer {
+ public:
+  explicit GimvPhase2Reducer(double bias) : bias_(bias) {}
+
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    std::vector<double> sum;
+    for (const auto& v : values) {
+      if (v[0] != 'P') continue;
+      auto mv = ParseVector(v.substr(1));
+      if (sum.empty()) sum.resize(mv.size(), 0.0);
+      for (size_t d = 0; d < mv.size(); ++d) sum[d] += mv[d];
+    }
+    if (sum.empty()) {
+      // No contributions: recover the dimension from the pass-through.
+      for (const auto& v : values) {
+        if (v[0] == 'V') {
+          sum.resize(ParseVector(v.substr(1)).size(), 0.0);
+          break;
+        }
+      }
+    }
+    for (auto& x : sum) x += bias_;
+    ctx->Emit(key, "V" + JoinVector(sum));
+  }
+
+ private:
+  double bias_;
+};
+
+}  // namespace
+
+MapperFactory Phase1Mapper(int num_blocks) {
+  return [num_blocks] { return std::make_unique<GimvPhase1Mapper>(num_blocks); };
+}
+
+ReducerFactory Phase1Reducer(int block_size) {
+  return [block_size] {
+    return std::make_unique<GimvPhase1Reducer>(block_size);
+  };
+}
+
+MapperFactory Phase2Mapper() {
+  return [] { return std::make_unique<GimvIdentityMapper>(); };
+}
+
+ReducerFactory Phase2Reducer(double bias) {
+  return [bias] { return std::make_unique<GimvPhase2Reducer>(bias); };
+}
+
+}  // namespace gimv
+}  // namespace i2mr

@@ -1,0 +1,52 @@
+// GIM-V: Generalized Iterated Matrix-Vector multiplication (paper §4.1,
+// Algorithm 4), many-to-one correlation — matrix blocks (·, j) depend on
+// vector block v_j. The concrete instantiation is damped iterated
+// matrix-vector multiplication (as in the paper's evaluation):
+//
+//   combine2(m_ij, v_j) = m_ij × v_j
+//   combineAll_i({mv})  = Σ_j mv_ij
+//   assign(v_i, v'_i)   = v'_i + (1 - scale) * v0   (affine damping)
+//
+// With i2MapReduce's Project API this needs a single MapReduce phase per
+// iteration instead of Algorithm 4's two jobs.
+#ifndef I2MR_APPS_GIMV_H_
+#define I2MR_APPS_GIMV_H_
+
+#include <string>
+#include <vector>
+
+#include "core/iter_engine.h"
+#include "mr/api.h"
+
+namespace i2mr {
+namespace gimv {
+
+/// Iterative spec. Block encoding per data/matrix_gen.h. `bias` is the
+/// constant term added to every component each iteration (keeps the
+/// iteration affine and convergent for sub-stochastic matrices).
+IterJobSpec MakeIterSpec(const std::string& name, int num_partitions,
+                         int block_size, double bias = 0.15,
+                         int max_iterations = 50, double epsilon = 1e-9);
+
+/// Sequential reference with identical semantics.
+std::vector<KV> Reference(const std::vector<KV>& blocks,
+                          const std::vector<KV>& init_vector, int block_size,
+                          double bias, int max_iterations, double epsilon);
+
+/// Max absolute component difference between two vector-block states.
+double MaxDelta(const std::vector<KV>& a, const std::vector<KV>& b);
+
+// -- Plain / HaLoop two-job formulation (Algorithm 4) -------------------------
+// Job 1: matrix dataset <"(i,j)", "M"+block> plus vector dataset
+// <j, "V"+vec> keyed by block column; reduce performs combine2.
+// Job 2: groups mv_ij by row i with v_i; reduce performs combineAll+assign.
+
+MapperFactory Phase1Mapper(int num_blocks);
+ReducerFactory Phase1Reducer(int block_size);
+MapperFactory Phase2Mapper();
+ReducerFactory Phase2Reducer(double bias);
+
+}  // namespace gimv
+}  // namespace i2mr
+
+#endif  // I2MR_APPS_GIMV_H_

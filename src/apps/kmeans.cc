@@ -1,0 +1,318 @@
+#include "apps/kmeans.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "data/points_gen.h"
+#include "io/env.h"
+#include "io/record_file.h"
+
+namespace i2mr {
+namespace kmeans {
+namespace {
+
+double L2(const std::vector<double>& a, const std::vector<double>& b) {
+  I2MR_CHECK(a.size() == b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s);
+}
+
+size_t NearestCentroid(const std::vector<double>& p,
+                       const std::vector<std::vector<double>>& centroids) {
+  size_t best = 0;
+  double best_d = L2(p, centroids[0]);
+  for (size_t c = 1; c < centroids.size(); ++c) {
+    double d = L2(p, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+// Partial encoding: "cid:count:x1,x2,..." per assigned cluster.
+struct Partial {
+  int64_t count = 0;
+  std::vector<double> sum;
+};
+
+std::string EncodePartials(const std::map<size_t, Partial>& partials) {
+  std::string out;
+  bool first = true;
+  for (const auto& [cid, p] : partials) {
+    if (!first) out.push_back(';');
+    first = false;
+    out += std::to_string(cid) + ":" + std::to_string(p.count) + ":" +
+           JoinVector(p.sum);
+  }
+  return out;
+}
+
+void DecodePartialsInto(const std::string& s,
+                        std::map<size_t, Partial>* partials) {
+  size_t i = 0;
+  while (i < s.size()) {
+    size_t j = s.find(';', i);
+    if (j == std::string::npos) j = s.size();
+    std::string tok = s.substr(i, j - i);
+    size_t c1 = tok.find(':');
+    size_t c2 = tok.find(':', c1 + 1);
+    I2MR_CHECK(c1 != std::string::npos && c2 != std::string::npos);
+    size_t cid = *ParseNum(tok.substr(0, c1));
+    int64_t count =
+        static_cast<int64_t>(*ParseNum(tok.substr(c1 + 1, c2 - c1 - 1)));
+    std::vector<double> sum = ParseVector(tok.substr(c2 + 1));
+    auto& p = (*partials)[cid];
+    if (p.sum.empty()) p.sum.resize(sum.size(), 0.0);
+    p.count += count;
+    for (size_t d = 0; d < sum.size(); ++d) p.sum[d] += sum[d];
+    i = j + 1;
+  }
+}
+
+// Map with map-side aggregation (paper Algorithm 3 + the local-count
+// pattern): assignments are accumulated locally and emitted once in Flush.
+class KmeansMapper : public IterMapper {
+ public:
+  void Map(const std::string& /*sk*/, const std::string& sv,
+           const std::string& /*dk*/, const std::string& dv,
+           MapContext* /*ctx*/) override {
+    if (dv != cached_dv_) {
+      centroids_ = DecodeCentroids(dv);
+      cached_dv_ = dv;
+    }
+    I2MR_CHECK(!centroids_.empty()) << "no centroids in state";
+    std::vector<double> p = ParseVector(sv);
+    size_t cid = NearestCentroid(p, centroids_);
+    auto& partial = partials_[cid];
+    if (partial.sum.empty()) partial.sum.resize(p.size(), 0.0);
+    partial.count += 1;
+    for (size_t d = 0; d < p.size(); ++d) partial.sum[d] += p[d];
+  }
+
+  void Flush(MapContext* ctx) override {
+    if (partials_.empty()) return;
+    ctx->Emit(kStateKey, EncodePartials(partials_));
+    partials_.clear();
+  }
+
+ private:
+  std::string cached_dv_;
+  std::vector<std::vector<double>> centroids_;
+  std::map<size_t, Partial> partials_;
+};
+
+class KmeansReducer : public IterReducer {
+ public:
+  std::string Reduce(const std::string& /*dk*/,
+                     const std::vector<std::string>& values,
+                     const std::string* prev_dv) override {
+    I2MR_CHECK(prev_dv != nullptr) << "kmeans reduce needs previous centroids";
+    auto centroids = DecodeCentroids(*prev_dv);
+    std::map<size_t, Partial> partials;
+    for (const auto& v : values) DecodePartialsInto(v, &partials);
+    for (const auto& [cid, p] : partials) {
+      if (cid >= centroids.size() || p.count == 0) continue;
+      auto& c = centroids[cid];
+      for (size_t d = 0; d < c.size(); ++d) {
+        c[d] = p.sum[d] / static_cast<double>(p.count);
+      }
+    }
+    return EncodeCentroids(centroids);
+  }
+};
+
+}  // namespace
+
+std::string EncodeCentroids(const std::vector<std::vector<double>>& centroids) {
+  std::string out;
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    if (c > 0) out.push_back(';');
+    out += std::to_string(c) + "=" + JoinVector(centroids[c]);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> DecodeCentroids(const std::string& dv) {
+  std::vector<std::vector<double>> out;
+  size_t i = 0;
+  while (i < dv.size()) {
+    size_t j = dv.find(';', i);
+    if (j == std::string::npos) j = dv.size();
+    std::string tok = dv.substr(i, j - i);
+    size_t eq = tok.find('=');
+    I2MR_CHECK(eq != std::string::npos) << "bad centroid: " << tok;
+    size_t cid = *ParseNum(tok.substr(0, eq));
+    if (out.size() <= cid) out.resize(cid + 1);
+    out[cid] = ParseVector(tok.substr(eq + 1));
+    i = j + 1;
+  }
+  return out;
+}
+
+IterJobSpec MakeIterSpec(const std::string& name, int num_partitions,
+                         int max_iterations, double epsilon) {
+  IterJobSpec spec;
+  spec.name = name;
+  spec.num_partitions = num_partitions;
+  spec.projector = std::make_shared<ConstProjector>(kStateKey);
+  spec.mapper = [] { return std::make_unique<KmeansMapper>(); };
+  spec.reducer = [] { return std::make_unique<KmeansReducer>(); };
+  spec.difference = [](const std::string& cur, const std::string& prev) {
+    if (prev.empty()) return 1e9;
+    return MaxCentroidDelta(DecodeCentroids(cur), DecodeCentroids(prev));
+  };
+  spec.max_iterations = max_iterations;
+  spec.convergence_epsilon = epsilon;
+  spec.reduce_untouched_keys = false;
+  return spec;
+}
+
+std::vector<KV> InitialState(const std::vector<KV>& points, int k) {
+  std::vector<std::vector<double>> centroids;
+  for (int i = 0; i < k && i < static_cast<int>(points.size()); ++i) {
+    centroids.push_back(ParseVector(points[i].value));
+  }
+  return {KV{kStateKey, EncodeCentroids(centroids)}};
+}
+
+std::vector<std::vector<double>> Reference(
+    const std::vector<KV>& points, std::vector<std::vector<double>> centroids,
+    int max_iterations, double epsilon) {
+  std::vector<std::vector<double>> pts;
+  pts.reserve(points.size());
+  for (const auto& kv : points) pts.push_back(ParseVector(kv.value));
+  for (int it = 0; it < max_iterations; ++it) {
+    std::vector<Partial> partials(centroids.size());
+    for (const auto& p : pts) {
+      size_t cid = NearestCentroid(p, centroids);
+      auto& pa = partials[cid];
+      if (pa.sum.empty()) pa.sum.resize(p.size(), 0.0);
+      pa.count += 1;
+      for (size_t d = 0; d < p.size(); ++d) pa.sum[d] += p[d];
+    }
+    auto next = centroids;
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      if (partials[c].count == 0) continue;
+      for (size_t d = 0; d < next[c].size(); ++d) {
+        next[c][d] = partials[c].sum[d] / static_cast<double>(partials[c].count);
+      }
+    }
+    double delta = MaxCentroidDelta(next, centroids);
+    centroids = std::move(next);
+    if (delta <= epsilon) break;
+  }
+  return centroids;
+}
+
+namespace {
+
+// Plain-MR Kmeans mapper: centroids broadcast at construction; assignments
+// aggregated locally, partials emitted per cid in Flush.
+class PlainKmeansMapper : public Mapper {
+ public:
+  explicit PlainKmeansMapper(std::vector<std::vector<double>> centroids)
+      : centroids_(std::move(centroids)) {}
+
+  void Map(const std::string& /*key*/, const std::string& value,
+           MapContext* /*ctx*/) override {
+    std::vector<double> p = ParseVector(value);
+    size_t cid = NearestCentroid(p, centroids_);
+    auto& partial = partials_[cid];
+    if (partial.sum.empty()) partial.sum.resize(p.size(), 0.0);
+    partial.count += 1;
+    for (size_t d = 0; d < p.size(); ++d) partial.sum[d] += p[d];
+  }
+
+  void Flush(MapContext* ctx) override {
+    for (const auto& [cid, p] : partials_) {
+      std::string enc = std::to_string(p.count) + ":" + JoinVector(p.sum);
+      ctx->Emit(std::to_string(cid), enc);
+    }
+    partials_.clear();
+  }
+
+ private:
+  std::vector<std::vector<double>> centroids_;
+  std::map<size_t, Partial> partials_;
+};
+
+class PlainKmeansReducer : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    Partial total;
+    for (const auto& v : values) {
+      size_t colon = v.find(':');
+      int64_t count = static_cast<int64_t>(*ParseNum(v.substr(0, colon)));
+      auto sum = ParseVector(v.substr(colon + 1));
+      if (total.sum.empty()) total.sum.resize(sum.size(), 0.0);
+      total.count += count;
+      for (size_t d = 0; d < sum.size(); ++d) total.sum[d] += sum[d];
+    }
+    if (total.count == 0) return;
+    std::vector<double> c(total.sum.size());
+    for (size_t d = 0; d < c.size(); ++d) {
+      c[d] = total.sum[d] / static_cast<double>(total.count);
+    }
+    ctx->Emit(key, JoinVector(c));
+  }
+};
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<double>>> RunPlainKmeansIterations(
+    LocalCluster* cluster, const std::string& points_dataset,
+    std::vector<std::vector<double>> centroids, int num_iterations,
+    int num_reduce_tasks, double* wall_ms) {
+  WallTimer wall;
+  auto parts = cluster->dfs()->Parts(points_dataset);
+  if (!parts.ok()) return parts.status();
+  for (int it = 1; it <= num_iterations; ++it) {
+    JobSpec job;
+    job.name = "plain-kmeans-it" + std::to_string(it);
+    job.input_parts = *parts;
+    auto snapshot = centroids;
+    job.mapper = [snapshot] {
+      return std::make_unique<PlainKmeansMapper>(snapshot);
+    };
+    job.reducer = [] { return std::make_unique<PlainKmeansReducer>(); };
+    job.num_reduce_tasks = num_reduce_tasks;
+    job.output_dir = JoinPath(cluster->root(),
+                              "out/plain-kmeans-it" + std::to_string(it));
+    JobResult result = cluster->RunJob(job);
+    if (!result.ok()) return result.status;
+    for (const auto& part : result.output_parts) {
+      if (!FileExists(part)) continue;
+      auto recs = ReadRecords(part);
+      if (!recs.ok()) return recs.status();
+      for (const auto& kv : *recs) {
+        size_t cid = *ParseNum(kv.key);
+        if (cid < centroids.size()) centroids[cid] = ParseVector(kv.value);
+      }
+    }
+  }
+  if (wall_ms != nullptr) *wall_ms = wall.ElapsedMillis();
+  return centroids;
+}
+
+double MaxCentroidDelta(const std::vector<std::vector<double>>& a,
+                        const std::vector<std::vector<double>>& b) {
+  double max_d = 0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t c = 0; c < n; ++c) {
+    if (a[c].empty() || b[c].empty()) continue;
+    max_d = std::max(max_d, L2(a[c], b[c]));
+  }
+  if (a.size() != b.size()) max_d = std::max(max_d, 1e9);
+  return max_d;
+}
+
+}  // namespace kmeans
+}  // namespace i2mr

@@ -1,0 +1,61 @@
+// Kmeans clustering (paper Algorithm 3): all-to-one correlation — every
+// point's Map instance depends on the single state kv-pair holding all
+// centroids.
+//
+//   Map:    <pid, pval | {centroids}>  ->  <"centroids", partial sums>
+//           (map-side aggregation in Flush: per-centroid count + vector sum)
+//   Reduce: <"centroids", {partials}>  ->  new centroid set
+//
+// Because any input change updates the single state value, incremental
+// refresh triggers global re-computation; the engine's P∆ detection turns
+// MRBGraph maintenance off (§5.2) and re-computes iteratively from the
+// previous converged centroids.
+#ifndef I2MR_APPS_KMEANS_H_
+#define I2MR_APPS_KMEANS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/iter_engine.h"
+
+namespace i2mr {
+namespace kmeans {
+
+/// The single state key.
+inline constexpr const char* kStateKey = "centroids";
+
+/// Centroid-set codec: "cid=x1,x2,...;cid2=..." sorted by cid.
+std::string EncodeCentroids(const std::vector<std::vector<double>>& centroids);
+std::vector<std::vector<double>> DecodeCentroids(const std::string& dv);
+
+/// Iterative spec. Point encoding: SK = padded pid, SV = "x1,x2,..."
+/// (data/points_gen.h).
+IterJobSpec MakeIterSpec(const std::string& name, int num_partitions,
+                         int max_iterations = 30, double epsilon = 1e-4);
+
+/// Initial state: the first k points as centroids.
+std::vector<KV> InitialState(const std::vector<KV>& points, int k);
+
+/// Sequential Lloyd reference starting from the same initial centroids.
+std::vector<std::vector<double>> Reference(
+    const std::vector<KV>& points,
+    std::vector<std::vector<double>> centroids, int max_iterations,
+    double epsilon);
+
+/// Max L2 distance between matching centroids of two sets.
+double MaxCentroidDelta(const std::vector<std::vector<double>>& a,
+                        const std::vector<std::vector<double>>& b);
+
+/// Plain-MR Kmeans baseline: one MapReduce job per iteration, re-reading
+/// the points dataset from the Dfs every time (paying the remote read and
+/// the per-job startup that iterMR avoids). Centroids are broadcast to the
+/// mappers (distributed-cache stand-in). Returns the final centroids.
+StatusOr<std::vector<std::vector<double>>> RunPlainKmeansIterations(
+    LocalCluster* cluster, const std::string& points_dataset,
+    std::vector<std::vector<double>> centroids, int num_iterations,
+    int num_reduce_tasks, double* wall_ms);
+
+}  // namespace kmeans
+}  // namespace i2mr
+
+#endif  // I2MR_APPS_KMEANS_H_

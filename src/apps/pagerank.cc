@@ -1,0 +1,227 @@
+#include "apps/pagerank.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "data/graph_gen.h"
+
+namespace i2mr {
+namespace pagerank {
+namespace {
+
+double ParseRank(const std::string& s) {
+  if (s.empty()) return 0.0;
+  auto d = ParseDouble(s);
+  I2MR_CHECK(d.ok()) << "bad rank: " << s;
+  return *d;
+}
+
+class PageRankMapper : public IterMapper {
+ public:
+  void Map(const std::string& /*sk*/, const std::string& sv,
+           const std::string& /*dk*/, const std::string& dv,
+           MapContext* ctx) override {
+    auto dests = ParseAdjacency(sv);
+    if (dests.empty()) return;
+    double share = ParseRank(dv) / static_cast<double>(dests.size());
+    std::string encoded = FormatDouble(share);
+    for (const auto& j : dests) ctx->Emit(j, encoded);
+  }
+};
+
+class PageRankReducer : public IterReducer {
+ public:
+  std::string Reduce(const std::string& /*dk*/,
+                     const std::vector<std::string>& values,
+                     const std::string* /*prev_dv*/) override {
+    double sum = 0;
+    for (const auto& v : values) sum += ParseRank(v);
+    return FormatDouble(kDamping * sum + (1 - kDamping));
+  }
+};
+
+}  // namespace
+
+IterJobSpec MakeIterSpec(const std::string& name, int num_partitions,
+                         int max_iterations, double epsilon) {
+  IterJobSpec spec;
+  spec.name = name;
+  spec.num_partitions = num_partitions;
+  spec.projector = std::make_shared<IdentityProjector>();
+  spec.mapper = [] { return std::make_unique<PageRankMapper>(); };
+  spec.reducer = [] { return std::make_unique<PageRankReducer>(); };
+  spec.difference = [](const std::string& cur, const std::string& prev) {
+    return std::abs(ParseRank(cur) - ParseRank(prev));
+  };
+  spec.init_state = [](const std::string&) { return std::string("1"); };
+  spec.max_iterations = max_iterations;
+  spec.convergence_epsilon = epsilon;
+  spec.reduce_untouched_keys = true;
+  return spec;
+}
+
+std::vector<KV> Reference(const std::vector<KV>& graph, int max_iterations,
+                          double epsilon) {
+  std::map<std::string, std::vector<std::string>> adj;
+  std::map<std::string, double> rank;
+  for (const auto& kv : graph) {
+    adj[kv.key] = ParseAdjacency(kv.value);
+    rank[kv.key] = 1.0;
+    for (const auto& j : adj[kv.key]) {
+      if (rank.count(j) == 0) rank[j] = 1.0;
+    }
+  }
+  for (int it = 0; it < max_iterations; ++it) {
+    std::map<std::string, double> incoming;
+    for (const auto& [k, _] : rank) incoming[k] = 0.0;
+    for (const auto& [i, dests] : adj) {
+      if (dests.empty()) continue;
+      double share = rank[i] / static_cast<double>(dests.size());
+      for (const auto& j : dests) incoming[j] += share;
+    }
+    double diff = 0;
+    for (auto& [k, r] : rank) {
+      double next = kDamping * incoming[k] + (1 - kDamping);
+      diff += std::abs(next - r);
+      r = next;
+    }
+    if (diff <= epsilon) break;
+  }
+  std::vector<KV> out;
+  for (const auto& [k, r] : rank) out.push_back(KV{k, FormatDouble(r)});
+  return out;
+}
+
+double MeanError(const std::vector<KV>& state,
+                 const std::vector<KV>& reference) {
+  std::map<std::string, double> ref;
+  for (const auto& kv : reference) ref[kv.key] = ParseRank(kv.value);
+  if (ref.empty()) return 0;
+  double total = 0;
+  size_t n = 0;
+  for (const auto& kv : state) {
+    auto it = ref.find(kv.key);
+    if (it == ref.end()) continue;
+    double denom = std::abs(it->second) > 1e-12 ? std::abs(it->second) : 1.0;
+    total += std::abs(ParseRank(kv.value) - it->second) / denom;
+    ++n;
+  }
+  return n == 0 ? 0 : total / static_cast<double>(n);
+}
+
+// ---------------------------------------------------------------------------
+// Plain MapReduce formulation
+// ---------------------------------------------------------------------------
+
+std::string MixedValue(const std::string& adj, double rank) {
+  return adj + "|" + FormatDouble(rank);
+}
+
+namespace {
+
+// Map phase of Algorithm 2: parse the mixed record, pass the structure
+// through the shuffle ("S"-tagged) and send rank shares ("R"-tagged).
+class PlainPageRankMapper : public Mapper {
+ public:
+  void Map(const std::string& key, const std::string& value,
+           MapContext* ctx) override {
+    size_t bar = value.rfind('|');
+    I2MR_CHECK(bar != std::string::npos) << "bad mixed record: " << value;
+    std::string adj = value.substr(0, bar);
+    double rank = ParseRank(value.substr(bar + 1));
+    ctx->Emit(key, "S" + adj);
+    auto dests = ParseAdjacency(adj);
+    if (dests.empty()) return;
+    std::string share = FormatDouble(rank / static_cast<double>(dests.size()));
+    for (const auto& j : dests) ctx->Emit(j, "R" + share);
+  }
+};
+
+class PlainPageRankReducer : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    std::string adj;
+    double sum = 0;
+    for (const auto& v : values) {
+      I2MR_CHECK(!v.empty());
+      if (v[0] == 'S') {
+        adj = v.substr(1);
+      } else {
+        sum += ParseRank(v.substr(1));
+      }
+    }
+    ctx->Emit(key, MixedValue(adj, kDamping * sum + (1 - kDamping)));
+  }
+};
+
+class IdentityMapper : public Mapper {
+ public:
+  void Map(const std::string& key, const std::string& value,
+           MapContext* ctx) override {
+    ctx->Emit(key, value);
+  }
+};
+
+// HaLoop job-1 reduce (Algorithm 5 Reduce Phase 1): joins <i, Ri> with
+// <i, Ni> and emits rank shares; also emits a zero self-contribution so
+// that vertices without in-links survive to job 2.
+class HaLoopJoinReducerImpl : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    std::string adj;
+    double rank = 1.0;
+    for (const auto& v : values) {
+      I2MR_CHECK(!v.empty());
+      if (v[0] == 'S') {
+        adj = v.substr(1);
+      } else {
+        rank = ParseRank(v.substr(1));
+      }
+    }
+    ctx->Emit(key, "0");  // keep-alive zero contribution
+    auto dests = ParseAdjacency(adj);
+    if (dests.empty()) return;
+    std::string share = FormatDouble(rank / static_cast<double>(dests.size()));
+    for (const auto& j : dests) ctx->Emit(j, share);
+  }
+};
+
+class HaLoopSumReducerImpl : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    double sum = 0;
+    for (const auto& v : values) sum += ParseRank(v);
+    ctx->Emit(key, "R" + FormatDouble(kDamping * sum + (1 - kDamping)));
+  }
+};
+
+}  // namespace
+
+MapperFactory PlainMapper() {
+  return [] { return std::make_unique<PlainPageRankMapper>(); };
+}
+
+ReducerFactory PlainReducer() {
+  return [] { return std::make_unique<PlainPageRankReducer>(); };
+}
+
+MapperFactory HaLoopIdentityMapper() {
+  return [] { return std::make_unique<IdentityMapper>(); };
+}
+
+ReducerFactory HaLoopJoinReducer() {
+  return [] { return std::make_unique<HaLoopJoinReducerImpl>(); };
+}
+
+ReducerFactory HaLoopSumReducer() {
+  return [] { return std::make_unique<HaLoopSumReducerImpl>(); };
+}
+
+}  // namespace pagerank
+}  // namespace i2mr

@@ -1,0 +1,59 @@
+// PageRank (paper Algorithm 2): one-to-one correlation between structure
+// (vertex -> out-neighbor set) and state (vertex -> ranking score).
+//
+//   Map:    <i, Ni|Ri>  ->  <j, Ri/|Ni|> for each j in Ni
+//   Reduce: <j, {Ri,j}> ->  Rj = d * sum + (1 - d)
+//
+// Provides the i2MapReduce iterative formulation, the plain-MapReduce
+// formulation (mixed structure|state records re-shuffled every iteration),
+// the HaLoop two-job formulation (Algorithm 5), and a sequential reference.
+#ifndef I2MR_APPS_PAGERANK_H_
+#define I2MR_APPS_PAGERANK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/iter_engine.h"
+#include "mr/api.h"
+
+namespace i2mr {
+namespace pagerank {
+
+inline constexpr double kDamping = 0.85;
+
+/// Iterative job spec for IterativeEngine / IncrementalIterativeEngine.
+/// Graph encoding: SK = padded vertex id, SV = "j1 j2 ..." (see
+/// data/graph_gen.h); DV = decimal rank.
+IterJobSpec MakeIterSpec(const std::string& name, int num_partitions,
+                         int max_iterations = 50, double epsilon = 1e-6);
+
+/// Sequential reference: power iteration with the same semantics
+/// (Rj = d * sum_i Ri/|Ni| + (1-d), every vertex rescored per iteration).
+std::vector<KV> Reference(const std::vector<KV>& graph, int max_iterations,
+                          double epsilon);
+
+/// Mean relative error of `state` vs `reference` (Fig. 10b metric).
+double MeanError(const std::vector<KV>& state, const std::vector<KV>& reference);
+
+// -- Plain MapReduce formulation (Algorithm 2 on vanilla MapReduce) ----------
+
+/// Mixed input record value "j1 j2|rank".
+std::string MixedValue(const std::string& adj, double rank);
+
+/// Mapper/reducer for one plain-MR PageRank iteration over mixed records.
+MapperFactory PlainMapper();
+ReducerFactory PlainReducer();
+
+// -- HaLoop formulation (Algorithm 5: two jobs per iteration) ----------------
+// Structure records: <i, "S" + adjacency>; state records: <i, "R" + rank>.
+
+MapperFactory HaLoopIdentityMapper();
+/// Job 1 reduce: join rank with out-edges, emit <j, contribution>.
+ReducerFactory HaLoopJoinReducer();
+/// Job 2 reduce: sum contributions, emit <j, "R" + new rank>.
+ReducerFactory HaLoopSumReducer();
+
+}  // namespace pagerank
+}  // namespace i2mr
+
+#endif  // I2MR_APPS_PAGERANK_H_

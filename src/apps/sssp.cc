@@ -1,0 +1,249 @@
+#include "apps/sssp.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <queue>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "data/graph_gen.h"
+
+namespace i2mr {
+namespace sssp {
+namespace {
+
+double ParseDist(const std::string& s) {
+  if (s.empty()) return kInf;
+  auto d = ParseDouble(s);
+  I2MR_CHECK(d.ok()) << "bad distance: " << s;
+  return *d;
+}
+
+class SsspMapper : public IterMapper {
+ public:
+  void Map(const std::string& /*sk*/, const std::string& sv,
+           const std::string& /*dk*/, const std::string& dv,
+           MapContext* ctx) override {
+    double dist = ParseDist(dv);
+    if (dist >= kInf) return;  // unreachable: nothing to relax
+    for (const auto& [j, w] : ParseWeightedAdjacency(sv)) {
+      ctx->Emit(j, FormatDouble(dist + w));
+    }
+  }
+};
+
+class SsspReducer : public IterReducer {
+ public:
+  explicit SsspReducer(std::string source) : source_(std::move(source)) {}
+
+  std::string Reduce(const std::string& dk,
+                     const std::vector<std::string>& values,
+                     const std::string* /*prev_dv*/) override {
+    double best = dk == source_ ? 0.0 : kInf;
+    for (const auto& v : values) best = std::min(best, ParseDist(v));
+    return FormatDouble(best);
+  }
+
+ private:
+  std::string source_;
+};
+
+}  // namespace
+
+IterJobSpec MakeIterSpec(const std::string& name, const std::string& source,
+                         int num_partitions, int max_iterations) {
+  IterJobSpec spec;
+  spec.name = name;
+  spec.num_partitions = num_partitions;
+  spec.projector = std::make_shared<IdentityProjector>();
+  spec.mapper = [] { return std::make_unique<SsspMapper>(); };
+  spec.reducer = [source] { return std::make_unique<SsspReducer>(source); };
+  spec.difference = [](const std::string& cur, const std::string& prev) {
+    double c = ParseDist(cur), p = ParseDist(prev);
+    if (c >= kInf && p >= kInf) return 0.0;
+    if (c >= kInf || p >= kInf) return kInf;
+    return std::abs(c - p);
+  };
+  spec.init_state = [source](const std::string& dk) {
+    return FormatDouble(dk == source ? 0.0 : kInf);
+  };
+  spec.max_iterations = max_iterations;
+  spec.convergence_epsilon = 0.0;  // exact fixpoint
+  spec.reduce_untouched_keys = false;
+  return spec;
+}
+
+std::vector<KV> Reference(const std::vector<KV>& graph,
+                          const std::string& source) {
+  std::map<std::string, std::vector<std::pair<std::string, double>>> adj;
+  std::map<std::string, double> dist;
+  for (const auto& kv : graph) {
+    adj[kv.key] = ParseWeightedAdjacency(kv.value);
+    dist.emplace(kv.key, kInf);
+    for (const auto& [j, w] : adj[kv.key]) {
+      (void)w;
+      dist.emplace(j, kInf);
+    }
+  }
+  using Item = std::pair<double, std::string>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  if (dist.count(source) > 0) {
+    dist[source] = 0;
+    pq.push({0, source});
+  }
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    for (const auto& [v, w] : it->second) {
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        pq.push({dist[v], v});
+      }
+    }
+  }
+  std::vector<KV> out;
+  for (const auto& [k, d] : dist) out.push_back(KV{k, FormatDouble(d)});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Plain / HaLoop formulations
+// ---------------------------------------------------------------------------
+
+std::string MixedValue(const std::string& edges, double dist) {
+  return edges + "|" + FormatDouble(dist);
+}
+
+namespace {
+
+class PlainSsspMapper : public Mapper {
+ public:
+  void Map(const std::string& key, const std::string& value,
+           MapContext* ctx) override {
+    size_t bar = value.rfind('|');
+    I2MR_CHECK(bar != std::string::npos) << "bad mixed sssp record";
+    std::string edges = value.substr(0, bar);
+    double dist = ParseDist(value.substr(bar + 1));
+    ctx->Emit(key, "S" + edges);
+    if (dist >= kInf) return;
+    for (const auto& [j, w] : ParseWeightedAdjacency(edges)) {
+      ctx->Emit(j, "R" + FormatDouble(dist + w));
+    }
+  }
+};
+
+class PlainSsspReducer : public Reducer {
+ public:
+  explicit PlainSsspReducer(std::string source) : source_(std::move(source)) {}
+
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    std::string edges;
+    double best = key == source_ ? 0.0 : kInf;
+    for (const auto& v : values) {
+      if (v[0] == 'S') {
+        edges = v.substr(1);
+      } else {
+        best = std::min(best, ParseDist(v.substr(1)));
+      }
+    }
+    ctx->Emit(key, MixedValue(edges, best));
+  }
+
+ private:
+  std::string source_;
+};
+
+class SsspIdentityMapper : public Mapper {
+ public:
+  void Map(const std::string& key, const std::string& value,
+           MapContext* ctx) override {
+    ctx->Emit(key, value);
+  }
+};
+
+class HaLoopSsspJoinReducer : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    std::string edges;
+    double dist = kInf;
+    for (const auto& v : values) {
+      if (v[0] == 'S') {
+        edges = v.substr(1);
+      } else {
+        dist = ParseDist(v.substr(1));
+      }
+    }
+    ctx->Emit(key, "K");  // keep-alive so every vertex reaches job 2
+    if (dist >= kInf) return;
+    for (const auto& [j, w] : ParseWeightedAdjacency(edges)) {
+      ctx->Emit(j, FormatDouble(dist + w));
+    }
+  }
+};
+
+class HaLoopSsspMinReducer : public Reducer {
+ public:
+  explicit HaLoopSsspMinReducer(std::string source)
+      : source_(std::move(source)) {}
+
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    double best = key == source_ ? 0.0 : kInf;
+    for (const auto& v : values) {
+      if (v == "K") continue;
+      best = std::min(best, ParseDist(v));
+    }
+    ctx->Emit(key, "R" + FormatDouble(best));
+  }
+
+ private:
+  std::string source_;
+};
+
+}  // namespace
+
+MapperFactory PlainMapper() {
+  return [] { return std::make_unique<PlainSsspMapper>(); };
+}
+
+ReducerFactory PlainReducer(const std::string& source) {
+  return [source] { return std::make_unique<PlainSsspReducer>(source); };
+}
+
+MapperFactory HaLoopIdentityMapper() {
+  return [] { return std::make_unique<SsspIdentityMapper>(); };
+}
+
+ReducerFactory HaLoopJoinReducer() {
+  return [] { return std::make_unique<HaLoopSsspJoinReducer>(); };
+}
+
+ReducerFactory HaLoopMinReducer(const std::string& source) {
+  return [source] { return std::make_unique<HaLoopSsspMinReducer>(source); };
+}
+
+double ErrorRate(const std::vector<KV>& state, const std::vector<KV>& reference,
+                 double tol) {
+  std::map<std::string, double> ref;
+  for (const auto& kv : reference) ref[kv.key] = ParseDist(kv.value);
+  if (ref.empty()) return 0;
+  std::map<std::string, double> got_map;
+  for (const auto& kv : state) got_map[kv.key] = ParseDist(kv.value);
+  size_t wrong = 0;
+  for (const auto& [k, d] : ref) {
+    auto it = got_map.find(k);
+    double got = it == got_map.end() ? kInf : it->second;
+    bool both_inf = got >= kInf && d >= kInf;
+    if (!both_inf && std::abs(got - d) > tol) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(ref.size());
+}
+
+}  // namespace sssp
+}  // namespace i2mr

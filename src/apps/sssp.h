@@ -1,0 +1,54 @@
+// Single-Source Shortest Path (one-to-one correlation): iterative distance
+// relaxation over a weighted graph.
+//
+//   Map:    <i, edges|di>  ->  <j, di + w(i,j)> for each out-edge
+//   Reduce: <j, {cand}>    ->  dj = min(cands, j == source ? 0 : inf)
+//
+// With filter threshold 0 the incremental refresh propagates only vertices
+// whose distance actually changed, so results are exact (paper §8.2).
+#ifndef I2MR_APPS_SSSP_H_
+#define I2MR_APPS_SSSP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/iter_engine.h"
+
+namespace i2mr {
+namespace sssp {
+
+/// "Infinite" distance sentinel (unreachable).
+inline constexpr double kInf = 1e30;
+
+/// Iterative spec. Graph encoding: SV = "j1:w1 j2:w2" (data/graph_gen.h
+/// weighted form); DV = decimal distance.
+IterJobSpec MakeIterSpec(const std::string& name, const std::string& source,
+                         int num_partitions, int max_iterations = 100);
+
+/// Sequential Dijkstra reference. Returns distances for every vertex
+/// reachable from `source` plus all structure keys (unreachable = kInf).
+std::vector<KV> Reference(const std::vector<KV>& graph,
+                          const std::string& source);
+
+/// Fraction of vertices whose engine distance differs from the reference by
+/// more than `tol` (0 for an exact refresh).
+double ErrorRate(const std::vector<KV>& state, const std::vector<KV>& reference,
+                 double tol = 1e-9);
+
+// -- Plain MapReduce formulation (mixed "edges|dist" records) ----------------
+
+std::string MixedValue(const std::string& edges, double dist);
+MapperFactory PlainMapper();
+ReducerFactory PlainReducer(const std::string& source);
+
+// -- HaLoop two-job formulation ----------------------------------------------
+// Structure records: <i, "S" + edges>; state records: <i, "R" + dist>.
+
+MapperFactory HaLoopIdentityMapper();
+ReducerFactory HaLoopJoinReducer();
+ReducerFactory HaLoopMinReducer(const std::string& source);
+
+}  // namespace sssp
+}  // namespace i2mr
+
+#endif  // I2MR_APPS_SSSP_H_

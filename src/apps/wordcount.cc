@@ -1,0 +1,86 @@
+#include "apps/wordcount.h"
+
+#include <memory>
+
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace i2mr {
+namespace wordcount {
+namespace {
+
+class WordCountMapper : public Mapper {
+ public:
+  void Map(const std::string& /*key*/, const std::string& value,
+           MapContext* ctx) override {
+    for (const auto& w : Tokenize(value)) ctx->Emit(w, "1");
+  }
+};
+
+// MRBG-mode mapper: one emission per distinct word per document (an
+// MRBGraph edge (K2, MK) is unique per Map instance, so per-word counts are
+// pre-aggregated within the document).
+class DocWordCountMapper : public Mapper {
+ public:
+  void Map(const std::string& /*key*/, const std::string& value,
+           MapContext* ctx) override {
+    std::map<std::string, uint64_t> local;
+    for (const auto& w : Tokenize(value)) local[w]++;
+    for (const auto& [w, c] : local) ctx->Emit(w, std::to_string(c));
+  }
+};
+
+class SumReducer : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    uint64_t total = 0;
+    for (const auto& v : values) total += *ParseNum(v);
+    ctx->Emit(key, std::to_string(total));
+  }
+};
+
+}  // namespace
+
+IncrJobSpec MakeSpec(const std::string& name, int num_reduce_tasks) {
+  IncrJobSpec spec;
+  spec.name = name;
+  spec.num_reduce_tasks = num_reduce_tasks;
+  spec.mapper = [] { return std::make_unique<WordCountMapper>(); };
+  spec.accumulate = [](const std::string& cur, const std::string& delta) {
+    return std::to_string(*ParseNum(cur) + *ParseNum(delta));
+  };
+  return spec;
+}
+
+IncrJobSpec MakeMrbgSpec(const std::string& name, int num_reduce_tasks) {
+  IncrJobSpec spec;
+  spec.name = name;
+  spec.num_reduce_tasks = num_reduce_tasks;
+  spec.mapper = [] { return std::make_unique<DocWordCountMapper>(); };
+  spec.reducer = [] { return std::make_unique<SumReducer>(); };
+  return spec;
+}
+
+std::map<std::string, uint64_t> Reference(const std::vector<KV>& docs) {
+  std::map<std::string, uint64_t> counts;
+  for (const auto& kv : docs) {
+    for (const auto& w : Tokenize(kv.value)) counts[w]++;
+  }
+  return counts;
+}
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    size_t j = text.find(' ', i);
+    if (j == std::string::npos) j = text.size();
+    if (j > i) out.push_back(text.substr(i, j - i));
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace wordcount
+}  // namespace i2mr

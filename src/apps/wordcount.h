@@ -1,0 +1,33 @@
+// WordCount: the canonical accumulator-Reduce example (paper §3.5 —
+// "A well-known example is WordCount. The Reduce function ... uses an
+// integer sum operation").
+#ifndef I2MR_APPS_WORDCOUNT_H_
+#define I2MR_APPS_WORDCOUNT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+#include "core/incr_job.h"
+
+namespace i2mr {
+namespace wordcount {
+
+/// IncrJobSpec in accumulator mode (integer-sum '⊕').
+IncrJobSpec MakeSpec(const std::string& name, int num_reduce_tasks);
+
+/// IncrJobSpec in MRBGraph mode (same semantics, preserves fine-grain
+/// state; supports deletions) — used to cross-check the two engines.
+IncrJobSpec MakeMrbgSpec(const std::string& name, int num_reduce_tasks);
+
+/// Sequential reference.
+std::map<std::string, uint64_t> Reference(const std::vector<KV>& docs);
+
+/// Tokenize on single spaces.
+std::vector<std::string> Tokenize(const std::string& text);
+
+}  // namespace wordcount
+}  // namespace i2mr
+
+#endif  // I2MR_APPS_WORDCOUNT_H_

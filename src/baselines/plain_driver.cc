@@ -1,0 +1,50 @@
+#include "baselines/plain_driver.h"
+
+#include "common/timer.h"
+#include "io/env.h"
+
+namespace i2mr {
+
+PlainIterResult RunPlainIterations(LocalCluster* cluster,
+                                   const PlainIterSpec& spec,
+                                   const std::string& input_dataset) {
+  PlainIterResult result;
+  result.metrics = std::make_shared<StageMetrics>();
+  WallTimer wall;
+
+  auto inputs = cluster->dfs()->Parts(input_dataset);
+  if (!inputs.ok()) {
+    result.status = inputs.status();
+    return result;
+  }
+  std::vector<std::string> current = *inputs;
+
+  for (int it = 1; it <= spec.num_iterations; ++it) {
+    std::string out_dataset = spec.name + "-it" + std::to_string(it);
+    Status st = cluster->dfs()->CreateDataset(out_dataset);
+    if (!st.ok()) {
+      result.status = st;
+      return result;
+    }
+    JobSpec job;
+    job.name = spec.name + "-it" + std::to_string(it);
+    job.input_parts = current;
+    job.mapper = spec.mapper;
+    job.reducer = spec.reducer;
+    job.num_reduce_tasks = spec.num_reduce_tasks;
+    job.output_dir = cluster->dfs()->DatasetPath(out_dataset);
+    JobResult jr = cluster->RunJob(job);
+    if (!jr.ok()) {
+      result.status = jr.status;
+      return result;
+    }
+    result.metrics->Add(*jr.metrics);
+    current = jr.output_parts;
+  }
+  result.final_parts = std::move(current);
+  result.wall_ms = wall.ElapsedMillis();
+  result.status = Status::OK();
+  return result;
+}
+
+}  // namespace i2mr

@@ -1,0 +1,46 @@
+// PlainMR baseline ("PlainMR recomp." in §8): re-computation on vanilla
+// MapReduce. Every iteration is a fresh job that reads the mixed
+// structure|state dataset from the Dfs (paying the remote read), re-parses
+// it, shuffles structure data along with state data, and pays the per-job
+// startup cost. PlainIterDriver runs single-job-per-iteration algorithms
+// (PageRank Algorithm 2, SSSP); TwoJobIterDriver (haloop_driver.h) covers
+// two-job-per-iteration formulations.
+#ifndef I2MR_BASELINES_PLAIN_DRIVER_H_
+#define I2MR_BASELINES_PLAIN_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "mr/cluster.h"
+
+namespace i2mr {
+
+struct PlainIterSpec {
+  std::string name = "plain";
+  MapperFactory mapper;
+  ReducerFactory reducer;
+  int num_reduce_tasks = 4;
+  int num_iterations = 10;
+};
+
+struct PlainIterResult {
+  Status status;
+  double wall_ms = 0;
+  std::shared_ptr<StageMetrics> metrics;  // accumulated over all iterations
+  /// Output parts of the final iteration.
+  std::vector<std::string> final_parts;
+  bool ok() const { return status.ok(); }
+};
+
+/// Runs `num_iterations` chained jobs: iteration k reads the previous
+/// iteration's output dataset and writes `<name>-it<k>`.
+PlainIterResult RunPlainIterations(LocalCluster* cluster,
+                                   const PlainIterSpec& spec,
+                                   const std::string& input_dataset);
+
+}  // namespace i2mr
+
+#endif  // I2MR_BASELINES_PLAIN_DRIVER_H_

@@ -1,0 +1,45 @@
+#include "common/codec.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace i2mr {
+
+std::string PaddedNum(uint64_t v, int width) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "%0*llu", width,
+                        static_cast<unsigned long long>(v));
+  return std::string(buf, n);
+}
+
+StatusOr<uint64_t> ParseNum(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty number");
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad digit in number: " + std::string(s));
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+StatusOr<double> ParseDouble(std::string_view s) {
+  std::string tmp(s);
+  errno = 0;
+  char* end = nullptr;
+  double d = std::strtod(tmp.c_str(), &end);
+  if (end != tmp.c_str() + tmp.size() || errno == ERANGE) {
+    return Status::InvalidArgument("bad double: " + tmp);
+  }
+  return d;
+}
+
+std::string FormatDouble(double d) {
+  char buf[40];
+  int n = std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return std::string(buf, n);
+}
+
+}  // namespace i2mr

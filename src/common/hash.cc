@@ -1,0 +1,35 @@
+#include "common/hash.h"
+
+namespace i2mr {
+namespace {
+
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+uint64_t Hash64(const void* data, size_t n, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h ^ (n * 0x9e3779b97f4a7c15ULL));
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+uint64_t MapInstanceKey(std::string_view k1, std::string_view v1) {
+  return HashCombine(Hash64(k1), Hash64(v1, 0x8445d61a4e774912ULL));
+}
+
+}  // namespace i2mr

@@ -1,0 +1,27 @@
+// 64-bit hashing used for shuffle partitioning, chunk indexes and MK keys.
+#ifndef I2MR_COMMON_HASH_H_
+#define I2MR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace i2mr {
+
+/// 64-bit FNV-1a with an avalanche finalizer (splitmix64 mix). Stable across
+/// platforms and runs; do not change without regenerating persisted indexes.
+uint64_t Hash64(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ULL);
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// Combine two hashes (order-sensitive).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// Globally unique Map-instance key for one-step jobs: Hash64(K1 ‖ V1).
+uint64_t MapInstanceKey(std::string_view k1, std::string_view v1);
+
+}  // namespace i2mr
+
+#endif  // I2MR_COMMON_HASH_H_

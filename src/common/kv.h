@@ -1,0 +1,44 @@
+// Core key-value record types shared by all layers.
+#ifndef I2MR_COMMON_KV_H_
+#define I2MR_COMMON_KV_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace i2mr {
+
+/// A key-value record. Keys and values are opaque byte strings; ordering is
+/// lexicographic on the key (then value, for determinism).
+struct KV {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const KV& a, const KV& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+  friend bool operator<(const KV& a, const KV& b) {
+    return std::tie(a.key, a.value) < std::tie(b.key, b.value);
+  }
+};
+
+/// Delta-input operation marker (paper §3.3: '+' insert, '-' delete; an
+/// update is a deletion followed by an insertion).
+enum class DeltaOp : uint8_t { kInsert = '+', kDelete = '-' };
+
+/// One record of a delta input file.
+struct DeltaKV {
+  DeltaOp op = DeltaOp::kInsert;
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const DeltaKV& a, const DeltaKV& b) {
+    return a.op == b.op && a.key == b.key && a.value == b.value;
+  }
+};
+
+inline char DeltaOpChar(DeltaOp op) { return static_cast<char>(op); }
+
+}  // namespace i2mr
+
+#endif  // I2MR_COMMON_KV_H_

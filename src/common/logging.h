@@ -1,0 +1,66 @@
+// Minimal leveled logging + CHECK macros.
+#ifndef I2MR_COMMON_LOGGING_H_
+#define I2MR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace i2mr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are dropped. Default kWarn so the
+/// library is quiet in tests; benches raise verbosity explicitly.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // Emits the message; aborts on kFatal.
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  // Swallows the stream when the level is disabled.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace i2mr
+
+#define I2MR_LOG(level)                                                   \
+  (::i2mr::LogLevel::level < ::i2mr::GetLogLevel())                       \
+      ? (void)0                                                           \
+      : ::i2mr::internal::LogSink() &                                     \
+            ::i2mr::internal::LogMessage(::i2mr::LogLevel::level,         \
+                                         __FILE__, __LINE__)              \
+                .stream()
+
+#define LOG_DEBUG I2MR_LOG(kDebug)
+#define LOG_INFO I2MR_LOG(kInfo)
+#define LOG_WARN I2MR_LOG(kWarn)
+#define LOG_ERROR I2MR_LOG(kError)
+
+#define I2MR_CHECK(cond)                                                   \
+  (cond) ? (void)0                                                        \
+         : ::i2mr::internal::LogSink() &                                  \
+               ::i2mr::internal::LogMessage(::i2mr::LogLevel::kFatal,     \
+                                            __FILE__, __LINE__)           \
+                   .stream()                                              \
+               << "Check failed: " #cond " "
+
+#define I2MR_CHECK_OK(expr)                                   \
+  do {                                                        \
+    ::i2mr::Status _st = (expr);                              \
+    I2MR_CHECK(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#endif  // I2MR_COMMON_LOGGING_H_

@@ -1,0 +1,32 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace i2mr {
+
+void StageMetrics::Add(const StageMetrics& other) {
+  map_ns += other.map_ns.load();
+  shuffle_ns += other.shuffle_ns.load();
+  sort_ns += other.sort_ns.load();
+  reduce_ns += other.reduce_ns.load();
+  map_input_records += other.map_input_records.load();
+  map_output_records += other.map_output_records.load();
+  shuffle_bytes += other.shuffle_bytes.load();
+  reduce_groups += other.reduce_groups.load();
+  reduce_output_records += other.reduce_output_records.load();
+}
+
+std::string StageMetrics::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "map=%.1fms shuffle=%.1fms sort=%.1fms reduce=%.1fms "
+                "in=%lld out=%lld shuffled=%lldB groups=%lld",
+                map_ms(), shuffle_ms(), sort_ms(), reduce_ms(),
+                static_cast<long long>(map_input_records.load()),
+                static_cast<long long>(map_output_records.load()),
+                static_cast<long long>(shuffle_bytes.load()),
+                static_cast<long long>(reduce_groups.load()));
+  return buf;
+}
+
+}  // namespace i2mr

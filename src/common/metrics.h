@@ -1,0 +1,57 @@
+// Per-stage metrics collected by the MapReduce engine. These are the
+// quantities Fig. 9 / Table 4 of the paper report.
+#ifndef I2MR_COMMON_METRICS_H_
+#define I2MR_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace i2mr {
+
+/// Accumulated across all tasks of one job (or one iteration). Thread-safe:
+/// tasks add into the atomics concurrently.
+struct StageMetrics {
+  // Wall time spent inside each stage, summed over tasks (nanoseconds).
+  std::atomic<int64_t> map_ns{0};
+  std::atomic<int64_t> shuffle_ns{0};  // transferring map outputs to reducers
+  std::atomic<int64_t> sort_ns{0};     // map-side sort + reduce-side merge
+  std::atomic<int64_t> reduce_ns{0};
+
+  // Volumes.
+  std::atomic<int64_t> map_input_records{0};
+  std::atomic<int64_t> map_output_records{0};
+  std::atomic<int64_t> shuffle_bytes{0};
+  std::atomic<int64_t> reduce_groups{0};
+  std::atomic<int64_t> reduce_output_records{0};
+
+  void Clear() {
+    map_ns = 0;
+    shuffle_ns = 0;
+    sort_ns = 0;
+    reduce_ns = 0;
+    map_input_records = 0;
+    map_output_records = 0;
+    shuffle_bytes = 0;
+    reduce_groups = 0;
+    reduce_output_records = 0;
+  }
+
+  /// Accumulate another job's metrics into this one.
+  void Add(const StageMetrics& other);
+
+  double map_ms() const { return map_ns.load() / 1e6; }
+  double shuffle_ms() const { return shuffle_ns.load() / 1e6; }
+  double sort_ms() const { return sort_ns.load() / 1e6; }
+  double reduce_ms() const { return reduce_ns.load() / 1e6; }
+  double total_ms() const {
+    return (map_ns.load() + shuffle_ns.load() + sort_ns.load() +
+            reduce_ns.load()) / 1e6;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_COMMON_METRICS_H_

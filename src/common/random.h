@@ -1,0 +1,55 @@
+// Deterministic random generators for synthetic dataset generation.
+#ifndef I2MR_COMMON_RANDOM_H_
+#define I2MR_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace i2mr {
+
+/// splitmix64-seeded xorshift128+ generator. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Gaussian with the given mean / stddev.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_, s1_;
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with exponent `skew`.
+/// Precomputes the CDF; Sample() is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double skew);
+
+  uint64_t Sample(Rng* rng) const;
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_COMMON_RANDOM_H_

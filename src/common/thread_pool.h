@@ -1,0 +1,47 @@
+// Fixed-size worker pool used by the LocalCluster to emulate TaskTrackers.
+#ifndef I2MR_COMMON_THREAD_POOL_H_
+#define I2MR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace i2mr {
+
+/// Fixed pool of worker threads draining a FIFO task queue.
+/// Submit() enqueues; WaitIdle() blocks until queue empty and all workers
+/// idle. Destruction drains remaining tasks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> fn);
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Run `fn(i)` for i in [0, n) on `pool`, blocking until all complete.
+void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn);
+
+}  // namespace i2mr
+
+#endif  // I2MR_COMMON_THREAD_POOL_H_

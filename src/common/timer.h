@@ -1,0 +1,48 @@
+// Wall-clock timing helpers (header-only).
+#ifndef I2MR_COMMON_TIMER_H_
+#define I2MR_COMMON_TIMER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace i2mr {
+
+/// Monotonic nanosecond clock.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  int64_t start_;
+};
+
+/// Adds the scope's duration to an atomic nanosecond accumulator on exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::atomic<int64_t>* sink)
+      : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimer() { sink_->fetch_add(NowNanos() - start_, std::memory_order_relaxed); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::atomic<int64_t>* sink_;
+  int64_t start_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_COMMON_TIMER_H_

@@ -1,0 +1,677 @@
+#include "core/incr_iter_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/delta.h"
+#include "io/env.h"
+#include "io/record_file.h"
+
+namespace i2mr {
+namespace {
+
+std::string SpillFileName(int r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "part-%05d.dat", r);
+  return buf;
+}
+
+std::string MapTaskDir(const std::string& job_dir, int m) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "map-%05d", m);
+  return JoinPath(job_dir, buf);
+}
+
+// MapContext tagging emissions with (MK, op) for MRBGraph maintenance.
+class TaggingMapContext : public MapContext {
+ public:
+  explicit TaggingMapContext(MapContext* inner) : inner_(inner) {}
+  void Begin(uint64_t mk, bool deleted) {
+    mk_ = mk;
+    deleted_ = deleted;
+  }
+  void Emit(std::string_view key, std::string_view value) override {
+    inner_->Emit(key, EncodeEdgeValue(mk_, deleted_,
+                                      deleted_ ? std::string_view() : value));
+  }
+
+ private:
+  MapContext* inner_;
+  uint64_t mk_ = 0;
+  bool deleted_ = false;
+};
+
+}  // namespace
+
+IncrementalIterativeEngine::IncrementalIterativeEngine(LocalCluster* cluster,
+                                                       IterJobSpec spec,
+                                                       IncrIterOptions options)
+    : IterativeEngine(cluster, std::move(spec)), options_(std::move(options)) {}
+
+std::string IncrementalIterativeEngine::MrbgDir(int r) const {
+  return JoinPath(PartitionDir(r), "mrbg");
+}
+
+bool IncrementalIterativeEngine::ShouldFail(int iter, TaskId::Kind kind,
+                                            int p) {
+  if (!options_.fail_hook) return false;
+  std::string key = std::to_string(iter) + ":" +
+                    (kind == TaskId::Kind::kMap ? "m" : "r") + ":" +
+                    std::to_string(p);
+  std::lock_guard<std::mutex> lock(fail_mu_);
+  if (failed_once_.count(key) > 0) return false;
+  if (!options_.fail_hook(iter, kind, p)) return false;
+  failed_once_.insert(key);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Structure maintenance
+// ---------------------------------------------------------------------------
+
+Status IncrementalIterativeEngine::LoadStructures(
+    std::vector<PartitionCtx>* ctxs) const {
+  ctxs->clear();
+  ctxs->resize(spec_.num_partitions);
+  for (int p = 0; p < spec_.num_partitions; ++p) {
+    auto recs = ReadRecords(StructurePath(p));
+    if (!recs.ok()) return recs.status();
+    (*ctxs)[p].structure = std::move(*recs);
+    BuildRanges(&(*ctxs)[p]);
+  }
+  return Status::OK();
+}
+
+void IncrementalIterativeEngine::BuildRanges(PartitionCtx* ctx) const {
+  ctx->dk_ranges.clear();
+  const auto& recs = ctx->structure;
+  size_t i = 0;
+  while (i < recs.size()) {
+    std::string dk = spec_.projector->Project(recs[i].key);
+    size_t j = i + 1;
+    while (j < recs.size() && spec_.projector->Project(recs[j].key) == dk) ++j;
+    ctx->dk_ranges[dk] = {i, j};
+    i = j;
+  }
+}
+
+Status IncrementalIterativeEngine::ApplyStructureDelta(
+    const std::vector<std::vector<DeltaKV>>& per_part,
+    std::vector<PartitionCtx>* ctxs) {
+  for (int p = 0; p < spec_.num_partitions; ++p) {
+    auto& ctx = (*ctxs)[p];
+    bool dirty = false;
+    for (const auto& d : per_part[p]) {
+      if (d.op == DeltaOp::kDelete) {
+        auto it = std::find(ctx.structure.begin(), ctx.structure.end(),
+                            KV{d.key, d.value});
+        if (it != ctx.structure.end()) {
+          ctx.structure.erase(it);
+          dirty = true;
+        } else {
+          LOG_WARN << "delta deletes unknown structure record sk=" << d.key;
+        }
+      } else {
+        ctx.structure.push_back(KV{d.key, d.value});
+        dirty = true;
+      }
+    }
+    if (dirty) {
+      std::sort(ctx.structure.begin(), ctx.structure.end(),
+                [&](const KV& a, const KV& b) {
+                  std::string pa = spec_.projector->Project(a.key);
+                  std::string pb = spec_.projector->Project(b.key);
+                  if (pa != pb) return pa < pb;
+                  return a < b;
+                });
+      I2MR_RETURN_IF_ERROR(WriteRecords(StructurePath(p), ctx.structure));
+      BuildRanges(&ctx);
+    }
+  }
+  InvalidateStructureCache();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MRBGraph preservation / store lifecycle
+// ---------------------------------------------------------------------------
+
+Status IncrementalIterativeEngine::OpenStores() {
+  stores_.clear();
+  stores_.resize(spec_.num_partitions);
+  for (int r = 0; r < spec_.num_partitions; ++r) {
+    auto s = MRBGStore::Open(MrbgDir(r), options_.store_options);
+    if (!s.ok()) return s.status();
+    stores_[r] = std::move(s.value());
+  }
+  return Status::OK();
+}
+
+Status IncrementalIterativeEngine::CloseStores(IncrIterRunStats* stats) {
+  for (auto& s : stores_) {
+    if (s == nullptr) continue;
+    if (stats != nullptr) {
+      stats->store_io_reads += s->stats().io_reads;
+      stats->store_bytes_read += s->stats().bytes_read;
+    }
+    I2MR_RETURN_IF_ERROR(s->PersistIndex());
+    I2MR_RETURN_IF_ERROR(s->Close());
+  }
+  stores_.clear();
+  return Status::OK();
+}
+
+Status IncrementalIterativeEngine::CompactMRBGraph() {
+  const bool were_open = !stores_.empty();
+  if (!were_open) I2MR_RETURN_IF_ERROR(OpenStores());
+  std::vector<Status> statuses(spec_.num_partitions);
+  ParallelFor(cluster_->pool(), spec_.num_partitions, [&](int r) {
+    statuses[r] = stores_[r] != nullptr ? stores_[r]->Compact() : Status::OK();
+  });
+  for (const auto& st : statuses) I2MR_RETURN_IF_ERROR(st);
+  if (!were_open) I2MR_RETURN_IF_ERROR(CloseStores(nullptr));
+  return Status::OK();
+}
+
+StatusOr<uint64_t> IncrementalIterativeEngine::MrbgFileBytes() const {
+  uint64_t total = 0;
+  for (int r = 0; r < spec_.num_partitions; ++r) {
+    std::string path = JoinPath(MrbgDir(r), "mrbg.dat");
+    if (!FileExists(path)) continue;
+    auto sz = FileSize(path);
+    if (!sz.ok()) return sz.status();
+    total += *sz;
+  }
+  return total;
+}
+
+Status IncrementalIterativeEngine::PreserveMRBGraph(double* elapsed_ms) {
+  WallTimer timer;
+  const int n = spec_.num_partitions;
+  std::string job_dir = cluster_->NewJobDir(spec_.name + "-preserve");
+  StageMetrics metrics;
+  Partitioner hash_partitioner;
+
+  std::vector<Status> map_status(n);
+  ParallelFor(cluster_->pool(), n, [&](int p) {
+    map_status[p] = [&]() -> Status {
+      auto mapper = spec_.mapper();
+      ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p));
+      TaggingMapContext ctx(&writer);
+      ctx.Begin(Hash64("__setup__"), false);
+      mapper->Setup(&ctx);
+      I2MR_RETURN_IF_ERROR(ForEachStructureRecord(
+          p, [&](const std::string& sk, const std::string& sv,
+                 const std::string& dk, const std::string& dv) {
+            ctx.Begin(MapInstanceKey(sk, sv), false);
+            mapper->Map(sk, sv, dk, dv, &ctx);
+            return Status::OK();
+          }));
+      ctx.Begin(Hash64("__flush__"), false);
+      mapper->Flush(&ctx);
+      return writer.Finish(nullptr, &metrics);
+    }();
+  });
+  for (const auto& st : map_status) I2MR_RETURN_IF_ERROR(st);
+
+  std::vector<Status> reduce_status(n);
+  ParallelFor(cluster_->pool(), n, [&](int r) {
+    reduce_status[r] = [&]() -> Status {
+      I2MR_RETURN_IF_ERROR(ResetDir(MrbgDir(r)));
+      auto store = MRBGStore::Open(MrbgDir(r), options_.store_options);
+      if (!store.ok()) return store.status();
+      std::vector<std::string> spills;
+      for (int m = 0; m < n; ++m) {
+        spills.push_back(JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
+      }
+      auto reader = ShuffleReader::Open(spills, cluster_->cost(), &metrics);
+      if (!reader.ok()) return reader.status();
+      std::string key;
+      std::vector<std::string> values;
+      while (reader.value()->NextGroup(&key, &values)) {
+        Chunk chunk;
+        chunk.key = key;
+        chunk.entries.reserve(values.size());
+        for (const auto& enc : values) {
+          DeltaEdge e;
+          I2MR_RETURN_IF_ERROR(DecodeEdgeValue(enc, &e));
+          chunk.entries.push_back(ChunkEntry{e.mk, std::move(e.v2)});
+        }
+        I2MR_RETURN_IF_ERROR(store.value()->AppendChunk(chunk));
+      }
+      I2MR_RETURN_IF_ERROR(store.value()->FinishBatch());
+      return store.value()->Close();
+    }();
+  });
+  for (const auto& st : reduce_status) I2MR_RETURN_IF_ERROR(st);
+
+  I2MR_RETURN_IF_ERROR(RemoveAll(job_dir));
+  mrbg_consistent_ = true;
+  if (elapsed_ms != nullptr) *elapsed_ms = timer.ElapsedMillis();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing and recovery (§6.1)
+// ---------------------------------------------------------------------------
+
+Status IncrementalIterativeEngine::Checkpoint(int iteration) {
+  I2MR_RETURN_IF_ERROR(SaveStates());
+  Dfs* dfs = cluster_->dfs();
+  std::string base = spec_.name + "/it" + std::to_string(iteration);
+  for (int p = 0; p < spec_.num_partitions; ++p) {
+    std::string tag = "-p" + std::to_string(p);
+    I2MR_RETURN_IF_ERROR(
+        dfs->CheckpointIn(StatePath(p), base + "/state" + tag));
+    if (stores_.size() > static_cast<size_t>(p) && stores_[p] != nullptr) {
+      // Flush pending appends so the on-disk files are complete.
+      I2MR_RETURN_IF_ERROR(stores_[p]->FinishBatch());
+      I2MR_RETURN_IF_ERROR(
+          dfs->CheckpointIn(stores_[p]->data_path(), base + "/mrbg.dat" + tag));
+      I2MR_RETURN_IF_ERROR(
+          dfs->CheckpointIn(stores_[p]->index_path(), base + "/mrbg.idx" + tag));
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalIterativeEngine::RestorePartition(int iteration,
+                                                    int partition) {
+  Dfs* dfs = cluster_->dfs();
+  std::string base = spec_.name + "/it" + std::to_string(iteration);
+  std::string tag = "-p" + std::to_string(partition);
+  if (!dfs->CheckpointExists(base + "/state" + tag)) {
+    return Status::NotFound("no checkpoint for iteration " +
+                            std::to_string(iteration));
+  }
+  I2MR_RETURN_IF_ERROR(
+      dfs->CheckpointOut(base + "/state" + tag, StatePath(partition)));
+  I2MR_RETURN_IF_ERROR(states_[partition]->Load());
+  if (stores_.size() > static_cast<size_t>(partition) &&
+      stores_[partition] != nullptr &&
+      dfs->CheckpointExists(base + "/mrbg.dat" + tag)) {
+    std::string data_path = stores_[partition]->data_path();
+    std::string index_path = stores_[partition]->index_path();
+    I2MR_RETURN_IF_ERROR(stores_[partition]->Close());
+    stores_[partition].reset();
+    I2MR_RETURN_IF_ERROR(dfs->CheckpointOut(base + "/mrbg.dat" + tag, data_path));
+    I2MR_RETURN_IF_ERROR(dfs->CheckpointOut(base + "/mrbg.idx" + tag, index_path));
+    auto s = MRBGStore::Open(MrbgDir(partition), options_.store_options);
+    if (!s.ok()) return s.status();
+    stores_[partition] = std::move(s.value());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Incremental iterations
+// ---------------------------------------------------------------------------
+
+StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
+    int iter, std::vector<PartitionCtx>* ctxs,
+    const std::vector<std::vector<DeltaKV>>* struct_delta,
+    IncrIterRunStats* run_stats) {
+  const int n = spec_.num_partitions;
+  IterationStats stats;
+  stats.iteration = iter;
+  StageMetrics metrics;
+  WallTimer wall;
+  std::string job_dir =
+      cluster_->NewJobDir(spec_.name + "-incr-it" + std::to_string(iter));
+  Partitioner hash_partitioner;
+
+  // Take this iteration's delta-state inputs out of the contexts (the
+  // reduce phase below refills them for the next iteration).
+  std::vector<std::vector<KV>> cur_delta(n);
+  std::vector<KV> shared_delta;  // all-to-one broadcast
+  if (struct_delta == nullptr) {
+    for (int p = 0; p < n; ++p) {
+      cur_delta[p] = std::move((*ctxs)[p].delta_state);
+      (*ctxs)[p].delta_state.clear();
+    }
+    if (all_to_one()) {
+      for (auto& d : cur_delta) {
+        shared_delta.insert(shared_delta.end(), d.begin(), d.end());
+      }
+    }
+  }
+
+  std::mutex recovery_mu;
+  auto run_with_recovery = [&](TaskId::Kind kind, int p,
+                               const std::function<Status()>& task) -> Status {
+    if (ShouldFail(iter, kind, p)) {
+      WallTimer rt;
+      Status rst = RestorePartition(iter, p);
+      if (!rst.ok() && !rst.IsNotFound()) return rst;
+      std::lock_guard<std::mutex> lock(recovery_mu);
+      run_stats->recoveries.push_back(
+          RecoveryEvent{iter, kind, p, rt.ElapsedMillis()});
+    }
+    return task();
+  };
+
+  // -- Incremental prime Map ------------------------------------------------
+  std::atomic<int64_t> map_instances{0};
+  std::vector<Status> map_status(n);
+  ParallelFor(cluster_->pool(), n, [&](int p) {
+    map_status[p] = run_with_recovery(TaskId::Kind::kMap, p, [&]() -> Status {
+      cluster_->cost().ChargeTaskStartup();
+      auto mapper = spec_.mapper();
+      ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p));
+      TaggingMapContext ctx(&writer);
+      int64_t count = 0;
+      ScopedTimer t(&metrics.map_ns);
+      ctx.Begin(Hash64("__setup__"), false);
+      mapper->Setup(&ctx);
+
+      if (struct_delta != nullptr) {
+        // Iteration 1: the delta input is the delta structure data (§5.1).
+        for (const auto& d : (*struct_delta)[p]) {
+          std::string dk = spec_.projector->Project(d.key);
+          auto dv = StateValue(p, dk);
+          if (!dv.ok()) return dv.status();
+          ctx.Begin(MapInstanceKey(d.key, d.value), d.op == DeltaOp::kDelete);
+          mapper->Map(d.key, d.value, dk, *dv, &ctx);
+          ++count;
+        }
+      } else {
+        // Iteration j >= 2: the delta input is the delta state data. Re-run
+        // the Map instances of every structure kv-pair interdependent with a
+        // changed state kv-pair.
+        const std::vector<KV>& deltas =
+            all_to_one() ? shared_delta : cur_delta[p];
+        const auto& ctxp = (*ctxs)[p];
+        for (const auto& d : deltas) {
+          auto range = ctxp.dk_ranges.find(d.key);
+          if (range == ctxp.dk_ranges.end()) continue;
+          for (size_t i = range->second.first; i < range->second.second; ++i) {
+            const KV& rec = ctxp.structure[i];
+            ctx.Begin(MapInstanceKey(rec.key, rec.value), false);
+            mapper->Map(rec.key, rec.value, d.key, d.value, &ctx);
+            ++count;
+          }
+        }
+      }
+      ctx.Begin(Hash64("__flush__"), false);
+      mapper->Flush(&ctx);
+      map_instances.fetch_add(count);
+      metrics.map_input_records += count;
+      return writer.Finish(nullptr, &metrics);
+    });
+  });
+  for (const auto& st : map_status) I2MR_RETURN_IF_ERROR(st);
+
+  // -- Incremental prime Reduce (merge against preserved MRBGraph) ----------
+  std::vector<Status> reduce_status(n);
+  std::atomic<int64_t> reduced_keys{0};
+  std::atomic<int64_t> merge_ns{0};
+  std::mutex diff_mu;
+  double total_diff = 0;
+  ParallelFor(cluster_->pool(), n, [&](int r) {
+    reduce_status[r] = run_with_recovery(TaskId::Kind::kReduce, r,
+                                         [&]() -> Status {
+      cluster_->cost().ChargeTaskStartup();
+      std::vector<std::string> spills;
+      for (int m = 0; m < n; ++m) {
+        spills.push_back(JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
+      }
+      auto reader = ShuffleReader::Open(spills, cluster_->cost(), &metrics);
+      if (!reader.ok()) return reader.status();
+
+      // Group the delta MRBGraph.
+      std::vector<std::pair<std::string, std::vector<DeltaEdge>>> groups;
+      {
+        std::string key;
+        std::vector<std::string> values;
+        while (reader.value()->NextGroup(&key, &values)) {
+          std::vector<DeltaEdge> edges;
+          edges.reserve(values.size());
+          for (const auto& enc : values) {
+            DeltaEdge e;
+            I2MR_RETURN_IF_ERROR(DecodeEdgeValue(enc, &e));
+            e.k2 = key;
+            edges.push_back(std::move(e));
+          }
+          groups.emplace_back(key, std::move(edges));
+        }
+      }
+      // Iteration 1: force reduce instances of brand-new DKs (inserted
+      // structure records whose state kv-pair does not exist yet).
+      if (struct_delta != nullptr && !(*ctxs)[r].forced_dks.empty()) {
+        std::set<std::string> present;
+        for (const auto& [k, _] : groups) present.insert(k);
+        bool added = false;
+        for (const auto& dk : (*ctxs)[r].forced_dks) {
+          if (present.insert(dk).second) {
+            groups.emplace_back(dk, std::vector<DeltaEdge>());
+            added = true;
+          }
+        }
+        if (added) {
+          std::sort(groups.begin(), groups.end(),
+                    [](const auto& a, const auto& b) { return a.first < b.first; });
+        }
+        (*ctxs)[r].forced_dks.clear();
+      }
+
+      MRBGStore* store = stores_[r].get();
+      std::vector<std::string> keys;
+      keys.reserve(groups.size());
+      for (const auto& [k, _] : groups) keys.push_back(k);
+      I2MR_RETURN_IF_ERROR(store->PrepareQueries(keys));
+
+      auto reducer = spec_.reducer();
+      auto& ctxr = (*ctxs)[r];
+      double local_diff = 0;
+      {
+        ScopedTimer t(&metrics.reduce_ns);
+        for (const auto& [dk, edges] : groups) {
+          Chunk merged;
+          {
+            ScopedTimer mt(&merge_ns);
+            I2MR_RETURN_IF_ERROR(store->MergeGroup(dk, edges, &merged));
+          }
+          std::vector<std::string> values;
+          values.reserve(merged.entries.size());
+          for (const auto& e : merged.entries) values.push_back(e.v2);
+
+          const std::string* prev = states_[r]->Get(dk);
+          std::string prev_str = prev != nullptr ? *prev
+                                : spec_.init_state ? spec_.init_state(dk)
+                                                   : std::string();
+          std::string next =
+              reducer->Reduce(dk, values, prev != nullptr ? prev : nullptr);
+          local_diff += spec_.difference(next, prev_str);
+
+          // Change propagation control (§5.3): accumulate changes since the
+          // last emission; emit only when above the filter threshold.
+          bool emit;
+          if (options_.filter_threshold < 0) {
+            emit = true;  // CPC disabled: always propagate
+          } else {
+            auto last_it = ctxr.last_emitted.find(dk);
+            const std::string& last =
+                last_it != ctxr.last_emitted.end() ? last_it->second : prev_str;
+            double accumulated = spec_.difference(next, last);
+            emit = accumulated > options_.filter_threshold;
+          }
+          if (emit) {
+            ctxr.delta_state.push_back(KV{dk, next});
+            ctxr.last_emitted[dk] = next;
+          }
+          states_[r]->Put(dk, std::move(next));
+          reduced_keys.fetch_add(1);
+        }
+      }
+      // Defer index persistence to the end of the refresh job (checkpoints
+      // persist explicitly when enabled).
+      I2MR_RETURN_IF_ERROR(store->FinishBatch(/*persist_index=*/false));
+      {
+        std::lock_guard<std::mutex> lock(diff_mu);
+        total_diff += local_diff;
+      }
+      return Status::OK();
+    });
+  });
+  for (const auto& st : reduce_status) I2MR_RETURN_IF_ERROR(st);
+
+  I2MR_RETURN_IF_ERROR(ReplicateStateAllToOne());
+  I2MR_RETURN_IF_ERROR(RemoveAll(job_dir));
+
+  int64_t propagated = 0;
+  for (int p = 0; p < n; ++p) {
+    propagated += static_cast<int64_t>((*ctxs)[p].delta_state.size());
+  }
+
+  stats.wall_ms = wall.ElapsedMillis();
+  stats.map_ms = metrics.map_ms();
+  stats.shuffle_ms = metrics.shuffle_ms();
+  stats.sort_ms = metrics.sort_ms();
+  stats.reduce_ms = metrics.reduce_ms();
+  stats.map_instances = map_instances.load();
+  stats.shuffle_bytes = metrics.shuffle_bytes.load();
+  stats.reduced_keys = reduced_keys.load();
+  stats.propagated_pairs = propagated;
+  stats.total_diff = total_diff;
+  stats.merge_ms = merge_ns.load() / 1e6;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Top-level jobs
+// ---------------------------------------------------------------------------
+
+StatusOr<IncrIterRunStats> IncrementalIterativeEngine::RunInitial(
+    const std::vector<KV>& structure, const std::vector<KV>& initial_state) {
+  IncrIterRunStats stats;
+  WallTimer wall;
+  I2MR_RETURN_IF_ERROR(Prepare(structure, initial_state));
+  auto iterations = Run();
+  if (!iterations.ok()) return iterations.status();
+  stats.iterations = std::move(iterations.value());
+  if (options_.maintain_mrbg) {
+    I2MR_RETURN_IF_ERROR(PreserveMRBGraph(&stats.preserve_ms));
+  }
+  stats.wall_ms = wall.ElapsedMillis();
+  return stats;
+}
+
+StatusOr<IncrIterRunStats> IncrementalIterativeEngine::RunIncremental(
+    const std::vector<DeltaKV>& delta_structure) {
+  IncrIterRunStats stats;
+  WallTimer wall;
+  if (!prepared_) I2MR_RETURN_IF_ERROR(LoadExisting());
+  cluster_->cost().ChargeJobStartup();
+
+  // Partition the delta structure input with partition function (2) (§4.3).
+  std::vector<std::vector<DeltaKV>> per_part(spec_.num_partitions);
+  for (const auto& d : delta_structure) {
+    uint32_t p = all_to_one()
+                     ? PartitionOf(d.key)
+                     : PartitionOf(spec_.projector->Project(d.key));
+    per_part[p].push_back(d);
+  }
+
+  std::vector<PartitionCtx> ctxs;
+  I2MR_RETURN_IF_ERROR(LoadStructures(&ctxs));
+  I2MR_RETURN_IF_ERROR(ApplyStructureDelta(per_part, &ctxs));
+
+  // Collect new DKs whose state does not exist yet (inserted structure
+  // records): their reduce instances are forced in iteration 1.
+  if (!all_to_one()) {
+    for (int p = 0; p < spec_.num_partitions; ++p) {
+      std::set<std::string> seen;
+      for (const auto& d : per_part[p]) {
+        if (d.op != DeltaOp::kInsert) continue;
+        std::string dk = spec_.projector->Project(d.key);
+        if (states_[p]->Get(dk) == nullptr && seen.insert(dk).second) {
+          ctxs[p].forced_dks.push_back(dk);
+        }
+      }
+    }
+  }
+
+  bool use_mrbg = options_.maintain_mrbg && mrbg_consistent_;
+  if (options_.maintain_mrbg && !mrbg_consistent_) {
+    // Stores exist on disk from a previous process/engine: trust them.
+    use_mrbg = true;
+  }
+
+  if (!use_mrbg) {
+    // MRBGraph maintenance off (e.g. Kmeans): re-compute iteratively from
+    // the previous converged state (§5.2).
+    stats.mrbg_turned_off = true;
+    for (int iter = 1; iter <= spec_.max_iterations; ++iter) {
+      auto it = RunFullIteration(iter);
+      if (!it.ok()) return it.status();
+      stats.iterations.push_back(std::move(it.value()));
+      if (stats.iterations.back().total_diff <= spec_.convergence_epsilon) break;
+    }
+    I2MR_RETURN_IF_ERROR(SaveStates());
+    stats.wall_ms = wall.ElapsedMillis();
+    return stats;
+  }
+
+  I2MR_RETURN_IF_ERROR(OpenStores());
+  bool auto_off = false;
+  const size_t total_state = [&] {
+    size_t s = 0;
+    for (const auto& st : states_) s += st->size();
+    return all_to_one() ? states_[0]->size() : s;
+  }();
+
+  for (int iter = 1; iter <= spec_.max_iterations; ++iter) {
+    if (options_.checkpoint_each_iteration) {
+      I2MR_RETURN_IF_ERROR(Checkpoint(iter));
+    }
+    auto it = RunIncrIteration(iter, &ctxs,
+                               iter == 1 ? &per_part : nullptr, &stats);
+    if (!it.ok()) return it.status();
+    stats.iterations.push_back(std::move(it.value()));
+    const auto& last = stats.iterations.back();
+
+    // P∆ detection (§5.2): turn off MRBGraph maintenance when the delta
+    // state covers most of the state data.
+    double p_delta = total_state == 0
+                         ? 0.0
+                         : static_cast<double>(last.propagated_pairs) /
+                               static_cast<double>(total_state);
+    stats.max_p_delta = std::max(stats.max_p_delta, p_delta);
+    if (p_delta > options_.mrbg_auto_off_ratio) {
+      auto_off = true;
+      break;
+    }
+    if (last.propagated_pairs == 0 ||
+        last.total_diff <= spec_.convergence_epsilon) {
+      break;
+    }
+  }
+
+  if (auto_off) {
+    LOG_INFO << spec_.name << ": P∆ above threshold, turning off MRBGraph "
+             << "maintenance and re-computing iteratively";
+    stats.mrbg_turned_off = true;
+    mrbg_consistent_ = false;
+    int base = static_cast<int>(stats.iterations.size());
+    for (int iter = 1; iter <= spec_.max_iterations; ++iter) {
+      auto it = RunFullIteration(base + iter);
+      if (!it.ok()) return it.status();
+      stats.iterations.push_back(std::move(it.value()));
+      if (stats.iterations.back().total_diff <= spec_.convergence_epsilon) break;
+    }
+  }
+
+  I2MR_RETURN_IF_ERROR(SaveStates());
+  I2MR_RETURN_IF_ERROR(CloseStores(&stats));
+  if (auto_off && options_.maintain_mrbg) {
+    // Rebuild a consistent MRBGraph so the next refresh can be incremental.
+    I2MR_RETURN_IF_ERROR(PreserveMRBGraph(&stats.preserve_ms));
+  }
+  stats.wall_ms = wall.ElapsedMillis();
+  return stats;
+}
+
+}  // namespace i2mr

@@ -1,0 +1,163 @@
+// Incremental iterative processing engine (paper §5 + §6). A sequence of
+// jobs A1, A2, ... refreshes an iterative mining result as the structure
+// data evolves:
+//
+//  * RunInitial: full iterative computation (via IterativeEngine), then a
+//    preservation pass that materializes the converged MRBGraph into the
+//    per-partition MRBG-Stores (§5.1: only the last iteration's state needs
+//    saving).
+//  * RunIncremental: starts from the previous converged state; iteration 1
+//    consumes the delta structure input, iterations j>=2 consume the delta
+//    state data; only affected Map/Reduce instances re-execute, merging
+//    against the preserved MRBGraph (multi-batch MRBG files, §5.2).
+//
+// Includes change propagation control (§5.3) with accumulated-change
+// filtering, automatic MRBGraph turn-off when P∆ exceeds a threshold
+// (§5.2), per-iteration checkpointing to the Dfs and prime-task failure
+// recovery (§6.1).
+#ifndef I2MR_CORE_INCR_ITER_ENGINE_H_
+#define I2MR_CORE_INCR_ITER_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/iter_engine.h"
+#include "mr/job.h"
+#include "mrbg/mrbg_store.h"
+
+namespace i2mr {
+
+struct IncrIterOptions {
+  /// Change propagation control (§5.3). >= 0: a reduced state kv-pair is
+  /// emitted to the next iteration only when its accumulated change since
+  /// the last emission exceeds this threshold (0 = propagate any non-zero
+  /// change, SSSP-style exact filtering). < 0: CPC disabled — every reduced
+  /// key propagates ("i2MR w/o CPC").
+  double filter_threshold = 0.0;
+
+  /// Maintain the fine-grain MRBGraph (turn off manually for apps like
+  /// Kmeans where any change triggers global re-computation, §5.2).
+  bool maintain_mrbg = true;
+
+  /// Auto turn-off threshold for P∆ = |∆D| / |D| (§5.2; paper default 50%).
+  double mrbg_auto_off_ratio = 0.5;
+
+  MRBGStoreOptions store_options;
+
+  /// Checkpoint state + MRBGraph to the Dfs every iteration (§6.1).
+  bool checkpoint_each_iteration = false;
+
+  /// Failure injection for fault-tolerance experiments: return true to
+  /// crash the given prime task once at the start of the given iteration.
+  std::function<bool(int iteration, TaskId::Kind kind, int partition)> fail_hook;
+};
+
+/// One recovered task failure (Fig. 13 data points).
+struct RecoveryEvent {
+  int iteration = 0;
+  TaskId::Kind kind = TaskId::Kind::kMap;
+  int partition = 0;
+  double recovery_ms = 0;
+};
+
+struct IncrIterRunStats {
+  std::vector<IterationStats> iterations;
+  double wall_ms = 0;
+  double preserve_ms = 0;  // MRBGraph preservation pass time
+  bool mrbg_turned_off = false;
+  double max_p_delta = 0;
+  std::vector<RecoveryEvent> recoveries;
+  /// Aggregated MRBG-Store statistics across partitions and iterations.
+  uint64_t store_io_reads = 0;
+  uint64_t store_bytes_read = 0;
+  double total_ms() const {
+    double t = 0;
+    for (const auto& it : iterations) t += it.wall_ms;
+    return t;
+  }
+};
+
+class IncrementalIterativeEngine : public IterativeEngine {
+ public:
+  IncrementalIterativeEngine(LocalCluster* cluster, IterJobSpec spec,
+                             IncrIterOptions options);
+
+  /// Job A1: full computation + state/MRBGraph preservation.
+  StatusOr<IncrIterRunStats> RunInitial(const std::vector<KV>& structure,
+                                        const std::vector<KV>& initial_state);
+
+  /// Job Ai (i >= 2): incremental refresh with a delta structure input.
+  StatusOr<IncrIterRunStats> RunIncremental(
+      const std::vector<DeltaKV>& delta_structure);
+
+  std::string MrbgDir(int r) const;
+  const IncrIterOptions& options() const { return options_; }
+
+  /// Off-line MRBGraph reconstruction (paper §3.4: "The MRBGraph file is
+  /// reconstructed off-line when the worker is idle"): rewrite every
+  /// partition's store with only live chunks, in key order, as a single
+  /// sorted batch. Run between refresh jobs; reclaims the space of
+  /// obsolete chunk versions and collapses the multi-batch layout.
+  Status CompactMRBGraph();
+
+  /// Total MRBGraph bytes across partitions (on-disk footprint).
+  StatusOr<uint64_t> MrbgFileBytes() const;
+
+ private:
+  /// Per-refresh, per-partition in-memory context.
+  struct PartitionCtx {
+    std::vector<KV> structure;  // sorted by (project(SK), SK)
+    /// DK -> [begin, end) range of structure records with project(SK)==DK.
+    std::unordered_map<std::string, std::pair<size_t, size_t>> dk_ranges;
+    /// CPC: last state value emitted to the next iteration, per DK.
+    std::unordered_map<std::string, std::string> last_emitted;
+    /// Delta state produced by this partition's prime Reduce (input to the
+    /// next iteration's prime Map).
+    std::vector<KV> delta_state;
+    /// DKs introduced by inserted structure records that have no state yet:
+    /// their reduce instance is forced in iteration 1 so the new state
+    /// kv-pair is computed even when it receives no intermediate values.
+    std::vector<std::string> forced_dks;
+  };
+
+  Status LoadStructures(std::vector<PartitionCtx>* ctxs) const;
+  void BuildRanges(PartitionCtx* ctx) const;
+  Status ApplyStructureDelta(const std::vector<std::vector<DeltaKV>>& per_part,
+                             std::vector<PartitionCtx>* ctxs);
+
+  /// Rebuild the MRBGraph from the converged state with one extra map pass
+  /// (then the store holds exactly one sorted batch).
+  Status PreserveMRBGraph(double* elapsed_ms);
+
+  Status OpenStores();
+  Status CloseStores(IncrIterRunStats* stats);
+
+  Status Checkpoint(int iteration);
+  Status RestorePartition(int iteration, int partition);
+
+  /// One incremental iteration. `struct_delta` is non-null only for
+  /// iteration 1 (delta structure input); later iterations consume
+  /// ctxs[p].delta_state.
+  StatusOr<IterationStats> RunIncrIteration(
+      int iter, std::vector<PartitionCtx>* ctxs,
+      const std::vector<std::vector<DeltaKV>>* struct_delta,
+      IncrIterRunStats* run_stats);
+
+  /// Check the failure hook, at most once per (iter, kind, partition).
+  bool ShouldFail(int iter, TaskId::Kind kind, int p);
+
+  IncrIterOptions options_;
+  std::vector<std::unique_ptr<MRBGStore>> stores_;
+  bool mrbg_consistent_ = false;
+  std::set<std::string> failed_once_;
+  std::mutex fail_mu_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_CORE_INCR_ITER_ENGINE_H_

@@ -1,0 +1,87 @@
+// Fine-grain incremental processing engine for one-step MapReduce
+// computation (paper §3). A job is run once over the full input
+// (RunInitial, preserving the MRBGraph and the Reduce outputs), then
+// refreshed with delta inputs (RunIncremental): only Map instances of
+// changed records and Reduce instances of affected K2s are re-executed.
+//
+// The accumulator-Reduce fast path (§3.5) is selected by setting
+// `accumulate` in the spec: the MRBGraph is not maintained at all; deltas
+// (which must be insertion-only) are folded directly into the preserved
+// <K3, V3> results.
+#ifndef I2MR_CORE_INCR_JOB_H_
+#define I2MR_CORE_INCR_JOB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "mr/cluster.h"
+#include "mrbg/mrbg_store.h"
+
+namespace i2mr {
+
+/// Binary accumulator '⊕' for accumulator Reduce: f(D ∪ ∆D) = f(D) ⊕ f(∆D).
+using AccumulateFn =
+    std::function<std::string(const std::string& current, const std::string& delta)>;
+
+struct IncrJobSpec {
+  std::string name = "incr";
+  MapperFactory mapper;
+  /// Reduce function; unused (may be null) in accumulator mode.
+  ReducerFactory reducer;
+  /// If set, enables accumulator-Reduce mode (§3.5).
+  AccumulateFn accumulate;
+  std::shared_ptr<Partitioner> partitioner;
+  int num_reduce_tasks = 4;
+  MRBGStoreOptions store_options;
+};
+
+/// Statistics of one initial or incremental run.
+struct IncrRunStats {
+  std::shared_ptr<StageMetrics> metrics;
+  double wall_ms = 0;
+  int64_t map_instances = 0;      // Map function invocations
+  int64_t reduce_instances = 0;   // Reduce instances (re)computed
+  double merge_ms = 0;            // time merging delta vs preserved MRBGraph
+  uint64_t store_io_reads = 0;    // MRBG-Store I/O reads
+  uint64_t store_bytes_read = 0;  // MRBG-Store bytes read
+};
+
+class IncrementalOneStepJob {
+ public:
+  IncrementalOneStepJob(LocalCluster* cluster, IncrJobSpec spec);
+
+  /// Initial full run over plain KV input parts. Preserves fine-grain state.
+  StatusOr<IncrRunStats> RunInitial(const std::vector<std::string>& input_parts);
+
+  /// Incremental refresh over delta input parts ('+'/'-' records).
+  StatusOr<IncrRunStats> RunIncremental(
+      const std::vector<std::string>& delta_parts);
+
+  /// Current results, merged across partitions, sorted by key.
+  StatusOr<std::vector<KV>> Results() const;
+
+  bool accumulator_mode() const { return static_cast<bool>(spec_.accumulate); }
+
+ private:
+  std::string PartitionDir(int r) const;
+
+  Status RunMapPhase(const std::vector<std::string>& parts, bool delta,
+                     const std::string& job_dir, StageMetrics* metrics);
+  Status RunReducePhaseInitial(const std::string& job_dir, int num_maps,
+                               StageMetrics* metrics, IncrRunStats* stats);
+  Status RunReducePhaseIncremental(const std::string& job_dir, int num_maps,
+                                   StageMetrics* metrics, IncrRunStats* stats);
+
+  LocalCluster* cluster_;
+  IncrJobSpec spec_;
+  std::atomic<int64_t> map_instances_{0};
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_CORE_INCR_JOB_H_

@@ -1,0 +1,168 @@
+// General-purpose iterative MapReduce engine (paper §4). Implements the
+// enhanced Map API map(SK, SV, DK, DV), the Project-based dependency-aware
+// co-partitioning, the structure/state separation with local structure
+// caching, loop-alive jobs (one startup per job, not per iteration), and
+// prime-Reduce/prime-Map co-location (reduce partition r writes state
+// partition r directly, no backward transfer).
+//
+// Run() performs full re-computation every iteration: this is the "iterMR"
+// configuration of the paper's experiments. The incremental engine (§5)
+// derives from this class.
+#ifndef I2MR_CORE_ITER_ENGINE_H_
+#define I2MR_CORE_ITER_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/projector.h"
+#include "core/state_store.h"
+#include "mr/cluster.h"
+#include "mr/shuffle.h"
+
+namespace i2mr {
+
+/// Enhanced Map API: map(SK, SV, DK, DV) -> [<K2, V2>] (paper §4.2).
+class IterMapper {
+ public:
+  virtual ~IterMapper() = default;
+  virtual void Setup(MapContext* /*ctx*/) {}
+  virtual void Map(const std::string& sk, const std::string& sv,
+                   const std::string& dk, const std::string& dv,
+                   MapContext* ctx) = 0;
+  virtual void Flush(MapContext* /*ctx*/) {}
+};
+
+/// Prime Reduce: combines the grouped intermediate values of one DK into the
+/// updated state value. `prev_dv` is the previous iteration's state value
+/// (nullptr if absent) — needed e.g. by GIM-V's assign(v_i, v'_i).
+class IterReducer {
+ public:
+  virtual ~IterReducer() = default;
+  virtual std::string Reduce(const std::string& dk,
+                             const std::vector<std::string>& values,
+                             const std::string* prev_dv) = 0;
+};
+
+using IterMapperFactory = std::function<std::unique_ptr<IterMapper>()>;
+using IterReducerFactory = std::function<std::unique_ptr<IterReducer>()>;
+
+/// difference(DV_curr, DV_prev) -> scalar change magnitude (paper Table 2).
+/// `prev` is the empty string when there is no previous value.
+using DifferenceFn =
+    std::function<double(const std::string& curr, const std::string& prev)>;
+
+struct IterJobSpec {
+  std::string name = "iter";
+  int num_partitions = 4;
+  std::shared_ptr<Projector> projector;
+  IterMapperFactory mapper;
+  IterReducerFactory reducer;
+  DifferenceFn difference;
+  /// Initial state value for a DK that has no entry yet (init(DK) -> DV).
+  std::function<std::string(const std::string& dk)> init_state;
+  int max_iterations = 50;
+  /// Converged when the sum of |difference| over reduced keys <= epsilon.
+  double convergence_epsilon = 1e-9;
+  /// Also run the reducer (with an empty value list) for state keys that
+  /// received no intermediate values this iteration. Needed by PageRank
+  /// (vertices without in-links still re-score to 1-d).
+  bool reduce_untouched_keys = false;
+
+  /// Keep the parsed structure records in memory across iterations (the
+  /// iterMR optimization: jobs stay alive, so loop-invariant structure data
+  /// is read and parsed once instead of per iteration).
+  bool cache_parsed_structure = true;
+};
+
+/// Per-iteration statistics (Fig. 9 / Fig. 11 quantities).
+struct IterationStats {
+  int iteration = 0;
+  double wall_ms = 0;
+  double map_ms = 0, shuffle_ms = 0, sort_ms = 0, reduce_ms = 0;
+  int64_t map_instances = 0;    // Map function invocations
+  int64_t shuffle_bytes = 0;
+  int64_t reduced_keys = 0;     // reduce instances executed
+  int64_t propagated_pairs = 0; // state kv-pairs emitted to the next iteration
+  double total_diff = 0;
+  double merge_ms = 0;          // MRBG merge time (incremental engine only)
+};
+
+class IterativeEngine {
+ public:
+  IterativeEngine(LocalCluster* cluster, IterJobSpec spec);
+  virtual ~IterativeEngine() = default;
+
+  /// Dependency-aware partitioning pre-step (§4.3): distribute structure
+  /// kv-pairs by hash(project(SK)) and state kv-pairs by hash(DK) (all-to-one
+  /// apps: structure by hash(SK), state replicated), write per-partition
+  /// structure files sorted in project(SK) order, initialize state stores.
+  Status Prepare(const std::vector<KV>& structure,
+                 const std::vector<KV>& initial_state);
+
+  /// Reload previously prepared partition state from disk.
+  Status LoadExisting();
+
+  /// Run full iterations to convergence (iterMR). One job startup charge.
+  StatusOr<std::vector<IterationStats>> Run();
+
+  /// Current state across partitions, sorted by DK.
+  StatusOr<std::vector<KV>> StateSnapshot() const;
+
+  std::string PartitionDir(int p) const;
+  std::string StructurePath(int p) const;
+  std::string StatePath(int p) const;
+  const IterJobSpec& spec() const { return spec_; }
+  StateStore* state(int p) { return states_[p].get(); }
+
+ protected:
+  /// One full-recomputation iteration over all structure records.
+  StatusOr<IterationStats> RunFullIteration(int iter);
+
+  /// Map-side join of one partition's structure file with its state store,
+  /// invoking `fn(sk, sv, dk, dv)` per structure record. Reads the local
+  /// structure file sequentially (structure caching: local FS, no DFS read,
+  /// no shuffle of structure data).
+  Status ForEachStructureRecord(
+      int p, const std::function<Status(const std::string& sk,
+                                        const std::string& sv,
+                                        const std::string& dk,
+                                        const std::string& dv)>& fn) const;
+
+  /// After an all-to-one reduce, copy updated state to every partition.
+  Status ReplicateStateAllToOne();
+
+  uint32_t PartitionOf(const std::string& key) const;
+  bool all_to_one() const {
+    return spec_.projector->dep_type() == DepType::kAllToOne;
+  }
+  Status SaveStates();
+
+  /// Drop cached parsed structure (call after rewriting structure files).
+  void InvalidateStructureCache();
+
+  /// Resolve the state value for dk in partition p (store value or
+  /// init_state fallback).
+  StatusOr<std::string> StateValue(int p, const std::string& dk) const;
+
+  LocalCluster* cluster_;
+  IterJobSpec spec_;
+  std::vector<std::unique_ptr<StateStore>> states_;
+  bool prepared_ = false;
+
+ private:
+  /// Lazily filled per-partition parsed structure cache (see
+  /// IterJobSpec::cache_parsed_structure). Guarded by cache_mu_ only during
+  /// the fill; reads happen after the fill completes.
+  mutable std::vector<std::shared_ptr<const std::vector<KV>>> structure_cache_;
+  mutable std::mutex cache_mu_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_CORE_ITER_ENGINE_H_

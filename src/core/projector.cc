@@ -1,0 +1,14 @@
+#include "core/projector.h"
+
+namespace i2mr {
+
+const char* DepTypeName(DepType type) {
+  switch (type) {
+    case DepType::kOneToOne: return "one-to-one";
+    case DepType::kManyToOne: return "many-to-one";
+    case DepType::kAllToOne: return "all-to-one";
+  }
+  return "?";
+}
+
+}  // namespace i2mr

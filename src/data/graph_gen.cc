@@ -1,0 +1,183 @@
+#include "data/graph_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace i2mr {
+namespace {
+
+// Sample a vertex's out-edges: degree ~ geometric-ish around avg, targets
+// Zipf-distributed (popular pages get many in-links).
+std::string AppendPayload(std::string sv, const GraphGenOptions& options,
+                          Rng* rng) {
+  if (options.payload_bytes <= 0) return sv;
+  sv.push_back('#');
+  for (int i = 0; i < options.payload_bytes; ++i) {
+    sv.push_back(static_cast<char>('a' + rng->Uniform(26)));
+  }
+  return sv;
+}
+
+std::string SampleAdjacency(uint64_t self, const GraphGenOptions& options,
+                            const ZipfSampler& zipf, Rng* rng) {
+  // Degree: 0.5x..1.5x the average, at least 0.
+  double jitter = 0.5 + rng->NextDouble();
+  int degree = static_cast<int>(options.avg_degree * jitter);
+  std::set<uint64_t> dests;
+  int attempts = 0;
+  while (static_cast<int>(dests.size()) < degree &&
+         attempts < degree * 4 + 16) {
+    ++attempts;
+    uint64_t d = zipf.Sample(rng);
+    if (d == self) continue;
+    dests.insert(d);
+  }
+  if (!options.weighted) {
+    std::vector<std::string> padded;
+    padded.reserve(dests.size());
+    for (uint64_t d : dests) padded.push_back(PaddedNum(d, options.id_width));
+    return AppendPayload(JoinAdjacency(padded), options, rng);
+  }
+  std::vector<std::pair<std::string, double>> edges;
+  edges.reserve(dests.size());
+  for (uint64_t d : dests) {
+    double w = std::abs(rng->Gaussian(options.weight_mean,
+                                      options.weight_stddev)) + 0.1;
+    edges.emplace_back(PaddedNum(d, options.id_width), w);
+  }
+  return AppendPayload(JoinWeightedAdjacency(edges), options, rng);
+}
+
+}  // namespace
+
+std::vector<KV> GenGraph(const GraphGenOptions& options) {
+  Rng rng(options.seed);
+  ZipfSampler zipf(options.num_vertices, options.dest_skew);
+  std::vector<KV> out;
+  out.reserve(options.num_vertices);
+  for (uint64_t v = 0; v < options.num_vertices; ++v) {
+    out.push_back(KV{PaddedNum(v, options.id_width),
+                     SampleAdjacency(v, options, zipf, &rng)});
+  }
+  return out;
+}
+
+std::vector<DeltaKV> GenGraphDelta(const GraphGenOptions& gen,
+                                   const GraphDeltaOptions& delta,
+                                   std::vector<KV>* graph) {
+  Rng rng(delta.seed);
+  ZipfSampler zipf(gen.num_vertices, gen.dest_skew);
+  std::vector<DeltaKV> out;
+
+  const size_t n = graph->size();
+  auto num_updates = static_cast<size_t>(delta.update_fraction * n);
+  auto num_deletes = static_cast<size_t>(delta.delete_fraction * n);
+  auto num_inserts = static_cast<size_t>(delta.insert_fraction * n);
+
+  // Choose distinct victim indices for updates + deletes.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  for (size_t i = n; i > 1; --i) {  // Fisher-Yates
+    std::swap(indices[i - 1], indices[rng.Uniform(i)]);
+  }
+
+  std::set<size_t> doomed;  // indices removed from *graph afterwards
+  size_t cursor = 0;
+
+  // Updates: delete old record, insert re-sampled record (paper §3.3: "an
+  // update is represented as a deletion followed by an insertion").
+  for (size_t u = 0; u < num_updates && cursor < n; ++u, ++cursor) {
+    KV& rec = (*graph)[indices[cursor]];
+    auto vid = ParseNum(rec.key);
+    I2MR_CHECK(vid.ok());
+    std::string new_sv = SampleAdjacency(*vid, gen, zipf, &rng);
+    out.push_back(DeltaKV{DeltaOp::kDelete, rec.key, rec.value});
+    out.push_back(DeltaKV{DeltaOp::kInsert, rec.key, new_sv});
+    rec.value = std::move(new_sv);
+  }
+
+  // Deletions.
+  for (size_t d = 0; d < num_deletes && cursor < n; ++d, ++cursor) {
+    const KV& rec = (*graph)[indices[cursor]];
+    out.push_back(DeltaKV{DeltaOp::kDelete, rec.key, rec.value});
+    doomed.insert(indices[cursor]);
+  }
+
+  // Insertions: brand-new vertex ids beyond the current id space.
+  uint64_t next_id = gen.num_vertices;
+  for (const auto& kv : *graph) {
+    auto vid = ParseNum(kv.key);
+    if (vid.ok() && *vid >= next_id) next_id = *vid + 1;
+  }
+  for (size_t i = 0; i < num_inserts; ++i) {
+    uint64_t vid = next_id++;
+    std::string sv = SampleAdjacency(vid, gen, zipf, &rng);
+    out.push_back(DeltaKV{DeltaOp::kInsert, PaddedNum(vid, gen.id_width), sv});
+    graph->push_back(KV{PaddedNum(vid, gen.id_width), sv});
+  }
+
+  if (!doomed.empty()) {
+    std::vector<KV> kept;
+    kept.reserve(graph->size() - doomed.size());
+    for (size_t i = 0; i < graph->size(); ++i) {
+      if (doomed.count(i) == 0) kept.push_back(std::move((*graph)[i]));
+    }
+    *graph = std::move(kept);
+  }
+  return out;
+}
+
+std::vector<std::string> ParseAdjacency(const std::string& sv) {
+  std::vector<std::string> out;
+  size_t end = sv.find('#');  // strip opaque payload
+  if (end == std::string::npos) end = sv.size();
+  size_t i = 0;
+  while (i < end) {
+    size_t j = sv.find(' ', i);
+    if (j == std::string::npos || j > end) j = end;
+    if (j > i) out.push_back(sv.substr(i, j - i));
+    i = j + 1;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> ParseWeightedAdjacency(
+    const std::string& sv) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& tok : ParseAdjacency(sv)) {
+    size_t c = tok.find(':');
+    I2MR_CHECK(c != std::string::npos) << "bad weighted edge: " << tok;
+    auto w = ParseDouble(tok.substr(c + 1));
+    I2MR_CHECK(w.ok());
+    out.emplace_back(tok.substr(0, c), *w);
+  }
+  return out;
+}
+
+std::string JoinAdjacency(const std::vector<std::string>& dests) {
+  std::string out;
+  for (size_t i = 0; i < dests.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += dests[i];
+  }
+  return out;
+}
+
+std::string JoinWeightedAdjacency(
+    const std::vector<std::pair<std::string, double>>& edges) {
+  std::string out;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += edges[i].first;
+    out.push_back(':');
+    out += FormatDouble(edges[i].second);
+  }
+  return out;
+}
+
+}  // namespace i2mr

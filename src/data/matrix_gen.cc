@@ -1,0 +1,151 @@
+#include "data/matrix_gen.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "data/points_gen.h"  // JoinVector
+
+namespace i2mr {
+namespace {
+
+// Sample the triples of one block; column sums tracked globally for
+// normalization.
+std::vector<MatrixTriple> SampleBlockTriples(const MatrixGenOptions& o,
+                                             Rng* rng) {
+  std::vector<MatrixTriple> triples;
+  int nnz_target = static_cast<int>(o.density * o.block_size * o.block_size);
+  std::map<std::pair<int, int>, double> cells;
+  for (int k = 0; k < nnz_target; ++k) {
+    int i = static_cast<int>(rng->Uniform(o.block_size));
+    int j = static_cast<int>(rng->Uniform(o.block_size));
+    cells[{i, j}] = 0.1 + rng->NextDouble();
+  }
+  triples.reserve(cells.size());
+  for (const auto& [ij, v] : cells) {
+    triples.push_back(MatrixTriple{ij.first, ij.second, v});
+  }
+  return triples;
+}
+
+// Normalize columns across a full block-column so iterated multiplication
+// contracts (spectral radius < 1).
+void NormalizeColumns(const MatrixGenOptions& o, std::vector<KV>* blocks) {
+  if (!o.column_normalize) return;
+  int n = o.num_blocks * o.block_size;
+  std::vector<double> col_sums(n, 0.0);
+  std::vector<std::vector<MatrixTriple>> parsed(blocks->size());
+  for (size_t b = 0; b < blocks->size(); ++b) {
+    auto [br, bc] = ParseBlockKey((*blocks)[b].key);
+    (void)br;
+    parsed[b] = ParseBlock((*blocks)[b].value);
+    for (const auto& t : parsed[b]) {
+      col_sums[bc * o.block_size + t.j] += t.val;
+    }
+  }
+  for (size_t b = 0; b < blocks->size(); ++b) {
+    auto [br, bc] = ParseBlockKey((*blocks)[b].key);
+    (void)br;
+    for (auto& t : parsed[b]) {
+      double s = col_sums[bc * o.block_size + t.j];
+      if (s > 0) t.val = t.val / s * o.column_scale;
+    }
+    (*blocks)[b].value = JoinBlock(parsed[b]);
+  }
+}
+
+}  // namespace
+
+std::vector<KV> GenBlockMatrix(const MatrixGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<KV> blocks;
+  for (int r = 0; r < options.num_blocks; ++r) {
+    for (int c = 0; c < options.num_blocks; ++c) {
+      auto triples = SampleBlockTriples(options, &rng);
+      if (triples.empty()) continue;
+      blocks.push_back(KV{BlockKey(r, c), JoinBlock(triples)});
+    }
+  }
+  NormalizeColumns(options, &blocks);
+  return blocks;
+}
+
+std::vector<KV> GenVectorBlocks(const MatrixGenOptions& options, double value) {
+  std::vector<KV> out;
+  std::vector<double> v(options.block_size, value);
+  for (int b = 0; b < options.num_blocks; ++b) {
+    out.push_back(KV{PaddedNum(b, 6), JoinVector(v)});
+  }
+  return out;
+}
+
+std::vector<DeltaKV> GenMatrixDelta(const MatrixGenOptions& gen,
+                                    double update_fraction, uint64_t seed,
+                                    std::vector<KV>* blocks) {
+  Rng rng(seed);
+  std::vector<DeltaKV> out;
+  size_t num_updates = static_cast<size_t>(update_fraction * blocks->size());
+  for (size_t u = 0; u < num_updates; ++u) {
+    size_t b = rng.Uniform(blocks->size());
+    KV& rec = (*blocks)[b];
+    auto triples = SampleBlockTriples(gen, &rng);
+    // Scale entries down like the normalized originals.
+    for (auto& t : triples) t.val *= gen.column_scale / gen.block_size;
+    std::string nv = JoinBlock(triples);
+    out.push_back(DeltaKV{DeltaOp::kDelete, rec.key, rec.value});
+    out.push_back(DeltaKV{DeltaOp::kInsert, rec.key, nv});
+    rec.value = std::move(nv);
+  }
+  return out;
+}
+
+std::vector<MatrixTriple> ParseBlock(const std::string& sv) {
+  std::vector<MatrixTriple> out;
+  size_t i = 0;
+  while (i < sv.size()) {
+    size_t j = sv.find(' ', i);
+    if (j == std::string::npos) j = sv.size();
+    std::string tok = sv.substr(i, j - i);
+    size_t c1 = tok.find(':');
+    size_t c2 = tok.find(':', c1 + 1);
+    I2MR_CHECK(c1 != std::string::npos && c2 != std::string::npos)
+        << "bad matrix triple: " << tok;
+    MatrixTriple t;
+    t.i = static_cast<int>(*ParseNum(tok.substr(0, c1)));
+    t.j = static_cast<int>(*ParseNum(tok.substr(c1 + 1, c2 - c1 - 1)));
+    auto val = ParseDouble(tok.substr(c2 + 1));
+    I2MR_CHECK(val.ok());
+    t.val = *val;
+    out.push_back(t);
+    i = j + 1;
+  }
+  return out;
+}
+
+std::string JoinBlock(const std::vector<MatrixTriple>& triples) {
+  std::string out;
+  for (size_t k = 0; k < triples.size(); ++k) {
+    if (k > 0) out.push_back(' ');
+    out += std::to_string(triples[k].i);
+    out.push_back(':');
+    out += std::to_string(triples[k].j);
+    out.push_back(':');
+    out += FormatDouble(triples[k].val);
+  }
+  return out;
+}
+
+std::string BlockKey(int r, int c) {
+  return PaddedNum(r, 6) + "," + PaddedNum(c, 6);
+}
+
+std::pair<int, int> ParseBlockKey(const std::string& sk) {
+  size_t comma = sk.find(',');
+  I2MR_CHECK(comma != std::string::npos) << "bad block key: " << sk;
+  return {static_cast<int>(*ParseNum(sk.substr(0, comma))),
+          static_cast<int>(*ParseNum(sk.substr(comma + 1)))};
+}
+
+}  // namespace i2mr

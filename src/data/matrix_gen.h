@@ -1,0 +1,53 @@
+// Sparse block-matrix generator (WikiTalk stand-in for GIM-V iterated
+// matrix-vector multiplication).
+//
+// Encoding:
+//   matrix block: SK = "<r>,<c>" (padded block row/col), SV = sparse triples
+//                 "i:j:val i:j:val ..." with 0 <= i,j < block_size
+//   vector block: DK = padded block id, DV = "x0,x1,...,x_{b-1}"
+#ifndef I2MR_DATA_MATRIX_GEN_H_
+#define I2MR_DATA_MATRIX_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+
+namespace i2mr {
+
+struct MatrixGenOptions {
+  int num_blocks = 8;      // matrix is (num_blocks*block_size)^2
+  int block_size = 16;
+  double density = 0.05;   // fraction of nonzero entries
+  uint64_t seed = 45;
+  /// Normalize columns to sum <= damping (keeps iterated multiply stable).
+  bool column_normalize = true;
+  double column_scale = 0.85;
+};
+
+/// Generate non-empty matrix blocks.
+std::vector<KV> GenBlockMatrix(const MatrixGenOptions& options);
+
+/// Initial vector blocks (all components = value).
+std::vector<KV> GenVectorBlocks(const MatrixGenOptions& options, double value);
+
+/// Delta: re-sample a fraction of the blocks (delete + insert).
+std::vector<DeltaKV> GenMatrixDelta(const MatrixGenOptions& gen,
+                                    double update_fraction, uint64_t seed,
+                                    std::vector<KV>* blocks);
+
+// Codecs shared with the GIM-V app.
+struct MatrixTriple {
+  int i = 0, j = 0;
+  double val = 0;
+};
+std::vector<MatrixTriple> ParseBlock(const std::string& sv);
+std::string JoinBlock(const std::vector<MatrixTriple>& triples);
+std::string BlockKey(int r, int c);
+/// Parse "<r>,<c>" -> (r, c).
+std::pair<int, int> ParseBlockKey(const std::string& sk);
+
+}  // namespace i2mr
+
+#endif  // I2MR_DATA_MATRIX_GEN_H_

@@ -1,0 +1,102 @@
+#include "data/points_gen.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace i2mr {
+namespace {
+
+std::vector<std::vector<double>> SampleCenters(const PointsGenOptions& o,
+                                               Rng* rng) {
+  std::vector<std::vector<double>> centers(o.num_clusters);
+  for (auto& c : centers) {
+    c.resize(o.dims);
+    for (auto& x : c) x = (rng->NextDouble() * 2 - 1) * o.center_range;
+  }
+  return centers;
+}
+
+std::string SamplePoint(const PointsGenOptions& o,
+                        const std::vector<std::vector<double>>& centers,
+                        Rng* rng) {
+  const auto& c = centers[rng->Uniform(centers.size())];
+  std::vector<double> x(o.dims);
+  for (int d = 0; d < o.dims; ++d) {
+    x[d] = c[d] + rng->Gaussian(0, o.cluster_stddev);
+  }
+  return JoinVector(x);
+}
+
+}  // namespace
+
+std::vector<KV> GenPoints(const PointsGenOptions& options) {
+  Rng rng(options.seed);
+  auto centers = SampleCenters(options, &rng);
+  std::vector<KV> out;
+  out.reserve(options.num_points);
+  for (uint64_t i = 0; i < options.num_points; ++i) {
+    out.push_back(KV{PaddedNum(i), SamplePoint(options, centers, &rng)});
+  }
+  return out;
+}
+
+std::vector<DeltaKV> GenPointsDelta(const PointsGenOptions& gen,
+                                    double update_fraction,
+                                    double insert_fraction, uint64_t seed,
+                                    std::vector<KV>* points) {
+  Rng rng(seed);
+  auto centers = SampleCenters(gen, &rng);  // same layout family
+  std::vector<DeltaKV> out;
+  size_t n = points->size();
+  auto num_updates = static_cast<size_t>(update_fraction * n);
+  auto num_inserts = static_cast<size_t>(insert_fraction * n);
+  for (size_t u = 0; u < num_updates; ++u) {
+    size_t i = rng.Uniform(n);
+    KV& rec = (*points)[i];
+    std::string nv = SamplePoint(gen, centers, &rng);
+    out.push_back(DeltaKV{DeltaOp::kDelete, rec.key, rec.value});
+    out.push_back(DeltaKV{DeltaOp::kInsert, rec.key, nv});
+    rec.value = std::move(nv);
+  }
+  uint64_t next_id = n;
+  for (const auto& kv : *points) {
+    auto pid = ParseNum(kv.key);
+    if (pid.ok() && *pid >= next_id) next_id = *pid + 1;
+  }
+  for (size_t i = 0; i < num_inserts; ++i) {
+    std::string key = PaddedNum(next_id++);
+    std::string val = SamplePoint(gen, centers, &rng);
+    out.push_back(DeltaKV{DeltaOp::kInsert, key, val});
+    points->push_back(KV{key, val});
+  }
+  return out;
+}
+
+std::vector<double> ParseVector(const std::string& s) {
+  std::vector<double> out;
+  size_t i = 0;
+  while (i <= s.size() && !s.empty()) {
+    size_t j = s.find(',', i);
+    if (j == std::string::npos) j = s.size();
+    auto d = ParseDouble(s.substr(i, j - i));
+    I2MR_CHECK(d.ok()) << "bad vector component in: " << s;
+    out.push_back(*d);
+    if (j == s.size()) break;
+    i = j + 1;
+  }
+  return out;
+}
+
+std::string JoinVector(const std::vector<double>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += FormatDouble(v[i]);
+  }
+  return out;
+}
+
+}  // namespace i2mr

@@ -1,0 +1,39 @@
+// Gaussian-mixture point generator (BigCross stand-in for Kmeans), plus
+// point delta generation.
+//
+// Point encoding: SK = padded point id, SV = "x1,x2,...,xd".
+#ifndef I2MR_DATA_POINTS_GEN_H_
+#define I2MR_DATA_POINTS_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+
+namespace i2mr {
+
+struct PointsGenOptions {
+  uint64_t num_points = 1000;
+  int dims = 4;
+  int num_clusters = 8;    // latent generating clusters
+  double cluster_stddev = 0.5;
+  double center_range = 10.0;  // cluster centers uniform in [-range, range]^d
+  uint64_t seed = 44;
+};
+
+std::vector<KV> GenPoints(const PointsGenOptions& options);
+
+/// Delta: re-sample a fraction of points (delete+insert) and insert new ones.
+std::vector<DeltaKV> GenPointsDelta(const PointsGenOptions& gen,
+                                    double update_fraction,
+                                    double insert_fraction, uint64_t seed,
+                                    std::vector<KV>* points);
+
+// Vector codecs shared with the Kmeans app.
+std::vector<double> ParseVector(const std::string& s);
+std::string JoinVector(const std::vector<double>& v);
+
+}  // namespace i2mr
+
+#endif  // I2MR_DATA_POINTS_GEN_H_

@@ -1,0 +1,54 @@
+#include "data/text_gen.h"
+
+#include "common/codec.h"
+#include "common/random.h"
+
+namespace i2mr {
+namespace {
+
+std::string SampleDoc(const TextGenOptions& o, const ZipfSampler& zipf,
+                      Rng* rng) {
+  std::string out;
+  for (int w = 0; w < o.words_per_doc; ++w) {
+    if (w > 0) out.push_back(' ');
+    out += "w" + std::to_string(zipf.Sample(rng));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<KV> GenDocs(const TextGenOptions& options) {
+  Rng rng(options.seed);
+  ZipfSampler zipf(options.vocab_size, options.zipf_skew);
+  std::vector<KV> out;
+  out.reserve(options.num_docs);
+  for (uint64_t i = 0; i < options.num_docs; ++i) {
+    out.push_back(
+        KV{PaddedNum(options.first_doc_id + i), SampleDoc(options, zipf, &rng)});
+  }
+  return out;
+}
+
+std::vector<DeltaKV> GenDocsDelta(const TextGenOptions& gen, double fraction,
+                                  uint64_t seed, std::vector<KV>* docs) {
+  Rng rng(seed);
+  ZipfSampler zipf(gen.vocab_size, gen.zipf_skew);
+  uint64_t next_id = 0;
+  for (const auto& kv : *docs) {
+    auto id = ParseNum(kv.key);
+    if (id.ok() && *id >= next_id) next_id = *id + 1;
+  }
+  auto count = static_cast<uint64_t>(fraction * gen.num_docs);
+  std::vector<DeltaKV> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key = PaddedNum(next_id++);
+    std::string val = SampleDoc(gen, zipf, &rng);
+    out.push_back(DeltaKV{DeltaOp::kInsert, key, val});
+    docs->push_back(KV{key, val});
+  }
+  return out;
+}
+
+}  // namespace i2mr

@@ -1,0 +1,34 @@
+// Synthetic tweet generator (Twitter-crawl stand-in for APriori): documents
+// of Zipf-distributed words over a fixed vocabulary.
+//
+// Encoding: K1 = padded tweet id, V1 = "w<id> w<id> ...".
+#ifndef I2MR_DATA_TEXT_GEN_H_
+#define I2MR_DATA_TEXT_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+
+namespace i2mr {
+
+struct TextGenOptions {
+  uint64_t num_docs = 1000;
+  uint64_t vocab_size = 500;
+  int words_per_doc = 12;
+  double zipf_skew = 1.0;
+  uint64_t seed = 46;
+  uint64_t first_doc_id = 0;
+};
+
+std::vector<KV> GenDocs(const TextGenOptions& options);
+
+/// Insertion-only delta: `fraction * num_docs` new documents (the last
+/// week's tweets in §8.1.5 — accumulator Reduce requires insert-only).
+std::vector<DeltaKV> GenDocsDelta(const TextGenOptions& gen, double fraction,
+                                  uint64_t seed, std::vector<KV>* docs);
+
+}  // namespace i2mr
+
+#endif  // I2MR_DATA_TEXT_GEN_H_

@@ -1,0 +1,122 @@
+#include "io/dfs.h"
+
+#include <cstdio>
+
+#include "io/env.h"
+#include "io/record_file.h"
+
+namespace i2mr {
+namespace {
+
+std::string PartName(int idx) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "part-%05d", idx);
+  return buf;
+}
+
+}  // namespace
+
+Status Dfs::CreateDataset(const std::string& name) {
+  return ResetDir(DatasetPath(name));
+}
+
+std::string Dfs::DatasetPath(const std::string& name) const {
+  return JoinPath(root_, "data/" + name);
+}
+
+std::string Dfs::PartPath(const std::string& name, int idx) const {
+  return JoinPath(DatasetPath(name), PartName(idx));
+}
+
+StatusOr<std::vector<std::string>> Dfs::Parts(const std::string& name) const {
+  if (!FileExists(DatasetPath(name))) {
+    return Status::NotFound("dataset " + name);
+  }
+  return ListFiles(DatasetPath(name));
+}
+
+bool Dfs::DatasetExists(const std::string& name) const {
+  return FileExists(DatasetPath(name));
+}
+
+Status Dfs::WriteDataset(const std::string& name,
+                         const std::vector<KV>& records, int num_parts) {
+  if (num_parts <= 0) return Status::InvalidArgument("num_parts must be > 0");
+  I2MR_RETURN_IF_ERROR(CreateDataset(name));
+  std::vector<std::unique_ptr<RecordWriter>> writers;
+  for (int i = 0; i < num_parts; ++i) {
+    auto w = RecordWriter::Create(PartPath(name, i));
+    if (!w.ok()) return w.status();
+    writers.push_back(std::move(w.value()));
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    I2MR_RETURN_IF_ERROR(writers[i % num_parts]->Add(records[i]));
+  }
+  for (auto& w : writers) I2MR_RETURN_IF_ERROR(w->Close());
+  return Status::OK();
+}
+
+StatusOr<std::vector<KV>> Dfs::ReadDataset(const std::string& name) const {
+  auto parts = Parts(name);
+  if (!parts.ok()) return parts.status();
+  std::vector<KV> out;
+  for (const auto& p : *parts) {
+    auto recs = ReadRecords(p);
+    if (!recs.ok()) return recs.status();
+    out.insert(out.end(), recs->begin(), recs->end());
+  }
+  return out;
+}
+
+Status Dfs::WriteDeltaDataset(const std::string& name,
+                              const std::vector<DeltaKV>& records,
+                              int num_parts) {
+  if (num_parts <= 0) return Status::InvalidArgument("num_parts must be > 0");
+  I2MR_RETURN_IF_ERROR(CreateDataset(name));
+  std::vector<std::unique_ptr<DeltaWriter>> writers;
+  for (int i = 0; i < num_parts; ++i) {
+    auto w = DeltaWriter::Create(PartPath(name, i));
+    if (!w.ok()) return w.status();
+    writers.push_back(std::move(w.value()));
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    I2MR_RETURN_IF_ERROR(writers[i % num_parts]->Add(records[i]));
+  }
+  for (auto& w : writers) I2MR_RETURN_IF_ERROR(w->Close());
+  return Status::OK();
+}
+
+StatusOr<std::vector<DeltaKV>> Dfs::ReadDeltaDataset(
+    const std::string& name) const {
+  auto parts = Parts(name);
+  if (!parts.ok()) return parts.status();
+  std::vector<DeltaKV> out;
+  for (const auto& p : *parts) {
+    auto recs = ReadDeltaRecords(p);
+    if (!recs.ok()) return recs.status();
+    out.insert(out.end(), recs->begin(), recs->end());
+  }
+  return out;
+}
+
+Status Dfs::CheckpointIn(const std::string& local_path,
+                         const std::string& name) {
+  std::string dst = JoinPath(root_, "checkpoints/" + name);
+  // Ensure parent directory exists.
+  auto slash = dst.find_last_of('/');
+  I2MR_RETURN_IF_ERROR(CreateDirs(dst.substr(0, slash)));
+  return CopyFile(local_path, dst);
+}
+
+Status Dfs::CheckpointOut(const std::string& name,
+                          const std::string& local_path) const {
+  std::string src = JoinPath(root_, "checkpoints/" + name);
+  if (!FileExists(src)) return Status::NotFound("checkpoint " + name);
+  return CopyFile(src, local_path);
+}
+
+bool Dfs::CheckpointExists(const std::string& name) const {
+  return FileExists(JoinPath(root_, "checkpoints/" + name));
+}
+
+}  // namespace i2mr

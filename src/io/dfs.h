@@ -1,0 +1,60 @@
+// Dfs: a directory-backed stand-in for HDFS. A dataset is a directory of
+// part files (one map task per part, mirroring one-task-per-block in the
+// paper's setup). Also provides the durable checkpoint area used by the
+// fault-tolerance machinery (§6 of the paper).
+#ifndef I2MR_IO_DFS_H_
+#define I2MR_IO_DFS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+#include "common/status.h"
+
+namespace i2mr {
+
+class Dfs {
+ public:
+  explicit Dfs(std::string root) : root_(std::move(root)) {}
+
+  const std::string& root() const { return root_; }
+
+  /// Create (or reset) a dataset directory.
+  Status CreateDataset(const std::string& name);
+
+  /// Full path of part file `idx` of a dataset ("part-00042").
+  std::string PartPath(const std::string& name, int idx) const;
+
+  /// Dataset directory path.
+  std::string DatasetPath(const std::string& name) const;
+
+  /// Sorted part files of a dataset. NotFound if the dataset is missing.
+  StatusOr<std::vector<std::string>> Parts(const std::string& name) const;
+
+  bool DatasetExists(const std::string& name) const;
+
+  /// Write a dataset from in-memory records, split round-robin into
+  /// `num_parts` part files.
+  Status WriteDataset(const std::string& name, const std::vector<KV>& records,
+                      int num_parts);
+
+  /// Read every record of every part (part order, record order).
+  StatusOr<std::vector<KV>> ReadDataset(const std::string& name) const;
+
+  /// Same for delta datasets.
+  Status WriteDeltaDataset(const std::string& name,
+                           const std::vector<DeltaKV>& records, int num_parts);
+  StatusOr<std::vector<DeltaKV>> ReadDeltaDataset(const std::string& name) const;
+
+  /// Durable checkpoint area: copy a local file into / out of the Dfs.
+  Status CheckpointIn(const std::string& local_path, const std::string& name);
+  Status CheckpointOut(const std::string& name, const std::string& local_path) const;
+  bool CheckpointExists(const std::string& name) const;
+
+ private:
+  std::string root_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_IO_DFS_H_

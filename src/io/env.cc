@@ -1,0 +1,96 @@
+#include "io/env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace i2mr {
+
+namespace fs = std::filesystem;
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("create_directories " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IOError("remove_all " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  auto sz = fs::file_size(path, ec);
+  if (ec) return Status::IOError("file_size " + path + ": " + ec.message());
+  return static_cast<uint64_t>(sz);
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) return Status::IOError("rename " + from + " -> " + to + ": " + ec.message());
+  return Status::OK();
+}
+
+Status CopyFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::copy_file(from, to, fs::copy_options::overwrite_existing, ec);
+  if (ec) return Status::IOError("copy " + from + " -> " + to + ": " + ec.message());
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> ListFiles(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> out;
+  for (auto it = fs::directory_iterator(dir, ec); !ec && it != fs::end(it); it.increment(ec)) {
+    if (it->is_regular_file(ec)) out.push_back(it->path().string());
+  }
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("open for write: " + path);
+  size_t n = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int rc = std::fclose(f);
+  if (n != data.size() || rc != 0) return Status::IOError("write: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("open for read: " + path);
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return Status::IOError("read: " + path);
+  return out;
+}
+
+std::string JoinPath(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (!a.empty() && a.back() == '/') return a + b;
+  return a + "/" + b;
+}
+
+Status ResetDir(const std::string& path) {
+  I2MR_RETURN_IF_ERROR(RemoveAll(path));
+  return CreateDirs(path);
+}
+
+}  // namespace i2mr

@@ -1,0 +1,35 @@
+// Filesystem helpers (std::filesystem wrappers returning Status).
+#ifndef I2MR_IO_ENV_H_
+#define I2MR_IO_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace i2mr {
+
+Status CreateDirs(const std::string& path);
+Status RemoveAll(const std::string& path);
+bool FileExists(const std::string& path);
+StatusOr<uint64_t> FileSize(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+Status CopyFile(const std::string& from, const std::string& to);
+
+/// Sorted list of regular files directly under `dir` (full paths).
+StatusOr<std::vector<std::string>> ListFiles(const std::string& dir);
+
+/// Whole-file read/write.
+Status WriteStringToFile(const std::string& path, const std::string& data);
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Join path components with '/'.
+std::string JoinPath(const std::string& a, const std::string& b);
+
+/// Create a fresh (empty) directory, removing any previous contents.
+Status ResetDir(const std::string& path);
+
+}  // namespace i2mr
+
+#endif  // I2MR_IO_ENV_H_

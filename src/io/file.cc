@@ -1,0 +1,126 @@
+#include "io/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace i2mr {
+
+// ---------------------------------------------------------------------------
+// WritableFile
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<WritableFile>> WritableFile::Create(
+    const std::string& path, bool append) {
+  std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (f == nullptr) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  uint64_t offset = 0;
+  if (append) {
+    if (std::fseek(f, 0, SEEK_END) != 0) {
+      std::fclose(f);
+      return Status::IOError("seek " + path);
+    }
+    offset = static_cast<uint64_t>(std::ftell(f));
+  }
+  return std::unique_ptr<WritableFile>(new WritableFile(path, f, offset));
+}
+
+WritableFile::~WritableFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WritableFile::Append(std::string_view data) {
+  if (data.empty()) return Status::OK();
+  size_t n = std::fwrite(data.data(), 1, data.size(), file_);
+  if (n != data.size()) return Status::IOError("append " + path_);
+  offset_ += data.size();
+  return Status::OK();
+}
+
+Status WritableFile::Flush() {
+  if (std::fflush(file_) != 0) return Status::IOError("flush " + path_);
+  return Status::OK();
+}
+
+Status WritableFile::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("close " + path_);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// RandomAccessFile
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("stat " + path);
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new RandomAccessFile(fd, static_cast<uint64_t>(st.st_size)));
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RandomAccessFile::Read(uint64_t offset, size_t n, std::string* out) {
+  out->resize(n);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                        static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<size_t>(r);
+  }
+  out->resize(got);
+  ++num_reads_;
+  bytes_read_ += got;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SequentialFile
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<SequentialFile>> SequentialFile::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<SequentialFile>(new SequentialFile(path, f));
+}
+
+SequentialFile::~SequentialFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SequentialFile::ReadExact(size_t n, std::string* out) {
+  out->resize(n);
+  size_t got = std::fread(out->data(), 1, n, file_);
+  offset_ += got;
+  if (got == 0 && n > 0) return Status::NotFound("eof " + path_);
+  if (got != n) return Status::Corruption("short read " + path_);
+  return Status::OK();
+}
+
+}  // namespace i2mr

@@ -1,0 +1,92 @@
+// File abstractions: buffered appends, counted positional reads, sequential
+// buffered reads. The read counters feed the MRBG-Store statistics the paper
+// reports in Table 4.
+#ifndef I2MR_IO_FILE_H_
+#define I2MR_IO_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace i2mr {
+
+/// Append-only buffered file.
+class WritableFile {
+ public:
+  static StatusOr<std::unique_ptr<WritableFile>> Create(
+      const std::string& path, bool append = false);
+
+  ~WritableFile();
+
+  Status Append(std::string_view data);
+  Status Flush();
+  Status Close();
+
+  /// Bytes appended so far (== file offset of next append).
+  uint64_t offset() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WritableFile(std::string path, std::FILE* f, uint64_t offset)
+      : path_(std::move(path)), file_(f), offset_(offset) {}
+
+  std::string path_;
+  std::FILE* file_;
+  uint64_t offset_;
+};
+
+/// Positional (pread) reader. Counts the number of read calls and bytes
+/// read, exactly the Table-4 "# reads" / "rsize" quantities.
+class RandomAccessFile {
+ public:
+  static StatusOr<std::unique_ptr<RandomAccessFile>> Open(const std::string& path);
+
+  ~RandomAccessFile();
+
+  /// Read `n` bytes at `offset` into `*out` (resized to the bytes actually
+  /// read; reading past EOF shortens the result).
+  Status Read(uint64_t offset, size_t n, std::string* out);
+
+  uint64_t size() const { return size_; }
+  uint64_t num_reads() const { return num_reads_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  void ResetStats() { num_reads_ = 0; bytes_read_ = 0; }
+
+ private:
+  RandomAccessFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+
+  int fd_;
+  uint64_t size_;
+  uint64_t num_reads_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+/// Buffered sequential reader over a whole file.
+class SequentialFile {
+ public:
+  static StatusOr<std::unique_ptr<SequentialFile>> Open(const std::string& path);
+
+  ~SequentialFile();
+
+  /// Read exactly n bytes; returns NotFound at clean EOF (0 bytes),
+  /// Corruption on a short read.
+  Status ReadExact(size_t n, std::string* out);
+
+  uint64_t offset() const { return offset_; }
+
+ private:
+  SequentialFile(std::string path, std::FILE* f)
+      : path_(std::move(path)), file_(f) {}
+
+  std::string path_;
+  std::FILE* file_;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_IO_FILE_H_

@@ -1,0 +1,161 @@
+#include "io/record_file.h"
+
+#include "common/codec.h"
+
+namespace i2mr {
+
+// ---------------------------------------------------------------------------
+// RecordWriter / RecordReader
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<RecordWriter>> RecordWriter::Create(
+    const std::string& path) {
+  auto f = WritableFile::Create(path);
+  if (!f.ok()) return f.status();
+  return std::unique_ptr<RecordWriter>(new RecordWriter(std::move(f.value())));
+}
+
+Status RecordWriter::Add(std::string_view key, std::string_view value) {
+  scratch_.clear();
+  PutLengthPrefixed(&scratch_, key);
+  PutLengthPrefixed(&scratch_, value);
+  I2MR_RETURN_IF_ERROR(file_->Append(scratch_));
+  ++count_;
+  return Status::OK();
+}
+
+Status RecordWriter::Close() { return file_->Close(); }
+
+StatusOr<std::unique_ptr<RecordReader>> RecordReader::Open(
+    const std::string& path) {
+  auto f = SequentialFile::Open(path);
+  if (!f.ok()) return f.status();
+  return std::unique_ptr<RecordReader>(new RecordReader(std::move(f.value())));
+}
+
+namespace {
+
+// Reads a [u32 len][bytes] field from a sequential file.
+Status ReadLenPrefixed(SequentialFile* f, std::string* out, bool* at_eof) {
+  std::string lenbuf;
+  Status st = f->ReadExact(4, &lenbuf);
+  if (st.IsNotFound()) {
+    *at_eof = true;
+    return st;
+  }
+  I2MR_RETURN_IF_ERROR(st);
+  uint32_t n = DecodeFixed32(lenbuf.data());
+  if (n == 0) {
+    out->clear();
+    return Status::OK();
+  }
+  return f->ReadExact(n, out);
+}
+
+}  // namespace
+
+Status RecordReader::Next(KV* kv) {
+  bool at_eof = false;
+  Status st = ReadLenPrefixed(file_.get(), &kv->key, &at_eof);
+  if (at_eof) return Status::NotFound("eof");
+  I2MR_RETURN_IF_ERROR(st);
+  st = ReadLenPrefixed(file_.get(), &kv->value, &at_eof);
+  if (at_eof) return Status::Corruption("truncated record");
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaWriter / DeltaReader
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<DeltaWriter>> DeltaWriter::Create(
+    const std::string& path) {
+  auto f = WritableFile::Create(path);
+  if (!f.ok()) return f.status();
+  return std::unique_ptr<DeltaWriter>(new DeltaWriter(std::move(f.value())));
+}
+
+Status DeltaWriter::Add(const DeltaKV& rec) {
+  scratch_.clear();
+  scratch_.push_back(DeltaOpChar(rec.op));
+  PutLengthPrefixed(&scratch_, rec.key);
+  PutLengthPrefixed(&scratch_, rec.value);
+  I2MR_RETURN_IF_ERROR(file_->Append(scratch_));
+  ++count_;
+  return Status::OK();
+}
+
+Status DeltaWriter::Close() { return file_->Close(); }
+
+StatusOr<std::unique_ptr<DeltaReader>> DeltaReader::Open(
+    const std::string& path) {
+  auto f = SequentialFile::Open(path);
+  if (!f.ok()) return f.status();
+  return std::unique_ptr<DeltaReader>(new DeltaReader(std::move(f.value())));
+}
+
+Status DeltaReader::Next(DeltaKV* rec) {
+  std::string opbuf;
+  Status st = file_->ReadExact(1, &opbuf);
+  if (st.IsNotFound()) return st;
+  I2MR_RETURN_IF_ERROR(st);
+  char op = opbuf[0];
+  if (op != '+' && op != '-') return Status::Corruption("bad delta op byte");
+  rec->op = static_cast<DeltaOp>(op);
+  bool at_eof = false;
+  st = ReadLenPrefixed(file_.get(), &rec->key, &at_eof);
+  if (at_eof) return Status::Corruption("truncated delta record");
+  I2MR_RETURN_IF_ERROR(st);
+  st = ReadLenPrefixed(file_.get(), &rec->value, &at_eof);
+  if (at_eof) return Status::Corruption("truncated delta record");
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-file conveniences
+// ---------------------------------------------------------------------------
+
+Status WriteRecords(const std::string& path, const std::vector<KV>& records) {
+  auto w = RecordWriter::Create(path);
+  if (!w.ok()) return w.status();
+  for (const auto& kv : records) I2MR_RETURN_IF_ERROR(w.value()->Add(kv));
+  return w.value()->Close();
+}
+
+StatusOr<std::vector<KV>> ReadRecords(const std::string& path) {
+  auto r = RecordReader::Open(path);
+  if (!r.ok()) return r.status();
+  std::vector<KV> out;
+  KV kv;
+  for (;;) {
+    Status st = r.value()->Next(&kv);
+    if (st.IsNotFound()) break;
+    if (!st.ok()) return st;
+    out.push_back(kv);
+  }
+  return out;
+}
+
+Status WriteDeltaRecords(const std::string& path,
+                         const std::vector<DeltaKV>& records) {
+  auto w = DeltaWriter::Create(path);
+  if (!w.ok()) return w.status();
+  for (const auto& rec : records) I2MR_RETURN_IF_ERROR(w.value()->Add(rec));
+  return w.value()->Close();
+}
+
+StatusOr<std::vector<DeltaKV>> ReadDeltaRecords(const std::string& path) {
+  auto r = DeltaReader::Open(path);
+  if (!r.ok()) return r.status();
+  std::vector<DeltaKV> out;
+  DeltaKV rec;
+  for (;;) {
+    Status st = r.value()->Next(&rec);
+    if (st.IsNotFound()) break;
+    if (!st.ok()) return st;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace i2mr

@@ -1,0 +1,93 @@
+// Record-file format: the on-disk representation of datasets and
+// intermediate files. A record file is a sequence of
+//   [u32 klen][key bytes][u32 vlen][value bytes]
+// records; a delta record file prefixes each record with a one-byte op
+// ('+' insert / '-' delete).
+#ifndef I2MR_IO_RECORD_FILE_H_
+#define I2MR_IO_RECORD_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+#include "common/status.h"
+#include "io/file.h"
+
+namespace i2mr {
+
+/// Streaming writer of plain KV records.
+class RecordWriter {
+ public:
+  static StatusOr<std::unique_ptr<RecordWriter>> Create(const std::string& path);
+
+  Status Add(const KV& kv) { return Add(kv.key, kv.value); }
+  Status Add(std::string_view key, std::string_view value);
+  Status Close();
+
+  uint64_t num_records() const { return count_; }
+  uint64_t bytes_written() const { return file_->offset(); }
+
+ private:
+  explicit RecordWriter(std::unique_ptr<WritableFile> f) : file_(std::move(f)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t count_ = 0;
+  std::string scratch_;
+};
+
+/// Streaming reader of plain KV records.
+class RecordReader {
+ public:
+  static StatusOr<std::unique_ptr<RecordReader>> Open(const std::string& path);
+
+  /// Returns OK and fills *kv, NotFound at EOF, Corruption on a bad record.
+  Status Next(KV* kv);
+
+ private:
+  explicit RecordReader(std::unique_ptr<SequentialFile> f) : file_(std::move(f)) {}
+
+  std::unique_ptr<SequentialFile> file_;
+  std::string scratch_;
+};
+
+/// Streaming writer of delta records (op byte + KV).
+class DeltaWriter {
+ public:
+  static StatusOr<std::unique_ptr<DeltaWriter>> Create(const std::string& path);
+
+  Status Add(const DeltaKV& rec);
+  Status Close();
+
+  uint64_t num_records() const { return count_; }
+
+ private:
+  explicit DeltaWriter(std::unique_ptr<WritableFile> f) : file_(std::move(f)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t count_ = 0;
+  std::string scratch_;
+};
+
+/// Streaming reader of delta records.
+class DeltaReader {
+ public:
+  static StatusOr<std::unique_ptr<DeltaReader>> Open(const std::string& path);
+
+  Status Next(DeltaKV* rec);
+
+ private:
+  explicit DeltaReader(std::unique_ptr<SequentialFile> f) : file_(std::move(f)) {}
+
+  std::unique_ptr<SequentialFile> file_;
+};
+
+// Whole-file conveniences.
+Status WriteRecords(const std::string& path, const std::vector<KV>& records);
+StatusOr<std::vector<KV>> ReadRecords(const std::string& path);
+Status WriteDeltaRecords(const std::string& path, const std::vector<DeltaKV>& records);
+StatusOr<std::vector<DeltaKV>> ReadDeltaRecords(const std::string& path);
+
+}  // namespace i2mr
+
+#endif  // I2MR_IO_RECORD_FILE_H_

@@ -1,0 +1,95 @@
+// Public MapReduce programming interfaces (paper §2):
+//   map(K1, V1)        -> [<K2, V2>]
+//   reduce(K2, {V2})   -> [<K3, V3>]
+// plus the optional map-side Combiner and the shuffle Partitioner.
+#ifndef I2MR_MR_API_H_
+#define I2MR_MR_API_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace i2mr {
+
+/// Sink for intermediate kv-pairs emitted by a Map function.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
+};
+
+/// User Map function. One instance per map task; Map() is called once per
+/// input record, Flush() once at end-of-input (for map-side aggregation).
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void Setup(MapContext* /*ctx*/) {}
+  virtual void Map(const std::string& key, const std::string& value,
+                   MapContext* ctx) = 0;
+  virtual void Flush(MapContext* /*ctx*/) {}
+};
+
+/// Sink for final kv-pairs emitted by a Reduce function.
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
+};
+
+/// User Reduce function, called once per distinct intermediate key with all
+/// grouped values. Also used as the Combiner interface (run map-side).
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Reduce(const std::string& key,
+                      const std::vector<std::string>& values,
+                      ReduceContext* ctx) = 0;
+};
+
+/// Maps an intermediate key to a reduce partition.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual uint32_t Partition(std::string_view key, uint32_t num_partitions) const {
+    return static_cast<uint32_t>(Hash64(key) % num_partitions);
+  }
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+/// Convenience adapters for lambda-defined mappers/reducers.
+class FnMapper : public Mapper {
+ public:
+  using Fn = std::function<void(const std::string&, const std::string&, MapContext*)>;
+  explicit FnMapper(Fn fn) : fn_(std::move(fn)) {}
+  void Map(const std::string& k, const std::string& v, MapContext* ctx) override {
+    fn_(k, v, ctx);
+  }
+
+ private:
+  Fn fn_;
+};
+
+class FnReducer : public Reducer {
+ public:
+  using Fn = std::function<void(const std::string&, const std::vector<std::string>&,
+                                ReduceContext*)>;
+  explicit FnReducer(Fn fn) : fn_(std::move(fn)) {}
+  void Reduce(const std::string& k, const std::vector<std::string>& vs,
+              ReduceContext* ctx) override {
+    fn_(k, vs, ctx);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_MR_API_H_

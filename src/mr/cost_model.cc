@@ -1,0 +1,28 @@
+#include "mr/cost_model.h"
+
+#include <chrono>
+#include <thread>
+
+namespace i2mr {
+namespace {
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+void CostModel::ChargeTransfer(uint64_t bytes) const {
+  double ms = net_latency_ms;
+  if (net_mb_per_s > 0.0) {
+    ms += static_cast<double>(bytes) / (net_mb_per_s * 1e6) * 1e3;
+  }
+  SleepMs(ms);
+}
+
+void CostModel::ChargeJobStartup() const { SleepMs(job_startup_ms); }
+
+void CostModel::ChargeTaskStartup() const { SleepMs(task_startup_ms); }
+
+}  // namespace i2mr

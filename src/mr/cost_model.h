@@ -1,0 +1,38 @@
+// CostModel: injects the cluster costs that matter in the paper's
+// experiments — per-job startup latency (Hadoop takes ~20 s to start a job,
+// §4.2) and network transfer time for shuffled bytes — scaled down so the
+// laptop-scale benches finish quickly but keep the paper's shape.
+#ifndef I2MR_MR_COST_MODEL_H_
+#define I2MR_MR_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace i2mr {
+
+struct CostModel {
+  /// Charged once at job submission (models JobTracker startup; 0 = off).
+  double job_startup_ms = 0.0;
+
+  /// Charged once per task launch (scheduling overhead; 0 = off).
+  double task_startup_ms = 0.0;
+
+  /// Simulated network bandwidth for shuffle transfers, in MB/s (0 = off,
+  /// i.e. transfers only pay local disk I/O).
+  double net_mb_per_s = 0.0;
+
+  /// Fixed latency per shuffle transfer in ms (0 = off).
+  double net_latency_ms = 0.0;
+
+  /// Sleep for the simulated transfer time of `bytes` over the network.
+  void ChargeTransfer(uint64_t bytes) const;
+
+  /// Sleep for the job startup cost.
+  void ChargeJobStartup() const;
+
+  /// Sleep for the task startup cost.
+  void ChargeTaskStartup() const;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_MR_COST_MODEL_H_

@@ -1,0 +1,154 @@
+#include "mr/job.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "io/env.h"
+#include "io/record_file.h"
+#include "mr/shuffle.h"
+
+namespace i2mr {
+namespace internal {
+namespace {
+
+std::string MapTaskDir(const std::string& job_dir, int m) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "map-%05d", m);
+  return JoinPath(job_dir, buf);
+}
+
+std::string PartFileName(int r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "part-%05d.dat", r);
+  return buf;
+}
+
+// Emits reduce output records into a RecordWriter.
+class FileReduceContext : public ReduceContext {
+ public:
+  explicit FileReduceContext(RecordWriter* writer) : writer_(writer) {}
+
+  void Emit(std::string_view key, std::string_view value) override {
+    Status st = writer_->Add(key, value);
+    if (!st.ok() && status_.ok()) status_ = st;
+    ++count_;
+  }
+
+  const Status& status() const { return status_; }
+  int64_t count() const { return count_; }
+
+ private:
+  RecordWriter* writer_;
+  Status status_;
+  int64_t count_ = 0;
+};
+
+}  // namespace
+
+Status RunMapTask(const JobSpec& spec, int m, const std::string& input_part,
+                  const std::string& job_dir, const CostModel& cost,
+                  StageMetrics* metrics, int attempt) {
+  cost.ChargeTaskStartup();
+  bool inject_failure =
+      spec.fail_hook &&
+      spec.fail_hook(TaskId{TaskId::Kind::kMap, m, attempt});
+
+  if (!spec.remote_prefix.empty() &&
+      input_part.compare(0, spec.remote_prefix.size(), spec.remote_prefix) ==
+          0) {
+    auto sz = FileSize(input_part);
+    if (sz.ok()) cost.ChargeTransfer(*sz);
+  }
+
+  auto mapper = spec.mapper();
+  Partitioner default_partitioner;
+  const Partitioner* part =
+      spec.partitioner ? spec.partitioner.get() : &default_partitioner;
+  ShuffleWriter writer(spec.num_reduce_tasks, part, MapTaskDir(job_dir, m));
+
+  int64_t in_records = 0;
+  {
+    ScopedTimer t(&metrics->map_ns);
+    mapper->Setup(&writer);
+    auto reader = RecordReader::Open(input_part);
+    if (!reader.ok()) return reader.status();
+    KV kv;
+    for (;;) {
+      Status st = reader.value()->Next(&kv);
+      if (st.IsNotFound()) break;
+      I2MR_RETURN_IF_ERROR(st);
+      mapper->Map(kv.key, kv.value, &writer);
+      ++in_records;
+      if (inject_failure && in_records * 2 >= 1) {
+        // Fail mid-task (after at least one record) to exercise recovery of
+        // partially executed attempts.
+        return Status::Aborted("injected map task failure");
+      }
+    }
+    mapper->Flush(&writer);
+  }
+  metrics->map_input_records += in_records;
+
+  std::unique_ptr<Reducer> combiner;
+  if (spec.combiner) combiner = spec.combiner();
+  return writer.Finish(combiner.get(), metrics);
+}
+
+Status RunReduceTask(const JobSpec& spec, int r, int num_map_tasks,
+                     const std::string& job_dir, const CostModel& cost,
+                     StageMetrics* metrics, int attempt) {
+  cost.ChargeTaskStartup();
+  bool inject_failure =
+      spec.fail_hook &&
+      spec.fail_hook(TaskId{TaskId::Kind::kReduce, r, attempt});
+
+  std::vector<std::string> spills;
+  spills.reserve(num_map_tasks);
+  for (int m = 0; m < num_map_tasks; ++m) {
+    spills.push_back(JoinPath(MapTaskDir(job_dir, m), PartFileName(r)));
+  }
+  auto reader = ShuffleReader::Open(spills, cost, metrics);
+  if (!reader.ok()) return reader.status();
+
+  if (inject_failure) return Status::Aborted("injected reduce task failure");
+
+  std::string final_path = JoinPath(spec.output_dir, PartFileName(r));
+  std::string tmp_path = final_path + ".tmp" + std::to_string(attempt);
+  auto w = RecordWriter::Create(tmp_path);
+  if (!w.ok()) return w.status();
+
+  auto reducer = spec.reducer();
+  FileReduceContext ctx(w.value().get());
+  {
+    ScopedTimer t(&metrics->reduce_ns);
+    std::string key;
+    std::vector<std::string> values;
+    int64_t groups = 0;
+    while (reader.value()->NextGroup(&key, &values)) {
+      reducer->Reduce(key, values, &ctx);
+      ++groups;
+    }
+    metrics->reduce_groups += groups;
+  }
+  I2MR_RETURN_IF_ERROR(ctx.status());
+  I2MR_RETURN_IF_ERROR(w.value()->Close());
+  metrics->reduce_output_records += ctx.count();
+  return RenameFile(tmp_path, final_path);
+}
+
+Status RunTaskWithRetries(const JobSpec& spec, TaskId::Kind kind, int index,
+                          const std::function<Status(int attempt)>& attempt_fn) {
+  Status last;
+  for (int attempt = 0; attempt < spec.max_attempts; ++attempt) {
+    last = attempt_fn(attempt);
+    if (last.ok()) return last;
+    LOG_DEBUG << (kind == TaskId::Kind::kMap ? "map" : "reduce") << " task "
+              << index << " attempt " << attempt
+              << " failed: " << last.ToString();
+  }
+  return last;
+}
+
+}  // namespace internal
+}  // namespace i2mr

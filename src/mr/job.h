@@ -1,0 +1,89 @@
+// Job specification and task execution for the plain MapReduce runner.
+#ifndef I2MR_MR_JOB_H_
+#define I2MR_MR_JOB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "mr/api.h"
+#include "mr/cost_model.h"
+
+namespace i2mr {
+
+/// Identifies one task attempt (used by the failure-injection hook).
+struct TaskId {
+  enum class Kind { kMap, kReduce };
+  Kind kind = Kind::kMap;
+  int index = 0;
+  int attempt = 0;
+};
+
+/// Full description of one MapReduce job.
+struct JobSpec {
+  std::string name = "job";
+
+  /// Input part files (plain KV record files); one map task per part.
+  std::vector<std::string> input_parts;
+
+  MapperFactory mapper;
+  ReducerFactory reducer;
+  /// Optional map-side combiner (may be null).
+  ReducerFactory combiner;
+  /// Optional custom partitioner (default: hash).
+  std::shared_ptr<Partitioner> partitioner;
+
+  int num_reduce_tasks = 4;
+
+  /// Directory for the final output parts ("part-<r>.dat"). Must exist.
+  std::string output_dir;
+
+  /// Test-only failure injection: return true to make the given task
+  /// attempt fail (it will be retried up to `max_attempts`).
+  std::function<bool(const TaskId&)> fail_hook;
+  int max_attempts = 4;
+
+  /// Input parts under this path prefix are "remote" (Dfs-resident): map
+  /// tasks charge the cost model's network transfer for reading them.
+  /// Set automatically by LocalCluster::RunJob to the cluster's Dfs root.
+  /// Local caches (HaLoop structure caching, iterMR local structure files)
+  /// fall outside the prefix and read for free.
+  std::string remote_prefix;
+};
+
+/// Outcome of a job run.
+struct JobResult {
+  Status status;
+  std::shared_ptr<StageMetrics> metrics;  // shared: StageMetrics is not copyable
+  std::vector<std::string> output_parts;
+  double wall_ms = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+namespace internal {
+
+/// Run one map task attempt: read `input_part`, run the mapper, partition,
+/// sort (+combine) and spill under `<job_dir>/map-<m>/`.
+Status RunMapTask(const JobSpec& spec, int m, const std::string& input_part,
+                  const std::string& job_dir, const CostModel& cost,
+                  StageMetrics* metrics, int attempt);
+
+/// Run one reduce task attempt: fetch partition r of every map spill, merge,
+/// reduce, and write `<output_dir>/part-<r>.dat` (write-temp-then-rename so
+/// retries are idempotent).
+Status RunReduceTask(const JobSpec& spec, int r, int num_map_tasks,
+                     const std::string& job_dir, const CostModel& cost,
+                     StageMetrics* metrics, int attempt);
+
+/// Retry wrapper honoring spec.fail_hook / spec.max_attempts.
+Status RunTaskWithRetries(const JobSpec& spec, TaskId::Kind kind, int index,
+                          const std::function<Status(int attempt)>& attempt_fn);
+
+}  // namespace internal
+}  // namespace i2mr
+
+#endif  // I2MR_MR_JOB_H_

@@ -1,0 +1,151 @@
+#include "mr/shuffle.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/timer.h"
+#include "io/env.h"
+#include "io/record_file.h"
+
+namespace i2mr {
+namespace {
+
+std::string SpillPath(const std::string& dir, int r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "part-%05d.dat", r);
+  return JoinPath(dir, buf);
+}
+
+// ReduceContext that collects emitted pairs into a vector.
+class CollectingContext : public ReduceContext {
+ public:
+  explicit CollectingContext(std::vector<KV>* out) : out_(out) {}
+  void Emit(std::string_view key, std::string_view value) override {
+    out_->push_back(KV{std::string(key), std::string(value)});
+  }
+
+ private:
+  std::vector<KV>* out_;
+};
+
+}  // namespace
+
+void SortAndCombine(std::vector<KV>* records, Reducer* combiner) {
+  std::sort(records->begin(), records->end());
+  if (combiner == nullptr || records->empty()) return;
+  std::vector<KV> combined;
+  CollectingContext ctx(&combined);
+  size_t i = 0;
+  std::vector<std::string> values;
+  while (i < records->size()) {
+    size_t j = i;
+    values.clear();
+    while (j < records->size() && (*records)[j].key == (*records)[i].key) {
+      values.push_back(std::move((*records)[j].value));
+      ++j;
+    }
+    combiner->Reduce((*records)[i].key, values, &ctx);
+    i = j;
+  }
+  std::sort(combined.begin(), combined.end());
+  *records = std::move(combined);
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleWriter
+// ---------------------------------------------------------------------------
+
+ShuffleWriter::ShuffleWriter(int num_partitions, const Partitioner* partitioner,
+                             std::string dir)
+    : num_partitions_(num_partitions),
+      partitioner_(partitioner),
+      dir_(std::move(dir)),
+      buffers_(num_partitions) {}
+
+void ShuffleWriter::Emit(std::string_view key, std::string_view value) {
+  uint32_t r = partitioner_->Partition(key, num_partitions_);
+  buffers_[r].push_back(KV{std::string(key), std::string(value)});
+  ++records_;
+}
+
+Status ShuffleWriter::Finish(Reducer* combiner, StageMetrics* metrics) {
+  I2MR_RETURN_IF_ERROR(CreateDirs(dir_));
+  for (int r = 0; r < num_partitions_; ++r) {
+    auto& buf = buffers_[r];
+    if (buf.empty()) continue;
+    {
+      ScopedTimer t(&metrics->sort_ns);
+      SortAndCombine(&buf, combiner);
+    }
+    auto w = RecordWriter::Create(SpillPath(dir_, r));
+    if (!w.ok()) return w.status();
+    for (const auto& kv : buf) I2MR_RETURN_IF_ERROR(w.value()->Add(kv));
+    I2MR_RETURN_IF_ERROR(w.value()->Close());
+    buf.clear();
+    buf.shrink_to_fit();
+  }
+  metrics->map_output_records += records_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleReader
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<ShuffleReader>> ShuffleReader::Open(
+    const std::vector<std::string>& spill_files, const CostModel& cost,
+    StageMetrics* metrics) {
+  auto reader = std::unique_ptr<ShuffleReader>(new ShuffleReader());
+
+  // Fetch stage: pull every map task's spill for this partition. Each file
+  // is one simulated network transfer.
+  std::vector<std::vector<KV>> runs;
+  {
+    ScopedTimer t(&metrics->shuffle_ns);
+    for (const auto& path : spill_files) {
+      if (!FileExists(path)) continue;
+      auto sz = FileSize(path);
+      if (!sz.ok()) return sz.status();
+      auto recs = ReadRecords(path);
+      if (!recs.ok()) return recs.status();
+      cost.ChargeTransfer(*sz);
+      metrics->shuffle_bytes += static_cast<int64_t>(*sz);
+      if (!recs->empty()) runs.push_back(std::move(*recs));
+    }
+  }
+
+  // Sort stage: merge the sorted runs.
+  {
+    ScopedTimer t(&metrics->sort_ns);
+    size_t total = 0;
+    for (const auto& r : runs) total += r.size();
+    reader->records_.reserve(total);
+    if (runs.size() == 1) {
+      reader->records_ = std::move(runs[0]);
+    } else {
+      for (auto& r : runs) {
+        size_t mid = reader->records_.size();
+        reader->records_.insert(reader->records_.end(),
+                                std::make_move_iterator(r.begin()),
+                                std::make_move_iterator(r.end()));
+        std::inplace_merge(reader->records_.begin(),
+                           reader->records_.begin() + mid,
+                           reader->records_.end());
+      }
+    }
+  }
+  return reader;
+}
+
+bool ShuffleReader::NextGroup(std::string* key, std::vector<std::string>* values) {
+  if (pos_ >= records_.size()) return false;
+  *key = records_[pos_].key;
+  values->clear();
+  while (pos_ < records_.size() && records_[pos_].key == *key) {
+    values->push_back(std::move(records_[pos_].value));
+    ++pos_;
+  }
+  return true;
+}
+
+}  // namespace i2mr

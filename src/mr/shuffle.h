@@ -1,0 +1,73 @@
+// Shuffle machinery shared by the plain job runner and the iterative /
+// incremental engines: map-side partition+sort+spill, reduce-side fetch,
+// k-way merge and group iteration.
+#ifndef I2MR_MR_SHUFFLE_H_
+#define I2MR_MR_SHUFFLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "mr/api.h"
+#include "mr/cost_model.h"
+
+namespace i2mr {
+
+/// Map-side sink: buffers intermediate kv-pairs per reduce partition, then
+/// sorts each partition (optionally running a combiner) and spills it to
+/// `<dir>/part-<r>.dat`. Records sort time and output volume in metrics.
+class ShuffleWriter : public MapContext {
+ public:
+  ShuffleWriter(int num_partitions, const Partitioner* partitioner,
+                std::string dir);
+
+  void Emit(std::string_view key, std::string_view value) override;
+
+  /// Sort, combine and spill all partitions. After Finish() the writer is
+  /// done; spill file r is `<dir>/part-<r>.dat` (absent if empty).
+  Status Finish(Reducer* combiner, StageMetrics* metrics);
+
+  int64_t records_emitted() const { return records_; }
+
+ private:
+  int num_partitions_;
+  const Partitioner* partitioner_;
+  std::string dir_;
+  std::vector<std::vector<KV>> buffers_;
+  int64_t records_ = 0;
+};
+
+/// Reduce-side: fetches the spill files of one partition from all map tasks
+/// (the "shuffle" stage — pays network cost), merges the sorted runs (the
+/// "sort" stage), and iterates groups of equal keys.
+class ShuffleReader {
+ public:
+  /// `spill_files`: the partition-r spill of every map task (missing files
+  /// are skipped). Fetch+merge happen in Open().
+  static StatusOr<std::unique_ptr<ShuffleReader>> Open(
+      const std::vector<std::string>& spill_files, const CostModel& cost,
+      StageMetrics* metrics);
+
+  /// Next group of values sharing one key. Returns false at end.
+  bool NextGroup(std::string* key, std::vector<std::string>* values);
+
+  /// Total records across all groups.
+  size_t num_records() const { return records_.size(); }
+
+ private:
+  ShuffleReader() = default;
+
+  std::vector<KV> records_;  // merged, sorted by (key, value)
+  size_t pos_ = 0;
+};
+
+/// Sorts `records` and runs `combiner` over each group, replacing `records`
+/// with the combined output (sorted). Used map-side by ShuffleWriter.
+void SortAndCombine(std::vector<KV>* records, Reducer* combiner);
+
+}  // namespace i2mr
+
+#endif  // I2MR_MR_SHUFFLE_H_

@@ -1,0 +1,111 @@
+#include "mrbg/chunk.h"
+
+#include <unordered_map>
+
+#include "common/codec.h"
+#include "common/hash.h"
+
+namespace i2mr {
+namespace {
+
+constexpr uint32_t kChunkMagic = 0x4d524247;  // "MRBG"
+
+uint32_t PayloadChecksum(std::string_view payload) {
+  return static_cast<uint32_t>(Hash64(payload.data(), payload.size()));
+}
+
+}  // namespace
+
+uint32_t EncodedChunkLength(const Chunk& chunk) {
+  uint32_t len = 4 + 4 + 4;                     // magic + payload_len + crc
+  len += 4 + static_cast<uint32_t>(chunk.key.size());  // key
+  len += 4;                                      // count
+  for (const auto& e : chunk.entries) {
+    len += 8 + 4 + static_cast<uint32_t>(e.v2.size());
+  }
+  return len;
+}
+
+uint32_t EncodeChunk(const Chunk& chunk, std::string* out) {
+  size_t start = out->size();
+  std::string payload;
+  PutLengthPrefixed(&payload, chunk.key);
+  PutFixed32(&payload, static_cast<uint32_t>(chunk.entries.size()));
+  for (const auto& e : chunk.entries) {
+    PutFixed64(&payload, e.mk);
+    PutLengthPrefixed(&payload, e.v2);
+  }
+  PutFixed32(out, kChunkMagic);
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+  PutFixed32(out, PayloadChecksum(payload));
+  return static_cast<uint32_t>(out->size() - start);
+}
+
+Status DecodeChunk(std::string_view data, Chunk* chunk) {
+  Decoder dec(data);
+  uint32_t magic, payload_len;
+  if (!dec.GetFixed32(&magic) || magic != kChunkMagic) {
+    return Status::Corruption("bad chunk magic");
+  }
+  if (!dec.GetFixed32(&payload_len) || dec.remaining() < payload_len + 4) {
+    return Status::Corruption("truncated chunk");
+  }
+  std::string_view payload(data.data() + 8, payload_len);
+  Decoder body(payload);
+  chunk->entries.clear();
+  if (!body.GetLengthPrefixed(&chunk->key)) {
+    return Status::Corruption("bad chunk key");
+  }
+  uint32_t count;
+  if (!body.GetFixed32(&count)) return Status::Corruption("bad chunk count");
+  chunk->entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ChunkEntry e;
+    if (!body.GetFixed64(&e.mk) || !body.GetLengthPrefixed(&e.v2)) {
+      return Status::Corruption("bad chunk entry");
+    }
+    chunk->entries.push_back(std::move(e));
+  }
+  if (!body.done()) return Status::Corruption("chunk payload trailing bytes");
+  Decoder crc_dec(data.data() + 8 + payload_len, 4);
+  uint32_t crc;
+  crc_dec.GetFixed32(&crc);
+  if (crc != PayloadChecksum(payload)) {
+    return Status::Corruption("chunk checksum mismatch for key " + chunk->key);
+  }
+  return Status::OK();
+}
+
+void ApplyDeltaToChunk(const std::vector<DeltaEdge>& deltas, Chunk* chunk) {
+  // Index existing entries by MK.
+  std::unordered_map<uint64_t, size_t> by_mk;
+  by_mk.reserve(chunk->entries.size());
+  for (size_t i = 0; i < chunk->entries.size(); ++i) {
+    by_mk[chunk->entries[i].mk] = i;
+  }
+  std::vector<bool> dead(chunk->entries.size(), false);
+  for (const auto& d : deltas) {
+    auto it = by_mk.find(d.mk);
+    if (d.deleted) {
+      if (it != by_mk.end()) dead[it->second] = true;
+    } else if (it != by_mk.end()) {
+      chunk->entries[it->second].v2 = d.v2;  // update in place
+      dead[it->second] = false;              // resurrect if deleted earlier
+    } else {
+      chunk->entries.push_back(ChunkEntry{d.mk, d.v2});
+      dead.push_back(false);
+      by_mk[d.mk] = chunk->entries.size() - 1;
+    }
+  }
+  // Compact out deleted entries, preserving order.
+  size_t w = 0;
+  for (size_t i = 0; i < chunk->entries.size(); ++i) {
+    if (dead[i]) continue;
+    if (w != i) chunk->entries[w] = std::move(chunk->entries[i]);
+    ++w;
+  }
+  chunk->entries.resize(w);
+}
+
+}  // namespace i2mr

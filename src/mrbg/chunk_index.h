@@ -1,0 +1,67 @@
+// Hash index over the MRBGraph file: K2 -> latest chunk location (paper
+// §3.4: "we employ a hash-based implementation for the index... preloaded
+// into memory before Reduce computation"). Persisted alongside the data
+// file, together with the batch boundaries (§5.2).
+#ifndef I2MR_MRBG_CHUNK_INDEX_H_
+#define I2MR_MRBG_CHUNK_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace i2mr {
+
+/// Location of the latest version of a chunk in the MRBGraph file.
+struct ChunkLocation {
+  uint64_t offset = 0;
+  uint32_t length = 0;
+  uint32_t batch = 0;  // which sorted batch the chunk belongs to
+
+  friend bool operator==(const ChunkLocation& a, const ChunkLocation& b) {
+    return a.offset == b.offset && a.length == b.length && a.batch == b.batch;
+  }
+};
+
+/// Byte range of one sorted batch of chunks (one merge epoch / iteration).
+struct BatchInfo {
+  uint64_t start = 0;
+  uint64_t end = 0;
+};
+
+class ChunkIndex {
+ public:
+  /// Point lookup. Returns nullptr if the key has no live chunk.
+  const ChunkLocation* Lookup(const std::string& key) const;
+
+  void Put(const std::string& key, const ChunkLocation& loc);
+  void Erase(const std::string& key);
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  bool Contains(const std::string& key) const { return map_.count(key) > 0; }
+
+  const std::vector<BatchInfo>& batches() const { return batches_; }
+  void AddBatch(const BatchInfo& b) { batches_.push_back(b); }
+  void ClearBatches() { batches_.clear(); }
+
+  /// Iterate all (key, location) pairs in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, loc] : map_) fn(key, loc);
+  }
+
+  /// Persist to / load from an index file.
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, ChunkLocation> map_;
+  std::vector<BatchInfo> batches_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_MRBG_CHUNK_INDEX_H_

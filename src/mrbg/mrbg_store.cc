@@ -1,0 +1,343 @@
+#include "mrbg/mrbg_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "io/env.h"
+
+namespace i2mr {
+
+const char* ReadModeName(ReadMode mode) {
+  switch (mode) {
+    case ReadMode::kIndexOnly: return "index-only";
+    case ReadMode::kSingleFixedWindow: return "single-fix-window";
+    case ReadMode::kMultiFixedWindow: return "multi-fix-window";
+    case ReadMode::kMultiDynamicWindow: return "multi-dynamic-window";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<MRBGStore>> MRBGStore::Open(
+    const std::string& dir, const MRBGStoreOptions& options) {
+  I2MR_RETURN_IF_ERROR(CreateDirs(dir));
+  auto store = std::unique_ptr<MRBGStore>(new MRBGStore(dir, options));
+  I2MR_RETURN_IF_ERROR(store->OpenFiles());
+  return store;
+}
+
+MRBGStore::~MRBGStore() { Close(); }
+
+std::string MRBGStore::data_path() const { return JoinPath(dir_, "mrbg.dat"); }
+std::string MRBGStore::index_path() const { return JoinPath(dir_, "mrbg.idx"); }
+
+Status MRBGStore::OpenFiles() {
+  if (FileExists(index_path())) {
+    I2MR_RETURN_IF_ERROR(index_.Load(index_path()));
+  }
+  if (FileExists(data_path())) {
+    auto sz = FileSize(data_path());
+    if (!sz.ok()) return sz.status();
+    file_end_ = *sz;
+  } else {
+    file_end_ = 0;
+  }
+  auto w = WritableFile::Create(data_path(), /*append=*/true);
+  if (!w.ok()) return w.status();
+  writer_ = std::move(w.value());
+  reader_.reset();
+  reader_stale_ = true;
+  return Status::OK();
+}
+
+Status MRBGStore::Close() {
+  if (writer_ == nullptr) return Status::OK();
+  uint64_t closed_end =
+      index_.batches().empty() ? 0 : index_.batches().back().end;
+  if (file_end_ > closed_end || !append_buf_.empty()) {
+    I2MR_RETURN_IF_ERROR(FinishBatch());
+  }
+  Status st = writer_->Close();
+  writer_.reset();
+  reader_.reset();
+  return st;
+}
+
+Status MRBGStore::Reload() {
+  index_.Clear();
+  append_buf_.clear();
+  windows_.clear();
+  query_keys_.clear();
+  query_cursor_ = 0;
+  if (writer_ != nullptr) {
+    I2MR_RETURN_IF_ERROR(writer_->Close());
+    writer_.reset();
+  }
+  return OpenFiles();
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Status MRBGStore::FlushAppendBuffer() {
+  if (append_buf_.empty()) return Status::OK();
+  I2MR_RETURN_IF_ERROR(writer_->Append(append_buf_));
+  I2MR_RETURN_IF_ERROR(writer_->Flush());
+  append_buf_.clear();
+  reader_stale_ = true;
+  return Status::OK();
+}
+
+Status MRBGStore::AppendChunk(const Chunk& chunk) {
+  uint64_t offset = file_end_;
+  uint32_t len = EncodeChunk(chunk, &append_buf_);
+  file_end_ += len;
+  index_.Put(chunk.key, ChunkLocation{offset, len, open_batch_id()});
+  ++stats_.chunks_appended;
+  stats_.bytes_appended += len;
+  if (append_buf_.size() >= options_.append_buffer_bytes) {
+    return FlushAppendBuffer();
+  }
+  return Status::OK();
+}
+
+Status MRBGStore::RemoveChunk(const std::string& key) {
+  if (index_.Contains(key)) {
+    index_.Erase(key);
+    ++stats_.chunks_removed;
+  }
+  return Status::OK();
+}
+
+Status MRBGStore::FinishBatch(bool persist_index) {
+  I2MR_RETURN_IF_ERROR(FlushAppendBuffer());
+  uint64_t start = index_.batches().empty() ? 0 : index_.batches().back().end;
+  if (file_end_ > start) {
+    index_.AddBatch(BatchInfo{start, file_end_});
+  }
+  if (!persist_index) return Status::OK();
+  return PersistIndex();
+}
+
+Status MRBGStore::PersistIndex() { return index_.Save(index_path()); }
+
+// ---------------------------------------------------------------------------
+// Query path
+// ---------------------------------------------------------------------------
+
+Status MRBGStore::PrepareQueries(std::vector<std::string> sorted_keys) {
+  query_keys_ = std::move(sorted_keys);
+  query_cursor_ = 0;
+  windows_.clear();
+  return Status::OK();
+}
+
+Status MRBGStore::EnsureReader() {
+  if (reader_ != nullptr && !reader_stale_) return Status::OK();
+  auto r = RandomAccessFile::Open(data_path());
+  if (!r.ok()) return r.status();
+  reader_ = std::move(r.value());
+  reader_stale_ = false;
+  return Status::OK();
+}
+
+uint64_t MRBGStore::DynamicWindowEnd(const ChunkLocation& loc,
+                                     size_t qpos) const {
+  // Algorithm 1 (+ §5.2 multi-batch skip): grow the window over upcoming
+  // queried chunks in the same batch while the gap between consecutive
+  // chunks stays below T and the window fits in the read cache.
+  uint64_t window_bytes = loc.length;
+  uint64_t last_end = loc.offset + loc.length;
+  for (size_t j = qpos + 1; j < query_keys_.size(); ++j) {
+    const ChunkLocation* next = index_.Lookup(query_keys_[j]);
+    if (next == nullptr) continue;          // key absent: no position
+    if (next->batch != loc.batch) continue; // other batch: other window
+    if (next->offset < last_end) continue;  // already covered
+    uint64_t gap = next->offset - last_end;
+    if (gap >= options_.gap_threshold_bytes) break;
+    if (window_bytes + gap + next->length > options_.read_cache_bytes) break;
+    window_bytes += gap + next->length;
+    last_end = next->offset + next->length;
+  }
+  return last_end;
+}
+
+StatusOr<std::string_view> MRBGStore::ReadChunkBytes(const ChunkLocation& loc) {
+  I2MR_RETURN_IF_ERROR(EnsureReader());
+
+  if (options_.read_mode == ReadMode::kIndexOnly) {
+    Window& w = windows_[~0u];  // scratch window
+    w.buf.clear();
+    I2MR_RETURN_IF_ERROR(reader_->Read(loc.offset, loc.length, &w.buf));
+    ++stats_.io_reads;
+    stats_.bytes_read += w.buf.size();
+    if (w.buf.size() < loc.length) {
+      return Status::Corruption("short chunk read");
+    }
+    w.start = loc.offset;
+    w.end = loc.offset + w.buf.size();
+    return std::string_view(w.buf.data(), loc.length);
+  }
+
+  uint32_t wkey =
+      options_.read_mode == ReadMode::kSingleFixedWindow ? 0u : loc.batch;
+  Window& w = windows_[wkey];
+  if (loc.offset >= w.start && loc.offset + loc.length <= w.end &&
+      !w.buf.empty()) {
+    ++stats_.cache_hits;
+    return std::string_view(w.buf.data() + (loc.offset - w.start), loc.length);
+  }
+
+  // Miss: choose the read range.
+  uint64_t end;
+  switch (options_.read_mode) {
+    case ReadMode::kSingleFixedWindow:
+    case ReadMode::kMultiFixedWindow:
+      end = loc.offset +
+            std::max<uint64_t>(loc.length, options_.fixed_window_bytes);
+      break;
+    case ReadMode::kMultiDynamicWindow: {
+      // Locate the query cursor position of this chunk's key to look ahead.
+      end = DynamicWindowEnd(loc, query_cursor_);
+      break;
+    }
+    default:
+      end = loc.offset + loc.length;
+  }
+  // Never read past this batch (multi-window modes) or the flushed file.
+  if (options_.read_mode != ReadMode::kSingleFixedWindow &&
+      loc.batch < index_.batches().size()) {
+    end = std::min<uint64_t>(end, index_.batches()[loc.batch].end);
+  }
+  uint64_t flushed_end = file_end_ - append_buf_.size();
+  end = std::min<uint64_t>(end, flushed_end);
+  end = std::max<uint64_t>(end, loc.offset + loc.length);
+
+  I2MR_RETURN_IF_ERROR(
+      reader_->Read(loc.offset, static_cast<size_t>(end - loc.offset), &w.buf));
+  ++stats_.io_reads;
+  stats_.bytes_read += w.buf.size();
+  if (w.buf.size() < loc.length) {
+    return Status::Corruption("short window read");
+  }
+  w.start = loc.offset;
+  w.end = loc.offset + w.buf.size();
+  return std::string_view(w.buf.data(), loc.length);
+}
+
+StatusOr<Chunk> MRBGStore::Query(const std::string& key) {
+  ++stats_.queries;
+  // Advance the cursor to this key's position in L (queries arrive in
+  // PrepareQueries order; unknown keys fall back to standalone lookups).
+  while (query_cursor_ < query_keys_.size() &&
+         query_keys_[query_cursor_] < key) {
+    ++query_cursor_;
+  }
+
+  const ChunkLocation* loc = index_.Lookup(key);
+  if (loc == nullptr) return Status::NotFound("no chunk for key " + key);
+
+  // Chunk still sitting (entirely or partly) in the append buffer?
+  uint64_t flushed_end = file_end_ - append_buf_.size();
+  if (loc->offset >= flushed_end) {
+    std::string_view view(append_buf_.data() + (loc->offset - flushed_end),
+                          loc->length);
+    Chunk chunk;
+    I2MR_RETURN_IF_ERROR(DecodeChunk(view, &chunk));
+    ++stats_.cache_hits;
+    return chunk;
+  }
+
+  auto bytes = ReadChunkBytes(*loc);
+  if (!bytes.ok()) return bytes.status();
+  Chunk chunk;
+  I2MR_RETURN_IF_ERROR(DecodeChunk(*bytes, &chunk));
+  if (chunk.key != key) {
+    return Status::Corruption("index points to wrong chunk: wanted " + key +
+                              " got " + chunk.key);
+  }
+  return chunk;
+}
+
+Status MRBGStore::MergeGroup(const std::string& k2,
+                             const std::vector<DeltaEdge>& deltas,
+                             Chunk* merged) {
+  merged->key = k2;
+  merged->entries.clear();
+  auto existing = Query(k2);
+  if (existing.ok()) {
+    *merged = std::move(existing.value());
+  } else if (!existing.status().IsNotFound()) {
+    return existing.status();
+  }
+  ApplyDeltaToChunk(deltas, merged);
+  if (merged->empty()) {
+    return RemoveChunk(k2);
+  }
+  return AppendChunk(*merged);
+}
+
+// ---------------------------------------------------------------------------
+// Iteration / compaction
+// ---------------------------------------------------------------------------
+
+Status MRBGStore::ForEachChunk(const std::function<Status(const Chunk&)>& fn) {
+  I2MR_RETURN_IF_ERROR(FlushAppendBuffer());
+  I2MR_RETURN_IF_ERROR(EnsureReader());
+  std::vector<std::pair<std::string, ChunkLocation>> entries;
+  entries.reserve(index_.size());
+  index_.ForEach([&](const std::string& key, const ChunkLocation& loc) {
+    entries.emplace_back(key, loc);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string buf;
+  for (const auto& [key, loc] : entries) {
+    I2MR_RETURN_IF_ERROR(reader_->Read(loc.offset, loc.length, &buf));
+    if (buf.size() < loc.length) return Status::Corruption("short read");
+    Chunk chunk;
+    I2MR_RETURN_IF_ERROR(DecodeChunk(buf, &chunk));
+    I2MR_RETURN_IF_ERROR(fn(chunk));
+  }
+  return Status::OK();
+}
+
+Status MRBGStore::Compact() {
+  I2MR_RETURN_IF_ERROR(FlushAppendBuffer());
+  std::string tmp_path = data_path() + ".compact";
+  auto w = WritableFile::Create(tmp_path);
+  if (!w.ok()) return w.status();
+
+  ChunkIndex new_index;
+  uint64_t offset = 0;
+  std::string buf;
+  Status st = ForEachChunk([&](const Chunk& chunk) -> Status {
+    buf.clear();
+    uint32_t len = EncodeChunk(chunk, &buf);
+    I2MR_RETURN_IF_ERROR(w.value()->Append(buf));
+    new_index.Put(chunk.key, ChunkLocation{offset, len, 0});
+    offset += len;
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  I2MR_RETURN_IF_ERROR(w.value()->Close());
+
+  // Swap in the compacted file.
+  I2MR_RETURN_IF_ERROR(writer_->Close());
+  writer_.reset();
+  I2MR_RETURN_IF_ERROR(RenameFile(tmp_path, data_path()));
+  if (offset > 0) new_index.AddBatch(BatchInfo{0, offset});
+  index_ = std::move(new_index);
+  file_end_ = offset;
+  I2MR_RETURN_IF_ERROR(index_.Save(index_path()));
+
+  auto w2 = WritableFile::Create(data_path(), /*append=*/true);
+  if (!w2.ok()) return w2.status();
+  writer_ = std::move(w2.value());
+  reader_.reset();
+  reader_stale_ = true;
+  windows_.clear();
+  return Status::OK();
+}
+
+}  // namespace i2mr

@@ -1,0 +1,187 @@
+// MRBG-Store (paper §3.4 + §5.2): preserves fine-grain MRBGraph state
+// (chunks of (K2, {MK, V2})) in an append-only file with a hash chunk
+// index, an append buffer for incremental storage, and a read cache with
+// four read strategies:
+//
+//   kIndexOnly          - one exact I/O per chunk (Table 4 "index-only")
+//   kSingleFixedWindow  - one fixed-size window shared across batches
+//   kMultiFixedWindow   - one fixed-size window per sorted batch
+//   kMultiDynamicWindow - Algorithm 1 + the §5.2 multi-window extension:
+//                         window sized from the positions of upcoming
+//                         queried chunks, per batch (the i2MapReduce
+//                         default)
+//
+// Each merge epoch appends one new sorted batch of chunks; obsolete chunk
+// versions remain as garbage until Compact() (the paper's off-line
+// reconstruction).
+#ifndef I2MR_MRBG_MRBG_STORE_H_
+#define I2MR_MRBG_MRBG_STORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/file.h"
+#include "mrbg/chunk.h"
+#include "mrbg/chunk_index.h"
+
+namespace i2mr {
+
+enum class ReadMode {
+  kIndexOnly,
+  kSingleFixedWindow,
+  kMultiFixedWindow,
+  kMultiDynamicWindow,
+};
+
+const char* ReadModeName(ReadMode mode);
+
+struct MRBGStoreOptions {
+  ReadMode read_mode = ReadMode::kMultiDynamicWindow;
+
+  /// Read-cache budget: upper bound on one window's size (Algorithm 1's
+  /// read_cache.size).
+  size_t read_cache_bytes = 4u << 20;
+
+  /// Gap threshold T (Algorithm 1; paper default 100 KB).
+  size_t gap_threshold_bytes = 100u << 10;
+
+  /// Window size for the fixed-window modes.
+  size_t fixed_window_bytes = 256u << 10;
+
+  /// Append buffer size: appended chunks are buffered in memory and spilled
+  /// with sequential I/O when full (paper §3.4 "Incremental Storage").
+  size_t append_buffer_bytes = 1u << 20;
+};
+
+struct MRBGStoreStats {
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t io_reads = 0;     // Table 4 "# reads"
+  uint64_t bytes_read = 0;   // Table 4 "rsize"
+  uint64_t chunks_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t chunks_removed = 0;
+};
+
+class MRBGStore {
+ public:
+  /// Open (or create) a store in directory `dir` (files mrbg.dat /
+  /// mrbg.idx).
+  static StatusOr<std::unique_ptr<MRBGStore>> Open(
+      const std::string& dir, const MRBGStoreOptions& options = {});
+
+  ~MRBGStore();
+
+  Status Close();
+
+  // -- Query path -----------------------------------------------------------
+
+  /// Announce the sorted list of keys the following Query() calls will
+  /// request (the shuffle phase sorts K2s, so the engine knows this list;
+  /// Algorithm 1 input L). Resets window state.
+  Status PrepareQueries(std::vector<std::string> sorted_keys);
+
+  /// Retrieve the latest chunk for `key`. Keys must be requested in
+  /// PrepareQueries order. Returns NotFound if the key has no live chunk.
+  StatusOr<Chunk> Query(const std::string& key);
+
+  bool Contains(const std::string& key) const { return index_.Contains(key); }
+  size_t num_chunks() const { return index_.size(); }
+  size_t num_batches() const { return index_.batches().size(); }
+
+  /// Iterate all live chunks in key order.
+  Status ForEachChunk(const std::function<Status(const Chunk&)>& fn);
+
+  // -- Write path -----------------------------------------------------------
+
+  /// Append a new version of a chunk to the open batch and point the index
+  /// at it. Chunks should be appended in K2-sorted order within a batch
+  /// (the shuffle guarantees this for the engine).
+  Status AppendChunk(const Chunk& chunk);
+
+  /// Drop a chunk from the index (its bytes become garbage).
+  Status RemoveChunk(const std::string& key);
+
+  /// Close the open batch: flush the append buffer, record the batch
+  /// boundary and (by default) persist the index. Iterative jobs may defer
+  /// index persistence to the end of the job (`persist_index = false`) and
+  /// call PersistIndex() once — checkpoints persist explicitly.
+  Status FinishBatch(bool persist_index = true);
+
+  /// Write the in-memory index to disk.
+  Status PersistIndex();
+
+  /// Merge one delta group with the preserved chunk (index nested loop join
+  /// step of §3.4): loads the old chunk (if any), applies deletions and
+  /// upserts, appends the merged result (or removes it if empty) and
+  /// returns it in *merged. Must be called in sorted-K2 order after
+  /// PrepareQueries with the same key list.
+  Status MergeGroup(const std::string& k2, const std::vector<DeltaEdge>& deltas,
+                    Chunk* merged);
+
+  /// Off-line reconstruction: rewrite the file with only live chunks in key
+  /// order as a single batch (paper: "The MRBGraph file is reconstructed
+  /// off-line when the worker is idle").
+  Status Compact();
+
+  // -- Introspection --------------------------------------------------------
+
+  const MRBGStoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MRBGStoreStats{}; }
+  uint64_t file_bytes() const { return file_end_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Paths (exposed for checkpointing).
+  std::string data_path() const;
+  std::string index_path() const;
+
+  /// Re-load index and reopen files after an external restore (fault
+  /// recovery path).
+  Status Reload();
+
+ private:
+  MRBGStore(std::string dir, const MRBGStoreOptions& options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  struct Window {
+    uint64_t start = 0;
+    uint64_t end = 0;  // exclusive; == start means empty
+    std::string buf;
+  };
+
+  Status OpenFiles();
+  Status FlushAppendBuffer();
+  Status EnsureReader();
+  /// Read [offset, offset+length) through the window machinery for a chunk
+  /// in `batch`; returns a view valid until the next window load.
+  StatusOr<std::string_view> ReadChunkBytes(const ChunkLocation& loc);
+  /// Compute the dynamic window size per Algorithm 1 starting at query
+  /// cursor position `qpos`.
+  uint64_t DynamicWindowEnd(const ChunkLocation& loc, size_t qpos) const;
+  uint32_t open_batch_id() const {
+    return static_cast<uint32_t>(index_.batches().size());
+  }
+
+  std::string dir_;
+  MRBGStoreOptions options_;
+  ChunkIndex index_;
+  std::unique_ptr<WritableFile> writer_;
+  std::unique_ptr<RandomAccessFile> reader_;
+  bool reader_stale_ = true;
+  std::string append_buf_;
+  uint64_t file_end_ = 0;  // logical file size incl. unflushed buffer
+
+  std::vector<std::string> query_keys_;  // L, sorted
+  size_t query_cursor_ = 0;
+  std::map<uint32_t, Window> windows_;  // keyed by batch (single mode: key 0)
+
+  MRBGStoreStats stats_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_MRBG_MRBG_STORE_H_

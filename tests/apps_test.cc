@@ -1,0 +1,195 @@
+// App-level unit tests: codecs, reference implementations, APriori
+// end-to-end (pass 1 + accumulator counting pass + incremental refresh).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "apps/apriori.h"
+#include "apps/gimv.h"
+#include "apps/kmeans.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "apps/wordcount.h"
+#include "common/codec.h"
+#include "data/graph_gen.h"
+#include "data/matrix_gen.h"
+#include "data/points_gen.h"
+#include "data/text_gen.h"
+
+namespace i2mr {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { root_ = ::testing::TempDir() + "/i2mr_apps"; }
+  std::string root_;
+};
+
+// ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+
+TEST(AppCodecTest, KmeansCentroidsRoundTrip) {
+  std::vector<std::vector<double>> centroids = {{1.5, -2.0}, {0.0, 3.25}};
+  auto enc = kmeans::EncodeCentroids(centroids);
+  auto dec = kmeans::DecodeCentroids(enc);
+  ASSERT_EQ(dec.size(), 2u);
+  EXPECT_DOUBLE_EQ(dec[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(dec[1][1], 3.25);
+}
+
+TEST(AppCodecTest, PairKeyIsOrderInvariant) {
+  EXPECT_EQ(apriori::PairKey("b", "a"), "a|b");
+  EXPECT_EQ(apriori::PairKey("a", "b"), "a|b");
+}
+
+TEST(AppCodecTest, TokenizeHandlesRepeatedSpaces) {
+  auto toks = wordcount::Tokenize("a  b c ");
+  EXPECT_EQ(toks, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(wordcount::Tokenize("").empty());
+}
+
+TEST(AppCodecTest, MixedValueSplitsAtLastBar) {
+  std::string mixed = pagerank::MixedValue("1 2 3", 0.5);
+  size_t bar = mixed.rfind('|');
+  EXPECT_EQ(mixed.substr(0, bar), "1 2 3");
+  EXPECT_DOUBLE_EQ(*ParseDouble(mixed.substr(bar + 1)), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Reference sanity
+// ---------------------------------------------------------------------------
+
+TEST(AppReferenceTest, PageRankRanksSumToVertexCount) {
+  GraphGenOptions gen;
+  gen.num_vertices = 200;
+  auto graph = GenGraph(gen);
+  auto ranks = pagerank::Reference(graph, 100, 1e-10);
+  // For a graph without dangling rank leakage the sum is |V| (paper
+  // footnote 2: scores are |N| times larger). Dangling vertices leak, so
+  // allow slack below, but the total must stay in the right regime.
+  double sum = 0;
+  for (const auto& kv : ranks) sum += *ParseDouble(kv.value);
+  EXPECT_GT(sum, ranks.size() * 0.15);
+  EXPECT_LE(sum, ranks.size() * 1.5);
+}
+
+TEST(AppReferenceTest, SsspSourceIsZeroAndTriangleInequalityHolds) {
+  GraphGenOptions gen;
+  gen.num_vertices = 80;
+  gen.weighted = true;
+  auto graph = GenGraph(gen);
+  std::string source = PaddedNum(0);
+  auto dist = sssp::Reference(graph, source);
+  std::map<std::string, double> d;
+  for (const auto& kv : dist) d[kv.key] = *ParseDouble(kv.value);
+  EXPECT_DOUBLE_EQ(d[source], 0.0);
+  for (const auto& kv : graph) {
+    if (d[kv.key] >= sssp::kInf) continue;
+    for (const auto& [j, w] : ParseWeightedAdjacency(kv.value)) {
+      EXPECT_LE(d[j], d[kv.key] + w + 1e-9);
+    }
+  }
+}
+
+TEST(AppReferenceTest, KmeansReferenceReducesInertia) {
+  PointsGenOptions gen;
+  gen.num_points = 200;
+  gen.dims = 2;
+  gen.num_clusters = 3;
+  auto points = GenPoints(gen);
+  auto init = kmeans::DecodeCentroids(kmeans::InitialState(points, 3)[0].value);
+  auto final_centroids = kmeans::Reference(points, init, 20, 1e-8);
+
+  auto inertia = [&](const std::vector<std::vector<double>>& cs) {
+    double total = 0;
+    for (const auto& kv : points) {
+      auto p = ParseVector(kv.value);
+      double best = 1e300;
+      for (const auto& c : cs) {
+        double s = 0;
+        for (size_t i = 0; i < p.size(); ++i) s += (p[i] - c[i]) * (p[i] - c[i]);
+        best = std::min(best, s);
+      }
+      total += best;
+    }
+    return total;
+  };
+  EXPECT_LT(inertia(final_centroids), inertia(init));
+}
+
+TEST(AppReferenceTest, GimvConvergesToFixpoint) {
+  MatrixGenOptions gen;
+  gen.num_blocks = 3;
+  gen.block_size = 5;
+  gen.density = 0.3;
+  auto blocks = GenBlockMatrix(gen);
+  auto vec = GenVectorBlocks(gen, 1.0);
+  auto a = gimv::Reference(blocks, vec, gen.block_size, 0.15, 200, 1e-12);
+  auto b = gimv::Reference(blocks, vec, gen.block_size, 0.15, 201, 1e-12);
+  EXPECT_LT(gimv::MaxDelta(a, b), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// APriori end-to-end
+// ---------------------------------------------------------------------------
+
+TEST_F(AppsTest, AprioriPassOneFindsFrequentWords) {
+  LocalCluster cluster(root_, 3);
+  std::vector<KV> docs = {
+      {"d0", "hot cold hot"},
+      {"d1", "hot warm"},
+      {"d2", "cold hot warm"},
+      {"d3", "rare"},
+  };
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("docs", docs, 2).ok());
+  auto frequent = apriori::FrequentWords(&cluster, "docs", 2);
+  ASSERT_TRUE(frequent.ok()) << frequent.status().ToString();
+  EXPECT_TRUE(frequent->count("hot") > 0);
+  EXPECT_TRUE(frequent->count("cold") > 0);
+  EXPECT_TRUE(frequent->count("warm") > 0);
+  EXPECT_EQ(frequent->count("rare"), 0u);
+}
+
+TEST_F(AppsTest, AprioriCountsPairsAndRefreshesIncrementally) {
+  LocalCluster cluster(root_, 3);
+  TextGenOptions gen;
+  gen.num_docs = 300;
+  gen.vocab_size = 40;
+  gen.words_per_doc = 6;
+  auto docs = GenDocs(gen);
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("docs", docs, 3).ok());
+
+  auto frequent = apriori::FrequentWords(&cluster, "docs", 20);
+  ASSERT_TRUE(frequent.ok());
+  ASSERT_GT(frequent->size(), 3u);
+
+  IncrementalOneStepJob job(&cluster,
+                            apriori::MakeSpec("apriori", 3, *frequent));
+  ASSERT_TRUE(job.RunInitial(*cluster.dfs()->Parts("docs")).ok());
+
+  auto check = [&](const std::vector<KV>& all_docs) {
+    auto want = apriori::Reference(all_docs, *frequent);
+    auto got = job.Results();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), want.size());
+    for (const auto& kv : *got) {
+      EXPECT_EQ(*ParseNum(kv.value), want[kv.key]) << kv.key;
+    }
+  };
+  check(docs);
+
+  // Incremental refresh: 7.9%-style insertion-only delta (new tweets).
+  auto delta = GenDocsDelta(gen, 0.08, 99, &docs);
+  ASSERT_FALSE(delta.empty());
+  ASSERT_TRUE(cluster.dfs()->WriteDeltaDataset("delta", delta, 2).ok());
+  auto incr = job.RunIncremental(*cluster.dfs()->Parts("delta"));
+  ASSERT_TRUE(incr.ok());
+  EXPECT_EQ(incr->map_instances, static_cast<int64_t>(delta.size()));
+  check(docs);
+}
+
+}  // namespace
+}  // namespace i2mr

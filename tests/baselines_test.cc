@@ -1,0 +1,306 @@
+// Tests for the comparison baselines: PlainMR iteration driver, the
+// HaLoop-style two-job driver, and the Spark-like in-memory engine.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/gimv.h"
+#include "apps/pagerank.h"
+#include "baselines/haloop_driver.h"
+#include "baselines/plain_driver.h"
+#include "baselines/spark_sim.h"
+#include "common/codec.h"
+#include "data/graph_gen.h"
+#include "data/matrix_gen.h"
+#include "io/env.h"
+#include "io/record_file.h"
+
+namespace i2mr {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { root_ = ::testing::TempDir() + "/i2mr_baselines"; }
+  std::string root_;
+};
+
+std::map<std::string, double> ReadRanksFromMixed(
+    const std::vector<std::string>& parts) {
+  std::map<std::string, double> ranks;
+  for (const auto& part : parts) {
+    if (!FileExists(part)) continue;
+    auto recs = ReadRecords(part);
+    EXPECT_TRUE(recs.ok());
+    for (const auto& kv : *recs) {
+      size_t bar = kv.value.rfind('|');
+      ranks[kv.key] = *ParseDouble(kv.value.substr(bar + 1));
+    }
+  }
+  return ranks;
+}
+
+TEST_F(BaselinesTest, PlainMrPageRankMatchesReference) {
+  LocalCluster cluster(root_, 3);
+  GraphGenOptions gen;
+  gen.num_vertices = 120;
+  auto graph = GenGraph(gen);
+
+  std::vector<KV> mixed;
+  for (const auto& kv : graph) {
+    mixed.push_back(KV{kv.key, pagerank::MixedValue(kv.value, 1.0)});
+  }
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("pr-in", mixed, 3).ok());
+
+  PlainIterSpec spec;
+  spec.name = "plainpr";
+  spec.mapper = pagerank::PlainMapper();
+  spec.reducer = pagerank::PlainReducer();
+  spec.num_reduce_tasks = 3;
+  spec.num_iterations = 25;
+  auto result = RunPlainIterations(&cluster, spec, "pr-in");
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  auto ranks = ReadRanksFromMixed(result.final_parts);
+  auto reference = pagerank::Reference(graph, 25, 0.0);
+  double total_err = 0;
+  size_t n = 0;
+  for (const auto& kv : reference) {
+    auto it = ranks.find(kv.key);
+    if (it == ranks.end()) continue;  // destination-only vertices
+    total_err += std::abs(it->second - *ParseDouble(kv.value));
+    ++n;
+  }
+  ASSERT_GT(n, 100u);
+  EXPECT_LT(total_err / n, 1e-3);
+}
+
+TEST_F(BaselinesTest, HaLoopPageRankMatchesPlain) {
+  LocalCluster cluster(root_, 3);
+  GraphGenOptions gen;
+  gen.num_vertices = 100;
+  gen.seed = 5;
+  auto graph = GenGraph(gen);
+
+  // HaLoop input: separate structure / state datasets.
+  std::vector<KV> structure, state;
+  for (const auto& kv : graph) {
+    structure.push_back(KV{kv.key, "S" + kv.value});
+    state.push_back(KV{kv.key, "R1"});
+  }
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("hl-struct", structure, 3).ok());
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("hl-state", state, 3).ok());
+
+  TwoJobIterSpec spec;
+  spec.name = "haloop-pr";
+  spec.mapper1 = pagerank::HaLoopIdentityMapper();
+  spec.reducer1 = pagerank::HaLoopJoinReducer();
+  spec.mapper2 = pagerank::HaLoopIdentityMapper();
+  spec.reducer2 = pagerank::HaLoopSumReducer();
+  spec.num_reduce_tasks = 3;
+  spec.num_iterations = 20;
+  auto result = RunTwoJobIterations(&cluster, spec, "hl-struct", "hl-state");
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  std::map<std::string, double> ranks;
+  for (const auto& part : result.final_parts) {
+    if (!FileExists(part)) continue;
+    auto recs = ReadRecords(part);
+    ASSERT_TRUE(recs.ok());
+    for (const auto& kv : *recs) {
+      ASSERT_EQ(kv.value[0], 'R');
+      ranks[kv.key] = *ParseDouble(kv.value.substr(1));
+    }
+  }
+  auto reference = pagerank::Reference(graph, 20, 0.0);
+  for (const auto& kv : reference) {
+    auto it = ranks.find(kv.key);
+    if (it == ranks.end()) continue;
+    EXPECT_NEAR(it->second, *ParseDouble(kv.value), 1e-3) << kv.key;
+  }
+  EXPECT_GE(ranks.size(), 100u);
+}
+
+TEST_F(BaselinesTest, GimvTwoJobMatchesReference) {
+  LocalCluster cluster(root_, 3);
+  MatrixGenOptions gen;
+  gen.num_blocks = 3;
+  gen.block_size = 6;
+  gen.density = 0.25;
+  auto blocks = GenBlockMatrix(gen);
+  auto vec = GenVectorBlocks(gen, 1.0);
+
+  std::vector<KV> matrix_ds, vector_ds;
+  for (const auto& kv : blocks) matrix_ds.push_back(KV{kv.key, "M" + kv.value});
+  for (const auto& kv : vec) vector_ds.push_back(KV{kv.key, "V" + kv.value});
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("gimv-m", matrix_ds, 2).ok());
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("gimv-v", vector_ds, 2).ok());
+
+  TwoJobIterSpec spec;
+  spec.name = "gimv2";
+  spec.mapper1 = gimv::Phase1Mapper(gen.num_blocks);
+  spec.reducer1 = gimv::Phase1Reducer(gen.block_size);
+  spec.mapper2 = gimv::Phase2Mapper();
+  spec.reducer2 = gimv::Phase2Reducer(0.15);
+  spec.num_reduce_tasks = 3;
+  spec.num_iterations = 15;
+  spec.cache_static = false;  // plain two-job variant
+  auto result = RunTwoJobIterations(&cluster, spec, "gimv-m", "gimv-v");
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+
+  std::vector<KV> got;
+  for (const auto& part : result.final_parts) {
+    if (!FileExists(part)) continue;
+    auto recs = ReadRecords(part);
+    ASSERT_TRUE(recs.ok());
+    for (const auto& kv : *recs) {
+      got.push_back(KV{kv.key, kv.value.substr(1)});  // strip 'V'
+    }
+  }
+  auto reference = gimv::Reference(blocks, vec, gen.block_size, 0.15, 15, 0.0);
+  EXPECT_LT(gimv::MaxDelta(got, reference), 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// SparkSim
+// ---------------------------------------------------------------------------
+
+class SparkSimTest : public BaselinesTest {
+ protected:
+  sparksim::Options Opts(size_t budget) {
+    sparksim::Options o;
+    o.num_partitions = 4;
+    o.memory_budget_bytes = budget;
+    o.spill_dir = root_ + "/spark_spill";
+    return o;
+  }
+};
+
+TEST_F(SparkSimTest, OpsComputeCorrectly) {
+  sparksim::SparkSim spark(Opts(64u << 20));
+  auto data = spark.Parallelize({{"a", "1"}, {"b", "2"}, {"a", "3"}});
+  ASSERT_TRUE(data.ok());
+  auto doubled = spark.FlatMap(*data, [](const KV& kv, std::vector<KV>* out) {
+    out->push_back(KV{kv.key, std::to_string(*ParseNum(kv.value) * 2)});
+  });
+  ASSERT_TRUE(doubled.ok());
+  auto summed = spark.ReduceByKey(
+      *doubled, [](const std::string& a, const std::string& b) {
+        return std::to_string(*ParseNum(a) + *ParseNum(b));
+      });
+  ASSERT_TRUE(summed.ok());
+  auto result = spark.Collect(*summed);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0], (KV{"a", "8"}));
+  EXPECT_EQ((*result)[1], (KV{"b", "4"}));
+}
+
+TEST_F(SparkSimTest, JoinAlignsPartitions) {
+  sparksim::SparkSim spark(Opts(64u << 20));
+  auto left = spark.Parallelize({{"x", "l1"}, {"y", "l2"}, {"z", "l3"}});
+  auto right = spark.Parallelize({{"x", "r1"}, {"z", "r3"}});
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  auto joined = spark.JoinFlatMap(
+      *left, *right,
+      [](const std::string& k, const std::string& lv, const std::string& rv,
+         std::vector<KV>* out) { out->push_back(KV{k, lv + "+" + rv}); });
+  ASSERT_TRUE(joined.ok());
+  auto result = spark.Collect(*joined);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0], (KV{"x", "l1+r1"}));
+  EXPECT_EQ((*result)[1], (KV{"z", "l3+r3"}));
+}
+
+TEST_F(SparkSimTest, SpillsUnderMemoryPressureAndStaysCorrect) {
+  // Tiny budget: everything spills, results identical to the in-memory run.
+  auto run = [&](size_t budget, sparksim::Stats* stats) {
+    sparksim::SparkSim spark(Opts(budget));
+    std::vector<KV> recs;
+    for (int i = 0; i < 2000; ++i) {
+      recs.push_back({PaddedNum(i % 97), std::string(50, 'x')});
+    }
+    auto data = spark.Parallelize(recs);
+    EXPECT_TRUE(data.ok());
+    auto counted = spark.ReduceByKey(
+        *data, [](const std::string& a, const std::string&) { return a; });
+    EXPECT_TRUE(counted.ok());
+    auto out = spark.Collect(*counted);
+    EXPECT_TRUE(out.ok());
+    *stats = spark.stats();
+    return *out;
+  };
+  sparksim::Stats big_stats, small_stats;
+  auto big = run(64u << 20, &big_stats);
+  auto small = run(8u << 10, &small_stats);
+  EXPECT_EQ(big, small);
+  EXPECT_EQ(big_stats.spill_events, 0u);
+  EXPECT_GT(small_stats.spill_events, 0u);
+  EXPECT_GT(small_stats.disk_read_bytes, 0u);
+}
+
+TEST_F(SparkSimTest, PageRankOnSparkMatchesReference) {
+  GraphGenOptions gen;
+  gen.num_vertices = 100;
+  auto graph = GenGraph(gen);
+
+  sparksim::SparkSim spark(Opts(64u << 20));
+  auto links = spark.Parallelize(graph);
+  ASSERT_TRUE(links.ok());
+  // All vertices (sources + destinations) start at rank 1.
+  std::map<std::string, bool> vertices;
+  for (const auto& kv : graph) {
+    vertices[kv.key] = true;
+    for (const auto& j : ParseAdjacency(kv.value)) vertices[j] = true;
+  }
+  std::vector<KV> rank0;
+  for (const auto& [v, _] : vertices) rank0.push_back({v, "1"});
+  auto ranks = spark.Parallelize(rank0);
+  ASSERT_TRUE(ranks.ok());
+
+  for (int it = 0; it < 25; ++it) {
+    auto contribs = spark.JoinFlatMap(
+        *links, *ranks,
+        [](const std::string&, const std::string& adj, const std::string& rank,
+           std::vector<KV>* out) {
+          auto dests = ParseAdjacency(adj);
+          if (dests.empty()) return;
+          double share = *ParseDouble(rank) / dests.size();
+          for (const auto& j : dests) out->push_back({j, FormatDouble(share)});
+        });
+    ASSERT_TRUE(contribs.ok());
+    // Zero-contribution keep-alive so every vertex is rescored.
+    auto keepalive = spark.FlatMap(*ranks, [](const KV& kv, std::vector<KV>* out) {
+      out->push_back({kv.key, "0"});
+    });
+    ASSERT_TRUE(keepalive.ok());
+    auto all = spark.Collect(*contribs);
+    auto ka = spark.Collect(*keepalive);
+    ASSERT_TRUE(all.ok());
+    ASSERT_TRUE(ka.ok());
+    all->insert(all->end(), ka->begin(), ka->end());
+    auto merged = spark.Parallelize(*all);
+    ASSERT_TRUE(merged.ok());
+    auto summed = spark.ReduceByKey(
+        *merged, [](const std::string& a, const std::string& b) {
+          return FormatDouble(*ParseDouble(a) + *ParseDouble(b));
+        });
+    ASSERT_TRUE(summed.ok());
+    auto damped = spark.FlatMap(*summed, [](const KV& kv, std::vector<KV>* out) {
+      out->push_back(
+          {kv.key, FormatDouble(0.85 * *ParseDouble(kv.value) + 0.15)});
+    });
+    ASSERT_TRUE(damped.ok());
+    ranks = damped;
+  }
+  auto result = spark.Collect(*ranks);
+  ASSERT_TRUE(result.ok());
+  auto reference = pagerank::Reference(graph, 25, 0.0);
+  EXPECT_LT(pagerank::MeanError(*result, reference), 1e-3);
+}
+
+}  // namespace
+}  // namespace i2mr

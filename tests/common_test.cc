@@ -1,0 +1,336 @@
+// Unit tests for src/common: status, codecs, hashing, RNG, thread pool,
+// metrics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/hash.h"
+#include "common/kv.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace i2mr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, DistinctCodes) {
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_FALSE(Status::IOError("x").IsCorruption());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().message(), "nope");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string(1000, 'x');
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+TEST(CodecTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeefu);
+  PutFixed32(&buf, 0xffffffffu);
+  Decoder dec(buf);
+  uint32_t v;
+  ASSERT_TRUE(dec.GetFixed32(&v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(dec.GetFixed32(&v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(dec.GetFixed32(&v));
+  EXPECT_EQ(v, 0xdeadbeefu);
+  ASSERT_TRUE(dec.GetFixed32(&v));
+  EXPECT_EQ(v, 0xffffffffu);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  Decoder dec(buf);
+  uint64_t v;
+  ASSERT_TRUE(dec.GetFixed64(&v));
+  EXPECT_EQ(v, 0x0123456789abcdefULL);
+}
+
+TEST(CodecTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(100000, 'z'));
+  Decoder dec(buf);
+  std::string s;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s));
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s));
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s));
+  EXPECT_EQ(s.size(), 100000u);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, DoubleRoundTrip) {
+  std::string buf;
+  PutDouble(&buf, 3.14159);
+  PutDouble(&buf, -0.0);
+  PutDouble(&buf, 1e308);
+  Decoder dec(buf);
+  double d;
+  ASSERT_TRUE(dec.GetDouble(&d));
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  ASSERT_TRUE(dec.GetDouble(&d));
+  EXPECT_DOUBLE_EQ(d, -0.0);
+  ASSERT_TRUE(dec.GetDouble(&d));
+  EXPECT_DOUBLE_EQ(d, 1e308);
+}
+
+TEST(CodecTest, DecoderFailsOnTruncation) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  Decoder dec(buf.data(), buf.size() - 2);
+  std::string s;
+  EXPECT_FALSE(dec.GetLengthPrefixed(&s));
+  EXPECT_FALSE(dec.ok());
+  // Further reads keep failing.
+  uint32_t v;
+  EXPECT_FALSE(dec.GetFixed32(&v));
+}
+
+TEST(CodecTest, PaddedNumOrdersLexicographically) {
+  EXPECT_EQ(PaddedNum(42), "0000000042");
+  EXPECT_LT(PaddedNum(9), PaddedNum(10));
+  EXPECT_LT(PaddedNum(99), PaddedNum(100));
+  EXPECT_LT(PaddedNum(0), PaddedNum(1));
+}
+
+TEST(CodecTest, ParseNum) {
+  ASSERT_TRUE(ParseNum("0000000042").ok());
+  EXPECT_EQ(*ParseNum("0000000042"), 42u);
+  EXPECT_EQ(*ParseNum("7"), 7u);
+  EXPECT_FALSE(ParseNum("").ok());
+  EXPECT_FALSE(ParseNum("12x").ok());
+}
+
+TEST(CodecTest, ParseFormatDoubleRoundTrip) {
+  for (double d : {0.0, 1.0, -2.5, 0.15, 1e-9, 123456.789}) {
+    auto parsed = ParseDouble(FormatDouble(d));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_DOUBLE_EQ(*parsed, d);
+  }
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Hash
+// ---------------------------------------------------------------------------
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(Hash64("pagerank"), Hash64("pagerank"));
+  EXPECT_NE(Hash64("a"), Hash64("b"));
+  EXPECT_NE(Hash64(""), Hash64("a"));
+  // Different seeds give different hashes.
+  EXPECT_NE(Hash64("a", 1), Hash64("a", 2));
+}
+
+TEST(HashTest, LowCollisionOnSequentialKeys) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(Hash64(PaddedNum(i)));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(HashTest, MapInstanceKeyDependsOnBothKeyAndValue) {
+  EXPECT_NE(MapInstanceKey("k", "v1"), MapInstanceKey("k", "v2"));
+  EXPECT_NE(MapInstanceKey("k1", "v"), MapInstanceKey("k2", "v"));
+  EXPECT_EQ(MapInstanceKey("k", "v"), MapInstanceKey("k", "v"));
+  // Boundary shifting must not collide.
+  EXPECT_NE(MapInstanceKey("ab", "c"), MapInstanceKey("a", "bc"));
+}
+
+TEST(HashTest, PartitionBalance) {
+  // Hash partitioning of padded numeric keys should be roughly balanced.
+  const int kParts = 8;
+  const int kKeys = 80000;
+  std::vector<int> counts(kParts, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    counts[Hash64(PaddedNum(i)) % kParts]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kKeys / kParts * 0.9);
+    EXPECT_LT(c, kKeys / kParts * 1.1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rng / Zipf
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool any_diff = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(ZipfTest, SkewFavorsSmallIds) {
+  Rng rng(13);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.Sample(&rng)]++;
+  // Rank 0 much more frequent than rank 500.
+  EXPECT_GT(counts[0], counts[500] * 10);
+  // All samples in range (vector indexing would have crashed otherwise).
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, 100000);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(&pool, 64, [&](int i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmpty) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [&](int) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, WaitIdleThenReuse) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics / timer
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, AddAccumulates) {
+  StageMetrics a, b;
+  a.map_ns = 100;
+  a.shuffle_bytes = 5;
+  b.map_ns = 50;
+  b.shuffle_bytes = 7;
+  a.Add(b);
+  EXPECT_EQ(a.map_ns.load(), 150);
+  EXPECT_EQ(a.shuffle_bytes.load(), 12);
+}
+
+TEST(MetricsTest, ScopedTimerAccumulates) {
+  std::atomic<int64_t> ns{0};
+  {
+    ScopedTimer t(&ns);
+  }
+  {
+    ScopedTimer t(&ns);
+  }
+  EXPECT_GE(ns.load(), 0);
+}
+
+TEST(KVTest, Ordering) {
+  EXPECT_LT((KV{"a", "z"}), (KV{"b", "a"}));
+  EXPECT_LT((KV{"a", "a"}), (KV{"a", "b"}));
+  EXPECT_EQ((KV{"a", "a"}), (KV{"a", "a"}));
+}
+
+}  // namespace
+}  // namespace i2mr

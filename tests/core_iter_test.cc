@@ -1,0 +1,269 @@
+// Tests for the general-purpose iterative engine (§4): the four evaluation
+// applications converge to their sequential references; dependency-aware
+// partitioning invariants hold for all three dependency types.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/gimv.h"
+#include "apps/kmeans.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "common/codec.h"
+#include "core/iter_engine.h"
+#include "data/graph_gen.h"
+#include "data/matrix_gen.h"
+#include "data/points_gen.h"
+#include "io/record_file.h"
+#include "mr/cluster.h"
+
+namespace i2mr {
+namespace {
+
+std::map<std::string, double> ToDoubleMap(const std::vector<KV>& kvs) {
+  std::map<std::string, double> out;
+  for (const auto& kv : kvs) out[kv.key] = *ParseDouble(kv.value);
+  return out;
+}
+
+std::vector<KV> UnitState(const std::vector<KV>& structure) {
+  std::vector<KV> state;
+  for (const auto& kv : structure) state.push_back(KV{kv.key, "1"});
+  return state;
+}
+
+class CoreIterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { root_ = ::testing::TempDir() + "/i2mr_core_iter"; }
+  std::string root_;
+};
+
+TEST_F(CoreIterTest, PageRankTinyGraphMatchesHandComputation) {
+  LocalCluster cluster(root_, 2);
+  // 0 -> 1, 1 -> 0: symmetric, ranks converge to 1.
+  std::vector<KV> graph = {{"0", "1"}, {"1", "0"}};
+  IterativeEngine engine(&cluster,
+                         pagerank::MakeIterSpec("pr_tiny", 2, 60, 1e-10));
+  ASSERT_TRUE(engine.Prepare(graph, UnitState(graph)).ok());
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  auto state = engine.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  auto ranks = ToDoubleMap(*state);
+  EXPECT_NEAR(ranks["0"], 1.0, 1e-6);
+  EXPECT_NEAR(ranks["1"], 1.0, 1e-6);
+}
+
+TEST_F(CoreIterTest, PageRankMatchesReferenceOnPowerLawGraph) {
+  LocalCluster cluster(root_, 4);
+  GraphGenOptions gen;
+  gen.num_vertices = 300;
+  gen.avg_degree = 5;
+  auto graph = GenGraph(gen);
+
+  IterativeEngine engine(&cluster, pagerank::MakeIterSpec("pr", 4, 60, 1e-8));
+  ASSERT_TRUE(engine.Prepare(graph, UnitState(graph)).ok());
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->size(), 3u);  // took several iterations
+
+  auto reference = pagerank::Reference(graph, 60, 1e-8);
+  auto state = engine.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  EXPECT_LT(pagerank::MeanError(*state, reference), 1e-5);
+}
+
+TEST_F(CoreIterTest, PageRankConvergenceIsMonotonicOverall) {
+  LocalCluster cluster(root_, 2);
+  GraphGenOptions gen;
+  gen.num_vertices = 100;
+  auto graph = GenGraph(gen);
+  IterativeEngine engine(&cluster, pagerank::MakeIterSpec("prc", 2, 30, 1e-9));
+  ASSERT_TRUE(engine.Prepare(graph, UnitState(graph)).ok());
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_GT(stats->size(), 4u);
+  // Total diff in late iterations is far below early iterations.
+  EXPECT_LT(stats->back().total_diff, stats->front().total_diff / 10);
+}
+
+TEST_F(CoreIterTest, SsspMatchesDijkstra) {
+  LocalCluster cluster(root_, 3);
+  GraphGenOptions gen;
+  gen.num_vertices = 200;
+  gen.avg_degree = 4;
+  gen.weighted = true;
+  auto graph = GenGraph(gen);
+  std::string source = PaddedNum(0);
+
+  auto spec = sssp::MakeIterSpec("sssp", source, 3);
+  IterativeEngine engine(&cluster, spec);
+  std::vector<KV> init_state;
+  for (const auto& kv : graph) {
+    init_state.push_back(KV{kv.key, spec.init_state(kv.key)});
+  }
+  ASSERT_TRUE(engine.Prepare(graph, init_state).ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  auto reference = sssp::Reference(graph, source);
+  auto state = engine.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(sssp::ErrorRate(*state, reference, 1e-9), 0.0);
+}
+
+TEST_F(CoreIterTest, KmeansMatchesLloyd) {
+  LocalCluster cluster(root_, 3);
+  PointsGenOptions gen;
+  gen.num_points = 300;
+  gen.dims = 3;
+  gen.num_clusters = 4;
+  auto points = GenPoints(gen);
+  auto init = kmeans::InitialState(points, 4);
+
+  IterativeEngine engine(&cluster, kmeans::MakeIterSpec("km", 3, 25, 1e-6));
+  ASSERT_TRUE(engine.Prepare(points, init).ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  auto state = engine.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->size(), 1u);
+  auto got = kmeans::DecodeCentroids((*state)[0].value);
+  auto want = kmeans::Reference(
+      points, kmeans::DecodeCentroids(init[0].value), 25, 1e-6);
+  EXPECT_LT(kmeans::MaxCentroidDelta(got, want), 1e-5);
+}
+
+TEST_F(CoreIterTest, GimvMatchesBlockedMultiply) {
+  LocalCluster cluster(root_, 3);
+  MatrixGenOptions gen;
+  gen.num_blocks = 4;
+  gen.block_size = 8;
+  gen.density = 0.2;
+  auto blocks = GenBlockMatrix(gen);
+  auto vec = GenVectorBlocks(gen, 1.0);
+
+  IterativeEngine engine(
+      &cluster, gimv::MakeIterSpec("gimv", 3, gen.block_size, 0.15, 40, 1e-10));
+  ASSERT_TRUE(engine.Prepare(blocks, vec).ok());
+  ASSERT_TRUE(engine.Run().ok());
+
+  auto state = engine.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  auto reference =
+      gimv::Reference(blocks, vec, gen.block_size, 0.15, 40, 1e-10);
+  EXPECT_LT(gimv::MaxDelta(*state, reference), 1e-6);
+}
+
+TEST_F(CoreIterTest, StructureFilesSortedByProjectKey) {
+  LocalCluster cluster(root_, 3);
+  MatrixGenOptions gen;
+  gen.num_blocks = 4;
+  gen.block_size = 4;
+  gen.density = 0.3;
+  auto blocks = GenBlockMatrix(gen);
+  auto vec = GenVectorBlocks(gen, 1.0);
+  auto spec = gimv::MakeIterSpec("gimv_sort", 3, gen.block_size);
+  IterativeEngine engine(&cluster, spec);
+  ASSERT_TRUE(engine.Prepare(blocks, vec).ok());
+
+  for (int p = 0; p < 3; ++p) {
+    auto recs = ReadRecords(engine.StructurePath(p));
+    ASSERT_TRUE(recs.ok());
+    std::string last;
+    for (const auto& kv : *recs) {
+      std::string proj = spec.projector->Project(kv.key);
+      EXPECT_GE(proj, last) << "partition " << p << " unsorted";
+      last = proj;
+      // Co-partitioning invariant: hash(project(SK)) determines partition.
+      EXPECT_EQ(Hash64(proj) % 3, static_cast<uint64_t>(p));
+    }
+  }
+}
+
+TEST_F(CoreIterTest, StateCoLocatedWithReducePartition) {
+  LocalCluster cluster(root_, 4);
+  GraphGenOptions gen;
+  gen.num_vertices = 100;
+  auto graph = GenGraph(gen);
+  IterativeEngine engine(&cluster, pagerank::MakeIterSpec("pr_coloc", 4));
+  ASSERT_TRUE(engine.Prepare(graph, UnitState(graph)).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  for (int p = 0; p < 4; ++p) {
+    for (const auto& [dk, dv] : engine.state(p)->items()) {
+      (void)dv;
+      EXPECT_EQ(Hash64(dk) % 4, static_cast<uint64_t>(p));
+    }
+  }
+}
+
+TEST_F(CoreIterTest, AllToOneStateReplicatedToEveryPartition) {
+  LocalCluster cluster(root_, 3);
+  PointsGenOptions gen;
+  gen.num_points = 60;
+  gen.dims = 2;
+  auto points = GenPoints(gen);
+  auto init = kmeans::InitialState(points, 3);
+  IterativeEngine engine(&cluster, kmeans::MakeIterSpec("km_rep", 3, 5, 1e-6));
+  ASSERT_TRUE(engine.Prepare(points, init).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const std::string* v0 = engine.state(0)->Get(kmeans::kStateKey);
+  ASSERT_NE(v0, nullptr);
+  for (int p = 1; p < 3; ++p) {
+    const std::string* vp = engine.state(p)->Get(kmeans::kStateKey);
+    ASSERT_NE(vp, nullptr);
+    EXPECT_EQ(*v0, *vp);
+  }
+}
+
+TEST_F(CoreIterTest, LoadExistingResumesFromSavedState) {
+  GraphGenOptions gen;
+  gen.num_vertices = 50;
+  auto graph = GenGraph(gen);
+  LocalCluster cluster(root_, 2);
+  std::vector<KV> snapshot;
+  {
+    IterativeEngine engine(&cluster, pagerank::MakeIterSpec("pr_resume", 2));
+    ASSERT_TRUE(engine.Prepare(graph, UnitState(graph)).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    auto s = engine.StateSnapshot();
+    ASSERT_TRUE(s.ok());
+    snapshot = *s;
+  }
+  {
+    IterativeEngine engine(&cluster, pagerank::MakeIterSpec("pr_resume", 2));
+    ASSERT_TRUE(engine.LoadExisting().ok());
+    auto s = engine.StateSnapshot();
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(*s, snapshot);
+  }
+}
+
+TEST_F(CoreIterTest, RunWithoutPrepareFails) {
+  LocalCluster cluster(root_, 2);
+  IterativeEngine engine(&cluster, pagerank::MakeIterSpec("pr_unprep", 2));
+  EXPECT_FALSE(engine.Run().ok());
+}
+
+TEST_F(CoreIterTest, IterationStatsArePopulated) {
+  LocalCluster cluster(root_, 2);
+  GraphGenOptions gen;
+  gen.num_vertices = 80;
+  auto graph = GenGraph(gen);
+  IterativeEngine engine(&cluster, pagerank::MakeIterSpec("pr_stats", 2, 5, 0));
+  ASSERT_TRUE(engine.Prepare(graph, UnitState(graph)).ok());
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->size(), 5u);
+  for (const auto& it : *stats) {
+    EXPECT_EQ(it.map_instances, 80);
+    EXPECT_GT(it.shuffle_bytes, 0);
+    EXPECT_GT(it.reduced_keys, 0);
+    EXPECT_GT(it.wall_ms, 0);
+  }
+}
+
+}  // namespace
+}  // namespace i2mr

@@ -1,0 +1,138 @@
+// Tests for the cluster cost model: simulated network transfers, job/task
+// startup charges, and remote-input (Dfs-read) charging in map tasks.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/timer.h"
+#include "io/env.h"
+#include "io/record_file.h"
+#include "mr/cluster.h"
+#include "mr/cost_model.h"
+
+namespace i2mr {
+namespace {
+
+TEST(CostModelTest, ZeroCostModelDoesNotSleep) {
+  CostModel cost;
+  WallTimer timer;
+  cost.ChargeTransfer(100 << 20);
+  cost.ChargeJobStartup();
+  cost.ChargeTaskStartup();
+  EXPECT_LT(timer.ElapsedMillis(), 5.0);
+}
+
+TEST(CostModelTest, TransferTimeScalesWithBytes) {
+  CostModel cost;
+  cost.net_mb_per_s = 100;  // 100 MB/s -> 10 MB should take ~100 ms
+  WallTimer timer;
+  cost.ChargeTransfer(10 << 20);
+  double ms = timer.ElapsedMillis();
+  EXPECT_GE(ms, 90.0);
+  EXPECT_LT(ms, 400.0);
+}
+
+TEST(CostModelTest, LatencyChargedPerTransfer) {
+  CostModel cost;
+  cost.net_latency_ms = 20;
+  WallTimer timer;
+  cost.ChargeTransfer(0);
+  cost.ChargeTransfer(0);
+  EXPECT_GE(timer.ElapsedMillis(), 40.0);
+}
+
+TEST(CostModelTest, RemoteInputsChargedLocalInputsFree) {
+  // Two identical jobs; one reads its input from the Dfs (remote prefix),
+  // the other from a local path outside it. With a slow simulated network
+  // the remote job must be measurably slower.
+  std::string root = ::testing::TempDir() + "/i2mr_cost_remote";
+  CostModel cost;
+  cost.net_mb_per_s = 2;  // slow: 1 MB ~ 500 ms
+  LocalCluster cluster(root, 2, cost);
+
+  std::vector<KV> records;
+  records.reserve(4000);
+  for (int i = 0; i < 4000; ++i) {
+    records.push_back({"k" + std::to_string(i), std::string(256, 'x')});
+  }
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("remote", records, 1).ok());
+  // Local copy outside the Dfs prefix.
+  std::string local_dir = JoinPath(root, "localdata");
+  ASSERT_TRUE(CreateDirs(local_dir).ok());
+  std::string local_part = JoinPath(local_dir, "part-00000.dat");
+  ASSERT_TRUE(CopyFile(cluster.dfs()->PartPath("remote", 0), local_part).ok());
+
+  auto run = [&](const std::vector<std::string>& inputs,
+                 const std::string& out) {
+    JobSpec spec;
+    spec.name = out;
+    spec.input_parts = inputs;
+    spec.mapper = [] {
+      return std::make_unique<FnMapper>(
+          [](const std::string& k, const std::string&, MapContext* ctx) {
+            ctx->Emit(k, "1");
+          });
+    };
+    spec.reducer = [] {
+      return std::make_unique<FnReducer>(
+          [](const std::string& k, const std::vector<std::string>&,
+             ReduceContext* ctx) { ctx->Emit(k, "1"); });
+    };
+    spec.num_reduce_tasks = 1;
+    spec.output_dir = JoinPath(root, "out/" + out);
+    WallTimer timer;
+    auto result = cluster.RunJob(spec);
+    EXPECT_TRUE(result.ok()) << result.status.ToString();
+    return timer.ElapsedMillis();
+  };
+
+  double local_ms = run({local_part}, "local");
+  double remote_ms = run(*cluster.dfs()->Parts("remote"), "remote");
+  // The remote input part is ~1.1 MB -> ~550 ms extra at 2 MB/s.
+  EXPECT_GT(remote_ms, local_ms + 200.0);
+}
+
+TEST(CostModelTest, ShuffleTransfersCharged) {
+  // Shuffle volume is charged through the same network model: with a slow
+  // network, a shuffle-heavy job takes measurably longer.
+  std::string root = ::testing::TempDir() + "/i2mr_cost_shuffle";
+  std::vector<KV> records;
+  for (int i = 0; i < 2000; ++i) {
+    records.push_back({"k" + std::to_string(i % 16), std::string(512, 'y')});
+  }
+  auto run = [&](double mbps, const std::string& tag) {
+    CostModel cost;
+    cost.net_mb_per_s = mbps;
+    LocalCluster cluster(root + tag, 2, cost);
+    // Local input (no remote charge): isolate the shuffle cost.
+    std::string dir = JoinPath(root + tag, "localdata");
+    EXPECT_TRUE(CreateDirs(dir).ok());
+    std::string part = JoinPath(dir, "part.dat");
+    EXPECT_TRUE(WriteRecords(part, records).ok());
+    JobSpec spec;
+    spec.input_parts = {part};
+    spec.mapper = [] {
+      return std::make_unique<FnMapper>(
+          [](const std::string& k, const std::string& v, MapContext* ctx) {
+            ctx->Emit(k, v);
+          });
+    };
+    spec.reducer = [] {
+      return std::make_unique<FnReducer>(
+          [](const std::string& k, const std::vector<std::string>& vs,
+             ReduceContext* ctx) { ctx->Emit(k, std::to_string(vs.size())); });
+    };
+    spec.num_reduce_tasks = 2;
+    spec.output_dir = JoinPath(root + tag, "out");
+    WallTimer timer;
+    auto result = cluster.RunJob(spec);
+    EXPECT_TRUE(result.ok());
+    return timer.ElapsedMillis();
+  };
+  double fast = run(0, "_fast");      // no network model
+  double slow = run(4, "_slow");      // ~1 MB shuffled at 4 MB/s ~ 250 ms
+  EXPECT_GT(slow, fast + 100.0);
+}
+
+}  // namespace
+}  // namespace i2mr

@@ -1,0 +1,276 @@
+// Tests for the synthetic dataset generators: determinism, structural
+// properties (power-law skew, delta fractions), codec round-trips.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "data/graph_gen.h"
+#include "data/matrix_gen.h"
+#include "data/points_gen.h"
+#include "data/text_gen.h"
+
+namespace i2mr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Graph generator
+// ---------------------------------------------------------------------------
+
+TEST(GraphGenTest, DeterministicBySeed) {
+  GraphGenOptions gen;
+  gen.num_vertices = 100;
+  auto a = GenGraph(gen);
+  auto b = GenGraph(gen);
+  EXPECT_EQ(a, b);
+  gen.seed = 43;
+  auto c = GenGraph(gen);
+  EXPECT_NE(a, c);
+}
+
+TEST(GraphGenTest, EveryVertexPresentAndDegreeNearAverage) {
+  GraphGenOptions gen;
+  gen.num_vertices = 500;
+  gen.avg_degree = 8;
+  auto graph = GenGraph(gen);
+  ASSERT_EQ(graph.size(), 500u);
+  int64_t edges = 0;
+  for (const auto& kv : graph) {
+    edges += static_cast<int64_t>(ParseAdjacency(kv.value).size());
+  }
+  double avg = static_cast<double>(edges) / 500.0;
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 10.0);
+}
+
+TEST(GraphGenTest, InDegreeIsSkewed) {
+  GraphGenOptions gen;
+  gen.num_vertices = 500;
+  gen.avg_degree = 10;
+  gen.dest_skew = 1.0;
+  auto graph = GenGraph(gen);
+  std::map<std::string, int> in_degree;
+  for (const auto& kv : graph) {
+    for (const auto& j : ParseAdjacency(kv.value)) in_degree[j]++;
+  }
+  // The most popular page has far more in-links than the median.
+  int max_deg = 0;
+  int64_t total = 0;
+  for (const auto& [_, d] : in_degree) {
+    max_deg = std::max(max_deg, d);
+    total += d;
+  }
+  double mean = static_cast<double>(total) / in_degree.size();
+  EXPECT_GT(max_deg, mean * 8);
+}
+
+TEST(GraphGenTest, WeightedEdgesPositive) {
+  GraphGenOptions gen;
+  gen.num_vertices = 50;
+  gen.weighted = true;
+  auto graph = GenGraph(gen);
+  for (const auto& kv : graph) {
+    for (const auto& [j, w] : ParseWeightedAdjacency(kv.value)) {
+      (void)j;
+      EXPECT_GT(w, 0.0);
+    }
+  }
+}
+
+TEST(GraphGenTest, DeltaUpdatesMatchFractionAndApplyToGraph) {
+  GraphGenOptions gen;
+  gen.num_vertices = 200;
+  auto graph = GenGraph(gen);
+  auto original = graph;
+
+  GraphDeltaOptions dopt;
+  dopt.update_fraction = 0.1;
+  auto delta = GenGraphDelta(gen, dopt, &graph);
+  // 10% of 200 = 20 updates, each a delete+insert pair.
+  EXPECT_EQ(delta.size(), 40u);
+  EXPECT_EQ(graph.size(), original.size());
+
+  // Applying the delta manually to the original reproduces `graph`.
+  std::map<std::string, std::string> snapshot;
+  for (const auto& kv : original) snapshot[kv.key] = kv.value;
+  for (const auto& d : delta) {
+    if (d.op == DeltaOp::kDelete) {
+      ASSERT_EQ(snapshot[d.key], d.value) << "delete of unknown value";
+      snapshot.erase(d.key);
+    } else {
+      snapshot[d.key] = d.value;
+    }
+  }
+  std::map<std::string, std::string> got;
+  for (const auto& kv : graph) got[kv.key] = kv.value;
+  EXPECT_EQ(snapshot, got);
+}
+
+TEST(GraphGenTest, DeltaInsertAndDeleteChangeVertexCount) {
+  GraphGenOptions gen;
+  gen.num_vertices = 100;
+  auto graph = GenGraph(gen);
+  GraphDeltaOptions dopt;
+  dopt.insert_fraction = 0.1;
+  dopt.delete_fraction = 0.05;
+  auto delta = GenGraphDelta(gen, dopt, &graph);
+  EXPECT_EQ(graph.size(), 100u + 10u - 5u);
+  // Inserted vertices get fresh ids beyond the original space.
+  std::set<std::string> originals;
+  for (uint64_t v = 0; v < 100; ++v) originals.insert(PaddedNum(v));
+  int inserts = 0;
+  for (const auto& d : delta) {
+    if (d.op == DeltaOp::kInsert && originals.count(d.key) == 0) ++inserts;
+  }
+  EXPECT_EQ(inserts, 10);
+}
+
+TEST(GraphGenTest, AdjacencyCodecsRoundTrip) {
+  std::vector<std::string> dests = {"0000000001", "0000000042"};
+  EXPECT_EQ(ParseAdjacency(JoinAdjacency(dests)), dests);
+  EXPECT_TRUE(ParseAdjacency("").empty());
+
+  std::vector<std::pair<std::string, double>> edges = {{"007", 1.5},
+                                                       {"042", 0.25}};
+  auto round = ParseWeightedAdjacency(JoinWeightedAdjacency(edges));
+  ASSERT_EQ(round.size(), 2u);
+  EXPECT_EQ(round[0].first, "007");
+  EXPECT_DOUBLE_EQ(round[1].second, 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Points / matrix / text generators
+// ---------------------------------------------------------------------------
+
+TEST(PointsGenTest, DimensionsAndDeterminism) {
+  PointsGenOptions gen;
+  gen.num_points = 100;
+  gen.dims = 5;
+  auto a = GenPoints(gen);
+  auto b = GenPoints(gen);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 100u);
+  for (const auto& kv : a) {
+    EXPECT_EQ(ParseVector(kv.value).size(), 5u);
+  }
+}
+
+TEST(PointsGenTest, DeltaGrowsPointSet) {
+  PointsGenOptions gen;
+  gen.num_points = 100;
+  auto points = GenPoints(gen);
+  auto delta = GenPointsDelta(gen, 0.1, 0.2, 7, &points);
+  EXPECT_EQ(points.size(), 120u);
+  int inserts = 0, deletes = 0;
+  for (const auto& d : delta) {
+    if (d.op == DeltaOp::kInsert) ++inserts;
+    else ++deletes;
+  }
+  EXPECT_EQ(deletes, 10);   // 10 updates = 10 deletes...
+  EXPECT_EQ(inserts, 30);   // ... + 10 re-inserts + 20 new points
+}
+
+TEST(PointsGenTest, VectorCodecRoundTrip) {
+  std::vector<double> v = {1.0, -2.5, 3.14159, 0.0};
+  EXPECT_EQ(ParseVector(JoinVector(v)), v);
+}
+
+TEST(MatrixGenTest, ColumnsNormalizedBelowScale) {
+  MatrixGenOptions gen;
+  gen.num_blocks = 3;
+  gen.block_size = 8;
+  gen.density = 0.3;
+  auto blocks = GenBlockMatrix(gen);
+  ASSERT_FALSE(blocks.empty());
+  int n = gen.num_blocks * gen.block_size;
+  std::vector<double> col_sums(n, 0.0);
+  for (const auto& kv : blocks) {
+    auto [r, c] = ParseBlockKey(kv.key);
+    (void)r;
+    for (const auto& t : ParseBlock(kv.value)) {
+      col_sums[c * gen.block_size + t.j] += t.val;
+    }
+  }
+  for (double s : col_sums) {
+    EXPECT_LE(s, gen.column_scale + 1e-9);
+  }
+}
+
+TEST(MatrixGenTest, BlockKeyRoundTrip) {
+  auto [r, c] = ParseBlockKey(BlockKey(3, 17));
+  EXPECT_EQ(r, 3);
+  EXPECT_EQ(c, 17);
+}
+
+TEST(MatrixGenTest, TripleCodecRoundTrip) {
+  std::vector<MatrixTriple> triples = {{0, 1, 0.5}, {7, 3, 1.25}};
+  auto round = ParseBlock(JoinBlock(triples));
+  ASSERT_EQ(round.size(), 2u);
+  EXPECT_EQ(round[1].i, 7);
+  EXPECT_DOUBLE_EQ(round[1].val, 1.25);
+}
+
+TEST(MatrixGenTest, DeltaRewritesBlocks) {
+  MatrixGenOptions gen;
+  gen.num_blocks = 4;
+  gen.block_size = 8;
+  auto blocks = GenBlockMatrix(gen);
+  auto before = blocks;
+  auto delta = GenMatrixDelta(gen, 0.25, 3, &blocks);
+  EXPECT_FALSE(delta.empty());
+  EXPECT_EQ(blocks.size(), before.size());
+  EXPECT_NE(blocks, before);
+}
+
+TEST(TextGenTest, DocsHaveRequestedShape) {
+  TextGenOptions gen;
+  gen.num_docs = 50;
+  gen.words_per_doc = 7;
+  auto docs = GenDocs(gen);
+  ASSERT_EQ(docs.size(), 50u);
+  for (const auto& kv : docs) {
+    int words = 1;
+    for (char c : kv.value) {
+      if (c == ' ') ++words;
+    }
+    EXPECT_EQ(words, 7);
+  }
+}
+
+TEST(TextGenTest, DeltaIsInsertOnlyWithFreshIds) {
+  TextGenOptions gen;
+  gen.num_docs = 100;
+  auto docs = GenDocs(gen);
+  auto delta = GenDocsDelta(gen, 0.079, 5, &docs);
+  EXPECT_EQ(delta.size(), 7u);  // floor(0.079 * 100)
+  for (const auto& d : delta) {
+    EXPECT_EQ(d.op, DeltaOp::kInsert);
+    EXPECT_GE(*ParseNum(d.key), 100u);
+  }
+  EXPECT_EQ(docs.size(), 107u);
+}
+
+TEST(TextGenTest, ZipfVocabularyIsSkewed) {
+  TextGenOptions gen;
+  gen.num_docs = 500;
+  gen.vocab_size = 100;
+  auto docs = GenDocs(gen);
+  std::map<std::string, int> counts;
+  for (const auto& kv : docs) {
+    size_t i = 0;
+    const std::string& s = kv.value;
+    while (i < s.size()) {
+      size_t j = s.find(' ', i);
+      if (j == std::string::npos) j = s.size();
+      counts[s.substr(i, j - i)]++;
+      i = j + 1;
+    }
+  }
+  EXPECT_GT(counts["w0"], counts["w50"] * 5);
+}
+
+}  // namespace
+}  // namespace i2mr

@@ -1,0 +1,266 @@
+// Parameterized invariance sweeps: results must not depend on the number
+// of partitions / reduce tasks, on query patterns, or on dataset layout.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/gimv.h"
+#include "apps/kmeans.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "apps/wordcount.h"
+#include "common/codec.h"
+#include "core/incr_iter_engine.h"
+#include "core/incr_job.h"
+#include "data/graph_gen.h"
+#include "data/matrix_gen.h"
+#include "data/points_gen.h"
+#include "mrbg/mrbg_store.h"
+#include "io/env.h"
+#include "mr/cluster.h"
+
+namespace i2mr {
+namespace {
+
+std::vector<KV> UnitState(const std::vector<KV>& structure) {
+  std::vector<KV> state;
+  for (const auto& kv : structure) state.push_back(KV{kv.key, "1"});
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// Partition-count invariance for the iterative engine, per dependency type.
+// ---------------------------------------------------------------------------
+
+class PartitionSweepTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::string Root(const std::string& tag) {
+    return ::testing::TempDir() + "/i2mr_psweep_" + tag + "_" +
+           std::to_string(GetParam());
+  }
+};
+
+TEST_P(PartitionSweepTest, PageRankInvariantUnderPartitioning) {
+  const int n = GetParam();
+  GraphGenOptions gen;
+  gen.num_vertices = 150;
+  auto graph = GenGraph(gen);
+  LocalCluster cluster(Root("pr"), 4);
+  IterativeEngine engine(&cluster, pagerank::MakeIterSpec("pr", n, 60, 1e-8));
+  ASSERT_TRUE(engine.Prepare(graph, UnitState(graph)).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  auto state = engine.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  auto reference = pagerank::Reference(graph, 60, 1e-8);
+  EXPECT_LT(pagerank::MeanError(*state, reference), 1e-5);
+}
+
+TEST_P(PartitionSweepTest, GimvInvariantUnderPartitioning) {
+  const int n = GetParam();
+  MatrixGenOptions gen;
+  gen.num_blocks = 4;
+  gen.block_size = 6;
+  gen.density = 0.25;
+  auto blocks = GenBlockMatrix(gen);
+  auto vec = GenVectorBlocks(gen, 1.0);
+  LocalCluster cluster(Root("gimv"), 4);
+  IterativeEngine engine(
+      &cluster, gimv::MakeIterSpec("gimv", n, gen.block_size, 0.15, 60, 1e-10));
+  ASSERT_TRUE(engine.Prepare(blocks, vec).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  auto state = engine.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  auto reference = gimv::Reference(blocks, vec, gen.block_size, 0.15, 60, 1e-10);
+  EXPECT_LT(gimv::MaxDelta(*state, reference), 1e-6);
+}
+
+TEST_P(PartitionSweepTest, KmeansInvariantUnderPartitioning) {
+  const int n = GetParam();
+  PointsGenOptions gen;
+  gen.num_points = 120;
+  gen.dims = 2;
+  gen.num_clusters = 3;
+  auto points = GenPoints(gen);
+  auto init = kmeans::InitialState(points, 3);
+  LocalCluster cluster(Root("km"), 4);
+  IterativeEngine engine(&cluster, kmeans::MakeIterSpec("km", n, 20, 1e-7));
+  ASSERT_TRUE(engine.Prepare(points, init).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  auto state = engine.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  auto got = kmeans::DecodeCentroids((*state)[0].value);
+  auto want = kmeans::Reference(points, kmeans::DecodeCentroids(init[0].value),
+                                20, 1e-7);
+  EXPECT_LT(kmeans::MaxCentroidDelta(got, want), 1e-5);
+}
+
+TEST_P(PartitionSweepTest, IncrementalRefreshInvariantUnderPartitioning) {
+  const int n = GetParam();
+  GraphGenOptions gen;
+  gen.num_vertices = 120;
+  auto graph = GenGraph(gen);
+  LocalCluster cluster(Root("incr"), 4);
+  IncrIterOptions options;
+  options.filter_threshold = 0.0;
+  options.mrbg_auto_off_ratio = 2;
+  IncrementalIterativeEngine engine(
+      &cluster, pagerank::MakeIterSpec("pr_incr", n, 80, 1e-8), options);
+  ASSERT_TRUE(engine.RunInitial(graph, UnitState(graph)).ok());
+  GraphDeltaOptions dopt;
+  dopt.update_fraction = 0.1;
+  auto delta = GenGraphDelta(gen, dopt, &graph);
+  ASSERT_TRUE(engine.RunIncremental(delta).ok());
+  auto state = engine.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  auto reference = pagerank::Reference(graph, 80, 1e-8);
+  EXPECT_LT(pagerank::MeanError(*state, reference), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PartitionSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// ---------------------------------------------------------------------------
+// Reduce-task-count invariance for the one-step incremental engine.
+// ---------------------------------------------------------------------------
+
+class ReducerSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReducerSweepTest, WordCountResultsInvariant) {
+  const int reducers = GetParam();
+  std::string root = ::testing::TempDir() + "/i2mr_rsweep_" +
+                     std::to_string(reducers);
+  LocalCluster cluster(root, 4);
+  std::vector<KV> docs;
+  for (int i = 0; i < 60; ++i) {
+    docs.push_back({PaddedNum(i), "w" + std::to_string(i % 9) + " w" +
+                                      std::to_string(i % 4)});
+  }
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("docs", docs, 3).ok());
+  IncrementalOneStepJob job(&cluster, wordcount::MakeSpec("wc", reducers));
+  ASSERT_TRUE(job.RunInitial(*cluster.dfs()->Parts("docs")).ok());
+
+  std::vector<DeltaKV> delta = {{DeltaOp::kInsert, PaddedNum(100), "w0 w1 w2"}};
+  ASSERT_TRUE(cluster.dfs()->WriteDeltaDataset("d", delta, 1).ok());
+  ASSERT_TRUE(job.RunIncremental(*cluster.dfs()->Parts("d")).ok());
+
+  docs.push_back({PaddedNum(100), "w0 w1 w2"});
+  auto want = wordcount::Reference(docs);
+  auto got = job.Results();
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), want.size());
+  for (const auto& kv : *got) {
+    EXPECT_EQ(*ParseNum(kv.value), want[kv.key]) << kv.key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Reducers, ReducerSweepTest,
+                         ::testing::Values(1, 2, 5, 9));
+
+// ---------------------------------------------------------------------------
+// MRBG-Store query-pattern robustness sweeps.
+// ---------------------------------------------------------------------------
+
+struct QueryPatternCase {
+  const char* name;
+  int stride;        // query every stride-th key
+  bool with_missing; // interleave keys that were never stored
+};
+
+class QueryPatternTest : public ::testing::TestWithParam<QueryPatternCase> {};
+
+TEST_P(QueryPatternTest, AllPatternsReturnCorrectChunks) {
+  const auto& param = GetParam();
+  std::string dir =
+      ::testing::TempDir() + "/i2mr_qpattern_" + std::string(param.name);
+  ASSERT_TRUE(ResetDir(dir).ok());
+  MRBGStoreOptions options;
+  options.gap_threshold_bytes = 128;
+  options.read_cache_bytes = 2048;
+  auto store = MRBGStore::Open(dir, options);
+  ASSERT_TRUE(store.ok());
+
+  const int kKeys = 120;
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int k = batch; k < kKeys; k += batch + 1) {
+      Chunk c;
+      c.key = PaddedNum(k);
+      c.entries.push_back(
+          ChunkEntry{static_cast<uint64_t>(batch), "b" + std::to_string(batch)});
+      ASSERT_TRUE((*store)->AppendChunk(c).ok());
+    }
+    ASSERT_TRUE((*store)->FinishBatch().ok());
+  }
+
+  std::vector<std::string> keys;
+  for (int k = 0; k < kKeys; k += param.stride) {
+    keys.push_back(PaddedNum(k));
+    if (param.with_missing) keys.push_back(PaddedNum(10000 + k));  // absent
+  }
+  ASSERT_TRUE((*store)->PrepareQueries(keys).ok());
+  for (const auto& key : keys) {
+    auto c = (*store)->Query(key);
+    auto num = *ParseNum(key);
+    if (num >= 10000) {
+      EXPECT_TRUE(c.status().IsNotFound()) << key;
+      continue;
+    }
+    ASSERT_TRUE(c.ok()) << key << ": " << c.status().ToString();
+    // The latest batch whose stride covers this key wins.
+    int expected_batch = 0;
+    for (int b = 2; b >= 0; --b) {
+      if (num % (b + 1) == static_cast<uint64_t>(b) % (b + 1) &&
+          num >= static_cast<uint64_t>(b)) {
+        expected_batch = b;
+        break;
+      }
+    }
+    EXPECT_EQ(c->entries[0].v2, "b" + std::to_string(expected_batch)) << key;
+  }
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, QueryPatternTest,
+    ::testing::Values(QueryPatternCase{"dense", 1, false},
+                      QueryPatternCase{"sparse", 7, false},
+                      QueryPatternCase{"dense_missing", 1, true},
+                      QueryPatternCase{"sparse_missing", 5, true}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ---------------------------------------------------------------------------
+// SSSP sweep over sources: engine == Dijkstra for each.
+// ---------------------------------------------------------------------------
+
+class SsspSourceSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspSourceSweepTest, MatchesDijkstraFromAnySource) {
+  GraphGenOptions gen;
+  gen.num_vertices = 80;
+  gen.avg_degree = 4;
+  gen.weighted = true;
+  gen.seed = 21;
+  auto graph = GenGraph(gen);
+  std::string source = PaddedNum(GetParam());
+  std::string root = ::testing::TempDir() + "/i2mr_sssp_src_" +
+                     std::to_string(GetParam());
+  LocalCluster cluster(root, 3);
+  auto spec = sssp::MakeIterSpec("sssp", source, 3);
+  std::vector<KV> init_state;
+  for (const auto& kv : graph) {
+    init_state.push_back(KV{kv.key, spec.init_state(kv.key)});
+  }
+  IterativeEngine engine(&cluster, spec);
+  ASSERT_TRUE(engine.Prepare(graph, init_state).ok());
+  ASSERT_TRUE(engine.Run().ok());
+  auto state = engine.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(sssp::ErrorRate(*state, sssp::Reference(graph, source), 1e-9), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sources, SsspSourceSweepTest,
+                         ::testing::Values(0, 7, 33, 79));
+
+}  // namespace
+}  // namespace i2mr

@@ -1,0 +1,244 @@
+// Unit tests for src/io: files, record files, delta files, Dfs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "io/dfs.h"
+#include "io/env.h"
+#include "io/file.h"
+#include "io/record_file.h"
+
+namespace i2mr {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/i2mr_io_test";
+    ASSERT_TRUE(ResetDir(dir_).ok());
+  }
+  void TearDown() override { RemoveAll(dir_).ok(); }
+
+  std::string Path(const std::string& name) { return JoinPath(dir_, name); }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Env helpers
+// ---------------------------------------------------------------------------
+
+TEST_F(IoTest, WriteReadString) {
+  ASSERT_TRUE(WriteStringToFile(Path("f"), "hello world").ok());
+  auto got = ReadFileToString(Path("f"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello world");
+  auto sz = FileSize(Path("f"));
+  ASSERT_TRUE(sz.ok());
+  EXPECT_EQ(*sz, 11u);
+}
+
+TEST_F(IoTest, ListFilesSorted) {
+  ASSERT_TRUE(WriteStringToFile(Path("b"), "1").ok());
+  ASSERT_TRUE(WriteStringToFile(Path("a"), "2").ok());
+  ASSERT_TRUE(WriteStringToFile(Path("c"), "3").ok());
+  auto files = ListFiles(dir_);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 3u);
+  EXPECT_EQ((*files)[0], Path("a"));
+  EXPECT_EQ((*files)[2], Path("c"));
+}
+
+TEST_F(IoTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadFileToString(Path("nope")).ok());
+}
+
+TEST_F(IoTest, RenameAndCopy) {
+  ASSERT_TRUE(WriteStringToFile(Path("x"), "data").ok());
+  ASSERT_TRUE(RenameFile(Path("x"), Path("y")).ok());
+  EXPECT_FALSE(FileExists(Path("x")));
+  ASSERT_TRUE(CopyFile(Path("y"), Path("z")).ok());
+  EXPECT_EQ(*ReadFileToString(Path("z")), "data");
+  EXPECT_TRUE(FileExists(Path("y")));
+}
+
+// ---------------------------------------------------------------------------
+// WritableFile / RandomAccessFile / SequentialFile
+// ---------------------------------------------------------------------------
+
+TEST_F(IoTest, WritableAppendTracksOffset) {
+  auto f = WritableFile::Create(Path("w"));
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("abc").ok());
+  ASSERT_TRUE((*f)->Append("defg").ok());
+  EXPECT_EQ((*f)->offset(), 7u);
+  ASSERT_TRUE((*f)->Close().ok());
+  EXPECT_EQ(*FileSize(Path("w")), 7u);
+}
+
+TEST_F(IoTest, WritableAppendMode) {
+  ASSERT_TRUE(WriteStringToFile(Path("w"), "abc").ok());
+  auto f = WritableFile::Create(Path("w"), /*append=*/true);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->offset(), 3u);
+  ASSERT_TRUE((*f)->Append("def").ok());
+  ASSERT_TRUE((*f)->Close().ok());
+  EXPECT_EQ(*ReadFileToString(Path("w")), "abcdef");
+}
+
+TEST_F(IoTest, RandomAccessCountsReads) {
+  ASSERT_TRUE(WriteStringToFile(Path("r"), "0123456789").ok());
+  auto f = RandomAccessFile::Open(Path("r"));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->size(), 10u);
+  std::string out;
+  ASSERT_TRUE((*f)->Read(2, 4, &out).ok());
+  EXPECT_EQ(out, "2345");
+  ASSERT_TRUE((*f)->Read(8, 10, &out).ok());
+  EXPECT_EQ(out, "89");  // truncated at EOF
+  EXPECT_EQ((*f)->num_reads(), 2u);
+  EXPECT_EQ((*f)->bytes_read(), 6u);
+  (*f)->ResetStats();
+  EXPECT_EQ((*f)->num_reads(), 0u);
+}
+
+TEST_F(IoTest, SequentialReadExact) {
+  ASSERT_TRUE(WriteStringToFile(Path("s"), "abcdef").ok());
+  auto f = SequentialFile::Open(Path("s"));
+  ASSERT_TRUE(f.ok());
+  std::string out;
+  ASSERT_TRUE((*f)->ReadExact(3, &out).ok());
+  EXPECT_EQ(out, "abc");
+  ASSERT_TRUE((*f)->ReadExact(3, &out).ok());
+  EXPECT_EQ(out, "def");
+  EXPECT_TRUE((*f)->ReadExact(1, &out).IsNotFound());
+}
+
+TEST_F(IoTest, SequentialShortReadIsCorruption) {
+  ASSERT_TRUE(WriteStringToFile(Path("s"), "abc").ok());
+  auto f = SequentialFile::Open(Path("s"));
+  std::string out;
+  EXPECT_TRUE((*f)->ReadExact(10, &out).IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Record files
+// ---------------------------------------------------------------------------
+
+TEST_F(IoTest, RecordRoundTrip) {
+  std::vector<KV> recs = {
+      {"k1", "v1"}, {"", ""}, {"key with spaces", std::string(5000, 'x')}};
+  ASSERT_TRUE(WriteRecords(Path("rec"), recs).ok());
+  auto got = ReadRecords(Path("rec"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, recs);
+}
+
+TEST_F(IoTest, EmptyRecordFile) {
+  ASSERT_TRUE(WriteRecords(Path("rec"), {}).ok());
+  auto got = ReadRecords(Path("rec"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_F(IoTest, RecordReaderDetectsTruncation) {
+  std::vector<KV> recs = {{"aaaa", "bbbb"}};
+  ASSERT_TRUE(WriteRecords(Path("rec"), recs).ok());
+  auto data = ReadFileToString(Path("rec"));
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(WriteStringToFile(Path("bad"), data->substr(0, data->size() - 2)).ok());
+  auto r = RecordReader::Open(Path("bad"));
+  ASSERT_TRUE(r.ok());
+  KV kv;
+  Status st = (*r)->Next(&kv);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(st.IsNotFound());  // corruption, not clean EOF
+}
+
+TEST_F(IoTest, DeltaRoundTrip) {
+  std::vector<DeltaKV> recs = {
+      {DeltaOp::kInsert, "a", "1"},
+      {DeltaOp::kDelete, "b", "2"},
+      {DeltaOp::kInsert, "", ""},
+  };
+  ASSERT_TRUE(WriteDeltaRecords(Path("d"), recs).ok());
+  auto got = ReadDeltaRecords(Path("d"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, recs);
+}
+
+TEST_F(IoTest, DeltaReaderRejectsBadOp) {
+  ASSERT_TRUE(WriteStringToFile(Path("d"), "X\x01\x00\x00\x00k\x01\x00\x00\x00v").ok());
+  auto r = DeltaReader::Open(Path("d"));
+  ASSERT_TRUE(r.ok());
+  DeltaKV rec;
+  EXPECT_TRUE((*r)->Next(&rec).IsCorruption());
+}
+
+TEST_F(IoTest, RecordWriterCountsRecordsAndBytes) {
+  auto w = RecordWriter::Create(Path("rec"));
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Add("key", "value").ok());
+  ASSERT_TRUE((*w)->Add("key2", "value2").ok());
+  EXPECT_EQ((*w)->num_records(), 2u);
+  EXPECT_GT((*w)->bytes_written(), 0u);
+  ASSERT_TRUE((*w)->Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Dfs
+// ---------------------------------------------------------------------------
+
+TEST_F(IoTest, DfsDatasetRoundTrip) {
+  Dfs dfs(Path("dfs"));
+  std::vector<KV> recs;
+  for (int i = 0; i < 10; ++i) recs.push_back({"k" + std::to_string(i), "v"});
+  ASSERT_TRUE(dfs.WriteDataset("in", recs, 3).ok());
+  auto parts = dfs.Parts("in");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 3u);
+  auto got = dfs.ReadDataset("in");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 10u);
+  // Round-robin split: part 0 holds records 0,3,6,9.
+  auto p0 = ReadRecords(dfs.PartPath("in", 0));
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(p0->size(), 4u);
+  EXPECT_EQ((*p0)[0].key, "k0");
+  EXPECT_EQ((*p0)[1].key, "k3");
+}
+
+TEST_F(IoTest, DfsMissingDataset) {
+  Dfs dfs(Path("dfs"));
+  EXPECT_FALSE(dfs.DatasetExists("nope"));
+  EXPECT_TRUE(dfs.Parts("nope").status().IsNotFound());
+}
+
+TEST_F(IoTest, DfsDeltaDataset) {
+  Dfs dfs(Path("dfs"));
+  std::vector<DeltaKV> recs = {{DeltaOp::kInsert, "a", "1"},
+                               {DeltaOp::kDelete, "b", "2"}};
+  ASSERT_TRUE(dfs.WriteDeltaDataset("d", recs, 2).ok());
+  auto got = dfs.ReadDeltaDataset("d");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 2u);
+}
+
+TEST_F(IoTest, DfsCheckpoints) {
+  Dfs dfs(Path("dfs"));
+  ASSERT_TRUE(WriteStringToFile(Path("local"), "state").ok());
+  ASSERT_TRUE(dfs.CheckpointIn(Path("local"), "iter3/state-part0").ok());
+  EXPECT_TRUE(dfs.CheckpointExists("iter3/state-part0"));
+  EXPECT_FALSE(dfs.CheckpointExists("iter4/state-part0"));
+  ASSERT_TRUE(dfs.CheckpointOut("iter3/state-part0", Path("restored")).ok());
+  EXPECT_EQ(*ReadFileToString(Path("restored")), "state");
+}
+
+TEST_F(IoTest, DfsRejectsZeroParts) {
+  Dfs dfs(Path("dfs"));
+  EXPECT_FALSE(dfs.WriteDataset("x", {}, 0).ok());
+}
+
+}  // namespace
+}  // namespace i2mr

@@ -1,0 +1,361 @@
+// Tests for the MapReduce substrate: correctness vs a sequential reference,
+// partitioning, combiners, metrics, retries/failure injection.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "io/env.h"
+#include "io/record_file.h"
+#include "mr/cluster.h"
+#include "mr/shuffle.h"
+
+namespace i2mr {
+namespace {
+
+// Tokenizing word-count mapper.
+class WordCountMapper : public Mapper {
+ public:
+  void Map(const std::string& /*key*/, const std::string& value,
+           MapContext* ctx) override {
+    std::istringstream in(value);
+    std::string word;
+    while (in >> word) ctx->Emit(word, "1");
+  }
+};
+
+// Integer-sum reducer.
+class SumReducer : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              ReduceContext* ctx) override {
+    uint64_t total = 0;
+    for (const auto& v : values) total += *ParseNum(v);
+    ctx->Emit(key, std::to_string(total));
+  }
+};
+
+class MrTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/i2mr_mr_test";
+  }
+
+  // Runs word count over `lines` with the given cluster config; returns the
+  // aggregated counts.
+  std::map<std::string, uint64_t> RunWordCount(
+      LocalCluster* cluster, const std::vector<std::string>& lines,
+      int num_parts, int num_reducers, bool with_combiner,
+      JobResult* result_out = nullptr,
+      std::function<bool(const TaskId&)> fail_hook = nullptr) {
+    std::vector<KV> records;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      records.push_back({"line" + std::to_string(i), lines[i]});
+    }
+    EXPECT_TRUE(cluster->dfs()->WriteDataset("wc_in", records, num_parts).ok());
+
+    JobSpec spec;
+    spec.name = "wordcount";
+    spec.input_parts = *cluster->dfs()->Parts("wc_in");
+    spec.mapper = [] { return std::make_unique<WordCountMapper>(); };
+    spec.reducer = [] { return std::make_unique<SumReducer>(); };
+    if (with_combiner) {
+      spec.combiner = [] { return std::make_unique<SumReducer>(); };
+    }
+    spec.num_reduce_tasks = num_reducers;
+    spec.output_dir = JoinPath(cluster->root(), "out/wc");
+    spec.fail_hook = std::move(fail_hook);
+    JobResult result = cluster->RunJob(spec);
+    EXPECT_TRUE(result.ok()) << result.status.ToString();
+    if (result_out != nullptr) {
+      result_out->status = result.status;
+      result_out->metrics = result.metrics;
+      result_out->output_parts = result.output_parts;
+      result_out->wall_ms = result.wall_ms;
+    }
+
+    std::map<std::string, uint64_t> counts;
+    for (const auto& part : result.output_parts) {
+      if (!FileExists(part)) continue;
+      auto recs = ReadRecords(part);
+      EXPECT_TRUE(recs.ok());
+      for (const auto& kv : *recs) {
+        EXPECT_EQ(counts.count(kv.key), 0u) << "key reduced twice: " << kv.key;
+        counts[kv.key] = *ParseNum(kv.value);
+      }
+    }
+    return counts;
+  }
+
+  static std::map<std::string, uint64_t> ReferenceCounts(
+      const std::vector<std::string>& lines) {
+    std::map<std::string, uint64_t> counts;
+    for (const auto& line : lines) {
+      std::istringstream in(line);
+      std::string w;
+      while (in >> w) counts[w]++;
+    }
+    return counts;
+  }
+
+  std::string root_;
+};
+
+TEST_F(MrTest, WordCountMatchesReference) {
+  LocalCluster cluster(root_, 4);
+  std::vector<std::string> lines = {
+      "the quick brown fox", "the lazy dog", "the fox jumps over the dog",
+      "quick quick quick"};
+  auto got = RunWordCount(&cluster, lines, 2, 3, /*with_combiner=*/false);
+  EXPECT_EQ(got, ReferenceCounts(lines));
+}
+
+TEST_F(MrTest, CombinerDoesNotChangeResult) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 40; ++i) {
+    lines.push_back("w" + std::to_string(i % 7) + " w" + std::to_string(i % 3) +
+                    " w" + std::to_string(i % 11));
+  }
+  LocalCluster cluster(root_, 4);
+  auto without = RunWordCount(&cluster, lines, 4, 4, false);
+  LocalCluster cluster2(root_ + "_2", 4);
+  auto with = RunWordCount(&cluster2, lines, 4, 4, true);
+  EXPECT_EQ(without, with);
+  EXPECT_EQ(without, ReferenceCounts(lines));
+}
+
+TEST_F(MrTest, CombinerReducesShuffleVolume) {
+  std::vector<std::string> lines(50, "a a a a a a a a b b");
+  LocalCluster c1(root_ + "_nc", 2);
+  JobResult r1;
+  RunWordCount(&c1, lines, 2, 2, false, &r1);
+  LocalCluster c2(root_ + "_wc", 2);
+  JobResult r2;
+  RunWordCount(&c2, lines, 2, 2, true, &r2);
+  EXPECT_LT(r2.metrics->shuffle_bytes.load(), r1.metrics->shuffle_bytes.load());
+}
+
+TEST_F(MrTest, MetricsCountRecords) {
+  LocalCluster cluster(root_, 2);
+  std::vector<std::string> lines = {"a b", "c"};
+  JobResult result;
+  RunWordCount(&cluster, lines, 2, 2, false, &result);
+  EXPECT_EQ(result.metrics->map_input_records.load(), 2);
+  EXPECT_EQ(result.metrics->map_output_records.load(), 3);
+  EXPECT_EQ(result.metrics->reduce_groups.load(), 3);
+  EXPECT_EQ(result.metrics->reduce_output_records.load(), 3);
+  EXPECT_GT(result.metrics->shuffle_bytes.load(), 0);
+}
+
+TEST_F(MrTest, SingleReducerSeesAllKeysSorted) {
+  LocalCluster cluster(root_, 2);
+  std::vector<KV> records;
+  for (int i = 99; i >= 0; --i) records.push_back({PaddedNum(i), "x"});
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("in", records, 3).ok());
+
+  std::vector<std::string> seen_keys;
+  JobSpec spec;
+  spec.input_parts = *cluster.dfs()->Parts("in");
+  spec.mapper = [] {
+    return std::make_unique<FnMapper>(
+        [](const std::string& k, const std::string& v, MapContext* ctx) {
+          ctx->Emit(k, v);
+        });
+  };
+  spec.reducer = [] {
+    return std::make_unique<FnReducer>(
+        [](const std::string& k, const std::vector<std::string>&,
+           ReduceContext* ctx) { ctx->Emit(k, "seen"); });
+  };
+  spec.num_reduce_tasks = 1;
+  spec.output_dir = JoinPath(cluster.root(), "out/sorted");
+  auto result = cluster.RunJob(spec);
+  ASSERT_TRUE(result.ok());
+  auto out = ReadRecords(result.output_parts[0]);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 100u);
+  for (size_t i = 0; i < out->size(); ++i) {
+    EXPECT_EQ((*out)[i].key, PaddedNum(static_cast<int>(i)));
+  }
+}
+
+TEST_F(MrTest, CustomPartitionerRoutesKeys) {
+  // Route every key to partition 0; partition 1 must produce no output file
+  // contents.
+  class ZeroPartitioner : public Partitioner {
+   public:
+    uint32_t Partition(std::string_view, uint32_t) const override { return 0; }
+  };
+  LocalCluster cluster(root_, 2);
+  std::vector<KV> records = {{"a", "1"}, {"b", "2"}, {"c", "3"}};
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("in", records, 1).ok());
+  JobSpec spec;
+  spec.input_parts = *cluster.dfs()->Parts("in");
+  spec.mapper = [] {
+    return std::make_unique<FnMapper>(
+        [](const std::string& k, const std::string& v, MapContext* ctx) {
+          ctx->Emit(k, v);
+        });
+  };
+  spec.reducer = [] {
+    return std::make_unique<FnReducer>(
+        [](const std::string& k, const std::vector<std::string>& vs,
+           ReduceContext* ctx) { ctx->Emit(k, vs[0]); });
+  };
+  spec.partitioner = std::make_shared<ZeroPartitioner>();
+  spec.num_reduce_tasks = 2;
+  spec.output_dir = JoinPath(cluster.root(), "out/zp");
+  auto result = cluster.RunJob(spec);
+  ASSERT_TRUE(result.ok());
+  auto p0 = ReadRecords(result.output_parts[0]);
+  auto p1 = ReadRecords(result.output_parts[1]);
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p0->size(), 3u);
+  EXPECT_TRUE(p1->empty());
+}
+
+TEST_F(MrTest, MapperFlushRunsAtEndOfInput) {
+  // Mapper that aggregates locally and emits in Flush (map-side aggregation
+  // used by Kmeans / APriori).
+  class LocalAggMapper : public Mapper {
+   public:
+    void Map(const std::string&, const std::string& v, MapContext*) override {
+      sum_ += *ParseNum(v);
+    }
+    void Flush(MapContext* ctx) override {
+      ctx->Emit("total", std::to_string(sum_));
+    }
+
+   private:
+    uint64_t sum_ = 0;
+  };
+  LocalCluster cluster(root_, 2);
+  std::vector<KV> records;
+  for (int i = 1; i <= 10; ++i) records.push_back({"k", std::to_string(i)});
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("in", records, 2).ok());
+  JobSpec spec;
+  spec.input_parts = *cluster.dfs()->Parts("in");
+  spec.mapper = [] { return std::make_unique<LocalAggMapper>(); };
+  spec.reducer = [] { return std::make_unique<SumReducer>(); };
+  spec.num_reduce_tasks = 1;
+  spec.output_dir = JoinPath(cluster.root(), "out/agg");
+  auto result = cluster.RunJob(spec);
+  ASSERT_TRUE(result.ok());
+  auto out = ReadRecords(result.output_parts[0]);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].value, "55");
+}
+
+TEST_F(MrTest, FailedTasksAreRetriedAndResultIsCorrect) {
+  LocalCluster cluster(root_, 4);
+  std::vector<std::string> lines = {"x y z", "x x", "z z z z"};
+  // Fail the first attempt of map task 1 and reduce task 0.
+  auto hook = [](const TaskId& id) {
+    return id.attempt == 0 &&
+           ((id.kind == TaskId::Kind::kMap && id.index == 1) ||
+            (id.kind == TaskId::Kind::kReduce && id.index == 0));
+  };
+  auto got = RunWordCount(&cluster, lines, 3, 2, false, nullptr, hook);
+  EXPECT_EQ(got, ReferenceCounts(lines));
+}
+
+TEST_F(MrTest, PermanentTaskFailureFailsJob) {
+  LocalCluster cluster(root_, 2);
+  std::vector<KV> records = {{"k", "v"}};
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("in", records, 1).ok());
+  JobSpec spec;
+  spec.input_parts = *cluster.dfs()->Parts("in");
+  spec.mapper = [] {
+    return std::make_unique<FnMapper>(
+        [](const std::string& k, const std::string& v, MapContext* ctx) {
+          ctx->Emit(k, v);
+        });
+  };
+  spec.reducer = [] {
+    return std::make_unique<FnReducer>(
+        [](const std::string& k, const std::vector<std::string>& vs,
+           ReduceContext* ctx) { ctx->Emit(k, vs[0]); });
+  };
+  spec.num_reduce_tasks = 1;
+  spec.output_dir = JoinPath(cluster.root(), "out/fail");
+  spec.fail_hook = [](const TaskId&) { return true; };  // always fail
+  spec.max_attempts = 2;
+  auto result = cluster.RunJob(spec);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(MrTest, JobValidation) {
+  LocalCluster cluster(root_, 1);
+  JobSpec spec;  // missing everything
+  EXPECT_FALSE(cluster.RunJob(spec).ok());
+}
+
+TEST_F(MrTest, CostModelJobStartupAddsWallTime) {
+  CostModel cost;
+  cost.job_startup_ms = 50;
+  LocalCluster cluster(root_, 2, cost);
+  std::vector<std::string> lines = {"a"};
+  JobResult result;
+  RunWordCount(&cluster, lines, 1, 1, false, &result);
+  EXPECT_GE(result.wall_ms, 50.0);
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle internals
+// ---------------------------------------------------------------------------
+
+TEST(ShuffleTest, SortAndCombineGroups) {
+  std::vector<KV> records = {{"b", "2"}, {"a", "1"}, {"b", "3"}, {"a", "4"}};
+  SumReducer combiner;
+  SortAndCombine(&records, &combiner);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "a");
+  EXPECT_EQ(records[0].value, "5");
+  EXPECT_EQ(records[1].key, "b");
+  EXPECT_EQ(records[1].value, "5");
+}
+
+TEST(ShuffleTest, SortWithoutCombinerKeepsAll) {
+  std::vector<KV> records = {{"b", "2"}, {"a", "1"}, {"b", "3"}};
+  SortAndCombine(&records, nullptr);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].key, "a");
+  EXPECT_EQ(records[1].key, "b");
+  EXPECT_EQ(records[1].value, "2");
+}
+
+TEST(ShuffleTest, ReaderMergesSortedRunsAndGroups) {
+  std::string dir = ::testing::TempDir() + "/i2mr_shuffle_test";
+  ASSERT_TRUE(ResetDir(dir).ok());
+  ASSERT_TRUE(WriteRecords(JoinPath(dir, "r1"),
+                           {{"a", "1"}, {"c", "2"}, {"c", "3"}})
+                  .ok());
+  ASSERT_TRUE(WriteRecords(JoinPath(dir, "r2"), {{"b", "4"}, {"c", "5"}}).ok());
+  StageMetrics metrics;
+  CostModel cost;
+  auto reader = ShuffleReader::Open(
+      {JoinPath(dir, "r1"), JoinPath(dir, "r2"), JoinPath(dir, "missing")},
+      cost, &metrics);
+  ASSERT_TRUE(reader.ok());
+  std::string key;
+  std::vector<std::string> values;
+  ASSERT_TRUE((*reader)->NextGroup(&key, &values));
+  EXPECT_EQ(key, "a");
+  EXPECT_EQ(values.size(), 1u);
+  ASSERT_TRUE((*reader)->NextGroup(&key, &values));
+  EXPECT_EQ(key, "b");
+  ASSERT_TRUE((*reader)->NextGroup(&key, &values));
+  EXPECT_EQ(key, "c");
+  EXPECT_EQ(values.size(), 3u);
+  EXPECT_FALSE((*reader)->NextGroup(&key, &values));
+  EXPECT_GT(metrics.shuffle_bytes.load(), 0);
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+}  // namespace
+}  // namespace i2mr

@@ -1,0 +1,535 @@
+// Tests for the MRBG-Store: chunk codec, index persistence, append/batch
+// behaviour, the four read modes, merge semantics, and compaction.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "io/env.h"
+#include "mrbg/chunk.h"
+#include "mrbg/chunk_index.h"
+#include "mrbg/mrbg_store.h"
+
+namespace i2mr {
+namespace {
+
+Chunk MakeChunk(const std::string& key, int n_entries, uint64_t mk_base = 100,
+                const std::string& v_prefix = "v") {
+  Chunk c;
+  c.key = key;
+  for (int i = 0; i < n_entries; ++i) {
+    c.entries.push_back(ChunkEntry{mk_base + i, v_prefix + std::to_string(i)});
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk codec
+// ---------------------------------------------------------------------------
+
+TEST(ChunkCodecTest, RoundTrip) {
+  Chunk c = MakeChunk("vertex42", 3);
+  std::string buf;
+  uint32_t len = EncodeChunk(c, &buf);
+  EXPECT_EQ(len, buf.size());
+  EXPECT_EQ(len, EncodedChunkLength(c));
+  Chunk out;
+  ASSERT_TRUE(DecodeChunk(buf, &out).ok());
+  EXPECT_EQ(out.key, c.key);
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[1].mk, 101u);
+  EXPECT_EQ(out.entries[1].v2, "v1");
+}
+
+TEST(ChunkCodecTest, EmptyChunk) {
+  Chunk c;
+  c.key = "k";
+  std::string buf;
+  EncodeChunk(c, &buf);
+  Chunk out;
+  ASSERT_TRUE(DecodeChunk(buf, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ChunkCodecTest, DetectsCorruption) {
+  Chunk c = MakeChunk("k", 2);
+  std::string buf;
+  EncodeChunk(c, &buf);
+  std::string bad = buf;
+  bad[10] ^= 0x40;  // flip a payload bit
+  Chunk out;
+  EXPECT_TRUE(DecodeChunk(bad, &out).IsCorruption());
+  // Bad magic.
+  std::string bad2 = buf;
+  bad2[0] = 'X';
+  EXPECT_TRUE(DecodeChunk(bad2, &out).IsCorruption());
+  // Truncated.
+  EXPECT_TRUE(
+      DecodeChunk(std::string_view(buf.data(), buf.size() - 1), &out)
+          .IsCorruption());
+}
+
+TEST(ChunkCodecTest, BackToBackChunksDecodeAtBoundaries) {
+  Chunk a = MakeChunk("a", 2), b = MakeChunk("b", 1);
+  std::string buf;
+  uint32_t la = EncodeChunk(a, &buf);
+  uint32_t lb = EncodeChunk(b, &buf);
+  Chunk out;
+  ASSERT_TRUE(DecodeChunk(std::string_view(buf.data(), la), &out).ok());
+  EXPECT_EQ(out.key, "a");
+  ASSERT_TRUE(DecodeChunk(std::string_view(buf.data() + la, lb), &out).ok());
+  EXPECT_EQ(out.key, "b");
+}
+
+// ---------------------------------------------------------------------------
+// ApplyDeltaToChunk
+// ---------------------------------------------------------------------------
+
+TEST(ApplyDeltaTest, InsertNewEdges) {
+  Chunk c = MakeChunk("k", 1);
+  ApplyDeltaToChunk({{"k", 777, "new", false}}, &c);
+  ASSERT_EQ(c.entries.size(), 2u);
+  EXPECT_EQ(c.entries[1].mk, 777u);
+}
+
+TEST(ApplyDeltaTest, DeleteExistingEdge) {
+  Chunk c = MakeChunk("k", 3);  // mks 100,101,102
+  ApplyDeltaToChunk({{"k", 101, "", true}}, &c);
+  ASSERT_EQ(c.entries.size(), 2u);
+  EXPECT_EQ(c.entries[0].mk, 100u);
+  EXPECT_EQ(c.entries[1].mk, 102u);
+}
+
+TEST(ApplyDeltaTest, UpdateIsDeleteThenInsert) {
+  // Paper §3.3: a modification arrives as <k,mk,'-'> followed by
+  // <k,mk,new-value>.
+  Chunk c = MakeChunk("k", 2);
+  ApplyDeltaToChunk({{"k", 100, "", true}, {"k", 100, "updated", false}}, &c);
+  ASSERT_EQ(c.entries.size(), 2u);
+  bool found = false;
+  for (const auto& e : c.entries) {
+    if (e.mk == 100) {
+      EXPECT_EQ(e.v2, "updated");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ApplyDeltaTest, UpsertWithoutPriorDelete) {
+  Chunk c = MakeChunk("k", 1);  // mk 100
+  ApplyDeltaToChunk({{"k", 100, "replaced", false}}, &c);
+  ASSERT_EQ(c.entries.size(), 1u);
+  EXPECT_EQ(c.entries[0].v2, "replaced");
+}
+
+TEST(ApplyDeltaTest, DeleteAllLeavesEmpty) {
+  Chunk c = MakeChunk("k", 2);
+  ApplyDeltaToChunk({{"k", 100, "", true}, {"k", 101, "", true}}, &c);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(ApplyDeltaTest, DeleteOfMissingMkIsNoop) {
+  Chunk c = MakeChunk("k", 1);
+  ApplyDeltaToChunk({{"k", 999, "", true}}, &c);
+  EXPECT_EQ(c.entries.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ChunkIndex
+// ---------------------------------------------------------------------------
+
+TEST(ChunkIndexTest, PutLookupErase) {
+  ChunkIndex idx;
+  EXPECT_EQ(idx.Lookup("a"), nullptr);
+  idx.Put("a", {10, 20, 0});
+  ASSERT_NE(idx.Lookup("a"), nullptr);
+  EXPECT_EQ(idx.Lookup("a")->offset, 10u);
+  idx.Put("a", {30, 40, 1});  // overwrite points at latest version
+  EXPECT_EQ(idx.Lookup("a")->offset, 30u);
+  EXPECT_EQ(idx.Lookup("a")->batch, 1u);
+  idx.Erase("a");
+  EXPECT_EQ(idx.Lookup("a"), nullptr);
+}
+
+TEST(ChunkIndexTest, SaveLoadRoundTrip) {
+  std::string dir = ::testing::TempDir() + "/i2mr_idx_test";
+  ASSERT_TRUE(ResetDir(dir).ok());
+  ChunkIndex idx;
+  idx.Put("a", {1, 2, 0});
+  idx.Put("b", {3, 4, 1});
+  idx.AddBatch({0, 100});
+  idx.AddBatch({100, 250});
+  ASSERT_TRUE(idx.Save(JoinPath(dir, "idx")).ok());
+
+  ChunkIndex loaded;
+  ASSERT_TRUE(loaded.Load(JoinPath(dir, "idx")).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  ASSERT_NE(loaded.Lookup("b"), nullptr);
+  EXPECT_EQ(*loaded.Lookup("b"), (ChunkLocation{3, 4, 1}));
+  ASSERT_EQ(loaded.batches().size(), 2u);
+  EXPECT_EQ(loaded.batches()[1].start, 100u);
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(ChunkIndexTest, LoadRejectsGarbage) {
+  std::string dir = ::testing::TempDir() + "/i2mr_idx_bad";
+  ASSERT_TRUE(ResetDir(dir).ok());
+  ASSERT_TRUE(WriteStringToFile(JoinPath(dir, "idx"), "garbage!").ok());
+  ChunkIndex idx;
+  EXPECT_FALSE(idx.Load(JoinPath(dir, "idx")).ok());
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+// ---------------------------------------------------------------------------
+// MRBGStore
+// ---------------------------------------------------------------------------
+
+class MRBGStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/i2mr_store_test";
+    ASSERT_TRUE(ResetDir(dir_).ok());
+  }
+  void TearDown() override { RemoveAll(dir_).ok(); }
+
+  std::unique_ptr<MRBGStore> OpenStore(MRBGStoreOptions opts = {}) {
+    auto s = MRBGStore::Open(JoinPath(dir_, "store"), opts);
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    return std::move(s.value());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(MRBGStoreTest, AppendQueryRoundTrip) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("a", 2)).ok());
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("b", 3)).ok());
+  ASSERT_TRUE(store->FinishBatch().ok());
+  ASSERT_TRUE(store->PrepareQueries({"a", "b"}).ok());
+  auto a = store->Query("a");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->entries.size(), 2u);
+  auto b = store->Query("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->entries.size(), 3u);
+  EXPECT_EQ(store->num_chunks(), 2u);
+  EXPECT_EQ(store->num_batches(), 1u);
+}
+
+TEST_F(MRBGStoreTest, QueryMissingKeyIsNotFound) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("a", 1)).ok());
+  ASSERT_TRUE(store->FinishBatch().ok());
+  ASSERT_TRUE(store->PrepareQueries({"zz"}).ok());
+  EXPECT_TRUE(store->Query("zz").status().IsNotFound());
+}
+
+TEST_F(MRBGStoreTest, QueryFromAppendBufferBeforeFlush) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("a", 2)).ok());
+  // Not flushed yet: chunk is served from the append buffer.
+  ASSERT_TRUE(store->PrepareQueries({"a"}).ok());
+  auto a = store->Query("a");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->entries.size(), 2u);
+  EXPECT_EQ(store->stats().io_reads, 0u);
+}
+
+TEST_F(MRBGStoreTest, PersistsAcrossReopen) {
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->AppendChunk(MakeChunk("k1", 2)).ok());
+    ASSERT_TRUE(store->AppendChunk(MakeChunk("k2", 1)).ok());
+    ASSERT_TRUE(store->FinishBatch().ok());
+    ASSERT_TRUE(store->Close().ok());
+  }
+  auto store = OpenStore();
+  EXPECT_EQ(store->num_chunks(), 2u);
+  ASSERT_TRUE(store->PrepareQueries({"k1", "k2"}).ok());
+  auto k1 = store->Query("k1");
+  ASSERT_TRUE(k1.ok());
+  EXPECT_EQ(k1->entries.size(), 2u);
+}
+
+TEST_F(MRBGStoreTest, CloseWithoutFinishBatchStillDurable) {
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->AppendChunk(MakeChunk("k1", 2)).ok());
+    ASSERT_TRUE(store->Close().ok());  // implicit FinishBatch
+  }
+  auto store = OpenStore();
+  EXPECT_EQ(store->num_chunks(), 1u);
+  EXPECT_EQ(store->num_batches(), 1u);
+}
+
+TEST_F(MRBGStoreTest, LatestVersionWins) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("a", 1, 100, "old")).ok());
+  ASSERT_TRUE(store->FinishBatch().ok());
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("a", 2, 200, "new")).ok());
+  ASSERT_TRUE(store->FinishBatch().ok());
+  EXPECT_EQ(store->num_batches(), 2u);
+  ASSERT_TRUE(store->PrepareQueries({"a"}).ok());
+  auto a = store->Query("a");
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ(a->entries.size(), 2u);
+  EXPECT_EQ(a->entries[0].v2, "new0");
+}
+
+TEST_F(MRBGStoreTest, RemoveChunkHidesKey) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("a", 1)).ok());
+  ASSERT_TRUE(store->FinishBatch().ok());
+  ASSERT_TRUE(store->RemoveChunk("a").ok());
+  EXPECT_FALSE(store->Contains("a"));
+  ASSERT_TRUE(store->PrepareQueries({"a"}).ok());
+  EXPECT_TRUE(store->Query("a").status().IsNotFound());
+  EXPECT_EQ(store->stats().chunks_removed, 1u);
+}
+
+TEST_F(MRBGStoreTest, MergeGroupInsertDeleteUpdate) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("j", 3)).ok());  // mks 100..102
+  ASSERT_TRUE(store->FinishBatch().ok());
+
+  ASSERT_TRUE(store->PrepareQueries({"j", "new"}).ok());
+  Chunk merged;
+  // Delete mk=100, update mk=101, insert mk=500.
+  ASSERT_TRUE(store
+                  ->MergeGroup("j",
+                               {{"j", 100, "", true},
+                                {"j", 101, "upd", false},
+                                {"j", 500, "ins", false}},
+                               &merged)
+                  .ok());
+  ASSERT_EQ(merged.entries.size(), 3u);
+  std::map<uint64_t, std::string> by_mk;
+  for (const auto& e : merged.entries) by_mk[e.mk] = e.v2;
+  EXPECT_EQ(by_mk.count(100u), 0u);
+  EXPECT_EQ(by_mk[101], "upd");
+  EXPECT_EQ(by_mk[500], "ins");
+
+  // Merge for a brand-new key creates its chunk.
+  ASSERT_TRUE(store->MergeGroup("new", {{"new", 1, "x", false}}, &merged).ok());
+  EXPECT_EQ(merged.entries.size(), 1u);
+  ASSERT_TRUE(store->FinishBatch().ok());
+
+  // Both persisted; latest version of "j" visible.
+  ASSERT_TRUE(store->PrepareQueries({"j", "new"}).ok());
+  auto j = store->Query("j");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->entries.size(), 3u);
+  EXPECT_TRUE(store->Query("new").ok());
+}
+
+TEST_F(MRBGStoreTest, MergeToEmptyRemovesChunk) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("j", 1)).ok());  // mk 100
+  ASSERT_TRUE(store->FinishBatch().ok());
+  ASSERT_TRUE(store->PrepareQueries({"j"}).ok());
+  Chunk merged;
+  ASSERT_TRUE(store->MergeGroup("j", {{"j", 100, "", true}}, &merged).ok());
+  EXPECT_TRUE(merged.empty());
+  EXPECT_FALSE(store->Contains("j"));
+}
+
+TEST_F(MRBGStoreTest, ForEachChunkVisitsKeyOrder) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("b", 1)).ok());
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("c", 1)).ok());
+  ASSERT_TRUE(store->FinishBatch().ok());
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("a", 1)).ok());
+  ASSERT_TRUE(store->FinishBatch().ok());
+  std::vector<std::string> keys;
+  ASSERT_TRUE(store
+                  ->ForEachChunk([&](const Chunk& c) {
+                    keys.push_back(c.key);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(MRBGStoreTest, CompactDropsGarbageAndKeepsLiveChunks) {
+  auto store = OpenStore();
+  for (int round = 0; round < 5; ++round) {
+    for (int k = 0; k < 20; ++k) {
+      ASSERT_TRUE(store
+                      ->AppendChunk(MakeChunk(PaddedNum(k), 3, 100,
+                                              "r" + std::to_string(round)))
+                      .ok());
+    }
+    ASSERT_TRUE(store->FinishBatch().ok());
+  }
+  ASSERT_TRUE(store->RemoveChunk(PaddedNum(7)).ok());
+  uint64_t before = store->file_bytes();
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_LT(store->file_bytes(), before);
+  EXPECT_EQ(store->num_batches(), 1u);
+  EXPECT_EQ(store->num_chunks(), 19u);
+  ASSERT_TRUE(store->PrepareQueries({PaddedNum(3)}).ok());
+  auto c = store->Query(PaddedNum(3));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->entries[0].v2, "r40");  // latest round survived
+
+  // Store still writable after compaction.
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("zzz", 1)).ok());
+  ASSERT_TRUE(store->FinishBatch().ok());
+  ASSERT_TRUE(store->PrepareQueries({"zzz"}).ok());
+  EXPECT_TRUE(store->Query("zzz").ok());
+}
+
+// All four read modes must return identical data; they differ only in I/O
+// pattern.
+class ReadModeTest : public MRBGStoreTest,
+                     public ::testing::WithParamInterface<ReadMode> {};
+
+TEST_P(ReadModeTest, AllModesReturnSameChunks) {
+  MRBGStoreOptions opts;
+  opts.read_mode = GetParam();
+  opts.fixed_window_bytes = 256;  // small enough to span a few chunks only
+  opts.gap_threshold_bytes = 64;
+  opts.read_cache_bytes = 1024;
+  auto store = OpenStore(opts);
+
+  // Two batches with interleaved key coverage, as produced by two merge
+  // epochs (§5.2 Fig. 7 setup).
+  for (int k = 0; k < 50; ++k) {
+    ASSERT_TRUE(store->AppendChunk(MakeChunk(PaddedNum(k), 2, 10, "b1_")).ok());
+  }
+  ASSERT_TRUE(store->FinishBatch().ok());
+  for (int k = 0; k < 50; k += 2) {
+    ASSERT_TRUE(store->AppendChunk(MakeChunk(PaddedNum(k), 2, 10, "b2_")).ok());
+  }
+  ASSERT_TRUE(store->FinishBatch().ok());
+
+  std::vector<std::string> keys;
+  for (int k = 0; k < 50; k += 3) keys.push_back(PaddedNum(k));
+  ASSERT_TRUE(store->PrepareQueries(keys).ok());
+  for (int k = 0; k < 50; k += 3) {
+    auto c = store->Query(PaddedNum(k));
+    ASSERT_TRUE(c.ok()) << "mode=" << ReadModeName(GetParam()) << " k=" << k;
+    ASSERT_EQ(c->entries.size(), 2u);
+    // Even keys were overwritten in batch 2.
+    EXPECT_EQ(c->entries[0].v2, (k % 2 == 0 ? "b2_0" : "b1_0"));
+  }
+  EXPECT_GT(store->stats().queries, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ReadModeTest,
+                         ::testing::Values(ReadMode::kIndexOnly,
+                                           ReadMode::kSingleFixedWindow,
+                                           ReadMode::kMultiFixedWindow,
+                                           ReadMode::kMultiDynamicWindow),
+                         [](const auto& info) {
+                           std::string name = ReadModeName(info.param);
+                           for (auto& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST_F(MRBGStoreTest, DynamicWindowBatchesAdjacentQueries) {
+  // With sorted queries over densely packed chunks, the dynamic window
+  // should need far fewer I/O reads than index-only.
+  auto run = [&](ReadMode mode, const std::string& subdir) {
+    MRBGStoreOptions opts;
+    opts.read_mode = mode;
+    auto s = MRBGStore::Open(JoinPath(dir_, subdir), opts);
+    EXPECT_TRUE(s.ok());
+    auto& store = s.value();
+    for (int k = 0; k < 200; ++k) {
+      EXPECT_TRUE(store->AppendChunk(MakeChunk(PaddedNum(k), 4)).ok());
+    }
+    EXPECT_TRUE(store->FinishBatch().ok());
+    std::vector<std::string> keys;
+    for (int k = 0; k < 200; ++k) keys.push_back(PaddedNum(k));
+    EXPECT_TRUE(store->PrepareQueries(keys).ok());
+    for (int k = 0; k < 200; ++k) {
+      EXPECT_TRUE(store->Query(PaddedNum(k)).ok());
+    }
+    return store->stats();
+  };
+  auto dyn = run(ReadMode::kMultiDynamicWindow, "dyn");
+  auto idx = run(ReadMode::kIndexOnly, "idx");
+  EXPECT_EQ(idx.io_reads, 200u);
+  EXPECT_LT(dyn.io_reads, idx.io_reads / 4);
+  EXPECT_GT(dyn.cache_hits, 0u);
+}
+
+TEST_F(MRBGStoreTest, SingleWindowThrashesAcrossBatchesDynamicDoesNot) {
+  // Alternating queries across two batches: a single window reloads
+  // constantly, multi windows do not (§5.2 motivation, Table 4).
+  auto run = [&](ReadMode mode, const std::string& subdir) {
+    MRBGStoreOptions opts;
+    opts.read_mode = mode;
+    opts.fixed_window_bytes = 4096;
+    auto s = MRBGStore::Open(JoinPath(dir_, subdir), opts);
+    EXPECT_TRUE(s.ok());
+    auto& store = s.value();
+    // Batch 1: odd keys; batch 2: even keys -> query order alternates
+    // between batches.
+    for (int k = 1; k < 100; k += 2) {
+      EXPECT_TRUE(store->AppendChunk(MakeChunk(PaddedNum(k), 4)).ok());
+    }
+    EXPECT_TRUE(store->FinishBatch().ok());
+    for (int k = 0; k < 100; k += 2) {
+      EXPECT_TRUE(store->AppendChunk(MakeChunk(PaddedNum(k), 4)).ok());
+    }
+    EXPECT_TRUE(store->FinishBatch().ok());
+    std::vector<std::string> keys;
+    for (int k = 0; k < 100; ++k) keys.push_back(PaddedNum(k));
+    EXPECT_TRUE(store->PrepareQueries(keys).ok());
+    for (int k = 0; k < 100; ++k) {
+      EXPECT_TRUE(store->Query(PaddedNum(k)).ok());
+    }
+    return store->stats();
+  };
+  auto single = run(ReadMode::kSingleFixedWindow, "single");
+  auto multi = run(ReadMode::kMultiDynamicWindow, "multi");
+  EXPECT_LT(multi.io_reads, single.io_reads);
+  EXPECT_LT(multi.bytes_read, single.bytes_read);
+}
+
+TEST_F(MRBGStoreTest, StatsAccounting) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("a", 1)).ok());
+  EXPECT_EQ(store->stats().chunks_appended, 1u);
+  EXPECT_GT(store->stats().bytes_appended, 0u);
+  store->ResetStats();
+  EXPECT_EQ(store->stats().chunks_appended, 0u);
+}
+
+TEST_F(MRBGStoreTest, ReloadRestoresStateFromDisk) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->AppendChunk(MakeChunk("a", 2)).ok());
+  ASSERT_TRUE(store->FinishBatch().ok());
+  ASSERT_TRUE(store->Reload().ok());
+  EXPECT_EQ(store->num_chunks(), 1u);
+  ASSERT_TRUE(store->PrepareQueries({"a"}).ok());
+  EXPECT_TRUE(store->Query("a").ok());
+}
+
+TEST_F(MRBGStoreTest, LargeValuesSpanAppendBufferFlushes) {
+  MRBGStoreOptions opts;
+  opts.append_buffer_bytes = 512;  // force frequent flushes
+  auto store = OpenStore(opts);
+  std::string big(2000, 'x');
+  for (int k = 0; k < 10; ++k) {
+    Chunk c;
+    c.key = PaddedNum(k);
+    c.entries.push_back(ChunkEntry{1, big});
+    ASSERT_TRUE(store->AppendChunk(c).ok());
+  }
+  ASSERT_TRUE(store->FinishBatch().ok());
+  ASSERT_TRUE(store->PrepareQueries({PaddedNum(5)}).ok());
+  auto c = store->Query(PaddedNum(5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->entries[0].v2, big);
+}
+
+}  // namespace
+}  // namespace i2mr

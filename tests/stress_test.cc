@@ -1,0 +1,206 @@
+// Randomized end-to-end stress tests: long refresh sequences with mixed
+// delta types, random failure injection, and cross-validation against the
+// sequential references after every refresh.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "apps/wordcount.h"
+#include "common/codec.h"
+#include "common/random.h"
+#include "core/incr_iter_engine.h"
+#include "core/incr_job.h"
+#include "data/graph_gen.h"
+#include "mr/cluster.h"
+
+namespace i2mr {
+namespace {
+
+std::vector<KV> UnitState(const std::vector<KV>& structure) {
+  std::vector<KV> state;
+  for (const auto& kv : structure) state.push_back(KV{kv.key, "1"});
+  return state;
+}
+
+class StressTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::string Root(const std::string& tag) {
+    return ::testing::TempDir() + "/i2mr_stress_" + tag + "_" +
+           std::to_string(GetParam());
+  }
+};
+
+// Five refreshes of incremental PageRank with varying delta mixes and
+// random prime-task failures; every refresh must track the offline
+// reference within tolerance and stay failure-transparent.
+TEST_P(StressTest, PageRankLongRefreshSequenceWithRandomFailures) {
+  const int seed = GetParam();
+  Rng rng(seed * 7919);
+  GraphGenOptions gen;
+  gen.num_vertices = 150;
+  gen.avg_degree = 5;
+  gen.seed = seed;
+  auto graph = GenGraph(gen);
+
+  LocalCluster cluster(Root("pr"), 3);
+  IncrIterOptions options;
+  options.filter_threshold = 0.0;
+  options.mrbg_auto_off_ratio = 2;
+  options.checkpoint_each_iteration = true;
+  // Random failures: each prime task of the first 4 iterations fails with
+  // 15% probability (at most once per task, enforced by the engine).
+  Rng fail_rng(seed);
+  std::mutex mu;
+  options.fail_hook = [&](int iteration, TaskId::Kind, int) {
+    if (iteration > 4) return false;
+    std::lock_guard<std::mutex> lock(mu);
+    return fail_rng.Bernoulli(0.15);
+  };
+
+  IncrementalIterativeEngine engine(
+      &cluster, pagerank::MakeIterSpec("pr_stress", 3, 80, 1e-8), options);
+  ASSERT_TRUE(engine.RunInitial(graph, UnitState(graph)).ok());
+
+  for (int round = 0; round < 5; ++round) {
+    GraphDeltaOptions dopt;
+    dopt.seed = seed * 100 + round;
+    switch (round % 3) {
+      case 0:
+        dopt.update_fraction = 0.1;
+        break;
+      case 1:
+        dopt.update_fraction = 0.03;
+        dopt.insert_fraction = 0.05;
+        break;
+      case 2:
+        dopt.update_fraction = 0.05;
+        dopt.delete_fraction = 0.03;
+        break;
+    }
+    auto delta = GenGraphDelta(gen, dopt, &graph);
+    auto refresh = engine.RunIncremental(delta);
+    ASSERT_TRUE(refresh.ok()) << "round " << round << ": "
+                              << refresh.status().ToString();
+    auto state = engine.StateSnapshot();
+    ASSERT_TRUE(state.ok());
+    auto reference = pagerank::Reference(graph, 80, 1e-8);
+    EXPECT_LT(pagerank::MeanError(*state, reference), 1e-4)
+        << "round " << round;
+  }
+}
+
+// Ten accumulator-mode refreshes of WordCount; exact equality with the
+// reference after each.
+TEST_P(StressTest, WordCountManyRefreshesStayExact) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  LocalCluster cluster(Root("wc"), 3);
+
+  auto make_doc = [&](uint64_t id) {
+    std::string text;
+    int words = 3 + static_cast<int>(rng.Uniform(6));
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) text += " ";
+      text += "w" + std::to_string(rng.Uniform(30));
+    }
+    return KV{PaddedNum(id), text};
+  };
+
+  std::vector<KV> docs;
+  for (uint64_t i = 0; i < 80; ++i) docs.push_back(make_doc(i));
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("docs", docs, 3).ok());
+
+  IncrementalOneStepJob job(&cluster, wordcount::MakeSpec("wc_stress", 3));
+  ASSERT_TRUE(job.RunInitial(*cluster.dfs()->Parts("docs")).ok());
+
+  uint64_t next_id = 80;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<DeltaKV> delta;
+    int count = 1 + static_cast<int>(rng.Uniform(15));
+    for (int i = 0; i < count; ++i) {
+      KV doc = make_doc(next_id++);
+      delta.push_back(DeltaKV{DeltaOp::kInsert, doc.key, doc.value});
+      docs.push_back(doc);
+    }
+    std::string name = "d" + std::to_string(round);
+    ASSERT_TRUE(cluster.dfs()->WriteDeltaDataset(name, delta, 2).ok());
+    ASSERT_TRUE(job.RunIncremental(*cluster.dfs()->Parts(name)).ok());
+
+    auto want = wordcount::Reference(docs);
+    auto got = job.Results();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), want.size()) << "round " << round;
+    for (const auto& kv : *got) {
+      ASSERT_EQ(*ParseNum(kv.value), want[kv.key])
+          << "round " << round << " word " << kv.key;
+    }
+  }
+}
+
+// MRBG-mode WordCount with random update/delete churn; exact after each
+// refresh (exercises chunk deletions, upserts and instance erasure).
+TEST_P(StressTest, MrbgWordCountChurn) {
+  const int seed = GetParam();
+  Rng rng(seed + 31337);
+  LocalCluster cluster(Root("wcm"), 2);
+
+  auto make_text = [&] {
+    std::string text;
+    int words = 2 + static_cast<int>(rng.Uniform(5));
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) text += " ";
+      text += "t" + std::to_string(rng.Uniform(12));
+    }
+    return text;
+  };
+
+  std::vector<KV> docs;
+  for (uint64_t i = 0; i < 40; ++i) docs.push_back({PaddedNum(i), make_text()});
+  ASSERT_TRUE(cluster.dfs()->WriteDataset("docs", docs, 2).ok());
+  IncrementalOneStepJob job(&cluster, wordcount::MakeMrbgSpec("wcm_stress", 2));
+  ASSERT_TRUE(job.RunInitial(*cluster.dfs()->Parts("docs")).ok());
+
+  for (int round = 0; round < 6; ++round) {
+    std::vector<DeltaKV> delta;
+    // Update 5 distinct docs and delete another one. A delta input is the
+    // *net* diff between two snapshots (the paper's incremental-acquisition
+    // model), so each record appears at most once per refresh.
+    std::set<size_t> victims;
+    while (victims.size() < 6 && victims.size() < docs.size()) {
+      victims.insert(rng.Uniform(docs.size()));
+    }
+    std::vector<size_t> picked(victims.begin(), victims.end());
+    for (size_t u = 0; u + 1 < picked.size(); ++u) {
+      size_t i = picked[u];
+      std::string nv = make_text();
+      delta.push_back(DeltaKV{DeltaOp::kDelete, docs[i].key, docs[i].value});
+      delta.push_back(DeltaKV{DeltaOp::kInsert, docs[i].key, nv});
+      docs[i].value = nv;
+    }
+    if (!picked.empty()) {
+      size_t i = picked.back();
+      delta.push_back(DeltaKV{DeltaOp::kDelete, docs[i].key, docs[i].value});
+      docs.erase(docs.begin() + i);
+    }
+    std::string name = "churn" + std::to_string(round);
+    ASSERT_TRUE(cluster.dfs()->WriteDeltaDataset(name, delta, 2).ok());
+    ASSERT_TRUE(job.RunIncremental(*cluster.dfs()->Parts(name)).ok());
+
+    auto want = wordcount::Reference(docs);
+    auto got = job.Results();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), want.size()) << "round " << round;
+    for (const auto& kv : *got) {
+      ASSERT_EQ(*ParseNum(kv.value), want[kv.key])
+          << "round " << round << " word " << kv.key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest, ::testing::Values(1, 2, 5));
+
+}  // namespace
+}  // namespace i2mr
