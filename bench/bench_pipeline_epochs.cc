@@ -1,0 +1,143 @@
+// Pipeline epoch latency vs. delta rate.
+//
+// A PageRank pipeline is bootstrapped once, then fed epochs of increasing
+// delta rate (fraction of the graph updated per epoch). For each rate we
+// measure end-to-end epoch latency (drain + incremental refresh + atomic
+// commit) and its refresh/commit split, against a full-recompute baseline.
+//
+// Emits BENCH_pipeline.json (epoch latency at 3 delta rates) alongside the
+// human-readable report, to track the serving-path perf trajectory.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/graph_gen.h"
+#include "mr/cluster.h"
+#include "pipeline/pipeline.h"
+
+using namespace i2mr;
+
+namespace {
+
+struct RateResult {
+  double delta_rate = 0;
+  uint64_t deltas_per_epoch = 0;
+  int epochs = 0;
+  double mean_epoch_ms = 0;
+  double mean_refresh_ms = 0;
+  double mean_commit_ms = 0;
+  double mean_iterations = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::Title("Pipeline epochs: latency vs delta rate (PageRank)");
+  const int n = bench::ScaledInt(4000);
+  const int kEpochsPerRate = 4;
+  const double kRates[] = {0.005, 0.02, 0.08};
+
+  LocalCluster cluster(bench::BenchRoot("pipeline_epochs"), bench::Workers(),
+                       bench::PaperCosts());
+
+  GraphGenOptions gen;
+  gen.num_vertices = n;
+  gen.avg_degree = 8;
+  auto graph = GenGraph(gen);
+
+  PipelineOptions options;
+  options.spec = pagerank::MakeIterSpec("pr", bench::Workers(), 60, 1e-6);
+  options.engine.filter_threshold = 0.1;
+  auto pipeline = Pipeline::Open(&cluster, "pr", options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "open: %s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+
+  WallTimer bootstrap;
+  if (!(*pipeline)->Bootstrap(graph, bench::UnitState(graph)).ok()) return 1;
+  double bootstrap_ms = bootstrap.ElapsedMillis();
+  std::printf("graph: %zu pages | bootstrap (full computation + commit): "
+              "%.0f ms\n\n", graph.size(), bootstrap_ms);
+  std::printf("%-12s %-16s %-14s %-14s %-14s %s\n", "delta rate",
+              "deltas/epoch", "epoch ms", "refresh ms", "commit ms", "iters");
+
+  std::vector<RateResult> results;
+  uint64_t delta_seed = 1000;
+  for (double rate : kRates) {
+    RateResult r;
+    r.delta_rate = rate;
+    double epoch_ms = 0, refresh_ms = 0, commit_ms = 0, iters = 0;
+    for (int e = 0; e < kEpochsPerRate; ++e) {
+      GraphDeltaOptions dopt;
+      dopt.update_fraction = rate;
+      dopt.seed = delta_seed++;
+      auto delta = GenGraphDelta(gen, dopt, &graph);
+      if (!(*pipeline)
+               ->AppendBatch(std::vector<DeltaKV>(delta.begin(), delta.end()))
+               .ok()) {
+        return 1;
+      }
+      auto stats = (*pipeline)->RunEpoch();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "epoch: %s\n", stats.status().ToString().c_str());
+        return 1;
+      }
+      r.deltas_per_epoch = stats->deltas_applied;
+      epoch_ms += stats->wall_ms;
+      refresh_ms += stats->refresh_ms;
+      commit_ms += stats->commit_ms;
+      iters += static_cast<double>(stats->iterations);
+      ++r.epochs;
+    }
+    r.mean_epoch_ms = epoch_ms / r.epochs;
+    r.mean_refresh_ms = refresh_ms / r.epochs;
+    r.mean_commit_ms = commit_ms / r.epochs;
+    r.mean_iterations = iters / r.epochs;
+    results.push_back(r);
+    std::printf("%-12.3f %-16llu %-14.1f %-14.1f %-14.1f %.1f\n", rate,
+                (unsigned long long)r.deltas_per_epoch, r.mean_epoch_ms,
+                r.mean_refresh_ms, r.mean_commit_ms, r.mean_iterations);
+  }
+
+  // Full-recompute baseline on the final snapshot, for context.
+  WallTimer full_timer;
+  IterativeEngine full(&cluster,
+                       pagerank::MakeIterSpec("pr_full", bench::Workers(), 60, 1e-6));
+  if (!full.Prepare(graph, bench::UnitState(graph)).ok() || !full.Run().ok()) {
+    return 1;
+  }
+  double full_ms = full_timer.ElapsedMillis();
+  std::printf("\nfull re-computation baseline: %.0f ms\n", full_ms);
+
+  // Machine-readable trajectory point.
+  std::FILE* json = std::fopen("BENCH_pipeline.json", "w");
+  if (json == nullptr) return 1;
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"pipeline_epochs\",\n");
+  std::fprintf(json, "  \"workload\": \"pagerank\",\n");
+  std::fprintf(json, "  \"num_vertices\": %d,\n", n);
+  std::fprintf(json, "  \"workers\": %d,\n", bench::Workers());
+  std::fprintf(json, "  \"bootstrap_ms\": %.1f,\n", bootstrap_ms);
+  std::fprintf(json, "  \"full_recompute_ms\": %.1f,\n", full_ms);
+  std::fprintf(json, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RateResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"delta_rate\": %.3f, \"deltas_per_epoch\": %llu, "
+                 "\"epochs\": %d, \"mean_epoch_ms\": %.1f, "
+                 "\"mean_refresh_ms\": %.1f, \"mean_commit_ms\": %.1f, "
+                 "\"mean_iterations\": %.1f}%s\n",
+                 r.delta_rate, (unsigned long long)r.deltas_per_epoch,
+                 r.epochs, r.mean_epoch_ms, r.mean_refresh_ms,
+                 r.mean_commit_ms, r.mean_iterations,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  bench::Note("\nwrote BENCH_pipeline.json");
+  return 0;
+}

@@ -22,6 +22,15 @@ uint64_t HashCombine(uint64_t a, uint64_t b);
 /// Globally unique Map-instance key for one-step jobs: Hash64(K1 ‖ V1).
 uint64_t MapInstanceKey(std::string_view k1, std::string_view v1);
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used to frame durable log
+/// records; stable across platforms and runs — do not change without
+/// regenerating persisted logs.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
 }  // namespace i2mr
 
 #endif  // I2MR_COMMON_HASH_H_

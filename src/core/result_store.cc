@@ -73,7 +73,7 @@ std::vector<KV> ResultStore::Snapshot() const {
   return out;
 }
 
-Status ResultStore::Save() const {
+Status ResultStore::SaveAs(const std::string& path) const {
   std::string buf;
   PutFixed64(&buf, results_.size());
   for (const auto& [k, v] : results_) {
@@ -86,9 +86,9 @@ Status ResultStore::Save() const {
     PutFixed32(&buf, static_cast<uint32_t>(k3s.size()));
     for (const auto& k3 : k3s) PutLengthPrefixed(&buf, k3);
   }
-  std::string tmp = path_ + ".tmp";
+  std::string tmp = path + ".tmp";
   I2MR_RETURN_IF_ERROR(WriteStringToFile(tmp, buf));
-  return RenameFile(tmp, path_);
+  return RenameFile(tmp, path);
 }
 
 }  // namespace i2mr

@@ -35,7 +35,11 @@ class ResultStore {
 
   size_t size() const { return results_.size(); }
 
-  Status Save() const;
+  Status Save() const { return SaveAs(path_); }
+
+  /// Persist to an explicit path (atomic write-temp + rename). Lets a
+  /// caller snapshot the store somewhere other than its serving path.
+  Status SaveAs(const std::string& path) const;
 
  private:
   explicit ResultStore(std::string path) : path_(std::move(path)) {}

@@ -1,5 +1,7 @@
 #include "io/record_file.h"
 
+#include <functional>
+
 #include "common/codec.h"
 
 namespace i2mr {
@@ -15,7 +17,21 @@ StatusOr<std::unique_ptr<RecordWriter>> RecordWriter::Create(
   return std::unique_ptr<RecordWriter>(new RecordWriter(std::move(f.value())));
 }
 
+namespace {
+
+// Writers enforce the same bound the readers do: a field that would be
+// rejected as corrupt on read must not be accepted on write.
+Status CheckFieldLengths(std::string_view key, std::string_view value) {
+  if (key.size() > kMaxRecordFieldLen || value.size() > kMaxRecordFieldLen) {
+    return Status::InvalidArgument("record field exceeds length limit");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status RecordWriter::Add(std::string_view key, std::string_view value) {
+  I2MR_RETURN_IF_ERROR(CheckFieldLengths(key, value));
   scratch_.clear();
   PutLengthPrefixed(&scratch_, key);
   PutLengthPrefixed(&scratch_, value);
@@ -27,7 +43,11 @@ Status RecordWriter::Add(std::string_view key, std::string_view value) {
 Status RecordWriter::Close() { return file_->Close(); }
 
 StatusOr<std::unique_ptr<RecordReader>> RecordReader::Open(
-    const std::string& path) {
+    const std::string& path, bool validate) {
+  if (validate) {
+    auto n = ValidateRecordFile(path);
+    if (!n.ok()) return n.status();
+  }
   auto f = SequentialFile::Open(path);
   if (!f.ok()) return f.status();
   return std::unique_ptr<RecordReader>(new RecordReader(std::move(f.value())));
@@ -45,11 +65,22 @@ Status ReadLenPrefixed(SequentialFile* f, std::string* out, bool* at_eof) {
   }
   I2MR_RETURN_IF_ERROR(st);
   uint32_t n = DecodeFixed32(lenbuf.data());
+  if (n > kMaxRecordFieldLen) {
+    // A garbled length prefix: fail before attempting the allocation.
+    return Status::Corruption("record field length " + std::to_string(n) +
+                              " exceeds limit");
+  }
   if (n == 0) {
     out->clear();
     return Status::OK();
   }
-  return f->ReadExact(n, out);
+  Status body = f->ReadExact(n, out);
+  if (body.IsNotFound()) {
+    // EOF right after a complete length prefix: a truncated record, not a
+    // clean end of file.
+    return Status::Corruption("truncated record body");
+  }
+  return body;
 }
 
 }  // namespace
@@ -76,6 +107,7 @@ StatusOr<std::unique_ptr<DeltaWriter>> DeltaWriter::Create(
 }
 
 Status DeltaWriter::Add(const DeltaKV& rec) {
+  I2MR_RETURN_IF_ERROR(CheckFieldLengths(rec.key, rec.value));
   scratch_.clear();
   scratch_.push_back(DeltaOpChar(rec.op));
   PutLengthPrefixed(&scratch_, rec.key);
@@ -88,7 +120,11 @@ Status DeltaWriter::Add(const DeltaKV& rec) {
 Status DeltaWriter::Close() { return file_->Close(); }
 
 StatusOr<std::unique_ptr<DeltaReader>> DeltaReader::Open(
-    const std::string& path) {
+    const std::string& path, bool validate) {
+  if (validate) {
+    auto n = ValidateDeltaFile(path);
+    if (!n.ok()) return n.status();
+  }
   auto f = SequentialFile::Open(path);
   if (!f.ok()) return f.status();
   return std::unique_ptr<DeltaReader>(new DeltaReader(std::move(f.value())));
@@ -109,6 +145,69 @@ Status DeltaReader::Next(DeltaKV* rec) {
   st = ReadLenPrefixed(file_.get(), &rec->value, &at_eof);
   if (at_eof) return Status::Corruption("truncated delta record");
   return st;
+}
+
+// ---------------------------------------------------------------------------
+// Open-time validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Shared scan loop: `next` consumes one record, returning NotFound at clean
+// EOF. On corruption the offset of the bad record is reported.
+StatusOr<uint64_t> ValidateScan(
+    SequentialFile* f, const std::function<Status(SequentialFile*)>& next) {
+  uint64_t count = 0;
+  for (;;) {
+    uint64_t record_start = f->offset();
+    Status st = next(f);
+    if (st.IsNotFound()) return count;
+    if (!st.ok()) {
+      return Status::Corruption(st.message() + " (record " +
+                                std::to_string(count) + " at offset " +
+                                std::to_string(record_start) + ")");
+    }
+    ++count;
+  }
+}
+
+}  // namespace
+
+StatusOr<uint64_t> ValidateRecordFile(const std::string& path) {
+  auto f = SequentialFile::Open(path);
+  if (!f.ok()) return f.status();
+  KV kv;
+  return ValidateScan(f->get(), [&kv](SequentialFile* sf) {
+    bool at_eof = false;
+    Status st = ReadLenPrefixed(sf, &kv.key, &at_eof);
+    if (at_eof) return Status::NotFound("eof");
+    I2MR_RETURN_IF_ERROR(st);
+    st = ReadLenPrefixed(sf, &kv.value, &at_eof);
+    if (at_eof) return Status::Corruption("truncated record");
+    return st;
+  });
+}
+
+StatusOr<uint64_t> ValidateDeltaFile(const std::string& path) {
+  auto f = SequentialFile::Open(path);
+  if (!f.ok()) return f.status();
+  DeltaKV rec;
+  return ValidateScan(f->get(), [&rec](SequentialFile* sf) {
+    std::string opbuf;
+    Status st = sf->ReadExact(1, &opbuf);
+    if (st.IsNotFound()) return st;  // clean EOF
+    I2MR_RETURN_IF_ERROR(st);
+    if (opbuf[0] != '+' && opbuf[0] != '-') {
+      return Status::Corruption("bad delta op byte");
+    }
+    bool at_eof = false;
+    st = ReadLenPrefixed(sf, &rec.key, &at_eof);
+    if (at_eof) return Status::Corruption("truncated delta record");
+    I2MR_RETURN_IF_ERROR(st);
+    st = ReadLenPrefixed(sf, &rec.value, &at_eof);
+    if (at_eof) return Status::Corruption("truncated delta record");
+    return st;
+  });
 }
 
 // ---------------------------------------------------------------------------

@@ -36,10 +36,19 @@ class RecordWriter {
   std::string scratch_;
 };
 
+/// Upper bound on a single key/value field. A corrupt length prefix in a
+/// truncated or garbled file would otherwise drive a multi-GB allocation
+/// before the short read is even detected.
+inline constexpr uint32_t kMaxRecordFieldLen = 256u << 20;  // 256 MiB
+
 /// Streaming reader of plain KV records.
 class RecordReader {
  public:
-  static StatusOr<std::unique_ptr<RecordReader>> Open(const std::string& path);
+  /// With `validate` set, scans the whole file first and fails with
+  /// Corruption if it ends in a truncated or garbled record, so callers see
+  /// the damage at open time instead of mid-stream.
+  static StatusOr<std::unique_ptr<RecordReader>> Open(const std::string& path,
+                                                      bool validate = false);
 
   /// Returns OK and fills *kv, NotFound at EOF, Corruption on a bad record.
   Status Next(KV* kv);
@@ -72,7 +81,8 @@ class DeltaWriter {
 /// Streaming reader of delta records.
 class DeltaReader {
  public:
-  static StatusOr<std::unique_ptr<DeltaReader>> Open(const std::string& path);
+  static StatusOr<std::unique_ptr<DeltaReader>> Open(const std::string& path,
+                                                     bool validate = false);
 
   Status Next(DeltaKV* rec);
 
@@ -81,6 +91,13 @@ class DeltaReader {
 
   std::unique_ptr<SequentialFile> file_;
 };
+
+/// Full-file scan: returns the number of complete records, or Corruption
+/// (naming the byte offset of the damage) when the file ends in a truncated
+/// or garbled record. Pipeline crash recovery validates the committed
+/// snapshot's record files with this before restoring them.
+StatusOr<uint64_t> ValidateRecordFile(const std::string& path);
+StatusOr<uint64_t> ValidateDeltaFile(const std::string& path);
 
 // Whole-file conveniences.
 Status WriteRecords(const std::string& path, const std::vector<KV>& records);

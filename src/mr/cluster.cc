@@ -9,13 +9,22 @@
 
 namespace i2mr {
 
-LocalCluster::LocalCluster(std::string root, int num_workers, CostModel cost)
+LocalCluster::LocalCluster(std::string root, int num_workers, CostModel cost,
+                           bool reset)
     : root_(std::move(root)),
       num_workers_(num_workers),
       cost_(cost),
       dfs_(JoinPath(root_, "dfs")),
       pool_(num_workers) {
-  I2MR_CHECK_OK(ResetDir(root_));
+  if (reset) {
+    I2MR_CHECK_OK(ResetDir(root_));
+  } else {
+    // Re-attach keeps durable state, but jobs/ is per-process shuffle
+    // scratch: spill files from a job that crashed mid-run must not
+    // survive, or a replayed job re-using the same job dir would merge
+    // the stale spills into its reduce input.
+    I2MR_CHECK_OK(ResetDir(JoinPath(root_, "jobs")));
+  }
   I2MR_CHECK_OK(CreateDirs(JoinPath(root_, "dfs")));
   I2MR_CHECK_OK(CreateDirs(JoinPath(root_, "workers")));
   I2MR_CHECK_OK(CreateDirs(JoinPath(root_, "jobs")));

@@ -17,11 +17,16 @@ namespace i2mr {
 
 class LocalCluster {
  public:
-  /// Creates (resets) the cluster working directory layout under `root`:
+  /// Creates the cluster working directory layout under `root`:
   ///   <root>/dfs/       durable "distributed" storage + checkpoints
   ///   <root>/workers/   per-worker local state (MRBG files, caches)
   ///   <root>/jobs/      per-job shuffle spill space
-  LocalCluster(std::string root, int num_workers, CostModel cost = {});
+  /// With `reset` (the default) any previous contents of `root` are wiped;
+  /// pass reset=false to re-attach to an existing root and keep durable
+  /// state (pipeline logs, committed epochs, preserved MRBGraphs) across
+  /// process restarts.
+  LocalCluster(std::string root, int num_workers, CostModel cost = {},
+               bool reset = true);
 
   /// Run a complete MapReduce job (blocking). Map tasks run in parallel on
   /// the worker pool, then reduce tasks.

@@ -1,0 +1,286 @@
+#include "pipeline/delta_log.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "io/env.h"
+#include "io/record_file.h"
+
+namespace i2mr {
+namespace {
+
+constexpr uint32_t kLogMagic = 0x49444c47;  // "IDLG"
+constexpr size_t kFrameHeader = 8;          // magic + payload_len
+constexpr size_t kFrameOverhead = kFrameHeader + 4;  // + crc
+constexpr size_t kPayloadOverhead = 8 + 1 + 4 + 4;   // seq + op + 2 lengths
+
+std::string LogFilePath(const std::string& dir) {
+  return JoinPath(dir, "log.dat");
+}
+
+// Parses one frame starting at data[pos]. Returns OK and advances *pos past
+// the frame, NotFound at a clean end (pos == size), Corruption otherwise.
+Status ParseFrame(std::string_view data, size_t* pos, SeqDelta* out) {
+  if (*pos == data.size()) return Status::NotFound("end of log");
+  if (data.size() - *pos < kFrameOverhead) {
+    return Status::Corruption("torn frame header");
+  }
+  Decoder head(data.data() + *pos, kFrameHeader);
+  uint32_t magic = 0, payload_len = 0;
+  head.GetFixed32(&magic);
+  head.GetFixed32(&payload_len);
+  if (magic != kLogMagic) return Status::Corruption("bad log magic");
+  if (payload_len > kMaxRecordFieldLen ||
+      data.size() - *pos - kFrameOverhead < payload_len) {
+    return Status::Corruption("torn frame payload");
+  }
+  std::string_view payload(data.data() + *pos + kFrameHeader, payload_len);
+  uint32_t crc =
+      DecodeFixed32(data.data() + *pos + kFrameHeader + payload_len);
+  if (crc != Crc32(payload)) return Status::Corruption("log crc mismatch");
+
+  Decoder body(payload);
+  uint8_t op = 0;
+  if (!body.GetFixed64(&out->seq) || !body.GetByte(&op) ||
+      !body.GetLengthPrefixed(&out->delta.key) ||
+      !body.GetLengthPrefixed(&out->delta.value) || !body.done()) {
+    return Status::Corruption("bad log payload");
+  }
+  if (op != static_cast<uint8_t>(DeltaOp::kInsert) &&
+      op != static_cast<uint8_t>(DeltaOp::kDelete)) {
+    return Status::Corruption("bad log op byte");
+  }
+  out->delta.op = static_cast<DeltaOp>(op);
+  *pos += kFrameOverhead + payload_len;
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeLogRecord(uint64_t seq, const DeltaKV& delta, std::string* out) {
+  std::string payload;
+  PutFixed64(&payload, seq);
+  payload.push_back(DeltaOpChar(delta.op));
+  PutLengthPrefixed(&payload, delta.key);
+  PutLengthPrefixed(&payload, delta.value);
+  PutFixed32(out, kLogMagic);
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+  PutFixed32(out, Crc32(payload));
+}
+
+StatusOr<std::unique_ptr<DeltaLog>> DeltaLog::Open(const std::string& dir) {
+  I2MR_RETURN_IF_ERROR(CreateDirs(dir));
+  std::unique_ptr<DeltaLog> log(new DeltaLog(LogFilePath(dir)));
+  I2MR_RETURN_IF_ERROR(log->Recover());
+  return log;
+}
+
+DeltaLog::~DeltaLog() { Close().ok(); }
+
+Status DeltaLog::Recover() {
+  // A crash mid-purge can orphan the rewrite temp file; it is never the
+  // authoritative log (the rename either happened or it didn't), so drop it.
+  if (FileExists(path_ + ".purge")) {
+    I2MR_RETURN_IF_ERROR(RemoveAll(path_ + ".purge"));
+  }
+  if (FileExists(path_)) {
+    auto data = ReadFileToString(path_);
+    if (!data.ok()) return data.status();
+    size_t pos = 0;
+    for (;;) {
+      SeqDelta rec;
+      Status st = ParseFrame(*data, &pos, &rec);
+      if (st.IsNotFound()) break;
+      if (st.IsCorruption()) {
+        // Torn tail (crash mid-append) or garbled bytes: keep the valid
+        // prefix, truncate the rest so the next append starts clean.
+        recovery_.discarded_bytes = data->size() - pos;
+        LOG_WARN << "delta log " << path_ << ": discarding "
+                 << recovery_.discarded_bytes << " tail bytes ("
+                 << st.message() << ")";
+        if (::truncate(path_.c_str(), static_cast<off_t>(pos)) != 0) {
+          return Status::IOError("truncate " + path_);
+        }
+        break;
+      }
+      I2MR_RETURN_IF_ERROR(st);
+      // Sequence numbers must be strictly increasing; a regression means
+      // the file was tampered with or mis-assembled.
+      if (!records_.empty() && rec.seq <= records_.back().seq) {
+        return Status::Corruption("log sequence regression");
+      }
+      records_.push_back(std::move(rec));
+      recovery_.valid_bytes = pos;
+    }
+    recovery_.records = records_.size();
+    if (!records_.empty()) next_seq_ = records_.back().seq + 1;
+  }
+  auto f = WritableFile::Create(path_, /*append=*/true);
+  if (!f.ok()) return f.status();
+  file_ = std::move(f.value());
+  return Status::OK();
+}
+
+void DeltaLog::EnsureNextSeqAfter(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_seq_ <= seq) next_seq_ = seq + 1;
+}
+
+Status DeltaLog::AppendLocked(const DeltaKV& delta, uint64_t* seq) {
+  if (file_ == nullptr) return Status::FailedPrecondition("log closed");
+  *seq = next_seq_++;
+  std::string frame;
+  EncodeLogRecord(*seq, delta, &frame);
+  I2MR_RETURN_IF_ERROR(file_->Append(frame));
+  records_.push_back(SeqDelta{*seq, delta});
+  return Status::OK();
+}
+
+Status DeltaLog::RollbackLocked(uint64_t file_offset, size_t record_count,
+                                uint64_t next_seq) {
+  // Undo a partially applied append group: truncate the file back to the
+  // pre-group offset and drop the in-memory records, so a failed call
+  // leaves nothing behind that a later drain could apply (the caller was
+  // told the whole group failed and may retry it).
+  records_.resize(record_count);
+  next_seq_ = next_seq;
+  file_.reset();  // close before truncating under the handle
+  if (::truncate(path_.c_str(), static_cast<off_t>(file_offset)) != 0) {
+    return Status::IOError("rollback truncate " + path_);
+  }
+  auto f = WritableFile::Create(path_, /*append=*/true);
+  if (!f.ok()) return f.status();
+  file_ = std::move(f.value());
+  return Status::OK();
+}
+
+StatusOr<uint64_t> DeltaLog::Append(const DeltaKV& delta) {
+  return AppendBatch({delta});
+}
+
+StatusOr<uint64_t> DeltaLog::AppendBatch(const std::vector<DeltaKV>& deltas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::FailedPrecondition("log closed");
+  // All-or-nothing: validate every record before appending any, so a bad
+  // record mid-batch can't leave a durable partial batch behind a rejected
+  // return status. The bound mirrors ParseFrame's, so nothing we
+  // acknowledge is later rejected as corrupt by the recovery scan.
+  for (const auto& d : deltas) {
+    if (d.key.size() + d.value.size() + kPayloadOverhead > kMaxRecordFieldLen) {
+      return Status::InvalidArgument("delta record exceeds frame length limit");
+    }
+  }
+  const uint64_t start_offset = file_->offset();
+  const size_t start_records = records_.size();
+  const uint64_t start_next_seq = next_seq_;
+  uint64_t seq = next_seq_ - 1;
+  Status st;
+  for (const auto& d : deltas) {
+    st = AppendLocked(d, &seq);
+    if (!st.ok()) break;
+  }
+  if (st.ok() && !deltas.empty()) st = file_->Flush();
+  if (!st.ok()) {
+    // The same holds for I/O failures mid-group: roll the partial group
+    // back so the error return is truthful.
+    Status rb = RollbackLocked(start_offset, start_records, start_next_seq);
+    if (!rb.ok()) {
+      LOG_WARN << "delta log " << path_ << ": rollback after failed append "
+               << "also failed (" << rb.ToString() << "); log closed";
+    }
+    return st;
+  }
+  return seq;
+}
+
+std::vector<SeqDelta> DeltaLog::ReadRange(uint64_t after, uint64_t upto) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto lo = std::upper_bound(
+      records_.begin(), records_.end(), after,
+      [](uint64_t s, const SeqDelta& r) { return s < r.seq; });
+  auto hi = std::upper_bound(
+      records_.begin(), records_.end(), upto,
+      [](uint64_t s, const SeqDelta& r) { return s < r.seq; });
+  return std::vector<SeqDelta>(lo, hi);
+}
+
+Status DeltaLog::PurgeThrough(uint64_t watermark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.empty() || records_.front().seq > watermark) {
+    return Status::OK();
+  }
+  auto keep = std::upper_bound(
+      records_.begin(), records_.end(), watermark,
+      [](uint64_t s, const SeqDelta& r) { return s < r.seq; });
+  std::vector<SeqDelta> live(keep, records_.end());
+
+  // Rewrite the live suffix to a temp file and swap it in, so a crash
+  // mid-purge leaves either the old or the new log, never a mix.
+  std::string tmp = path_ + ".purge";
+  {
+    auto w = WritableFile::Create(tmp);
+    if (!w.ok()) return w.status();
+    Status written = [&]() -> Status {
+      std::string frame;
+      for (const auto& rec : live) {
+        frame.clear();
+        EncodeLogRecord(rec.seq, rec.delta, &frame);
+        I2MR_RETURN_IF_ERROR((*w)->Append(frame));
+      }
+      return (*w)->Close();
+    }();
+    if (!written.ok()) {
+      RemoveAll(tmp).ok();  // don't leak the half-written temp file
+      return written;
+    }
+  }
+  if (file_ != nullptr) {
+    Status closed = file_->Close();
+    // Always drop the handle: Close() clears its FILE* even on failure, so
+    // keeping file_ around would let the next append fwrite into nullptr.
+    file_.reset();
+    if (!closed.ok()) {
+      RemoveAll(tmp).ok();
+      return closed;
+    }
+  }
+  Status renamed = RenameFile(tmp, path_);
+  if (!renamed.ok()) {
+    // Keep the log usable: reopen the (unchanged) old file so a transient
+    // rename failure doesn't permanently brick ingestion.
+    RemoveAll(tmp).ok();
+    auto reopen = WritableFile::Create(path_, /*append=*/true);
+    if (reopen.ok()) file_ = std::move(reopen.value());
+    return renamed;
+  }
+  auto f = WritableFile::Create(path_, /*append=*/true);
+  if (!f.ok()) return f.status();
+  file_ = std::move(f.value());
+  records_ = std::move(live);
+  return Status::OK();
+}
+
+uint64_t DeltaLog::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+uint64_t DeltaLog::live_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+Status DeltaLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  Status st = file_->Close();
+  file_.reset();
+  return st;
+}
+
+}  // namespace i2mr

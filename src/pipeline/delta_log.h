@@ -1,0 +1,111 @@
+// DeltaLog: the durable ingestion edge of a pipeline. An append-only log of
+// structure-data updates (insert / update / delete DeltaKVs), each assigned
+// a monotonically increasing sequence number and framed like the MRBG chunk
+// format:
+//
+//   [u32 magic][u32 payload_len][payload][u32 crc32-of-payload]
+//   payload = [u64 seq][u8 op][u32 klen][key][u32 vlen][value]
+//
+// Open() recovers by scanning the file front to back: the longest valid
+// prefix wins, and a torn or garbled tail (partial frame, bad magic, CRC
+// mismatch) is truncated away so the next append lands on a clean boundary.
+// Records stay in an in-memory index ordered by sequence number, so readers
+// (epoch drains, lag probes) never touch the file; PurgeThrough() drops the
+// consumed prefix once a pipeline epoch has durably committed its watermark.
+#ifndef I2MR_PIPELINE_DELTA_LOG_H_
+#define I2MR_PIPELINE_DELTA_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/kv.h"
+#include "common/status.h"
+#include "io/file.h"
+
+namespace i2mr {
+
+/// One logged update: the delta record plus its log sequence number.
+struct SeqDelta {
+  uint64_t seq = 0;
+  DeltaKV delta;
+};
+
+class DeltaLog {
+ public:
+  /// What the recovery scan found on open.
+  struct RecoveryStats {
+    uint64_t records = 0;         // valid records recovered
+    uint64_t valid_bytes = 0;     // length of the valid prefix
+    uint64_t discarded_bytes = 0; // torn/garbled tail truncated away
+  };
+
+  /// Open (or create) the log backed by `dir`/log.dat, recovering by scan.
+  static StatusOr<std::unique_ptr<DeltaLog>> Open(const std::string& dir);
+
+  ~DeltaLog();
+  DeltaLog(const DeltaLog&) = delete;
+  DeltaLog& operator=(const DeltaLog&) = delete;
+
+  /// Raise the sequence floor: the next append gets a seq > `seq`. Called
+  /// by the owner after recovering its committed watermark, so that a log
+  /// whose records were all purged (or lost) never re-issues sequence
+  /// numbers at or below the watermark — those appends would look already
+  /// consumed and be silently skipped.
+  void EnsureNextSeqAfter(uint64_t seq);
+
+  /// Append one update; the record is flushed to the OS when this returns,
+  /// so it survives process death (the durability model throughout this
+  /// subsystem — surviving kernel/power failure would need fsync on the
+  /// log, MANIFEST and CURRENT writes; see ROADMAP). Returns the assigned
+  /// sequence number. Fails with InvalidArgument when a field exceeds
+  /// kMaxRecordFieldLen (the recovery scan would reject the frame as
+  /// corrupt, losing everything after it).
+  StatusOr<uint64_t> Append(const DeltaKV& delta);
+
+  /// Append a batch with one flush; returns the last assigned sequence.
+  StatusOr<uint64_t> AppendBatch(const std::vector<DeltaKV>& deltas);
+
+  /// All records with `after < seq <= upto`, in sequence order.
+  std::vector<SeqDelta> ReadRange(uint64_t after, uint64_t upto) const;
+
+  /// Drop every record with seq <= `watermark` (consumed by a committed
+  /// epoch): rewrites the live suffix to a temp file and renames it in.
+  Status PurgeThrough(uint64_t watermark);
+
+  /// Highest assigned sequence number (0 when nothing was ever appended).
+  uint64_t last_seq() const;
+
+  /// Number of records currently retained (post-purge).
+  uint64_t live_records() const;
+
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  const std::string& path() const { return path_; }
+
+  Status Close();
+
+ private:
+  explicit DeltaLog(std::string path) : path_(std::move(path)) {}
+
+  Status Recover();
+  Status AppendLocked(const DeltaKV& delta, uint64_t* seq);
+  /// Undo a partially applied append group (truncate + drop records).
+  Status RollbackLocked(uint64_t file_offset, size_t record_count,
+                        uint64_t next_seq);
+
+  const std::string path_;
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> file_;
+  std::vector<SeqDelta> records_;  // ordered by seq (the in-memory index)
+  uint64_t next_seq_ = 1;
+  RecoveryStats recovery_;
+};
+
+/// Frame one record (appends to *out). Exposed for tests and tools.
+void EncodeLogRecord(uint64_t seq, const DeltaKV& delta, std::string* out);
+
+}  // namespace i2mr
+
+#endif  // I2MR_PIPELINE_DELTA_LOG_H_

@@ -1,0 +1,451 @@
+#include "pipeline/pipeline.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/codec.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "io/env.h"
+#include "io/record_file.h"
+
+namespace i2mr {
+namespace {
+
+constexpr const char* kCurrentFile = "CURRENT";
+constexpr const char* kManifestFile = "MANIFEST";
+constexpr const char* kInflightDelta = "inflight.delta";
+
+std::string PartDirName(int p) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "part-%03d", p);
+  return buf;
+}
+
+// MANIFEST: [u64 epoch][u64 watermark][u32 crc32-of-first-16-bytes].
+Status WriteManifest(const std::string& path, uint64_t epoch,
+                     uint64_t watermark) {
+  std::string payload;
+  PutFixed64(&payload, epoch);
+  PutFixed64(&payload, watermark);
+  std::string data = payload;
+  PutFixed32(&data, Crc32(payload));
+  return WriteStringToFile(path, data);
+}
+
+Status ReadManifest(const std::string& path, uint64_t* epoch,
+                    uint64_t* watermark) {
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  if (data->size() != 20) return Status::Corruption("bad manifest size");
+  std::string_view payload(data->data(), 16);
+  if (DecodeFixed32(data->data() + 16) != Crc32(payload)) {
+    return Status::Corruption("manifest crc mismatch");
+  }
+  *epoch = DecodeFixed64(data->data());
+  *watermark = DecodeFixed64(data->data() + 8);
+  return Status::OK();
+}
+
+}  // namespace
+
+Pipeline::Pipeline(LocalCluster* cluster, std::string name,
+                   PipelineOptions options)
+    : cluster_(cluster), name_(std::move(name)), options_(std::move(options)) {
+  // One engine namespace per pipeline: state dirs, checkpoints and job
+  // scratch space must never collide across pipelines on a shared cluster.
+  options_.spec.name = name_;
+  engine_ = std::make_unique<IncrementalIterativeEngine>(
+      cluster_, options_.spec, options_.engine);
+}
+
+std::string Pipeline::Dir() const {
+  return JoinPath(cluster_->root(), "pipeline/" + name_);
+}
+
+std::string Pipeline::EpochDirName(uint64_t epoch) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "epoch-%08" PRIu64, epoch);
+  return buf;
+}
+
+std::string Pipeline::CurrentPath() const {
+  return JoinPath(Dir(), kCurrentFile);
+}
+
+StatusOr<std::unique_ptr<Pipeline>> Pipeline::Open(LocalCluster* cluster,
+                                                   const std::string& name,
+                                                   PipelineOptions options) {
+  std::unique_ptr<Pipeline> p(new Pipeline(cluster, name, std::move(options)));
+  I2MR_RETURN_IF_ERROR(p->OpenImpl());
+  return p;
+}
+
+Status Pipeline::OpenImpl() {
+  I2MR_RETURN_IF_ERROR(CreateDirs(Dir()));
+  auto log = DeltaLog::Open(JoinPath(Dir(), "log"));
+  if (!log.ok()) return log.status();
+  log_ = std::move(log.value());
+
+  if (!FileExists(CurrentPath())) {
+    // Fresh pipeline: nothing committed yet, Bootstrap() must run first.
+    return GarbageCollect(/*keep_dir_name=*/"");
+  }
+
+  auto current = ReadFileToString(CurrentPath());
+  if (!current.ok()) return current.status();
+  std::string epoch_dir = JoinPath(Dir(), *current);
+  uint64_t epoch = 0, watermark = 0;
+  I2MR_RETURN_IF_ERROR(
+      ReadManifest(JoinPath(epoch_dir, kManifestFile), &epoch, &watermark));
+
+  committed_epoch_.store(epoch);
+  committed_watermark_.store(watermark);
+  // The log's records may all have been purged after the last commit; the
+  // next append must still get a sequence above the watermark, or it would
+  // look already-consumed and never be refreshed.
+  log_->EnsureNextSeqAfter(watermark);
+  bootstrapped_.store(true);
+  I2MR_RETURN_IF_ERROR(RestoreCommitted());
+  I2MR_RETURN_IF_ERROR(GarbageCollect(*current));
+  if (pending() > 0) oldest_pending_ns_.store(NowNanos());
+  return Status::OK();
+}
+
+Status Pipeline::RestoreCommitted() {
+  auto current = ReadFileToString(CurrentPath());
+  if (!current.ok()) return current.status();
+  std::string epoch_dir = JoinPath(Dir(), *current);
+
+  // A fresh engine object: drops any open store handles from a crashed
+  // refresh before its on-disk files are overwritten.
+  engine_ = std::make_unique<IncrementalIterativeEngine>(
+      cluster_, options_.spec, options_.engine);
+
+  const int n = options_.spec.num_partitions;
+  for (int p = 0; p < n; ++p) {
+    std::string src = JoinPath(epoch_dir, PartDirName(p));
+    // The committed snapshot is this pipeline's source of truth: surface a
+    // torn or garbled record file now, with the damage located, rather
+    // than letting the engine read garbage mid-refresh.
+    auto structure_ok = ValidateRecordFile(JoinPath(src, "structure.dat"));
+    if (!structure_ok.ok()) return structure_ok.status();
+    auto state_ok = ValidateRecordFile(JoinPath(src, "state.dat"));
+    if (!state_ok.ok()) return state_ok.status();
+    I2MR_RETURN_IF_ERROR(ResetDir(engine_->PartitionDir(p)));
+    I2MR_RETURN_IF_ERROR(CopyFile(JoinPath(src, "structure.dat"),
+                                  engine_->StructurePath(p)));
+    I2MR_RETURN_IF_ERROR(
+        CopyFile(JoinPath(src, "state.dat"), engine_->StatePath(p)));
+    if (FileExists(JoinPath(src, "mrbg.dat"))) {
+      I2MR_RETURN_IF_ERROR(CreateDirs(engine_->MrbgDir(p)));
+      I2MR_RETURN_IF_ERROR(
+          CopyFile(JoinPath(src, "mrbg.dat"),
+                   JoinPath(engine_->MrbgDir(p), "mrbg.dat")));
+      I2MR_RETURN_IF_ERROR(
+          CopyFile(JoinPath(src, "mrbg.idx"),
+                   JoinPath(engine_->MrbgDir(p), "mrbg.idx")));
+    }
+  }
+  I2MR_RETURN_IF_ERROR(engine_->LoadExisting());
+
+  auto store = ResultStore::Open(JoinPath(epoch_dir, "serving.dat"));
+  if (!store.ok()) return store.status();
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    serving_ = std::make_shared<const ResultStore>(std::move(store.value()));
+  }
+  return Status::OK();
+}
+
+Status Pipeline::GarbageCollect(const std::string& keep_dir_name) {
+  // error_code overloads throughout: this runs on the serving path, where
+  // a transient filesystem error must surface as a Status, not an
+  // uncaught std::filesystem_error.
+  std::error_code ec;
+  std::filesystem::directory_iterator it(Dir(), ec), end;
+  if (ec) return Status::IOError("list " + Dir() + ": " + ec.message());
+  while (it != end) {
+    const auto& entry = *it;
+    if (!entry.is_directory(ec) || ec) {
+      it.increment(ec);
+      if (ec) return Status::IOError("list " + Dir() + ": " + ec.message());
+      continue;
+    }
+    std::string base = entry.path().filename().string();
+    std::string path = entry.path().string();
+    it.increment(ec);
+    if (ec) return Status::IOError("list " + Dir() + ": " + ec.message());
+    if (base == "log" || base == keep_dir_name) continue;
+    if (base.rfind("epoch-", 0) == 0) I2MR_RETURN_IF_ERROR(RemoveAll(path));
+  }
+  std::string inflight = JoinPath(Dir(), kInflightDelta);
+  if (FileExists(inflight)) I2MR_RETURN_IF_ERROR(RemoveAll(inflight));
+  return Status::OK();
+}
+
+bool Pipeline::SimulateCrash(uint64_t epoch, const char* stage) {
+  if (!options_.crash_hook || !options_.crash_hook(epoch, stage)) return false;
+  LOG_WARN << "pipeline " << name_ << ": simulated crash in epoch " << epoch
+           << " at stage '" << stage << "'";
+  dirty_.store(true);
+  return true;
+}
+
+Status Pipeline::Bootstrap(const std::vector<KV>& structure,
+                           const std::vector<KV>& initial_state) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  if (bootstrapped_.load()) {
+    return Status::FailedPrecondition("pipeline already bootstrapped");
+  }
+  auto run = engine_->RunInitial(structure, initial_state);
+  if (!run.ok()) return run.status();
+  double commit_ms = 0;
+  I2MR_RETURN_IF_ERROR(Commit(/*epoch=*/0, /*watermark=*/0, &commit_ms));
+  bootstrapped_.store(true);
+  // A failed earlier Bootstrap attempt may have marked the pipeline dirty;
+  // the engine now exactly matches the committed snapshot.
+  dirty_.store(false);
+  return Status::OK();
+}
+
+void Pipeline::ArmLagTrigger() {
+  std::lock_guard<std::mutex> lock(trigger_mu_);
+  if (oldest_pending_ns_.load() == 0) oldest_pending_ns_.store(NowNanos());
+}
+
+StatusOr<uint64_t> Pipeline::Append(const DeltaKV& delta) {
+  auto seq = log_->Append(delta);
+  if (!seq.ok()) return seq;
+  ArmLagTrigger();
+  return seq;
+}
+
+StatusOr<uint64_t> Pipeline::AppendBatch(const std::vector<DeltaKV>& deltas) {
+  auto seq = log_->AppendBatch(deltas);
+  if (!seq.ok()) return seq;
+  if (!deltas.empty()) ArmLagTrigger();
+  return seq;
+}
+
+uint64_t Pipeline::pending() const {
+  uint64_t last = log_->last_seq();
+  uint64_t committed = committed_watermark_.load();
+  return last > committed ? last - committed : 0;
+}
+
+double Pipeline::pending_lag_ms() const {
+  int64_t oldest = oldest_pending_ns_.load();
+  if (oldest == 0 || pending() == 0) return 0;
+  return (NowNanos() - oldest) / 1e6;
+}
+
+bool Pipeline::EpochReady() const {
+  if (!bootstrapped_.load()) return false;
+  uint64_t p = pending();
+  if (p == 0) return false;
+  if (p >= options_.min_batch) return true;
+  return options_.max_lag_ms >= 0 && pending_lag_ms() >= options_.max_lag_ms;
+}
+
+StatusOr<EpochStats> Pipeline::RunEpoch() {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  if (!bootstrapped_.load()) {
+    return Status::FailedPrecondition("pipeline not bootstrapped");
+  }
+  if (dirty_.load()) {
+    // A previous epoch died after possibly mutating the engine's working
+    // dirs: roll back to the committed snapshot before replaying.
+    I2MR_RETURN_IF_ERROR(RestoreCommitted());
+    dirty_.store(false);
+  }
+
+  EpochStats stats;
+  stats.epoch = committed_epoch_.load();
+  stats.watermark = committed_watermark_.load();
+
+  WallTimer wall;
+  std::vector<SeqDelta> drained =
+      log_->ReadRange(committed_watermark_.load(), UINT64_MAX);
+  if (drained.empty()) return stats;
+  // Deltas appended past this point are not in this epoch; their max-lag
+  // clock must restart from (at latest) now, not from commit time — a
+  // long refresh must not extend their freshness deadline.
+  const int64_t drain_ns = NowNanos();
+
+  const uint64_t epoch = committed_epoch_.load() + 1;
+  const uint64_t watermark = drained.back().seq;
+
+  // Materialize the drained batch as the engine's delta structure input
+  // (§3.3 delta file), preserving log order.
+  std::vector<DeltaKV> deltas;
+  deltas.reserve(drained.size());
+  for (auto& rec : drained) deltas.push_back(std::move(rec.delta));
+  // The materialized delta-input file is epoch forensics: if the refresh
+  // crashes, the batch it was applying is inspectable on disk. Nothing
+  // re-reads it on the happy path (the engine consumes the vector), and
+  // recovery garbage-collects it.
+  std::string inflight = JoinPath(Dir(), kInflightDelta);
+  if (options_.materialize_inflight_delta) {
+    I2MR_RETURN_IF_ERROR(WriteDeltaRecords(inflight, deltas));
+  }
+
+  if (SimulateCrash(epoch, "drain")) {
+    return Status::Aborted("simulated crash after drain");
+  }
+
+  WallTimer refresh;
+  auto run = engine_->RunIncremental(deltas);
+  if (!run.ok()) {
+    dirty_.store(true);
+    return run.status();
+  }
+  stats.refresh_ms = refresh.ElapsedMillis();
+  stats.iterations = run->iterations.size();
+  stats.mrbg_turned_off = run->mrbg_turned_off;
+
+  if (SimulateCrash(epoch, "refresh")) {
+    return Status::Aborted("simulated crash after refresh");
+  }
+
+  Status st = Commit(epoch, watermark, &stats.commit_ms, drain_ns);
+  if (!st.ok()) {
+    dirty_.store(true);
+    return st;
+  }
+
+  // The epoch is committed; like Commit's own GC, cleanup failures here
+  // must not report a durably committed epoch as failed.
+  Status cleaned = RemoveAll(inflight);
+  if (!cleaned.ok()) {
+    LOG_WARN << "pipeline " << name_ << ": inflight cleanup failed ("
+             << cleaned.ToString() << ")";
+  }
+  stats.epoch = epoch;
+  stats.watermark = watermark;
+  stats.deltas_applied = drained.size();
+  stats.wall_ms = wall.ElapsedMillis();
+  return stats;
+}
+
+Status Pipeline::Commit(uint64_t epoch, uint64_t watermark, double* commit_ms,
+                        int64_t pending_since_ns) {
+  WallTimer timer;
+  const int n = options_.spec.num_partitions;
+  const std::string final_name = EpochDirName(epoch);
+  const std::string final_dir = JoinPath(Dir(), final_name);
+  const std::string tmp = JoinPath(Dir(), final_name + ".tmp");
+  // A previous attempt at this epoch may have left its dir behind (commit
+  // failed after the rename): remove it first — the rename below would hit
+  // ENOTEMPTY, and the serving snapshot must not load its stale contents.
+  std::error_code ec;
+  if (std::filesystem::exists(final_dir, ec)) {
+    I2MR_RETURN_IF_ERROR(RemoveAll(final_dir));
+  }
+  if (ec) return Status::IOError("stat " + final_dir + ": " + ec.message());
+  I2MR_RETURN_IF_ERROR(ResetDir(tmp));
+
+  for (int p = 0; p < n; ++p) {
+    std::string pdir = JoinPath(tmp, PartDirName(p));
+    I2MR_RETURN_IF_ERROR(CreateDirs(pdir));
+    I2MR_RETURN_IF_ERROR(CopyFile(engine_->StructurePath(p),
+                                  JoinPath(pdir, "structure.dat")));
+    I2MR_RETURN_IF_ERROR(
+        CopyFile(engine_->StatePath(p), JoinPath(pdir, "state.dat")));
+    std::string mrbg_dat = JoinPath(engine_->MrbgDir(p), "mrbg.dat");
+    if (FileExists(mrbg_dat)) {
+      I2MR_RETURN_IF_ERROR(CopyFile(mrbg_dat, JoinPath(pdir, "mrbg.dat")));
+      I2MR_RETURN_IF_ERROR(CopyFile(JoinPath(engine_->MrbgDir(p), "mrbg.idx"),
+                                    JoinPath(pdir, "mrbg.idx")));
+    }
+  }
+
+  // The serving snapshot: one ResultStore rooted at the post-rename path
+  // (so the long-lived serving object never points into the .tmp dir),
+  // persisted into the tmp dir via SaveAs. Built now, while failures are
+  // still safe to report — past the CURRENT rename nothing may fail.
+  auto snapshot = engine_->StateSnapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  auto serving_store = ResultStore::Open(JoinPath(final_dir, "serving.dat"));
+  if (!serving_store.ok()) return serving_store.status();
+  for (const auto& kv : *snapshot) serving_store->Put(kv.key, kv.value);
+  I2MR_RETURN_IF_ERROR(serving_store->SaveAs(JoinPath(tmp, "serving.dat")));
+
+  I2MR_RETURN_IF_ERROR(
+      WriteManifest(JoinPath(tmp, kManifestFile), epoch, watermark));
+  I2MR_RETURN_IF_ERROR(RenameFile(tmp, final_dir));
+
+  if (SimulateCrash(epoch, "commit")) {
+    // The epoch dir landed but CURRENT still names the previous epoch: on
+    // recovery the orphan dir is garbage-collected and the log replayed.
+    return Status::Aborted("simulated crash mid-commit");
+  }
+
+  // The point of no return: CURRENT now names the new epoch.
+  std::string current_tmp = CurrentPath() + ".tmp";
+  I2MR_RETURN_IF_ERROR(WriteStringToFile(current_tmp, final_name));
+  I2MR_RETURN_IF_ERROR(RenameFile(current_tmp, CurrentPath()));
+
+  committed_epoch_.store(epoch);
+  committed_watermark_.store(watermark);
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    serving_ =
+        std::make_shared<const ResultStore>(std::move(serving_store.value()));
+  }
+  {
+    // Under trigger_mu_: an append that raced past the pending() read will
+    // re-arm the clock after us, never the other way round. Deltas that
+    // arrived mid-refresh get their clock backdated to the drain point —
+    // an upper bound on their wait so far — so the max-lag trigger fires
+    // no later than promised.
+    std::lock_guard<std::mutex> trigger_lock(trigger_mu_);
+    int64_t since = pending_since_ns != 0 ? pending_since_ns : NowNanos();
+    oldest_pending_ns_.store(pending() > 0 ? since : 0);
+  }
+
+  // Past the point of no return the epoch IS committed: cleanup failures
+  // are logged, not reported — reporting them would mark a durably
+  // committed epoch as failed and trigger a needless restore + replay.
+  Status gc = GarbageCollect(final_name);
+  if (!gc.ok()) {
+    LOG_WARN << "pipeline " << name_ << ": post-commit GC failed ("
+             << gc.ToString() << "); stale dirs remain until next commit";
+  }
+  if (options_.purge_log_on_commit) {
+    Status purged = log_->PurgeThrough(watermark);
+    if (!purged.ok()) {
+      LOG_WARN << "pipeline " << name_ << ": post-commit log purge failed ("
+               << purged.ToString() << "); consumed records retained";
+    }
+  }
+  if (commit_ms != nullptr) *commit_ms = timer.ElapsedMillis();
+  return Status::OK();
+}
+
+StatusOr<std::string> Pipeline::Lookup(const std::string& key) const {
+  std::shared_ptr<const ResultStore> snap;
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    snap = serving_;
+  }
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("pipeline not bootstrapped");
+  }
+  const std::string* v = snap->Get(key);
+  if (v == nullptr) return Status::NotFound("no result for key " + key);
+  return *v;
+}
+
+std::vector<KV> Pipeline::ServingSnapshot() const {
+  std::shared_ptr<const ResultStore> snap;
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    snap = serving_;
+  }
+  return snap == nullptr ? std::vector<KV>{} : snap->Snapshot();
+}
+
+}  // namespace i2mr

@@ -1,0 +1,183 @@
+// Pipeline: binds a name + an app's iterative map/reduce spec + an
+// IncrementalIterativeEngine into a continuously refreshable computation.
+//
+// Updates arrive through a durable DeltaLog; RunEpoch() drains the log up
+// to a sequence watermark, materializes the batch as the engine's delta
+// structure input, runs the incremental refresh (paper §5), and commits the
+// refreshed state *atomically with* the consumed watermark:
+//
+//   pipeline/<name>/
+//     log/log.dat        durable delta log (CRC32-framed, recovery-by-scan)
+//     epoch-<E>/         committed snapshot: per-partition structure/state/
+//                        MRBG files + serving.dat (ResultStore) + MANIFEST
+//                        (epoch, watermark, CRC)
+//     CURRENT            names the committed epoch dir (tmp+rename swap)
+//
+// The commit is the CURRENT rename: a crash at any earlier point (mid-drain,
+// mid-refresh, even mid-commit after the epoch dir landed) leaves CURRENT on
+// the previous epoch, and Open() restores the engine's working directories
+// from that snapshot and replays the log past its watermark — every logged
+// delta is applied exactly once relative to the committed state.
+//
+// Point lookups are served from an immutable in-memory snapshot of the
+// committed ResultStore, swapped at commit time, so reads never block on a
+// running refresh.
+#ifndef I2MR_PIPELINE_PIPELINE_H_
+#define I2MR_PIPELINE_PIPELINE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/incr_iter_engine.h"
+#include "core/result_store.h"
+#include "mr/cluster.h"
+#include "pipeline/delta_log.h"
+
+namespace i2mr {
+
+struct PipelineOptions {
+  /// The app's iterative job spec. `spec.name` is overridden with the
+  /// pipeline name so concurrent pipelines never share engine directories.
+  IterJobSpec spec;
+
+  /// Incremental engine options (CPC threshold, MRBG maintenance, ...).
+  IncrIterOptions engine;
+
+  /// Epoch trigger: ready once this many deltas are pending.
+  uint64_t min_batch = 1;
+
+  /// Epoch trigger: ready once the oldest pending delta has waited this
+  /// long, even below min_batch (< 0 disables the lag trigger).
+  double max_lag_ms = -1;
+
+  /// Drop consumed log records after each commit (keeps the log bounded).
+  bool purge_log_on_commit = true;
+
+  /// Materialize each epoch's drained batch as an inflight.delta file
+  /// before refreshing (epoch forensics: a crashed epoch's input is
+  /// inspectable on disk). Costs one extra sequential write of the batch
+  /// per epoch; turn off for hot paths — the same records remain
+  /// reconstructible from the log until the post-commit purge.
+  bool materialize_inflight_delta = true;
+
+  /// Test hook simulating process death: return true to abandon the epoch
+  /// at the given stage ("drain", "refresh", "commit") without committing.
+  /// The pipeline then refuses further epochs until reopened (or self-heals
+  /// by restoring the committed snapshot on the next RunEpoch).
+  std::function<bool(uint64_t epoch, const std::string& stage)> crash_hook;
+};
+
+struct EpochStats {
+  uint64_t epoch = 0;
+  uint64_t deltas_applied = 0;
+  uint64_t watermark = 0;
+  size_t iterations = 0;
+  double refresh_ms = 0;
+  double commit_ms = 0;
+  double wall_ms = 0;
+  bool mrbg_turned_off = false;
+};
+
+class Pipeline {
+ public:
+  /// Open (or create) the pipeline under `cluster`'s root. If a committed
+  /// epoch exists, the engine's working directories are restored from its
+  /// snapshot (crash recovery) and serving resumes from it immediately.
+  static StatusOr<std::unique_ptr<Pipeline>> Open(LocalCluster* cluster,
+                                                  const std::string& name,
+                                                  PipelineOptions options);
+
+  /// Job A1: full computation over the initial structure data, then the
+  /// epoch-0 commit. Appends that raced ahead of Bootstrap stay in the log
+  /// and are consumed by the first epoch.
+  Status Bootstrap(const std::vector<KV>& structure,
+                   const std::vector<KV>& initial_state);
+
+  bool bootstrapped() const { return bootstrapped_.load(); }
+
+  /// Durably append one update / a batch to the delta log.
+  StatusOr<uint64_t> Append(const DeltaKV& delta);
+  StatusOr<uint64_t> AppendBatch(const std::vector<DeltaKV>& deltas);
+
+  /// Deltas logged but not yet consumed by a committed epoch.
+  uint64_t pending() const;
+
+  /// Milliseconds the oldest pending delta has been waiting (0 when none).
+  double pending_lag_ms() const;
+
+  /// min-batch / max-lag trigger evaluation.
+  bool EpochReady() const;
+
+  /// Drain -> refresh -> commit one epoch. Returns a zero-delta EpochStats
+  /// when nothing is pending. Serialized internally: concurrent calls queue.
+  StatusOr<EpochStats> RunEpoch();
+
+  /// Point lookup from the committed serving snapshot. Never blocks on a
+  /// running refresh; NotFound for unknown keys.
+  StatusOr<std::string> Lookup(const std::string& key) const;
+
+  /// The whole committed result, sorted by key.
+  std::vector<KV> ServingSnapshot() const;
+
+  uint64_t committed_epoch() const { return committed_epoch_.load(); }
+  uint64_t committed_watermark() const { return committed_watermark_.load(); }
+  const std::string& name() const { return name_; }
+  DeltaLog* log() { return log_.get(); }
+  IncrementalIterativeEngine* engine() { return engine_.get(); }
+
+ private:
+  Pipeline(LocalCluster* cluster, std::string name, PipelineOptions options);
+
+  std::string Dir() const;
+  std::string EpochDirName(uint64_t epoch) const;
+  std::string CurrentPath() const;
+
+  Status OpenImpl();
+  /// Copy the committed snapshot back over the engine's working dirs.
+  Status RestoreCommitted();
+  /// Snapshot engine state + serving store + manifest into epoch-<E>/ and
+  /// swing CURRENT to it. Fills commit_ms. `pending_since_ns` re-arms the
+  /// max-lag clock for deltas that arrived behind the drain point (0 =
+  /// no drain point, use now).
+  Status Commit(uint64_t epoch, uint64_t watermark, double* commit_ms,
+                int64_t pending_since_ns = 0);
+  /// Remove epoch dirs and temp dirs not referenced by CURRENT.
+  Status GarbageCollect(const std::string& keep_dir_name);
+
+  bool SimulateCrash(uint64_t epoch, const char* stage);
+
+  /// Start the max-lag clock if it isn't already running (post-append).
+  void ArmLagTrigger();
+
+  LocalCluster* cluster_;
+  const std::string name_;
+  PipelineOptions options_;
+
+  std::unique_ptr<DeltaLog> log_;
+  std::unique_ptr<IncrementalIterativeEngine> engine_;
+
+  std::mutex epoch_mu_;  // serializes Bootstrap / RunEpoch / recovery
+  std::atomic<bool> bootstrapped_{false};
+  std::atomic<uint64_t> committed_epoch_{0};
+  std::atomic<uint64_t> committed_watermark_{0};
+  /// Set when an epoch died after possibly mutating engine state; the next
+  /// RunEpoch restores the committed snapshot before proceeding.
+  std::atomic<bool> dirty_{false};
+  /// Arrival time of the oldest unconsumed delta (0 = none). Updates are
+  /// serialized by trigger_mu_ so a commit deciding "nothing pending"
+  /// cannot clobber a concurrent append that just armed the clock; reads
+  /// stay lock-free.
+  std::mutex trigger_mu_;
+  std::atomic<int64_t> oldest_pending_ns_{0};
+
+  mutable std::mutex serving_mu_;
+  std::shared_ptr<const ResultStore> serving_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_PIPELINE_PIPELINE_H_

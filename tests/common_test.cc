@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/codec.h"
@@ -187,6 +188,21 @@ TEST(HashTest, MapInstanceKeyDependsOnBothKeyAndValue) {
   EXPECT_NE(MapInstanceKey("ab", "c"), MapInstanceKey("a", "bc"));
 }
 
+TEST(HashTest, Crc32KnownVectorsAndSensitivity) {
+  // The standard IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+  // Single-bit damage anywhere changes the checksum.
+  std::string s(64, 'x');
+  uint32_t base = Crc32(s);
+  for (size_t i = 0; i < s.size(); i += 7) {
+    std::string t = s;
+    t[i] ^= 1;
+    EXPECT_NE(Crc32(t), base);
+  }
+}
+
 TEST(HashTest, PartitionBalance) {
   // Hash partitioning of padded numeric keys should be roughly balanced.
   const int kParts = 8;
@@ -287,6 +303,56 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
 TEST(ThreadPoolTest, ParallelForEmpty) {
   ThreadPool pool(2);
   ParallelFor(&pool, 0, [&](int) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitDuringWaitIdle) {
+  // Producers keep submitting while another thread sits in WaitIdle: every
+  // submitted task must run, and WaitIdle must return once the queue truly
+  // drains (the PipelineManager leans on exactly this pattern).
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.Submit([&] { count.fetch_add(1); });
+        if (i % 50 == 0) pool.WaitIdle();  // interleave waits with submits
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedTasks) {
+  // Destroying the pool with a deep queue must run every queued task (the
+  // documented contract), not drop or deadlock on them.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+    // No WaitIdle: the destructor races the still-full queue.
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolTest, NestedParallelForAcrossPools) {
+  // An epoch driver running on one pool issues ParallelFor against a
+  // different pool (manager scheduler -> cluster workers). Ensure the
+  // blocking rendezvous completes under contention.
+  ThreadPool drivers(3);
+  ThreadPool workers(2);
+  std::atomic<int> total{0};
+  ParallelFor(&drivers, 3, [&](int) {
+    ParallelFor(&workers, 16, [&](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 48);
 }
 
 TEST(ThreadPoolTest, WaitIdleThenReuse) {

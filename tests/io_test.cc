@@ -156,6 +156,62 @@ TEST_F(IoTest, RecordReaderDetectsTruncation) {
   EXPECT_FALSE(st.IsNotFound());  // corruption, not clean EOF
 }
 
+TEST_F(IoTest, RecordReaderRejectsGarbledLengthWithoutAllocating) {
+  // A corrupt length prefix claiming ~4 GB must fail fast as Corruption,
+  // not attempt the allocation.
+  std::string bad;
+  bad += std::string("\xff\xff\xff\xfe", 4);  // klen = ~4 GB
+  bad += "junk";
+  ASSERT_TRUE(WriteStringToFile(Path("bad"), bad).ok());
+  auto r = RecordReader::Open(Path("bad"));
+  ASSERT_TRUE(r.ok());
+  KV kv;
+  EXPECT_TRUE((*r)->Next(&kv).IsCorruption());
+}
+
+TEST_F(IoTest, ValidateRecordFileCountsAndFlagsTruncation) {
+  std::vector<KV> recs = {{"k1", "v1"}, {"k2", "v2"}, {"k3", "v3"}};
+  ASSERT_TRUE(WriteRecords(Path("rec"), recs).ok());
+  auto n = ValidateRecordFile(Path("rec"));
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 3u);
+
+  // Chop mid-record: validation names the damage instead of under-counting.
+  auto data = ReadFileToString(Path("rec"));
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(
+      WriteStringToFile(Path("torn"), data->substr(0, data->size() - 3)).ok());
+  auto torn = ValidateRecordFile(Path("torn"));
+  EXPECT_FALSE(torn.ok());
+  EXPECT_TRUE(torn.status().IsCorruption());
+
+  // Open-time validation makes the corruption visible before any Next().
+  EXPECT_TRUE(RecordReader::Open(Path("torn"), /*validate=*/true)
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(RecordReader::Open(Path("rec"), /*validate=*/true).ok());
+}
+
+TEST_F(IoTest, ValidateDeltaFileFlagsTruncation) {
+  std::vector<DeltaKV> recs = {{DeltaOp::kInsert, "a", "1"},
+                               {DeltaOp::kDelete, "b", "2"}};
+  ASSERT_TRUE(WriteDeltaRecords(Path("d"), recs).ok());
+  auto n = ValidateDeltaFile(Path("d"));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+
+  auto data = ReadFileToString(Path("d"));
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(
+      WriteStringToFile(Path("dt"), data->substr(0, data->size() - 1)).ok());
+  auto torn = ValidateDeltaFile(Path("dt"));
+  EXPECT_FALSE(torn.ok());
+  EXPECT_TRUE(torn.status().IsCorruption());
+  EXPECT_TRUE(DeltaReader::Open(Path("dt"), /*validate=*/true)
+                  .status()
+                  .IsCorruption());
+}
+
 TEST_F(IoTest, DeltaRoundTrip) {
   std::vector<DeltaKV> recs = {
       {DeltaOp::kInsert, "a", "1"},

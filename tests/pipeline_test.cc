@@ -1,0 +1,648 @@
+// Tests for the continuous delta-ingestion pipeline subsystem: DeltaLog
+// framing + recovery-by-scan, exactly-once epoch commits (crash between
+// drain and commit, crash mid-commit, reopen-and-replay), delta ordering
+// incl. delete tombstones, serving-view reads, and multi-pipeline
+// concurrency on one shared cluster.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/kmeans.h"
+#include "apps/pagerank.h"
+#include "common/codec.h"
+#include "data/graph_gen.h"
+#include "data/points_gen.h"
+#include "io/env.h"
+#include "io/record_file.h"
+#include "mr/cluster.h"
+#include "pipeline/delta_log.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/pipeline_manager.h"
+
+namespace i2mr {
+namespace {
+
+std::vector<KV> UnitState(const std::vector<KV>& structure) {
+  std::vector<KV> state;
+  for (const auto& kv : structure) state.push_back(KV{kv.key, "1"});
+  return state;
+}
+
+PipelineOptions PageRankPipeline() {
+  PipelineOptions options;
+  options.spec = pagerank::MakeIterSpec("pr", 4, 100, 1e-9);
+  options.engine.filter_threshold = 0.0;   // exact propagation
+  options.engine.mrbg_auto_off_ratio = 2;  // keep the incremental path on
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaLog
+// ---------------------------------------------------------------------------
+
+class DeltaLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/i2mr_delta_log";
+    ASSERT_TRUE(ResetDir(dir_).ok());
+  }
+  std::string dir_;
+};
+
+TEST_F(DeltaLogTest, AppendAssignsIncreasingSeqsAndReopenRecovers) {
+  {
+    auto log = DeltaLog::Open(dir_);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    auto s1 = (*log)->Append(DeltaKV{DeltaOp::kInsert, "a", "1"});
+    auto s2 = (*log)->Append(DeltaKV{DeltaOp::kDelete, "b", "2"});
+    auto s3 = (*log)->AppendBatch({{DeltaOp::kInsert, "c", "3"},
+                                   {DeltaOp::kInsert, "d", "4"}});
+    ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+    EXPECT_EQ(*s1, 1u);
+    EXPECT_EQ(*s2, 2u);
+    EXPECT_EQ(*s3, 4u);  // last seq of the batch
+  }
+  auto log = DeltaLog::Open(dir_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->recovery_stats().records, 4u);
+  EXPECT_EQ((*log)->recovery_stats().discarded_bytes, 0u);
+  EXPECT_EQ((*log)->last_seq(), 4u);
+
+  auto all = (*log)->ReadRange(0, UINT64_MAX);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].delta.key, "a");
+  EXPECT_EQ(all[1].delta.op, DeltaOp::kDelete);
+  EXPECT_EQ(all[3].seq, 4u);
+
+  auto mid = (*log)->ReadRange(1, 3);
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0].seq, 2u);
+  EXPECT_EQ(mid[1].seq, 3u);
+}
+
+TEST_F(DeltaLogTest, TornTailIsTruncatedAndAppendsContinue) {
+  std::string path;
+  {
+    auto log = DeltaLog::Open(dir_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(DeltaKV{DeltaOp::kInsert, "k1", "v1"}).ok());
+    ASSERT_TRUE((*log)->Append(DeltaKV{DeltaOp::kInsert, "k2", "v2"}).ok());
+    path = (*log)->path();
+  }
+  // Crash mid-append: the last frame is half-written.
+  auto data = ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(WriteStringToFile(path, data->substr(0, data->size() - 5)).ok());
+
+  auto log = DeltaLog::Open(dir_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->recovery_stats().records, 1u);
+  EXPECT_GT((*log)->recovery_stats().discarded_bytes, 0u);
+  EXPECT_EQ((*log)->last_seq(), 1u);
+
+  // The log stays usable: the next append lands on a clean boundary and
+  // survives another reopen.
+  ASSERT_TRUE((*log)->Append(DeltaKV{DeltaOp::kInsert, "k3", "v3"}).ok());
+  ASSERT_TRUE((*log)->Close().ok());
+  auto reopened = DeltaLog::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  auto all = (*reopened)->ReadRange(0, UINT64_MAX);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[1].delta.key, "k3");
+}
+
+TEST_F(DeltaLogTest, CorruptedPayloadByteIsDetectedByCrc) {
+  std::string path;
+  {
+    auto log = DeltaLog::Open(dir_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(DeltaKV{DeltaOp::kInsert, "aa", "bb"}).ok());
+    path = (*log)->path();
+  }
+  auto data = ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  std::string flipped = *data;
+  flipped[12] ^= 0x40;  // a payload byte
+  ASSERT_TRUE(WriteStringToFile(path, flipped).ok());
+  auto log = DeltaLog::Open(dir_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->recovery_stats().records, 0u);
+  EXPECT_GT((*log)->recovery_stats().discarded_bytes, 0u);
+}
+
+TEST_F(DeltaLogTest, PurgeThroughDropsConsumedPrefix) {
+  auto log = DeltaLog::Open(dir_);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        (*log)->Append(DeltaKV{DeltaOp::kInsert, std::to_string(i), "v"}).ok());
+  }
+  ASSERT_TRUE((*log)->PurgeThrough(7).ok());
+  EXPECT_EQ((*log)->live_records(), 3u);
+  EXPECT_EQ((*log)->last_seq(), 10u);  // sequence numbers never reset
+  auto rest = (*log)->ReadRange(0, UINT64_MAX);
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0].seq, 8u);
+  // New appends continue the sequence, and the purged file reopens cleanly.
+  ASSERT_TRUE((*log)->Append(DeltaKV{DeltaOp::kInsert, "x", "y"}).ok());
+  ASSERT_TRUE((*log)->Close().ok());
+  auto reopened = DeltaLog::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->last_seq(), 11u);
+  EXPECT_EQ((*reopened)->live_records(), 4u);
+}
+
+TEST_F(DeltaLogTest, AppendBatchIsAllOrNothingOnOversizedRecord) {
+  auto log = DeltaLog::Open(dir_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append(DeltaKV{DeltaOp::kInsert, "a", "1"}).ok());
+  // A record whose framed payload would exceed the reader-side bound must
+  // reject the whole batch, durably appending none of it.
+  std::string huge(kMaxRecordFieldLen + 1, 'x');
+  auto st = (*log)->AppendBatch({{DeltaOp::kInsert, "ok1", "v"},
+                                 {DeltaOp::kInsert, huge, "v"},
+                                 {DeltaOp::kInsert, "ok2", "v"}});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ((*log)->live_records(), 1u);
+  EXPECT_EQ((*log)->last_seq(), 1u);
+  // Single-record appends enforce the same bound.
+  EXPECT_FALSE((*log)->Append(DeltaKV{DeltaOp::kInsert, huge, "v"}).ok());
+  EXPECT_EQ((*log)->last_seq(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline epochs
+// ---------------------------------------------------------------------------
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { root_ = ::testing::TempDir() + "/i2mr_pipeline"; }
+  std::string root_;
+};
+
+TEST_F(PipelineTest, ThreeDeltaEpochsConvergeToFromScratchPageRank) {
+  LocalCluster cluster(root_, 4);
+  GraphGenOptions gen;
+  gen.num_vertices = 250;
+  gen.avg_degree = 5;
+  auto graph = GenGraph(gen);
+
+  auto pipeline = Pipeline::Open(&cluster, "pr_epochs", PageRankPipeline());
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ASSERT_TRUE((*pipeline)->Bootstrap(graph, UnitState(graph)).ok());
+  EXPECT_EQ((*pipeline)->committed_epoch(), 0u);
+
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    GraphDeltaOptions dopt;
+    dopt.update_fraction = 0.08;
+    dopt.insert_fraction = 0.02;
+    dopt.delete_fraction = 0.02;
+    dopt.seed = 100 + epoch;
+    auto delta = GenGraphDelta(gen, dopt, &graph);
+    std::vector<DeltaKV> batch(delta.begin(), delta.end());
+    ASSERT_TRUE((*pipeline)->AppendBatch(batch).ok());
+
+    auto stats = (*pipeline)->RunEpoch();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->epoch, static_cast<uint64_t>(epoch));
+    EXPECT_EQ(stats->deltas_applied, batch.size());
+    EXPECT_EQ((*pipeline)->pending(), 0u);
+  }
+
+  // Exactly-once across 3 epochs: the served ranks must match a from-scratch
+  // computation over the final graph snapshot.
+  auto reference = pagerank::Reference(graph, 100, 1e-9);
+  auto served = (*pipeline)->ServingSnapshot();
+  EXPECT_LT(pagerank::MeanError(served, reference), 1e-3);
+
+  // Point lookups serve exactly the snapshot's values.
+  ASSERT_FALSE(served.empty());
+  auto rank = (*pipeline)->Lookup(served.front().key);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(*rank, served.front().value);
+  EXPECT_TRUE((*pipeline)->Lookup("no-such-vertex").status().IsNotFound());
+}
+
+TEST_F(PipelineTest, DeleteTombstonesAndIntraEpochOrdering) {
+  LocalCluster cluster(root_, 2);
+  // Hand-built graph: 1 -> 2, 2 -> 1, 3 -> 2.
+  auto v = [](uint64_t id) { return PaddedNum(id); };
+  std::vector<KV> graph = {{v(1), v(2)}, {v(2), v(1)}, {v(3), v(2)}};
+
+  PipelineOptions options = PageRankPipeline();
+  options.spec.num_partitions = 2;
+  auto pipeline = Pipeline::Open(&cluster, "pr_tomb", options);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Bootstrap(graph, UnitState(graph)).ok());
+
+  // Epoch 1: delete vertex 3's record (tombstone) AND update vertex 1's
+  // adjacency (delete + insert, order matters) in a single batch.
+  std::vector<DeltaKV> batch = {
+      {DeltaOp::kDelete, v(3), v(2)},
+      {DeltaOp::kDelete, v(1), v(2)},
+      {DeltaOp::kInsert, v(1), JoinAdjacency({v(2), v(3)})},
+  };
+  ASSERT_TRUE((*pipeline)->AppendBatch(batch).ok());
+  auto stats = (*pipeline)->RunEpoch();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  std::vector<KV> final_graph = {{v(1), JoinAdjacency({v(2), v(3)})},
+                                 {v(2), v(1)}};
+  auto reference = pagerank::Reference(final_graph, 100, 1e-9);
+  auto served = (*pipeline)->ServingSnapshot();
+  EXPECT_LT(pagerank::MeanError(served, reference), 1e-4);
+
+  // The tombstoned record's edges are really gone: vertex 2 no longer
+  // receives 3's contribution (its reference rank reflects only 1's edge).
+  auto r2 = (*pipeline)->Lookup(v(2));
+  ASSERT_TRUE(r2.ok());
+  double got = *ParseDouble(*r2);
+  double want = 0;
+  for (const auto& kv : reference) {
+    if (kv.key == v(2)) want = *ParseDouble(kv.value);
+  }
+  EXPECT_NEAR(got, want, 1e-4);
+}
+
+TEST_F(PipelineTest, CrashBetweenDrainAndCommitReplaysExactlyOnce) {
+  LocalCluster cluster(root_, 4);
+  GraphGenOptions gen;
+  gen.num_vertices = 200;
+  gen.avg_degree = 4;
+  auto graph = GenGraph(gen);
+
+  // Crash after the refresh ran but before anything committed.
+  PipelineOptions options = PageRankPipeline();
+  options.crash_hook = [](uint64_t, const std::string& stage) {
+    return stage == "refresh";
+  };
+  auto pipeline = Pipeline::Open(&cluster, "pr_crash", options);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Bootstrap(graph, UnitState(graph)).ok());
+  auto before = (*pipeline)->ServingSnapshot();
+
+  GraphDeltaOptions dopt;
+  dopt.update_fraction = 0.1;
+  auto delta = GenGraphDelta(gen, dopt, &graph);
+  ASSERT_TRUE(
+      (*pipeline)
+          ->AppendBatch(std::vector<DeltaKV>(delta.begin(), delta.end()))
+          .ok());
+
+  auto stats = (*pipeline)->RunEpoch();
+  EXPECT_FALSE(stats.ok());  // the simulated crash
+
+  // Nothing committed: watermark, epoch and the served results are intact.
+  EXPECT_EQ((*pipeline)->committed_epoch(), 0u);
+  EXPECT_EQ((*pipeline)->committed_watermark(), 0u);
+  EXPECT_EQ((*pipeline)->pending(), delta.size());
+  EXPECT_EQ((*pipeline)->ServingSnapshot(), before);
+
+  // "Process restart": drop the Pipeline object, re-open without the crash
+  // hook, and run the epoch. The deltas must apply exactly once — a double
+  // apply would duplicate the re-inserted records and skew the ranks.
+  pipeline->reset();
+  auto reopened = Pipeline::Open(&cluster, "pr_crash", PageRankPipeline());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->bootstrapped());
+  EXPECT_EQ((*reopened)->committed_epoch(), 0u);
+  EXPECT_EQ((*reopened)->pending(), delta.size());
+
+  auto replay = (*reopened)->RunEpoch();
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->epoch, 1u);
+  EXPECT_EQ(replay->deltas_applied, delta.size());
+
+  auto reference = pagerank::Reference(graph, 100, 1e-9);
+  EXPECT_LT(pagerank::MeanError((*reopened)->ServingSnapshot(), reference),
+            1e-3);
+}
+
+TEST_F(PipelineTest, CrashMidCommitLeavesPreviousEpochCurrent) {
+  LocalCluster cluster(root_, 4);
+  GraphGenOptions gen;
+  gen.num_vertices = 150;
+  gen.avg_degree = 4;
+  auto graph = GenGraph(gen);
+
+  // Crash after the new epoch dir landed but before CURRENT swung to it.
+  PipelineOptions options = PageRankPipeline();
+  options.crash_hook = [](uint64_t epoch, const std::string& stage) {
+    return epoch == 1 && stage == "commit";
+  };
+  auto pipeline = Pipeline::Open(&cluster, "pr_mid", options);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Bootstrap(graph, UnitState(graph)).ok());
+
+  GraphDeltaOptions dopt;
+  dopt.update_fraction = 0.1;
+  auto delta = GenGraphDelta(gen, dopt, &graph);
+  ASSERT_TRUE(
+      (*pipeline)
+          ->AppendBatch(std::vector<DeltaKV>(delta.begin(), delta.end()))
+          .ok());
+  EXPECT_FALSE((*pipeline)->RunEpoch().ok());
+
+  pipeline->reset();
+  auto reopened = Pipeline::Open(&cluster, "pr_mid", PageRankPipeline());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // The orphaned epoch-1 dir was garbage collected; still on epoch 0.
+  EXPECT_EQ((*reopened)->committed_epoch(), 0u);
+  EXPECT_EQ((*reopened)->pending(), delta.size());
+
+  auto replay = (*reopened)->RunEpoch();
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  auto reference = pagerank::Reference(graph, 100, 1e-9);
+  EXPECT_LT(pagerank::MeanError((*reopened)->ServingSnapshot(), reference),
+            1e-3);
+}
+
+TEST_F(PipelineTest, SurvivesFullProcessRestartViaClusterReattach) {
+  GraphGenOptions gen;
+  gen.num_vertices = 120;
+  gen.avg_degree = 4;
+  auto graph = GenGraph(gen);
+  std::vector<DeltaKV> delta;
+  {
+    LocalCluster cluster(root_, 2);
+    PipelineOptions options = PageRankPipeline();
+    options.spec.num_partitions = 2;
+    auto pipeline = Pipeline::Open(&cluster, "pr_restart", options);
+    ASSERT_TRUE(pipeline.ok());
+    ASSERT_TRUE((*pipeline)->Bootstrap(graph, UnitState(graph)).ok());
+    GraphDeltaOptions dopt;
+    dopt.update_fraction = 0.1;
+    auto d = GenGraphDelta(gen, dopt, &graph);
+    delta.assign(d.begin(), d.end());
+    ASSERT_TRUE((*pipeline)->AppendBatch(delta).ok());
+    // Process dies with one un-consumed batch in the durable log — and a
+    // half-finished job's shuffle spills left in the scratch space.
+    ASSERT_TRUE(CreateDirs(JoinPath(root_, "jobs/crashed-job/map-00000")).ok());
+    ASSERT_TRUE(WriteStringToFile(
+                    JoinPath(root_, "jobs/crashed-job/map-00000/part-00000.dat"),
+                    "stale spill")
+                    .ok());
+  }
+  {
+    // Re-attach (reset=false keeps the durable root) and finish the work.
+    LocalCluster cluster(root_, 2, CostModel{}, /*reset=*/false);
+    // Durable state survives; crashed-job scratch must not.
+    EXPECT_FALSE(FileExists(JoinPath(root_, "jobs/crashed-job/map-00000/part-00000.dat")));
+    PipelineOptions options = PageRankPipeline();
+    options.spec.num_partitions = 2;
+    auto pipeline = Pipeline::Open(&cluster, "pr_restart", options);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    EXPECT_TRUE((*pipeline)->bootstrapped());
+    EXPECT_EQ((*pipeline)->pending(), delta.size());
+    auto stats = (*pipeline)->RunEpoch();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    auto reference = pagerank::Reference(graph, 100, 1e-9);
+    EXPECT_LT(pagerank::MeanError((*pipeline)->ServingSnapshot(), reference),
+              1e-3);
+  }
+}
+
+TEST_F(PipelineTest, InProcessRetryAfterCommitStageFailureSucceeds) {
+  // Regression: a commit-stage failure leaves the renamed epoch dir behind;
+  // the in-process self-heal (restore + replay) must still be able to
+  // commit that epoch instead of tripping over the stale dir forever.
+  LocalCluster cluster(root_, 2);
+  auto v = [](uint64_t id) { return PaddedNum(id); };
+  std::vector<KV> graph = {{v(1), v(2)}, {v(2), v(1)}};
+
+  PipelineOptions options = PageRankPipeline();
+  options.spec.num_partitions = 2;
+  auto fired = std::make_shared<std::atomic<int>>(0);
+  options.crash_hook = [fired](uint64_t epoch, const std::string& stage) {
+    return epoch == 1 && stage == "commit" && fired->fetch_add(1) == 0;
+  };
+  auto pipeline = Pipeline::Open(&cluster, "pr_retry", options);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Bootstrap(graph, UnitState(graph)).ok());
+  ASSERT_TRUE((*pipeline)->Append({DeltaOp::kInsert, v(3), v(1)}).ok());
+
+  EXPECT_FALSE((*pipeline)->RunEpoch().ok());  // injected mid-commit failure
+
+  auto retry = (*pipeline)->RunEpoch();  // same process, no reopen
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->epoch, 1u);
+  EXPECT_EQ(retry->deltas_applied, 1u);
+  EXPECT_TRUE((*pipeline)->Lookup(v(3)).ok());
+}
+
+TEST_F(PipelineTest, AppendsAfterRestartOfFullyPurgedLogAreNotSkipped) {
+  // Regression: once an epoch purges the whole log, a restarted process
+  // must not re-issue sequence numbers at or below the committed watermark
+  // — those appends would look already-consumed and silently never refresh.
+  LocalCluster cluster(root_, 2);
+  auto v = [](uint64_t id) { return PaddedNum(id); };
+  std::vector<KV> graph = {{v(1), v(2)}, {v(2), v(1)}};
+  PipelineOptions options = PageRankPipeline();
+  options.spec.num_partitions = 2;
+
+  auto pipeline = Pipeline::Open(&cluster, "pr_purged", options);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Bootstrap(graph, UnitState(graph)).ok());
+  ASSERT_TRUE((*pipeline)->Append({DeltaOp::kInsert, v(3), v(1)}).ok());
+  ASSERT_TRUE((*pipeline)->Append({DeltaOp::kInsert, v(4), v(1)}).ok());
+  ASSERT_TRUE((*pipeline)->RunEpoch().ok());  // commits watermark 2, purges
+  ASSERT_EQ((*pipeline)->committed_watermark(), 2u);
+  ASSERT_EQ((*pipeline)->log()->live_records(), 0u);
+
+  // Restart: the recovered (empty) log must continue the sequence.
+  pipeline->reset();
+  auto reopened = Pipeline::Open(&cluster, "pr_purged", options);
+  ASSERT_TRUE(reopened.ok());
+  auto seq = (*reopened)->Append({DeltaOp::kInsert, v(5), v(1)});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_GT(*seq, 2u);
+  EXPECT_EQ((*reopened)->pending(), 1u);
+  auto stats = (*reopened)->RunEpoch();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->deltas_applied, 1u);
+  EXPECT_TRUE((*reopened)->Lookup(v(5)).ok());  // the new vertex is served
+}
+
+TEST_F(PipelineTest, DrainAllRecoversAfterTransientEpochFailure) {
+  LocalCluster cluster(root_, 2);
+  auto v = [](uint64_t id) { return PaddedNum(id); };
+  std::vector<KV> graph = {{v(1), v(2)}, {v(2), v(1)}};
+
+  PipelineManager manager(&cluster);
+  PipelineOptions options = PageRankPipeline();
+  options.spec.num_partitions = 2;
+  auto crashes = std::make_shared<std::atomic<int>>(0);
+  options.crash_hook = [crashes](uint64_t epoch, const std::string& stage) {
+    // Fail epoch 1's first attempt only.
+    return epoch == 1 && stage == "drain" && crashes->fetch_add(1) == 0;
+  };
+  auto pr = manager.Register("pr_flaky", options);
+  ASSERT_TRUE(pr.ok());
+  ASSERT_TRUE((*pr)->Bootstrap(graph, UnitState(graph)).ok());
+  ASSERT_TRUE(manager.Append("pr_flaky", {DeltaOp::kInsert, v(3), v(1)}).ok());
+
+  // First drain hits the injected failure and reports it.
+  EXPECT_FALSE(manager.DrainAll().ok());
+  EXPECT_EQ(manager.stats().epoch_failures, 1u);
+
+  // Second drain self-heals (restore + replay) and must NOT re-report the
+  // stale error from the first attempt.
+  ASSERT_TRUE(manager.DrainAll().ok());
+  EXPECT_EQ((*pr)->pending(), 0u);
+  EXPECT_EQ((*pr)->committed_epoch(), 1u);
+  EXPECT_TRUE((*pr)->Lookup(v(3)).ok());
+}
+
+TEST_F(PipelineTest, MinBatchAndMaxLagTriggers) {
+  LocalCluster cluster(root_, 2);
+  auto v = [](uint64_t id) { return PaddedNum(id); };
+  std::vector<KV> graph = {{v(1), v(2)}, {v(2), v(1)}};
+
+  PipelineOptions options = PageRankPipeline();
+  options.spec.num_partitions = 2;
+  options.min_batch = 3;
+  auto pipeline = Pipeline::Open(&cluster, "pr_trigger", options);
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_FALSE((*pipeline)->EpochReady());  // not bootstrapped
+  ASSERT_TRUE((*pipeline)->Bootstrap(graph, UnitState(graph)).ok());
+
+  ASSERT_TRUE((*pipeline)->Append({DeltaOp::kInsert, v(3), v(1)}).ok());
+  EXPECT_FALSE((*pipeline)->EpochReady());  // 1 < min_batch
+  ASSERT_TRUE((*pipeline)->Append({DeltaOp::kInsert, v(4), v(1)}).ok());
+  ASSERT_TRUE((*pipeline)->Append({DeltaOp::kInsert, v(5), v(1)}).ok());
+  EXPECT_TRUE((*pipeline)->EpochReady());  // min_batch reached
+
+  ASSERT_TRUE((*pipeline)->RunEpoch().ok());
+  EXPECT_FALSE((*pipeline)->EpochReady());  // drained
+
+  // Lag trigger: one pending delta, tiny max_lag.
+  PipelineOptions lag_options = PageRankPipeline();
+  lag_options.spec.num_partitions = 2;
+  lag_options.min_batch = 1000;
+  lag_options.max_lag_ms = 5;
+  auto lagged = Pipeline::Open(&cluster, "pr_lag", lag_options);
+  ASSERT_TRUE(lagged.ok());
+  ASSERT_TRUE((*lagged)->Bootstrap(graph, UnitState(graph)).ok());
+  ASSERT_TRUE((*lagged)->Append({DeltaOp::kInsert, v(3), v(1)}).ok());
+  EXPECT_FALSE((*lagged)->EpochReady());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE((*lagged)->EpochReady());
+}
+
+// ---------------------------------------------------------------------------
+// PipelineManager
+// ---------------------------------------------------------------------------
+
+TEST_F(PipelineTest, TwoPipelinesRefreshConcurrentlyOnOneCluster) {
+  LocalCluster cluster(root_, 4);
+  PipelineManagerOptions mopts;
+  mopts.scheduler_threads = 2;
+  PipelineManager manager(&cluster, mopts);
+
+  // Pipeline 1: PageRank over an evolving graph.
+  GraphGenOptions ggen;
+  ggen.num_vertices = 200;
+  ggen.avg_degree = 4;
+  auto graph = GenGraph(ggen);
+  auto pr = manager.Register("pr", PageRankPipeline());
+  ASSERT_TRUE(pr.ok()) << pr.status().ToString();
+  ASSERT_TRUE((*pr)->Bootstrap(graph, UnitState(graph)).ok());
+
+  // Pipeline 2: K-Means over evolving points (MRBGraph off, §5.2).
+  PointsGenOptions pgen;
+  pgen.num_points = 200;
+  pgen.dims = 2;
+  pgen.num_clusters = 3;
+  auto points = GenPoints(pgen);
+  PipelineOptions km_options;
+  km_options.spec = kmeans::MakeIterSpec("km", 4, 30, 1e-7);
+  km_options.engine.maintain_mrbg = false;
+  auto km = manager.Register("km", km_options);
+  ASSERT_TRUE(km.ok()) << km.status().ToString();
+  ASSERT_TRUE((*km)->Bootstrap(points, kmeans::InitialState(points, 3)).ok());
+
+  EXPECT_FALSE(manager.Register("pr", PageRankPipeline()).ok());
+
+  auto prev_centroids = kmeans::DecodeCentroids(
+      *(*km)->Lookup(kmeans::kStateKey));
+
+  // Feed both pipelines, then drain them concurrently.
+  GraphDeltaOptions gd;
+  gd.update_fraction = 0.1;
+  auto graph_delta = GenGraphDelta(ggen, gd, &graph);
+  ASSERT_TRUE(manager
+                  .AppendBatch("pr", std::vector<DeltaKV>(graph_delta.begin(),
+                                                          graph_delta.end()))
+                  .ok());
+  auto points_delta = GenPointsDelta(pgen, 0.1, 0.05, 11, &points);
+  ASSERT_TRUE(manager
+                  .AppendBatch("km", std::vector<DeltaKV>(points_delta.begin(),
+                                                          points_delta.end()))
+                  .ok());
+
+  ASSERT_TRUE(manager.DrainAll().ok());
+  EXPECT_EQ((*pr)->pending(), 0u);
+  EXPECT_EQ((*km)->pending(), 0u);
+  EXPECT_EQ(manager.stats().epochs_committed, 2u);
+  EXPECT_EQ(manager.stats().deltas_applied,
+            graph_delta.size() + points_delta.size());
+
+  // Both refreshed correctly.
+  auto pr_ref = pagerank::Reference(graph, 100, 1e-9);
+  auto pr_served = manager.view().Snapshot("pr");
+  ASSERT_TRUE(pr_served.ok());
+  EXPECT_LT(pagerank::MeanError(*pr_served, pr_ref), 1e-3);
+
+  auto km_served = manager.view().Lookup("km", kmeans::kStateKey);
+  ASSERT_TRUE(km_served.ok());
+  auto km_ref = kmeans::Reference(points, prev_centroids, 30, 1e-7);
+  EXPECT_LT(kmeans::MaxCentroidDelta(kmeans::DecodeCentroids(*km_served),
+                                     km_ref),
+            1e-5);
+
+  EXPECT_FALSE(manager.view().Lookup("nope", "k").ok());
+}
+
+TEST_F(PipelineTest, ServingViewAnswersWhileBackgroundEpochsRun) {
+  LocalCluster cluster(root_, 4);
+  PipelineManagerOptions mopts;
+  mopts.poll_interval_ms = 1;
+  PipelineManager manager(&cluster, mopts);
+
+  GraphGenOptions gen;
+  gen.num_vertices = 150;
+  gen.avg_degree = 4;
+  auto graph = GenGraph(gen);
+  auto pr = manager.Register("pr_bg", PageRankPipeline());
+  ASSERT_TRUE(pr.ok());
+  ASSERT_TRUE((*pr)->Bootstrap(graph, UnitState(graph)).ok());
+  const std::string probe = graph.front().key;
+
+  manager.Start();
+  GraphDeltaOptions dopt;
+  dopt.update_fraction = 0.1;
+  auto delta = GenGraphDelta(gen, dopt, &graph);
+  for (const auto& d : delta) {
+    ASSERT_TRUE(manager.Append("pr_bg", d).ok());
+    // Reads must always be served, whatever the refresh is doing.
+    auto r = manager.view().Lookup("pr_bg", probe);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  // Wait until the background scheduler has consumed everything.
+  for (int i = 0; i < 1000 && (*pr)->pending() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  manager.Stop();
+  EXPECT_EQ((*pr)->pending(), 0u);
+  EXPECT_GE(manager.stats().epochs_committed, 1u);
+
+  auto reference = pagerank::Reference(graph, 100, 1e-9);
+  EXPECT_LT(pagerank::MeanError((*pr)->ServingSnapshot(), reference), 1e-3);
+}
+
+}  // namespace
+}  // namespace i2mr
