@@ -1,12 +1,18 @@
-// Pipeline epoch latency vs. delta rate.
+// Pipeline epoch latency vs. delta rate, delta-log purge cost, and the
+// price of power-failure durability.
 //
 // A PageRank pipeline is bootstrapped once, then fed epochs of increasing
 // delta rate (fraction of the graph updated per epoch). For each rate we
 // measure end-to-end epoch latency (drain + incremental refresh + atomic
 // commit) and its refresh/commit split, against a full-recompute baseline.
+// Two delta-log microbench sections follow: PurgeThrough() cost as the
+// live-record count grows (must stay flat — the segmented log retires
+// whole segments instead of rewriting the live suffix), and append cost
+// with fsync off (kProcessCrash) vs on (kPowerFailure).
 //
-// Emits BENCH_pipeline.json (epoch latency at 3 delta rates) alongside the
-// human-readable report, to track the serving-path perf trajectory.
+// Emits BENCH_pipeline.json alongside the human-readable report, to track
+// the serving-path perf trajectory (CI smoke-checks epoch latency against
+// the checked-in baseline).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -15,6 +21,7 @@
 #include "bench_util.h"
 #include "common/timer.h"
 #include "data/graph_gen.h"
+#include "io/env.h"
 #include "mr/cluster.h"
 #include "pipeline/pipeline.h"
 
@@ -31,6 +38,71 @@ struct RateResult {
   double mean_commit_ms = 0;
   double mean_iterations = 0;
 };
+
+struct PurgeResult {
+  uint64_t live_records = 0;
+  uint64_t consumed_records = 0;
+  uint64_t segments_retired = 0;
+  double purge_ms = 0;
+};
+
+DeltaKV BenchDelta(int i) {
+  char key[32];
+  std::snprintf(key, sizeof(key), "key-%08d", i);
+  return DeltaKV{DeltaOp::kInsert, key, "value-0123456789"};
+}
+
+// PurgeThrough() cost with a fixed consumed prefix and a growing live
+// suffix. The pre-segmentation log rewrote every live byte here, so cost
+// grew linearly in `live`; the segmented log only retires the consumed
+// segments, so cost must stay flat.
+StatusOr<PurgeResult> MeasurePurge(const std::string& root, uint64_t consumed,
+                                   uint64_t live) {
+  PurgeResult r;
+  r.live_records = live;
+  r.consumed_records = consumed;
+  std::string dir = root + "/purge_" + std::to_string(live);
+  I2MR_RETURN_IF_ERROR(ResetDir(dir));
+  DeltaLogOptions options;
+  options.segment_bytes = 32 << 10;
+  auto log = DeltaLog::Open(dir, options);
+  if (!log.ok()) return log.status();
+  std::vector<DeltaKV> batch;
+  batch.reserve(1000);
+  for (uint64_t i = 0; i < consumed + live; i += batch.size()) {
+    batch.clear();
+    for (uint64_t j = i; j < consumed + live && batch.size() < 1000; ++j) {
+      batch.push_back(BenchDelta(static_cast<int>(j)));
+    }
+    auto seq = (*log)->AppendBatch(batch);
+    if (!seq.ok()) return seq.status();
+  }
+  uint64_t segments_before = (*log)->segment_files();
+  WallTimer timer;
+  I2MR_RETURN_IF_ERROR((*log)->PurgeThrough(consumed));
+  r.purge_ms = timer.ElapsedMillis();
+  r.segments_retired = segments_before - (*log)->segment_files();
+  return r;
+}
+
+// Mean per-append latency (flush-only vs fsync) over `n` single appends.
+StatusOr<double> MeasureAppends(const std::string& root, DurabilityMode mode,
+                                int n) {
+  std::string dir = root + (mode == DurabilityMode::kPowerFailure
+                                ? "/append_sync"
+                                : "/append_nosync");
+  I2MR_RETURN_IF_ERROR(ResetDir(dir));
+  DeltaLogOptions options;
+  options.durability = mode;
+  auto log = DeltaLog::Open(dir, options);
+  if (!log.ok()) return log.status();
+  WallTimer timer;
+  for (int i = 0; i < n; ++i) {
+    auto seq = (*log)->Append(BenchDelta(i));
+    if (!seq.ok()) return seq.status();
+  }
+  return timer.ElapsedMillis() / n;
+}
 
 }  // namespace
 
@@ -113,6 +185,45 @@ int main() {
   double full_ms = full_timer.ElapsedMillis();
   std::printf("\nfull re-computation baseline: %.0f ms\n", full_ms);
 
+  // -- Delta-log purge cost vs live-record count (must stay flat) ----------
+  bench::Title("DeltaLog purge: cost vs live records (fixed consumed prefix)");
+  const uint64_t kConsumed = static_cast<uint64_t>(bench::ScaledInt(20000));
+  const uint64_t kLiveCounts[] = {1000, 4000, 16000};
+  std::printf("%-14s %-16s %-18s %s\n", "live records", "consumed",
+              "segments retired", "purge ms");
+  std::vector<PurgeResult> purges;
+  for (uint64_t live : kLiveCounts) {
+    auto r = MeasurePurge(bench::BenchRoot("pipeline_epochs"), kConsumed,
+                          static_cast<uint64_t>(bench::ScaledInt(
+                              static_cast<int>(live))));
+    if (!r.ok()) {
+      std::fprintf(stderr, "purge: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    purges.push_back(*r);
+    std::printf("%-14llu %-16llu %-18llu %.2f\n",
+                (unsigned long long)r->live_records,
+                (unsigned long long)r->consumed_records,
+                (unsigned long long)r->segments_retired, r->purge_ms);
+  }
+
+  // -- Append cost: fsync off (process-crash) vs on (power-failure) --------
+  bench::Title("DeltaLog append: flush-only vs fsync per append");
+  const int kAppends = bench::ScaledInt(400);
+  auto append_nosync = MeasureAppends(bench::BenchRoot("pipeline_epochs"),
+                                      DurabilityMode::kProcessCrash, kAppends);
+  auto append_sync = MeasureAppends(bench::BenchRoot("pipeline_epochs"),
+                                    DurabilityMode::kPowerFailure, kAppends);
+  if (!append_nosync.ok() || !append_sync.ok()) {
+    std::fprintf(stderr, "append bench failed\n");
+    return 1;
+  }
+  std::printf("%-24s %.4f ms/append\n", "kProcessCrash (flush)",
+              *append_nosync);
+  std::printf("%-24s %.4f ms/append (%.1fx)\n", "kPowerFailure (fsync)",
+              *append_sync,
+              *append_nosync > 0 ? *append_sync / *append_nosync : 0.0);
+
   // Machine-readable trajectory point.
   std::FILE* json = std::fopen("BENCH_pipeline.json", "w");
   if (json == nullptr) return 1;
@@ -136,7 +247,24 @@ int main() {
                  r.mean_commit_ms, r.mean_iterations,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"purge\": [\n");
+  for (size_t i = 0; i < purges.size(); ++i) {
+    const PurgeResult& p = purges[i];
+    std::fprintf(json,
+                 "    {\"live_records\": %llu, \"consumed_records\": %llu, "
+                 "\"segments_retired\": %llu, \"purge_ms\": %.2f}%s\n",
+                 (unsigned long long)p.live_records,
+                 (unsigned long long)p.consumed_records,
+                 (unsigned long long)p.segments_retired, p.purge_ms,
+                 i + 1 < purges.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"durability\": {\"append_ms_process_crash\": %.4f, "
+               "\"append_ms_power_failure\": %.4f}\n",
+               *append_nosync, *append_sync);
+  std::fprintf(json, "}\n");
   std::fclose(json);
   bench::Note("\nwrote BENCH_pipeline.json");
   return 0;

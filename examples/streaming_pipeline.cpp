@@ -49,6 +49,10 @@ int main() {
   pr_options.engine.filter_threshold = 0.1;  // CPC (§5.3)
   pr_options.min_batch = 50;    // refresh once 50 updates are pending...
   pr_options.max_lag_ms = 200;  // ...or a pending update is 200ms old
+  // Segmented delta log: rotate small segments and keep consumed ones in
+  // log/archive/ instead of unlinking them (cheap replay/debug trail).
+  pr_options.log.segment_bytes = 64 << 10;
+  pr_options.log.archive_purged = true;
   auto pr = manager.Register("pagerank", pr_options);
   if (!pr.ok()) return 1;
   if (!(*pr)->Bootstrap(graph, UnitState(graph)).ok()) return 1;
@@ -67,6 +71,9 @@ int main() {
   km_options.engine.maintain_mrbg = false;  // §5.2: global recompute app
   km_options.min_batch = 100;
   km_options.max_lag_ms = 300;
+  // Power-failure durability: appends and epoch commits are fsync'd (see
+  // BENCH_pipeline.json "durability" for what each synced append costs).
+  km_options.durability = DurabilityMode::kPowerFailure;
   auto km = manager.Register("kmeans", km_options);
   if (!km.ok()) return 1;
   if (!(*km)->Bootstrap(points, kmeans::InitialState(points, 8)).ok()) return 1;
@@ -119,6 +126,11 @@ int main() {
       (unsigned long long)stats.epochs_committed,
       (unsigned long long)stats.deltas_applied,
       (unsigned long long)stats.epoch_failures);
+  std::printf(
+      "pagerank delta log: %llu live segment file(s), purge watermark %llu "
+      "(consumed segments in log/archive/)\n",
+      (unsigned long long)(*pr)->log()->segment_files(),
+      (unsigned long long)(*pr)->log()->purge_watermark());
 
   // Final accuracy check against an offline recompute of the last snapshot.
   auto reference = pagerank::Reference(graph, 60, 1e-6);

@@ -1,7 +1,12 @@
 #include "io/env.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
 
@@ -49,6 +54,41 @@ Status CopyFile(const std::string& from, const std::string& to) {
   return Status::OK();
 }
 
+Status LinkOrCopyFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::remove(to, ec);  // link(2) refuses to replace an existing target
+  if (ec) return Status::IOError("remove " + to + ": " + ec.message());
+  fs::create_hard_link(from, to, ec);
+  if (!ec) return Status::OK();
+  return CopyFile(from, to);
+}
+
+Status SyncFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync dir " + dir + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 StatusOr<std::vector<std::string>> ListFiles(const std::string& dir) {
   std::error_code ec;
   std::vector<std::string> out;
@@ -60,12 +100,22 @@ StatusOr<std::vector<std::string>> ListFiles(const std::string& dir) {
   return out;
 }
 
-Status WriteStringToFile(const std::string& path, const std::string& data) {
+Status WriteStringToFile(const std::string& path, const std::string& data,
+                         bool sync) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("unlink " + path + ": " + std::strerror(errno));
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("open for write: " + path);
   size_t n = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  bool synced = true;
+  if (sync && n == data.size()) {
+    synced = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  }
   int rc = std::fclose(f);
-  if (n != data.size() || rc != 0) return Status::IOError("write: " + path);
+  if (n != data.size() || rc != 0 || !synced) {
+    return Status::IOError("write: " + path);
+  }
   return Status::OK();
 }
 

@@ -17,11 +17,29 @@ StatusOr<uint64_t> FileSize(const std::string& path);
 Status RenameFile(const std::string& from, const std::string& to);
 Status CopyFile(const std::string& from, const std::string& to);
 
+/// Hard-link `from` at `to` (O(1), the epoch-snapshot fast path), falling
+/// back to a byte copy when the filesystem refuses (cross-device link,
+/// FAT-style no-hardlink filesystems). Any existing `to` is replaced.
+Status LinkOrCopyFile(const std::string& from, const std::string& to);
+
+/// fsync a directory: persists the directory entries (creations, renames,
+/// unlinks) inside it. Required after a commit rename for power-failure
+/// durability; a no-op level of safety on process-crash-only paths.
+Status SyncDir(const std::string& dir);
+
+/// fsync an already-written file by path (flushes its dirty pages). Used on
+/// hard-linked snapshot files, whose bytes were appended through another
+/// path's handle and may still sit in the page cache.
+Status SyncFile(const std::string& path);
+
 /// Sorted list of regular files directly under `dir` (full paths).
 StatusOr<std::vector<std::string>> ListFiles(const std::string& dir);
 
-/// Whole-file read/write.
-Status WriteStringToFile(const std::string& path, const std::string& data);
+/// Whole-file read/write. Writes always land on a fresh inode (hard-link
+/// snapshot safety; see WritableFile::Create). With `sync` set the data is
+/// fsync'd before close — the caller still owns SyncDir of the parent.
+Status WriteStringToFile(const std::string& path, const std::string& data,
+                         bool sync = false);
 StatusOr<std::string> ReadFileToString(const std::string& path);
 
 /// Join path components with '/'.

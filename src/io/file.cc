@@ -15,6 +15,13 @@ namespace i2mr {
 
 StatusOr<std::unique_ptr<WritableFile>> WritableFile::Create(
     const std::string& path, bool append) {
+  if (!append) {
+    // Fresh-inode semantics: never truncate an existing inode in place —
+    // a committed epoch snapshot may hard-link it.
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError("unlink " + path + ": " + std::strerror(errno));
+    }
+  }
   std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
   if (f == nullptr) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
@@ -44,6 +51,14 @@ Status WritableFile::Append(std::string_view data) {
 
 Status WritableFile::Flush() {
   if (std::fflush(file_) != 0) return Status::IOError("flush " + path_);
+  return Status::OK();
+}
+
+Status WritableFile::Sync() {
+  I2MR_RETURN_IF_ERROR(Flush());
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
+  }
   return Status::OK();
 }
 

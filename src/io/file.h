@@ -14,7 +14,21 @@
 
 namespace i2mr {
 
-/// Append-only buffered file.
+/// How far a durable structure's writes must survive. The pipeline plumbs
+/// this through the delta log, epoch MANIFEST and CURRENT swap.
+enum class DurabilityMode {
+  /// Writes reach the OS (surviving process death) but are not fsync'd:
+  /// a kernel panic or power failure may lose acknowledged data.
+  kProcessCrash,
+  /// Acknowledged writes are fsync'd (file data + the directory entries
+  /// that name them) before success is reported — the LSM/WAL guarantee.
+  kPowerFailure,
+};
+
+/// Append-only buffered file. Create() with append=false always writes a
+/// fresh inode (any existing file is unlinked first), so epoch snapshots
+/// that hard-link a previously written file keep their bytes when the
+/// original path is later rewritten.
 class WritableFile {
  public:
   static StatusOr<std::unique_ptr<WritableFile>> Create(
@@ -24,6 +38,9 @@ class WritableFile {
 
   Status Append(std::string_view data);
   Status Flush();
+  /// Flush + fsync: the appended bytes survive power failure (the enclosing
+  /// directory entry still needs SyncDir for a newly created file).
+  Status Sync();
   Status Close();
 
   /// Bytes appended so far (== file offset of next append).

@@ -1,7 +1,5 @@
 #include "io/record_file.h"
 
-#include <functional>
-
 #include "common/codec.h"
 
 namespace i2mr {
@@ -153,14 +151,17 @@ Status DeltaReader::Next(DeltaKV* rec) {
 
 namespace {
 
-// Shared scan loop: `next` consumes one record, returning NotFound at clean
-// EOF. On corruption the offset of the bad record is reported.
-StatusOr<uint64_t> ValidateScan(
-    SequentialFile* f, const std::function<Status(SequentialFile*)>& next) {
+// Shared scan loop over a reader's own Next(): the frame format lives only
+// in the reader parse loops; the validators just drive them and locate the
+// damage via the reader's byte offset.
+template <typename Reader, typename Record>
+StatusOr<uint64_t> ValidateWithReader(StatusOr<std::unique_ptr<Reader>> r) {
+  if (!r.ok()) return r.status();
   uint64_t count = 0;
+  Record rec;
   for (;;) {
-    uint64_t record_start = f->offset();
-    Status st = next(f);
+    uint64_t record_start = (*r)->offset();
+    Status st = (*r)->Next(&rec);
     if (st.IsNotFound()) return count;
     if (!st.ok()) {
       return Status::Corruption(st.message() + " (record " +
@@ -174,40 +175,11 @@ StatusOr<uint64_t> ValidateScan(
 }  // namespace
 
 StatusOr<uint64_t> ValidateRecordFile(const std::string& path) {
-  auto f = SequentialFile::Open(path);
-  if (!f.ok()) return f.status();
-  KV kv;
-  return ValidateScan(f->get(), [&kv](SequentialFile* sf) {
-    bool at_eof = false;
-    Status st = ReadLenPrefixed(sf, &kv.key, &at_eof);
-    if (at_eof) return Status::NotFound("eof");
-    I2MR_RETURN_IF_ERROR(st);
-    st = ReadLenPrefixed(sf, &kv.value, &at_eof);
-    if (at_eof) return Status::Corruption("truncated record");
-    return st;
-  });
+  return ValidateWithReader<RecordReader, KV>(RecordReader::Open(path));
 }
 
 StatusOr<uint64_t> ValidateDeltaFile(const std::string& path) {
-  auto f = SequentialFile::Open(path);
-  if (!f.ok()) return f.status();
-  DeltaKV rec;
-  return ValidateScan(f->get(), [&rec](SequentialFile* sf) {
-    std::string opbuf;
-    Status st = sf->ReadExact(1, &opbuf);
-    if (st.IsNotFound()) return st;  // clean EOF
-    I2MR_RETURN_IF_ERROR(st);
-    if (opbuf[0] != '+' && opbuf[0] != '-') {
-      return Status::Corruption("bad delta op byte");
-    }
-    bool at_eof = false;
-    st = ReadLenPrefixed(sf, &rec.key, &at_eof);
-    if (at_eof) return Status::Corruption("truncated delta record");
-    I2MR_RETURN_IF_ERROR(st);
-    st = ReadLenPrefixed(sf, &rec.value, &at_eof);
-    if (at_eof) return Status::Corruption("truncated delta record");
-    return st;
-  });
+  return ValidateWithReader<DeltaReader, DeltaKV>(DeltaReader::Open(path));
 }
 
 // ---------------------------------------------------------------------------

@@ -53,6 +53,11 @@ class RecordReader {
   /// Returns OK and fills *kv, NotFound at EOF, Corruption on a bad record.
   Status Next(KV* kv);
 
+  /// Byte offset of the next unread record (== bytes consumed so far). The
+  /// validators report damage locations through this, so the frame format
+  /// lives only in the parse loop.
+  uint64_t offset() const { return file_->offset(); }
+
  private:
   explicit RecordReader(std::unique_ptr<SequentialFile> f) : file_(std::move(f)) {}
 
@@ -85,6 +90,9 @@ class DeltaReader {
                                                      bool validate = false);
 
   Status Next(DeltaKV* rec);
+
+  /// Byte offset of the next unread record (see RecordReader::offset).
+  uint64_t offset() const { return file_->offset(); }
 
  private:
   explicit DeltaReader(std::unique_ptr<SequentialFile> f) : file_(std::move(f)) {}

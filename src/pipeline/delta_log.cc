@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
 #include "common/codec.h"
 #include "common/hash.h"
@@ -17,10 +19,9 @@ constexpr uint32_t kLogMagic = 0x49444c47;  // "IDLG"
 constexpr size_t kFrameHeader = 8;          // magic + payload_len
 constexpr size_t kFrameOverhead = kFrameHeader + 4;  // + crc
 constexpr size_t kPayloadOverhead = 8 + 1 + 4 + 4;   // seq + op + 2 lengths
-
-std::string LogFilePath(const std::string& dir) {
-  return JoinPath(dir, "log.dat");
-}
+constexpr const char* kPurgeFile = "PURGE";
+constexpr const char* kArchiveDir = "archive";
+constexpr const char* kLegacyLog = "log.dat";
 
 // Parses one frame starting at data[pos]. Returns OK and advances *pos past
 // the frame, NotFound at a clean end (pos == size), Corruption otherwise.
@@ -59,6 +60,26 @@ Status ParseFrame(std::string_view data, size_t* pos, SeqDelta* out) {
   return Status::OK();
 }
 
+// PURGE: [u64 watermark][u32 crc32-of-first-8-bytes].
+Status ReadPurgeMark(const std::string& path, uint64_t* watermark) {
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  if (data->size() != 12 ||
+      DecodeFixed32(data->data() + 8) !=
+          Crc32(std::string_view(data->data(), 8))) {
+    return Status::Corruption("bad purge mark " + path);
+  }
+  *watermark = DecodeFixed64(data->data());
+  return Status::OK();
+}
+
+bool IsSegmentPath(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  return base.size() == 28 && base.rfind("seg-", 0) == 0 &&
+         base.compare(base.size() - 4, 4, ".dat") == 0;
+}
+
 }  // namespace
 
 void EncodeLogRecord(uint64_t seq, const DeltaKV& delta, std::string* out) {
@@ -73,62 +94,197 @@ void EncodeLogRecord(uint64_t seq, const DeltaKV& delta, std::string* out) {
   PutFixed32(out, Crc32(payload));
 }
 
-StatusOr<std::unique_ptr<DeltaLog>> DeltaLog::Open(const std::string& dir) {
+std::string DeltaLogSegmentName(uint64_t first_seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%020" PRIu64 ".dat", first_seq);
+  return buf;
+}
+
+StatusOr<std::unique_ptr<DeltaLog>> DeltaLog::Open(const std::string& dir,
+                                                   DeltaLogOptions options) {
   I2MR_RETURN_IF_ERROR(CreateDirs(dir));
-  std::unique_ptr<DeltaLog> log(new DeltaLog(LogFilePath(dir)));
+  std::unique_ptr<DeltaLog> log(new DeltaLog(dir, std::move(options)));
   I2MR_RETURN_IF_ERROR(log->Recover());
   return log;
 }
 
 DeltaLog::~DeltaLog() { Close().ok(); }
 
-Status DeltaLog::Recover() {
-  // A crash mid-purge can orphan the rewrite temp file; it is never the
-  // authoritative log (the rename either happened or it didn't), so drop it.
-  if (FileExists(path_ + ".purge")) {
-    I2MR_RETURN_IF_ERROR(RemoveAll(path_ + ".purge"));
-  }
-  if (FileExists(path_)) {
-    auto data = ReadFileToString(path_);
-    if (!data.ok()) return data.status();
-    size_t pos = 0;
-    for (;;) {
-      SeqDelta rec;
-      Status st = ParseFrame(*data, &pos, &rec);
-      if (st.IsNotFound()) break;
-      if (st.IsCorruption()) {
-        // Torn tail (crash mid-append) or garbled bytes: keep the valid
-        // prefix, truncate the rest so the next append starts clean.
-        recovery_.discarded_bytes = data->size() - pos;
-        LOG_WARN << "delta log " << path_ << ": discarding "
-                 << recovery_.discarded_bytes << " tail bytes ("
-                 << st.message() << ")";
-        if (::truncate(path_.c_str(), static_cast<off_t>(pos)) != 0) {
-          return Status::IOError("truncate " + path_);
-        }
-        break;
+Status DeltaLog::MigrateLegacyLog() {
+  // Pre-segmentation layout: one rewrite-on-purge log.dat. Rename it into a
+  // segment named after its first sequence number; the normal scan then
+  // treats it like any other (last) segment, torn tail included.
+  std::string legacy = JoinPath(dir_, kLegacyLog);
+  if (!FileExists(legacy)) return Status::OK();
+  auto data = ReadFileToString(legacy);
+  if (!data.ok()) return data.status();
+  if (data->empty()) return RemoveAll(legacy);
+  size_t pos = 0;
+  SeqDelta first;
+  uint64_t first_seq = 1;
+  if (ParseFrame(*data, &pos, &first).ok()) first_seq = first.seq;
+  return RenameFile(legacy, JoinPath(dir_, DeltaLogSegmentName(first_seq)));
+}
+
+Status DeltaLog::ScanSegment(const std::string& path, bool is_last,
+                             uint64_t prev_max, uint64_t* last_seq,
+                             uint64_t* nrecords) {
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  size_t pos = 0;
+  *last_seq = 0;
+  *nrecords = 0;
+  for (;;) {
+    SeqDelta rec;
+    Status st = ParseFrame(*data, &pos, &rec);
+    if (st.IsNotFound()) break;
+    if (st.IsCorruption()) {
+      if (!is_last) {
+        // Sealed segments are immutable after rotation; mid-log damage
+        // cannot be a torn append and silently dropping it would lose
+        // acknowledged records that later segments build on.
+        return Status::Corruption("sealed segment " + path + ": " +
+                                  st.message());
       }
-      I2MR_RETURN_IF_ERROR(st);
-      // Sequence numbers must be strictly increasing; a regression means
-      // the file was tampered with or mis-assembled.
-      if (!records_.empty() && rec.seq <= records_.back().seq) {
-        return Status::Corruption("log sequence regression");
+      // Torn tail (crash mid-append) or garbled bytes on the active
+      // segment: keep the valid prefix, truncate the rest so the next
+      // append starts clean.
+      recovery_.discarded_bytes += data->size() - pos;
+      LOG_WARN << "delta log " << path << ": discarding "
+               << data->size() - pos << " tail bytes (" << st.message()
+               << ")";
+      if (::truncate(path.c_str(), static_cast<off_t>(pos)) != 0) {
+        return Status::IOError("truncate " + path);
       }
-      records_.push_back(std::move(rec));
-      recovery_.valid_bytes = pos;
+      break;
     }
-    recovery_.records = records_.size();
-    if (!records_.empty()) next_seq_ = records_.back().seq + 1;
+    I2MR_RETURN_IF_ERROR(st);
+    // Sequence numbers must be strictly increasing across the whole log; a
+    // regression means the files were tampered with or mis-assembled.
+    if (rec.seq <= std::max(prev_max, *last_seq)) {
+      return Status::Corruption("log sequence regression in " + path);
+    }
+    *last_seq = rec.seq;
+    ++*nrecords;
+    // Records at or below the durable purge mark were consumed by a
+    // committed epoch; they stay on disk until their segment retires but
+    // never re-enter the index.
+    if (rec.seq > purge_watermark_) records_.push_back(std::move(rec));
   }
-  auto f = WritableFile::Create(path_, /*append=*/true);
+  recovery_.valid_bytes += pos;
+  return Status::OK();
+}
+
+Status DeltaLog::Recover() {
+  // Orphans from crashed maintenance: the legacy purge rewrite temp and a
+  // half-written PURGE mark are never authoritative.
+  if (FileExists(JoinPath(dir_, std::string(kLegacyLog) + ".purge"))) {
+    I2MR_RETURN_IF_ERROR(
+        RemoveAll(JoinPath(dir_, std::string(kLegacyLog) + ".purge")));
+  }
+  if (FileExists(JoinPath(dir_, std::string(kPurgeFile) + ".tmp"))) {
+    I2MR_RETURN_IF_ERROR(
+        RemoveAll(JoinPath(dir_, std::string(kPurgeFile) + ".tmp")));
+  }
+  if (FileExists(JoinPath(dir_, kPurgeFile))) {
+    I2MR_RETURN_IF_ERROR(
+        ReadPurgeMark(JoinPath(dir_, kPurgeFile), &purge_watermark_));
+  }
+  I2MR_RETURN_IF_ERROR(MigrateLegacyLog());
+
+  auto files = ListFiles(dir_);
+  if (!files.ok()) return files.status();
+  std::vector<std::string> segs;
+  for (const auto& f : *files) {
+    if (IsSegmentPath(f)) segs.push_back(f);  // ListFiles returns sorted
+  }
+
+  uint64_t max_seq = 0;
+  std::vector<std::string> retire;  // fully consumed: finish the purge
+  for (size_t i = 0; i < segs.size(); ++i) {
+    uint64_t seg_last = 0, seg_records = 0;
+    I2MR_RETURN_IF_ERROR(
+        ScanSegment(segs[i], /*is_last=*/i + 1 == segs.size(), max_seq,
+                    &seg_last, &seg_records));
+    ++recovery_.segments;
+    max_seq = std::max(max_seq, seg_last);
+    bool consumed = seg_records > 0 && seg_last <= purge_watermark_;
+    bool empty_sealed = seg_records == 0 && i + 1 < segs.size();
+    if (consumed || empty_sealed) {
+      // A crash between the PURGE mark landing and the unlink leaves the
+      // consumed segment behind; retire it now, completing the purge.
+      retire.push_back(segs[i]);
+    } else if (i + 1 == segs.size()) {
+      active_path_ = segs[i];
+      active_last_seq_ = seg_last;
+      active_records_ = seg_records;
+    } else {
+      sealed_.push_back(SegmentInfo{segs[i], seg_last, seg_records});
+    }
+  }
+  recovery_.records = records_.size();
+  next_seq_ = std::max(max_seq, purge_watermark_) + 1;
+
+  for (const auto& path : retire) {
+    I2MR_RETURN_IF_ERROR(RetireSegmentFile(path));
+  }
+
+  if (active_path_.empty()) {
+    active_path_ = JoinPath(dir_, DeltaLogSegmentName(next_seq_));
+    active_last_seq_ = 0;
+    active_records_ = 0;
+  }
+  auto f = WritableFile::Create(active_path_, /*append=*/true);
   if (!f.ok()) return f.status();
   file_ = std::move(f.value());
+  if (options_.durability == DurabilityMode::kPowerFailure) {
+    // The active segment's directory entry (and any retirements above)
+    // must survive power loss before appends are acknowledged against it.
+    I2MR_RETURN_IF_ERROR(SyncDir(dir_));
+  }
   return Status::OK();
 }
 
 void DeltaLog::EnsureNextSeqAfter(uint64_t seq) {
   std::lock_guard<std::mutex> lock(mu_);
   if (next_seq_ <= seq) next_seq_ = seq + 1;
+}
+
+bool DeltaLog::SimulateCrashLocked(const char* stage) {
+  if (!options_.crash_hook || !options_.crash_hook(stage)) return false;
+  LOG_WARN << "delta log " << dir_ << ": simulated crash at stage '" << stage
+           << "'";
+  if (file_ != nullptr) {
+    file_->Close().ok();
+    file_.reset();  // "process died": refuse further appends until reopen
+  }
+  return true;
+}
+
+Status DeltaLog::RotateLocked() {
+  if (options_.durability == DurabilityMode::kPowerFailure) {
+    I2MR_RETURN_IF_ERROR(file_->Sync());
+  }
+  Status sealed = file_->Close();
+  file_.reset();
+  if (!sealed.ok()) return sealed;
+  sealed_.push_back(
+      SegmentInfo{active_path_, active_last_seq_, active_records_});
+
+  if (SimulateCrashLocked("rotate")) {
+    return Status::Aborted("simulated crash between seal and new segment");
+  }
+
+  active_path_ = JoinPath(dir_, DeltaLogSegmentName(next_seq_));
+  active_last_seq_ = 0;
+  active_records_ = 0;
+  auto f = WritableFile::Create(active_path_);
+  if (!f.ok()) return f.status();
+  file_ = std::move(f.value());
+  if (options_.durability == DurabilityMode::kPowerFailure) {
+    I2MR_RETURN_IF_ERROR(SyncDir(dir_));
+  }
+  return Status::OK();
 }
 
 Status DeltaLog::AppendLocked(const DeltaKV& delta, uint64_t* seq) {
@@ -138,22 +294,27 @@ Status DeltaLog::AppendLocked(const DeltaKV& delta, uint64_t* seq) {
   EncodeLogRecord(*seq, delta, &frame);
   I2MR_RETURN_IF_ERROR(file_->Append(frame));
   records_.push_back(SeqDelta{*seq, delta});
+  active_last_seq_ = *seq;
+  ++active_records_;
   return Status::OK();
 }
 
 Status DeltaLog::RollbackLocked(uint64_t file_offset, size_t record_count,
-                                uint64_t next_seq) {
+                                uint64_t next_seq, uint64_t active_last_seq,
+                                uint64_t active_records) {
   // Undo a partially applied append group: truncate the file back to the
   // pre-group offset and drop the in-memory records, so a failed call
   // leaves nothing behind that a later drain could apply (the caller was
   // told the whole group failed and may retry it).
   records_.resize(record_count);
   next_seq_ = next_seq;
+  active_last_seq_ = active_last_seq;
+  active_records_ = active_records;
   file_.reset();  // close before truncating under the handle
-  if (::truncate(path_.c_str(), static_cast<off_t>(file_offset)) != 0) {
-    return Status::IOError("rollback truncate " + path_);
+  if (::truncate(active_path_.c_str(), static_cast<off_t>(file_offset)) != 0) {
+    return Status::IOError("rollback truncate " + active_path_);
   }
-  auto f = WritableFile::Create(path_, /*append=*/true);
+  auto f = WritableFile::Create(active_path_, /*append=*/true);
   if (!f.ok()) return f.status();
   file_ = std::move(f.value());
   return Status::OK();
@@ -178,22 +339,46 @@ StatusOr<uint64_t> DeltaLog::AppendBatch(const std::vector<DeltaKV>& deltas) {
   const uint64_t start_offset = file_->offset();
   const size_t start_records = records_.size();
   const uint64_t start_next_seq = next_seq_;
+  const uint64_t start_active_last_seq = active_last_seq_;
+  const uint64_t start_active_records = active_records_;
   uint64_t seq = next_seq_ - 1;
   Status st;
   for (const auto& d : deltas) {
     st = AppendLocked(d, &seq);
     if (!st.ok()) break;
   }
-  if (st.ok() && !deltas.empty()) st = file_->Flush();
+  if (st.ok() && !deltas.empty()) {
+    st = options_.durability == DurabilityMode::kPowerFailure ? file_->Sync()
+                                                              : file_->Flush();
+  }
   if (!st.ok()) {
     // The same holds for I/O failures mid-group: roll the partial group
     // back so the error return is truthful.
-    Status rb = RollbackLocked(start_offset, start_records, start_next_seq);
+    Status rb = RollbackLocked(start_offset, start_records, start_next_seq,
+                               start_active_last_seq, start_active_records);
     if (!rb.ok()) {
-      LOG_WARN << "delta log " << path_ << ": rollback after failed append "
-               << "also failed (" << rb.ToString() << "); log closed";
+      LOG_WARN << "delta log " << active_path_
+               << ": rollback after failed append also failed ("
+               << rb.ToString() << "); log closed";
     }
     return st;
+  }
+  if (file_->offset() >= options_.segment_bytes) {
+    Status rotated = RotateLocked();
+    if (!rotated.ok()) {
+      if (rotated.code() == Status::Code::kAborted) {
+        // Simulated process death at the rotation boundary: nothing
+        // observes this return value (the "process" is gone).
+        return rotated;
+      }
+      // The batch IS durable: reporting a rotation failure as an append
+      // failure would invite a retry that double-applies it. Absorb the
+      // error — a wedged rotation either left the old active segment
+      // usable (retried on the next batch) or closed the log, surfacing
+      // as FailedPrecondition on the next append.
+      LOG_WARN << "delta log " << dir_ << ": rotation failed ("
+               << rotated.ToString() << "); batch already durable";
+    }
   }
   return seq;
 }
@@ -209,59 +394,71 @@ std::vector<SeqDelta> DeltaLog::ReadRange(uint64_t after, uint64_t upto) const {
   return std::vector<SeqDelta>(lo, hi);
 }
 
-Status DeltaLog::PurgeThrough(uint64_t watermark) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (records_.empty() || records_.front().seq > watermark) {
-    return Status::OK();
-  }
-  auto keep = std::upper_bound(
-      records_.begin(), records_.end(), watermark,
-      [](uint64_t s, const SeqDelta& r) { return s < r.seq; });
-  std::vector<SeqDelta> live(keep, records_.end());
+Status DeltaLog::WritePurgeMarkLocked() {
+  std::string payload;
+  PutFixed64(&payload, purge_watermark_);
+  std::string data = payload;
+  PutFixed32(&data, Crc32(payload));
+  std::string path = JoinPath(dir_, kPurgeFile);
+  std::string tmp = path + ".tmp";
+  const bool sync = options_.durability == DurabilityMode::kPowerFailure;
+  I2MR_RETURN_IF_ERROR(WriteStringToFile(tmp, data, sync));
+  I2MR_RETURN_IF_ERROR(RenameFile(tmp, path));
+  if (sync) I2MR_RETURN_IF_ERROR(SyncDir(dir_));
+  return Status::OK();
+}
 
-  // Rewrite the live suffix to a temp file and swap it in, so a crash
-  // mid-purge leaves either the old or the new log, never a mix.
-  std::string tmp = path_ + ".purge";
+Status DeltaLog::RetireSegmentFile(const std::string& path) {
+  if (!options_.archive_purged) return RemoveAll(path);
+  std::string archive = JoinPath(dir_, kArchiveDir);
+  I2MR_RETURN_IF_ERROR(CreateDirs(archive));
+  size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return RenameFile(path, JoinPath(archive, base));
+}
+
+Status DeltaLog::PurgeThrough(uint64_t watermark) {
+  // Everything O(live) or slower happens inside this block, but it is all
+  // in-memory + an O(1) mark write; the per-segment file retirement below
+  // runs outside the mutex so concurrent appends never stall on it.
+  std::vector<std::string> consumed;
   {
-    auto w = WritableFile::Create(tmp);
-    if (!w.ok()) return w.status();
-    Status written = [&]() -> Status {
-      std::string frame;
-      for (const auto& rec : live) {
-        frame.clear();
-        EncodeLogRecord(rec.seq, rec.delta, &frame);
-        I2MR_RETURN_IF_ERROR((*w)->Append(frame));
-      }
-      return (*w)->Close();
-    }();
-    if (!written.ok()) {
-      RemoveAll(tmp).ok();  // don't leak the half-written temp file
-      return written;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (watermark <= purge_watermark_) return Status::OK();
+    if (records_.empty() || records_.front().seq > watermark) {
+      return Status::OK();
+    }
+    auto keep = std::upper_bound(
+        records_.begin(), records_.end(), watermark,
+        [](uint64_t s, const SeqDelta& r) { return s < r.seq; });
+    records_.erase(records_.begin(), keep);
+
+    // A fully consumed active segment would otherwise pin its bytes until
+    // organic rotation; seal it now so it can retire with the rest.
+    if (file_ != nullptr && active_records_ > 0 &&
+        active_last_seq_ <= watermark) {
+      I2MR_RETURN_IF_ERROR(RotateLocked());
+    }
+    size_t n = 0;
+    while (n < sealed_.size() && sealed_[n].last_seq <= watermark) ++n;
+    for (size_t i = 0; i < n; ++i) consumed.push_back(sealed_[i].path);
+    sealed_.erase(sealed_.begin(), sealed_.begin() + n);
+
+    // The mark must be durable before any file disappears: recovery uses
+    // it both to drop consumed records still on disk and to finish an
+    // interrupted retirement.
+    purge_watermark_ = watermark;
+    I2MR_RETURN_IF_ERROR(WritePurgeMarkLocked());
+
+    if (SimulateCrashLocked("purge-marked")) {
+      return Status::Aborted("simulated crash before segment retirement");
     }
   }
-  if (file_ != nullptr) {
-    Status closed = file_->Close();
-    // Always drop the handle: Close() clears its FILE* even on failure, so
-    // keeping file_ around would let the next append fwrite into nullptr.
-    file_.reset();
-    if (!closed.ok()) {
-      RemoveAll(tmp).ok();
-      return closed;
-    }
+
+  for (const auto& path : consumed) {
+    I2MR_RETURN_IF_ERROR(RetireSegmentFile(path));
   }
-  Status renamed = RenameFile(tmp, path_);
-  if (!renamed.ok()) {
-    // Keep the log usable: reopen the (unchanged) old file so a transient
-    // rename failure doesn't permanently brick ingestion.
-    RemoveAll(tmp).ok();
-    auto reopen = WritableFile::Create(path_, /*append=*/true);
-    if (reopen.ok()) file_ = std::move(reopen.value());
-    return renamed;
-  }
-  auto f = WritableFile::Create(path_, /*append=*/true);
-  if (!f.ok()) return f.status();
-  file_ = std::move(f.value());
-  records_ = std::move(live);
   return Status::OK();
 }
 
@@ -273,6 +470,21 @@ uint64_t DeltaLog::last_seq() const {
 uint64_t DeltaLog::live_records() const {
   std::lock_guard<std::mutex> lock(mu_);
   return records_.size();
+}
+
+uint64_t DeltaLog::segment_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_.size() + 1;
+}
+
+uint64_t DeltaLog::purge_watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return purge_watermark_;
+}
+
+std::string DeltaLog::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_path_;
 }
 
 Status DeltaLog::Close() {

@@ -6,16 +6,32 @@
 //   [u32 magic][u32 payload_len][payload][u32 crc32-of-payload]
 //   payload = [u64 seq][u8 op][u32 klen][key][u32 vlen][value]
 //
-// Open() recovers by scanning the file front to back: the longest valid
-// prefix wins, and a torn or garbled tail (partial frame, bad magic, CRC
-// mismatch) is truncated away so the next append lands on a clean boundary.
+// The log is *segmented* (LSM/WAL-style): appends go to the active
+// `seg-<firstseq>.dat`; once it reaches `segment_bytes` it is sealed
+// (immutable from then on) and a new active segment is opened. On disk:
+//
+//   <dir>/seg-00000000000000000001.dat   sealed
+//   <dir>/seg-00000000000000004096.dat   sealed
+//   <dir>/seg-00000000000000008192.dat   active (tail may be torn)
+//   <dir>/PURGE                          highest purged watermark (crc'd)
+//   <dir>/archive/seg-*.dat              consumed segments (archival mode)
+//
+// Open() recovers by scanning segments in sequence order: a torn or garbled
+// tail is truncated away only on the *last* segment (a crash mid-append);
+// damage inside a sealed segment is real corruption and fails the open.
 // Records stay in an in-memory index ordered by sequence number, so readers
-// (epoch drains, lag probes) never touch the file; PurgeThrough() drops the
-// consumed prefix once a pipeline epoch has durably committed its watermark.
+// (epoch drains, lag probes) never touch the files.
+//
+// PurgeThrough() is O(segments), not O(live bytes): it durably bumps the
+// PURGE watermark, then unlinks (or archives) fully consumed segments
+// outside the log mutex — appends never stall behind a purge, and live
+// records are never rewritten. Consumed records inside a partially consumed
+// segment cost only their disk bytes until that segment retires.
 #ifndef I2MR_PIPELINE_DELTA_LOG_H_
 #define I2MR_PIPELINE_DELTA_LOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,17 +49,42 @@ struct SeqDelta {
   DeltaKV delta;
 };
 
+struct DeltaLogOptions {
+  /// Rotation threshold: the active segment is sealed once it holds at
+  /// least this many bytes (a large batch may overshoot by its own size).
+  uint64_t segment_bytes = 4ull << 20;
+
+  /// Move fully consumed segments into `<dir>/archive/` instead of
+  /// unlinking them (cold storage for replay/debugging; never re-read).
+  bool archive_purged = false;
+
+  /// kProcessCrash: appends are flushed to the OS. kPowerFailure: appends,
+  /// rotation and the PURGE mark are fsync'd before success is reported.
+  DurabilityMode durability = DurabilityMode::kProcessCrash;
+
+  /// Test hook simulating process death at a segment boundary: return true
+  /// to abandon the operation at the given stage ("rotate" — the old
+  /// active was sealed but no new segment exists yet; "purge-marked" — the
+  /// PURGE watermark is durable but consumed segments are not yet
+  /// retired). The log then refuses further appends until reopened.
+  std::function<bool(const std::string& stage)> crash_hook;
+};
+
 class DeltaLog {
  public:
   /// What the recovery scan found on open.
   struct RecoveryStats {
-    uint64_t records = 0;         // valid records recovered
-    uint64_t valid_bytes = 0;     // length of the valid prefix
+    uint64_t records = 0;         // live records recovered (post-purge)
+    uint64_t segments = 0;        // segment files scanned
+    uint64_t valid_bytes = 0;     // total length of the valid prefixes
     uint64_t discarded_bytes = 0; // torn/garbled tail truncated away
   };
 
-  /// Open (or create) the log backed by `dir`/log.dat, recovering by scan.
-  static StatusOr<std::unique_ptr<DeltaLog>> Open(const std::string& dir);
+  /// Open (or create) the log backed by segment files under `dir`,
+  /// recovering by scan. A legacy single-file `log.dat` is migrated to a
+  /// segment in place.
+  static StatusOr<std::unique_ptr<DeltaLog>> Open(const std::string& dir,
+                                                  DeltaLogOptions options = {});
 
   ~DeltaLog();
   DeltaLog(const DeltaLog&) = delete;
@@ -56,11 +97,9 @@ class DeltaLog {
   /// consumed and be silently skipped.
   void EnsureNextSeqAfter(uint64_t seq);
 
-  /// Append one update; the record is flushed to the OS when this returns,
-  /// so it survives process death (the durability model throughout this
-  /// subsystem — surviving kernel/power failure would need fsync on the
-  /// log, MANIFEST and CURRENT writes; see ROADMAP). Returns the assigned
-  /// sequence number. Fails with InvalidArgument when a field exceeds
+  /// Append one update; the record is flushed to the OS (and fsync'd in
+  /// kPowerFailure mode) when this returns. Returns the assigned sequence
+  /// number. Fails with InvalidArgument when a field exceeds
   /// kMaxRecordFieldLen (the recovery scan would reject the frame as
   /// corrupt, losing everything after it).
   StatusOr<uint64_t> Append(const DeltaKV& delta);
@@ -72,7 +111,8 @@ class DeltaLog {
   std::vector<SeqDelta> ReadRange(uint64_t after, uint64_t upto) const;
 
   /// Drop every record with seq <= `watermark` (consumed by a committed
-  /// epoch): rewrites the live suffix to a temp file and renames it in.
+  /// epoch). Durably records the watermark, then retires fully consumed
+  /// segments outside the log mutex — O(segments), no live-byte rewrite.
   Status PurgeThrough(uint64_t watermark);
 
   /// Highest assigned sequence number (0 when nothing was ever appended).
@@ -81,30 +121,69 @@ class DeltaLog {
   /// Number of records currently retained (post-purge).
   uint64_t live_records() const;
 
+  /// Segment files currently backing the log (sealed + active).
+  uint64_t segment_files() const;
+
+  /// Highest durably purged watermark (0 when never purged).
+  uint64_t purge_watermark() const;
+
   const RecoveryStats& recovery_stats() const { return recovery_; }
-  const std::string& path() const { return path_; }
+  /// Path of the active (appendable) segment.
+  std::string path() const;
+  const std::string& dir() const { return dir_; }
 
   Status Close();
 
  private:
-  explicit DeltaLog(std::string path) : path_(std::move(path)) {}
+  struct SegmentInfo {
+    std::string path;
+    uint64_t last_seq = 0;  // highest seq it holds (0 = empty)
+    uint64_t records = 0;
+  };
+
+  explicit DeltaLog(std::string dir, DeltaLogOptions options)
+      : dir_(std::move(dir)), options_(std::move(options)) {}
 
   Status Recover();
+  Status MigrateLegacyLog();
+  /// Scan one segment file; appends live records to records_. Fills
+  /// *last_seq / *nrecords with what the segment holds. `is_last` enables
+  /// torn-tail truncation; `prev_max` is the highest seq of any earlier
+  /// segment (cross-segment monotonicity check).
+  Status ScanSegment(const std::string& path, bool is_last, uint64_t prev_max,
+                     uint64_t* last_seq, uint64_t* nrecords);
   Status AppendLocked(const DeltaKV& delta, uint64_t* seq);
   /// Undo a partially applied append group (truncate + drop records).
   Status RollbackLocked(uint64_t file_offset, size_t record_count,
-                        uint64_t next_seq);
+                        uint64_t next_seq, uint64_t active_last_seq,
+                        uint64_t active_records);
+  /// Seal the active segment and open a fresh one named after next_seq_.
+  Status RotateLocked();
+  /// Durably record purge_watermark_ in <dir>/PURGE (tmp + rename).
+  Status WritePurgeMarkLocked();
+  /// Unlink or archive a fully consumed segment file.
+  Status RetireSegmentFile(const std::string& path);
+  bool SimulateCrashLocked(const char* stage);
 
-  const std::string path_;
+  const std::string dir_;
+  const DeltaLogOptions options_;
   mutable std::mutex mu_;
-  std::unique_ptr<WritableFile> file_;
-  std::vector<SeqDelta> records_;  // ordered by seq (the in-memory index)
+  std::unique_ptr<WritableFile> file_;  // active segment
+  std::string active_path_;
+  uint64_t active_last_seq_ = 0;
+  uint64_t active_records_ = 0;
+  std::vector<SegmentInfo> sealed_;     // in sequence order
+  std::vector<SeqDelta> records_;       // ordered by seq (in-memory index)
   uint64_t next_seq_ = 1;
+  uint64_t purge_watermark_ = 0;
   RecoveryStats recovery_;
 };
 
 /// Frame one record (appends to *out). Exposed for tests and tools.
 void EncodeLogRecord(uint64_t seq, const DeltaKV& delta, std::string* out);
+
+/// Segment file name for a first sequence number ("seg-<20-digit-seq>.dat").
+std::string DeltaLogSegmentName(uint64_t first_seq);
 
 }  // namespace i2mr
 

@@ -7,10 +7,14 @@
 // refreshed state *atomically with* the consumed watermark:
 //
 //   pipeline/<name>/
-//     log/log.dat        durable delta log (CRC32-framed, recovery-by-scan)
+//     log/seg-*.dat      segmented durable delta log (CRC32-framed,
+//                        recovery-by-scan, O(segments) purge, optional
+//                        archive/)
 //     epoch-<E>/         committed snapshot: per-partition structure/state/
-//                        MRBG files + serving.dat (ResultStore) + MANIFEST
-//                        (epoch, watermark, CRC)
+//                        MRBG files (hard-linked from the engine's working
+//                        dirs — O(1) per file; copied only cross-device) +
+//                        serving.dat (ResultStore) + MANIFEST (epoch,
+//                        watermark, CRC)
 //     CURRENT            names the committed epoch dir (tmp+rename swap)
 //
 // The commit is the CURRENT rename: a crash at any earlier point (mid-drain,
@@ -46,6 +50,17 @@ struct PipelineOptions {
 
   /// Incremental engine options (CPC threshold, MRBG maintenance, ...).
   IncrIterOptions engine;
+
+  /// Delta-log layout knobs (segment rotation threshold, archival). The
+  /// log's durability field is overridden by `durability` below so the log
+  /// and the commit path always promise the same thing.
+  DeltaLogOptions log;
+
+  /// kProcessCrash (default): appends/commits reach the OS and survive
+  /// process death. kPowerFailure: the delta log, epoch MANIFEST and
+  /// CURRENT swap are fsync'd — acknowledged appends and committed epochs
+  /// survive kernel panic / power loss.
+  DurabilityMode durability = DurabilityMode::kProcessCrash;
 
   /// Epoch trigger: ready once this many deltas are pending.
   uint64_t min_batch = 1;
@@ -126,6 +141,8 @@ class Pipeline {
   uint64_t committed_epoch() const { return committed_epoch_.load(); }
   uint64_t committed_watermark() const { return committed_watermark_.load(); }
   const std::string& name() const { return name_; }
+  /// Effective options (after Open's name override and any manager floor).
+  const PipelineOptions& options() const { return options_; }
   DeltaLog* log() { return log_.get(); }
   IncrementalIterativeEngine* engine() { return engine_.get(); }
 

@@ -63,6 +63,9 @@ StatusOr<Pipeline*> PipelineManager::Register(const std::string& name,
       return Status::AlreadyExists("pipeline " + name + " already registered");
     }
   }
+  if (options.durability < options_.durability) {
+    options.durability = options_.durability;  // manager-wide floor
+  }
   auto pipeline = Pipeline::Open(cluster_, name, std::move(options));
   if (!pipeline.ok()) return pipeline.status();
   auto entry = std::make_unique<Entry>();

@@ -56,6 +56,11 @@ struct PipelineManagerOptions {
 
   /// Background poll cadence for Start().
   double poll_interval_ms = 10;
+
+  /// Durability floor for every registered pipeline: Register() raises a
+  /// pipeline's mode to at least this (a pipeline may ask for stricter
+  /// durability than the deployment default, never weaker).
+  DurabilityMode durability = DurabilityMode::kProcessCrash;
 };
 
 class PipelineManager {

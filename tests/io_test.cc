@@ -37,6 +37,59 @@ TEST_F(IoTest, WriteReadString) {
   auto sz = FileSize(Path("f"));
   ASSERT_TRUE(sz.ok());
   EXPECT_EQ(*sz, 11u);
+  // The synced variant lands the same bytes (fsync path exercised).
+  ASSERT_TRUE(WriteStringToFile(Path("f"), "synced", /*sync=*/true).ok());
+  auto synced = ReadFileToString(Path("f"));
+  ASSERT_TRUE(synced.ok());
+  EXPECT_EQ(*synced, "synced");
+}
+
+TEST_F(IoTest, LinkOrCopyFileSharesContentAndReplacesTarget) {
+  ASSERT_TRUE(WriteStringToFile(Path("src"), "snapshot me").ok());
+  ASSERT_TRUE(LinkOrCopyFile(Path("src"), Path("dst")).ok());
+  auto got = ReadFileToString(Path("dst"));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "snapshot me");
+  // An existing target is replaced, not EEXIST-failed.
+  ASSERT_TRUE(WriteStringToFile(Path("src2"), "v2").ok());
+  ASSERT_TRUE(LinkOrCopyFile(Path("src2"), Path("dst")).ok());
+  auto got2 = ReadFileToString(Path("dst"));
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(*got2, "v2");
+}
+
+TEST_F(IoTest, RewritesUseFreshInodesSoHardLinkedSnapshotsKeepTheirBytes) {
+  // The epoch-snapshot contract: after hard-linking a committed file,
+  // rewriting the original path must NOT change the snapshot's bytes.
+  ASSERT_TRUE(WriteStringToFile(Path("work"), "epoch-1 state").ok());
+  ASSERT_TRUE(LinkOrCopyFile(Path("work"), Path("snap")).ok());
+
+  // Rewrite via WritableFile::Create (the RecordWriter/DeltaWriter path).
+  auto w = WritableFile::Create(Path("work"));
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Append("epoch-2 state, longer").ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  auto snap = ReadFileToString(Path("snap"));
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(*snap, "epoch-1 state");
+
+  // Rewrite via WriteStringToFile (the MANIFEST / chunk-index path).
+  ASSERT_TRUE(LinkOrCopyFile(Path("work"), Path("snap2")).ok());
+  ASSERT_TRUE(WriteStringToFile(Path("work"), "epoch-3").ok());
+  auto snap2 = ReadFileToString(Path("snap2"));
+  ASSERT_TRUE(snap2.ok());
+  EXPECT_EQ(*snap2, "epoch-2 state, longer");
+}
+
+TEST_F(IoTest, SyncPrimitivesSucceedOnHealthyFiles) {
+  auto w = WritableFile::Create(Path("s"));
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Append("abc").ok());
+  EXPECT_TRUE((*w)->Sync().ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  EXPECT_TRUE(SyncFile(Path("s")).ok());
+  EXPECT_TRUE(SyncDir(dir_).ok());
+  EXPECT_FALSE(SyncFile(Path("no-such-file")).ok());
 }
 
 TEST_F(IoTest, ListFilesSorted) {

@@ -175,6 +175,247 @@ TEST_F(DeltaLogTest, AppendBatchIsAllOrNothingOnOversizedRecord) {
 }
 
 // ---------------------------------------------------------------------------
+// Segmented log: rotation, purge retirement, archival, boundary crashes
+// ---------------------------------------------------------------------------
+
+// ~34-byte frames + a 100-byte threshold → a rotation every 3 records.
+DeltaLogOptions SmallSegments(uint64_t segment_bytes = 100) {
+  DeltaLogOptions options;
+  options.segment_bytes = segment_bytes;
+  return options;
+}
+
+std::vector<std::string> SegmentFilesIn(const std::string& dir) {
+  auto files = ListFiles(dir);
+  std::vector<std::string> segs;
+  if (!files.ok()) return segs;
+  for (const auto& f : *files) {
+    if (f.find("/seg-") != std::string::npos &&
+        f.compare(f.size() - 4, 4, ".dat") == 0) {
+      segs.push_back(f);
+    }
+  }
+  return segs;
+}
+
+Status AppendN(DeltaLog* log, int n, int start = 0) {
+  for (int i = start; i < start + n; ++i) {
+    auto seq = log->Append(DeltaKV{DeltaOp::kInsert, "k" + std::to_string(i), "v"});
+    if (!seq.ok()) return seq.status();
+  }
+  return Status::OK();
+}
+
+TEST_F(DeltaLogTest, RotationSealsSegmentsAndRecoveryScansAllInOrder) {
+  {
+    auto log = DeltaLog::Open(dir_, SmallSegments());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(AppendN(log->get(), 10).ok());
+    EXPECT_GE((*log)->segment_files(), 3u);  // rotated at least twice
+    ASSERT_TRUE((*log)->Close().ok());
+  }
+  EXPECT_GE(SegmentFilesIn(dir_).size(), 3u);
+
+  auto log = DeltaLog::Open(dir_, SmallSegments());
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ((*log)->recovery_stats().records, 10u);
+  EXPECT_GE((*log)->recovery_stats().segments, 3u);
+  EXPECT_EQ((*log)->recovery_stats().discarded_bytes, 0u);
+  EXPECT_EQ((*log)->last_seq(), 10u);
+  auto all = (*log)->ReadRange(0, UINT64_MAX);
+  ASSERT_EQ(all.size(), 10u);
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].seq, i + 1);
+
+  // Torn tail on the *last* (active) segment only: truncated away, every
+  // sealed segment's records survive.
+  std::string active = (*log)->path();
+  ASSERT_TRUE((*log)->Close().ok());
+  auto data = ReadFileToString(active);
+  ASSERT_TRUE(data.ok());
+  ASSERT_FALSE(data->empty());  // 10 records at 3/segment leave 1 in active
+  ASSERT_TRUE(WriteStringToFile(active, data->substr(0, data->size() - 5)).ok());
+  auto torn = DeltaLog::Open(dir_, SmallSegments());
+  ASSERT_TRUE(torn.ok()) << torn.status().ToString();
+  EXPECT_EQ((*torn)->recovery_stats().records, 9u);
+  EXPECT_GT((*torn)->recovery_stats().discarded_bytes, 0u);
+}
+
+TEST_F(DeltaLogTest, CorruptionInsideSealedSegmentFailsOpen) {
+  {
+    auto log = DeltaLog::Open(dir_, SmallSegments());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(AppendN(log->get(), 10).ok());
+    ASSERT_TRUE((*log)->Close().ok());
+  }
+  auto segs = SegmentFilesIn(dir_);
+  ASSERT_GE(segs.size(), 3u);
+  // Damage in a sealed (non-last) segment is not a torn append: silently
+  // truncating it would drop acknowledged records the later segments
+  // build on, so the open must fail loudly instead.
+  auto data = ReadFileToString(segs.front());
+  ASSERT_TRUE(data.ok());
+  std::string flipped = *data;
+  flipped[12] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFile(segs.front(), flipped).ok());
+  auto log = DeltaLog::Open(dir_, SmallSegments());
+  EXPECT_FALSE(log.ok());
+  EXPECT_TRUE(log.status().IsCorruption());
+}
+
+TEST_F(DeltaLogTest, PurgeRetiresWholeSegmentsAndSurvivesReopen) {
+  auto log = DeltaLog::Open(dir_, SmallSegments());
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(AppendN(log->get(), 10).ok());
+  size_t before = SegmentFilesIn(dir_).size();
+  ASSERT_GE(before, 3u);
+
+  // seqs 1..6 span the first two sealed segments exactly (3 per segment).
+  ASSERT_TRUE((*log)->PurgeThrough(6).ok());
+  EXPECT_EQ((*log)->live_records(), 4u);
+  EXPECT_EQ((*log)->purge_watermark(), 6u);
+  EXPECT_LT(SegmentFilesIn(dir_).size(), before);  // files actually gone
+  auto rest = (*log)->ReadRange(0, UINT64_MAX);
+  ASSERT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest.front().seq, 7u);
+
+  // The purge is durable: a reopen must not resurrect consumed records
+  // still sitting in a partially consumed segment.
+  ASSERT_TRUE((*log)->Close().ok());
+  auto reopened = DeltaLog::Open(dir_, SmallSegments());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->live_records(), 4u);
+  EXPECT_EQ((*reopened)->last_seq(), 10u);
+  EXPECT_EQ((*reopened)->ReadRange(0, UINT64_MAX).front().seq, 7u);
+
+  // Purging everything retires even the active segment's records; the
+  // sequence still never restarts.
+  ASSERT_TRUE((*reopened)->PurgeThrough(10).ok());
+  EXPECT_EQ((*reopened)->live_records(), 0u);
+  auto seq = (*reopened)->Append(DeltaKV{DeltaOp::kInsert, "x", "y"});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 11u);
+}
+
+TEST_F(DeltaLogTest, ArchivalMovesConsumedSegmentsInsteadOfUnlinking) {
+  DeltaLogOptions options = SmallSegments();
+  options.archive_purged = true;
+  auto log = DeltaLog::Open(dir_, options);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(AppendN(log->get(), 10).ok());
+  ASSERT_TRUE((*log)->PurgeThrough(8).ok());
+
+  auto archived = ListFiles(JoinPath(dir_, "archive"));
+  ASSERT_TRUE(archived.ok());
+  EXPECT_EQ(archived->size(), 2u);  // segments 1-4 and 5-8, both consumed
+  // Archived segments are out of the live log: recovery ignores them.
+  ASSERT_TRUE((*log)->Close().ok());
+  auto reopened = DeltaLog::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->live_records(), 2u);
+  EXPECT_EQ((*reopened)->last_seq(), 10u);
+}
+
+TEST_F(DeltaLogTest, CrashBetweenSealAndNewSegmentLosesNothing) {
+  {
+    // 90-byte threshold: the third 32-byte frame crosses it.
+    DeltaLogOptions options = SmallSegments(90);
+    options.crash_hook = [](const std::string& stage) {
+      return stage == "rotate";
+    };
+    auto log = DeltaLog::Open(dir_, options);
+    ASSERT_TRUE(log.ok());
+    // The third append crosses the threshold; its rotation "dies" after
+    // sealing the old active segment, before the new one exists.
+    ASSERT_TRUE((*log)->Append(DeltaKV{DeltaOp::kInsert, "k0", "v"}).ok());
+    ASSERT_TRUE((*log)->Append(DeltaKV{DeltaOp::kInsert, "k1", "v"}).ok());
+    auto third = (*log)->Append(DeltaKV{DeltaOp::kInsert, "k2", "v"});
+    EXPECT_FALSE(third.ok());  // simulated crash (the record IS durable)
+    // The "dead process" accepts nothing more.
+    EXPECT_FALSE((*log)->Append(DeltaKV{DeltaOp::kInsert, "k3", "v"}).ok());
+  }
+  // Restart: all three acknowledged records recovered, appends continue.
+  auto log = DeltaLog::Open(dir_, SmallSegments());
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ((*log)->recovery_stats().records, 3u);
+  EXPECT_EQ((*log)->last_seq(), 3u);
+  auto seq = (*log)->Append(DeltaKV{DeltaOp::kInsert, "k3", "v"});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 4u);
+}
+
+TEST_F(DeltaLogTest, CrashMidPurgeAfterMarkIsCompletedOnReopen) {
+  {
+    DeltaLogOptions options = SmallSegments();
+    options.crash_hook = [](const std::string& stage) {
+      return stage == "purge-marked";
+    };
+    auto log = DeltaLog::Open(dir_, options);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(AppendN(log->get(), 10).ok());
+    // Dies after the PURGE mark is durable, before any segment is
+    // unlinked: consumed segment files remain on disk.
+    EXPECT_FALSE((*log)->PurgeThrough(6).ok());
+    EXPECT_EQ((*log)->purge_watermark(), 6u);
+  }
+  size_t leftover = SegmentFilesIn(dir_).size();
+  ASSERT_GE(leftover, 3u);  // nothing was retired before the "crash"
+
+  // Recovery finishes the interrupted purge: consumed segments retired,
+  // consumed records not resurrected, exactly-once replay preserved.
+  auto log = DeltaLog::Open(dir_, SmallSegments());
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_LT(SegmentFilesIn(dir_).size(), leftover);
+  EXPECT_EQ((*log)->live_records(), 4u);
+  EXPECT_EQ((*log)->ReadRange(0, UINT64_MAX).front().seq, 7u);
+  auto seq = (*log)->Append(DeltaKV{DeltaOp::kInsert, "x", "y"});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 11u);
+}
+
+TEST_F(DeltaLogTest, PowerFailureModeExercisesFsyncPathEndToEnd) {
+  DeltaLogOptions options = SmallSegments();
+  options.durability = DurabilityMode::kPowerFailure;
+  {
+    auto log = DeltaLog::Open(dir_, options);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    ASSERT_TRUE(AppendN(log->get(), 7).ok());  // synced appends + rotations
+    ASSERT_TRUE((*log)
+                    ->AppendBatch({{DeltaOp::kInsert, "b1", "v"},
+                                   {DeltaOp::kInsert, "b2", "v"},
+                                   {DeltaOp::kInsert, "b3", "v"}})
+                    .ok());
+    ASSERT_TRUE((*log)->PurgeThrough(6).ok());  // synced PURGE mark
+    ASSERT_TRUE((*log)->Close().ok());
+  }
+  auto log = DeltaLog::Open(dir_, options);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ((*log)->live_records(), 4u);
+  EXPECT_EQ((*log)->last_seq(), 10u);
+  EXPECT_EQ((*log)->purge_watermark(), 6u);
+}
+
+TEST_F(DeltaLogTest, LegacySingleFileLogIsMigratedToSegments) {
+  // A pre-segmentation log.dat (first seq 5: its prefix was purged by the
+  // old rewrite-in-place path) must open as a segment, keeping its seqs.
+  std::string frames;
+  for (uint64_t s = 5; s <= 7; ++s) {
+    EncodeLogRecord(s, DeltaKV{DeltaOp::kInsert, "k" + std::to_string(s), "v"},
+                    &frames);
+  }
+  ASSERT_TRUE(WriteStringToFile(JoinPath(dir_, "log.dat"), frames).ok());
+
+  auto log = DeltaLog::Open(dir_);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_FALSE(FileExists(JoinPath(dir_, "log.dat")));
+  EXPECT_EQ(SegmentFilesIn(dir_).size(), 1u);
+  EXPECT_EQ((*log)->recovery_stats().records, 3u);
+  EXPECT_EQ((*log)->last_seq(), 7u);
+  auto seq = (*log)->Append(DeltaKV{DeltaOp::kInsert, "k8", "v"});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 8u);
+}
+
+// ---------------------------------------------------------------------------
 // Pipeline epochs
 // ---------------------------------------------------------------------------
 
@@ -361,6 +602,101 @@ TEST_F(PipelineTest, CrashMidCommitLeavesPreviousEpochCurrent) {
             1e-3);
 }
 
+TEST_F(PipelineTest, PowerFailureModeCrashAfterManifestBeforeCurrentRename) {
+  // The hardest commit boundary under kPowerFailure: the epoch dir (with
+  // its fsync'd MANIFEST) landed durably, but the process dies before the
+  // CURRENT rename. CURRENT still names the previous epoch, so recovery
+  // must garbage-collect the orphan and replay the same deltas exactly
+  // once — the fsync path is exercised end to end on both runs.
+  LocalCluster cluster(root_, 4);
+  GraphGenOptions gen;
+  gen.num_vertices = 150;
+  gen.avg_degree = 4;
+  auto graph = GenGraph(gen);
+
+  PipelineOptions options = PageRankPipeline();
+  options.durability = DurabilityMode::kPowerFailure;
+  options.log.segment_bytes = 4 << 10;  // exercise rotation under fsync too
+  options.crash_hook = [](uint64_t epoch, const std::string& stage) {
+    return epoch == 1 && stage == "commit";
+  };
+  auto pipeline = Pipeline::Open(&cluster, "pr_power", options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ASSERT_TRUE((*pipeline)->Bootstrap(graph, UnitState(graph)).ok());
+
+  GraphDeltaOptions dopt;
+  dopt.update_fraction = 0.1;
+  auto delta = GenGraphDelta(gen, dopt, &graph);
+  ASSERT_TRUE(
+      (*pipeline)
+          ->AppendBatch(std::vector<DeltaKV>(delta.begin(), delta.end()))
+          .ok());
+  EXPECT_FALSE((*pipeline)->RunEpoch().ok());
+
+  pipeline->reset();
+  PipelineOptions reopened_options = PageRankPipeline();
+  reopened_options.durability = DurabilityMode::kPowerFailure;
+  reopened_options.log.segment_bytes = 4 << 10;
+  auto reopened = Pipeline::Open(&cluster, "pr_power", reopened_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->committed_epoch(), 0u);
+  EXPECT_EQ((*reopened)->pending(), delta.size());
+
+  auto replay = (*reopened)->RunEpoch();
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->epoch, 1u);
+  EXPECT_EQ(replay->deltas_applied, delta.size());
+  auto reference = pagerank::Reference(graph, 100, 1e-9);
+  EXPECT_LT(pagerank::MeanError((*reopened)->ServingSnapshot(), reference),
+            1e-3);
+}
+
+TEST_F(PipelineTest, SegmentedLogWithArchivalAcrossEpochsAndRestart) {
+  // Epoch commits purge by retiring whole segments into archive/; the
+  // hard-linked epoch snapshots stay correct across epochs and a restart.
+  GraphGenOptions gen;
+  gen.num_vertices = 120;
+  gen.avg_degree = 4;
+  auto graph = GenGraph(gen);
+  PipelineOptions options = PageRankPipeline();
+  options.spec.num_partitions = 2;
+  options.log.segment_bytes = 1 << 10;  // many rotations per epoch batch
+  options.log.archive_purged = true;
+
+  {
+    LocalCluster cluster(root_, 2);
+    auto pipeline = Pipeline::Open(&cluster, "pr_seg", options);
+    ASSERT_TRUE(pipeline.ok());
+    ASSERT_TRUE((*pipeline)->Bootstrap(graph, UnitState(graph)).ok());
+    for (int epoch = 1; epoch <= 2; ++epoch) {
+      GraphDeltaOptions dopt;
+      dopt.update_fraction = 0.2;
+      dopt.seed = 40 + epoch;
+      auto delta = GenGraphDelta(gen, dopt, &graph);
+      ASSERT_TRUE(
+          (*pipeline)
+              ->AppendBatch(std::vector<DeltaKV>(delta.begin(), delta.end()))
+              .ok());
+      auto stats = (*pipeline)->RunEpoch();
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_EQ((*pipeline)->log()->live_records(), 0u);  // purged
+    }
+    // The consumed segments were archived, not unlinked.
+    auto archived = ListFiles(JoinPath((*pipeline)->log()->dir(), "archive"));
+    ASSERT_TRUE(archived.ok());
+    EXPECT_GT(archived->size(), 0u);
+  }
+  {
+    LocalCluster cluster(root_, 2, CostModel{}, /*reset=*/false);
+    auto pipeline = Pipeline::Open(&cluster, "pr_seg", options);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    EXPECT_EQ((*pipeline)->committed_epoch(), 2u);
+    auto reference = pagerank::Reference(graph, 100, 1e-9);
+    EXPECT_LT(pagerank::MeanError((*pipeline)->ServingSnapshot(), reference),
+              1e-3);
+  }
+}
+
 TEST_F(PipelineTest, SurvivesFullProcessRestartViaClusterReattach) {
   GraphGenOptions gen;
   gen.num_vertices = 120;
@@ -495,6 +831,18 @@ TEST_F(PipelineTest, DrainAllRecoversAfterTransientEpochFailure) {
   EXPECT_EQ((*pr)->pending(), 0u);
   EXPECT_EQ((*pr)->committed_epoch(), 1u);
   EXPECT_TRUE((*pr)->Lookup(v(3)).ok());
+}
+
+TEST_F(PipelineTest, ManagerDurabilityFloorRaisesPipelineMode) {
+  LocalCluster cluster(root_, 2);
+  PipelineManagerOptions mopts;
+  mopts.durability = DurabilityMode::kPowerFailure;
+  PipelineManager manager(&cluster, mopts);
+  PipelineOptions options = PageRankPipeline();  // defaults to kProcessCrash
+  options.spec.num_partitions = 2;
+  auto pr = manager.Register("pr_floor", options);
+  ASSERT_TRUE(pr.ok()) << pr.status().ToString();
+  EXPECT_EQ((*pr)->options().durability, DurabilityMode::kPowerFailure);
 }
 
 TEST_F(PipelineTest, MinBatchAndMaxLagTriggers) {

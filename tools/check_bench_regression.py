@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Smoke-check a fresh BENCH_pipeline.json against the checked-in baseline.
+
+CI runs the pipeline bench on every push; this gate fails the job when mean
+epoch latency regresses by more than --max-ratio (default 2x) at any delta
+rate present in both files. To stay meaningful across machines of very
+different speed (a laptop-generated baseline vs a CI runner), the metric is
+normalized by the same run's full-recompute time by default: the gated
+quantity is mean_epoch_ms / full_recompute_ms, i.e. "epoch latency in units
+of what a from-scratch recompute costs on this machine". Pass
+--absolute to compare raw milliseconds instead.
+
+It is a smoke check, not a microbenchmark harness: the 2x bar absorbs
+runner noise while still catching an O(live bytes) regression sneaking back
+into the epoch commit or purge path.
+
+Usage: check_bench_regression.py --baseline BENCH_pipeline.json \
+           --current build/BENCH_pipeline.json [--max-ratio 2.0] [--absolute]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return data, {r["delta_rate"]: r for r in data.get("results", [])}
+
+
+def metric_value(data, rate_entry, metric, absolute):
+    value = rate_entry.get(metric)
+    if value is None:
+        return None
+    if absolute:
+        return value
+    full = data.get("full_recompute_ms")
+    if not full:
+        return value  # no normalizer recorded: fall back to absolute
+    return value / full
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--max-ratio", type=float, default=2.0)
+    parser.add_argument(
+        "--metric", default="mean_epoch_ms",
+        help="per-rate metric to compare (default: mean_epoch_ms)")
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="compare raw values instead of normalizing by full_recompute_ms")
+    args = parser.parse_args()
+
+    baseline_data, baseline = load(args.baseline)
+    current_data, current = load(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("check_bench_regression: no shared delta rates between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 1
+
+    unit = args.metric if args.absolute else f"{args.metric}/full_recompute_ms"
+    failed = False
+    for rate in shared:
+        base = metric_value(baseline_data, baseline[rate], args.metric,
+                            args.absolute)
+        cur = metric_value(current_data, current[rate], args.metric,
+                           args.absolute)
+        if not base or cur is None:
+            continue
+        ratio = cur / base
+        verdict = "OK" if ratio <= args.max_ratio else "REGRESSED"
+        print(f"delta_rate={rate}: {unit} {base:.4f} -> {cur:.4f} "
+              f"({ratio:.2f}x, limit {args.max_ratio:.2f}x) {verdict}")
+        if ratio > args.max_ratio:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
