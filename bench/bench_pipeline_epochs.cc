@@ -5,16 +5,20 @@
 // delta rate (fraction of the graph updated per epoch). For each rate we
 // measure end-to-end epoch latency (drain + incremental refresh + atomic
 // commit) and its refresh/commit split, against a full-recompute baseline.
-// Two delta-log microbench sections follow: PurgeThrough() cost as the
+// Three delta-log microbench sections follow: PurgeThrough() cost as the
 // live-record count grows (must stay flat — the segmented log retires
-// whole segments instead of rewriting the live suffix), and append cost
-// with fsync off (kProcessCrash) vs on (kPowerFailure).
+// whole segments instead of rewriting the live suffix), append cost with
+// fsync off (kProcessCrash) vs on (kPowerFailure), and group-commit
+// amortization (per-append latency and fsync count vs concurrent synced
+// appenders — must fall as concurrency grows).
 //
 // Emits BENCH_pipeline.json alongside the human-readable report, to track
 // the serving-path perf trajectory (CI smoke-checks epoch latency against
 // the checked-in baseline).
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/pagerank.h"
@@ -82,6 +86,49 @@ StatusOr<PurgeResult> MeasurePurge(const std::string& root, uint64_t consumed,
   I2MR_RETURN_IF_ERROR((*log)->PurgeThrough(consumed));
   r.purge_ms = timer.ElapsedMillis();
   r.segments_retired = segments_before - (*log)->segment_files();
+  return r;
+}
+
+struct GroupCommitResult {
+  int threads = 0;
+  double append_ms = 0;   // mean wall latency per acknowledged append
+  uint64_t appends = 0;
+  uint64_t syncs = 0;     // leader fsyncs actually issued
+};
+
+// Synced appends from `threads` concurrent appenders: with group commit,
+// concurrent writers share leader fsyncs, so per-append latency and the
+// sync count should FALL as concurrency grows (one device round-trip is
+// amortized across the group) instead of serializing one fsync each.
+StatusOr<GroupCommitResult> MeasureGroupCommit(const std::string& root,
+                                               int threads, int per_thread) {
+  GroupCommitResult r;
+  r.threads = threads;
+  r.appends = static_cast<uint64_t>(threads) * per_thread;
+  std::string dir = root + "/group_commit_" + std::to_string(threads);
+  I2MR_RETURN_IF_ERROR(ResetDir(dir));
+  DeltaLogOptions options;
+  options.durability = DurabilityMode::kPowerFailure;
+  auto log = DeltaLog::Open(dir, options);
+  if (!log.ok()) return log.status();
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  WallTimer timer;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        auto seq = (*log)->Append(BenchDelta(t * per_thread + i));
+        if (!seq.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  double total_ms = timer.ElapsedMillis();
+  if (failures.load() > 0) return Status::Internal("group commit bench append failed");
+  // Wall time per append as the caller experiences it: total wall divided
+  // by appends *per thread* (threads append in parallel).
+  r.append_ms = total_ms / per_thread;
+  r.syncs = (*log)->sync_count();
   return r;
 }
 
@@ -224,6 +271,25 @@ int main() {
               *append_sync,
               *append_nosync > 0 ? *append_sync / *append_nosync : 0.0);
 
+  // -- Group commit: concurrent synced appenders share one fsync -----------
+  bench::Title("DeltaLog group commit: synced appends vs appender count");
+  const int kPerThread = bench::ScaledInt(200);
+  const int kThreadCounts[] = {1, 4, 8};
+  std::printf("%-10s %-16s %-14s %s\n", "threads", "ms/append", "appends",
+              "fsyncs");
+  std::vector<GroupCommitResult> groups;
+  for (int threads : kThreadCounts) {
+    auto r = MeasureGroupCommit(bench::BenchRoot("pipeline_epochs"), threads,
+                                kPerThread);
+    if (!r.ok()) {
+      std::fprintf(stderr, "group commit: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    groups.push_back(*r);
+    std::printf("%-10d %-16.4f %-14llu %llu\n", r->threads, r->append_ms,
+                (unsigned long long)r->appends, (unsigned long long)r->syncs);
+  }
+
   // Machine-readable trajectory point.
   std::FILE* json = std::fopen("BENCH_pipeline.json", "w");
   if (json == nullptr) return 1;
@@ -262,8 +328,19 @@ int main() {
   std::fprintf(json, "  ],\n");
   std::fprintf(json,
                "  \"durability\": {\"append_ms_process_crash\": %.4f, "
-               "\"append_ms_power_failure\": %.4f}\n",
+               "\"append_ms_power_failure\": %.4f},\n",
                *append_nosync, *append_sync);
+  std::fprintf(json, "  \"group_commit\": [\n");
+  for (size_t i = 0; i < groups.size(); ++i) {
+    const GroupCommitResult& g = groups[i];
+    std::fprintf(json,
+                 "    {\"threads\": %d, \"append_ms\": %.4f, "
+                 "\"appends\": %llu, \"fsyncs\": %llu}%s\n",
+                 g.threads, g.append_ms, (unsigned long long)g.appends,
+                 (unsigned long long)g.syncs,
+                 i + 1 < groups.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n");
   std::fprintf(json, "}\n");
   std::fclose(json);
   bench::Note("\nwrote BENCH_pipeline.json");

@@ -1,0 +1,198 @@
+// Sharded serving read latency: pinned epoch-consistent reads while deltas
+// stream and shards commit refresh epochs underneath.
+//
+// For each shard count we bootstrap one PageRank computation partitioned
+// across the shards, start every shard's background epoch scheduler, and
+// stream graph deltas while reader threads serve pinned reads
+// (PinSnapshot + point Get). Reported per shard count: read latency
+// p50/p99, read throughput, and epochs committed during the read phase —
+// the p99 is what CI gates (reads must stay non-blocking: a read that
+// waits on a refresh in flight would blow it up by orders of magnitude).
+//
+// Emits BENCH_serving.json (tracked trajectory point; see
+// tools/check_bench_regression.py --key shards).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "bench_util.h"
+#include "common/codec.h"
+#include "common/timer.h"
+#include "data/graph_gen.h"
+#include "io/env.h"
+#include "serving/shard_group.h"
+#include "serving/shard_router.h"
+
+using namespace i2mr;
+
+namespace {
+
+struct ShardResult {
+  int shards = 0;
+  uint64_t reads = 0;
+  double p50_read_ms = 0;
+  double p99_read_ms = 0;
+  double reads_per_sec = 0;
+  uint64_t epochs_committed = 0;
+  uint64_t deltas_applied = 0;
+};
+
+double Percentile(std::vector<double>* sorted_ms, double p) {
+  if (sorted_ms->empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (sorted_ms->size() - 1));
+  return (*sorted_ms)[idx];
+}
+
+StatusOr<ShardResult> MeasureShards(int shards, int num_vertices) {
+  ShardResult result;
+  result.shards = shards;
+
+  GraphGenOptions gen;
+  gen.num_vertices = num_vertices;
+  gen.avg_degree = 6;
+  auto graph = GenGraph(gen);
+
+  ShardRouterOptions options;
+  options.num_shards = shards;
+  options.workers_per_shard = 2;
+  options.cost = bench::PaperCosts();
+  options.pipeline.spec = pagerank::MakeIterSpec("rank", 2, 60, 1e-6);
+  options.pipeline.engine.filter_threshold = 0.1;
+  options.pipeline.min_batch = 1;
+  options.manager.poll_interval_ms = 2;
+  std::string root =
+      bench::BenchRoot("serving_shards") + "/s" + std::to_string(shards);
+  I2MR_RETURN_IF_ERROR(ResetDir(root));
+  auto router = ShardRouter::Open(root, "rank", options);
+  if (!router.ok()) return router.status();
+  I2MR_RETURN_IF_ERROR(
+      (*router)->Bootstrap(graph, bench::UnitState(graph)));
+  ShardGroup group(router->get());
+
+  const uint64_t epochs_before =
+      [&] {
+        uint64_t total = 0;
+        for (int s = 0; s < shards; ++s) {
+          total += (*router)->manager(s)->stats().epochs_committed;
+        }
+        return total;
+      }();
+
+  // Readers: pinned point reads against rotating probe keys while the
+  // writer streams deltas and epochs commit underneath.
+  (*router)->Start();
+  const int kReaders = 2;
+  const int kReadsPerReader = bench::ScaledInt(1500);
+  std::vector<std::vector<double>> latencies(kReaders);
+  std::atomic<bool> failed{false};
+  WallTimer read_phase;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::vector<double>& lat = latencies[r];
+      lat.reserve(kReadsPerReader);
+      for (int i = 0; i < kReadsPerReader && !failed.load(); ++i) {
+        const std::string& probe = graph[(r * 7919 + i) % graph.size()].key;
+        WallTimer timer;
+        auto snap = group.PinSnapshot();
+        if (!snap.ok() || !snap->Get(probe).ok()) {
+          failed.store(true);
+          return;
+        }
+        lat.push_back(timer.ElapsedMillis());
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int round = 0; round < 6 && !failed.load(); ++round) {
+      GraphDeltaOptions dopt;
+      dopt.update_fraction = 0.02;
+      dopt.seed = 900 + round;
+      auto delta = GenGraphDelta(gen, dopt, &graph);
+      if (!(*router)
+               ->AppendBatch(std::vector<DeltaKV>(delta.begin(), delta.end()))
+               .ok()) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+  });
+  for (auto& t : readers) t.join();
+  double read_phase_s = read_phase.ElapsedSeconds();
+  writer.join();
+  (*router)->Stop();
+  if (failed.load()) return Status::Internal("serving bench read failed");
+
+  std::vector<double> all;
+  for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+  result.reads = all.size();
+  result.p50_read_ms = Percentile(&all, 0.50);
+  result.p99_read_ms = Percentile(&all, 0.99);
+  result.reads_per_sec = read_phase_s > 0 ? all.size() / read_phase_s : 0;
+  for (int s = 0; s < shards; ++s) {
+    auto stats = (*router)->manager(s)->stats();
+    result.epochs_committed += stats.epochs_committed;
+    result.deltas_applied += stats.deltas_applied;
+  }
+  result.epochs_committed -= epochs_before;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Sharded serving: pinned read latency while epochs commit");
+  const int n = bench::ScaledInt(3000);
+  const int kShardCounts[] = {1, 2, 4};
+
+  std::printf("%-8s %-10s %-12s %-12s %-14s %-10s %s\n", "shards", "reads",
+              "p50 ms", "p99 ms", "reads/sec", "epochs", "deltas");
+  std::vector<ShardResult> results;
+  for (int shards : kShardCounts) {
+    auto r = MeasureShards(shards, n);
+    if (!r.ok()) {
+      std::fprintf(stderr, "shards=%d: %s\n", shards,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(*r);
+    std::printf("%-8d %-10llu %-12.4f %-12.4f %-14.0f %-10llu %llu\n",
+                r->shards, (unsigned long long)r->reads, r->p50_read_ms,
+                r->p99_read_ms, r->reads_per_sec,
+                (unsigned long long)r->epochs_committed,
+                (unsigned long long)r->deltas_applied);
+  }
+
+  std::FILE* json = std::fopen("BENCH_serving.json", "w");
+  if (json == nullptr) return 1;
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"serving_shards\",\n");
+  std::fprintf(json, "  \"workload\": \"pagerank\",\n");
+  std::fprintf(json, "  \"num_vertices\": %d,\n", n);
+  std::fprintf(json, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ShardResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"shards\": %d, \"reads\": %llu, "
+                 "\"p50_read_ms\": %.4f, \"p99_read_ms\": %.4f, "
+                 "\"reads_per_sec\": %.0f, \"epochs_committed\": %llu, "
+                 "\"deltas_applied\": %llu}%s\n",
+                 r.shards, (unsigned long long)r.reads, r.p50_read_ms,
+                 r.p99_read_ms, r.reads_per_sec,
+                 (unsigned long long)r.epochs_committed,
+                 (unsigned long long)r.deltas_applied,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  bench::Note("\nwrote BENCH_serving.json");
+  return 0;
+}

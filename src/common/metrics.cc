@@ -16,6 +16,48 @@ void StageMetrics::Add(const StageMetrics& other) {
   reduce_output_records += other.reduce_output_records.load();
 }
 
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return registry;
+}
+
+Counter* MetricsRegistry::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[name];
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.value());
+  }
+  return out;
+}
+
+int64_t MetricsRegistry::SumPrefixed(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t sum = 0;
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    sum += it->second.value();
+  }
+  return sum;
+}
+
+std::string MetricsRegistry::ToString(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out += it->first + "=" + std::to_string(it->second.value()) + "\n";
+  }
+  return out;
+}
+
 std::string StageMetrics::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

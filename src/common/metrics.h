@@ -1,11 +1,18 @@
-// Per-stage metrics collected by the MapReduce engine. These are the
-// quantities Fig. 9 / Table 4 of the paper report.
+// Per-stage metrics collected by the MapReduce engine (the quantities
+// Fig. 9 / Table 4 of the paper report), plus a process-wide registry of
+// named monotonic counters that the pipeline and serving layers publish
+// into (epochs committed, reads served, quota rejections, ...) instead of
+// exposing ad-hoc struct reads.
 #ifndef I2MR_COMMON_METRICS_H_
 #define I2MR_COMMON_METRICS_H_
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace i2mr {
 
@@ -50,6 +57,54 @@ struct StageMetrics {
   }
 
   std::string ToString() const;
+};
+
+/// One named monotonic counter. Obtained from a MetricsRegistry; the
+/// pointer is stable for the registry's lifetime, so hot paths hold the
+/// Counter* and never re-do the name lookup.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Registry of named counters. Get() is get-or-create and thread-safe;
+/// reads through the returned Counter* are lock-free. Names are
+/// dot-separated paths ("serving.pr.shard0.reads_served") so one registry
+/// can hold per-shard / per-tenant families side by side.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide default registry (what everything publishes into unless
+  /// handed an explicit one, e.g. a test-local registry).
+  static MetricsRegistry* Default();
+
+  /// Get-or-create the counter named `name`; the pointer stays valid for
+  /// the registry's lifetime.
+  Counter* Get(const std::string& name);
+
+  /// Point-in-time values of every counter, sorted by name. Counters are
+  /// sampled individually (relaxed), not as one atomic cut.
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+
+  /// Sum of all counters whose name starts with `prefix` (a cheap way to
+  /// aggregate a per-shard family).
+  int64_t SumPrefixed(const std::string& prefix) const;
+
+  /// "name=value" lines for every counter under `prefix` ("" = all).
+  std::string ToString(const std::string& prefix = "") const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: node-based, so Counter addresses are stable across inserts.
+  std::map<std::string, Counter> counters_;
 };
 
 }  // namespace i2mr

@@ -14,6 +14,7 @@ const char* CodeName(Status::Code code) {
     case Status::Code::kAlreadyExists: return "ALREADY_EXISTS";
     case Status::Code::kFailedPrecondition: return "FAILED_PRECONDITION";
     case Status::Code::kInternal: return "INTERNAL";
+    case Status::Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -22,6 +22,7 @@ class Status {
     kAlreadyExists = 6,
     kFailedPrecondition = 7,
     kInternal = 8,
+    kResourceExhausted = 9,
   };
 
   Status() : code_(Code::kOk) {}
@@ -51,6 +52,10 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  /// A quota or rate limit said no (admission control); retryable later.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -58,6 +63,9 @@ class Status {
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
 
   /// Human-readable "CODE: message" string.
   std::string ToString() const;

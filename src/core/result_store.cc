@@ -73,6 +73,15 @@ std::vector<KV> ResultStore::Snapshot() const {
   return out;
 }
 
+void ResultStore::VisitRange(const std::string& begin, const std::string& end,
+                             const std::function<bool(const KV&)>& fn) const {
+  auto it = results_.lower_bound(begin);
+  auto stop = end.empty() ? results_.end() : results_.lower_bound(end);
+  for (; it != stop; ++it) {
+    if (!fn(KV{it->first, it->second})) return;
+  }
+}
+
 Status ResultStore::SaveAs(const std::string& path) const {
   std::string buf;
   PutFixed64(&buf, results_.size());

@@ -6,6 +6,7 @@
 #ifndef I2MR_CORE_RESULT_STORE_H_
 #define I2MR_CORE_RESULT_STORE_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +33,12 @@ class ResultStore {
 
   /// All current results, sorted by K3.
   std::vector<KV> Snapshot() const;
+
+  /// Visit results with begin <= K3 < end in key order, without copying
+  /// the store (the sharded serving layer's per-shard scan primitive).
+  /// Empty `end` means unbounded. Return false from `fn` to stop early.
+  void VisitRange(const std::string& begin, const std::string& end,
+                  const std::function<bool(const KV&)>& fn) const;
 
   size_t size() const { return results_.size(); }
 

@@ -1,6 +1,8 @@
 #include "mr/cluster.h"
 
+#include <atomic>
 #include <cstdio>
+#include <map>
 #include <mutex>
 
 #include "common/logging.h"
@@ -8,6 +10,24 @@
 #include "io/env.h"
 
 namespace i2mr {
+namespace {
+
+// Process-wide book-keeping for clusters sharing a root (shard clusters
+// under one serving root, or a test re-attaching while another instance is
+// live). Guards the re-attach jobs/ wipe and hands out the per-instance
+// token that namespaces job scratch dirs.
+std::mutex g_cluster_roots_mu;
+std::map<std::string, int>& LiveClusterRoots() {
+  static auto* roots = new std::map<std::string, int>();
+  return *roots;
+}
+
+int NextClusterInstanceToken() {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1);
+}
+
+}  // namespace
 
 LocalCluster::LocalCluster(std::string root, int num_workers, CostModel cost,
                            bool reset)
@@ -15,14 +35,23 @@ LocalCluster::LocalCluster(std::string root, int num_workers, CostModel cost,
       num_workers_(num_workers),
       cost_(cost),
       dfs_(JoinPath(root_, "dfs")),
-      pool_(num_workers) {
+      pool_(num_workers),
+      instance_(NextClusterInstanceToken()) {
+  bool first_attach;
+  {
+    std::lock_guard<std::mutex> lock(g_cluster_roots_mu);
+    first_attach = ++LiveClusterRoots()[root_] == 1;
+  }
   if (reset) {
     I2MR_CHECK_OK(ResetDir(root_));
-  } else {
+  } else if (first_attach) {
     // Re-attach keeps durable state, but jobs/ is per-process shuffle
     // scratch: spill files from a job that crashed mid-run must not
-    // survive, or a replayed job re-using the same job dir would merge
-    // the stale spills into its reduce input.
+    // survive — a replayed job re-using the same job dir would merge the
+    // stale spills into its reduce input. Only the FIRST attacher clears
+    // it: a second instance sharing the root (N shards under one parent)
+    // must not wipe a sibling's in-flight job dirs, and its own job dirs
+    // are collision-free by instance token anyway.
     I2MR_CHECK_OK(ResetDir(JoinPath(root_, "jobs")));
   }
   I2MR_CHECK_OK(CreateDirs(JoinPath(root_, "dfs")));
@@ -30,6 +59,14 @@ LocalCluster::LocalCluster(std::string root, int num_workers, CostModel cost,
   I2MR_CHECK_OK(CreateDirs(JoinPath(root_, "jobs")));
   for (int w = 0; w < num_workers_; ++w) {
     I2MR_CHECK_OK(CreateDirs(WorkerDir(w)));
+  }
+}
+
+LocalCluster::~LocalCluster() {
+  std::lock_guard<std::mutex> lock(g_cluster_roots_mu);
+  auto it = LiveClusterRoots().find(root_);
+  if (it != LiveClusterRoots().end() && --it->second <= 0) {
+    LiveClusterRoots().erase(it);
   }
 }
 
@@ -41,8 +78,10 @@ std::string LocalCluster::WorkerDir(int w) const {
 
 std::string LocalCluster::NewJobDir(const std::string& name) {
   int seq = job_seq_.fetch_add(1);
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "-%05d", seq);
+  // The instance token keeps job dirs disjoint across cluster instances
+  // sharing one root (each instance has its own job_seq_ starting at 0).
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "-i%03d-%05d", instance_, seq);
   std::string dir = JoinPath(root_, "jobs/" + name + buf);
   I2MR_CHECK_OK(CreateDirs(dir));
   return dir;

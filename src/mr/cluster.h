@@ -24,9 +24,14 @@ class LocalCluster {
   /// With `reset` (the default) any previous contents of `root` are wiped;
   /// pass reset=false to re-attach to an existing root and keep durable
   /// state (pipeline logs, committed epochs, preserved MRBGraphs) across
-  /// process restarts.
+  /// process restarts. Multiple LocalCluster instances may share one root
+  /// within a process (the serving layer's shard clusters): job scratch
+  /// dirs carry a per-instance token so they never collide, and only the
+  /// first re-attach to a root clears stale jobs/ leftovers — later
+  /// attachers must not clobber a sibling's in-flight shuffle spills.
   LocalCluster(std::string root, int num_workers, CostModel cost = {},
                bool reset = true);
+  ~LocalCluster();
 
   /// Run a complete MapReduce job (blocking). Map tasks run in parallel on
   /// the worker pool, then reduce tasks.
@@ -51,6 +56,7 @@ class LocalCluster {
   CostModel cost_;
   Dfs dfs_;
   ThreadPool pool_;
+  int instance_;  // process-unique token namespacing this instance's job dirs
   std::atomic<int> job_seq_{0};
 };
 

@@ -287,18 +287,6 @@ Status DeltaLog::RotateLocked() {
   return Status::OK();
 }
 
-Status DeltaLog::AppendLocked(const DeltaKV& delta, uint64_t* seq) {
-  if (file_ == nullptr) return Status::FailedPrecondition("log closed");
-  *seq = next_seq_++;
-  std::string frame;
-  EncodeLogRecord(*seq, delta, &frame);
-  I2MR_RETURN_IF_ERROR(file_->Append(frame));
-  records_.push_back(SeqDelta{*seq, delta});
-  active_last_seq_ = *seq;
-  ++active_records_;
-  return Status::OK();
-}
-
 Status DeltaLog::RollbackLocked(uint64_t file_offset, size_t record_count,
                                 uint64_t next_seq, uint64_t active_last_seq,
                                 uint64_t active_records) {
@@ -325,62 +313,114 @@ StatusOr<uint64_t> DeltaLog::Append(const DeltaKV& delta) {
 }
 
 StatusOr<uint64_t> DeltaLog::AppendBatch(const std::vector<DeltaKV>& deltas) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (file_ == nullptr) return Status::FailedPrecondition("log closed");
-  // All-or-nothing: validate every record before appending any, so a bad
+  // All-or-nothing: validate every record before queueing any, so a bad
   // record mid-batch can't leave a durable partial batch behind a rejected
-  // return status. The bound mirrors ParseFrame's, so nothing we
-  // acknowledge is later rejected as corrupt by the recovery scan.
+  // return status (and can't fail an innocent group-mate's batch). The
+  // bound mirrors ParseFrame's, so nothing we acknowledge is later
+  // rejected as corrupt by the recovery scan.
   for (const auto& d : deltas) {
     if (d.key.size() + d.value.size() + kPayloadOverhead > kMaxRecordFieldLen) {
       return Status::InvalidArgument("delta record exceeds frame length limit");
     }
   }
-  const uint64_t start_offset = file_->offset();
-  const size_t start_records = records_.size();
-  const uint64_t start_next_seq = next_seq_;
-  const uint64_t start_active_last_seq = active_last_seq_;
-  const uint64_t start_active_records = active_records_;
-  uint64_t seq = next_seq_ - 1;
+
+  Writer w;
+  w.deltas = &deltas;
+  std::unique_lock<std::mutex> lock(mu_);
+  writers_.push_back(&w);
+  // Park until a leader completed our group, or we reached the front and
+  // lead one ourselves.
+  while (!w.done && &w != writers_.front()) cv_.wait(lock);
+  if (!w.done) CommitGroupLocked(lock);
+  if (!w.status.ok()) return w.status;
+  return w.last_seq;
+}
+
+void DeltaLog::CommitGroupLocked(std::unique_lock<std::mutex>& lock) {
+  // Absorb every writer queued right now into one group. Writers arriving
+  // while our I/O runs enqueue behind the group and form the next one.
+  std::vector<Writer*> group(writers_.begin(), writers_.end());
+
   Status st;
-  for (const auto& d : deltas) {
-    st = AppendLocked(d, &seq);
-    if (!st.ok()) break;
+  std::vector<SeqDelta> staged;  // records to publish on success
+  const uint64_t start_offset = file_ == nullptr ? 0 : file_->offset();
+  const uint64_t start_next_seq = next_seq_;
+  if (file_ == nullptr) {
+    st = Status::FailedPrecondition("log closed");
+  } else {
+    // Stage frames + sequence numbers under the mutex (cheap, in-memory)...
+    std::string frames;
+    for (Writer* writer : group) {
+      for (const auto& d : *writer->deltas) {
+        writer->last_seq = next_seq_++;
+        EncodeLogRecord(writer->last_seq, d, &frames);
+        staged.push_back(SeqDelta{writer->last_seq, d});
+      }
+      if (writer->deltas->empty()) writer->last_seq = next_seq_ - 1;
+    }
+    // ...then write + flush/fsync them with the mutex released: ONE
+    // device round-trip for the whole group. Only the leader touches
+    // file_ here — followers are parked, new writers queue behind the
+    // group, and PurgeThrough/Close wait out io_in_progress_.
+    if (!staged.empty()) {
+      WritableFile* file = file_.get();
+      io_in_progress_ = true;
+      lock.unlock();
+      st = file->Append(frames);
+      if (st.ok()) {
+        st = options_.durability == DurabilityMode::kPowerFailure
+                 ? file->Sync()
+                 : file->Flush();
+      }
+      lock.lock();
+      io_in_progress_ = false;
+      ++sync_calls_;
+    }
   }
-  if (st.ok() && !deltas.empty()) {
-    st = options_.durability == DurabilityMode::kPowerFailure ? file_->Sync()
-                                                              : file_->Flush();
-  }
-  if (!st.ok()) {
-    // The same holds for I/O failures mid-group: roll the partial group
-    // back so the error return is truthful.
-    Status rb = RollbackLocked(start_offset, start_records, start_next_seq,
-                               start_active_last_seq, start_active_records);
+
+  if (!st.ok() && start_next_seq != next_seq_) {
+    // Roll the whole group back (truncate + restore the seq counter) so
+    // every member's error return is truthful: nothing it was told failed
+    // can later surface in a drain. records_ was never touched — staged
+    // records publish only on success — so readers never saw them.
+    Status rb = RollbackLocked(start_offset, records_.size(), start_next_seq,
+                               active_last_seq_, active_records_);
     if (!rb.ok()) {
       LOG_WARN << "delta log " << active_path_
                << ": rollback after failed append also failed ("
                << rb.ToString() << "); log closed";
     }
-    return st;
   }
-  if (file_->offset() >= options_.segment_bytes) {
-    Status rotated = RotateLocked();
-    if (!rotated.ok()) {
+  if (st.ok() && !staged.empty()) {
+    active_last_seq_ = staged.back().seq;
+    active_records_ += staged.size();
+    records_.insert(records_.end(), staged.begin(), staged.end());
+    if (file_->offset() >= options_.segment_bytes) {
+      Status rotated = RotateLocked();
       if (rotated.code() == Status::Code::kAborted) {
         // Simulated process death at the rotation boundary: nothing
-        // observes this return value (the "process" is gone).
-        return rotated;
+        // observes these return values (the "process" is gone).
+        st = rotated;
+      } else if (!rotated.ok()) {
+        // The group IS durable: reporting a rotation failure as an append
+        // failure would invite a retry that double-applies it. Absorb the
+        // error — a wedged rotation either left the old active segment
+        // usable (retried on the next batch) or closed the log, surfacing
+        // as FailedPrecondition on the next append.
+        LOG_WARN << "delta log " << dir_ << ": rotation failed ("
+                 << rotated.ToString() << "); batch already durable";
       }
-      // The batch IS durable: reporting a rotation failure as an append
-      // failure would invite a retry that double-applies it. Absorb the
-      // error — a wedged rotation either left the old active segment
-      // usable (retried on the next batch) or closed the log, surfacing
-      // as FailedPrecondition on the next append.
-      LOG_WARN << "delta log " << dir_ << ": rotation failed ("
-               << rotated.ToString() << "); batch already durable";
     }
   }
-  return seq;
+
+  for (Writer* writer : group) {
+    writer->status = st;
+    writer->done = true;
+  }
+  writers_.erase(writers_.begin(), writers_.begin() + group.size());
+  // Wake the whole group plus the next group's leader (and anyone waiting
+  // on io_in_progress_).
+  cv_.notify_all();
 }
 
 std::vector<SeqDelta> DeltaLog::ReadRange(uint64_t after, uint64_t upto) const {
@@ -424,7 +464,10 @@ Status DeltaLog::PurgeThrough(uint64_t watermark) {
   // runs outside the mutex so concurrent appends never stall on it.
   std::vector<std::string> consumed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    // A group-commit leader may hold the active segment with mu_ released;
+    // sealing it out from under the leader's write would tear the group.
+    while (io_in_progress_) cv_.wait(lock);
     if (watermark <= purge_watermark_) return Status::OK();
     if (records_.empty() || records_.front().seq > watermark) {
       return Status::OK();
@@ -487,8 +530,14 @@ std::string DeltaLog::path() const {
   return active_path_;
 }
 
-Status DeltaLog::Close() {
+uint64_t DeltaLog::sync_count() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return sync_calls_;
+}
+
+Status DeltaLog::Close() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (io_in_progress_) cv_.wait(lock);
   if (file_ == nullptr) return Status::OK();
   Status st = file_->Close();
   file_.reset();

@@ -30,7 +30,9 @@
 #ifndef I2MR_PIPELINE_DELTA_LOG_H_
 #define I2MR_PIPELINE_DELTA_LOG_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -105,6 +107,14 @@ class DeltaLog {
   StatusOr<uint64_t> Append(const DeltaKV& delta);
 
   /// Append a batch with one flush; returns the last assigned sequence.
+  ///
+  /// Concurrent calls group-commit: appenders queue, the front one becomes
+  /// the leader, writes every queued batch's frames, and issues ONE
+  /// flush/fsync covering the whole group — in kPowerFailure mode
+  /// concurrent appenders amortize the fsync instead of paying one each.
+  /// Records become visible to readers (ReadRange) only once their group's
+  /// flush succeeded, so a drain can never consume a record whose append
+  /// later fails and rolls back.
   StatusOr<uint64_t> AppendBatch(const std::vector<DeltaKV>& deltas);
 
   /// All records with `after < seq <= upto`, in sequence order.
@@ -126,6 +136,10 @@ class DeltaLog {
 
   /// Highest durably purged watermark (0 when never purged).
   uint64_t purge_watermark() const;
+
+  /// Leader flush/fsync calls issued so far: with concurrent appenders this
+  /// grows slower than the append count (the group-commit amortization).
+  uint64_t sync_count() const;
 
   const RecoveryStats& recovery_stats() const { return recovery_; }
   /// Path of the active (appendable) segment.
@@ -152,7 +166,20 @@ class DeltaLog {
   /// segment (cross-segment monotonicity check).
   Status ScanSegment(const std::string& path, bool is_last, uint64_t prev_max,
                      uint64_t* last_seq, uint64_t* nrecords);
-  Status AppendLocked(const DeltaKV& delta, uint64_t* seq);
+  /// One queued AppendBatch call (group commit). The front writer is the
+  /// leader: it stages frames for every queued writer, performs the I/O
+  /// with mu_ released (writers behind it park on cv_, so nothing else
+  /// touches file_), then publishes results and wakes the group.
+  struct Writer {
+    const std::vector<DeltaKV>* deltas = nullptr;
+    bool done = false;
+    Status status;
+    uint64_t last_seq = 0;
+  };
+
+  /// Leader body for one group commit; called with `lock` held on mu_ and
+  /// *this writer at the front of writers_.
+  void CommitGroupLocked(std::unique_lock<std::mutex>& lock);
   /// Undo a partially applied append group (truncate + drop records).
   Status RollbackLocked(uint64_t file_offset, size_t record_count,
                         uint64_t next_seq, uint64_t active_last_seq,
@@ -168,6 +195,15 @@ class DeltaLog {
   const std::string dir_;
   const DeltaLogOptions options_;
   mutable std::mutex mu_;
+  /// Group-commit writer queue (guarded by mu_). cv_ wakes parked writers
+  /// when their group completes and the next leader when it reaches the
+  /// front; it also signals io_in_progress_ dropping back to false.
+  std::deque<Writer*> writers_;
+  std::condition_variable cv_;
+  /// True while the leader writes/syncs with mu_ released. PurgeThrough
+  /// and Close wait it out before touching file_.
+  bool io_in_progress_ = false;
+  uint64_t sync_calls_ = 0;
   std::unique_ptr<WritableFile> file_;  // active segment
   std::string active_path_;
   uint64_t active_last_seq_ = 0;

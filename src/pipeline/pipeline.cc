@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include "common/codec.h"
@@ -50,6 +51,48 @@ Status ReadManifest(const std::string& path, uint64_t* epoch,
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// EpochPin
+// ---------------------------------------------------------------------------
+
+struct EpochPin::State {
+  const Pipeline* pipeline = nullptr;
+  uint64_t epoch = 0;
+  uint64_t watermark = 0;
+  std::shared_ptr<const ResultStore> store;
+  std::string dir;
+
+  ~State() {
+    if (pipeline != nullptr) pipeline->Unpin(epoch);
+  }
+};
+
+uint64_t EpochPin::epoch() const { return state_ == nullptr ? 0 : state_->epoch; }
+
+uint64_t EpochPin::watermark() const {
+  return state_ == nullptr ? 0 : state_->watermark;
+}
+
+const ResultStore* EpochPin::store() const {
+  return state_ == nullptr ? nullptr : state_->store.get();
+}
+
+const std::string& EpochPin::dir() const {
+  static const std::string kEmpty;
+  return state_ == nullptr ? kEmpty : state_->dir;
+}
+
+StatusOr<std::string> EpochPin::Lookup(const std::string& key) const {
+  if (state_ == nullptr) return Status::FailedPrecondition("empty epoch pin");
+  const std::string* v = state_->store->Get(key);
+  if (v == nullptr) return Status::NotFound("no result for key " + key);
+  return *v;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
 
 Pipeline::Pipeline(LocalCluster* cluster, std::string name,
                    PipelineOptions options)
@@ -188,7 +231,13 @@ Status Pipeline::GarbageCollect(const std::string& keep_dir_name) {
     it.increment(ec);
     if (ec) return Status::IOError("list " + Dir() + ": " + ec.message());
     if (base == "log" || base == keep_dir_name) continue;
-    if (base.rfind("epoch-", 0) == 0) I2MR_RETURN_IF_ERROR(RemoveAll(path));
+    if (base.rfind("epoch-", 0) == 0) {
+      // A pinned epoch's dir stays until its last reader lets go; the
+      // commit after the release collects it.
+      uint64_t e = std::strtoull(base.c_str() + 6, nullptr, 10);
+      if (IsPinned(e)) continue;
+      I2MR_RETURN_IF_ERROR(RemoveAll(path));
+    }
   }
   std::string inflight = JoinPath(Dir(), kInflightDelta);
   if (FileExists(inflight)) I2MR_RETURN_IF_ERROR(RemoveAll(inflight));
@@ -427,10 +476,13 @@ Status Pipeline::Commit(uint64_t epoch, uint64_t watermark, double* commit_ms,
   I2MR_RETURN_IF_ERROR(RenameFile(current_tmp, CurrentPath()));
   if (sync) I2MR_RETURN_IF_ERROR(SyncDir(Dir()));
 
-  committed_epoch_.store(epoch);
-  committed_watermark_.store(watermark);
   {
+    // One publication: PinServing reads (epoch, store) under the same
+    // mutex, so a pin can never pair the new epoch id with the old store
+    // (or vice versa) — no half-committed view is observable.
     std::lock_guard<std::mutex> lock(serving_mu_);
+    committed_epoch_.store(epoch);
+    committed_watermark_.store(watermark);
     serving_ =
         std::make_shared<const ResultStore>(std::move(serving_store.value()));
   }
@@ -476,6 +528,38 @@ StatusOr<std::string> Pipeline::Lookup(const std::string& key) const {
   const std::string* v = snap->Get(key);
   if (v == nullptr) return Status::NotFound("no result for key " + key);
   return *v;
+}
+
+EpochPin Pipeline::PinServing() const {
+  auto state = std::make_shared<EpochPin::State>();
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    if (serving_ == nullptr) return EpochPin();  // not bootstrapped
+    state->epoch = committed_epoch_.load();
+    state->watermark = committed_watermark_.load();
+    state->store = serving_;
+    // Register the pin before serving_mu_ drops: a commit that lands right
+    // after us already sees the refcount when its GC runs.
+    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    ++pins_[state->epoch];
+  }
+  state->pipeline = this;  // set only once the pin is registered
+  state->dir = JoinPath(Dir(), EpochDirName(state->epoch));
+  return EpochPin(std::move(state));
+}
+
+void Pipeline::Unpin(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  auto it = pins_.find(epoch);
+  if (it == pins_.end()) return;
+  if (--it->second <= 0) pins_.erase(it);
+  // The epoch dir (if already superseded) stays on disk until the next
+  // commit's GC — deferred cleanup keeps Unpin wait-free on the read path.
+}
+
+bool Pipeline::IsPinned(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  return pins_.count(epoch) > 0;
 }
 
 std::vector<KV> Pipeline::ServingSnapshot() const {

@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -97,6 +98,39 @@ struct EpochStats {
   bool mrbg_turned_off = false;
 };
 
+class Pipeline;
+
+/// A pinned, immutable view of one committed epoch (MVCC-style versioned
+/// read). While any copy of the pin is alive, the epoch's in-memory
+/// ResultStore snapshot stays valid and its on-disk epoch-<E>/ dir is
+/// excluded from post-commit garbage collection — later commits and log
+/// purges land underneath without ever blocking or invalidating the
+/// reader. Copies share one refcount; when the last copy is destroyed the
+/// epoch dir becomes collectible at the next commit. A pin must not
+/// outlive its Pipeline.
+class EpochPin {
+ public:
+  EpochPin() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// Epoch / consumed-watermark this view was committed at.
+  uint64_t epoch() const;
+  uint64_t watermark() const;
+  /// The frozen result snapshot (nullptr for a default-constructed pin).
+  const ResultStore* store() const;
+  /// On-disk epoch dir, guaranteed to survive while the pin is held.
+  const std::string& dir() const;
+
+  /// Point lookup against the frozen view; NotFound for unknown keys.
+  StatusOr<std::string> Lookup(const std::string& key) const;
+
+ private:
+  friend class Pipeline;
+  struct State;
+  explicit EpochPin(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
 class Pipeline {
  public:
   /// Open (or create) the pipeline under `cluster`'s root. If a committed
@@ -138,6 +172,13 @@ class Pipeline {
   /// The whole committed result, sorted by key.
   std::vector<KV> ServingSnapshot() const;
 
+  /// Pin the currently committed epoch for non-blocking versioned reads.
+  /// The returned pin's (epoch, store) pair is taken atomically, so a
+  /// reader never sees a half-committed epoch — it gets the previous
+  /// committed view or the new one, whole. Invalid (default) pin before
+  /// Bootstrap.
+  EpochPin PinServing() const;
+
   uint64_t committed_epoch() const { return committed_epoch_.load(); }
   uint64_t committed_watermark() const { return committed_watermark_.load(); }
   const std::string& name() const { return name_; }
@@ -167,6 +208,11 @@ class Pipeline {
 
   bool SimulateCrash(uint64_t epoch, const char* stage);
 
+  friend class EpochPin;
+  /// Drop one reference on `epoch`'s pin count (EpochPin destruction).
+  void Unpin(uint64_t epoch) const;
+  bool IsPinned(uint64_t epoch) const;
+
   /// Start the max-lag clock if it isn't already running (post-append).
   void ArmLagTrigger();
 
@@ -191,8 +237,16 @@ class Pipeline {
   std::mutex trigger_mu_;
   std::atomic<int64_t> oldest_pending_ns_{0};
 
+  /// Guards the committed (epoch, serving store) pair as one publication:
+  /// Commit swaps both under it, PinServing reads both under it.
   mutable std::mutex serving_mu_;
   std::shared_ptr<const ResultStore> serving_;
+
+  /// Epoch -> live pin count. Locked after serving_mu_ (PinServing) and on
+  /// its own everywhere else; GarbageCollect consults it to keep pinned
+  /// epoch dirs on disk.
+  mutable std::mutex pin_mu_;
+  mutable std::map<uint64_t, int> pins_;
 };
 
 }  // namespace i2mr

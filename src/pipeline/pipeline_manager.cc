@@ -16,6 +16,7 @@ StatusOr<std::string> ServingView::Lookup(const std::string& pipeline,
                                           const std::string& key) const {
   Pipeline* p = manager_->Get(pipeline);
   if (p == nullptr) return Status::NotFound("unknown pipeline " + pipeline);
+  manager_->reads_served_.Increment();
   return p->Lookup(key);
 }
 
@@ -23,6 +24,7 @@ StatusOr<std::vector<KV>> ServingView::Snapshot(
     const std::string& pipeline) const {
   Pipeline* p = manager_->Get(pipeline);
   if (p == nullptr) return Status::NotFound("unknown pipeline " + pipeline);
+  manager_->reads_served_.Increment();
   return p->ServingSnapshot();
 }
 
@@ -40,10 +42,18 @@ StatusOr<uint64_t> ServingView::CommittedEpoch(
 PipelineManager::PipelineManager(LocalCluster* cluster,
                                  PipelineManagerOptions options)
     : cluster_(cluster),
-      options_(options),
-      sched_pool_(options.scheduler_threads > 0 ? options.scheduler_threads
-                                                : 1),
-      view_(this) {}
+      options_(std::move(options)),
+      sched_pool_(options_.scheduler_threads > 0 ? options_.scheduler_threads
+                                                 : 1),
+      view_(this) {
+  if (options_.metrics == nullptr) options_.metrics = MetricsRegistry::Default();
+  const std::string& prefix = options_.metrics_prefix;
+  epochs_committed_.published = options_.metrics->Get(prefix + ".epochs_committed");
+  deltas_applied_.published = options_.metrics->Get(prefix + ".deltas_applied");
+  epoch_failures_.published = options_.metrics->Get(prefix + ".epoch_failures");
+  epochs_deferred_.published = options_.metrics->Get(prefix + ".epochs_deferred");
+  reads_served_.published = options_.metrics->Get(prefix + ".reads_served");
+}
 
 PipelineManager::~PipelineManager() {
   Stop();
@@ -117,13 +127,13 @@ void PipelineManager::RunEpochTask(Entry* entry) {
   auto stats = entry->pipeline->RunEpoch();
   if (stats.ok()) {
     if (stats->deltas_applied > 0) {
-      epochs_committed_.fetch_add(1);
-      deltas_applied_.fetch_add(stats->deltas_applied);
+      epochs_committed_.Increment();
+      deltas_applied_.Add(stats->deltas_applied);
     }
     entry->consecutive_failures.store(0);
     entry->next_attempt_ns.store(0);
   } else {
-    epoch_failures_.fetch_add(1);
+    epoch_failures_.Increment();
     int failures = entry->consecutive_failures.fetch_add(1) + 1;
     // Exponential backoff, capped at 30s: 100ms, 200ms, 400ms, ...
     int64_t backoff_ms = std::min<int64_t>(30000, 100LL << std::min(failures - 1, 20));
@@ -149,7 +159,19 @@ int PipelineManager::ScheduleReady() {
   int64_t now = NowNanos();
   for (Entry* entry : Entries()) {
     if (now < entry->next_attempt_ns.load()) continue;  // failure backoff
-    if (entry->pipeline->EpochReady() && SubmitEpoch(entry)) ++scheduled;
+    // Pre-check before the gate: an epoch already in flight keeps
+    // EpochReady() true for its whole duration, and charging the tenant's
+    // quota once per poll round for a submission that cannot happen would
+    // silently throttle it far below its configured rate.
+    if (entry->running.load()) continue;
+    if (!entry->pipeline->EpochReady()) continue;
+    if (options_.epoch_gate && !options_.epoch_gate(*entry->pipeline)) {
+      // Admission said "not now" (e.g. the owning tenant is over its epoch
+      // quota): the backlog stays in the log and is re-evaluated next poll.
+      epochs_deferred_.Increment();
+      continue;
+    }
+    if (SubmitEpoch(entry)) ++scheduled;
   }
   return scheduled;
 }
@@ -212,9 +234,11 @@ void PipelineManager::Stop() {
 
 PipelineManager::Stats PipelineManager::stats() const {
   Stats s;
-  s.epochs_committed = epochs_committed_.load();
-  s.deltas_applied = deltas_applied_.load();
-  s.epoch_failures = epoch_failures_.load();
+  s.epochs_committed = epochs_committed_.local.load();
+  s.deltas_applied = deltas_applied_.local.load();
+  s.epoch_failures = epoch_failures_.local.load();
+  s.epochs_deferred = epochs_deferred_.local.load();
+  s.reads_served = reads_served_.local.load();
   return s;
 }
 

@@ -14,6 +14,7 @@
 #define I2MR_PIPELINE_PIPELINE_MANAGER_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "mr/cluster.h"
 #include "pipeline/pipeline.h"
@@ -61,6 +63,23 @@ struct PipelineManagerOptions {
   /// pipeline's mode to at least this (a pipeline may ask for stricter
   /// durability than the deployment default, never weaker).
   DurabilityMode durability = DurabilityMode::kProcessCrash;
+
+  /// Admission hook consulted by the background scheduler before each
+  /// epoch submission: return false to defer the pipeline's refresh this
+  /// poll round (counted as <metrics_prefix>.epochs_deferred). The serving
+  /// layer wires per-tenant token buckets in here so one tenant's delta
+  /// backlog can't monopolize the scheduler. Explicit DrainAll() calls
+  /// bypass the gate, like they bypass failure backoff. Must be
+  /// thread-safe; called from the poller thread.
+  std::function<bool(const Pipeline&)> epoch_gate;
+
+  /// Where the manager publishes its counters (epochs committed, deltas
+  /// applied, failures, deferrals, reads served), under
+  /// "<metrics_prefix>.<counter>". Defaults to MetricsRegistry::Default();
+  /// per-shard managers use distinct prefixes so one registry holds the
+  /// whole fleet side by side.
+  MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "pipeline_manager";
 };
 
 class PipelineManager {
@@ -103,12 +122,19 @@ class PipelineManager {
 
   const ServingView& view() const { return view_; }
 
+  /// Point-in-time counter values. Backed by the MetricsRegistry the
+  /// manager publishes into (options().metrics under metrics_prefix), so
+  /// external collectors read the same numbers without this accessor.
   struct Stats {
     uint64_t epochs_committed = 0;
-    uint64_t deltas_applied = 0;
+    uint64_t deltas_applied = 0;   // records replayed into epochs
     uint64_t epoch_failures = 0;
+    uint64_t epochs_deferred = 0;  // epoch_gate said "not now"
+    uint64_t reads_served = 0;     // ServingView lookups + snapshots
   };
   Stats stats() const;
+
+  const PipelineManagerOptions& options() const { return options_; }
 
  private:
   struct Entry {
@@ -143,9 +169,25 @@ class PipelineManager {
   std::thread poller_;
   std::atomic<bool> polling_{false};
 
-  std::atomic<uint64_t> epochs_committed_{0};
-  std::atomic<uint64_t> deltas_applied_{0};
-  std::atomic<uint64_t> epoch_failures_{0};
+  /// Per-instance tallies (stats() stays exact per manager) mirrored into
+  /// registry counters under metrics_prefix (the shared observability
+  /// surface — several managers may publish into one registry).
+  struct PublishedCounter {
+    std::atomic<uint64_t> local{0};
+    Counter* published = nullptr;
+    void Add(uint64_t d) {
+      local.fetch_add(d);
+      published->Add(static_cast<int64_t>(d));
+    }
+    void Increment() { Add(1); }
+  };
+  PublishedCounter epochs_committed_;
+  PublishedCounter deltas_applied_;
+  PublishedCounter epoch_failures_;
+  PublishedCounter epochs_deferred_;
+  mutable PublishedCounter reads_served_;
+
+  friend class ServingView;
 };
 
 }  // namespace i2mr

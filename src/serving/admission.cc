@@ -1,0 +1,85 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace i2mr {
+
+AdmissionController::AdmissionController(MetricsRegistry* metrics,
+                                         std::string metrics_prefix)
+    : metrics_(metrics == nullptr ? MetricsRegistry::Default() : metrics),
+      prefix_(std::move(metrics_prefix)) {}
+
+bool AdmissionController::Bucket::TryTake(double cost, int64_t now_ns) {
+  if (rate < 0) return true;  // unlimited
+  if (refilled_ns != 0) {
+    tokens = std::min(burst, tokens + (now_ns - refilled_ns) / 1e9 * rate);
+  }
+  refilled_ns = now_ns;
+  if (tokens < cost) return false;
+  tokens -= cost;
+  return true;
+}
+
+AdmissionController::Tenant* AdmissionController::GetLocked(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return &it->second;
+  Tenant& t = tenants_[tenant];
+  std::string base = prefix_ + "." + tenant + ".";
+  t.reads_admitted = metrics_->Get(base + "reads_admitted");
+  t.reads_rejected = metrics_->Get(base + "reads_rejected");
+  t.epochs_admitted = metrics_->Get(base + "epochs_admitted");
+  t.epochs_deferred = metrics_->Get(base + "epochs_deferred");
+  return &t;
+}
+
+void AdmissionController::SetQuota(const std::string& tenant,
+                                   const TenantQuota& quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant* t = GetLocked(tenant);
+  t->reads.rate = quota.read_rate;
+  t->reads.burst = quota.read_burst > 0 ? quota.read_burst
+                                        : std::max(quota.read_rate, 1.0);
+  t->reads.tokens = t->reads.burst;  // start full: an idle tenant can burst
+  t->reads.refilled_ns = 0;
+  t->epochs.rate = quota.epoch_rate;
+  t->epochs.burst = quota.epoch_burst > 0 ? quota.epoch_burst
+                                          : std::max(quota.epoch_rate, 1.0);
+  t->epochs.tokens = t->epochs.burst;
+  t->epochs.refilled_ns = 0;
+}
+
+bool AdmissionController::AdmitRead(const std::string& tenant, double cost) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant* t = GetLocked(tenant);
+  bool admitted = t->reads.TryTake(cost, NowNanos());
+  (admitted ? t->reads_admitted : t->reads_rejected)->Increment();
+  return admitted;
+}
+
+bool AdmissionController::AdmitEpoch(const std::string& tenant, double cost) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant* t = GetLocked(tenant);
+  bool admitted = t->epochs.TryTake(cost, NowNanos());
+  (admitted ? t->epochs_admitted : t->epochs_deferred)->Increment();
+  return admitted;
+}
+
+AdmissionController::TenantStats AdmissionController::tenant_stats(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantStats s;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return s;
+  s.reads_admitted = static_cast<uint64_t>(it->second.reads_admitted->value());
+  s.reads_rejected = static_cast<uint64_t>(it->second.reads_rejected->value());
+  s.epochs_admitted =
+      static_cast<uint64_t>(it->second.epochs_admitted->value());
+  s.epochs_deferred =
+      static_cast<uint64_t>(it->second.epochs_deferred->value());
+  return s;
+}
+
+}  // namespace i2mr

@@ -1,0 +1,164 @@
+#include "serving/shard_group.h"
+
+#include <algorithm>
+
+namespace i2mr {
+
+// ---------------------------------------------------------------------------
+// ShardSnapshot
+// ---------------------------------------------------------------------------
+
+StatusOr<std::string> ShardSnapshot::Get(const std::string& key) const {
+  if (!valid()) return Status::FailedPrecondition("empty shard snapshot");
+  int s = router_->ShardOf(key);
+  shard_reads_[s]->Increment();
+  return pins_[s].Lookup(key);
+}
+
+std::vector<StatusOr<std::string>> ShardSnapshot::MultiGet(
+    const std::vector<std::string>& keys) const {
+  std::vector<StatusOr<std::string>> out;
+  out.reserve(keys.size());
+  for (const auto& key : keys) out.push_back(Get(key));
+  return out;
+}
+
+std::vector<KV> ShardSnapshot::Range(const std::string& begin,
+                                     const std::string& end,
+                                     size_t limit) const {
+  if (!valid()) return {};
+  const int n = static_cast<int>(pins_.size());
+  // Scatter: each shard scans its pinned store in key order, stopping at
+  // `limit` (a shard can never contribute more than the whole answer).
+  std::vector<std::vector<KV>> parts(n);
+  ParallelFor(pool_, n, [&](int s) {
+    shard_reads_[s]->Increment();
+    const ResultStore* store = pins_[s].store();
+    if (store == nullptr) return;
+    std::vector<KV>& part = parts[s];
+    store->VisitRange(begin, end, [&](const KV& kv) {
+      part.push_back(kv);
+      return part.size() < limit;
+    });
+  });
+  // Gather: merge the sorted parts.
+  std::vector<KV> merged;
+  for (auto& part : parts) {
+    std::vector<KV> next;
+    next.reserve(merged.size() + part.size());
+    std::merge(merged.begin(), merged.end(), part.begin(), part.end(),
+               std::back_inserter(next));
+    merged = std::move(next);
+  }
+  if (merged.size() > limit) merged.resize(limit);
+  return merged;
+}
+
+std::vector<KV> ShardSnapshot::TopK(
+    size_t k, const std::function<double(const KV&)>& score) const {
+  if (!valid() || k == 0) return {};
+  const int n = static_cast<int>(pins_.size());
+  struct Scored {
+    double score;
+    KV kv;
+  };
+  auto better = [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.kv.key < b.kv.key;
+  };
+  // Scatter: each shard reduces its pinned store to a local top-k, so the
+  // gather merges n*k candidates instead of every record.
+  std::vector<std::vector<Scored>> parts(n);
+  ParallelFor(pool_, n, [&](int s) {
+    shard_reads_[s]->Increment();
+    const ResultStore* store = pins_[s].store();
+    if (store == nullptr) return;
+    std::vector<Scored>& part = parts[s];
+    store->VisitRange("", "", [&](const KV& kv) {
+      Scored cand{score(kv), kv};
+      if (part.size() < k) {
+        part.push_back(std::move(cand));
+        std::push_heap(part.begin(), part.end(), better);  // min at front
+      } else if (better(cand, part.front())) {
+        std::pop_heap(part.begin(), part.end(), better);
+        part.back() = std::move(cand);
+        std::push_heap(part.begin(), part.end(), better);
+      }
+      return true;
+    });
+  });
+  std::vector<Scored> all;
+  for (auto& part : parts) {
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(), better);
+  std::vector<KV> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(std::move(all[i].kv));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ShardGroup
+// ---------------------------------------------------------------------------
+
+ShardGroup::ShardGroup(ShardRouter* router, ShardGroupOptions options)
+    : router_(router),
+      options_(options),
+      scatter_pool_(options.scatter_threads > 0
+                        ? options.scatter_threads
+                        : std::min(router->num_shards(), 8)) {
+  MetricsRegistry* metrics = router_->metrics();
+  const std::string base = "serving." + router_->name();
+  shard_reads_.reserve(router_->num_shards());
+  for (int s = 0; s < router_->num_shards(); ++s) {
+    shard_reads_.push_back(metrics->Get(base + ".shard" + std::to_string(s) +
+                                        ".snapshot_reads"));
+  }
+  snapshots_pinned_ = metrics->Get(base + ".snapshots_pinned");
+  reads_rejected_ = metrics->Get(base + ".reads_rejected");
+}
+
+StatusOr<ShardSnapshot> ShardGroup::PinSnapshot(
+    const std::string& tenant) const {
+  if (options_.admission != nullptr && !tenant.empty() &&
+      !options_.admission->AdmitRead(tenant)) {
+    reads_rejected_->Increment();
+    return Status::ResourceExhausted("tenant " + tenant +
+                                     " over read quota");
+  }
+  ShardSnapshot snap;
+  snap.router_ = router_;
+  snap.pool_ = &scatter_pool_;
+  snap.shard_reads_ = shard_reads_;
+  snap.pins_.reserve(router_->num_shards());
+  snap.epochs_.reserve(router_->num_shards());
+  for (int s = 0; s < router_->num_shards(); ++s) {
+    EpochPin pin = router_->shard(s)->PinServing();
+    if (!pin.valid()) {
+      return Status::FailedPrecondition("shard " + std::to_string(s) +
+                                        " not bootstrapped");
+    }
+    snap.epochs_.push_back(pin.epoch());
+    snap.pins_.push_back(std::move(pin));
+  }
+  snapshots_pinned_->Increment();
+  return snap;
+}
+
+StatusOr<std::string> ShardGroup::Get(const std::string& tenant,
+                                      const std::string& key) const {
+  if (options_.admission != nullptr && !tenant.empty() &&
+      !options_.admission->AdmitRead(tenant)) {
+    reads_rejected_->Increment();
+    return Status::ResourceExhausted("tenant " + tenant +
+                                     " over read quota");
+  }
+  return router_->Lookup(key);
+}
+
+Status ShardGroup::RefreshAll() { return router_->DrainAll(); }
+
+}  // namespace i2mr

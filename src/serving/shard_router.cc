@@ -1,0 +1,187 @@
+#include "serving/shard_router.h"
+
+#include <cstdio>
+#include <thread>
+
+#include "common/hash.h"
+#include "io/env.h"
+
+namespace i2mr {
+namespace {
+
+std::string ShardDirName(int s) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%03d", s);
+  return buf;
+}
+
+std::string ShardMetricsPrefix(const std::string& name, int s) {
+  return "serving." + name + ".shard" + std::to_string(s);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::string name, ShardRouterOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {}
+
+ShardRouter::~ShardRouter() { Stop(); }
+
+StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
+    const std::string& root, const std::string& name,
+    ShardRouterOptions options) {
+  if (options.num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be > 0");
+  }
+  if (options.metrics == nullptr) options.metrics = MetricsRegistry::Default();
+  std::unique_ptr<ShardRouter> router(
+      new ShardRouter(name, std::move(options)));
+  const ShardRouterOptions& opts = router->options_;
+  I2MR_RETURN_IF_ERROR(CreateDirs(root));
+  for (int s = 0; s < opts.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Each shard's cluster root is disjoint by construction; reset=false
+    // re-attaches all of them for crash recovery (collision-free now that
+    // LocalCluster job dirs are instance-namespaced).
+    shard->cluster = std::make_unique<LocalCluster>(
+        JoinPath(root, ShardDirName(s)), opts.workers_per_shard, opts.cost,
+        opts.reset);
+    PipelineManagerOptions mopts = opts.manager;
+    mopts.metrics = opts.metrics;
+    mopts.metrics_prefix = ShardMetricsPrefix(name, s);
+    if (opts.admission != nullptr && !opts.tenant.empty()) {
+      // The tenant's epoch quota gates every shard's refresh scheduling.
+      AdmissionController* admission = opts.admission;
+      std::string tenant = opts.tenant;
+      mopts.epoch_gate = [admission, tenant](const Pipeline&) {
+        return admission->AdmitEpoch(tenant);
+      };
+    }
+    shard->manager =
+        std::make_unique<PipelineManager>(shard->cluster.get(), mopts);
+    auto pipeline = shard->manager->Register(name, opts.pipeline);
+    if (!pipeline.ok()) return pipeline.status();
+    shard->pipeline = pipeline.value();
+    router->shards_.push_back(std::move(shard));
+  }
+  router->deltas_routed_ =
+      opts.metrics->Get("serving." + name + ".router.deltas_routed");
+  router->lookups_routed_ =
+      opts.metrics->Get("serving." + name + ".router.lookups_routed");
+  return router;
+}
+
+int ShardRouter::ShardOf(std::string_view key) const {
+  return static_cast<int>(Hash64(key) % shards_.size());
+}
+
+Status ShardRouter::Bootstrap(const std::vector<KV>& structure,
+                              const std::vector<KV>& initial_state) {
+  const int n = num_shards();
+  std::vector<std::vector<KV>> structure_parts(n), state_parts(n);
+  for (const auto& kv : structure) structure_parts[ShardOf(kv.key)].push_back(kv);
+  for (const auto& kv : initial_state) state_parts[ShardOf(kv.key)].push_back(kv);
+  // Shards bootstrap concurrently: each runs its full computation on its
+  // own cluster's worker pool.
+  std::vector<Status> status(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    threads.emplace_back([this, s, &structure_parts, &state_parts, &status] {
+      status[s] =
+          shards_[s]->pipeline->Bootstrap(structure_parts[s], state_parts[s]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& st : status) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+bool ShardRouter::bootstrapped() const {
+  for (const auto& shard : shards_) {
+    if (!shard->pipeline->bootstrapped()) return false;
+  }
+  return !shards_.empty();
+}
+
+StatusOr<uint64_t> ShardRouter::Append(const DeltaKV& delta) {
+  deltas_routed_->Increment();
+  return shards_[ShardOf(delta.key)]->pipeline->Append(delta);
+}
+
+Status ShardRouter::AppendBatch(const std::vector<DeltaKV>& deltas) {
+  const int n = num_shards();
+  std::vector<std::vector<DeltaKV>> parts(n);
+  for (const auto& d : deltas) parts[ShardOf(d.key)].push_back(d);
+  deltas_routed_->Add(static_cast<int64_t>(deltas.size()));
+  std::vector<int> targets;
+  for (int s = 0; s < n; ++s) {
+    if (!parts[s].empty()) targets.push_back(s);
+  }
+  if (targets.size() == 1) {
+    auto seq = shards_[targets[0]]->pipeline->AppendBatch(parts[targets[0]]);
+    return seq.ok() ? Status::OK() : seq.status();
+  }
+  // Shard logs are independent: overlap the per-shard appends so a synced
+  // (kPowerFailure) batch pays max(shard fsync), not sum over shards.
+  std::vector<Status> status(targets.size());
+  std::vector<std::thread> threads;
+  threads.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    threads.emplace_back([this, i, &targets, &parts, &status] {
+      auto seq = shards_[targets[i]]->pipeline->AppendBatch(parts[targets[i]]);
+      status[i] = seq.ok() ? Status::OK() : seq.status();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& st : status) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ShardRouter::Lookup(const std::string& key) const {
+  lookups_routed_->Increment();
+  return shards_[ShardOf(key)]->pipeline->Lookup(key);
+}
+
+void ShardRouter::Start() {
+  for (const auto& shard : shards_) shard->manager->Start();
+}
+
+void ShardRouter::Stop() {
+  for (const auto& shard : shards_) shard->manager->Stop();
+}
+
+Status ShardRouter::DrainAll() {
+  std::vector<Status> status(shards_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    threads.emplace_back(
+        [this, s, &status] { status[s] = shards_[s]->manager->DrainAll(); });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& st : status) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+uint64_t ShardRouter::TotalPending() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->pipeline->pending();
+  return total;
+}
+
+std::vector<uint64_t> ShardRouter::CommittedEpochs() const {
+  std::vector<uint64_t> epochs;
+  epochs.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    epochs.push_back(shard->pipeline->committed_epoch());
+  }
+  return epochs;
+}
+
+}  // namespace i2mr

@@ -1,0 +1,133 @@
+// ShardRouter: hash-partitions one continuously-refreshed computation
+// across N shards. Each shard is a full vertical slice — its own
+// LocalCluster (under <root>/shard-NNN/), its own Pipeline (own DeltaLog,
+// epoch dirs, engine state) and its own PipelineManager scheduling that
+// pipeline's epochs — so shards ingest, refresh and serve independently;
+// nothing is shared but the process.
+//
+// Routing is by key: ShardOf(key) = Hash64(key) % num_shards, stable
+// across runs (the same property the shuffle partitioner relies on), so a
+// key's deltas, its committed state and its lookups always meet on the
+// same shard. Bootstrap() splits the initial structure/state the same way.
+//
+// Sharding assumes the app's computation partitions by key: each shard
+// refreshes over only its own structure subset, and cross-shard data
+// dependencies (e.g. PageRank contributions along edges that cross the
+// partition) are confined to their shard rather than exchanged. Apps with
+// global state (k-means' single centroid record) belong on one shard.
+//
+// Epoch-consistent cross-shard reads and per-tenant admission live one
+// layer up, in ShardGroup / AdmissionController.
+#ifndef I2MR_SERVING_SHARD_ROUTER_H_
+#define I2MR_SERVING_SHARD_ROUTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mr/cluster.h"
+#include "pipeline/pipeline_manager.h"
+#include "serving/admission.h"
+
+namespace i2mr {
+
+struct ShardRouterOptions {
+  int num_shards = 4;
+  int workers_per_shard = 2;
+
+  /// Per-shard cluster cost model.
+  CostModel cost;
+
+  /// true: wipe the shard roots (fresh deployment). false: re-attach and
+  /// recover every shard's committed epoch + delta log from disk.
+  bool reset = true;
+
+  /// Template for every shard's pipeline (spec, engine knobs, triggers,
+  /// durability). The spec's partition count applies per shard.
+  PipelineOptions pipeline;
+
+  /// Template for every shard's manager; metrics_prefix is overridden with
+  /// "serving.<name>.shard<i>" so one registry holds per-shard counter
+  /// families, and epoch_gate is overridden when admission is wired below.
+  PipelineManagerOptions manager;
+
+  /// Owning tenant + admission control: when both are set, every shard
+  /// manager's epoch_gate consults admission->AdmitEpoch(tenant), so this
+  /// computation's delta backlog competes for refresh slots under the
+  /// tenant's epoch quota.
+  std::string tenant;
+  AdmissionController* admission = nullptr;
+
+  /// Counter registry (Default() when null).
+  MetricsRegistry* metrics = nullptr;
+};
+
+class ShardRouter {
+ public:
+  /// Open (or with options.reset=false, recover) the sharded computation
+  /// `name` under `root`.
+  static StatusOr<std::unique_ptr<ShardRouter>> Open(const std::string& root,
+                                                     const std::string& name,
+                                                     ShardRouterOptions options);
+
+  ~ShardRouter();
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Stable shard assignment for a key.
+  int ShardOf(std::string_view key) const;
+
+  /// Split the initial structure/state by key and run every shard's full
+  /// computation + epoch-0 commit. Shards bootstrap concurrently.
+  Status Bootstrap(const std::vector<KV>& structure,
+                   const std::vector<KV>& initial_state);
+  bool bootstrapped() const;
+
+  /// Durably append one update to its key's shard.
+  StatusOr<uint64_t> Append(const DeltaKV& delta);
+  /// Partition a batch by key and append per shard (one group per shard).
+  Status AppendBatch(const std::vector<DeltaKV>& deltas);
+
+  /// Point lookup from the key's shard's latest committed epoch.
+  StatusOr<std::string> Lookup(const std::string& key) const;
+
+  /// Background epoch scheduling on every shard.
+  void Start();
+  void Stop();
+  /// Run epochs everywhere until no shard has pending deltas; blocks.
+  Status DrainAll();
+
+  /// Deltas logged but not yet consumed, summed over shards.
+  uint64_t TotalPending() const;
+
+  /// Committed epoch id per shard (the version vector readers pin).
+  std::vector<uint64_t> CommittedEpochs() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const std::string& name() const { return name_; }
+  const std::string& tenant() const { return options_.tenant; }
+  Pipeline* shard(int i) const { return shards_[i]->pipeline; }
+  PipelineManager* manager(int i) const { return shards_[i]->manager.get(); }
+  LocalCluster* cluster(int i) const { return shards_[i]->cluster.get(); }
+  MetricsRegistry* metrics() const { return options_.metrics; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<LocalCluster> cluster;
+    std::unique_ptr<PipelineManager> manager;
+    Pipeline* pipeline = nullptr;  // owned by manager
+  };
+
+  ShardRouter(std::string name, ShardRouterOptions options);
+
+  const std::string name_;
+  ShardRouterOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Counter* deltas_routed_ = nullptr;
+  Counter* lookups_routed_ = nullptr;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_SERVING_SHARD_ROUTER_H_

@@ -2,8 +2,10 @@
 // metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -396,6 +398,75 @@ TEST(KVTest, Ordering) {
   EXPECT_LT((KV{"a", "z"}), (KV{"b", "a"}));
   EXPECT_LT((KV{"a", "a"}), (KV{"a", "b"}));
   EXPECT_EQ((KV{"a", "a"}), (KV{"a", "a"}));
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetIsStableAndCountersAccumulate) {
+  MetricsRegistry registry;
+  Counter* c = registry.Get("pipeline.epochs");
+  EXPECT_EQ(c, registry.Get("pipeline.epochs"));  // get-or-create, stable
+  c->Increment();
+  c->Add(4);
+  EXPECT_EQ(c->value(), 5);
+  EXPECT_EQ(registry.Get("pipeline.epochs")->value(), 5);
+  EXPECT_EQ(registry.Get("pipeline.other")->value(), 0);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedAndPrefixAggregation) {
+  MetricsRegistry registry;
+  registry.Get("serving.pr.shard0.reads")->Add(3);
+  registry.Get("serving.pr.shard1.reads")->Add(5);
+  registry.Get("serving.pr.router.deltas")->Add(7);
+  registry.Get("other.counter")->Add(11);
+
+  auto snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+
+  EXPECT_EQ(registry.SumPrefixed("serving.pr.shard"), 8);
+  EXPECT_EQ(registry.SumPrefixed("serving.pr."), 15);
+  EXPECT_EQ(registry.SumPrefixed(""), 26);
+  EXPECT_EQ(registry.SumPrefixed("no.such."), 0);
+
+  std::string text = registry.ToString("serving.pr.shard");
+  EXPECT_NE(text.find("serving.pr.shard0.reads=3"), std::string::npos);
+  EXPECT_NE(text.find("serving.pr.shard1.reads=5"), std::string::npos);
+  EXPECT_EQ(text.find("other.counter"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetAndIncrementIsSafe) {
+  MetricsRegistry registry;
+  const int kThreads = 8, kIters = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Half the threads hammer a shared counter, half create their own —
+      // insertion must never invalidate a live Counter*.
+      Counter* mine = registry.Get("concurrent.t" + std::to_string(t));
+      Counter* shared = registry.Get("concurrent.shared");
+      for (int i = 0; i < kIters; ++i) {
+        mine->Increment();
+        shared->Increment();
+        if (i % 100 == 0) {
+          registry.Get("concurrent.extra.t" + std::to_string(t) + "." +
+                       std::to_string(i));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.Get("concurrent.shared")->value(), kThreads * kIters);
+  EXPECT_EQ(registry.SumPrefixed("concurrent.t"), kThreads * kIters);
+}
+
+TEST(StatusTest, ResourceExhaustedCode) {
+  Status st = Status::ResourceExhausted("tenant over quota");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsResourceExhausted());
+  EXPECT_EQ(st.ToString(), "RESOURCE_EXHAUSTED: tenant over quota");
 }
 
 }  // namespace

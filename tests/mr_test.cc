@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -303,6 +304,42 @@ TEST_F(MrTest, CostModelJobStartupAddsWallTime) {
   JobResult result;
   RunWordCount(&cluster, lines, 1, 1, false, &result);
   EXPECT_GE(result.wall_ms, 50.0);
+}
+
+TEST_F(MrTest, SharedRootInstancesGetDisjointJobDirs) {
+  // N shard clusters may live under one root (the serving layer's
+  // re-attach path): job scratch dirs must never collide across
+  // instances, and a second attacher must not wipe the first one's
+  // in-flight job dirs.
+  LocalCluster first(root_, 1);
+  std::string first_job = first.NewJobDir("job");
+  ASSERT_TRUE(WriteStringToFile(JoinPath(first_job, "spill.dat"), "x").ok());
+
+  LocalCluster second(root_, 1, CostModel{}, /*reset=*/false);
+  // The re-attach did NOT clear the sibling's live job dir...
+  EXPECT_TRUE(FileExists(JoinPath(first_job, "spill.dat")));
+  // ...and the same logical job name lands on a different directory.
+  std::string second_job = second.NewJobDir("job");
+  EXPECT_NE(first_job, second_job);
+  // Both instances keep allocating without ever colliding.
+  std::set<std::string> dirs = {first_job, second_job};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(dirs.insert(first.NewJobDir("job")).second);
+    EXPECT_TRUE(dirs.insert(second.NewJobDir("job")).second);
+  }
+}
+
+TEST_F(MrTest, FreshReattachAfterAllInstancesGoneClearsStaleJobDirs) {
+  std::string stale;
+  {
+    LocalCluster cluster(root_, 1);
+    stale = cluster.NewJobDir("crashed");
+    ASSERT_TRUE(WriteStringToFile(JoinPath(stale, "spill.dat"), "x").ok());
+  }
+  // No live instance on the root: the re-attach clears crashed-run spills
+  // (a replayed job must not merge them into its reduce input).
+  LocalCluster reattached(root_, 1, CostModel{}, /*reset=*/false);
+  EXPECT_FALSE(FileExists(JoinPath(stale, "spill.dat")));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
-"""Smoke-check a fresh BENCH_pipeline.json against the checked-in baseline.
+"""Smoke-check a fresh BENCH_*.json against its checked-in baseline.
 
-CI runs the pipeline bench on every push; this gate fails the job when mean
-epoch latency regresses by more than --max-ratio (default 2x) at any delta
-rate present in both files. To stay meaningful across machines of very
-different speed (a laptop-generated baseline vs a CI runner), the metric is
-normalized by the same run's full-recompute time by default: the gated
-quantity is mean_epoch_ms / full_recompute_ms, i.e. "epoch latency in units
-of what a from-scratch recompute costs on this machine". Pass
---absolute to compare raw milliseconds instead.
+CI runs the pipeline and serving benches on every push; this gate fails
+the job when the gated metric regresses by more than --max-ratio at any
+--key value present in both files (delta_rate for BENCH_pipeline.json,
+shards for BENCH_serving.json). To stay meaningful across machines of very
+different speed (a laptop-generated baseline vs a CI runner), the metric
+is normalized by the same run's full-recompute time when the file records
+one: the gated quantity is then metric / full_recompute_ms, i.e. "latency
+in units of what a from-scratch recompute costs on this machine". Files
+without a normalizer (BENCH_serving.json) compare raw values; pass
+--absolute to force that everywhere.
 
-It is a smoke check, not a microbenchmark harness: the 2x bar absorbs
-runner noise while still catching an O(live bytes) regression sneaking back
-into the epoch commit or purge path.
+It is a smoke check, not a microbenchmark harness: the ratio bar absorbs
+runner noise while still catching an O(live bytes) regression sneaking
+back into the epoch commit/purge path, or a pinned read starting to block
+on refreshes (which moves p99 by orders of magnitude, not percents).
 
 Usage: check_bench_regression.py --baseline BENCH_pipeline.json \
-           --current build/BENCH_pipeline.json [--max-ratio 2.0] [--absolute]
+           --current build/BENCH_pipeline.json [--key delta_rate] \
+           [--metric mean_epoch_ms] [--max-ratio 2.0] [--absolute]
 """
 
 import argparse
@@ -23,10 +27,10 @@ import json
 import sys
 
 
-def load(path):
+def load(path, key):
     with open(path) as f:
         data = json.load(f)
-    return data, {r["delta_rate"]: r for r in data.get("results", [])}
+    return data, {r[key]: r for r in data.get("results", []) if key in r}
 
 
 def metric_value(data, rate_entry, metric, absolute):
@@ -47,33 +51,41 @@ def main():
     parser.add_argument("--current", required=True)
     parser.add_argument("--max-ratio", type=float, default=2.0)
     parser.add_argument(
+        "--key", default="delta_rate",
+        help="result field identifying comparable entries "
+             "(delta_rate for the pipeline bench, shards for the serving "
+             "bench)")
+    parser.add_argument(
         "--metric", default="mean_epoch_ms",
-        help="per-rate metric to compare (default: mean_epoch_ms)")
+        help="per-entry metric to compare (default: mean_epoch_ms)")
     parser.add_argument(
         "--absolute", action="store_true",
         help="compare raw values instead of normalizing by full_recompute_ms")
     args = parser.parse_args()
 
-    baseline_data, baseline = load(args.baseline)
-    current_data, current = load(args.current)
+    baseline_data, baseline = load(args.baseline, args.key)
+    current_data, current = load(args.current, args.key)
     shared = sorted(set(baseline) & set(current))
     if not shared:
-        print("check_bench_regression: no shared delta rates between "
-              f"{args.baseline} and {args.current}", file=sys.stderr)
+        print(f"check_bench_regression: no shared '{args.key}' entries "
+              f"between {args.baseline} and {args.current}", file=sys.stderr)
         return 1
 
-    unit = args.metric if args.absolute else f"{args.metric}/full_recompute_ms"
+    normalized = (not args.absolute
+                  and baseline_data.get("full_recompute_ms")
+                  and current_data.get("full_recompute_ms"))
+    unit = f"{args.metric}/full_recompute_ms" if normalized else args.metric
     failed = False
-    for rate in shared:
-        base = metric_value(baseline_data, baseline[rate], args.metric,
+    for key in shared:
+        base = metric_value(baseline_data, baseline[key], args.metric,
                             args.absolute)
-        cur = metric_value(current_data, current[rate], args.metric,
+        cur = metric_value(current_data, current[key], args.metric,
                            args.absolute)
         if not base or cur is None:
             continue
         ratio = cur / base
         verdict = "OK" if ratio <= args.max_ratio else "REGRESSED"
-        print(f"delta_rate={rate}: {unit} {base:.4f} -> {cur:.4f} "
+        print(f"{args.key}={key}: {unit} {base:.4f} -> {cur:.4f} "
               f"({ratio:.2f}x, limit {args.max_ratio:.2f}x) {verdict}")
         if ratio > args.max_ratio:
             failed = True
