@@ -91,6 +91,9 @@ void AblationAppendBuffer() {
     IncrIterOptions options;
     options.filter_threshold = 0.1;
     options.store_options.append_buffer_bytes = buf;
+    // The ablation sweeps how the append buffer shapes re-read I/O; the
+    // engine-default appended-tail cache would absorb exactly those reads.
+    options.store_options.tail_cache_bytes = 0;
     IncrementalIterativeEngine engine(
         &cluster, pagerank::MakeIterSpec("abl_c", Workers(), 40, 1e-3),
         options);

@@ -41,6 +41,13 @@ struct RateResult {
   double mean_refresh_ms = 0;
   double mean_commit_ms = 0;
   double mean_iterations = 0;
+  // Refresh breakdown: per-stage wall time summed over an epoch's
+  // iterations and tasks (StageMetrics), averaged over epochs.
+  double mean_map_ms = 0;
+  double mean_shuffle_ms = 0;
+  double mean_sort_ms = 0;
+  double mean_reduce_ms = 0;
+  double mean_merge_ms = 0;
 };
 
 struct PurgeResult {
@@ -190,6 +197,7 @@ int main() {
     RateResult r;
     r.delta_rate = rate;
     double epoch_ms = 0, refresh_ms = 0, commit_ms = 0, iters = 0;
+    double map_ms = 0, shuffle_ms = 0, sort_ms = 0, reduce_ms = 0, merge_ms = 0;
     for (int e = 0; e < kEpochsPerRate; ++e) {
       GraphDeltaOptions dopt;
       dopt.update_fraction = rate;
@@ -210,16 +218,30 @@ int main() {
       refresh_ms += stats->refresh_ms;
       commit_ms += stats->commit_ms;
       iters += static_cast<double>(stats->iterations);
+      map_ms += stats->refresh_map_ms;
+      shuffle_ms += stats->refresh_shuffle_ms;
+      sort_ms += stats->refresh_sort_ms;
+      reduce_ms += stats->refresh_reduce_ms;
+      merge_ms += stats->refresh_merge_ms;
       ++r.epochs;
     }
     r.mean_epoch_ms = epoch_ms / r.epochs;
     r.mean_refresh_ms = refresh_ms / r.epochs;
     r.mean_commit_ms = commit_ms / r.epochs;
     r.mean_iterations = iters / r.epochs;
+    r.mean_map_ms = map_ms / r.epochs;
+    r.mean_shuffle_ms = shuffle_ms / r.epochs;
+    r.mean_sort_ms = sort_ms / r.epochs;
+    r.mean_reduce_ms = reduce_ms / r.epochs;
+    r.mean_merge_ms = merge_ms / r.epochs;
     results.push_back(r);
     std::printf("%-12.3f %-16llu %-14.1f %-14.1f %-14.1f %.1f\n", rate,
                 (unsigned long long)r.deltas_per_epoch, r.mean_epoch_ms,
                 r.mean_refresh_ms, r.mean_commit_ms, r.mean_iterations);
+    std::printf("%12s breakdown: map %.1f | shuffle %.1f | sort %.1f | "
+                "reduce %.1f (merge %.1f) ms\n", "",
+                r.mean_map_ms, r.mean_shuffle_ms, r.mean_sort_ms,
+                r.mean_reduce_ms, r.mean_merge_ms);
   }
 
   // Full-recompute baseline on the final snapshot, for context.
@@ -296,6 +318,11 @@ int main() {
   std::fprintf(json, "{\n");
   std::fprintf(json, "  \"bench\": \"pipeline_epochs\",\n");
   std::fprintf(json, "  \"workload\": \"pagerank\",\n");
+  std::fprintf(json, "  \"shuffle_mode\": \"%s\",\n",
+               EffectiveShuffleMode(ShuffleMode::kInMemory) ==
+                       ShuffleMode::kDisk
+                   ? "disk"
+                   : "in-memory");
   std::fprintf(json, "  \"num_vertices\": %d,\n", n);
   std::fprintf(json, "  \"workers\": %d,\n", bench::Workers());
   std::fprintf(json, "  \"bootstrap_ms\": %.1f,\n", bootstrap_ms);
@@ -307,11 +334,15 @@ int main() {
                  "    {\"delta_rate\": %.3f, \"deltas_per_epoch\": %llu, "
                  "\"epochs\": %d, \"mean_epoch_ms\": %.1f, "
                  "\"mean_refresh_ms\": %.1f, \"mean_commit_ms\": %.1f, "
-                 "\"mean_iterations\": %.1f}%s\n",
+                 "\"mean_iterations\": %.1f, "
+                 "\"mean_map_ms\": %.1f, \"mean_shuffle_ms\": %.1f, "
+                 "\"mean_sort_ms\": %.1f, \"mean_reduce_ms\": %.1f, "
+                 "\"mean_merge_ms\": %.1f}%s\n",
                  r.delta_rate, (unsigned long long)r.deltas_per_epoch,
                  r.epochs, r.mean_epoch_ms, r.mean_refresh_ms,
-                 r.mean_commit_ms, r.mean_iterations,
-                 i + 1 < results.size() ? "," : "");
+                 r.mean_commit_ms, r.mean_iterations, r.mean_map_ms,
+                 r.mean_shuffle_ms, r.mean_sort_ms, r.mean_reduce_ms,
+                 r.mean_merge_ms, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n");
   std::fprintf(json, "  \"purge\": [\n");

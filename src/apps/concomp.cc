@@ -24,12 +24,12 @@ class ConCompMapper : public IterMapper {
 class ConCompReducer : public IterReducer {
  public:
   std::string Reduce(const std::string& dk,
-                     const std::vector<std::string>& values,
+                     const std::vector<std::string_view>& values,
                      const std::string* prev_dv) override {
     // Labels are padded decimal ids: lexicographic order == numeric order.
     std::string best = prev_dv != nullptr ? *prev_dv : dk;
     for (const auto& v : values) {
-      if (v < best) best = v;
+      if (v < best) best.assign(v);
     }
     return best;
   }

@@ -49,7 +49,7 @@ class GimvReducer : public IterReducer {
       : block_size_(block_size), bias_(bias) {}
 
   std::string Reduce(const std::string& /*dk*/,
-                     const std::vector<std::string>& values,
+                     const std::vector<std::string_view>& values,
                      const std::string* /*prev_dv*/) override {
     // combineAll + assign: v'_i = Σ_j mv_ij + bias.
     std::vector<double> sum(block_size_, bias_);

@@ -54,16 +54,16 @@ std::string EncodePartials(const std::map<size_t, Partial>& partials) {
   return out;
 }
 
-void DecodePartialsInto(const std::string& s,
+void DecodePartialsInto(std::string_view s,
                         std::map<size_t, Partial>* partials) {
   size_t i = 0;
   while (i < s.size()) {
     size_t j = s.find(';', i);
-    if (j == std::string::npos) j = s.size();
-    std::string tok = s.substr(i, j - i);
+    if (j == std::string_view::npos) j = s.size();
+    std::string_view tok = s.substr(i, j - i);
     size_t c1 = tok.find(':');
     size_t c2 = tok.find(':', c1 + 1);
-    I2MR_CHECK(c1 != std::string::npos && c2 != std::string::npos);
+    I2MR_CHECK(c1 != std::string_view::npos && c2 != std::string_view::npos);
     size_t cid = *ParseNum(tok.substr(0, c1));
     int64_t count =
         static_cast<int64_t>(*ParseNum(tok.substr(c1 + 1, c2 - c1 - 1)));
@@ -111,7 +111,7 @@ class KmeansMapper : public IterMapper {
 class KmeansReducer : public IterReducer {
  public:
   std::string Reduce(const std::string& /*dk*/,
-                     const std::vector<std::string>& values,
+                     const std::vector<std::string_view>& values,
                      const std::string* prev_dv) override {
     I2MR_CHECK(prev_dv != nullptr) << "kmeans reduce needs previous centroids";
     auto centroids = DecodeCentroids(*prev_dv);

@@ -12,7 +12,7 @@ namespace i2mr {
 namespace pagerank {
 namespace {
 
-double ParseRank(const std::string& s) {
+double ParseRank(std::string_view s) {
   if (s.empty()) return 0.0;
   auto d = ParseDouble(s);
   I2MR_CHECK(d.ok()) << "bad rank: " << s;
@@ -35,7 +35,7 @@ class PageRankMapper : public IterMapper {
 class PageRankReducer : public IterReducer {
  public:
   std::string Reduce(const std::string& /*dk*/,
-                     const std::vector<std::string>& values,
+                     const std::vector<std::string_view>& values,
                      const std::string* /*prev_dv*/) override {
     double sum = 0;
     for (const auto& v : values) sum += ParseRank(v);

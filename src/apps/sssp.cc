@@ -13,7 +13,7 @@ namespace i2mr {
 namespace sssp {
 namespace {
 
-double ParseDist(const std::string& s) {
+double ParseDist(std::string_view s) {
   if (s.empty()) return kInf;
   auto d = ParseDouble(s);
   I2MR_CHECK(d.ok()) << "bad distance: " << s;
@@ -38,7 +38,7 @@ class SsspReducer : public IterReducer {
   explicit SsspReducer(std::string source) : source_(std::move(source)) {}
 
   std::string Reduce(const std::string& dk,
-                     const std::vector<std::string>& values,
+                     const std::vector<std::string_view>& values,
                      const std::string* /*prev_dv*/) override {
     double best = dk == source_ ? 0.0 : kInf;
     for (const auto& v : values) best = std::min(best, ParseDist(v));

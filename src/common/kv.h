@@ -2,9 +2,12 @@
 #ifndef I2MR_COMMON_KV_H_
 #define I2MR_COMMON_KV_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <tuple>
+#include <vector>
 
 namespace i2mr {
 
@@ -38,6 +41,116 @@ struct DeltaKV {
 };
 
 inline char DeltaOpChar(DeltaOp op) { return static_cast<char>(op); }
+
+/// Offset/length view of one record inside a FlatKVRun arena. Key and value
+/// carry independent offsets so a run can be built zero-copy over framed
+/// record-file bytes (where a length prefix sits between the two fields) as
+/// well as over tightly packed Append()ed bytes.
+struct KVRef {
+  uint64_t key_off = 0;
+  uint64_t val_off = 0;
+  uint32_t klen = 0;
+  uint32_t vlen = 0;
+};
+
+/// A flat run of kv records: one contiguous byte arena plus an offset/length
+/// entry per record. Sorting and merging permute the 24-byte refs instead of
+/// copying `std::string` pairs, which is what keeps the in-memory shuffle
+/// free of the per-record allocation storm the KV-vector representation
+/// paid. Lifetime: Append/AppendRun may reallocate the arena, so views
+/// returned by key()/value() are valid only while the run is no longer
+/// mutated (Sort is fine — it moves refs, not bytes) and not destroyed,
+/// cleared or moved-from. The shuffle honors this by finishing all writes
+/// to a run before any reader borrows it.
+class FlatKVRun {
+ public:
+  void Reserve(size_t records, size_t arena_bytes) {
+    refs_.reserve(records);
+    arena_.reserve(arena_bytes);
+  }
+
+  void Append(std::string_view key, std::string_view value) {
+    KVRef ref;
+    ref.key_off = arena_.size();
+    ref.klen = static_cast<uint32_t>(key.size());
+    ref.val_off = ref.key_off + key.size();
+    ref.vlen = static_cast<uint32_t>(value.size());
+    arena_.append(key.data(), key.size());
+    arena_.append(value.data(), value.size());
+    payload_bytes_ += key.size() + value.size();
+    refs_.push_back(ref);
+  }
+
+  void AppendRun(const FlatKVRun& other) {
+    uint64_t base = arena_.size();
+    arena_.append(other.arena_);
+    refs_.reserve(refs_.size() + other.refs_.size());
+    for (KVRef ref : other.refs_) {
+      ref.key_off += base;
+      ref.val_off += base;
+      refs_.push_back(ref);
+    }
+    payload_bytes_ += other.payload_bytes_;
+  }
+
+  /// Adopt a pre-filled arena and refs (zero-copy spill-file decode).
+  void Adopt(std::string arena, std::vector<KVRef> refs,
+             uint64_t payload_bytes) {
+    arena_ = std::move(arena);
+    refs_ = std::move(refs);
+    payload_bytes_ = payload_bytes;
+  }
+
+  size_t size() const { return refs_.size(); }
+  bool empty() const { return refs_.empty(); }
+
+  std::string_view key(size_t i) const { return key(refs_[i]); }
+  std::string_view value(size_t i) const { return value(refs_[i]); }
+  std::string_view key(const KVRef& r) const {
+    return std::string_view(arena_.data() + r.key_off, r.klen);
+  }
+  std::string_view value(const KVRef& r) const {
+    return std::string_view(arena_.data() + r.val_off, r.vlen);
+  }
+
+  std::vector<KVRef>& refs() { return refs_; }
+  const std::vector<KVRef>& refs() const { return refs_; }
+
+  /// Bytes this run occupies in memory (arena + refs) — what a shuffle
+  /// memory budget accounts against.
+  uint64_t memory_bytes() const {
+    return arena_.size() + refs_.size() * sizeof(KVRef);
+  }
+
+  /// Bytes this run would occupy as a record file
+  /// ([u32 klen][key][u32 vlen][value] per record) — the size its disk
+  /// spill would have had, used to keep the shuffle's simulated network
+  /// charges identical between the in-memory and disk paths.
+  uint64_t serialized_bytes() const {
+    return payload_bytes_ + 8u * refs_.size();
+  }
+
+  /// Sort refs by (key, value), the record-file spill order.
+  void Sort() {
+    std::sort(refs_.begin(), refs_.end(),
+              [this](const KVRef& a, const KVRef& b) {
+                int c = key(a).compare(key(b));
+                if (c != 0) return c < 0;
+                return value(a) < value(b);
+              });
+  }
+
+  void Clear() {
+    arena_.clear();
+    refs_.clear();
+    payload_bytes_ = 0;
+  }
+
+ private:
+  std::string arena_;
+  std::vector<KVRef> refs_;
+  uint64_t payload_bytes_ = 0;
+};
 
 }  // namespace i2mr
 

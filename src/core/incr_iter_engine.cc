@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -194,12 +195,17 @@ Status IncrementalIterativeEngine::PreserveMRBGraph(double* elapsed_ms) {
   std::string job_dir = cluster_->NewJobDir(spec_.name + "-preserve");
   StageMetrics metrics;
   Partitioner hash_partitioner;
+  std::unique_ptr<ShuffleExchange> exchange;
+  if (EffectiveShuffleMode(spec_.shuffle_mode) == ShuffleMode::kInMemory) {
+    exchange = std::make_unique<ShuffleExchange>(n, spec_.shuffle_memory_bytes);
+  }
 
   std::vector<Status> map_status(n);
   ParallelFor(cluster_->pool(), n, [&](int p) {
     map_status[p] = [&]() -> Status {
       auto mapper = spec_.mapper();
-      ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p));
+      ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p),
+                           exchange.get());
       TaggingMapContext ctx(&writer);
       ctx.Begin(Hash64("__setup__"), false);
       mapper->Setup(&ctx);
@@ -223,17 +229,20 @@ Status IncrementalIterativeEngine::PreserveMRBGraph(double* elapsed_ms) {
       I2MR_RETURN_IF_ERROR(ResetDir(MrbgDir(r)));
       auto store = MRBGStore::Open(MrbgDir(r), options_.store_options);
       if (!store.ok()) return store.status();
-      std::vector<std::string> spills;
+      ShuffleReader::Source source;
+      source.exchange = exchange.get();
+      source.partition = r;
       for (int m = 0; m < n; ++m) {
-        spills.push_back(JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
+        source.spill_files.push_back(
+            JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
       }
-      auto reader = ShuffleReader::Open(spills, cluster_->cost(), &metrics);
+      auto reader = ShuffleReader::Open(source, cluster_->cost(), &metrics);
       if (!reader.ok()) return reader.status();
-      std::string key;
-      std::vector<std::string> values;
+      std::string_view key;
+      std::vector<std::string_view> values;
       while (reader.value()->NextGroup(&key, &values)) {
         Chunk chunk;
-        chunk.key = key;
+        chunk.key.assign(key);
         chunk.entries.reserve(values.size());
         for (const auto& enc : values) {
           DeltaEdge e;
@@ -322,20 +331,22 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
   std::string job_dir =
       cluster_->NewJobDir(spec_.name + "-incr-it" + std::to_string(iter));
   Partitioner hash_partitioner;
+  std::unique_ptr<ShuffleExchange> exchange;
+  if (EffectiveShuffleMode(spec_.shuffle_mode) == ShuffleMode::kInMemory) {
+    exchange = std::make_unique<ShuffleExchange>(n, spec_.shuffle_memory_bytes);
+  }
 
   // Take this iteration's delta-state inputs out of the contexts (the
   // reduce phase below refills them for the next iteration).
-  std::vector<std::vector<KV>> cur_delta(n);
-  std::vector<KV> shared_delta;  // all-to-one broadcast
+  std::vector<FlatKVRun> cur_delta(n);
+  FlatKVRun shared_delta;  // all-to-one broadcast
   if (struct_delta == nullptr) {
     for (int p = 0; p < n; ++p) {
       cur_delta[p] = std::move((*ctxs)[p].delta_state);
-      (*ctxs)[p].delta_state.clear();
+      (*ctxs)[p].delta_state = FlatKVRun();
     }
     if (all_to_one()) {
-      for (auto& d : cur_delta) {
-        shared_delta.insert(shared_delta.end(), d.begin(), d.end());
-      }
+      for (const auto& d : cur_delta) shared_delta.AppendRun(d);
     }
   }
 
@@ -360,7 +371,8 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
     map_status[p] = run_with_recovery(TaskId::Kind::kMap, p, [&]() -> Status {
       cluster_->cost().ChargeTaskStartup();
       auto mapper = spec_.mapper();
-      ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p));
+      ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p),
+                           exchange.get());
       TaggingMapContext ctx(&writer);
       int64_t count = 0;
       ScopedTimer t(&metrics.map_ns);
@@ -380,17 +392,21 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
       } else {
         // Iteration j >= 2: the delta input is the delta state data. Re-run
         // the Map instances of every structure kv-pair interdependent with a
-        // changed state kv-pair.
-        const std::vector<KV>& deltas =
-            all_to_one() ? shared_delta : cur_delta[p];
+        // changed state kv-pair. The deltas live in a flat arena; the probe
+        // key is one reused buffer (assign, not construct — no per-delta
+        // allocation in steady state) and dv materializes only on a hit.
+        const FlatKVRun& deltas = all_to_one() ? shared_delta : cur_delta[p];
         const auto& ctxp = (*ctxs)[p];
-        for (const auto& d : deltas) {
-          auto range = ctxp.dk_ranges.find(d.key);
+        std::string dk, dv;
+        for (size_t di = 0; di < deltas.size(); ++di) {
+          dk.assign(deltas.key(di));
+          auto range = ctxp.dk_ranges.find(dk);
           if (range == ctxp.dk_ranges.end()) continue;
+          dv.assign(deltas.value(di));
           for (size_t i = range->second.first; i < range->second.second; ++i) {
             const KV& rec = ctxp.structure[i];
             ctx.Begin(MapInstanceKey(rec.key, rec.value), false);
-            mapper->Map(rec.key, rec.value, d.key, d.value, &ctx);
+            mapper->Map(rec.key, rec.value, dk, dv, &ctx);
             ++count;
           }
         }
@@ -414,45 +430,58 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
     reduce_status[r] = run_with_recovery(TaskId::Kind::kReduce, r,
                                          [&]() -> Status {
       cluster_->cost().ChargeTaskStartup();
-      std::vector<std::string> spills;
+      ShuffleReader::Source source;
+      source.exchange = exchange.get();
+      source.partition = r;
       for (int m = 0; m < n; ++m) {
-        spills.push_back(JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
+        source.spill_files.push_back(
+            JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
       }
-      auto reader = ShuffleReader::Open(spills, cluster_->cost(), &metrics);
+      auto reader = ShuffleReader::Open(source, cluster_->cost(), &metrics);
       if (!reader.ok()) return reader.status();
 
       // Group the delta MRBGraph.
       std::vector<std::pair<std::string, std::vector<DeltaEdge>>> groups;
       {
-        std::string key;
-        std::vector<std::string> values;
+        std::string_view key;
+        std::vector<std::string_view> values;
         while (reader.value()->NextGroup(&key, &values)) {
           std::vector<DeltaEdge> edges;
           edges.reserve(values.size());
           for (const auto& enc : values) {
             DeltaEdge e;
             I2MR_RETURN_IF_ERROR(DecodeEdgeValue(enc, &e));
-            e.k2 = key;
+            e.k2.assign(key);
             edges.push_back(std::move(e));
           }
-          groups.emplace_back(key, std::move(edges));
+          groups.emplace_back(std::string(key), std::move(edges));
         }
       }
       // Iteration 1: force reduce instances of brand-new DKs (inserted
-      // structure records whose state kv-pair does not exist yet).
+      // structure records whose state kv-pair does not exist yet). The
+      // groups from the shuffle are already sorted; the forced stragglers
+      // are sorted on their own and folded in with one stable merge
+      // instead of hashing into a std::set and re-sorting everything.
       if (struct_delta != nullptr && !(*ctxs)[r].forced_dks.empty()) {
-        std::set<std::string> present;
+        std::unordered_set<std::string_view> present;
+        present.reserve(groups.size());
         for (const auto& [k, _] : groups) present.insert(k);
-        bool added = false;
+        std::vector<std::string> missing;
         for (const auto& dk : (*ctxs)[r].forced_dks) {
-          if (present.insert(dk).second) {
-            groups.emplace_back(dk, std::vector<DeltaEdge>());
-            added = true;
-          }
+          if (present.count(dk) == 0) missing.push_back(dk);
         }
-        if (added) {
-          std::sort(groups.begin(), groups.end(),
-                    [](const auto& a, const auto& b) { return a.first < b.first; });
+        if (!missing.empty()) {
+          std::sort(missing.begin(), missing.end());
+          missing.erase(std::unique(missing.begin(), missing.end()),
+                        missing.end());
+          size_t mid = groups.size();
+          groups.reserve(groups.size() + missing.size());
+          for (auto& dk : missing) {
+            groups.emplace_back(std::move(dk), std::vector<DeltaEdge>());
+          }
+          std::inplace_merge(
+              groups.begin(), groups.begin() + mid, groups.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
         }
         (*ctxs)[r].forced_dks.clear();
       }
@@ -468,13 +497,14 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
       double local_diff = 0;
       {
         ScopedTimer t(&metrics.reduce_ns);
+        std::vector<std::string_view> values;
         for (const auto& [dk, edges] : groups) {
           Chunk merged;
           {
             ScopedTimer mt(&merge_ns);
             I2MR_RETURN_IF_ERROR(store->MergeGroup(dk, edges, &merged));
           }
-          std::vector<std::string> values;
+          values.clear();
           values.reserve(merged.entries.size());
           for (const auto& e : merged.entries) values.push_back(e.v2);
 
@@ -499,7 +529,7 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
             emit = accumulated > options_.filter_threshold;
           }
           if (emit) {
-            ctxr.delta_state.push_back(KV{dk, next});
+            ctxr.delta_state.Append(dk, next);
             ctxr.last_emitted[dk] = next;
           }
           states_[r]->Put(dk, std::move(next));
@@ -564,7 +594,9 @@ StatusOr<IncrIterRunStats> IncrementalIterativeEngine::RunIncremental(
   IncrIterRunStats stats;
   WallTimer wall;
   if (!prepared_) I2MR_RETURN_IF_ERROR(LoadExisting());
-  cluster_->cost().ChargeJobStartup();
+  if (options_.charge_job_startup_per_refresh) {
+    cluster_->cost().ChargeJobStartup();
+  }
 
   // Partition the delta structure input with partition function (2) (§4.3).
   std::vector<std::vector<DeltaKV>> per_part(spec_.num_partitions);
@@ -583,7 +615,7 @@ StatusOr<IncrIterRunStats> IncrementalIterativeEngine::RunIncremental(
   // records): their reduce instances are forced in iteration 1.
   if (!all_to_one()) {
     for (int p = 0; p < spec_.num_partitions; ++p) {
-      std::set<std::string> seen;
+      std::unordered_set<std::string> seen;
       for (const auto& d : per_part[p]) {
         if (d.op != DeltaOp::kInsert) continue;
         std::string dk = spec_.projector->Project(d.key);

@@ -85,6 +85,7 @@ std::string IncrementalOneStepJob::PartitionDir(int r) const {
 Status IncrementalOneStepJob::RunMapPhase(const std::vector<std::string>& parts,
                                           bool delta,
                                           const std::string& job_dir,
+                                          ShuffleExchange* exchange,
                                           StageMetrics* metrics) {
   const int num_maps = static_cast<int>(parts.size());
   std::vector<Status> statuses(num_maps);
@@ -93,7 +94,7 @@ Status IncrementalOneStepJob::RunMapPhase(const std::vector<std::string>& parts,
       cluster_->cost().ChargeTaskStartup();
       auto mapper = spec_.mapper();
       ShuffleWriter writer(spec_.num_reduce_tasks, spec_.partitioner.get(),
-                           MapTaskDir(job_dir, m));
+                           MapTaskDir(job_dir, m), exchange);
       int64_t instances = 0;
 
       if (accumulator_mode()) {
@@ -189,23 +190,28 @@ Status IncrementalOneStepJob::RunMapPhase(const std::vector<std::string>& parts,
 // Reduce phases
 // ---------------------------------------------------------------------------
 
-Status IncrementalOneStepJob::RunReducePhaseInitial(const std::string& job_dir,
-                                                    int num_maps,
-                                                    StageMetrics* metrics,
-                                                    IncrRunStats* stats) {
+Status IncrementalOneStepJob::RunReducePhaseInitial(
+    const std::string& job_dir, int num_maps, const ShuffleExchange* exchange,
+    StageMetrics* metrics, IncrRunStats* stats) {
   const int R = spec_.num_reduce_tasks;
   std::vector<Status> statuses(R);
   std::atomic<int64_t> groups{0};
+  // Reduce tasks run concurrently: accumulate per-store stats atomically
+  // (the plain += on *stats raced).
+  std::atomic<uint64_t> io_reads{0}, bytes_read{0};
   ParallelFor(cluster_->pool(), R, [&](int r) {
     statuses[r] = [&]() -> Status {
       cluster_->cost().ChargeTaskStartup();
       I2MR_RETURN_IF_ERROR(ResetDir(PartitionDir(r)));
 
-      std::vector<std::string> spills;
+      ShuffleReader::Source source;
+      source.exchange = exchange;
+      source.partition = r;
       for (int m = 0; m < num_maps; ++m) {
-        spills.push_back(JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
+        source.spill_files.push_back(
+            JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
       }
-      auto reader = ShuffleReader::Open(spills, cluster_->cost(), metrics);
+      auto reader = ShuffleReader::Open(source, cluster_->cost(), metrics);
       if (!reader.ok()) return reader.status();
 
       auto results = ResultStore::Open(JoinPath(PartitionDir(r), "results"));
@@ -233,13 +239,15 @@ Status IncrementalOneStepJob::RunReducePhaseInitial(const std::string& job_dir,
       auto reducer = spec_.reducer();
       {
         ScopedTimer t(&metrics->reduce_ns);
-        while (reader.value()->NextGroup(&key, &values)) {
+        std::string_view key_view;
+        std::vector<std::string_view> value_views;
+        while (reader.value()->NextGroup(&key_view, &value_views)) {
           Chunk chunk;
-          chunk.key = key;
-          chunk.entries.reserve(values.size());
+          chunk.key.assign(key_view);
+          chunk.entries.reserve(value_views.size());
           std::vector<std::string> v2s;
-          v2s.reserve(values.size());
-          for (const auto& enc : values) {
+          v2s.reserve(value_views.size());
+          for (const auto& enc : value_views) {
             DeltaEdge e;
             I2MR_RETURN_IF_ERROR(DecodeEdgeValue(enc, &e));
             I2MR_CHECK(!e.deleted) << "deletion in initial run";
@@ -248,14 +256,14 @@ Status IncrementalOneStepJob::RunReducePhaseInitial(const std::string& job_dir,
           }
           I2MR_RETURN_IF_ERROR(store.value()->AppendChunk(chunk));
           VectorReduceContext ctx;
-          reducer->Reduce(key, v2s, &ctx);
-          results->SetInstanceOutputs(key, ctx.Take());
+          reducer->Reduce(chunk.key, v2s, &ctx);
+          results->SetInstanceOutputs(chunk.key, ctx.Take());
           groups.fetch_add(1);
         }
       }
       I2MR_RETURN_IF_ERROR(store.value()->FinishBatch());
-      stats->store_io_reads += store.value()->stats().io_reads;
-      stats->store_bytes_read += store.value()->stats().bytes_read;
+      io_reads.fetch_add(store.value()->stats().io_reads);
+      bytes_read.fetch_add(store.value()->stats().bytes_read);
       I2MR_RETURN_IF_ERROR(store.value()->Close());
       return results->Save();
     }();
@@ -263,12 +271,14 @@ Status IncrementalOneStepJob::RunReducePhaseInitial(const std::string& job_dir,
   for (const auto& st : statuses) I2MR_RETURN_IF_ERROR(st);
   metrics->reduce_groups += groups.load();
   stats->reduce_instances = groups.load();
+  stats->store_io_reads += io_reads.load();
+  stats->store_bytes_read += bytes_read.load();
   return Status::OK();
 }
 
 Status IncrementalOneStepJob::RunReducePhaseIncremental(
-    const std::string& job_dir, int num_maps, StageMetrics* metrics,
-    IncrRunStats* stats) {
+    const std::string& job_dir, int num_maps, const ShuffleExchange* exchange,
+    StageMetrics* metrics, IncrRunStats* stats) {
   const int R = spec_.num_reduce_tasks;
   std::vector<Status> statuses(R);
   std::atomic<int64_t> groups{0};
@@ -278,11 +288,14 @@ Status IncrementalOneStepJob::RunReducePhaseIncremental(
   ParallelFor(cluster_->pool(), R, [&](int r) {
     statuses[r] = [&]() -> Status {
       cluster_->cost().ChargeTaskStartup();
-      std::vector<std::string> spills;
+      ShuffleReader::Source source;
+      source.exchange = exchange;
+      source.partition = r;
       for (int m = 0; m < num_maps; ++m) {
-        spills.push_back(JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
+        source.spill_files.push_back(
+            JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
       }
-      auto reader = ShuffleReader::Open(spills, cluster_->cost(), metrics);
+      auto reader = ShuffleReader::Open(source, cluster_->cost(), metrics);
       if (!reader.ok()) return reader.status();
 
       auto results = ResultStore::Open(JoinPath(PartitionDir(r), "results"));
@@ -308,16 +321,18 @@ Status IncrementalOneStepJob::RunReducePhaseIncremental(
 
       // MRBGraph mode: group the delta, then merge against preserved chunks.
       std::vector<std::pair<std::string, std::vector<DeltaEdge>>> delta_groups;
-      while (reader.value()->NextGroup(&key, &values)) {
+      std::string_view key_view;
+      std::vector<std::string_view> value_views;
+      while (reader.value()->NextGroup(&key_view, &value_views)) {
         std::vector<DeltaEdge> edges;
-        edges.reserve(values.size());
-        for (const auto& enc : values) {
+        edges.reserve(value_views.size());
+        for (const auto& enc : value_views) {
           DeltaEdge e;
           I2MR_RETURN_IF_ERROR(DecodeEdgeValue(enc, &e));
-          e.k2 = key;
+          e.k2.assign(key_view);
           edges.push_back(std::move(e));
         }
-        delta_groups.emplace_back(key, std::move(edges));
+        delta_groups.emplace_back(std::string(key_view), std::move(edges));
       }
 
       auto store = MRBGStore::Open(JoinPath(PartitionDir(r), "mrbg"),
@@ -378,11 +393,16 @@ StatusOr<IncrRunStats> IncrementalOneStepJob::RunInitial(
   map_instances_ = 0;
   cluster_->cost().ChargeJobStartup();
   std::string job_dir = cluster_->NewJobDir(spec_.name + "-init");
-  I2MR_RETURN_IF_ERROR(
-      RunMapPhase(input_parts, /*delta=*/false, job_dir, stats.metrics.get()));
+  std::unique_ptr<ShuffleExchange> exchange;
+  if (EffectiveShuffleMode(spec_.shuffle_mode) == ShuffleMode::kInMemory) {
+    exchange = std::make_unique<ShuffleExchange>(spec_.num_reduce_tasks,
+                                                 spec_.shuffle_memory_bytes);
+  }
+  I2MR_RETURN_IF_ERROR(RunMapPhase(input_parts, /*delta=*/false, job_dir,
+                                   exchange.get(), stats.metrics.get()));
   I2MR_RETURN_IF_ERROR(
       RunReducePhaseInitial(job_dir, static_cast<int>(input_parts.size()),
-                            stats.metrics.get(), &stats));
+                            exchange.get(), stats.metrics.get(), &stats));
   I2MR_RETURN_IF_ERROR(RemoveAll(job_dir));
   stats.map_instances = map_instances_.load();
   stats.wall_ms = wall.ElapsedMillis();
@@ -397,11 +417,16 @@ StatusOr<IncrRunStats> IncrementalOneStepJob::RunIncremental(
   map_instances_ = 0;
   cluster_->cost().ChargeJobStartup();
   std::string job_dir = cluster_->NewJobDir(spec_.name + "-incr");
-  I2MR_RETURN_IF_ERROR(
-      RunMapPhase(delta_parts, /*delta=*/true, job_dir, stats.metrics.get()));
-  I2MR_RETURN_IF_ERROR(
-      RunReducePhaseIncremental(job_dir, static_cast<int>(delta_parts.size()),
-                                stats.metrics.get(), &stats));
+  std::unique_ptr<ShuffleExchange> exchange;
+  if (EffectiveShuffleMode(spec_.shuffle_mode) == ShuffleMode::kInMemory) {
+    exchange = std::make_unique<ShuffleExchange>(spec_.num_reduce_tasks,
+                                                 spec_.shuffle_memory_bytes);
+  }
+  I2MR_RETURN_IF_ERROR(RunMapPhase(delta_parts, /*delta=*/true, job_dir,
+                                   exchange.get(), stats.metrics.get()));
+  I2MR_RETURN_IF_ERROR(RunReducePhaseIncremental(
+      job_dir, static_cast<int>(delta_parts.size()), exchange.get(),
+      stats.metrics.get(), &stats));
   I2MR_RETURN_IF_ERROR(RemoveAll(job_dir));
   stats.map_instances = map_instances_.load();
   stats.wall_ms = wall.ElapsedMillis();

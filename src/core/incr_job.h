@@ -38,6 +38,9 @@ struct IncrJobSpec {
   std::shared_ptr<Partitioner> partitioner;
   int num_reduce_tasks = 4;
   MRBGStoreOptions store_options;
+  /// See shuffle.h; kInMemory skips the spill round-trip, identical charges.
+  ShuffleMode shuffle_mode = ShuffleMode::kInMemory;
+  size_t shuffle_memory_bytes = kDefaultShuffleMemoryBytes;
 };
 
 /// Statistics of one initial or incremental run.
@@ -71,10 +74,13 @@ class IncrementalOneStepJob {
   std::string PartitionDir(int r) const;
 
   Status RunMapPhase(const std::vector<std::string>& parts, bool delta,
-                     const std::string& job_dir, StageMetrics* metrics);
+                     const std::string& job_dir, ShuffleExchange* exchange,
+                     StageMetrics* metrics);
   Status RunReducePhaseInitial(const std::string& job_dir, int num_maps,
+                               const ShuffleExchange* exchange,
                                StageMetrics* metrics, IncrRunStats* stats);
   Status RunReducePhaseIncremental(const std::string& job_dir, int num_maps,
+                                   const ShuffleExchange* exchange,
                                    StageMetrics* metrics, IncrRunStats* stats);
 
   LocalCluster* cluster_;

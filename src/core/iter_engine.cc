@@ -215,13 +215,19 @@ StatusOr<IterationStats> IterativeEngine::RunFullIteration(int iter) {
       cluster_->NewJobDir(spec_.name + "-it" + std::to_string(iter));
 
   Partitioner hash_partitioner;
+  // Per-iteration in-memory exchange (null = disk spills only).
+  std::unique_ptr<ShuffleExchange> exchange;
+  if (EffectiveShuffleMode(spec_.shuffle_mode) == ShuffleMode::kInMemory) {
+    exchange = std::make_unique<ShuffleExchange>(n, spec_.shuffle_memory_bytes);
+  }
   std::atomic<int64_t> map_instances{0};
   std::vector<Status> map_status(n);
   ParallelFor(cluster_->pool(), n, [&](int p) {
     map_status[p] = [&]() -> Status {
       cluster_->cost().ChargeTaskStartup();
       auto mapper = spec_.mapper();
-      ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p));
+      ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p),
+                           exchange.get());
       int64_t count = 0;
       {
         ScopedTimer t(&metrics.map_ns);
@@ -251,11 +257,14 @@ StatusOr<IterationStats> IterativeEngine::RunFullIteration(int iter) {
   ParallelFor(cluster_->pool(), n, [&](int r) {
     reduce_status[r] = [&]() -> Status {
       cluster_->cost().ChargeTaskStartup();
-      std::vector<std::string> spills;
+      ShuffleReader::Source source;
+      source.exchange = exchange.get();
+      source.partition = r;
       for (int m = 0; m < n; ++m) {
-        spills.push_back(JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
+        source.spill_files.push_back(
+            JoinPath(MapTaskDir(job_dir, m), SpillFileName(r)));
       }
-      auto reader = ShuffleReader::Open(spills, cluster_->cost(), &metrics);
+      auto reader = ShuffleReader::Open(source, cluster_->cost(), &metrics);
       if (!reader.ok()) return reader.status();
       auto reducer = spec_.reducer();
       double local_diff = 0;
@@ -263,9 +272,11 @@ StatusOr<IterationStats> IterativeEngine::RunFullIteration(int iter) {
       std::unordered_set<std::string> touched;
       {
         ScopedTimer t(&metrics.reduce_ns);
+        std::string_view dk_view;
         std::string dk;
-        std::vector<std::string> values;
-        while (reader.value()->NextGroup(&dk, &values)) {
+        std::vector<std::string_view> values;
+        while (reader.value()->NextGroup(&dk_view, &values)) {
+          dk.assign(dk_view);
           const std::string* prev = states_[r]->Get(dk);
           std::string prev_str = prev != nullptr ? *prev
                                 : spec_.init_state ? spec_.init_state(dk)

@@ -40,12 +40,14 @@ class IterMapper {
 
 /// Prime Reduce: combines the grouped intermediate values of one DK into the
 /// updated state value. `prev_dv` is the previous iteration's state value
-/// (nullptr if absent) — needed e.g. by GIM-V's assign(v_i, v'_i).
+/// (nullptr if absent) — needed e.g. by GIM-V's assign(v_i, v'_i). Values
+/// are views into the shuffle's flat-KV arenas (or the merged MRBGraph
+/// chunk), valid only for the duration of the call.
 class IterReducer {
  public:
   virtual ~IterReducer() = default;
   virtual std::string Reduce(const std::string& dk,
-                             const std::vector<std::string>& values,
+                             const std::vector<std::string_view>& values,
                              const std::string* prev_dv) = 0;
 };
 
@@ -78,6 +80,16 @@ struct IterJobSpec {
   /// iterMR optimization: jobs stay alive, so loop-invariant structure data
   /// is read and parsed once instead of per iteration).
   bool cache_parsed_structure = true;
+
+  /// How map output reaches the prime Reduce (see shuffle.h). kInMemory
+  /// hands sorted flat-KV runs to a per-iteration ShuffleExchange instead
+  /// of round-tripping part-<r>.dat spills through disk; simulated network
+  /// charges and StageMetrics are identical. Overridden to kDisk by
+  /// I2MR_FORCE_DISK_SHUFFLE=1.
+  ShuffleMode shuffle_mode = ShuffleMode::kInMemory;
+
+  /// In-memory exchange budget per iteration; runs above it spill to disk.
+  size_t shuffle_memory_bytes = kDefaultShuffleMemoryBytes;
 };
 
 /// Per-iteration statistics (Fig. 9 / Fig. 11 quantities).

@@ -75,7 +75,7 @@ std::vector<DeltaKV> GenPointsDelta(const PointsGenOptions& gen,
   return out;
 }
 
-std::vector<double> ParseVector(const std::string& s) {
+std::vector<double> ParseVector(std::string_view s) {
   std::vector<double> out;
   size_t i = 0;
   while (i <= s.size() && !s.empty()) {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/kv.h"
@@ -31,7 +32,7 @@ std::vector<DeltaKV> GenPointsDelta(const PointsGenOptions& gen,
                                     std::vector<KV>* points);
 
 // Vector codecs shared with the Kmeans app.
-std::vector<double> ParseVector(const std::string& s);
+std::vector<double> ParseVector(std::string_view s);
 std::string JoinVector(const std::vector<double>& v);
 
 }  // namespace i2mr

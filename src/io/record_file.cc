@@ -1,6 +1,7 @@
 #include "io/record_file.h"
 
 #include "common/codec.h"
+#include "io/env.h"
 
 namespace i2mr {
 
@@ -205,6 +206,46 @@ StatusOr<std::vector<KV>> ReadRecords(const std::string& path) {
     out.push_back(kv);
   }
   return out;
+}
+
+StatusOr<FlatKVRun> ReadRecordsFlat(const std::string& path) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& buf = *bytes;
+  std::vector<KVRef> refs;
+  uint64_t payload = 0;
+  size_t pos = 0;
+  while (pos < buf.size()) {
+    KVRef ref;
+    // [u32 klen][key bytes][u32 vlen][value bytes]
+    if (buf.size() - pos < 4) {
+      return Status::Corruption("truncated record length in " + path);
+    }
+    uint32_t klen = DecodeFixed32(buf.data() + pos);
+    pos += 4;
+    if (klen > kMaxRecordFieldLen || buf.size() - pos < klen) {
+      return Status::Corruption("bad record key in " + path);
+    }
+    ref.key_off = pos;
+    ref.klen = klen;
+    pos += klen;
+    if (buf.size() - pos < 4) {
+      return Status::Corruption("truncated record in " + path);
+    }
+    uint32_t vlen = DecodeFixed32(buf.data() + pos);
+    pos += 4;
+    if (vlen > kMaxRecordFieldLen || buf.size() - pos < vlen) {
+      return Status::Corruption("bad record value in " + path);
+    }
+    ref.val_off = pos;
+    ref.vlen = vlen;
+    pos += vlen;
+    payload += klen + vlen;
+    refs.push_back(ref);
+  }
+  FlatKVRun run;
+  run.Adopt(std::move(*bytes), std::move(refs), payload);
+  return run;
 }
 
 Status WriteDeltaRecords(const std::string& path,

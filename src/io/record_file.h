@@ -110,6 +110,11 @@ StatusOr<uint64_t> ValidateDeltaFile(const std::string& path);
 // Whole-file conveniences.
 Status WriteRecords(const std::string& path, const std::vector<KV>& records);
 StatusOr<std::vector<KV>> ReadRecords(const std::string& path);
+
+/// Whole-file read into a FlatKVRun: the raw file bytes become the run's
+/// arena and the refs point at the framed fields in place — no per-record
+/// string allocations (the shuffle's spill-file decode path).
+StatusOr<FlatKVRun> ReadRecordsFlat(const std::string& path);
 Status WriteDeltaRecords(const std::string& path, const std::vector<DeltaKV>& records);
 StatusOr<std::vector<DeltaKV>> ReadDeltaRecords(const std::string& path);
 

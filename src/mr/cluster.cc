@@ -121,13 +121,20 @@ JobResult LocalCluster::RunJob(const JobSpec& spec) {
   }
   const JobSpec& job = effective;
 
+  // In-memory shuffle exchange for this job (null = disk spills only).
+  std::unique_ptr<ShuffleExchange> exchange;
+  if (EffectiveShuffleMode(job.shuffle_mode) == ShuffleMode::kInMemory) {
+    exchange = std::make_unique<ShuffleExchange>(job.num_reduce_tasks,
+                                                 job.shuffle_memory_bytes);
+  }
+
   // Map phase.
   std::vector<Status> map_status(num_maps);
   ParallelFor(&pool_, num_maps, [&](int m) {
     map_status[m] = internal::RunTaskWithRetries(
         spec, TaskId::Kind::kMap, m, [&](int attempt) {
           return internal::RunMapTask(job, m, job.input_parts[m], job_dir,
-                                      cost_, metrics, attempt);
+                                      exchange.get(), cost_, metrics, attempt);
         });
   });
   for (int m = 0; m < num_maps; ++m) {
@@ -142,8 +149,9 @@ JobResult LocalCluster::RunJob(const JobSpec& spec) {
   ParallelFor(&pool_, job.num_reduce_tasks, [&](int r) {
     reduce_status[r] = internal::RunTaskWithRetries(
         spec, TaskId::Kind::kReduce, r, [&](int attempt) {
-          return internal::RunReduceTask(job, r, num_maps, job_dir, cost_,
-                                         metrics, attempt);
+          return internal::RunReduceTask(job, r, num_maps, job_dir,
+                                         exchange.get(), cost_, metrics,
+                                         attempt);
         });
   });
   for (int r = 0; r < job.num_reduce_tasks; ++r) {

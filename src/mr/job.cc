@@ -47,8 +47,8 @@ class FileReduceContext : public ReduceContext {
 }  // namespace
 
 Status RunMapTask(const JobSpec& spec, int m, const std::string& input_part,
-                  const std::string& job_dir, const CostModel& cost,
-                  StageMetrics* metrics, int attempt) {
+                  const std::string& job_dir, ShuffleExchange* exchange,
+                  const CostModel& cost, StageMetrics* metrics, int attempt) {
   cost.ChargeTaskStartup();
   bool inject_failure =
       spec.fail_hook &&
@@ -65,7 +65,8 @@ Status RunMapTask(const JobSpec& spec, int m, const std::string& input_part,
   Partitioner default_partitioner;
   const Partitioner* part =
       spec.partitioner ? spec.partitioner.get() : &default_partitioner;
-  ShuffleWriter writer(spec.num_reduce_tasks, part, MapTaskDir(job_dir, m));
+  ShuffleWriter writer(spec.num_reduce_tasks, part, MapTaskDir(job_dir, m),
+                       exchange);
 
   int64_t in_records = 0;
   {
@@ -96,19 +97,23 @@ Status RunMapTask(const JobSpec& spec, int m, const std::string& input_part,
 }
 
 Status RunReduceTask(const JobSpec& spec, int r, int num_map_tasks,
-                     const std::string& job_dir, const CostModel& cost,
+                     const std::string& job_dir,
+                     const ShuffleExchange* exchange, const CostModel& cost,
                      StageMetrics* metrics, int attempt) {
   cost.ChargeTaskStartup();
   bool inject_failure =
       spec.fail_hook &&
       spec.fail_hook(TaskId{TaskId::Kind::kReduce, r, attempt});
 
-  std::vector<std::string> spills;
-  spills.reserve(num_map_tasks);
+  ShuffleReader::Source source;
+  source.exchange = exchange;
+  source.partition = r;
+  source.spill_files.reserve(num_map_tasks);
   for (int m = 0; m < num_map_tasks; ++m) {
-    spills.push_back(JoinPath(MapTaskDir(job_dir, m), PartFileName(r)));
+    source.spill_files.push_back(
+        JoinPath(MapTaskDir(job_dir, m), PartFileName(r)));
   }
-  auto reader = ShuffleReader::Open(spills, cost, metrics);
+  auto reader = ShuffleReader::Open(source, cost, metrics);
   if (!reader.ok()) return reader.status();
 
   if (inject_failure) return Status::Aborted("injected reduce task failure");

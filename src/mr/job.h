@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "mr/api.h"
 #include "mr/cost_model.h"
+#include "mr/shuffle.h"
 
 namespace i2mr {
 
@@ -52,6 +53,15 @@ struct JobSpec {
   /// Local caches (HaLoop structure caching, iterMR local structure files)
   /// fall outside the prefix and read for free.
   std::string remote_prefix;
+
+  /// How map output reaches reducers (see shuffle.h). kInMemory skips the
+  /// spill-file round-trip for this same-process runtime; the simulated
+  /// network charges are identical either way. Overridden to kDisk by
+  /// I2MR_FORCE_DISK_SHUFFLE=1.
+  ShuffleMode shuffle_mode = ShuffleMode::kInMemory;
+
+  /// In-memory exchange budget; runs above it spill to disk per-run.
+  size_t shuffle_memory_bytes = kDefaultShuffleMemoryBytes;
 };
 
 /// Outcome of a job run.
@@ -67,16 +77,18 @@ struct JobResult {
 namespace internal {
 
 /// Run one map task attempt: read `input_part`, run the mapper, partition,
-/// sort (+combine) and spill under `<job_dir>/map-<m>/`.
+/// sort (+combine) and publish to `exchange` (spilling over/under
+/// `<job_dir>/map-<m>/` as needed; exchange may be null for disk mode).
 Status RunMapTask(const JobSpec& spec, int m, const std::string& input_part,
-                  const std::string& job_dir, const CostModel& cost,
-                  StageMetrics* metrics, int attempt);
+                  const std::string& job_dir, ShuffleExchange* exchange,
+                  const CostModel& cost, StageMetrics* metrics, int attempt);
 
-/// Run one reduce task attempt: fetch partition r of every map spill, merge,
-/// reduce, and write `<output_dir>/part-<r>.dat` (write-temp-then-rename so
-/// retries are idempotent).
+/// Run one reduce task attempt: fetch partition r from the exchange and
+/// every map spill, merge, reduce, and write `<output_dir>/part-<r>.dat`
+/// (write-temp-then-rename so retries are idempotent).
 Status RunReduceTask(const JobSpec& spec, int r, int num_map_tasks,
-                     const std::string& job_dir, const CostModel& cost,
+                     const std::string& job_dir,
+                     const ShuffleExchange* exchange, const CostModel& cost,
                      StageMetrics* metrics, int attempt);
 
 /// Retry wrapper honoring spec.fail_hook / spec.max_attempts.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/timer.h"
 #include "io/env.h"
@@ -16,39 +17,110 @@ std::string SpillPath(const std::string& dir, int r) {
   return JoinPath(dir, buf);
 }
 
-// ReduceContext that collects emitted pairs into a vector.
+// ReduceContext that collects emitted pairs into a flat run. Enforces the
+// same field bound the disk path would (combiner output is re-spilled by
+// RecordWriter under disk mode; the two paths must fail identically).
 class CollectingContext : public ReduceContext {
  public:
-  explicit CollectingContext(std::vector<KV>* out) : out_(out) {}
+  explicit CollectingContext(FlatKVRun* out) : out_(out) {}
   void Emit(std::string_view key, std::string_view value) override {
-    out_->push_back(KV{std::string(key), std::string(value)});
+    if (key.size() > kMaxRecordFieldLen || value.size() > kMaxRecordFieldLen) {
+      oversize_ = true;
+      return;
+    }
+    out_->Append(key, value);
   }
+  bool oversize() const { return oversize_; }
 
  private:
-  std::vector<KV>* out_;
+  FlatKVRun* out_;
+  bool oversize_ = false;
 };
 
 }  // namespace
 
-void SortAndCombine(std::vector<KV>* records, Reducer* combiner) {
-  std::sort(records->begin(), records->end());
-  if (combiner == nullptr || records->empty()) return;
-  std::vector<KV> combined;
+ShuffleMode EffectiveShuffleMode(ShuffleMode requested) {
+  const char* force = std::getenv("I2MR_FORCE_DISK_SHUFFLE");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return ShuffleMode::kDisk;
+  }
+  return requested;
+}
+
+Status SortAndCombine(FlatKVRun* run, Reducer* combiner) {
+  run->Sort();
+  if (combiner == nullptr || run->empty()) return Status::OK();
+  FlatKVRun combined;
+  combined.Reserve(run->size(), run->memory_bytes() / 2);
   CollectingContext ctx(&combined);
-  size_t i = 0;
+  std::string key;
   std::vector<std::string> values;
-  while (i < records->size()) {
+  size_t i = 0;
+  while (i < run->size()) {
     size_t j = i;
+    key.assign(run->key(i));
     values.clear();
-    while (j < records->size() && (*records)[j].key == (*records)[i].key) {
-      values.push_back(std::move((*records)[j].value));
+    while (j < run->size() && run->key(j) == key) {
+      values.emplace_back(run->value(j));
       ++j;
     }
-    combiner->Reduce((*records)[i].key, values, &ctx);
+    combiner->Reduce(key, values, &ctx);
     i = j;
   }
-  std::sort(combined.begin(), combined.end());
-  *records = std::move(combined);
+  if (ctx.oversize()) {
+    return Status::InvalidArgument("record field exceeds length limit");
+  }
+  combined.Sort();
+  *run = std::move(combined);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleExchange
+// ---------------------------------------------------------------------------
+
+ShuffleExchange::ShuffleExchange(int num_partitions,
+                                 size_t memory_budget_bytes)
+    : budget_(memory_budget_bytes), runs_(num_partitions) {}
+
+bool ShuffleExchange::Offer(int partition, const std::string& writer,
+                            FlatKVRun&& run) {
+  uint64_t bytes = run.memory_bytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& runs = runs_[partition];
+  for (auto it = runs.begin(); it != runs.end(); ++it) {
+    if (it->first != writer) continue;
+    // Retried attempt re-offering this partition: replace, don't
+    // duplicate. If the replacement no longer fits, drop the stale run too
+    // — the caller spills to disk, which becomes the partition's only
+    // source for this writer.
+    held_ -= it->second.memory_bytes();
+    if (held_ + bytes > budget_) {
+      runs.erase(it);
+      return false;
+    }
+    held_ += bytes;
+    it->second = std::move(run);
+    return true;
+  }
+  if (held_ + bytes > budget_) return false;
+  held_ += bytes;
+  runs.emplace_back(writer, std::move(run));
+  return true;
+}
+
+std::vector<const FlatKVRun*> ShuffleExchange::Borrow(int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const FlatKVRun*> out;
+  out.reserve(runs_[partition].size());
+  for (const auto& [id, run] : runs_[partition]) out.push_back(&run);
+  return out;
+}
+
+uint64_t ShuffleExchange::bytes_held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return held_;
 }
 
 // ---------------------------------------------------------------------------
@@ -56,33 +128,64 @@ void SortAndCombine(std::vector<KV>* records, Reducer* combiner) {
 // ---------------------------------------------------------------------------
 
 ShuffleWriter::ShuffleWriter(int num_partitions, const Partitioner* partitioner,
-                             std::string dir)
+                             std::string dir, ShuffleExchange* exchange)
     : num_partitions_(num_partitions),
       partitioner_(partitioner),
       dir_(std::move(dir)),
-      buffers_(num_partitions) {}
+      exchange_(exchange),
+      buffers_(num_partitions) {
+  // Pre-size every partition run so the first few thousand Emits never
+  // reallocate (the old per-Emit push_back of a KV pair re-grew a
+  // vector<KV> from zero in every map task).
+  for (auto& buf : buffers_) buf.Reserve(256, 16u << 10);
+}
 
 void ShuffleWriter::Emit(std::string_view key, std::string_view value) {
+  // Same bound the disk path enforces in RecordWriter::Add — and the flat
+  // refs hold 32-bit lengths, so an unchecked huge field would silently
+  // truncate. Record the violation; Finish reports it as the disk path
+  // would (Emit's MapContext signature has no status channel).
+  if (key.size() > kMaxRecordFieldLen || value.size() > kMaxRecordFieldLen) {
+    oversize_field_ = true;
+    return;
+  }
   uint32_t r = partitioner_->Partition(key, num_partitions_);
-  buffers_[r].push_back(KV{std::string(key), std::string(value)});
+  buffers_[r].Append(key, value);
   ++records_;
 }
 
 Status ShuffleWriter::Finish(Reducer* combiner, StageMetrics* metrics) {
-  I2MR_RETURN_IF_ERROR(CreateDirs(dir_));
+  if (oversize_field_) {
+    return Status::InvalidArgument("record field exceeds length limit");
+  }
+  bool dirs_created = false;
   for (int r = 0; r < num_partitions_; ++r) {
     auto& buf = buffers_[r];
     if (buf.empty()) continue;
     {
       ScopedTimer t(&metrics->sort_ns);
-      SortAndCombine(&buf, combiner);
+      I2MR_RETURN_IF_ERROR(SortAndCombine(&buf, combiner));
+    }
+    if (exchange_ != nullptr && exchange_->Offer(r, dir_, std::move(buf))) {
+      buf = FlatKVRun();
+      // A prior attempt of this map task may have spilled this partition
+      // (budget pressure since relieved): the in-memory run supersedes it.
+      std::string stale = SpillPath(dir_, r);
+      if (FileExists(stale)) I2MR_RETURN_IF_ERROR(RemoveAll(stale));
+      continue;
+    }
+    // Disk mode, or this run overflowed the exchange budget: spill.
+    if (!dirs_created) {
+      I2MR_RETURN_IF_ERROR(CreateDirs(dir_));
+      dirs_created = true;
     }
     auto w = RecordWriter::Create(SpillPath(dir_, r));
     if (!w.ok()) return w.status();
-    for (const auto& kv : buf) I2MR_RETURN_IF_ERROR(w.value()->Add(kv));
+    for (size_t i = 0; i < buf.size(); ++i) {
+      I2MR_RETURN_IF_ERROR(w.value()->Add(buf.key(i), buf.value(i)));
+    }
     I2MR_RETURN_IF_ERROR(w.value()->Close());
-    buf.clear();
-    buf.shrink_to_fit();
+    buf.Clear();
   }
   metrics->map_output_records += records_;
   return Status::OK();
@@ -95,56 +198,90 @@ Status ShuffleWriter::Finish(Reducer* combiner, StageMetrics* metrics) {
 StatusOr<std::unique_ptr<ShuffleReader>> ShuffleReader::Open(
     const std::vector<std::string>& spill_files, const CostModel& cost,
     StageMetrics* metrics) {
+  Source source;
+  source.spill_files = spill_files;
+  return Open(source, cost, metrics);
+}
+
+StatusOr<std::unique_ptr<ShuffleReader>> ShuffleReader::Open(
+    const Source& source, const CostModel& cost, StageMetrics* metrics) {
   auto reader = std::unique_ptr<ShuffleReader>(new ShuffleReader());
 
-  // Fetch stage: pull every map task's spill for this partition. Each file
-  // is one simulated network transfer.
-  std::vector<std::vector<KV>> runs;
+  // Fetch stage: pull every map task's run for this partition. Each run —
+  // in-memory or spill file — is one simulated network transfer, charged
+  // from its record-file size so both paths cost the same.
   {
     ScopedTimer t(&metrics->shuffle_ns);
-    for (const auto& path : spill_files) {
+    if (source.exchange != nullptr) {
+      for (const FlatKVRun* run : source.exchange->Borrow(source.partition)) {
+        if (run->empty()) continue;
+        cost.ChargeTransfer(run->serialized_bytes());
+        metrics->shuffle_bytes +=
+            static_cast<int64_t>(run->serialized_bytes());
+        reader->runs_.push_back(run);
+      }
+    }
+    for (const auto& path : source.spill_files) {
       if (!FileExists(path)) continue;
       auto sz = FileSize(path);
       if (!sz.ok()) return sz.status();
-      auto recs = ReadRecords(path);
-      if (!recs.ok()) return recs.status();
+      auto run = ReadRecordsFlat(path);
+      if (!run.ok()) return run.status();
       cost.ChargeTransfer(*sz);
       metrics->shuffle_bytes += static_cast<int64_t>(*sz);
-      if (!recs->empty()) runs.push_back(std::move(*recs));
+      if (!run->empty()) reader->owned_runs_.push_back(std::move(*run));
     }
+    for (const auto& run : reader->owned_runs_) reader->runs_.push_back(&run);
   }
 
-  // Sort stage: merge the sorted runs.
+  // Sort stage: merge the sorted runs. Only the 8-byte refs move; the
+  // comparator reads key/value views out of the runs' arenas.
   {
     ScopedTimer t(&metrics->sort_ns);
     size_t total = 0;
-    for (const auto& r : runs) total += r.size();
-    reader->records_.reserve(total);
-    if (runs.size() == 1) {
-      reader->records_ = std::move(runs[0]);
-    } else {
-      for (auto& r : runs) {
-        size_t mid = reader->records_.size();
-        reader->records_.insert(reader->records_.end(),
-                                std::make_move_iterator(r.begin()),
-                                std::make_move_iterator(r.end()));
-        std::inplace_merge(reader->records_.begin(),
-                           reader->records_.begin() + mid,
-                           reader->records_.end());
+    for (const auto* r : reader->runs_) total += r->size();
+    reader->merged_.reserve(total);
+    auto less = [&](const Ref& a, const Ref& b) {
+      int c = reader->KeyOf(a).compare(reader->KeyOf(b));
+      if (c != 0) return c < 0;
+      return reader->ValueOf(a) < reader->ValueOf(b);
+    };
+    for (uint32_t run = 0; run < reader->runs_.size(); ++run) {
+      size_t mid = reader->merged_.size();
+      for (uint32_t i = 0; i < reader->runs_[run]->size(); ++i) {
+        reader->merged_.push_back(Ref{run, i});
+      }
+      if (mid > 0) {
+        std::inplace_merge(reader->merged_.begin(),
+                           reader->merged_.begin() + mid,
+                           reader->merged_.end(), less);
       }
     }
   }
   return reader;
 }
 
-bool ShuffleReader::NextGroup(std::string* key, std::vector<std::string>* values) {
-  if (pos_ >= records_.size()) return false;
-  *key = records_[pos_].key;
+bool ShuffleReader::NextGroup(std::string_view* key,
+                              std::vector<std::string_view>* values) {
+  if (pos_ >= merged_.size()) return false;
+  *key = KeyOf(merged_[pos_]);
   values->clear();
-  while (pos_ < records_.size() && records_[pos_].key == *key) {
-    values->push_back(std::move(records_[pos_].value));
+  while (pos_ < merged_.size() && KeyOf(merged_[pos_]) == *key) {
+    values->push_back(ValueOf(merged_[pos_]));
     ++pos_;
   }
+  return true;
+}
+
+bool ShuffleReader::NextGroup(std::string* key,
+                              std::vector<std::string>* values) {
+  std::string_view key_view;
+  std::vector<std::string_view> value_views;
+  if (!NextGroup(&key_view, &value_views)) return false;
+  key->assign(key_view);
+  values->clear();
+  values->reserve(value_views.size());
+  for (const auto& v : value_views) values->emplace_back(v);
   return true;
 }
 

@@ -65,6 +65,9 @@ Status MRBGStore::Close() {
 Status MRBGStore::Reload() {
   index_.Clear();
   append_buf_.clear();
+  tail_buf_.clear();
+  tail_dead_ = 0;
+  tail_start_ = 0;
   windows_.clear();
   query_keys_.clear();
   query_cursor_ = 0;
@@ -83,6 +86,27 @@ Status MRBGStore::FlushAppendBuffer() {
   if (append_buf_.empty()) return Status::OK();
   I2MR_RETURN_IF_ERROR(writer_->Append(append_buf_));
   I2MR_RETURN_IF_ERROR(writer_->Flush());
+  if (options_.tail_cache_bytes > 0) {
+    // Keep a copy of the flushed bytes: the next iteration's merge loop
+    // re-queries exactly the chunks this iteration appended.
+    if (tail_buf_.size() == tail_dead_) {
+      tail_buf_.clear();
+      tail_dead_ = 0;
+      tail_start_ = file_end_ - append_buf_.size();
+    }
+    tail_buf_.append(append_buf_);
+    size_t live = tail_buf_.size() - tail_dead_;
+    if (live > options_.tail_cache_bytes) {
+      size_t drop = live - options_.tail_cache_bytes;
+      tail_dead_ += drop;
+      tail_start_ += drop;
+    }
+    if (tail_dead_ > options_.tail_cache_bytes) {
+      // Compact only once the dead prefix outgrows the budget.
+      tail_buf_.erase(0, tail_dead_);
+      tail_dead_ = 0;
+    }
+  }
   append_buf_.clear();
   reader_stale_ = true;
   return Status::OK();
@@ -163,6 +187,16 @@ uint64_t MRBGStore::DynamicWindowEnd(const ChunkLocation& loc,
 }
 
 StatusOr<std::string_view> MRBGStore::ReadChunkBytes(const ChunkLocation& loc) {
+  // Recently flushed? Serve from the retained tail copy, no I/O.
+  size_t tail_live = tail_buf_.size() - tail_dead_;
+  if (tail_live > 0 && loc.offset >= tail_start_ &&
+      loc.offset + loc.length <= tail_start_ + tail_live) {
+    ++stats_.cache_hits;
+    return std::string_view(
+        tail_buf_.data() + tail_dead_ + (loc.offset - tail_start_),
+        loc.length);
+  }
+
   I2MR_RETURN_IF_ERROR(EnsureReader());
 
   if (options_.read_mode == ReadMode::kIndexOnly) {
@@ -337,6 +371,9 @@ Status MRBGStore::Compact() {
   reader_.reset();
   reader_stale_ = true;
   windows_.clear();
+  tail_buf_.clear();
+  tail_dead_ = 0;
+  tail_start_ = 0;
   return Status::OK();
 }
 

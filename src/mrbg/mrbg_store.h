@@ -55,6 +55,14 @@ struct MRBGStoreOptions {
   /// Append buffer size: appended chunks are buffered in memory and spilled
   /// with sequential I/O when full (paper §3.4 "Incremental Storage").
   size_t append_buffer_bytes = 1u << 20;
+
+  /// Retain up to this many recently flushed append bytes in memory and
+  /// serve chunk reads from them. Iterative refreshes query in iteration
+  /// j+1 the chunks they merged (appended) in iteration j: with the tail
+  /// cache those reads never touch the file. 0 disables (keep it off for
+  /// the paper's read-strategy experiments — it would mask the window
+  /// machinery the modes compare).
+  size_t tail_cache_bytes = 0;
 };
 
 struct MRBGStoreStats {
@@ -174,6 +182,15 @@ class MRBGStore {
   bool reader_stale_ = true;
   std::string append_buf_;
   uint64_t file_end_ = 0;  // logical file size incl. unflushed buffer
+  // Tail cache (see MRBGStoreOptions::tail_cache_bytes): a retained copy
+  // of the most recently flushed bytes. The live region is
+  // tail_buf_[tail_dead_..end), covering file offsets
+  // [tail_start_, tail_start_ + live size); eviction just grows the dead
+  // prefix, and the buffer is compacted only when the dead prefix exceeds
+  // the cache budget (amortized, no per-flush memmove).
+  std::string tail_buf_;
+  size_t tail_dead_ = 0;
+  uint64_t tail_start_ = 0;
 
   std::vector<std::string> query_keys_;  // L, sorted
   size_t query_cursor_ = 0;

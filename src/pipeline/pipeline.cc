@@ -100,6 +100,10 @@ Pipeline::Pipeline(LocalCluster* cluster, std::string name,
   // One engine namespace per pipeline: state dirs, checkpoints and job
   // scratch space must never collide across pipelines on a shared cluster.
   options_.spec.name = name_;
+  // The pipeline's refresh job is resident: submitted once (bootstrap pays
+  // the job-startup charge through the engine's initial Run), then kept
+  // loop-alive across epochs instead of re-submitting per refresh.
+  options_.engine.charge_job_startup_per_refresh = false;
   engine_ = std::make_unique<IncrementalIterativeEngine>(
       cluster_, options_.spec, options_.engine);
 }
@@ -363,6 +367,13 @@ StatusOr<EpochStats> Pipeline::RunEpoch() {
   stats.refresh_ms = refresh.ElapsedMillis();
   stats.iterations = run->iterations.size();
   stats.mrbg_turned_off = run->mrbg_turned_off;
+  for (const auto& it : run->iterations) {
+    stats.refresh_map_ms += it.map_ms;
+    stats.refresh_shuffle_ms += it.shuffle_ms;
+    stats.refresh_sort_ms += it.sort_ms;
+    stats.refresh_reduce_ms += it.reduce_ms;
+    stats.refresh_merge_ms += it.merge_ms;
+  }
 
   if (SimulateCrash(epoch, "refresh")) {
     return Status::Aborted("simulated crash after refresh");

@@ -50,6 +50,11 @@ struct PipelineOptions {
   IterJobSpec spec;
 
   /// Incremental engine options (CPC threshold, MRBG maintenance, ...).
+  /// Note: `engine.charge_job_startup_per_refresh` is forced to false by
+  /// the pipeline — its refresh job is resident (submitted once at
+  /// bootstrap, loop-alive across epochs), so the paper's per-refresh
+  /// job-submission charge does not apply. Use the engine directly (as the
+  /// batch benches do) to model separately submitted refresh jobs.
   IncrIterOptions engine;
 
   /// Delta-log layout knobs (segment rotation threshold, archival). The
@@ -96,6 +101,15 @@ struct EpochStats {
   double commit_ms = 0;
   double wall_ms = 0;
   bool mrbg_turned_off = false;
+
+  // Where the refresh milliseconds went: per-stage wall time summed over
+  // this epoch's incremental iterations (task-summed StageMetrics, so the
+  // parts can exceed refresh_ms when tasks run in parallel).
+  double refresh_map_ms = 0;
+  double refresh_shuffle_ms = 0;
+  double refresh_sort_ms = 0;
+  double refresh_reduce_ms = 0;
+  double refresh_merge_ms = 0;  // MRBG merge share (inside reduce)
 };
 
 class Pipeline;

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/codec.h"
@@ -346,24 +347,152 @@ TEST_F(MrTest, FreshReattachAfterAllInstancesGoneClearsStaleJobDirs) {
 // Shuffle internals
 // ---------------------------------------------------------------------------
 
+FlatKVRun MakeRun(const std::vector<KV>& records) {
+  FlatKVRun run;
+  for (const auto& kv : records) run.Append(kv.key, kv.value);
+  return run;
+}
+
 TEST(ShuffleTest, SortAndCombineGroups) {
-  std::vector<KV> records = {{"b", "2"}, {"a", "1"}, {"b", "3"}, {"a", "4"}};
+  FlatKVRun run = MakeRun({{"b", "2"}, {"a", "1"}, {"b", "3"}, {"a", "4"}});
   SumReducer combiner;
-  SortAndCombine(&records, &combiner);
-  ASSERT_EQ(records.size(), 2u);
-  EXPECT_EQ(records[0].key, "a");
-  EXPECT_EQ(records[0].value, "5");
-  EXPECT_EQ(records[1].key, "b");
-  EXPECT_EQ(records[1].value, "5");
+  ASSERT_TRUE(SortAndCombine(&run, &combiner).ok());
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(run.key(0), "a");
+  EXPECT_EQ(run.value(0), "5");
+  EXPECT_EQ(run.key(1), "b");
+  EXPECT_EQ(run.value(1), "5");
 }
 
 TEST(ShuffleTest, SortWithoutCombinerKeepsAll) {
-  std::vector<KV> records = {{"b", "2"}, {"a", "1"}, {"b", "3"}};
-  SortAndCombine(&records, nullptr);
-  ASSERT_EQ(records.size(), 3u);
-  EXPECT_EQ(records[0].key, "a");
-  EXPECT_EQ(records[1].key, "b");
-  EXPECT_EQ(records[1].value, "2");
+  FlatKVRun run = MakeRun({{"b", "2"}, {"a", "1"}, {"b", "3"}});
+  ASSERT_TRUE(SortAndCombine(&run, nullptr).ok());
+  ASSERT_EQ(run.size(), 3u);
+  EXPECT_EQ(run.key(0), "a");
+  EXPECT_EQ(run.key(1), "b");
+  EXPECT_EQ(run.value(1), "2");
+}
+
+TEST(ShuffleTest, ConcurrentMapWritersFeedOneExchange) {
+  // TSan coverage: many map-side writers publish runs into one exchange
+  // concurrently; the merged reduce-side view must contain every record.
+  const int kWriters = 8;
+  const int kPartitions = 4;
+  const int kPerWriter = 500;
+  ShuffleExchange exchange(kPartitions, kDefaultShuffleMemoryBytes);
+  Partitioner partitioner;
+  std::string dir = ::testing::TempDir() + "/i2mr_exchange_tsan";
+  ASSERT_TRUE(ResetDir(dir).ok());
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      ShuffleWriter writer(kPartitions, &partitioner,
+                           JoinPath(dir, "map-" + std::to_string(w)),
+                           &exchange);
+      for (int i = 0; i < kPerWriter; ++i) {
+        writer.Emit(PaddedNum(i % 97), "w" + std::to_string(w));
+      }
+      StageMetrics metrics;
+      ASSERT_TRUE(writer.Finish(nullptr, &metrics).ok());
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_GT(exchange.bytes_held(), 0u);
+
+  CostModel cost;
+  StageMetrics metrics;
+  size_t total = 0;
+  for (int r = 0; r < kPartitions; ++r) {
+    ShuffleReader::Source source;
+    source.exchange = &exchange;
+    source.partition = r;
+    auto reader = ShuffleReader::Open(source, cost, &metrics);
+    ASSERT_TRUE(reader.ok());
+    total += (*reader)->num_records();
+    std::string_view key;
+    std::vector<std::string_view> values;
+    std::string prev;
+    while ((*reader)->NextGroup(&key, &values)) {
+      EXPECT_GT(key, prev);  // groups arrive in sorted key order
+      prev.assign(key);
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kWriters) * kPerWriter);
+  EXPECT_GT(metrics.shuffle_bytes.load(), 0);
+  ASSERT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(ShuffleTest, RetriedWriterReplacesItsEarlierOfferInsteadOfDuplicating) {
+  // A map attempt can fail after offering some partitions; the retry
+  // re-offers them. Writer-keyed offers must replace (like a retried disk
+  // attempt overwriting its part-<r>.dat), never duplicate records.
+  ShuffleExchange exchange(1, kDefaultShuffleMemoryBytes);
+  FlatKVRun first;
+  first.Append("a", "attempt0");
+  ASSERT_TRUE(exchange.Offer(0, "map-0", std::move(first)));
+  FlatKVRun second;
+  second.Append("a", "attempt1");
+  ASSERT_TRUE(exchange.Offer(0, "map-0", std::move(second)));
+  auto runs = exchange.Borrow(0);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0]->value(0), "attempt1");
+
+  // A different writer still adds a second run.
+  FlatKVRun other;
+  other.Append("a", "m1");
+  ASSERT_TRUE(exchange.Offer(0, "map-1", std::move(other)));
+  EXPECT_EQ(exchange.Borrow(0).size(), 2u);
+
+  // If the retry's replacement overflows the budget, the stale run is
+  // dropped (the caller spills, and the spill becomes the only source).
+  ShuffleExchange tight(1, /*memory_budget_bytes=*/96);
+  FlatKVRun small;
+  small.Append("k", "v");
+  ASSERT_TRUE(tight.Offer(0, "map-0", std::move(small)));
+  FlatKVRun big;
+  for (int i = 0; i < 64; ++i) big.Append("k", "grew-much-bigger");
+  EXPECT_FALSE(tight.Offer(0, "map-0", std::move(big)));
+  EXPECT_TRUE(tight.Borrow(0).empty());
+  EXPECT_EQ(tight.bytes_held(), 0u);
+}
+
+TEST(ShuffleTest, ExchangeBudgetOverflowSpillsToDisk) {
+  // A run bigger than the remaining budget is refused by Offer and lands
+  // on disk; the reader merges exchange runs and spills transparently.
+  const int kPartitions = 2;
+  ShuffleExchange exchange(kPartitions, /*memory_budget_bytes=*/256);
+  Partitioner partitioner;
+  std::string dir = ::testing::TempDir() + "/i2mr_exchange_spill";
+  ASSERT_TRUE(ResetDir(dir).ok());
+
+  // First writer fits in the budget; second overflows and must spill.
+  StageMetrics metrics;
+  ShuffleWriter small(kPartitions, &partitioner, JoinPath(dir, "m0"),
+                      &exchange);
+  small.Emit("a", "1");
+  ASSERT_TRUE(small.Finish(nullptr, &metrics).ok());
+  ShuffleWriter big(kPartitions, &partitioner, JoinPath(dir, "m1"),
+                    &exchange);
+  for (int i = 0; i < 200; ++i) {
+    big.Emit("a", "value-" + std::to_string(i));
+  }
+  ASSERT_TRUE(big.Finish(nullptr, &metrics).ok());
+
+  uint32_t part_a = partitioner.Partition("a", kPartitions);
+  char spill[32];
+  std::snprintf(spill, sizeof(spill), "part-%05d.dat", part_a);
+  EXPECT_TRUE(FileExists(JoinPath(JoinPath(dir, "m1"), spill)));
+
+  CostModel cost;
+  ShuffleReader::Source source;
+  source.exchange = &exchange;
+  source.partition = static_cast<int>(part_a);
+  source.spill_files = {JoinPath(JoinPath(dir, "m0"), spill),
+                        JoinPath(JoinPath(dir, "m1"), spill)};
+  auto reader = ShuffleReader::Open(source, cost, &metrics);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_records(), 201u);
+  ASSERT_TRUE(RemoveAll(dir).ok());
 }
 
 TEST(ShuffleTest, ReaderMergesSortedRunsAndGroups) {

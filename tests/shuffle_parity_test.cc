@@ -1,0 +1,270 @@
+// Parity suite for the two shuffle exchange paths: the in-memory
+// ShuffleExchange must produce byte-identical results to the disk spill
+// path — same converged state for the iterative/incremental engines
+// (pagerank, kmeans), same refreshed results for the one-step runner
+// (wordcount incl. its map-side combiner), same output part-file bytes for
+// the plain job runner — including the mixed mode where a tiny exchange
+// budget forces per-run spill-over, and the I2MR_FORCE_DISK_SHUFFLE env
+// override CI uses to exercise both paths.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/kmeans.h"
+#include "apps/pagerank.h"
+#include "apps/wordcount.h"
+#include "common/codec.h"
+#include "core/incr_iter_engine.h"
+#include "core/incr_job.h"
+#include "data/graph_gen.h"
+#include "data/points_gen.h"
+#include "data/text_gen.h"
+#include "io/env.h"
+#include "io/record_file.h"
+#include "mr/cluster.h"
+
+namespace i2mr {
+namespace {
+
+std::vector<KV> UnitState(const std::vector<KV>& structure) {
+  std::vector<KV> state;
+  for (const auto& kv : structure) state.push_back(KV{kv.key, "1"});
+  return state;
+}
+
+class ShuffleParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { root_ = ::testing::TempDir() + "/i2mr_parity"; }
+  std::string root_;
+};
+
+struct ShuffleConfig {
+  ShuffleMode mode = ShuffleMode::kInMemory;
+  size_t memory_bytes = kDefaultShuffleMemoryBytes;
+  const char* tag = "";
+};
+
+// The three exchange configurations every app must agree across: pure
+// in-memory, pure disk, and in-memory with a budget so small that every
+// run overflows into a spill (the spill-over path).
+const ShuffleConfig kConfigs[] = {
+    {ShuffleMode::kInMemory, kDefaultShuffleMemoryBytes, "mem"},
+    {ShuffleMode::kDisk, kDefaultShuffleMemoryBytes, "disk"},
+    {ShuffleMode::kInMemory, 64, "spillover"},
+};
+
+TEST_F(ShuffleParityTest, PageRankIncrementalRefreshIdenticalAcrossModes) {
+  GraphGenOptions gen;
+  gen.num_vertices = 300;
+  gen.avg_degree = 5;
+
+  std::vector<std::vector<KV>> snapshots;
+  for (const auto& config : kConfigs) {
+    auto graph = GenGraph(gen);
+    LocalCluster cluster(root_ + "/pr_" + config.tag, 4);
+    IncrIterOptions options;
+    options.filter_threshold = 0.0;
+    options.mrbg_auto_off_ratio = 2;
+    IterJobSpec spec = pagerank::MakeIterSpec("pr", 4, 60, 1e-8);
+    spec.shuffle_mode = config.mode;
+    spec.shuffle_memory_bytes = config.memory_bytes;
+    IncrementalIterativeEngine engine(&cluster, spec, options);
+    ASSERT_TRUE(engine.RunInitial(graph, UnitState(graph)).ok());
+    GraphDeltaOptions dopt;
+    dopt.update_fraction = 0.08;
+    dopt.seed = 7;
+    auto delta = GenGraphDelta(gen, dopt, &graph);
+    ASSERT_TRUE(engine.RunIncremental(delta).ok());
+    auto state = engine.StateSnapshot();
+    ASSERT_TRUE(state.ok());
+    snapshots.push_back(std::move(*state));
+  }
+  // Byte-identical refreshed state across all three configurations.
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_EQ(snapshots[0], snapshots[2]);
+}
+
+TEST_F(ShuffleParityTest, KmeansIterationsIdenticalAcrossModes) {
+  PointsGenOptions gen;
+  gen.num_points = 400;
+  gen.dims = 3;
+
+  std::vector<std::vector<KV>> snapshots;
+  for (const auto& config : kConfigs) {
+    auto points = GenPoints(gen);
+    LocalCluster cluster(root_ + "/km_" + config.tag, 4);
+    IterJobSpec spec = kmeans::MakeIterSpec("km", 4, 12, 1e-6);
+    spec.shuffle_mode = config.mode;
+    spec.shuffle_memory_bytes = config.memory_bytes;
+    IterativeEngine engine(&cluster, spec);
+    ASSERT_TRUE(engine.Prepare(points, kmeans::InitialState(points, 6)).ok());
+    ASSERT_TRUE(engine.Run().ok());
+    auto state = engine.StateSnapshot();
+    ASSERT_TRUE(state.ok());
+    snapshots.push_back(std::move(*state));
+  }
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_EQ(snapshots[0], snapshots[2]);
+}
+
+TEST_F(ShuffleParityTest, WordCountOneStepRefreshIdenticalAcrossModes) {
+  TextGenOptions gen;
+  gen.num_docs = 60;
+
+  // Accumulator mode folds map-side with the combiner; MRBG mode preserves
+  // fine-grain state. Both must agree with themselves across exchanges.
+  for (bool accumulator : {true, false}) {
+    std::vector<std::vector<KV>> results;
+    for (const auto& config : kConfigs) {
+      auto docs = GenDocs(gen);
+      std::string tag = std::string(accumulator ? "wc_acc_" : "wc_mrbg_") +
+                        config.tag;
+      LocalCluster cluster(root_ + "/" + tag, 4);
+      IncrJobSpec spec = accumulator ? wordcount::MakeSpec("wc", 4)
+                                     : wordcount::MakeMrbgSpec("wc", 4);
+      spec.shuffle_mode = config.mode;
+      spec.shuffle_memory_bytes = config.memory_bytes;
+      IncrementalOneStepJob job(&cluster, spec);
+      std::string input = JoinPath(cluster.root(), "docs.dat");
+      ASSERT_TRUE(WriteRecords(input, docs).ok());
+      ASSERT_TRUE(job.RunInitial({input}).ok());
+      // GenDocsDelta is insertion-only, legal for both reduce modes.
+      std::vector<DeltaKV> delta = GenDocsDelta(gen, 0.2, 11, &docs);
+      std::string dpath = JoinPath(cluster.root(), "delta.dat");
+      ASSERT_TRUE(WriteDeltaRecords(dpath, delta).ok());
+      ASSERT_TRUE(job.RunIncremental({dpath}).ok());
+      auto out = job.Results();
+      ASSERT_TRUE(out.ok());
+      results.push_back(std::move(*out));
+    }
+    EXPECT_EQ(results[0], results[1]) << "accumulator=" << accumulator;
+    EXPECT_EQ(results[0], results[2]) << "accumulator=" << accumulator;
+  }
+}
+
+// The plain job runner with a combiner: output part files must be
+// byte-for-byte identical between the exchange and the disk spills.
+TEST_F(ShuffleParityTest, PlainJobWithCombinerOutputsByteIdentical) {
+  std::vector<KV> docs;
+  for (int i = 0; i < 50; ++i) {
+    docs.push_back(KV{"doc" + std::to_string(i),
+                      "the quick fox doc" + std::to_string(i % 7)});
+  }
+
+  std::vector<std::vector<std::string>> outputs;  // per config: file bytes
+  for (const auto& config : kConfigs) {
+    LocalCluster cluster(root_ + "/job_" + std::string(config.tag), 4);
+    std::vector<std::string> parts;
+    for (int p = 0; p < 3; ++p) {
+      std::vector<KV> slice;
+      for (size_t i = p; i < docs.size(); i += 3) slice.push_back(docs[i]);
+      std::string path =
+          JoinPath(cluster.root(), "in" + std::to_string(p) + ".dat");
+      ASSERT_TRUE(WriteRecords(path, slice).ok());
+      parts.push_back(path);
+    }
+    JobSpec spec;
+    spec.name = "wc";
+    spec.input_parts = parts;
+    spec.shuffle_mode = config.mode;
+    spec.shuffle_memory_bytes = config.memory_bytes;
+    spec.mapper = [] {
+      return std::make_unique<FnMapper>(
+          [](const std::string&, const std::string& text, MapContext* ctx) {
+            for (const auto& tok : wordcount::Tokenize(text)) {
+              ctx->Emit(tok, "1");
+            }
+          });
+    };
+    auto sum = [] {
+      return std::make_unique<FnReducer>(
+          [](const std::string& k, const std::vector<std::string>& vs,
+             ReduceContext* ctx) {
+            uint64_t total = 0;
+            for (const auto& v : vs) total += std::strtoull(v.c_str(), nullptr, 10);
+            ctx->Emit(k, std::to_string(total));
+          });
+    };
+    spec.reducer = sum;
+    spec.combiner = sum;
+    spec.output_dir = JoinPath(cluster.root(), "out");
+    auto result = cluster.RunJob(spec);
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+    std::vector<std::string> bytes;
+    for (const auto& part : result.output_parts) {
+      auto content = ReadFileToString(part);
+      ASSERT_TRUE(content.ok());
+      bytes.push_back(std::move(*content));
+    }
+    // Identical shuffle charges regardless of path.
+    EXPECT_GT(result.metrics->shuffle_bytes.load(), 0);
+    outputs.push_back(std::move(bytes));
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+// The same job in both modes must report identical shuffle_bytes: the
+// in-memory path charges each run's record-file size, which is exactly the
+// spill the disk path would have written.
+TEST_F(ShuffleParityTest, ShuffleBytesAccountingIdenticalAcrossModes) {
+  std::vector<int64_t> charged;
+  for (ShuffleMode mode : {ShuffleMode::kInMemory, ShuffleMode::kDisk}) {
+    LocalCluster cluster(
+        root_ + (mode == ShuffleMode::kDisk ? "/acct_disk" : "/acct_mem"), 2);
+    std::vector<KV> input;
+    for (int i = 0; i < 200; ++i) {
+      input.push_back(KV{PaddedNum(i % 17), "payload-" + std::to_string(i)});
+    }
+    std::string path = JoinPath(cluster.root(), "in.dat");
+    EXPECT_TRUE(WriteRecords(path, input).ok());
+    JobSpec spec;
+    spec.name = "acct";
+    spec.input_parts = {path};
+    spec.shuffle_mode = mode;
+    spec.mapper = [] {
+      return std::make_unique<FnMapper>(
+          [](const std::string& k, const std::string& v, MapContext* ctx) {
+            ctx->Emit(k, v);
+          });
+    };
+    spec.reducer = [] {
+      return std::make_unique<FnReducer>(
+          [](const std::string& k, const std::vector<std::string>& vs,
+             ReduceContext* ctx) { ctx->Emit(k, std::to_string(vs.size())); });
+    };
+    spec.output_dir = JoinPath(cluster.root(), "out");
+    auto result = cluster.RunJob(spec);
+    ASSERT_TRUE(result.ok());
+    charged.push_back(result.metrics->shuffle_bytes.load());
+  }
+  EXPECT_EQ(charged[0], charged[1]);
+}
+
+TEST_F(ShuffleParityTest, ForceDiskEnvOverridesInMemoryRequest) {
+  // The suite itself may run under I2MR_FORCE_DISK_SHUFFLE (CI's disk-mode
+  // pass): save and restore the ambient value.
+  const char* ambient = std::getenv("I2MR_FORCE_DISK_SHUFFLE");
+  std::string saved = ambient != nullptr ? ambient : "";
+
+  ::unsetenv("I2MR_FORCE_DISK_SHUFFLE");
+  EXPECT_EQ(EffectiveShuffleMode(ShuffleMode::kInMemory),
+            ShuffleMode::kInMemory);
+  ::setenv("I2MR_FORCE_DISK_SHUFFLE", "1", 1);
+  EXPECT_EQ(EffectiveShuffleMode(ShuffleMode::kInMemory), ShuffleMode::kDisk);
+  EXPECT_EQ(EffectiveShuffleMode(ShuffleMode::kDisk), ShuffleMode::kDisk);
+  ::setenv("I2MR_FORCE_DISK_SHUFFLE", "0", 1);
+  EXPECT_EQ(EffectiveShuffleMode(ShuffleMode::kInMemory),
+            ShuffleMode::kInMemory);
+
+  if (ambient != nullptr) {
+    ::setenv("I2MR_FORCE_DISK_SHUFFLE", saved.c_str(), 1);
+  } else {
+    ::unsetenv("I2MR_FORCE_DISK_SHUFFLE");
+  }
+}
+
+}  // namespace
+}  // namespace i2mr
