@@ -1,13 +1,16 @@
 // Sharded serving read latency: pinned epoch-consistent reads while deltas
-// stream and shards commit refresh epochs underneath.
+// stream and coordinated cross-shard epochs commit underneath.
 //
 // For each shard count we bootstrap one PageRank computation partitioned
-// across the shards, start every shard's background epoch scheduler, and
-// stream graph deltas while reader threads serve pinned reads
+// across the shards in coordinated mode (cross_shard_exchange: boundary
+// contributions routed between shards, every epoch committed on all
+// shards atomically under the barrier), start the background coordinator,
+// and stream graph deltas while reader threads serve pinned reads
 // (PinSnapshot + point Get). Reported per shard count: read latency
-// p50/p99, read throughput, and epochs committed during the read phase —
-// the p99 is what CI gates (reads must stay non-blocking: a read that
-// waits on a refresh in flight would blow it up by orders of magnitude).
+// p50/p99, read throughput, and coordinated epochs committed during the
+// read phase — the p99 is what CI gates (reads must stay non-blocking: a
+// read that waits on a refresh OR on the barrier commit would blow it up
+// by orders of magnitude).
 //
 // Emits BENCH_serving.json (tracked trajectory point; see
 // tools/check_bench_regression.py --key shards).
@@ -57,10 +60,13 @@ StatusOr<ShardResult> MeasureShards(int shards, int num_vertices) {
   gen.avg_degree = 6;
   auto graph = GenGraph(gen);
 
+  MetricsRegistry metrics;
   ShardRouterOptions options;
   options.num_shards = shards;
   options.workers_per_shard = 2;
   options.cost = bench::PaperCosts();
+  options.cross_shard_exchange = true;
+  options.metrics = &metrics;
   options.pipeline.spec = pagerank::MakeIterSpec("rank", 2, 60, 1e-6);
   options.pipeline.engine.filter_threshold = 0.1;
   options.pipeline.min_batch = 1;
@@ -74,14 +80,20 @@ StatusOr<ShardResult> MeasureShards(int shards, int num_vertices) {
       (*router)->Bootstrap(graph, bench::UnitState(graph)));
   ShardGroup group(router->get());
 
-  const uint64_t epochs_before =
-      [&] {
-        uint64_t total = 0;
-        for (int s = 0; s < shards; ++s) {
-          total += (*router)->manager(s)->stats().epochs_committed;
-        }
-        return total;
-      }();
+  // Coordinated commits publish through the registry (the per-shard
+  // manager schedulers are idle in coordinated mode).
+  auto commit_counters = [&] {
+    uint64_t epochs = 0, deltas = 0;
+    for (int s = 0; s < shards; ++s) {
+      std::string prefix = "serving.rank.shard" + std::to_string(s);
+      epochs += static_cast<uint64_t>(
+          metrics.Get(prefix + ".epochs_committed")->value());
+      deltas += static_cast<uint64_t>(
+          metrics.Get(prefix + ".deltas_applied")->value());
+    }
+    return std::make_pair(epochs, deltas);
+  };
+  const uint64_t epochs_before = commit_counters().first;
 
   // Readers: pinned point reads against rotating probe keys while the
   // writer streams deltas and epochs commit underneath.
@@ -136,12 +148,9 @@ StatusOr<ShardResult> MeasureShards(int shards, int num_vertices) {
   result.p50_read_ms = Percentile(&all, 0.50);
   result.p99_read_ms = Percentile(&all, 0.99);
   result.reads_per_sec = read_phase_s > 0 ? all.size() / read_phase_s : 0;
-  for (int s = 0; s < shards; ++s) {
-    auto stats = (*router)->manager(s)->stats();
-    result.epochs_committed += stats.epochs_committed;
-    result.deltas_applied += stats.deltas_applied;
-  }
-  result.epochs_committed -= epochs_before;
+  auto [epochs, deltas] = commit_counters();
+  result.epochs_committed = epochs - epochs_before;
+  result.deltas_applied = deltas;
   return result;
 }
 

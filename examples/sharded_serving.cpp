@@ -1,14 +1,20 @@
 // Sharded serving: one PageRank computation hash-partitioned across four
 // shards, each a full vertical slice (own cluster, delta log, epoch dirs),
-// behind a ShardRouter. While graph deltas stream in and every shard's
-// scheduler commits refresh epochs in the background, readers pin
-// epoch-consistent ShardSnapshots (a frozen version vector of per-shard
-// epochs) and serve point gets, multi-gets and scatter-gather top-k from
-// exactly that cut — commits and log purges land underneath without ever
-// blocking or invalidating them. An AdmissionController gives a paying
-// tenant unlimited reads while a free-tier tenant is token-bucket
-// throttled at the edge, and caps the free tenant's epoch scheduling so
-// its delta backlog can't crowd out the paid tenant's refreshes.
+// behind a ShardRouter running in coordinated cross-shard mode: rank
+// contributions along edges that cross the partition are captured at each
+// shard's engine boundary, routed to the owning shard by the
+// CrossShardExchange, and re-reduced under a barrier until the joint
+// fixpoint — so the sharded answer equals the whole unsharded computation,
+// and every epoch commits on all shards atomically (uniform snapshot
+// version vectors). While graph deltas stream in and the coordinator
+// commits barrier epochs in the background, readers pin epoch-consistent
+// ShardSnapshots and serve point gets, multi-gets and scatter-gather
+// top-k from exactly that cut — commits and log purges land underneath
+// without ever blocking or invalidating them. An AdmissionController
+// gives a paying tenant unlimited reads while a free-tier tenant is
+// token-bucket throttled at the edge, and caps the free tenant's epoch
+// scheduling so its delta backlog can't crowd out the paid tenant's
+// refreshes.
 //
 // Build: cmake --build build && ./build/examples/sharded_serving
 #include <chrono>
@@ -66,8 +72,15 @@ int main() {
   ShardRouterOptions options;
   options.num_shards = 4;
   options.workers_per_shard = 2;
-  options.pipeline.spec = pagerank::MakeIterSpec("rank", 2, 60, 1e-6);
-  options.pipeline.engine.filter_threshold = 0.1;
+  // Coordinated mode: cross-shard rank contributions are exchanged and
+  // epochs commit under a barrier — sharded results match the unsharded
+  // computation instead of each shard's isolated subgraph.
+  options.cross_shard_exchange = true;
+  options.pipeline.spec = pagerank::MakeIterSpec("rank", 2, 60, 1e-4);
+  // Exact change propagation: with a coarse CPC threshold the exchange
+  // rounds would stop at a correspondingly coarse joint fixpoint. The
+  // 1e-4 epsilon bounds the barrier rounds per epoch (~ln(1/eps)).
+  options.pipeline.engine.filter_threshold = 0.0;
   options.pipeline.min_batch = 20;
   options.pipeline.max_lag_ms = 100;
   options.manager.poll_interval_ms = 5;
@@ -155,20 +168,22 @@ int main() {
   std::printf("registry slice:\n%s",
               MetricsRegistry::Default()->ToString("serving.rank.shard0").c_str());
 
-  // Per-shard exactness: each shard's served ranks match a from-scratch
-  // recompute of its own subgraph.
-  std::vector<std::vector<KV>> parts((*router)->num_shards());
-  for (const auto& kv : graph) {
-    parts[(*router)->ShardOf(kv.key)].push_back(kv);
-  }
-  double worst = 0;
+  // Ground truth: the union of the shards' served ranks matches an offline
+  // recompute of the WHOLE graph — not merely each shard's own subgraph —
+  // because the coordinated refresh exchanged every cross-shard
+  // contribution. The pinned vectors above being uniform is the same
+  // property on the commit side.
+  std::vector<KV> served;
   for (int s = 0; s < (*router)->num_shards(); ++s) {
-    auto reference = pagerank::Reference(parts[s], 60, 1e-6);
-    double err = pagerank::MeanError((*router)->shard(s)->ServingSnapshot(),
-                                     reference);
-    if (err > worst) worst = err;
+    auto part = (*router)->shard(s)->ServingSnapshot();
+    served.insert(served.end(), part.begin(), part.end());
   }
-  std::printf("worst shard mean error vs offline recompute: %.5f%%\n",
-              worst * 100.0);
+  auto reference = pagerank::Reference(graph, 60, 1e-6);
+  std::printf("mean error vs whole-graph offline recompute: %.5f%%\n",
+              pagerank::MeanError(served, reference) * 100.0);
+  std::printf("exchange: %s\n",
+              MetricsRegistry::Default()
+                  ->ToString("serving.rank.exchange")
+                  .c_str());
   return 0;
 }

@@ -27,20 +27,38 @@ std::string MapTaskDir(const std::string& job_dir, int m) {
 }
 
 // MapContext tagging emissions with (MK, op) for MRBGraph maintenance.
+// In a sharded deployment (spec.owns_key set), emissions to keys another
+// shard owns are captured into `boundary` as DeltaEdges — the same
+// replace/delete-by-(K2, MK) units the MRBGraph merge applies — instead of
+// entering the local shuffle, so the exchange can route them to the owner.
 class TaggingMapContext : public MapContext {
  public:
-  explicit TaggingMapContext(MapContext* inner) : inner_(inner) {}
+  TaggingMapContext(MapContext* inner,
+                    const std::function<bool(std::string_view)>* owns,
+                    std::vector<DeltaEdge>* boundary)
+      : inner_(inner), owns_(owns), boundary_(boundary) {}
   void Begin(uint64_t mk, bool deleted) {
     mk_ = mk;
     deleted_ = deleted;
   }
   void Emit(std::string_view key, std::string_view value) override {
+    if (owns_ != nullptr && *owns_ && !(*owns_)(key)) {
+      DeltaEdge e;
+      e.k2.assign(key);
+      e.mk = mk_;
+      e.deleted = deleted_;
+      if (!deleted_) e.v2.assign(value);
+      boundary_->push_back(std::move(e));
+      return;
+    }
     inner_->Emit(key, EncodeEdgeValue(mk_, deleted_,
                                       deleted_ ? std::string_view() : value));
   }
 
  private:
   MapContext* inner_;
+  const std::function<bool(std::string_view)>* owns_;
+  std::vector<DeltaEdge>* boundary_;
   uint64_t mk_ = 0;
   bool deleted_ = false;
 };
@@ -206,7 +224,12 @@ Status IncrementalIterativeEngine::PreserveMRBGraph(double* elapsed_ms) {
       auto mapper = spec_.mapper();
       ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p),
                            exchange.get());
-      TaggingMapContext ctx(&writer);
+      // The preservation pass re-maps every live structure record, so the
+      // captured boundary set is the complete current export of this shard
+      // (merged keep-latest into the pending exports; deletions captured by
+      // earlier incremental iterations are preserved for removed MKs).
+      std::vector<DeltaEdge> boundary;
+      TaggingMapContext ctx(&writer, &spec_.owns_key, &boundary);
       ctx.Begin(Hash64("__setup__"), false);
       mapper->Setup(&ctx);
       I2MR_RETURN_IF_ERROR(ForEachStructureRecord(
@@ -218,6 +241,7 @@ Status IncrementalIterativeEngine::PreserveMRBGraph(double* elapsed_ms) {
           }));
       ctx.Begin(Hash64("__flush__"), false);
       mapper->Flush(&ctx);
+      MergeBoundaryExports(std::move(boundary));
       return writer.Finish(nullptr, &metrics);
     }();
   });
@@ -373,7 +397,8 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
       auto mapper = spec_.mapper();
       ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p),
                            exchange.get());
-      TaggingMapContext ctx(&writer);
+      std::vector<DeltaEdge> boundary;
+      TaggingMapContext ctx(&writer, &spec_.owns_key, &boundary);
       int64_t count = 0;
       ScopedTimer t(&metrics.map_ns);
       ctx.Begin(Hash64("__setup__"), false);
@@ -413,6 +438,7 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
       }
       ctx.Begin(Hash64("__flush__"), false);
       mapper->Flush(&ctx);
+      MergeBoundaryExports(std::move(boundary));
       map_instances.fetch_add(count);
       metrics.map_input_records += count;
       return writer.Finish(nullptr, &metrics);
@@ -507,6 +533,9 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
           values.clear();
           values.reserve(merged.entries.size());
           for (const auto& e : merged.entries) values.push_back(e.v2);
+          // Cross-shard: the reduce input is the union of the preserved
+          // local MRBGraph values and the routed-in remote edges.
+          AppendRemoteValues(r, dk, &values);
 
           const std::string* prev = states_[r]->Get(dk);
           std::string prev_str = prev != nullptr ? *prev
@@ -571,6 +600,131 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
 }
 
 // ---------------------------------------------------------------------------
+// Cross-shard exchange: boundary exports + remote-edge inbox
+// ---------------------------------------------------------------------------
+
+Status IncrementalIterativeEngine::LoadExisting() {
+  I2MR_RETURN_IF_ERROR(IterativeEngine::LoadExisting());
+  // (Re)loading from disk supersedes anything captured in memory: exports
+  // or forced DKs from a rolled-back refresh must not leak into the next
+  // one (the pipeline also guarantees this by recreating the engine).
+  pending_remote_dks_.clear();
+  {
+    std::lock_guard<std::mutex> lock(exports_mu_);
+    pending_exports_.clear();
+  }
+  return LoadRemoteInbox();
+}
+
+std::string IncrementalIterativeEngine::RemotePath(int p) const {
+  return JoinPath(PartitionDir(p), "remote.dat");
+}
+
+Status IncrementalIterativeEngine::LoadRemoteInbox() {
+  remote_.clear();
+  if (!spec_.owns_key) return Status::OK();
+  remote_.resize(spec_.num_partitions);
+  for (int p = 0; p < spec_.num_partitions; ++p) {
+    if (!FileExists(RemotePath(p))) continue;
+    auto recs = ReadRecords(RemotePath(p));
+    if (!recs.ok()) return recs.status();
+    for (const auto& kv : *recs) {
+      DeltaEdge e;
+      I2MR_RETURN_IF_ERROR(DecodeEdgeValue(kv.value, &e));
+      remote_[p][kv.key][e.mk] = std::move(e.v2);
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalIterativeEngine::SaveRemoteInbox(int p) const {
+  // Same (dk, encoded edge) records the shuffle moves around; the file is
+  // rewritten whole (inboxes are boundary-sized, not state-sized) onto a
+  // fresh inode, so hard-linked epoch snapshots of it never mutate.
+  std::vector<KV> records;
+  for (const auto& [dk, by_mk] : remote_[p]) {
+    for (const auto& [mk, v2] : by_mk) {
+      records.push_back(KV{dk, EncodeEdgeValue(mk, /*deleted=*/false, v2)});
+    }
+  }
+  return WriteRecords(RemotePath(p), records);
+}
+
+StatusOr<size_t> IncrementalIterativeEngine::ApplyRemoteEdges(
+    const std::vector<DeltaEdge>& edges) {
+  if (!spec_.owns_key) {
+    return Status::FailedPrecondition(
+        "ApplyRemoteEdges on an engine without owns_key");
+  }
+  if (!prepared_) I2MR_RETURN_IF_ERROR(LoadExisting());
+  if (remote_.empty()) remote_.resize(spec_.num_partitions);
+  size_t changed = 0;
+  std::set<int> dirty_parts;
+  for (const auto& e : edges) {
+    const int p = static_cast<int>(PartitionOf(e.k2));
+    auto& part = remote_[p];
+    if (e.deleted) {
+      auto it = part.find(e.k2);
+      if (it == part.end() || it->second.erase(e.mk) == 0) continue;
+      if (it->second.empty()) part.erase(it);
+    } else {
+      auto& by_mk = part[e.k2];
+      auto it = by_mk.find(e.mk);
+      if (it != by_mk.end() && it->second == e.v2) continue;
+      by_mk[e.mk] = e.v2;
+    }
+    ++changed;
+    dirty_parts.insert(p);
+    pending_remote_dks_.insert(e.k2);
+  }
+  for (int p : dirty_parts) I2MR_RETURN_IF_ERROR(SaveRemoteInbox(p));
+  return changed;
+}
+
+void IncrementalIterativeEngine::MergeBoundaryExports(
+    std::vector<DeltaEdge>&& edges) {
+  if (edges.empty()) return;
+  std::lock_guard<std::mutex> lock(exports_mu_);
+  for (auto& e : edges) {
+    auto key = std::make_pair(e.k2, e.mk);
+    pending_exports_[std::move(key)] = std::move(e);
+  }
+}
+
+std::vector<DeltaEdge> IncrementalIterativeEngine::TakeBoundaryExports() {
+  std::lock_guard<std::mutex> lock(exports_mu_);
+  std::vector<DeltaEdge> out;
+  out.reserve(pending_exports_.size());
+  for (auto& [key, edge] : pending_exports_) out.push_back(std::move(edge));
+  pending_exports_.clear();
+  return out;
+}
+
+void IncrementalIterativeEngine::AppendRemoteValues(
+    int r, std::string_view dk, std::vector<std::string_view>* values) const {
+  if (remote_.empty()) return;
+  const auto& part = remote_[r];
+  auto it = part.find(dk);
+  if (it == part.end()) return;
+  for (const auto& [mk, v2] : it->second) {
+    (void)mk;
+    values->push_back(v2);
+  }
+}
+
+std::vector<std::string> IncrementalIterativeEngine::RemoteOnlyKeys(
+    int r) const {
+  std::vector<std::string> keys;
+  if (remote_.empty()) return keys;
+  keys.reserve(remote_[r].size());
+  for (const auto& [dk, by_mk] : remote_[r]) {
+    (void)by_mk;
+    keys.push_back(dk);  // std::map iteration: already sorted
+  }
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
 // Top-level jobs
 // ---------------------------------------------------------------------------
 
@@ -578,6 +732,20 @@ StatusOr<IncrIterRunStats> IncrementalIterativeEngine::RunInitial(
     const std::vector<KV>& structure, const std::vector<KV>& initial_state) {
   IncrIterRunStats stats;
   WallTimer wall;
+  if (spec_.owns_key && !options_.maintain_mrbg) {
+    // The exchange's export/fold machinery rides on the MRBGraph tagging
+    // and merge; without it a sharded reduce would silently drop remote
+    // contributions in the re-computation path.
+    return Status::InvalidArgument(
+        "owns_key (cross-shard exchange) requires maintain_mrbg");
+  }
+  // Fresh bootstrap: no remote contributions folded, nothing captured yet.
+  remote_.clear();
+  pending_remote_dks_.clear();
+  {
+    std::lock_guard<std::mutex> lock(exports_mu_);
+    pending_exports_.clear();
+  }
   I2MR_RETURN_IF_ERROR(Prepare(structure, initial_state));
   auto iterations = Run();
   if (!iterations.ok()) return iterations.status();
@@ -625,6 +793,15 @@ StatusOr<IncrIterRunStats> IncrementalIterativeEngine::RunIncremental(
       }
     }
   }
+
+  // Cross-shard: inbox DKs whose remote contributions changed since the
+  // last refresh re-reduce in iteration 1 even when no local delta (and
+  // hence no local map emission) touches them — MergeGroup hands back the
+  // preserved local chunk and AppendRemoteValues the routed-in values.
+  for (const auto& dk : pending_remote_dks_) {
+    ctxs[PartitionOf(dk)].forced_dks.push_back(dk);
+  }
+  pending_remote_dks_.clear();
 
   bool use_mrbg = options_.maintain_mrbg && mrbg_consistent_;
   if (options_.maintain_mrbg && !mrbg_consistent_) {

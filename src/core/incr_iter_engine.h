@@ -19,11 +19,13 @@
 #define I2MR_CORE_INCR_ITER_ENGINE_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/iter_engine.h"
@@ -116,6 +118,34 @@ class IncrementalIterativeEngine : public IterativeEngine {
   std::string MrbgDir(int r) const;
   const IncrIterOptions& options() const { return options_; }
 
+  /// Also reloads the cross-shard remote-edge inbox (remote.dat).
+  Status LoadExisting() override;
+
+  // -- Cross-shard exchange (spec.owns_key engines) --------------------------
+  //
+  // A sharded computation's map emissions to keys another shard owns are
+  // captured here as boundary edges — (K2, MK, V2) with the MRBGraph's
+  // replace/delete-by-(K2, MK) semantics — instead of reducing locally as
+  // phantom keys. The serving layer's CrossShardExchange routes them to the
+  // owning engine, which folds them into a durable per-partition inbox
+  // (remote.dat, snapshotted and restored with the engine state) whose
+  // values join every subsequent reduce of the affected DKs.
+
+  /// Fold routed-in edges from sibling shards into the remote inbox.
+  /// Upserts/deletes by (K2, MK); DKs whose folded value set actually
+  /// changed are forced into the next RunIncremental's first-iteration
+  /// reduce. Returns how many edges changed the inbox (0 = no-op round).
+  StatusOr<size_t> ApplyRemoteEdges(const std::vector<DeltaEdge>& edges);
+
+  /// Drain the boundary emissions captured since the last call: the latest
+  /// edge per (K2, MK) — re-executed map instances replace their earlier
+  /// capture — including deletions from removed structure records.
+  std::vector<DeltaEdge> TakeBoundaryExports();
+
+  /// Remote-inbox DKs already folded but not yet re-reduced (a refresh
+  /// that failed after the fold); the next RunIncremental absorbs them.
+  bool HasPendingRemoteKeys() const { return !pending_remote_dks_.empty(); }
+
   /// Off-line MRBGraph reconstruction (paper §3.4: "The MRBGraph file is
   /// reconstructed off-line when the worker is idle"): rewrite every
   /// partition's store with only live chunks, in key order, as a single
@@ -172,11 +202,35 @@ class IncrementalIterativeEngine : public IterativeEngine {
   /// Check the failure hook, at most once per (iter, kind, partition).
   bool ShouldFail(int iter, TaskId::Kind kind, int p);
 
+  // -- Cross-shard internals -------------------------------------------------
+  std::string RemotePath(int p) const;
+  Status LoadRemoteInbox();
+  Status SaveRemoteInbox(int p) const;
+  /// Merge one map task's captured boundary emissions (latest per (k2, mk)).
+  void MergeBoundaryExports(std::vector<DeltaEdge>&& edges);
+  void AppendRemoteValues(int r, std::string_view dk,
+                          std::vector<std::string_view>* values) const override;
+  std::vector<std::string> RemoteOnlyKeys(int r) const override;
+
   IncrIterOptions options_;
   std::vector<std::unique_ptr<MRBGStore>> stores_;
   bool mrbg_consistent_ = false;
   std::set<std::string> failed_once_;
   std::mutex fail_mu_;
+
+  /// Per state partition: DK -> (remote MK -> V2). Immutable during a
+  /// refresh (ApplyRemoteEdges runs between refreshes), so the views
+  /// AppendRemoteValues hands to reducers stay valid. std::less<> for
+  /// string_view probes.
+  std::vector<std::map<std::string, std::map<uint64_t, std::string>,
+                       std::less<>>>
+      remote_;
+  /// Inbox DKs changed since the last refresh (forced into iteration 1).
+  std::set<std::string> pending_remote_dks_;
+  /// Captured boundary emissions awaiting TakeBoundaryExports, keyed
+  /// (K2, MK) so a re-executed instance replaces its earlier capture.
+  std::map<std::pair<std::string, uint64_t>, DeltaEdge> pending_exports_;
+  std::mutex exports_mu_;  // map tasks merge concurrently
 };
 
 }  // namespace i2mr

@@ -27,6 +27,26 @@ std::string MapTaskDir(const std::string& job_dir, int m) {
   return JoinPath(job_dir, buf);
 }
 
+// Sharded full iterations: emissions to keys another shard owns must not
+// enter the local shuffle (they would reduce here as phantom keys shadowing
+// the owner's result). Full re-computation re-derives the complete boundary
+// set every iteration, so dropping — rather than capturing — is lossless;
+// the incremental engine's tagged context does the capturing.
+class OwnedKeyFilter : public MapContext {
+ public:
+  OwnedKeyFilter(MapContext* inner,
+                 const std::function<bool(std::string_view)>* owns)
+      : inner_(inner), owns_(owns) {}
+  void Emit(std::string_view key, std::string_view value) override {
+    if (!(*owns_)(key)) return;
+    inner_->Emit(key, value);
+  }
+
+ private:
+  MapContext* inner_;
+  const std::function<bool(std::string_view)>* owns_;
+};
+
 }  // namespace
 
 IterativeEngine::IterativeEngine(LocalCluster* cluster, IterJobSpec spec)
@@ -36,6 +56,12 @@ IterativeEngine::IterativeEngine(LocalCluster* cluster, IterJobSpec spec)
   I2MR_CHECK(spec_.reducer != nullptr);
   I2MR_CHECK(spec_.difference != nullptr);
   I2MR_CHECK(spec_.num_partitions > 0);
+  // owns_key shards the computation by key; an all-to-one dependency has
+  // global reduce state and cannot be split that way (route such apps to a
+  // single shard instead).
+  I2MR_CHECK(!spec_.owns_key ||
+             spec_.projector->dep_type() != DepType::kAllToOne)
+      << "owns_key is incompatible with all-to-one dependencies";
   states_.resize(spec_.num_partitions);
   for (int p = 0; p < spec_.num_partitions; ++p) {
     states_[p] = std::make_unique<StateStore>(StatePath(p));
@@ -228,18 +254,21 @@ StatusOr<IterationStats> IterativeEngine::RunFullIteration(int iter) {
       auto mapper = spec_.mapper();
       ShuffleWriter writer(n, &hash_partitioner, MapTaskDir(job_dir, p),
                            exchange.get());
+      OwnedKeyFilter filter(&writer, &spec_.owns_key);
+      MapContext* ctx = spec_.owns_key ? static_cast<MapContext*>(&filter)
+                                       : static_cast<MapContext*>(&writer);
       int64_t count = 0;
       {
         ScopedTimer t(&metrics.map_ns);
-        mapper->Setup(&writer);
+        mapper->Setup(ctx);
         I2MR_RETURN_IF_ERROR(ForEachStructureRecord(
             p, [&](const std::string& sk, const std::string& sv,
                    const std::string& dk, const std::string& dv) {
-              mapper->Map(sk, sv, dk, dv, &writer);
+              mapper->Map(sk, sv, dk, dv, ctx);
               ++count;
               return Status::OK();
             }));
-        mapper->Flush(&writer);
+        mapper->Flush(ctx);
       }
       map_instances.fetch_add(count);
       metrics.map_input_records += count;
@@ -270,6 +299,25 @@ StatusOr<IterationStats> IterativeEngine::RunFullIteration(int iter) {
       double local_diff = 0;
       int64_t local_keys = 0;
       std::unordered_set<std::string> touched;
+      // Cross-shard: DKs that hold routed-in remote values but may get no
+      // local emission this iteration still need their reduce to run.
+      std::vector<std::string> remote_only = RemoteOnlyKeys(r);
+      std::unordered_set<std::string> remote_pending(remote_only.begin(),
+                                                     remote_only.end());
+      auto reduce_one = [&](const std::string& dk,
+                            std::vector<std::string_view>* values) {
+        AppendRemoteValues(r, dk, values);
+        const std::string* prev = states_[r]->Get(dk);
+        std::string prev_str = prev != nullptr ? *prev
+                              : spec_.init_state ? spec_.init_state(dk)
+                                                 : std::string();
+        std::string next =
+            reducer->Reduce(dk, *values, prev != nullptr ? prev : nullptr);
+        local_diff += spec_.difference(next, prev_str);
+        states_[r]->Put(dk, std::move(next));
+        if (spec_.reduce_untouched_keys) touched.insert(dk);
+        ++local_keys;
+      };
       {
         ScopedTimer t(&metrics.reduce_ns);
         std::string_view dk_view;
@@ -277,16 +325,14 @@ StatusOr<IterationStats> IterativeEngine::RunFullIteration(int iter) {
         std::vector<std::string_view> values;
         while (reader.value()->NextGroup(&dk_view, &values)) {
           dk.assign(dk_view);
-          const std::string* prev = states_[r]->Get(dk);
-          std::string prev_str = prev != nullptr ? *prev
-                                : spec_.init_state ? spec_.init_state(dk)
-                                                   : std::string();
-          std::string next =
-              reducer->Reduce(dk, values, prev != nullptr ? prev : nullptr);
-          local_diff += spec_.difference(next, prev_str);
-          states_[r]->Put(dk, std::move(next));
-          if (spec_.reduce_untouched_keys) touched.insert(dk);
-          ++local_keys;
+          remote_pending.erase(dk);
+          reduce_one(dk, &values);
+        }
+        // Remote-only DKs, in the sorted order RemoteOnlyKeys returned.
+        for (const auto& dk2 : remote_only) {
+          if (remote_pending.count(dk2) == 0) continue;
+          values.clear();
+          reduce_one(dk2, &values);
         }
         if (spec_.reduce_untouched_keys) {
           std::vector<std::pair<std::string, std::string>> updates;

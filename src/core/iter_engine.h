@@ -90,6 +90,17 @@ struct IterJobSpec {
 
   /// In-memory exchange budget per iteration; runs above it spill to disk.
   size_t shuffle_memory_bytes = kDefaultShuffleMemoryBytes;
+
+  /// Sharded deployments (serving/CrossShardExchange): when set, this
+  /// engine owns only the keys for which owns_key(key) is true; the rest
+  /// of the key space lives on sibling engines (other shards). Map
+  /// emissions to non-owned keys never enter the local shuffle — they
+  /// would otherwise reduce locally as phantom keys that shadow the owning
+  /// shard's result. Full iterations drop them (the complete set is
+  /// re-derivable from a full re-map); the incremental engine captures
+  /// them as boundary edges for the exchange to route to the owner.
+  /// Requires a partition-by-key dependency (not all-to-one).
+  std::function<bool(std::string_view key)> owns_key;
 };
 
 /// Per-iteration statistics (Fig. 9 / Fig. 11 quantities).
@@ -117,8 +128,9 @@ class IterativeEngine {
   Status Prepare(const std::vector<KV>& structure,
                  const std::vector<KV>& initial_state);
 
-  /// Reload previously prepared partition state from disk.
-  Status LoadExisting();
+  /// Reload previously prepared partition state from disk. (Virtual: the
+  /// incremental engine also reloads its cross-shard remote-edge inbox.)
+  virtual Status LoadExisting();
 
   /// Run full iterations to convergence (iterMR). One job startup charge.
   StatusOr<std::vector<IterationStats>> Run();
@@ -161,6 +173,22 @@ class IterativeEngine {
   /// Resolve the state value for dk in partition p (store value or
   /// init_state fallback).
   StatusOr<std::string> StateValue(int p, const std::string& dk) const;
+
+  /// Cross-shard exchange hooks (spec_.owns_key deployments). Reduce input
+  /// for a DK is the union of its local intermediate values and the values
+  /// remote shards routed in; the incremental engine overrides these with
+  /// its remote-edge inbox. Views appended by AppendRemoteValues must stay
+  /// valid for the rest of the refresh (the inbox is immutable while one
+  /// runs).
+  virtual void AppendRemoteValues(int /*r*/, std::string_view /*dk*/,
+                                  std::vector<std::string_view>* /*values*/)
+      const {}
+  /// DKs in partition r that hold remote contributions — their reduce must
+  /// run even when no local map emission targets them this iteration.
+  /// Returned sorted.
+  virtual std::vector<std::string> RemoteOnlyKeys(int /*r*/) const {
+    return {};
+  }
 
   LocalCluster* cluster_;
   IterJobSpec spec_;

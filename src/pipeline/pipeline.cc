@@ -112,7 +112,7 @@ std::string Pipeline::Dir() const {
   return JoinPath(cluster_->root(), "pipeline/" + name_);
 }
 
-std::string Pipeline::EpochDirName(uint64_t epoch) const {
+std::string Pipeline::EpochDirName(uint64_t epoch) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "epoch-%08" PRIu64, epoch);
   return buf;
@@ -203,6 +203,15 @@ Status Pipeline::RestoreCommitted() {
       I2MR_RETURN_IF_ERROR(
           LinkOrCopyFile(JoinPath(src, "mrbg.idx"),
                          JoinPath(engine_->MrbgDir(p), "mrbg.idx")));
+    }
+    if (FileExists(JoinPath(src, "remote.dat"))) {
+      // Cross-shard remote-edge inbox: committed alongside the state so a
+      // recovered shard re-reduces with the same remote contributions.
+      auto remote_ok = ValidateRecordFile(JoinPath(src, "remote.dat"));
+      if (!remote_ok.ok()) return remote_ok.status();
+      I2MR_RETURN_IF_ERROR(
+          LinkOrCopyFile(JoinPath(src, "remote.dat"),
+                         JoinPath(engine_->PartitionDir(p), "remote.dat")));
     }
   }
   I2MR_RETURN_IF_ERROR(engine_->LoadExisting());
@@ -323,6 +332,10 @@ StatusOr<EpochStats> Pipeline::RunEpoch() {
     I2MR_RETURN_IF_ERROR(RestoreCommitted());
     dirty_.store(false);
   }
+  // A solo epoch supersedes any abandoned coordinated round state.
+  inflight_ = false;
+  staged_.valid = false;
+  staged_.store.reset();
 
   EpochStats stats;
   stats.epoch = committed_epoch_.load();
@@ -402,6 +415,25 @@ StatusOr<EpochStats> Pipeline::RunEpoch() {
 Status Pipeline::Commit(uint64_t epoch, uint64_t watermark, double* commit_ms,
                         int64_t pending_since_ns) {
   WallTimer timer;
+  I2MR_RETURN_IF_ERROR(
+      StageEpochLocked(epoch, watermark, pending_since_ns, nullptr));
+
+  if (SimulateCrash(epoch, "commit")) {
+    // The epoch dir landed but CURRENT still names the previous epoch: on
+    // recovery the orphan dir is garbage-collected and the log replayed.
+    return Status::Aborted("simulated crash mid-commit");
+  }
+
+  I2MR_RETURN_IF_ERROR(FinalizeStagedLocked());
+  I2MR_RETURN_IF_ERROR(CleanupCommittedLocked());
+  if (commit_ms != nullptr) *commit_ms = timer.ElapsedMillis();
+  return Status::OK();
+}
+
+Status Pipeline::StageEpochLocked(uint64_t epoch, uint64_t watermark,
+                                  int64_t pending_since_ns,
+                                  double* commit_ms) {
+  WallTimer timer;
   const int n = options_.spec.num_partitions;
   const std::string final_name = EpochDirName(epoch);
   const std::string final_dir = JoinPath(Dir(), final_name);
@@ -443,6 +475,13 @@ Status Pipeline::Commit(uint64_t epoch, uint64_t watermark, double* commit_ms,
       snapshot_files.push_back(JoinPath(pdir, "mrbg.dat"));
       snapshot_files.push_back(JoinPath(pdir, "mrbg.idx"));
     }
+    std::string remote_dat = JoinPath(engine_->PartitionDir(p), "remote.dat");
+    if (FileExists(remote_dat)) {
+      // Cross-shard inbox: committed with the state it was reduced into.
+      I2MR_RETURN_IF_ERROR(
+          LinkOrCopyFile(remote_dat, JoinPath(pdir, "remote.dat")));
+      snapshot_files.push_back(JoinPath(pdir, "remote.dat"));
+    }
     if (sync) {
       // The partition dir's entries (the links) must also survive.
       I2MR_RETURN_IF_ERROR(SyncDir(pdir));
@@ -473,17 +512,32 @@ Status Pipeline::Commit(uint64_t epoch, uint64_t watermark, double* commit_ms,
   I2MR_RETURN_IF_ERROR(RenameFile(tmp, final_dir));
   if (sync) I2MR_RETURN_IF_ERROR(SyncDir(Dir()));
 
-  if (SimulateCrash(epoch, "commit")) {
-    // The epoch dir landed but CURRENT still names the previous epoch: on
-    // recovery the orphan dir is garbage-collected and the log replayed.
-    return Status::Aborted("simulated crash mid-commit");
-  }
+  // The epoch is staged: everything is durable on disk, but CURRENT still
+  // names the previous epoch — a crash here rolls back cleanly, which is
+  // exactly what the cross-shard barrier commit needs between its prepare
+  // and decide phases.
+  staged_.valid = true;
+  staged_.epoch = epoch;
+  staged_.watermark = watermark;
+  staged_.pending_since_ns = pending_since_ns;
+  staged_.final_name = final_name;
+  staged_.store =
+      std::make_unique<ResultStore>(std::move(serving_store.value()));
+  if (commit_ms != nullptr) *commit_ms = timer.ElapsedMillis();
+  return Status::OK();
+}
 
+Status Pipeline::FinalizeStagedLocked() {
+  if (!staged_.valid) {
+    return Status::FailedPrecondition("no staged epoch to finalize");
+  }
+  const bool sync = options_.durability == DurabilityMode::kPowerFailure;
   // The point of no return: CURRENT now names the new epoch. In
   // power-failure mode the rename itself is made durable (SyncDir), so an
   // acknowledged commit can never roll back to the previous epoch.
   std::string current_tmp = CurrentPath() + ".tmp";
-  I2MR_RETURN_IF_ERROR(WriteStringToFile(current_tmp, final_name, sync));
+  I2MR_RETURN_IF_ERROR(
+      WriteStringToFile(current_tmp, staged_.final_name, sync));
   I2MR_RETURN_IF_ERROR(RenameFile(current_tmp, CurrentPath()));
   if (sync) I2MR_RETURN_IF_ERROR(SyncDir(Dir()));
 
@@ -492,10 +546,9 @@ Status Pipeline::Commit(uint64_t epoch, uint64_t watermark, double* commit_ms,
     // mutex, so a pin can never pair the new epoch id with the old store
     // (or vice versa) — no half-committed view is observable.
     std::lock_guard<std::mutex> lock(serving_mu_);
-    committed_epoch_.store(epoch);
-    committed_watermark_.store(watermark);
-    serving_ =
-        std::make_shared<const ResultStore>(std::move(serving_store.value()));
+    committed_epoch_.store(staged_.epoch);
+    committed_watermark_.store(staged_.watermark);
+    serving_ = std::shared_ptr<const ResultStore>(std::move(staged_.store));
   }
   {
     // Under trigger_mu_: an append that raced past the pending() read will
@@ -504,27 +557,149 @@ Status Pipeline::Commit(uint64_t epoch, uint64_t watermark, double* commit_ms,
     // an upper bound on their wait so far — so the max-lag trigger fires
     // no later than promised.
     std::lock_guard<std::mutex> trigger_lock(trigger_mu_);
-    int64_t since = pending_since_ns != 0 ? pending_since_ns : NowNanos();
+    int64_t since =
+        staged_.pending_since_ns != 0 ? staged_.pending_since_ns : NowNanos();
     oldest_pending_ns_.store(pending() > 0 ? since : 0);
   }
+  // The engine's working state is exactly what was just committed.
+  bootstrapped_.store(true);
+  dirty_.store(false);
+  inflight_ = false;
+  staged_.valid = false;
+  staged_.store.reset();
+  return Status::OK();
+}
 
+Status Pipeline::CleanupCommittedLocked() {
   // Past the point of no return the epoch IS committed: cleanup failures
   // are logged, not reported — reporting them would mark a durably
   // committed epoch as failed and trigger a needless restore + replay.
-  Status gc = GarbageCollect(final_name);
+  Status gc = GarbageCollect(EpochDirName(committed_epoch_.load()));
   if (!gc.ok()) {
     LOG_WARN << "pipeline " << name_ << ": post-commit GC failed ("
              << gc.ToString() << "); stale dirs remain until next commit";
   }
   if (options_.purge_log_on_commit) {
-    Status purged = log_->PurgeThrough(watermark);
+    Status purged = log_->PurgeThrough(committed_watermark_.load());
     if (!purged.ok()) {
       LOG_WARN << "pipeline " << name_ << ": post-commit log purge failed ("
                << purged.ToString() << "); consumed records retained";
     }
   }
-  if (commit_ms != nullptr) *commit_ms = timer.ElapsedMillis();
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Coordinated (cross-shard) epochs
+// ---------------------------------------------------------------------------
+
+Status Pipeline::BootstrapPrepare(const std::vector<KV>& structure,
+                                  const std::vector<KV>& initial_state) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  if (bootstrapped_.load()) {
+    return Status::FailedPrecondition("pipeline already bootstrapped");
+  }
+  auto run = engine_->RunInitial(structure, initial_state);
+  if (!run.ok()) return run.status();
+  // Epoch 0 is now in flight: exchange rounds fold in the other shards'
+  // contributions before the barrier commit. Appends that raced ahead stay
+  // in the log for the first delta epoch, exactly like solo Bootstrap.
+  inflight_ = true;
+  inflight_watermark_ = 0;
+  inflight_deltas_ = 0;
+  inflight_drain_ns_ = 0;
+  return Status::OK();
+}
+
+StatusOr<Pipeline::RoundResult> Pipeline::RefreshRound(
+    bool first, const std::vector<DeltaEdge>& remote_in) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  RoundResult rr;
+  if (first) {
+    if (!bootstrapped_.load()) {
+      return Status::FailedPrecondition("pipeline not bootstrapped");
+    }
+    if (dirty_.load()) {
+      // A previous epoch (solo or coordinated) died after possibly
+      // mutating the working state: roll back before replaying.
+      I2MR_RETURN_IF_ERROR(RestoreCommitted());
+      dirty_.store(false);
+    }
+    inflight_ = true;
+    inflight_watermark_ = committed_watermark_.load();
+    inflight_deltas_ = 0;
+    inflight_drain_ns_ = 0;
+    staged_.valid = false;
+    staged_.store.reset();
+  } else if (!inflight_) {
+    return Status::FailedPrecondition("no coordinated epoch in flight");
+  }
+
+  // Only the first round drains: deltas appended while the barrier rounds
+  // run belong to the next epoch (bounded epochs even under a firehose).
+  std::vector<DeltaKV> deltas;
+  if (first) {
+    std::vector<SeqDelta> drained =
+        log_->ReadRange(inflight_watermark_, UINT64_MAX);
+    if (!drained.empty()) {
+      inflight_drain_ns_ = NowNanos();
+      deltas.reserve(drained.size());
+      for (auto& rec : drained) deltas.push_back(std::move(rec.delta));
+      inflight_watermark_ = drained.back().seq;
+      rr.deltas_drained = drained.size();
+    }
+  }
+
+  size_t remote_changed = 0;
+  if (!remote_in.empty()) {
+    dirty_.store(true);  // the inbox files diverge from the snapshot
+    auto applied = engine_->ApplyRemoteEdges(remote_in);
+    if (!applied.ok()) return applied.status();
+    remote_changed = *applied;
+  }
+
+  if (!deltas.empty() || remote_changed > 0 ||
+      engine_->HasPendingRemoteKeys()) {
+    dirty_.store(true);  // the working state is about to diverge
+    auto run = engine_->RunIncremental(deltas);
+    if (!run.ok()) return run.status();
+    rr.refreshed = true;
+    rr.iterations = run->iterations.size();
+    for (const auto& it : run->iterations) rr.total_diff += it.total_diff;
+    inflight_deltas_ += deltas.size();
+  }
+  rr.exports = engine_->TakeBoundaryExports();
+  return rr;
+}
+
+Status Pipeline::StageEpoch(uint64_t epoch, double* commit_ms) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  if (!inflight_) {
+    return Status::FailedPrecondition("no coordinated epoch in flight");
+  }
+  if (bootstrapped_.load() && epoch <= committed_epoch_.load()) {
+    return Status::InvalidArgument("staged epoch must exceed the committed");
+  }
+  return StageEpochLocked(epoch, inflight_watermark_, inflight_drain_ns_,
+                          commit_ms);
+}
+
+Status Pipeline::FinalizeStagedEpoch() {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return FinalizeStagedLocked();
+}
+
+Status Pipeline::CleanupCommitted() {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return CleanupCommittedLocked();
+}
+
+void Pipeline::AbortCoordinated() {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  if (inflight_ || staged_.valid) dirty_.store(true);
+  inflight_ = false;
+  staged_.valid = false;
+  staged_.store.reset();
 }
 
 StatusOr<std::string> Pipeline::Lookup(const std::string& key) const {

@@ -179,6 +179,59 @@ class Pipeline {
   /// when nothing is pending. Serialized internally: concurrent calls queue.
   StatusOr<EpochStats> RunEpoch();
 
+  // -- Coordinated (cross-shard) epochs --------------------------------------
+  //
+  // The serving layer's ShardRouter::RefreshCoordinated() drives every
+  // shard's pipeline through the same epoch under a barrier: refresh rounds
+  // exchange boundary edges until the joint fixpoint, then every shard's
+  // epoch dir is staged, a coordinator barrier record makes the decision
+  // durable, and only then are the CURRENT files flipped — so readers see
+  // either all shards at epoch N or all at N-1, never a mix. Calls must
+  // not interleave with RunEpoch (the router owns both).
+
+  /// One refresh round without a commit. `first` starts a new coordinated
+  /// epoch: rolls back a dirty working state, then drains the pending log
+  /// records (deltas arriving later wait for the next epoch). `remote_in`
+  /// is folded into the engine's remote inbox; the refresh runs when there
+  /// is any work (drained deltas, changed remote edges, or inbox DKs a
+  /// previous failed round left pending). Returns captured boundary
+  /// exports; the router's final absorb round discards them.
+  struct RoundResult {
+    std::vector<DeltaEdge> exports;
+    uint64_t deltas_drained = 0;
+    size_t iterations = 0;
+    /// Sum of per-iteration state change of this round's refresh (0 when
+    /// no refresh ran) — the router's joint-fixpoint criterion.
+    double total_diff = 0;
+    bool refreshed = false;
+  };
+  StatusOr<RoundResult> RefreshRound(bool first,
+                                     const std::vector<DeltaEdge>& remote_in);
+
+  /// Coordinated bootstrap: the full computation without the epoch-0
+  /// commit. Exchange rounds (RefreshRound(first=false, ...)) then fold in
+  /// the other shards' contributions; StageEpoch(0)/Finalize commits.
+  Status BootstrapPrepare(const std::vector<KV>& structure,
+                          const std::vector<KV>& initial_state);
+
+  /// Phase 1: write + rename epoch-<E>/ with the in-flight watermark, but
+  /// do NOT flip CURRENT — a crash before the coordinator's barrier record
+  /// leaves this an orphan dir that recovery garbage-collects.
+  Status StageEpoch(uint64_t epoch, double* commit_ms);
+
+  /// Phase 2: flip CURRENT to the staged epoch and publish the serving
+  /// snapshot. After this returns the epoch is durable on this shard.
+  Status FinalizeStagedEpoch();
+
+  /// Post-barrier housekeeping: GC superseded epoch dirs + purge the log
+  /// through the committed watermark. Failures are logged, not fatal.
+  Status CleanupCommitted();
+
+  /// Abandon an in-flight coordinated epoch (a sibling shard failed): the
+  /// working state is marked dirty and rolled back to the committed
+  /// snapshot before the next refresh.
+  void AbortCoordinated();
+
   /// Point lookup from the committed serving snapshot. Never blocks on a
   /// running refresh; NotFound for unknown keys.
   StatusOr<std::string> Lookup(const std::string& key) const;
@@ -195,6 +248,10 @@ class Pipeline {
 
   uint64_t committed_epoch() const { return committed_epoch_.load(); }
   uint64_t committed_watermark() const { return committed_watermark_.load(); }
+  /// On-disk name of an epoch's snapshot dir ("epoch-%08u"). Shared with
+  /// the serving layer's barrier recovery, which rewinds CURRENT files
+  /// before any Pipeline object exists.
+  static std::string EpochDirName(uint64_t epoch);
   const std::string& name() const { return name_; }
   /// Effective options (after Open's name override and any manager floor).
   const PipelineOptions& options() const { return options_; }
@@ -205,18 +262,25 @@ class Pipeline {
   Pipeline(LocalCluster* cluster, std::string name, PipelineOptions options);
 
   std::string Dir() const;
-  std::string EpochDirName(uint64_t epoch) const;
   std::string CurrentPath() const;
 
   Status OpenImpl();
   /// Copy the committed snapshot back over the engine's working dirs.
   Status RestoreCommitted();
   /// Snapshot engine state + serving store + manifest into epoch-<E>/ and
-  /// swing CURRENT to it. Fills commit_ms. `pending_since_ns` re-arms the
-  /// max-lag clock for deltas that arrived behind the drain point (0 =
-  /// no drain point, use now).
+  /// swing CURRENT to it (stage + finalize + cleanup in one step — the
+  /// solo, per-shard commit). Fills commit_ms. `pending_since_ns` re-arms
+  /// the max-lag clock for deltas that arrived behind the drain point (0 =
+  /// no drain point, use now). Caller holds epoch_mu_.
   Status Commit(uint64_t epoch, uint64_t watermark, double* commit_ms,
                 int64_t pending_since_ns = 0);
+  /// Commit phases (callers hold epoch_mu_): stage the epoch dir without
+  /// touching CURRENT; flip CURRENT + publish the staged serving store;
+  /// GC + purge after the (local or cross-shard) commit completed.
+  Status StageEpochLocked(uint64_t epoch, uint64_t watermark,
+                          int64_t pending_since_ns, double* commit_ms);
+  Status FinalizeStagedLocked();
+  Status CleanupCommittedLocked();
   /// Remove epoch dirs and temp dirs not referenced by CURRENT.
   Status GarbageCollect(const std::string& keep_dir_name);
 
@@ -237,10 +301,29 @@ class Pipeline {
   std::unique_ptr<DeltaLog> log_;
   std::unique_ptr<IncrementalIterativeEngine> engine_;
 
-  std::mutex epoch_mu_;  // serializes Bootstrap / RunEpoch / recovery
+  std::mutex epoch_mu_;  // serializes Bootstrap / RunEpoch / rounds / recovery
   std::atomic<bool> bootstrapped_{false};
   std::atomic<uint64_t> committed_epoch_{0};
   std::atomic<uint64_t> committed_watermark_{0};
+
+  /// Coordinated-epoch state (guarded by epoch_mu_): refresh rounds
+  /// accumulate into the working state against this watermark until the
+  /// router stages + finalizes (or aborts).
+  bool inflight_ = false;
+  uint64_t inflight_watermark_ = 0;
+  uint64_t inflight_deltas_ = 0;
+  int64_t inflight_drain_ns_ = 0;  // 0 = nothing drained yet
+
+  /// A staged-but-unfinalized epoch (guarded by epoch_mu_).
+  struct Staged {
+    bool valid = false;
+    uint64_t epoch = 0;
+    uint64_t watermark = 0;
+    int64_t pending_since_ns = 0;
+    std::string final_name;
+    std::unique_ptr<ResultStore> store;
+  };
+  Staged staged_;
   /// Set when an epoch died after possibly mutating engine state; the next
   /// RunEpoch restores the committed snapshot before proceeding.
   std::atomic<bool> dirty_{false};

@@ -13,6 +13,10 @@ AdmissionController::AdmissionController(MetricsRegistry* metrics,
 
 bool AdmissionController::Bucket::TryTake(double cost, int64_t now_ns) {
   if (rate < 0) return true;  // unlimited
+  // rate == 0 is a hard deny ("block this tenant"), not a bucket that
+  // never refills: the burst defaulting (max(rate, 1) = 1) plus the
+  // start-full bucket would otherwise still admit one request.
+  if (rate == 0) return false;
   if (refilled_ns != 0) {
     tokens = std::min(burst, tokens + (now_ns - refilled_ns) / 1e9 * rate);
   }

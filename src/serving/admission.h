@@ -28,12 +28,14 @@
 namespace i2mr {
 
 struct TenantQuota {
-  /// Sustained read admissions per second; < 0 = unlimited.
+  /// Sustained read admissions per second; < 0 = unlimited, 0 = hard deny
+  /// (block this tenant — no burst, every request rejected).
   double read_rate = -1;
   /// Read bucket capacity (momentary burst). <= 0 defaults to max(rate, 1).
   double read_burst = 0;
 
-  /// Sustained epoch-scheduling admissions per second; < 0 = unlimited.
+  /// Sustained epoch-scheduling admissions per second; < 0 = unlimited,
+  /// 0 = hard deny (this tenant's refreshes are always deferred).
   double epoch_rate = -1;
   /// Epoch bucket capacity. <= 0 defaults to max(rate, 1).
   double epoch_burst = 0;

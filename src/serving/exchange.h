@@ -1,0 +1,88 @@
+// CrossShardExchange: the routing fabric that makes a sharded refresh
+// equal the unsharded computation.
+//
+// A ShardRouter partitions one computation by key, but reduce input does
+// not partition with it: a map instance on shard A may emit to a key shard
+// B owns (PageRank contributions along cross-partition edges, SSSP
+// relaxations, ConComp label pushes). Before this exchange existed each
+// shard reduced those emissions locally as phantom keys and the owner
+// never saw them — per-shard results silently diverged from the whole
+// computation whenever reduce output depended on another shard's keys.
+//
+// During a coordinated refresh round every shard's engine captures its
+// out-of-partition emissions as boundary edges (DeltaEdge: K2, MK, V2,
+// with the MRBGraph's replace/delete-by-(K2, MK) semantics) instead of
+// shuffling them locally. The exchange:
+//
+//   1. collects each shard's captured exports (Offer),
+//   2. routes every edge to ShardOf(K2) — packing each destination's
+//      batch through a FlatKVRun arena, whose record-file serialized size
+//      is what the CostModel's simulated network transfer is charged from
+//      (the same accounting the in-memory shuffle uses),
+//   3. hands the per-destination batches back to the router, which folds
+//      them into each owning engine's durable remote-edge inbox for the
+//      next barrier round.
+//
+// Rounds repeat under the router's barrier until the joint fixpoint (no
+// export changes any inbox, or the round's total state change drops under
+// the spec's convergence epsilon); the router then commits every shard's
+// epoch N atomically (see ShardRouter::RefreshCoordinated).
+#ifndef I2MR_SERVING_EXCHANGE_H_
+#define I2MR_SERVING_EXCHANGE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+#include "mr/cost_model.h"
+#include "mrbg/chunk.h"
+
+namespace i2mr {
+
+class CrossShardExchange {
+ public:
+  /// `owner` maps a key to its owning shard (the router's ShardOf).
+  /// Transfer volume is charged against `cost` and counted into `metrics`
+  /// under "<metrics_prefix>.{edges_routed,bytes_routed,rounds}".
+  CrossShardExchange(int num_shards,
+                     std::function<int(std::string_view)> owner,
+                     const CostModel& cost, MetricsRegistry* metrics,
+                     const std::string& metrics_prefix);
+
+  CrossShardExchange(const CrossShardExchange&) = delete;
+  CrossShardExchange& operator=(const CrossShardExchange&) = delete;
+
+  /// Stage one shard's boundary exports for the current round. Edges whose
+  /// owner is the offering shard itself are rejected loudly (the engine's
+  /// owns_key filter should have kept them local).
+  Status Offer(int from_shard, std::vector<DeltaEdge> exports);
+
+  /// Route everything offered since the last Route() to the owning shards:
+  /// returns one inbound edge batch per shard (empty when no shard
+  /// offered). Charges the cost model's simulated network transfer for the
+  /// serialized bytes of every non-local batch and advances the counters.
+  std::vector<std::vector<DeltaEdge>> Route();
+
+  uint64_t edges_routed() const { return edges_routed_; }
+  uint64_t bytes_routed() const { return bytes_routed_; }
+  uint64_t rounds() const { return rounds_; }
+
+ private:
+  const int num_shards_;
+  const std::function<int(std::string_view)> owner_;
+  const CostModel cost_;
+  std::vector<std::vector<DeltaEdge>> staged_;  // per destination shard
+
+  uint64_t edges_routed_ = 0;
+  uint64_t bytes_routed_ = 0;
+  uint64_t rounds_ = 0;
+  Counter* edges_counter_;
+  Counter* bytes_counter_;
+  Counter* rounds_counter_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_SERVING_EXCHANGE_H_

@@ -1,6 +1,9 @@
 #include "serving/shard_group.h"
 
 #include <algorithm>
+#include <chrono>
+#include <queue>
+#include <thread>
 
 namespace i2mr {
 
@@ -41,16 +44,30 @@ std::vector<KV> ShardSnapshot::Range(const std::string& begin,
       return part.size() < limit;
     });
   });
-  // Gather: merge the sorted parts.
-  std::vector<KV> merged;
-  for (auto& part : parts) {
-    std::vector<KV> next;
-    next.reserve(merged.size() + part.size());
-    std::merge(merged.begin(), merged.end(), part.begin(), part.end(),
-               std::back_inserter(next));
-    merged = std::move(next);
+  // Gather: one k-way heap merge over the sorted parts, stopping at
+  // `limit` — O(answer * log shards), instead of re-merging the
+  // accumulated result with every shard's part (O(shards * total) copies).
+  struct Cursor {
+    const std::vector<KV>* part;
+    size_t i;
+  };
+  auto after = [](const Cursor& a, const Cursor& b) {
+    return (*b.part)[b.i] < (*a.part)[a.i];  // min-heap
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(after)> heap(after);
+  size_t total = 0;
+  for (const auto& part : parts) {
+    total += part.size();
+    if (!part.empty()) heap.push(Cursor{&part, 0});
   }
-  if (merged.size() > limit) merged.resize(limit);
+  std::vector<KV> merged;
+  merged.reserve(std::min(limit, total));
+  while (!heap.empty() && merged.size() < limit) {
+    Cursor cur = heap.top();
+    heap.pop();
+    merged.push_back((*cur.part)[cur.i]);
+    if (++cur.i < cur.part->size()) heap.push(cur);
+  }
   return merged;
 }
 
@@ -133,16 +150,46 @@ StatusOr<ShardSnapshot> ShardGroup::PinSnapshot(
   snap.router_ = router_;
   snap.pool_ = &scatter_pool_;
   snap.shard_reads_ = shard_reads_;
-  snap.pins_.reserve(router_->num_shards());
-  snap.epochs_.reserve(router_->num_shards());
-  for (int s = 0; s < router_->num_shards(); ++s) {
-    EpochPin pin = router_->shard(s)->PinServing();
-    if (!pin.valid()) {
-      return Status::FailedPrecondition("shard " + std::to_string(s) +
-                                        " not bootstrapped");
+  // Coordinated mode: bracket the per-shard pins with the router's
+  // barrier-flip seqlock so the vector is always one uniform cut — a
+  // barrier commit landing mid-pin (it flips CURRENTs one shard at a
+  // time) just makes us retry. The flip window is a few renames in the
+  // default durability mode but per-shard fsyncs under kPowerFailure, so
+  // the wait backs off from yields to short sleeps instead of burning a
+  // core. Independent mode pins whatever each shard committed, as before.
+  const bool coordinated = router_->coordinated();
+  int spins = 0;
+  for (;;) {
+    if (coordinated && router_->poisoned()) {
+      return Status::FailedPrecondition(
+          "a barrier commit was left incomplete; reopen the router "
+          "(reset=false) to recover");
     }
-    snap.epochs_.push_back(pin.epoch());
-    snap.pins_.push_back(std::move(pin));
+    uint64_t seq = router_->commit_seq();
+    if (coordinated && (seq & 1) != 0) {
+      // A flip is in progress.
+      if (++spins < 64) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      continue;
+    }
+    snap.pins_.clear();
+    snap.epochs_.clear();
+    snap.pins_.reserve(router_->num_shards());
+    snap.epochs_.reserve(router_->num_shards());
+    for (int s = 0; s < router_->num_shards(); ++s) {
+      EpochPin pin = router_->shard(s)->PinServing();
+      if (!pin.valid()) {
+        return Status::FailedPrecondition("shard " + std::to_string(s) +
+                                          " not bootstrapped");
+      }
+      snap.epochs_.push_back(pin.epoch());
+      snap.pins_.push_back(std::move(pin));
+    }
+    if (!coordinated || router_->commit_seq() == seq) break;
+    // A barrier flip interleaved with our pins: drop them and re-pin.
   }
   snapshots_pinned_->Increment();
   return snap;

@@ -1,16 +1,25 @@
 #include "serving/shard_router.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
 #include <thread>
 
+#include "common/codec.h"
 #include "common/hash.h"
+#include "common/logging.h"
+#include "common/timer.h"
 #include "io/env.h"
 
 namespace i2mr {
 namespace {
 
 std::string ShardDirName(int s) {
-  char buf[16];
+  char buf[32];
   std::snprintf(buf, sizeof(buf), "shard-%03d", s);
   return buf;
 }
@@ -19,12 +28,40 @@ std::string ShardMetricsPrefix(const std::string& name, int s) {
   return "serving." + name + ".shard" + std::to_string(s);
 }
 
+std::string PipelineDirOf(const std::string& root, const std::string& name,
+                          int s) {
+  return JoinPath(JoinPath(root, ShardDirName(s)), "pipeline/" + name);
+}
+
+/// One thread per shard — the coordinated rounds and the barrier phases
+/// all fan out this way, like Bootstrap/DrainAll always have.
+void ForEachShard(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int s = 0; s < n; ++s) threads.emplace_back([&fn, s] { fn(s); });
+  for (auto& t : threads) t.join();
+}
+
+Status FirstError(const std::vector<Status>& status) {
+  for (const Status& st : status) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-ShardRouter::ShardRouter(std::string name, ShardRouterOptions options)
-    : name_(std::move(name)), options_(std::move(options)) {}
+ShardRouter::ShardRouter(std::string name, std::string root,
+                         ShardRouterOptions options)
+    : name_(std::move(name)),
+      root_(std::move(root)),
+      options_(std::move(options)) {}
 
 ShardRouter::~ShardRouter() { Stop(); }
+
+std::string ShardRouter::BarrierPath() const {
+  return JoinPath(root_, name_ + ".BARRIER");
+}
 
 StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     const std::string& root, const std::string& name,
@@ -32,11 +69,30 @@ StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
   if (options.num_shards <= 0) {
     return Status::InvalidArgument("num_shards must be > 0");
   }
+  if (options.cross_shard_exchange &&
+      options.pipeline.spec.projector != nullptr &&
+      options.pipeline.spec.projector->dep_type() == DepType::kAllToOne) {
+    // Global reduce state cannot partition by key; run such apps on one
+    // shard in independent mode instead.
+    return Status::InvalidArgument(
+        "cross_shard_exchange requires a partition-by-key app");
+  }
   if (options.metrics == nullptr) options.metrics = MetricsRegistry::Default();
   std::unique_ptr<ShardRouter> router(
-      new ShardRouter(name, std::move(options)));
+      new ShardRouter(name, root, std::move(options)));
   const ShardRouterOptions& opts = router->options_;
   I2MR_RETURN_IF_ERROR(CreateDirs(root));
+  if (opts.cross_shard_exchange) {
+    if (opts.reset) {
+      // Fresh deployment: a leftover barrier record belongs to wiped state.
+      I2MR_RETURN_IF_ERROR(RemoveAll(router->BarrierPath()));
+    } else {
+      // A crash inside a barrier commit left the decision record behind:
+      // roll every shard back to the previous epoch before the pipelines
+      // open, so no reader (and no replay) ever observes a mixed vector.
+      I2MR_RETURN_IF_ERROR(RecoverBarrier(root, name, opts));
+    }
+  }
   for (int s = 0; s < opts.num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     // Each shard's cluster root is disjoint by construction; reset=false
@@ -48,8 +104,11 @@ StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     PipelineManagerOptions mopts = opts.manager;
     mopts.metrics = opts.metrics;
     mopts.metrics_prefix = ShardMetricsPrefix(name, s);
-    if (opts.admission != nullptr && !opts.tenant.empty()) {
+    if (!opts.cross_shard_exchange && opts.admission != nullptr &&
+        !opts.tenant.empty()) {
       // The tenant's epoch quota gates every shard's refresh scheduling.
+      // (Coordinated mode consults the same quota once per coordinated
+      // epoch, in the coordinator loop.)
       AdmissionController* admission = opts.admission;
       std::string tenant = opts.tenant;
       mopts.epoch_gate = [admission, tenant](const Pipeline&) {
@@ -58,7 +117,17 @@ StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     }
     shard->manager =
         std::make_unique<PipelineManager>(shard->cluster.get(), mopts);
-    auto pipeline = shard->manager->Register(name, opts.pipeline);
+    PipelineOptions popts = opts.pipeline;
+    if (opts.cross_shard_exchange) {
+      // The engine-boundary hook: this shard owns exactly the keys the
+      // router would route to it, so map emissions to any other key are
+      // captured for the exchange instead of reducing here as phantoms.
+      const int num = opts.num_shards;
+      popts.spec.owns_key = [num, s](std::string_view key) {
+        return ShardOfKey(key, num) == s;
+      };
+    }
+    auto pipeline = shard->manager->Register(name, popts);
     if (!pipeline.ok()) return pipeline.status();
     shard->pipeline = pipeline.value();
     router->shards_.push_back(std::move(shard));
@@ -67,12 +136,28 @@ StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
       opts.metrics->Get("serving." + name + ".router.deltas_routed");
   router->lookups_routed_ =
       opts.metrics->Get("serving." + name + ".router.lookups_routed");
+  if (opts.cross_shard_exchange) {
+    const int num = opts.num_shards;
+    router->exchange_ = std::make_unique<CrossShardExchange>(
+        num, [num](std::string_view key) { return ShardOfKey(key, num); },
+        opts.cost, opts.metrics, "serving." + name + ".exchange");
+    for (int s = 0; s < num; ++s) {
+      router->shard_epochs_committed_.push_back(opts.metrics->Get(
+          ShardMetricsPrefix(name, s) + ".epochs_committed"));
+      router->shard_deltas_applied_.push_back(
+          opts.metrics->Get(ShardMetricsPrefix(name, s) + ".deltas_applied"));
+    }
+  }
   return router;
 }
 
 int ShardRouter::ShardOf(std::string_view key) const {
-  return static_cast<int>(Hash64(key) % shards_.size());
+  return ShardOfKey(key, static_cast<int>(shards_.size()));
 }
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+// ---------------------------------------------------------------------------
 
 Status ShardRouter::Bootstrap(const std::vector<KV>& structure,
                               const std::vector<KV>& initial_state) {
@@ -80,22 +165,58 @@ Status ShardRouter::Bootstrap(const std::vector<KV>& structure,
   std::vector<std::vector<KV>> structure_parts(n), state_parts(n);
   for (const auto& kv : structure) structure_parts[ShardOf(kv.key)].push_back(kv);
   for (const auto& kv : initial_state) state_parts[ShardOf(kv.key)].push_back(kv);
+  if (options_.cross_shard_exchange) {
+    return BootstrapCoordinated(std::move(structure_parts),
+                                std::move(state_parts));
+  }
   // Shards bootstrap concurrently: each runs its full computation on its
   // own cluster's worker pool.
   std::vector<Status> status(n);
-  std::vector<std::thread> threads;
-  threads.reserve(n);
-  for (int s = 0; s < n; ++s) {
-    threads.emplace_back([this, s, &structure_parts, &state_parts, &status] {
-      status[s] =
-          shards_[s]->pipeline->Bootstrap(structure_parts[s], state_parts[s]);
-    });
+  ForEachShard(n, [&](int s) {
+    status[s] =
+        shards_[s]->pipeline->Bootstrap(structure_parts[s], state_parts[s]);
+  });
+  return FirstError(status);
+}
+
+Status ShardRouter::BootstrapCoordinated(
+    std::vector<std::vector<KV>> structure_parts,
+    std::vector<std::vector<KV>> state_parts) {
+  std::lock_guard<std::mutex> lock(coord_mu_);
+  const int n = num_shards();
+  // Phase 1: every shard's full computation over its own subgraph — no
+  // commit yet. Emissions to non-owned keys are captured, not reduced.
+  std::vector<Status> status(n);
+  ForEachShard(n, [&](int s) {
+    status[s] = shards_[s]->pipeline->BootstrapPrepare(structure_parts[s],
+                                                       state_parts[s]);
+  });
+  I2MR_RETURN_IF_ERROR(FirstError(status));
+
+  // Collect each shard's complete boundary set (captured by the MRBGraph
+  // preservation pass) and iterate exchange rounds to the joint fixpoint.
+  std::vector<std::vector<DeltaEdge>> offers(n);
+  std::vector<Status> round_status(n);
+  ForEachShard(n, [&](int s) {
+    auto rr = shards_[s]->pipeline->RefreshRound(/*first=*/false, {});
+    if (!rr.ok()) {
+      round_status[s] = rr.status();
+      return;
+    }
+    offers[s] = std::move(rr->exports);
+  });
+  Status st = FirstError(round_status);
+  if (st.ok()) {
+    auto rounds = RunExchangeRounds(exchange_.get(), std::move(offers),
+                                    nullptr);
+    st = rounds.ok() ? Status::OK() : rounds.status();
   }
-  for (auto& t : threads) t.join();
-  for (const Status& st : status) {
-    if (!st.ok()) return st;
+  if (!st.ok()) {
+    MarkAllDirty();
+    return st;
   }
-  return Status::OK();
+  // Epoch 0 lands on every shard atomically.
+  return CommitBarrier(/*epoch=*/0);
 }
 
 bool ShardRouter::bootstrapped() const {
@@ -105,23 +226,30 @@ bool ShardRouter::bootstrapped() const {
   return !shards_.empty();
 }
 
+// ---------------------------------------------------------------------------
+// Routed ingestion + lookups
+// ---------------------------------------------------------------------------
+
 StatusOr<uint64_t> ShardRouter::Append(const DeltaKV& delta) {
-  deltas_routed_->Increment();
-  return shards_[ShardOf(delta.key)]->pipeline->Append(delta);
+  auto seq = shards_[ShardOf(delta.key)]->pipeline->Append(delta);
+  // Successes only: a failed log append was not routed into any shard.
+  if (seq.ok()) deltas_routed_->Increment();
+  return seq;
 }
 
 Status ShardRouter::AppendBatch(const std::vector<DeltaKV>& deltas) {
   const int n = num_shards();
   std::vector<std::vector<DeltaKV>> parts(n);
   for (const auto& d : deltas) parts[ShardOf(d.key)].push_back(d);
-  deltas_routed_->Add(static_cast<int64_t>(deltas.size()));
   std::vector<int> targets;
   for (int s = 0; s < n; ++s) {
     if (!parts[s].empty()) targets.push_back(s);
   }
   if (targets.size() == 1) {
     auto seq = shards_[targets[0]]->pipeline->AppendBatch(parts[targets[0]]);
-    return seq.ok() ? Status::OK() : seq.status();
+    if (!seq.ok()) return seq.status();
+    deltas_routed_->Add(static_cast<int64_t>(parts[targets[0]].size()));
+    return Status::OK();
   }
   // Shard logs are independent: overlap the per-shard appends so a synced
   // (kPowerFailure) batch pays max(shard fsync), not sum over shards.
@@ -135,38 +263,99 @@ Status ShardRouter::AppendBatch(const std::vector<DeltaKV>& deltas) {
     });
   }
   for (auto& t : threads) t.join();
-  for (const Status& st : status) {
-    if (!st.ok()) return st;
+  // Count only the sub-batches whose append succeeded (a failed shard's
+  // records never reached its log).
+  int64_t routed = 0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (status[i].ok()) routed += static_cast<int64_t>(parts[targets[i]].size());
   }
-  return Status::OK();
+  if (routed > 0) deltas_routed_->Add(routed);
+  return FirstError(status);
 }
 
 StatusOr<std::string> ShardRouter::Lookup(const std::string& key) const {
-  lookups_routed_->Increment();
-  return shards_[ShardOf(key)]->pipeline->Lookup(key);
+  if (poisoned_.load()) {
+    // A barrier commit died between the decision record and the last
+    // CURRENT flip: some shards serve epoch N, others N-1, and recovery
+    // will roll N back — answers from it would be retroactively
+    // un-committed. Refuse, like PinSnapshot does.
+    return Status::FailedPrecondition(
+        "a barrier commit was left incomplete; reopen the router "
+        "(reset=false) to recover");
+  }
+  auto result = shards_[ShardOf(key)]->pipeline->Lookup(key);
+  // An answered lookup — including a definitive NotFound — was served; a
+  // shard that failed to answer (e.g. not bootstrapped) was not.
+  if (result.ok() || result.status().IsNotFound()) {
+    lookups_routed_->Increment();
+  }
+  return result;
 }
 
+// ---------------------------------------------------------------------------
+// Epoch scheduling
+// ---------------------------------------------------------------------------
+
 void ShardRouter::Start() {
-  for (const auto& shard : shards_) shard->manager->Start();
+  if (!options_.cross_shard_exchange) {
+    for (const auto& shard : shards_) shard->manager->Start();
+    return;
+  }
+  bool expected = false;
+  if (!coordinating_.compare_exchange_strong(expected, true)) return;
+  // One coordinator instead of per-shard schedulers: epochs must advance
+  // in lockstep or the exchange would fold contributions into the wrong
+  // epoch. Polls like the managers do; consults the tenant's epoch quota
+  // once per coordinated epoch.
+  coordinator_ = std::thread([this] {
+    const auto poll = std::chrono::microseconds(
+        static_cast<int64_t>(options_.manager.poll_interval_ms * 1000));
+    while (coordinating_.load()) {
+      bool ready = false;
+      for (const auto& shard : shards_) {
+        if (shard->pipeline->EpochReady()) {
+          ready = true;
+          break;
+        }
+      }
+      if (ready && !poisoned_.load()) {
+        bool admitted = options_.admission == nullptr ||
+                        options_.tenant.empty() ||
+                        options_.admission->AdmitEpoch(options_.tenant);
+        if (admitted) {
+          auto st = RefreshCoordinated();
+          if (!st.ok()) {
+            LOG_WARN << "serving " << name_ << ": coordinated epoch failed ("
+                     << st.status().ToString() << ")";
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          }
+        }
+      }
+      std::this_thread::sleep_for(poll);
+    }
+  });
 }
 
 void ShardRouter::Stop() {
+  if (coordinating_.exchange(false)) {
+    if (coordinator_.joinable()) coordinator_.join();
+  }
   for (const auto& shard : shards_) shard->manager->Stop();
 }
 
 Status ShardRouter::DrainAll() {
+  if (options_.cross_shard_exchange) {
+    while (true) {
+      auto st = RefreshCoordinated();
+      if (!st.ok()) return st.status();
+      if (TotalPending() == 0) return Status::OK();
+    }
+  }
   std::vector<Status> status(shards_.size());
-  std::vector<std::thread> threads;
-  threads.reserve(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    threads.emplace_back(
-        [this, s, &status] { status[s] = shards_[s]->manager->DrainAll(); });
-  }
-  for (auto& t : threads) t.join();
-  for (const Status& st : status) {
-    if (!st.ok()) return st;
-  }
-  return Status::OK();
+  ForEachShard(static_cast<int>(shards_.size()), [&](int s) {
+    status[s] = shards_[s]->manager->DrainAll();
+  });
+  return FirstError(status);
 }
 
 uint64_t ShardRouter::TotalPending() const {
@@ -182,6 +371,335 @@ std::vector<uint64_t> ShardRouter::CommittedEpochs() const {
     epochs.push_back(shard->pipeline->committed_epoch());
   }
   return epochs;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinated epochs: exchange rounds + barrier commit
+// ---------------------------------------------------------------------------
+
+void ShardRouter::MarkAllDirty() {
+  for (const auto& shard : shards_) shard->pipeline->AbortCoordinated();
+}
+
+StatusOr<int> ShardRouter::RunExchangeRounds(
+    CrossShardExchange* exchange, std::vector<std::vector<DeltaEdge>> offers,
+    uint64_t* edges_exchanged) {
+  const int n = num_shards();
+  const double eps = options_.pipeline.spec.convergence_epsilon;
+  int rounds = 0;
+  bool absorb_and_stop = false;
+  while (true) {
+    bool any_offer = false;
+    for (int s = 0; s < n; ++s) {
+      if (offers[s].empty()) continue;
+      any_offer = true;
+      I2MR_RETURN_IF_ERROR(exchange->Offer(s, std::move(offers[s])));
+      offers[s].clear();
+    }
+    // No shard exported anything new: exact joint fixpoint (SSSP/ConComp
+    // land here; their converged exports stop changing bit for bit).
+    if (!any_offer) break;
+    auto inbound = exchange->Route();
+    if (edges_exchanged != nullptr) {
+      for (const auto& batch : inbound) *edges_exchanged += batch.size();
+    }
+    if (absorb_and_stop || rounds >= options_.max_exchange_rounds) {
+      // The previous round's refreshes moved state by at most the
+      // convergence epsilon (or we hit the safety cap — same contract as
+      // the engine silently stopping at max_iterations), so these final
+      // exports carry only sub-epsilon changes. Absorb them: fold AND
+      // re-reduce on the owners, so the state that commits already
+      // includes every routed contribution — no re-reduce obligation
+      // survives the epoch (it would live only in memory and be lost to
+      // a restart, or never absorbed on an idle fleet). The absorb
+      // round's own re-exports are dropped; receivers pick those values
+      // up when the emitting instances next re-execute, keeping the
+      // deviation inside the same epsilon bound.
+      if (rounds >= options_.max_exchange_rounds) {
+        LOG_WARN << "serving " << name_ << ": exchange hit the "
+                 << options_.max_exchange_rounds
+                 << "-round cap before the joint fixpoint; committing the "
+                 << "state reached (raise max_exchange_rounds or epsilon)";
+      }
+      std::vector<Status> status(n);
+      ForEachShard(n, [&](int s) {
+        if (inbound[s].empty()) return;
+        auto rr = shards_[s]->pipeline->RefreshRound(/*first=*/false,
+                                                     inbound[s]);
+        status[s] = rr.ok() ? Status::OK() : rr.status();
+      });
+      I2MR_RETURN_IF_ERROR(FirstError(status));
+      break;
+    }
+    ++rounds;
+    // Barrier round: every shard with inbound contributions folds and
+    // refreshes; a fold that changes nothing skips the refresh and
+    // exports nothing, which is what drains the loop.
+    std::vector<Status> status(n);
+    std::vector<Pipeline::RoundResult> results(n);
+    ForEachShard(n, [&](int s) {
+      if (inbound[s].empty()) return;
+      auto rr = shards_[s]->pipeline->RefreshRound(/*first=*/false,
+                                                   inbound[s]);
+      if (!rr.ok()) {
+        status[s] = rr.status();
+        return;
+      }
+      results[s] = std::move(*rr);
+    });
+    I2MR_RETURN_IF_ERROR(FirstError(status));
+    // The convergence gate rides on the RECEIVERS' state movement after
+    // the fold (an exporter whose own state never changed says nothing
+    // about the impact of its exports): once a whole round of re-reduces
+    // stays within epsilon, the remaining exports are sub-epsilon.
+    bool any_refreshed = false;
+    double round_diff = 0;
+    for (int s = 0; s < n; ++s) {
+      any_refreshed = any_refreshed || results[s].refreshed;
+      round_diff += results[s].total_diff;
+      offers[s] = std::move(results[s].exports);
+    }
+    if (any_refreshed && round_diff <= eps) absorb_and_stop = true;
+  }
+  return rounds;
+}
+
+StatusOr<ShardRouter::CoordinatedEpochStats> ShardRouter::RefreshCoordinated() {
+  std::lock_guard<std::mutex> lock(coord_mu_);
+  CoordinatedEpochStats stats;
+  WallTimer wall;
+  if (!options_.cross_shard_exchange) {
+    return Status::FailedPrecondition(
+        "RefreshCoordinated requires cross_shard_exchange");
+  }
+  if (poisoned_.load()) {
+    return Status::FailedPrecondition(
+        "a barrier commit was left incomplete; reopen the router "
+        "(reset=false) to recover");
+  }
+  if (!bootstrapped()) {
+    return Status::FailedPrecondition("router not bootstrapped");
+  }
+  if (TotalPending() == 0) {
+    stats.wall_ms = wall.ElapsedMillis();
+    return stats;  // nothing to commit anywhere
+  }
+
+  const int n = num_shards();
+  // Round 0: every shard drains its log and refreshes its own subgraph,
+  // capturing boundary exports.
+  std::vector<Status> status(n);
+  std::vector<Pipeline::RoundResult> results(n);
+  ForEachShard(n, [&](int s) {
+    auto rr = shards_[s]->pipeline->RefreshRound(/*first=*/true, {});
+    if (!rr.ok()) {
+      status[s] = rr.status();
+      return;
+    }
+    results[s] = std::move(*rr);
+  });
+  Status st = FirstError(status);
+  if (!st.ok()) {
+    MarkAllDirty();
+    return st;
+  }
+  std::vector<std::vector<DeltaEdge>> offers(n);
+  std::vector<uint64_t> drained(n, 0);
+  for (int s = 0; s < n; ++s) {
+    offers[s] = std::move(results[s].exports);
+    drained[s] = results[s].deltas_drained;
+    stats.deltas_applied += results[s].deltas_drained;
+  }
+
+  auto rounds = RunExchangeRounds(exchange_.get(), std::move(offers),
+                                  &stats.edges_exchanged);
+  if (!rounds.ok()) {
+    MarkAllDirty();
+    return rounds.status();
+  }
+  stats.rounds = *rounds;
+
+  // Everyone commits the same epoch N (vectors stay uniform: coordinated
+  // mode is the only committer).
+  uint64_t epoch = 0;
+  for (uint64_t e : CommittedEpochs()) epoch = std::max(epoch, e);
+  ++epoch;
+  I2MR_RETURN_IF_ERROR(CommitBarrier(epoch));
+  for (int s = 0; s < n; ++s) {
+    shard_epochs_committed_[s]->Increment();
+    if (drained[s] > 0) {
+      shard_deltas_applied_[s]->Add(static_cast<int64_t>(drained[s]));
+    }
+  }
+  stats.committed = true;
+  stats.epoch = epoch;
+  stats.wall_ms = wall.ElapsedMillis();
+  return stats;
+}
+
+Status ShardRouter::CommitBarrier(uint64_t epoch) {
+  const int n = num_shards();
+  auto crashed = [this](const std::string& stage) {
+    return options_.barrier_crash_hook && options_.barrier_crash_hook(stage);
+  };
+  auto fail = [this](Status st) {
+    MarkAllDirty();
+    return st;
+  };
+
+  // Phase 1 (prepare): stage every shard's epoch dir. Nothing is visible
+  // yet — a crash in here leaves orphan dirs the pipelines GC on reopen,
+  // and every CURRENT still names N-1.
+  std::vector<Status> status(n);
+  ForEachShard(n, [&](int s) {
+    status[s] = shards_[s]->pipeline->StageEpoch(epoch, nullptr);
+  });
+  Status staged = FirstError(status);
+  if (!staged.ok()) return fail(staged);
+  if (crashed("staged")) {
+    return fail(Status::Aborted("simulated coordinator crash after staging"));
+  }
+
+  // Decision record: once BARRIER is durable the epoch is decided; a crash
+  // from here on is rolled back to N-1 everywhere by RecoverBarrier (the
+  // log is not purged until after the barrier, so the deltas replay).
+  const bool sync = options_.pipeline.durability == DurabilityMode::kPowerFailure;
+  std::string payload;
+  PutFixed64(&payload, epoch);
+  std::string record = payload;
+  PutFixed32(&record, Crc32(payload));
+  std::string tmp = BarrierPath() + ".tmp";
+  Status wrote = WriteStringToFile(tmp, record, sync);
+  if (wrote.ok()) wrote = RenameFile(tmp, BarrierPath());
+  if (wrote.ok() && sync) wrote = SyncDir(root_);
+  if (!wrote.ok()) return fail(wrote);
+  if (crashed("barrier")) {
+    return fail(
+        Status::Aborted("simulated coordinator crash after barrier record"));
+  }
+
+  // Phase 2 (flip): swing every shard's CURRENT. Sequential on purpose —
+  // a failure mid-flip must stop immediately and leave the barrier record
+  // in place for recovery; no GC or log purge happens until all flipped.
+  // The seqlock goes odd around the flips so a concurrent PinSnapshot
+  // retries instead of observing a mixed vector mid-publication; on a
+  // mid-flip failure the router stays poisoned and pins are refused.
+  commit_seq_.fetch_add(1, std::memory_order_acq_rel);
+  auto fail_mid_flip = [&](Status st) {
+    poisoned_.store(true);
+    commit_seq_.fetch_add(1, std::memory_order_acq_rel);  // release readers
+    return fail(st);
+  };
+  for (int s = 0; s < n; ++s) {
+    Status flipped = shards_[s]->pipeline->FinalizeStagedEpoch();
+    if (!flipped.ok()) return fail_mid_flip(flipped);
+    if (s == 0 && crashed("mid_flip")) {
+      return fail_mid_flip(
+          Status::Aborted("simulated coordinator crash mid-flip"));
+    }
+  }
+  if (crashed("flipped")) {
+    return fail_mid_flip(
+        Status::Aborted("simulated coordinator crash before barrier removal"));
+  }
+  commit_seq_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Barrier complete: retire the decision record, then housekeeping (GC of
+  // superseded epoch dirs + log purges) — deferred until now because a
+  // rollback needs the N-1 dirs and the unpurged logs.
+  Status cleared = RemoveAll(BarrierPath());
+  if (cleared.ok() && sync) cleared = SyncDir(root_);
+  if (!cleared.ok()) {
+    // The commit stands (every CURRENT names N); a stale barrier record
+    // would only trigger a needless rollback on reopen, so surface it.
+    poisoned_.store(true);
+    return fail(cleared);
+  }
+  ForEachShard(n, [&](int s) {
+    Status cleaned = shards_[s]->pipeline->CleanupCommitted();
+    if (!cleaned.ok()) {
+      LOG_WARN << "serving " << name_ << ": shard " << s
+               << " post-barrier cleanup failed (" << cleaned.ToString()
+               << ")";
+    }
+  });
+  return Status::OK();
+}
+
+Status ShardRouter::RecoverBarrier(const std::string& root,
+                                   const std::string& name,
+                                   const ShardRouterOptions& options) {
+  const std::string barrier = JoinPath(root, name + ".BARRIER");
+  if (!FileExists(barrier)) return Status::OK();
+  auto data = ReadFileToString(barrier);
+  if (!data.ok()) return data.status();
+  if (data->size() != 12) return Status::Corruption("bad BARRIER record size");
+  std::string_view payload(data->data(), 8);
+  if (DecodeFixed32(data->data() + 8) != Crc32(payload)) {
+    return Status::Corruption("BARRIER record crc mismatch");
+  }
+  const uint64_t epoch = DecodeFixed64(data->data());
+  const std::string epoch_name = Pipeline::EpochDirName(epoch);
+  const bool sync =
+      options.pipeline.durability == DurabilityMode::kPowerFailure;
+
+  for (int s = 0; s < options.num_shards; ++s) {
+    std::string pdir = PipelineDirOf(root, name, s);
+    std::string current_path = JoinPath(pdir, "CURRENT");
+    if (FileExists(current_path)) {
+      auto current = ReadFileToString(current_path);
+      if (!current.ok()) return current.status();
+      if (*current == epoch_name) {
+        // This shard already flipped: rewind to its previous epoch (GC and
+        // log purges are barred until after the barrier, so the previous
+        // dir is still there and the drained deltas still replay).
+        if (epoch == 0) {
+          // A bootstrap barrier rolls back to "nothing committed".
+          I2MR_RETURN_IF_ERROR(RemoveAll(current_path));
+        } else {
+          uint64_t prev = 0;
+          bool found = false;
+          std::error_code ec;
+          std::filesystem::directory_iterator it(pdir, ec), end;
+          if (ec) {
+            return Status::IOError("list " + pdir + ": " + ec.message());
+          }
+          for (; it != end; it.increment(ec)) {
+            if (ec) {
+              return Status::IOError("list " + pdir + ": " + ec.message());
+            }
+            std::string base = it->path().filename().string();
+            if (base.rfind("epoch-", 0) != 0 || base == epoch_name) continue;
+            if (base.size() > 4 &&
+                base.compare(base.size() - 4, 4, ".tmp") == 0) {
+              continue;
+            }
+            uint64_t e = std::strtoull(base.c_str() + 6, nullptr, 10);
+            if (e < epoch && (!found || e > prev)) {
+              prev = e;
+              found = true;
+            }
+          }
+          if (!found) {
+            return Status::Corruption(
+                "shard " + std::to_string(s) + " flipped to " + epoch_name +
+                " but has no previous epoch to roll back to");
+          }
+          std::string tmp = current_path + ".tmp";
+          I2MR_RETURN_IF_ERROR(
+              WriteStringToFile(tmp, Pipeline::EpochDirName(prev), sync));
+          I2MR_RETURN_IF_ERROR(RenameFile(tmp, current_path));
+          if (sync) I2MR_RETURN_IF_ERROR(SyncDir(pdir));
+        }
+      }
+    }
+    // Staged (or flipped-then-rewound) epoch dir: gone either way.
+    std::string staged_dir = JoinPath(pdir, epoch_name);
+    if (FileExists(staged_dir)) I2MR_RETURN_IF_ERROR(RemoveAll(staged_dir));
+  }
+  I2MR_RETURN_IF_ERROR(RemoveAll(barrier));
+  if (sync) I2MR_RETURN_IF_ERROR(SyncDir(root));
+  return Status::OK();
 }
 
 }  // namespace i2mr

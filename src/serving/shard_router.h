@@ -10,31 +10,71 @@
 // key's deltas, its committed state and its lookups always meet on the
 // same shard. Bootstrap() splits the initial structure/state the same way.
 //
-// Sharding assumes the app's computation partitions by key: each shard
-// refreshes over only its own structure subset, and cross-shard data
-// dependencies (e.g. PageRank contributions along edges that cross the
-// partition) are confined to their shard rather than exchanged. Apps with
-// global state (k-means' single centroid record) belong on one shard.
+// Two consistency modes:
+//
+//  * Independent (cross_shard_exchange = false, the default): each shard
+//    refreshes and commits on its own schedule. Correct only for apps
+//    whose reduce input partitions with the keys — cross-shard data
+//    dependencies (e.g. PageRank contributions along edges that cross the
+//    partition) are silently confined to their shard. Apps with global
+//    state (k-means' single centroid record) belong on one shard.
+//
+//  * Coordinated (cross_shard_exchange = true): every engine's map
+//    emissions to non-owned keys are captured at the boundary, routed to
+//    the owning shard by a CrossShardExchange, and folded into that
+//    shard's refresh; RefreshCoordinated() iterates rounds under a
+//    barrier to the joint fixpoint, so the sharded result equals the
+//    unsharded computation. All shards then commit the same epoch N with
+//    a two-phase protocol — stage every epoch dir, write the coordinator
+//    BARRIER record, flip every CURRENT, clean up — and recovery rolls an
+//    incomplete barrier back to N-1 everywhere, so readers never observe
+//    a mixed epoch vector.
 //
 // Epoch-consistent cross-shard reads and per-tenant admission live one
 // layer up, in ShardGroup / AdmissionController.
 #ifndef I2MR_SERVING_SHARD_ROUTER_H_
 #define I2MR_SERVING_SHARD_ROUTER_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "common/hash.h"
 #include "mr/cluster.h"
 #include "pipeline/pipeline_manager.h"
 #include "serving/admission.h"
+#include "serving/exchange.h"
 
 namespace i2mr {
 
 struct ShardRouterOptions {
   int num_shards = 4;
   int workers_per_shard = 2;
+
+  /// Coordinated mode (see the header comment): exchange out-of-partition
+  /// map/reduce contributions between shards and commit epochs under a
+  /// cross-shard barrier, making sharded results equal the unsharded
+  /// computation. Requires a partition-by-key app (not all-to-one).
+  bool cross_shard_exchange = false;
+
+  /// Safety cap on exchange rounds per coordinated epoch. Like the
+  /// engine's max_iterations, hitting it logs a warning and commits the
+  /// best state reached instead of failing the epoch.
+  int max_exchange_rounds = 256;
+
+  /// Test hook simulating coordinator death inside the barrier commit.
+  /// Stages: "staged" (every shard's epoch dir staged, BARRIER not yet
+  /// written), "barrier" (BARRIER durable, nothing flipped), "mid_flip"
+  /// (exactly one shard's CURRENT flipped), "flipped" (all flipped,
+  /// BARRIER not yet removed). Return true to abandon the commit with the
+  /// on-disk state exactly as a crash would leave it; the router marks
+  /// every shard dirty and refuses the epoch.
+  std::function<bool(const std::string& stage)> barrier_crash_hook;
 
   /// Per-shard cluster cost model.
   CostModel cost;
@@ -75,7 +115,12 @@ class ShardRouter {
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
-  /// Stable shard assignment for a key.
+  /// Stable shard assignment for a key. The single partition function —
+  /// routing, the engines' owns_key boundary filter and the exchange's
+  /// owner map all call this, so they can never disagree.
+  static int ShardOfKey(std::string_view key, int num_shards) {
+    return static_cast<int>(Hash64(key) % static_cast<uint64_t>(num_shards));
+  }
   int ShardOf(std::string_view key) const;
 
   /// Split the initial structure/state by key and run every shard's full
@@ -92,11 +137,30 @@ class ShardRouter {
   /// Point lookup from the key's shard's latest committed epoch.
   StatusOr<std::string> Lookup(const std::string& key) const;
 
-  /// Background epoch scheduling on every shard.
+  /// Background epoch scheduling: per-shard managers in independent mode,
+  /// one coordinator thread driving RefreshCoordinated in coordinated mode.
   void Start();
   void Stop();
   /// Run epochs everywhere until no shard has pending deltas; blocks.
+  /// Coordinated mode drains through RefreshCoordinated (barrier commits).
   Status DrainAll();
+
+  /// One coordinated epoch across all shards (cross_shard_exchange mode):
+  /// every shard drains + refreshes, boundary contributions are exchanged
+  /// and re-reduced under a barrier until the joint fixpoint, then every
+  /// shard's epoch N commits atomically (two-phase; see RecoverBarrier in
+  /// the implementation for the crash story). Returns committed=false
+  /// without committing when nothing is pending anywhere. Serialized
+  /// against itself and the coordinator thread.
+  struct CoordinatedEpochStats {
+    bool committed = false;
+    uint64_t epoch = 0;
+    int rounds = 0;              // exchange rounds beyond the initial refresh
+    uint64_t deltas_applied = 0;
+    uint64_t edges_exchanged = 0;
+    double wall_ms = 0;
+  };
+  StatusOr<CoordinatedEpochStats> RefreshCoordinated();
 
   /// Deltas logged but not yet consumed, summed over shards.
   uint64_t TotalPending() const;
@@ -105,6 +169,21 @@ class ShardRouter {
   std::vector<uint64_t> CommittedEpochs() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  bool coordinated() const { return options_.cross_shard_exchange; }
+
+  /// Barrier-flip seqlock for uniform reads: even = stable, odd = a
+  /// barrier commit is mid-flip. ShardGroup::PinSnapshot brackets its
+  /// per-shard pins with this (wait while odd, retry if it moved), so a
+  /// coordinated-mode pin is always a uniform epoch vector even while the
+  /// flips land one CURRENT at a time.
+  uint64_t commit_seq() const {
+    return commit_seq_.load(std::memory_order_acquire);
+  }
+  /// True after a barrier commit died between the decision record and the
+  /// last CURRENT flip: the on-disk state needs the reopen recovery, and
+  /// cross-shard reads are refused rather than served mixed.
+  bool poisoned() const { return poisoned_.load(); }
+
   const std::string& name() const { return name_; }
   const std::string& tenant() const { return options_.tenant; }
   Pipeline* shard(int i) const { return shards_[i]->pipeline; }
@@ -119,13 +198,60 @@ class ShardRouter {
     Pipeline* pipeline = nullptr;  // owned by manager
   };
 
-  ShardRouter(std::string name, ShardRouterOptions options);
+  ShardRouter(std::string name, std::string root, ShardRouterOptions options);
+
+  /// Coordinated bootstrap: per-shard full computation, exchange rounds to
+  /// the joint fixpoint, then the epoch-0 barrier commit.
+  Status BootstrapCoordinated(std::vector<std::vector<KV>> structure_parts,
+                              std::vector<std::vector<KV>> state_parts);
+
+  /// Exchange rounds (after per-shard refreshes produced `offers`) until
+  /// the joint fixpoint; returns the number of rounds run.
+  StatusOr<int> RunExchangeRounds(CrossShardExchange* exchange,
+                                  std::vector<std::vector<DeltaEdge>> offers,
+                                  uint64_t* edges_exchanged);
+
+  /// Two-phase barrier commit of epoch `epoch` on every shard. On error
+  /// (or a simulated coordinator crash) every shard is marked dirty.
+  Status CommitBarrier(uint64_t epoch);
+
+  /// Path of the coordinator's durable barrier decision record.
+  std::string BarrierPath() const;
+
+  /// Roll an incomplete barrier commit back to epoch N-1 on every shard
+  /// (reset=false reopen): shards whose CURRENT already names the barrier
+  /// epoch are rewound to their previous epoch dir, staged dirs are
+  /// removed, and the BARRIER record is cleared. Called before the shard
+  /// pipelines open.
+  static Status RecoverBarrier(const std::string& root,
+                               const std::string& name,
+                               const ShardRouterOptions& options);
+
+  void MarkAllDirty();
 
   const std::string name_;
+  const std::string root_;
   ShardRouterOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Counter* deltas_routed_ = nullptr;
   Counter* lookups_routed_ = nullptr;
+
+  /// Coordinated mode: serializes RefreshCoordinated / DrainAll / the
+  /// coordinator thread.
+  std::mutex coord_mu_;
+  std::unique_ptr<CrossShardExchange> exchange_;
+  std::thread coordinator_;
+  std::atomic<bool> coordinating_{false};
+  /// See commit_seq().
+  std::atomic<uint64_t> commit_seq_{0};
+  /// Set when a barrier commit died after the decision record was written
+  /// but before every CURRENT flipped: the on-disk state needs the reopen
+  /// recovery (RecoverBarrier); further coordinated epochs are refused.
+  std::atomic<bool> poisoned_{false};
+  /// Per-shard commit counters (the manager publishes these for solo
+  /// epochs; the router does for barrier commits).
+  std::vector<Counter*> shard_epochs_committed_;
+  std::vector<Counter*> shard_deltas_applied_;
 };
 
 }  // namespace i2mr

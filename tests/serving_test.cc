@@ -509,6 +509,27 @@ TEST(AdmissionTest, ReadTokenBucketAdmitsBurstThenRejects) {
   EXPECT_EQ(admission.tenant_stats("tenant-b").reads_rejected, 0u);
 }
 
+TEST(AdmissionTest, ZeroRateIsAHardDenyNotAOneRequestBurst) {
+  MetricsRegistry metrics;
+  AdmissionController admission(&metrics, "adm_zero");
+  TenantQuota blocked;
+  blocked.read_rate = 0;   // "block this tenant"
+  blocked.epoch_rate = 0;  // and never schedule its refreshes
+  admission.SetQuota("banned", blocked);
+
+  // The burst default (max(rate, 1) = 1) plus the start-full bucket used
+  // to admit exactly one request; rate == 0 must deny from the first.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(admission.AdmitRead("banned")) << "request " << i;
+    EXPECT_FALSE(admission.AdmitEpoch("banned")) << "epoch " << i;
+  }
+  auto stats = admission.tenant_stats("banned");
+  EXPECT_EQ(stats.reads_admitted, 0u);
+  EXPECT_EQ(stats.reads_rejected, 5u);
+  EXPECT_EQ(stats.epochs_admitted, 0u);
+  EXPECT_EQ(stats.epochs_deferred, 5u);
+}
+
 TEST(AdmissionTest, ReadBucketRefillsAtRate) {
   MetricsRegistry metrics;
   AdmissionController admission(&metrics, "adm_test2");
@@ -635,6 +656,122 @@ TEST_F(ServingTest, EpochQuotaDefersOneTenantsBacklogNotTheOthers) {
   // backlog is still fully recoverable.
   ASSERT_TRUE((*router_a)->DrainAll().ok());
   EXPECT_EQ((*router_a)->TotalPending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Router counters: successes only
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, RouterCountersCountOnlySuccessfulAppendsAndLookups) {
+  GraphGenOptions gen;
+  gen.num_vertices = 40;
+  gen.avg_degree = 3;
+  auto graph = GenGraph(gen);
+
+  MetricsRegistry metrics;
+  ShardRouterOptions options = PageRankShards(1);
+  options.metrics = &metrics;
+  // A tiny segment plus a simulated crash at the first rotation: appends
+  // start failing mid-test, exactly the case the counters used to
+  // overcount.
+  options.pipeline.log.segment_bytes = 256;
+  options.pipeline.log.crash_hook = [](const std::string& stage) {
+    return stage == "rotate";
+  };
+  auto router = ShardRouter::Open(root_, "pr", options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  auto deltas_routed = [&] {
+    return metrics.Get("serving.pr.router.deltas_routed")->value();
+  };
+  auto lookups_routed = [&] {
+    return metrics.Get("serving.pr.router.lookups_routed")->value();
+  };
+
+  // A lookup the shard cannot answer (not bootstrapped) was not served.
+  EXPECT_FALSE((*router)->Lookup(graph[0].key).ok());
+  EXPECT_EQ(lookups_routed(), 0);
+
+  ASSERT_TRUE((*router)->Bootstrap(graph, UnitState(graph)).ok());
+  // Served lookups count — including a definitive NotFound.
+  ASSERT_TRUE((*router)->Lookup(graph[0].key).ok());
+  EXPECT_TRUE((*router)->Lookup("no-such-key").status().IsNotFound());
+  EXPECT_EQ(lookups_routed(), 2);
+
+  int64_t successes = 0;
+  bool saw_failure = false;
+  for (int i = 0; i < 50; ++i) {
+    DeltaKV d{DeltaOp::kInsert, graph[i % graph.size()].key,
+              "0000000001 0000000002"};
+    auto seq = (*router)->Append(d);
+    if (seq.ok()) {
+      ASSERT_FALSE(saw_failure) << "log must stay failed once crashed";
+      ++successes;
+    } else {
+      saw_failure = true;
+    }
+  }
+  ASSERT_TRUE(saw_failure) << "the rotation crash hook never fired";
+  ASSERT_GT(successes, 0);
+  EXPECT_EQ(deltas_routed(), successes);
+
+  // A batch into the crashed log routes nothing and counts nothing.
+  std::vector<DeltaKV> batch(
+      5, DeltaKV{DeltaOp::kInsert, graph[0].key, "0000000001"});
+  EXPECT_FALSE((*router)->AppendBatch(batch).ok());
+  EXPECT_EQ(deltas_routed(), successes);
+}
+
+// ---------------------------------------------------------------------------
+// Range: one k-way merge across many shards
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, RangeMergesManyShardsWithEarlyStopAtLimit) {
+  GraphGenOptions gen;
+  gen.num_vertices = 300;
+  gen.avg_degree = 3;
+  auto graph = GenGraph(gen);
+
+  auto router = ShardRouter::Open(root_, "pr", PageRankShards(8, 1));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  ASSERT_TRUE((*router)->Bootstrap(graph, UnitState(graph)).ok());
+  ShardGroup group(router->get());
+  auto snap = group.PinSnapshot();
+  ASSERT_TRUE(snap.ok());
+
+  std::vector<KV> all;
+  for (int s = 0; s < 8; ++s) {
+    auto part = (*router)->shard(s)->ServingSnapshot();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  auto full = snap->Range("", "");
+  ASSERT_EQ(full.size(), all.size());
+  EXPECT_TRUE(std::equal(all.begin(), all.end(), full.begin()));
+
+  // Early stop: the first `limit` records in key order, across 8 shards.
+  for (size_t limit : {size_t{1}, size_t{7}, size_t{100}, all.size() + 10}) {
+    auto limited = snap->Range("", "", limit);
+    size_t want = std::min(limit, all.size());
+    ASSERT_EQ(limited.size(), want) << "limit " << limit;
+    EXPECT_TRUE(std::equal(limited.begin(), limited.end(), all.begin()))
+        << "limit " << limit;
+  }
+  EXPECT_TRUE(snap->Range("", "", 0).empty());
+
+  // Bounded ranges still merge correctly.
+  std::string lo = all[all.size() / 3].key, hi = all[2 * all.size() / 3].key;
+  std::vector<KV> expect;
+  for (const auto& kv : all) {
+    if (kv.key >= lo && kv.key < hi) expect.push_back(kv);
+  }
+  auto bounded = snap->Range(lo, hi);
+  ASSERT_EQ(bounded.size(), expect.size());
+  EXPECT_TRUE(std::equal(expect.begin(), expect.end(), bounded.begin()));
+  auto bounded_limited = snap->Range(lo, hi, 9);
+  ASSERT_EQ(bounded_limited.size(), std::min<size_t>(9, expect.size()));
+  EXPECT_TRUE(std::equal(bounded_limited.begin(), bounded_limited.end(),
+                         expect.begin()));
 }
 
 // ---------------------------------------------------------------------------
