@@ -28,6 +28,7 @@
 #include "common/timer.h"
 #include "data/graph_gen.h"
 #include "io/env.h"
+#include "replication/replica_set.h"
 #include "serving/shard_group.h"
 #include "serving/shard_router.h"
 
@@ -154,6 +155,126 @@ StatusOr<ShardResult> MeasureShards(int shards, int num_vertices) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Read replicas: aggregate pinned-read throughput vs followers per shard.
+//
+// Every serving backend (primary or follower) models a fixed per-read
+// service time charged under its slot mutex (read_service_ms), so adding
+// followers adds real aggregate capacity even on a single-core runner:
+// with R reader threads hammering one shard's single primary the reads
+// serialize, while primary + 2 followers serve three at a time. Deltas
+// stream into the primaries and ship to the followers throughout, so the
+// numbers include live shipping, not an idle fleet.
+// ---------------------------------------------------------------------------
+
+struct ReplicaResult {
+  int replicas = 0;   // followers per shard (0 = primary-only baseline)
+  int backends = 0;   // serving slots per shard
+  uint64_t reads = 0;
+  double p50_read_ms = 0;
+  double p99_read_ms = 0;
+  double reads_per_sec = 0;
+  uint64_t shipped_bytes = 0;
+};
+
+StatusOr<ReplicaResult> MeasureReplicas(int followers, int num_vertices) {
+  ReplicaResult result;
+  result.replicas = followers;
+  result.backends = 1 + followers;
+
+  GraphGenOptions gen;
+  gen.num_vertices = num_vertices;
+  gen.avg_degree = 6;
+  auto graph = GenGraph(gen);
+
+  MetricsRegistry metrics;
+  ShardRouterOptions options;
+  options.num_shards = 2;
+  options.workers_per_shard = 2;
+  options.cost = bench::PaperCosts();
+  options.metrics = &metrics;
+  options.pipeline.spec = pagerank::MakeIterSpec("rank", 2, 60, 1e-6);
+  options.pipeline.engine.filter_threshold = 0.1;
+  options.pipeline.min_batch = 1;
+  options.pipeline.log.segment_bytes = 32 << 10;
+  options.pipeline.log.archive_purged = true;
+  options.pipeline.log.compress_archive = true;  // ship .lzd archives too
+  options.manager.poll_interval_ms = 2;
+  std::string root = bench::BenchRoot("serving_replicas") + "/f" +
+                     std::to_string(followers);
+  I2MR_RETURN_IF_ERROR(ResetDir(root));
+  auto router = ShardRouter::Open(root, "rank", options);
+  if (!router.ok()) return router.status();
+  I2MR_RETURN_IF_ERROR((*router)->Bootstrap(graph, bench::UnitState(graph)));
+
+  ReplicaSetOptions ro;
+  ro.replicas_per_shard = followers;
+  ro.read_service_ms = 0.2;  // simulated per-backend service capacity
+  ro.ship_poll_ms = 5;
+  ro.max_replica_lag_epochs = 8;
+  auto set = ReplicaSet::Open(router->get(), root + "/replicas", ro);
+  if (!set.ok()) return set.status();
+  I2MR_RETURN_IF_ERROR((*set)->SyncAll());
+
+  (*router)->Start();
+  const int kReaders = 8;
+  const int kReadsPerReader = bench::ScaledInt(600);
+  std::vector<std::vector<double>> latencies(kReaders);
+  std::atomic<bool> failed{false};
+  WallTimer read_phase;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::vector<double>& lat = latencies[r];
+      lat.reserve(kReadsPerReader);
+      for (int i = 0; i < kReadsPerReader && !failed.load(); ++i) {
+        const std::string& probe = graph[(r * 7919 + i) % graph.size()].key;
+        WallTimer timer;
+        if (!(*set)->Get(probe).ok()) {
+          failed.store(true);
+          return;
+        }
+        lat.push_back(timer.ElapsedMillis());
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int round = 0; round < 4 && !failed.load(); ++round) {
+      GraphDeltaOptions dopt;
+      dopt.update_fraction = 0.02;
+      dopt.seed = 700 + round;
+      auto delta = GenGraphDelta(gen, dopt, &graph);
+      if (!(*set)
+               ->AppendBatch(std::vector<DeltaKV>(delta.begin(), delta.end()))
+               .ok()) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+  });
+  for (auto& t : readers) t.join();
+  double read_phase_s = read_phase.ElapsedSeconds();
+  writer.join();
+  (*router)->Stop();
+  if (failed.load()) return Status::Internal("replica bench read failed");
+
+  std::vector<double> all;
+  for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+  result.reads = all.size();
+  result.p50_read_ms = Percentile(&all, 0.50);
+  result.p99_read_ms = Percentile(&all, 0.99);
+  result.reads_per_sec = read_phase_s > 0 ? all.size() / read_phase_s : 0;
+  for (int s = 0; s < (*set)->num_shards(); ++s) {
+    for (int i = 0; i < followers; ++i) {
+      result.shipped_bytes += static_cast<uint64_t>(
+          (*set)->replica(s, i)->shipped_bytes()->value());
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -179,6 +300,26 @@ int main() {
                 (unsigned long long)r->deltas_applied);
   }
 
+  bench::Title("Read replicas: pinned-read throughput vs followers/shard");
+  const int kFollowerCounts[] = {0, 1, 2, 4};
+  std::printf("%-10s %-10s %-10s %-12s %-12s %-14s %s\n", "replicas",
+              "backends", "reads", "p50 ms", "p99 ms", "reads/sec",
+              "shipped MB");
+  std::vector<ReplicaResult> replica_results;
+  for (int followers : kFollowerCounts) {
+    auto r = MeasureReplicas(followers, n);
+    if (!r.ok()) {
+      std::fprintf(stderr, "replicas=%d: %s\n", followers,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    replica_results.push_back(*r);
+    std::printf("%-10d %-10d %-10llu %-12.4f %-12.4f %-14.0f %.2f\n",
+                r->replicas, r->backends, (unsigned long long)r->reads,
+                r->p50_read_ms, r->p99_read_ms, r->reads_per_sec,
+                r->shipped_bytes / (1024.0 * 1024.0));
+  }
+
   std::FILE* json = std::fopen("BENCH_serving.json", "w");
   if (json == nullptr) return 1;
   std::fprintf(json, "{\n");
@@ -198,6 +339,19 @@ int main() {
                  (unsigned long long)r.epochs_committed,
                  (unsigned long long)r.deltas_applied,
                  i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"replica_results\": [\n");
+  for (size_t i = 0; i < replica_results.size(); ++i) {
+    const ReplicaResult& r = replica_results[i];
+    std::fprintf(json,
+                 "    {\"replicas\": %d, \"backends\": %d, \"reads\": %llu, "
+                 "\"p50_read_ms\": %.4f, \"p99_read_ms\": %.4f, "
+                 "\"reads_per_sec\": %.0f, \"shipped_bytes\": %llu}%s\n",
+                 r.replicas, r.backends, (unsigned long long)r.reads,
+                 r.p50_read_ms, r.p99_read_ms, r.reads_per_sec,
+                 (unsigned long long)r.shipped_bytes,
+                 i + 1 < replica_results.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n");
   std::fprintf(json, "}\n");

@@ -23,7 +23,22 @@ MetricsRegistry* MetricsRegistry::Default() {
 
 Counter* MetricsRegistry::Get(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return &counters_[name];
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+size_t MetricsRegistry::Unregister(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  auto it = counters_.lower_bound(prefix);
+  while (it != counters_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0) {
+    retired_.push_back(std::move(it->second));
+    it = counters_.erase(it);
+    ++removed;
+  }
+  return removed;
 }
 
 std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Snapshot() const {
@@ -31,7 +46,7 @@ std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Snapshot() const {
   std::vector<std::pair<std::string, int64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
-    out.emplace_back(name, counter.value());
+    out.emplace_back(name, counter->value());
   }
   return out;
 }
@@ -42,7 +57,7 @@ int64_t MetricsRegistry::SumPrefixed(const std::string& prefix) const {
   for (auto it = counters_.lower_bound(prefix);
        it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
        ++it) {
-    sum += it->second.value();
+    sum += it->second->value();
   }
   return sum;
 }
@@ -53,7 +68,7 @@ std::string MetricsRegistry::ToString(const std::string& prefix) const {
   for (auto it = counters_.lower_bound(prefix);
        it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
        ++it) {
-    out += it->first + "=" + std::to_string(it->second.value()) + "\n";
+    out += it->first + "=" + std::to_string(it->second->value()) + "\n";
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -87,8 +88,17 @@ class MetricsRegistry {
   static MetricsRegistry* Default();
 
   /// Get-or-create the counter named `name`; the pointer stays valid for
-  /// the registry's lifetime.
+  /// the registry's lifetime (even across Unregister — see below).
   Counter* Get(const std::string& name);
+
+  /// Remove every counter whose name starts with `prefix` from the
+  /// visible series (Snapshot / SumPrefixed / ToString / re-Get), so a
+  /// deregistered shard or replica doesn't leak stale series forever.
+  /// Returns the number of counters removed. Previously handed-out
+  /// Counter* stay valid (the objects are retired, not destroyed, until
+  /// the registry itself dies) — a racing holder at worst updates a
+  /// counter nobody reports anymore.
+  size_t Unregister(const std::string& prefix);
 
   /// Point-in-time values of every counter, sorted by name. Counters are
   /// sampled individually (relaxed), not as one atomic cut.
@@ -103,8 +113,58 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  // std::map: node-based, so Counter addresses are stable across inserts.
-  std::map<std::string, Counter> counters_;
+  // Heap-allocated values, so Counter addresses are stable across inserts
+  // and survive Unregister (moved to retired_).
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  // Counters removed by Unregister: invisible to reads, kept alive so
+  // stale Counter* holders never dangle.
+  std::vector<std::unique_ptr<Counter>> retired_;
+};
+
+/// RAII ownership of one dot-separated counter family: constructs around
+/// a registry + prefix, Get()s members as "<prefix>.<suffix>", and
+/// unregisters the whole family on destruction (or Reset()). The handle a
+/// shard/replica holds so its series disappear when it does.
+class ScopedMetricPrefix {
+ public:
+  ScopedMetricPrefix() = default;
+  ScopedMetricPrefix(MetricsRegistry* registry, std::string prefix)
+      : registry_(registry), prefix_(std::move(prefix)) {}
+  ScopedMetricPrefix(const ScopedMetricPrefix&) = delete;
+  ScopedMetricPrefix& operator=(const ScopedMetricPrefix&) = delete;
+  ScopedMetricPrefix(ScopedMetricPrefix&& other) noexcept { *this = std::move(other); }
+  ScopedMetricPrefix& operator=(ScopedMetricPrefix&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      registry_ = other.registry_;
+      prefix_ = std::move(other.prefix_);
+      other.registry_ = nullptr;
+      other.prefix_.clear();
+    }
+    return *this;
+  }
+  ~ScopedMetricPrefix() { Reset(); }
+
+  /// Get-or-create "<prefix>.<suffix>" in the owned family.
+  Counter* Get(const std::string& suffix) const {
+    return registry_->Get(prefix_ + "." + suffix);
+  }
+
+  /// Unregister the family now and detach. The trailing separator keeps
+  /// this from swallowing a sibling family that shares a name prefix
+  /// ("...replica1" must not remove "...replica10.*").
+  void Reset() {
+    if (registry_ != nullptr) registry_->Unregister(prefix_ + ".");
+    registry_ = nullptr;
+    prefix_.clear();
+  }
+
+  bool active() const { return registry_ != nullptr; }
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::string prefix_;
 };
 
 }  // namespace i2mr

@@ -1,0 +1,120 @@
+#include "io/compress.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/codec.h"
+
+namespace i2mr {
+namespace {
+
+constexpr uint32_t kLzMagic = 0x315a4c49;  // "ILZ1"
+constexpr size_t kHeader = 4 + 8;          // magic + raw_len
+constexpr size_t kMinMatch = 16;           // below this a match token loses
+constexpr size_t kWindow = 1u << 20;       // max match distance
+constexpr int kHashBits = 16;
+// Decoded payloads are segment files (a few MB); anything claiming more
+// than this is a corrupt or hostile header, not a real archive.
+constexpr uint64_t kMaxRawLen = 1ull << 32;
+
+inline uint32_t HashAt(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return static_cast<uint32_t>((v * 0x9e3779b97f4a7c15ull) >>
+                               (64 - kHashBits));
+}
+
+void EmitLiterals(std::string_view in, size_t from, size_t to,
+                  std::string* out) {
+  if (from >= to) return;
+  out->push_back(0x00);
+  PutFixed32(out, static_cast<uint32_t>(to - from));
+  out->append(in.data() + from, to - from);
+}
+
+}  // namespace
+
+void LzCompress(std::string_view in, std::string* out) {
+  PutFixed32(out, kLzMagic);
+  PutFixed64(out, in.size());
+  if (in.empty()) return;
+  // Greedy match finder: one last-seen-position slot per 8-byte-prefix
+  // hash. Collisions are verified byte-for-byte, so a bad slot only costs
+  // a missed match, never a wrong one.
+  std::vector<uint32_t> table(size_t{1} << kHashBits, 0xffffffffu);
+  size_t pos = 0, lit_start = 0;
+  while (pos + sizeof(uint64_t) <= in.size()) {
+    uint32_t h = HashAt(in.data() + pos);
+    uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (cand != 0xffffffffu && pos - cand <= kWindow) {
+      size_t len = 0;
+      size_t max = in.size() - pos;
+      while (len < max && in[cand + len] == in[pos + len]) ++len;
+      if (len >= kMinMatch) {
+        EmitLiterals(in, lit_start, pos, out);
+        out->push_back(0x01);
+        PutFixed32(out, static_cast<uint32_t>(pos - cand));
+        PutFixed32(out, static_cast<uint32_t>(len));
+        pos += len;
+        lit_start = pos;
+        continue;
+      }
+    }
+    ++pos;
+  }
+  EmitLiterals(in, lit_start, in.size(), out);
+}
+
+bool LzIsCompressed(std::string_view data) {
+  return data.size() >= 4 && DecodeFixed32(data.data()) == kLzMagic;
+}
+
+Status LzDecompress(std::string_view in, std::string* out) {
+  if (in.size() < kHeader || DecodeFixed32(in.data()) != kLzMagic) {
+    return Status::Corruption("bad compressed frame header");
+  }
+  uint64_t raw_len = DecodeFixed64(in.data() + 4);
+  if (raw_len > kMaxRawLen) {
+    return Status::Corruption("compressed frame claims implausible size");
+  }
+  const size_t base = out->size();
+  out->reserve(base + raw_len);
+  size_t pos = kHeader;
+  while (pos < in.size()) {
+    uint8_t token = static_cast<uint8_t>(in[pos++]);
+    if (token == 0x00) {
+      if (in.size() - pos < 4) return Status::Corruption("torn literal token");
+      uint32_t len = DecodeFixed32(in.data() + pos);
+      pos += 4;
+      if (len == 0 || in.size() - pos < len) {
+        return Status::Corruption("torn literal run");
+      }
+      out->append(in.data() + pos, len);
+      pos += len;
+    } else if (token == 0x01) {
+      if (in.size() - pos < 8) return Status::Corruption("torn match token");
+      uint32_t dist = DecodeFixed32(in.data() + pos);
+      uint32_t len = DecodeFixed32(in.data() + pos + 4);
+      pos += 8;
+      size_t have = out->size() - base;
+      if (dist == 0 || len == 0 || dist > have) {
+        return Status::Corruption("match outside decoded window");
+      }
+      // Byte-at-a-time: a match may overlap its own output (RLE-style).
+      size_t from = out->size() - dist;
+      for (uint32_t i = 0; i < len; ++i) out->push_back((*out)[from + i]);
+    } else {
+      return Status::Corruption("unknown compression token");
+    }
+    if (out->size() - base > raw_len) {
+      return Status::Corruption("compressed frame overruns declared size");
+    }
+  }
+  if (out->size() - base != raw_len) {
+    return Status::Corruption("compressed frame shorter than declared");
+  }
+  return Status::OK();
+}
+
+}  // namespace i2mr

@@ -1,0 +1,38 @@
+// Self-contained LZ77-style codec for archived delta-log segments (and any
+// other cold, immutable file). No external compression library is linked;
+// the goal is "cheap-enough, safe" shrinkage of CRC-framed log text —
+// highly repetitive key/value records compress 2-5x — not parity with zstd.
+//
+// Framing:
+//
+//   [u32 magic "ILZ1"][u64 raw_len][token stream]
+//   token 0x00: [u32 len][len literal bytes]
+//   token 0x01: [u32 distance][u32 len]   copy len bytes from `distance`
+//                                         back in the decoded output
+//
+// Decompression is fully validated (magic, bounds, distances, final
+// length), so a truncated or tampered archive surfaces as Corruption
+// instead of garbage records.
+#ifndef I2MR_IO_COMPRESS_H_
+#define I2MR_IO_COMPRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace i2mr {
+
+/// Compress `in`, appending the framed stream to *out.
+void LzCompress(std::string_view in, std::string* out);
+
+/// Decompress a framed stream produced by LzCompress, appending the raw
+/// bytes to *out. Corruption on any malformed input.
+Status LzDecompress(std::string_view in, std::string* out);
+
+/// True when `data` starts with the LzCompress frame magic.
+bool LzIsCompressed(std::string_view data);
+
+}  // namespace i2mr
+
+#endif  // I2MR_IO_COMPRESS_H_

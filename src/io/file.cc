@@ -1,6 +1,7 @@
 #include "io/file.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -110,6 +111,39 @@ Status RandomAccessFile::Read(uint64_t offset, size_t n, std::string* out) {
   ++num_reads_;
   bytes_read_ += got;
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MmapFile
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError("stat " + path + ": " + std::strerror(err));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* base = nullptr;
+  if (size > 0) {
+    base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::IOError("mmap " + path + ": " + std::strerror(err));
+    }
+  }
+  ::close(fd);  // the mapping keeps the pages, not the descriptor
+  return std::unique_ptr<MmapFile>(new MmapFile(base, size));
+}
+
+MmapFile::~MmapFile() {
+  if (base_ != nullptr) ::munmap(base_, size_);
 }
 
 // ---------------------------------------------------------------------------

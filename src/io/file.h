@@ -82,6 +82,32 @@ class RandomAccessFile {
   uint64_t bytes_read_ = 0;
 };
 
+/// Read-only memory map of a whole (immutable) file. Used by replay-scale
+/// scans — a follower catching up on a large shipped-segment backlog maps
+/// each sealed segment instead of buffering it through read(2); the hot
+/// append/stream path keeps the buffered readers. The view stays valid for
+/// the object's lifetime; the underlying file must not be mutated while
+/// mapped (sealed segments never are).
+class MmapFile {
+ public:
+  static StatusOr<std::unique_ptr<MmapFile>> Open(const std::string& path);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  std::string_view data() const {
+    return std::string_view(static_cast<const char*>(base_), size_);
+  }
+  uint64_t size() const { return size_; }
+
+ private:
+  MmapFile(void* base, size_t size) : base_(base), size_(size) {}
+
+  void* base_;  // nullptr for an empty file
+  size_t size_;
+};
+
 /// Buffered sequential reader over a whole file.
 class SequentialFile {
  public:

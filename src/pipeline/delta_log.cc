@@ -9,6 +9,7 @@
 #include "common/codec.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "io/compress.h"
 #include "io/env.h"
 #include "io/record_file.h"
 
@@ -73,14 +74,54 @@ Status ReadPurgeMark(const std::string& path, uint64_t* watermark) {
   return Status::OK();
 }
 
-bool IsSegmentPath(const std::string& path) {
+std::string Basename(const std::string& path) {
   size_t slash = path.find_last_of('/');
-  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool IsCompressedSegmentPath(const std::string& path) {
+  std::string base = Basename(path);
   return base.size() == 28 && base.rfind("seg-", 0) == 0 &&
-         base.compare(base.size() - 4, 4, ".dat") == 0;
+         base.compare(base.size() - 4, 4, ".lzd") == 0;
+}
+
+bool IsSegmentPath(const std::string& path) {
+  std::string base = Basename(path);
+  return (base.size() == 28 && base.rfind("seg-", 0) == 0 &&
+          base.compare(base.size() - 4, 4, ".dat") == 0) ||
+         IsCompressedSegmentPath(path);
 }
 
 }  // namespace
+
+bool IsDeltaLogSegmentFile(const std::string& path) {
+  return IsSegmentPath(path);
+}
+
+uint64_t DeltaLogSegmentFirstSeq(const std::string& path) {
+  if (!IsSegmentPath(path)) return 0;
+  std::string base = Basename(path);
+  uint64_t seq = 0;
+  for (size_t i = 4; i < 24; ++i) {
+    if (base[i] < '0' || base[i] > '9') return 0;
+    seq = seq * 10 + (base[i] - '0');
+  }
+  return seq;
+}
+
+Status WriteDeltaLogPurgeMark(const std::string& dir, uint64_t watermark,
+                              bool sync) {
+  std::string payload;
+  PutFixed64(&payload, watermark);
+  std::string data = payload;
+  PutFixed32(&data, Crc32(payload));
+  std::string path = JoinPath(dir, kPurgeFile);
+  std::string tmp = path + ".tmp";
+  I2MR_RETURN_IF_ERROR(WriteStringToFile(tmp, data, sync));
+  I2MR_RETURN_IF_ERROR(RenameFile(tmp, path));
+  if (sync) I2MR_RETURN_IF_ERROR(SyncDir(dir));
+  return Status::OK();
+}
 
 void EncodeLogRecord(uint64_t seq, const DeltaKV& delta, std::string* out) {
   std::string payload;
@@ -129,17 +170,47 @@ Status DeltaLog::MigrateLegacyLog() {
 Status DeltaLog::ScanSegment(const std::string& path, bool is_last,
                              uint64_t prev_max, uint64_t* last_seq,
                              uint64_t* nrecords) {
-  auto data = ReadFileToString(path);
-  if (!data.ok()) return data.status();
+  // Three read paths for one parse loop: compressed archives are inflated
+  // into a buffer, large raw segments are memory-mapped (the follower
+  // catch-up / big-backlog recovery case), small ones go through the
+  // existing buffered read. Only a raw last segment may be truncated.
+  const bool compressed = IsCompressedSegmentPath(path);
+  std::string owned;
+  std::unique_ptr<MmapFile> mapped;
+  std::string_view data;
+  if (compressed) {
+    auto raw = ReadFileToString(path);
+    if (!raw.ok()) return raw.status();
+    Status inflated = LzDecompress(*raw, &owned);
+    if (!inflated.ok()) {
+      return Status::Corruption("compressed segment " + path + ": " +
+                                inflated.message());
+    }
+    data = owned;
+  } else {
+    auto size = FileSize(path);
+    if (!size.ok()) return size.status();
+    if (options_.mmap_scan_bytes > 0 && *size >= options_.mmap_scan_bytes) {
+      auto m = MmapFile::Open(path);
+      if (!m.ok()) return m.status();
+      mapped = std::move(m.value());
+      data = mapped->data();
+    } else {
+      auto raw = ReadFileToString(path);
+      if (!raw.ok()) return raw.status();
+      owned = std::move(raw.value());
+      data = owned;
+    }
+  }
   size_t pos = 0;
   *last_seq = 0;
   *nrecords = 0;
   for (;;) {
     SeqDelta rec;
-    Status st = ParseFrame(*data, &pos, &rec);
+    Status st = ParseFrame(data, &pos, &rec);
     if (st.IsNotFound()) break;
     if (st.IsCorruption()) {
-      if (!is_last) {
+      if (!is_last || compressed) {
         // Sealed segments are immutable after rotation; mid-log damage
         // cannot be a torn append and silently dropping it would lose
         // acknowledged records that later segments build on.
@@ -149,10 +220,12 @@ Status DeltaLog::ScanSegment(const std::string& path, bool is_last,
       // Torn tail (crash mid-append) or garbled bytes on the active
       // segment: keep the valid prefix, truncate the rest so the next
       // append starts clean.
-      recovery_.discarded_bytes += data->size() - pos;
+      recovery_.discarded_bytes += data.size() - pos;
       LOG_WARN << "delta log " << path << ": discarding "
-               << data->size() - pos << " tail bytes (" << st.message()
+               << data.size() - pos << " tail bytes (" << st.message()
                << ")";
+      mapped.reset();  // release the mapping before shrinking the file
+      data = std::string_view();
       if (::truncate(path.c_str(), static_cast<off_t>(pos)) != 0) {
         return Status::IOError("truncate " + path);
       }
@@ -210,11 +283,16 @@ Status DeltaLog::Recover() {
     max_seq = std::max(max_seq, seg_last);
     bool consumed = seg_records > 0 && seg_last <= purge_watermark_;
     bool empty_sealed = seg_records == 0 && i + 1 < segs.size();
+    // Only a raw file can take appends: a compressed segment at the tail
+    // (a follower's shipped archive copy) stays sealed and a fresh active
+    // segment is opened past it.
+    bool can_be_active =
+        i + 1 == segs.size() && !IsCompressedSegmentPath(segs[i]);
     if (consumed || empty_sealed) {
       // A crash between the PURGE mark landing and the unlink leaves the
       // consumed segment behind; retire it now, completing the purge.
       retire.push_back(segs[i]);
-    } else if (i + 1 == segs.size()) {
+    } else if (can_be_active) {
       active_path_ = segs[i];
       active_last_seq_ = seg_last;
       active_records_ = seg_records;
@@ -270,6 +348,11 @@ Status DeltaLog::RotateLocked() {
   if (!sealed.ok()) return sealed;
   sealed_.push_back(
       SegmentInfo{active_path_, active_last_seq_, active_records_});
+  if (seal_listener_) {
+    // Under mu_ by contract (see SetSealListener): the shipper's handler
+    // only flags work and wakes its thread.
+    seal_listener_(active_path_, active_last_seq_);
+  }
 
   if (SimulateCrashLocked("rotate")) {
     return Status::Aborted("simulated crash between seal and new segment");
@@ -435,27 +518,41 @@ std::vector<SeqDelta> DeltaLog::ReadRange(uint64_t after, uint64_t upto) const {
 }
 
 Status DeltaLog::WritePurgeMarkLocked() {
-  std::string payload;
-  PutFixed64(&payload, purge_watermark_);
-  std::string data = payload;
-  PutFixed32(&data, Crc32(payload));
-  std::string path = JoinPath(dir_, kPurgeFile);
-  std::string tmp = path + ".tmp";
-  const bool sync = options_.durability == DurabilityMode::kPowerFailure;
-  I2MR_RETURN_IF_ERROR(WriteStringToFile(tmp, data, sync));
-  I2MR_RETURN_IF_ERROR(RenameFile(tmp, path));
-  if (sync) I2MR_RETURN_IF_ERROR(SyncDir(dir_));
-  return Status::OK();
+  return WriteDeltaLogPurgeMark(
+      dir_, purge_watermark_,
+      options_.durability == DurabilityMode::kPowerFailure);
 }
 
 Status DeltaLog::RetireSegmentFile(const std::string& path) {
   if (!options_.archive_purged) return RemoveAll(path);
   std::string archive = JoinPath(dir_, kArchiveDir);
   I2MR_RETURN_IF_ERROR(CreateDirs(archive));
-  size_t slash = path.find_last_of('/');
-  std::string base =
-      slash == std::string::npos ? path : path.substr(slash + 1);
-  return RenameFile(path, JoinPath(archive, base));
+  std::string base = Basename(path);
+  if (!options_.compress_archive || IsCompressedSegmentPath(path)) {
+    return RenameFile(path, JoinPath(archive, base));
+  }
+  // Compact + compress: keep only the segment's valid record prefix (a
+  // sealed file can still carry slack past a mid-write crash that a later
+  // truncation never touched) and store it LZ-compressed. The write is
+  // tmp + rename so a crash can't leave a half-written archive a shipper
+  // would try to read.
+  auto raw = ReadFileToString(path);
+  if (!raw.ok()) return raw.status();
+  size_t valid_end = 0;
+  for (;;) {
+    SeqDelta rec;
+    if (!ParseFrame(*raw, &valid_end, &rec).ok()) break;
+  }
+  std::string compressed;
+  LzCompress(std::string_view(raw->data(), valid_end), &compressed);
+  std::string dst =
+      JoinPath(archive, base.substr(0, base.size() - 4) + ".lzd");
+  std::string tmp = dst + ".tmp";
+  I2MR_RETURN_IF_ERROR(WriteStringToFile(
+      tmp, compressed,
+      options_.durability == DurabilityMode::kPowerFailure));
+  I2MR_RETURN_IF_ERROR(RenameFile(tmp, dst));
+  return RemoveAll(path);
 }
 
 Status DeltaLog::PurgeThrough(uint64_t watermark) {
@@ -528,6 +625,23 @@ uint64_t DeltaLog::purge_watermark() const {
 std::string DeltaLog::path() const {
   std::lock_guard<std::mutex> lock(mu_);
   return active_path_;
+}
+
+std::vector<std::string> DeltaLog::SealedSegmentPaths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sealed_.size());
+  for (const auto& seg : sealed_) out.push_back(seg.path);
+  return out;
+}
+
+void DeltaLog::SetSealListener(
+    std::function<void(const std::string& path, uint64_t last_seq)> listener) {
+  // Taking mu_ here doubles as a drain: an in-flight rotation (which
+  // invokes the listener under mu_) completes before the swap, so after
+  // SetSealListener(nullptr) returns no further callback can run.
+  std::lock_guard<std::mutex> lock(mu_);
+  seal_listener_ = std::move(listener);
 }
 
 uint64_t DeltaLog::sync_count() const {

@@ -57,8 +57,21 @@ struct DeltaLogOptions {
   uint64_t segment_bytes = 4ull << 20;
 
   /// Move fully consumed segments into `<dir>/archive/` instead of
-  /// unlinking them (cold storage for replay/debugging; never re-read).
+  /// unlinking them (cold storage for replay/debugging, and the
+  /// replication shipper's fallback source for a segment that retired
+  /// before it shipped).
   bool archive_purged = false;
+
+  /// With archive_purged: compact the retired segment to its valid record
+  /// prefix and LZ-compress it into `archive/seg-*.lzd` instead of
+  /// renaming the raw file. Scans read `.lzd` segments transparently, so
+  /// a follower replaying shipped archives never notices the codec.
+  bool compress_archive = false;
+
+  /// Recovery/replay scans memory-map segment files at least this large
+  /// instead of buffering them through read(2) — the large-backlog
+  /// follower catch-up path. 0 disables mapping (always stream).
+  uint64_t mmap_scan_bytes = 1ull << 20;
 
   /// kProcessCrash: appends are flushed to the OS. kPowerFailure: appends,
   /// rotation and the PURGE mark are fsync'd before success is reported.
@@ -146,6 +159,18 @@ class DeltaLog {
   std::string path() const;
   const std::string& dir() const { return dir_; }
 
+  /// Sealed (immutable, shippable) segment paths in sequence order,
+  /// excluding the active segment and anything already retired.
+  std::vector<std::string> SealedSegmentPaths() const;
+
+  /// Observe segment seals: called with the sealed file's path and the
+  /// highest sequence it holds, every time the active segment rotates.
+  /// Runs under the log mutex — the callback must be cheap (enqueue +
+  /// wake) and must never call back into this log. nullptr detaches;
+  /// detaching waits out an in-flight notification.
+  void SetSealListener(
+      std::function<void(const std::string& path, uint64_t last_seq)> listener);
+
   Status Close();
 
  private:
@@ -213,6 +238,9 @@ class DeltaLog {
   uint64_t next_seq_ = 1;
   uint64_t purge_watermark_ = 0;
   RecoveryStats recovery_;
+  /// Seal notification (guarded by mu_; invoked under mu_ from rotation).
+  std::function<void(const std::string& path, uint64_t last_seq)>
+      seal_listener_;
 };
 
 /// Frame one record (appends to *out). Exposed for tests and tools.
@@ -220,6 +248,21 @@ void EncodeLogRecord(uint64_t seq, const DeltaKV& delta, std::string* out);
 
 /// Segment file name for a first sequence number ("seg-<20-digit-seq>.dat").
 std::string DeltaLogSegmentName(uint64_t first_seq);
+
+/// True for any segment file name this log reads: raw ("seg-*.dat") or
+/// compressed archive ("seg-*.lzd").
+bool IsDeltaLogSegmentFile(const std::string& path);
+
+/// First sequence number encoded in a segment file name (0 when `path` is
+/// not a segment file).
+uint64_t DeltaLogSegmentFirstSeq(const std::string& path);
+
+/// Durably write `<dir>/PURGE` = watermark (tmp + rename, synced when
+/// `sync`). Shared with follower replicas, which maintain the same mark
+/// over their shipped segment copies so a promoted follower's recovery
+/// drops exactly the records its applied epoch already consumed.
+Status WriteDeltaLogPurgeMark(const std::string& dir, uint64_t watermark,
+                              bool sync);
 
 }  // namespace i2mr
 

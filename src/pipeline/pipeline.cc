@@ -56,18 +56,6 @@ Status ReadManifest(const std::string& path, uint64_t* epoch,
 // EpochPin
 // ---------------------------------------------------------------------------
 
-struct EpochPin::State {
-  const Pipeline* pipeline = nullptr;
-  uint64_t epoch = 0;
-  uint64_t watermark = 0;
-  std::shared_ptr<const ResultStore> store;
-  std::string dir;
-
-  ~State() {
-    if (pipeline != nullptr) pipeline->Unpin(epoch);
-  }
-};
-
 uint64_t EpochPin::epoch() const { return state_ == nullptr ? 0 : state_->epoch; }
 
 uint64_t EpochPin::watermark() const {
@@ -523,6 +511,12 @@ Status Pipeline::StageEpochLocked(uint64_t epoch, uint64_t watermark,
   staged_.final_name = final_name;
   staged_.store =
       std::make_unique<ResultStore>(std::move(serving_store.value()));
+  {
+    // Everything the epoch will commit is durable under its final dir
+    // name; a replica shipper may start copying it out now.
+    std::lock_guard<std::mutex> listener_lock(listener_mu_);
+    if (listener_.on_staged) listener_.on_staged(epoch, final_dir);
+  }
   if (commit_ms != nullptr) *commit_ms = timer.ElapsedMillis();
   return Status::OK();
 }
@@ -561,13 +555,37 @@ Status Pipeline::FinalizeStagedLocked() {
         staged_.pending_since_ns != 0 ? staged_.pending_since_ns : NowNanos();
     oldest_pending_ns_.store(pending() > 0 ? since : 0);
   }
+  const uint64_t committed_epoch = staged_.epoch;
+  const uint64_t committed_watermark = staged_.watermark;
+  const std::string committed_dir = JoinPath(Dir(), staged_.final_name);
   // The engine's working state is exactly what was just committed.
   bootstrapped_.store(true);
   dirty_.store(false);
   inflight_ = false;
   staged_.valid = false;
   staged_.store.reset();
+  {
+    // Past the point of no return: followers may now serve this epoch.
+    std::lock_guard<std::mutex> listener_lock(listener_mu_);
+    if (listener_.on_committed) {
+      listener_.on_committed(committed_epoch, committed_dir,
+                             committed_watermark);
+    }
+  }
   return Status::OK();
+}
+
+void Pipeline::SetEpochListener(EpochListener listener) {
+  // listener_mu_ is held across callback invocations, so this swap waits
+  // out an in-flight notification: after SetEpochListener({}) returns, no
+  // further callback can run.
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  listener_ = std::move(listener);
+}
+
+Status Pipeline::ReadEpochManifest(const std::string& dir, uint64_t* epoch,
+                                   uint64_t* watermark) {
+  return ReadManifest(JoinPath(dir, kManifestFile), epoch, watermark);
 }
 
 Status Pipeline::CleanupCommittedLocked() {
@@ -729,7 +747,8 @@ EpochPin Pipeline::PinServing() const {
     std::lock_guard<std::mutex> pin_lock(pin_mu_);
     ++pins_[state->epoch];
   }
-  state->pipeline = this;  // set only once the pin is registered
+  // Arm the release hook only once the pin is registered.
+  state->unpin = [this](uint64_t epoch) { Unpin(epoch); };
   state->dir = JoinPath(Dir(), EpochDirName(state->epoch));
   return EpochPin(std::move(state));
 }

@@ -140,7 +140,21 @@ class EpochPin {
 
  private:
   friend class Pipeline;
-  struct State;
+  friend class FollowerReplica;  // mints pins over replicated epochs
+  /// The shared pin payload. `unpin` decouples the refcount release from
+  /// Pipeline specifically, so a FollowerReplica (a read-only replayed
+  /// slice with no Pipeline object) can mint pins the ShardSnapshot
+  /// machinery consumes unchanged.
+  struct State {
+    std::function<void(uint64_t epoch)> unpin;  // runs at last-copy death
+    uint64_t epoch = 0;
+    uint64_t watermark = 0;
+    std::shared_ptr<const ResultStore> store;
+    std::string dir;
+    ~State() {
+      if (unpin) unpin(epoch);
+    }
+  };
   explicit EpochPin(std::shared_ptr<State> state) : state_(std::move(state)) {}
   std::shared_ptr<State> state_;
 };
@@ -246,6 +260,27 @@ class Pipeline {
   /// Bootstrap.
   EpochPin PinServing() const;
 
+  /// Replication hooks: observe epoch lifecycle transitions. `on_staged`
+  /// fires once an epoch dir has fully landed on disk (before CURRENT
+  /// moves — a shipper may pre-stage it at followers); `on_committed`
+  /// fires after the CURRENT flip made the epoch durable (only then may a
+  /// follower serve it). Callbacks run inside the commit path while the
+  /// listener registration is held — keep them cheap (enqueue + wake) and
+  /// never call back into the pipeline. Setting a new listener (or {})
+  /// waits out an in-flight callback.
+  struct EpochListener {
+    std::function<void(uint64_t epoch, const std::string& dir)> on_staged;
+    std::function<void(uint64_t epoch, const std::string& dir,
+                       uint64_t watermark)>
+        on_committed;
+  };
+  void SetEpochListener(EpochListener listener);
+
+  /// Read + CRC-check an epoch dir's MANIFEST. Shared with replication's
+  /// ship-side and promotion-time verification.
+  static Status ReadEpochManifest(const std::string& dir, uint64_t* epoch,
+                                  uint64_t* watermark);
+
   uint64_t committed_epoch() const { return committed_epoch_.load(); }
   uint64_t committed_watermark() const { return committed_watermark_.load(); }
   /// On-disk name of an epoch's snapshot dir ("epoch-%08u"). Shared with
@@ -338,6 +373,11 @@ class Pipeline {
   /// Commit swaps both under it, PinServing reads both under it.
   mutable std::mutex serving_mu_;
   std::shared_ptr<const ResultStore> serving_;
+
+  /// Epoch lifecycle listener (leaf lock; held across the callback so
+  /// SetEpochListener doubles as a drain of in-flight notifications).
+  std::mutex listener_mu_;
+  EpochListener listener_;
 
   /// Epoch -> live pin count. Locked after serving_mu_ (PinServing) and on
   /// its own everywhere else; GarbageCollect consults it to keep pinned

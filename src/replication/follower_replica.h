@@ -1,0 +1,185 @@
+// FollowerReplica: one read-only vertical slice of a shard, fed by a
+// ReplicaShipper. It owns its own root directory laid out exactly like a
+// shard root (`<root>/pipeline/<name>/{epoch-*, CURRENT, log/}`), so the
+// data a shipper lands here is byte-for-byte what the primary's recovery
+// path reads — promotion is just "open a Pipeline over this root".
+//
+// Epoch application follows the A/B-slot discipline:
+//
+//   1. StageEpoch copies the primary's epoch dir into the staging slot
+//      (`epoch-<E>.ship/`) and fully verifies it there: MANIFEST CRC,
+//      record-file CRC scans of every partition's structure/state (and
+//      remote inbox), and a parse of the serving snapshot.
+//   2. PromoteStaged re-checks the manifest, renames the slot to its final
+//      `epoch-<E>/` name, atomically flips the follower's own CURRENT, and
+//      publishes the new serving store.
+//
+// A crash or kill at any point leaves either the old epoch serving or the
+// new one — never a torn view — and Open() recovers from CURRENT the same
+// way a pipeline does. The follower never decides on its own to serve an
+// epoch: PromoteStaged takes the (epoch, watermark) the shipper saw the
+// primary durably commit, so an epoch that was only staged on the primary
+// (barrier in flight, or a primary that died mid-commit) is never served.
+//
+// Reads go through PinServing(): the same refcounted EpochPin the serving
+// layer uses, so ReplicaSet drops follower pins into a ShardSnapshot
+// unchanged. Pins keep the in-memory store alive across Close() and even
+// across promotion (the on-disk dir of a superseded epoch may be collected
+// once the promoted pipeline commits past it; the pinned store is not).
+#ifndef I2MR_REPLICATION_FOLLOWER_REPLICA_H_
+#define I2MR_REPLICATION_FOLLOWER_REPLICA_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/result_store.h"
+#include "io/file.h"
+#include "pipeline/pipeline.h"
+
+namespace i2mr {
+
+struct FollowerReplicaOptions {
+  /// kPowerFailure additionally fsyncs shipped files and the CURRENT flip.
+  DurabilityMode durability = DurabilityMode::kProcessCrash;
+
+  /// Expected per-shard partition count; staged epochs missing a partition
+  /// dir fail verification (0 = don't check).
+  int num_partitions = 0;
+
+  /// Counter registry (Default() when null) and the replica's series
+  /// prefix, e.g. "serving.pr.shard0.replica1". The family is registered
+  /// through a scoped handle: RetireMetrics() (or destruction) unregisters
+  /// it, so a promoted/destroyed replica leaves no stale series behind.
+  MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix;
+};
+
+class FollowerReplica {
+ public:
+  FollowerReplica(std::string root, std::string pipeline_name,
+                  FollowerReplicaOptions options);
+  ~FollowerReplica() = default;
+  FollowerReplica(const FollowerReplica&) = delete;
+  FollowerReplica& operator=(const FollowerReplica&) = delete;
+
+  /// Attach (or create) the replica root: recover the applied epoch from
+  /// CURRENT (verifying it), discard any interrupted staging slot, and
+  /// start accepting shipments. Also the restart path after Close().
+  Status Open();
+
+  /// Simulate replica death / take it out of service: stops serving and
+  /// accepting shipments. Outstanding pins keep their stores.
+  void Close();
+
+  bool open() const;
+  /// True when an applied epoch is being served.
+  bool serving() const;
+
+  // -- Shipper-side ingestion (one shipper thread at a time) -----------------
+
+  /// Stage + verify the primary epoch dir `src_dir` into the A/B staging
+  /// slot. Adds the bytes copied to *shipped_bytes (may be null). Skips
+  /// (OK) when the epoch is already applied or already staged.
+  Status StageEpoch(uint64_t epoch, uint64_t watermark,
+                    const std::string& src_dir, uint64_t* shipped_bytes);
+
+  /// Flip the staged epoch live: re-verify the slot's manifest against the
+  /// (epoch, watermark) the primary durably committed, rename it to its
+  /// final name, swing CURRENT, publish the serving store, GC superseded
+  /// epoch dirs. FailedPrecondition when the slot doesn't match.
+  Status PromoteStaged(uint64_t epoch, uint64_t watermark);
+
+  /// Drop a staged-but-never-committed slot (barrier abort on the primary,
+  /// or promotion deciding the slot is not trustworthy).
+  Status DiscardStaged();
+
+  /// Copy one sealed/archived segment file into the replica's log dir
+  /// (idempotent: already-present same-size files are skipped). Adds the
+  /// bytes copied to *shipped_bytes (may be null).
+  Status InstallSegment(const std::string& src_path, uint64_t* shipped_bytes);
+
+  /// Basenames of segment files currently held in the replica's log dir.
+  std::set<std::string> SegmentBasenames() const;
+
+  /// Compact retained history: durably advance the replica's PURGE mark to
+  /// `watermark` and delete shipped segments that are fully below it (the
+  /// records a promoted pipeline would drop at recovery anyway).
+  Status PurgeShippedBelow(uint64_t watermark);
+
+  // -- Read side -------------------------------------------------------------
+
+  /// Pin the applied epoch for versioned reads (invalid pin when not
+  /// serving). Unlike a Pipeline pin, only the in-memory store — not the
+  /// on-disk dir — is guaranteed to survive a later promotion.
+  EpochPin PinServing() const;
+
+  /// Full verification of the applied epoch dir (promotion-time A/B
+  /// check): manifest CRC + record-file scans + serving-store parse.
+  Status VerifyCurrent() const;
+
+  uint64_t applied_epoch() const;
+  uint64_t applied_watermark() const;
+  uint64_t staged_epoch() const;
+
+  /// Publish the shipper-observed lag (primary committed epoch − applied
+  /// epoch) into the replica's lag_epochs gauge.
+  void SetLagEpochs(uint64_t lag);
+
+  /// Unregister this replica's counter family (promotion/teardown — the
+  /// fix for deregistered replicas leaking stale series).
+  void RetireMetrics();
+
+  Counter* reads_served() const { return reads_served_; }
+  Counter* shipped_bytes() const { return shipped_bytes_; }
+  Counter* applied_epochs() const { return applied_epochs_; }
+
+  const std::string& root() const { return root_; }
+  const std::string& name() const { return name_; }
+  /// `<root>/pipeline/<name>` — the dir a promoted Pipeline opens.
+  std::string PipelineDir() const;
+  std::string LogDir() const;
+
+ private:
+  std::string EpochDir(uint64_t epoch) const;
+  std::string StageDir(uint64_t epoch) const;
+  std::string CurrentPath() const;
+  /// Manifest + per-partition record files + serving snapshot.
+  Status VerifyEpochDir(const std::string& dir, uint64_t expected_epoch,
+                        uint64_t expected_watermark) const;
+  /// Remove superseded, unpinned epoch dirs (caller holds mu_).
+  void CollectOldEpochsLocked();
+  void Unpin(uint64_t epoch) const;
+
+  const std::string root_;
+  const std::string name_;
+  FollowerReplicaOptions options_;
+
+  ScopedMetricPrefix metric_scope_;
+  Counter* shipped_bytes_ = nullptr;
+  Counter* applied_epochs_ = nullptr;
+  Counter* lag_epochs_ = nullptr;   // gauge via signed Add deltas
+  Counter* reads_served_ = nullptr;
+  int64_t published_lag_ = 0;       // guarded by mu_
+
+  mutable std::mutex mu_;
+  bool open_ = false;
+  uint64_t applied_epoch_ = 0;
+  uint64_t applied_watermark_ = 0;
+  bool staged_valid_ = false;       // a verified slot is waiting
+  uint64_t staged_epoch_ = 0;
+  uint64_t staged_watermark_ = 0;
+  uint64_t purge_mark_ = 0;
+  std::shared_ptr<const ResultStore> store_;
+
+  mutable std::mutex pin_mu_;
+  mutable std::map<uint64_t, int> pins_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_REPLICATION_FOLLOWER_REPLICA_H_

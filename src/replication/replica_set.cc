@@ -1,0 +1,426 @@
+#include "replication/replica_set.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/logging.h"
+#include "io/env.h"
+
+namespace i2mr {
+namespace {
+
+std::string ShardDirName(int s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%03d", s);
+  return buf;
+}
+
+}  // namespace
+
+ReplicaSet::ReplicaSet(ShardRouter* router, std::string replicas_root,
+                       ReplicaSetOptions options)
+    : router_(router),
+      replicas_root_(std::move(replicas_root)),
+      options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : router->metrics()),
+      scatter_pool_(options.scatter_threads > 0
+                        ? options.scatter_threads
+                        : std::min(router->num_shards(), 8)) {}
+
+ReplicaSet::~ReplicaSet() {
+  for (auto& st : shards_) {
+    if (st->shipper != nullptr) st->shipper->Stop();
+    if (st->promoted_manager != nullptr) st->promoted_manager->Stop();
+  }
+}
+
+std::string ReplicaSet::MetricsPrefix(int shard) const {
+  return "serving." + router_->name() + ".shard" + std::to_string(shard);
+}
+
+StatusOr<std::unique_ptr<ReplicaSet>> ReplicaSet::Open(
+    ShardRouter* router, const std::string& replicas_root,
+    ReplicaSetOptions options) {
+  if (options.replicas_per_shard < 0) {
+    return Status::InvalidArgument("replicas_per_shard must be >= 0");
+  }
+  std::unique_ptr<ReplicaSet> set(
+      new ReplicaSet(router, replicas_root, options));
+  const ReplicaSetOptions& opts = set->options_;
+  for (int s = 0; s < router->num_shards(); ++s) {
+    auto st = std::make_unique<ShardState>();
+    st->primary = router->shard(s);
+    st->slots.push_back(std::make_unique<Slot>());
+    st->slots[0]->reads =
+        set->metrics_->Get(set->MetricsPrefix(s) + ".primary.reads_served");
+    for (int i = 0; i < opts.replicas_per_shard; ++i) {
+      std::string root = JoinPath(JoinPath(replicas_root, ShardDirName(s)),
+                                  "replica-" + std::to_string(i));
+      if (opts.reset) I2MR_RETURN_IF_ERROR(RemoveAll(root));
+      FollowerReplicaOptions fo;
+      fo.durability = opts.durability;
+      fo.num_partitions = router->options().pipeline.spec.num_partitions;
+      fo.metrics = set->metrics_;
+      fo.metrics_prefix =
+          set->MetricsPrefix(s) + ".replica" + std::to_string(i);
+      auto f = std::make_unique<FollowerReplica>(root, router->name(),
+                                                 std::move(fo));
+      I2MR_RETURN_IF_ERROR(f->Open());
+      auto slot = std::make_unique<Slot>();
+      slot->reads = f->reads_served();
+      st->slots.push_back(std::move(slot));
+      st->followers.push_back(std::move(f));
+      st->enabled.push_back(true);
+      st->shipper_idx.push_back(i);
+    }
+    set->StartShipper(*st);
+    set->shards_.push_back(std::move(st));
+  }
+  set->snapshots_pinned_ = set->metrics_->Get(
+      "serving." + router->name() + ".replicaset.snapshots_pinned");
+  set->failovers_ = set->metrics_->Get("serving." + router->name() +
+                                       ".replicaset.failovers");
+  return set;
+}
+
+void ReplicaSet::StartShipper(ShardState& st) {
+  std::vector<FollowerReplica*> targets;
+  std::vector<size_t> indices;  // follower index per shipper target
+  for (size_t i = 0; i < st.followers.size(); ++i) {
+    st.shipper_idx[i] = -1;
+    if (static_cast<int>(i) == st.promoted_replica) continue;
+    st.shipper_idx[i] = static_cast<int>(targets.size());
+    targets.push_back(st.followers[i].get());
+    indices.push_back(i);
+  }
+  ReplicaShipperOptions so;
+  so.poll_ms = options_.ship_poll_ms;
+  so.max_replica_lag_epochs = options_.max_replica_lag_epochs;
+  st.shipper =
+      std::make_unique<ReplicaShipper>(st.primary, std::move(targets), so);
+  for (size_t t = 0; t < indices.size(); ++t) {
+    st.shipper->SetFollowerEnabled(t, st.enabled[indices[t]]);
+  }
+  st.shipper->Start();
+}
+
+uint64_t ReplicaSet::PrimaryEpoch(const ShardState& st) const {
+  return st.primary->committed_epoch();
+}
+
+bool ReplicaSet::StaleLocked(const ShardState& st, int i) const {
+  if (!st.enabled[i]) return true;
+  const FollowerReplica* f = st.followers[i].get();
+  if (!f->open() || !f->serving()) return true;
+  uint64_t committed = PrimaryEpoch(st);
+  uint64_t applied = f->applied_epoch();
+  uint64_t lag = committed > applied ? committed - applied : 0;
+  return lag > options_.max_replica_lag_epochs;
+}
+
+int ReplicaSet::SelectSlotLocked(ShardState& st) const {
+  std::vector<int> eligible;
+  if (!st.dead && options_.read_from_primary) eligible.push_back(0);
+  for (size_t i = 0; i < st.followers.size(); ++i) {
+    if (!StaleLocked(st, static_cast<int>(i))) {
+      eligible.push_back(1 + static_cast<int>(i));
+    }
+  }
+  if (!eligible.empty()) {
+    return eligible[st.rr.fetch_add(1) % eligible.size()];
+  }
+  // Degraded fallbacks: a live primary even when excluded from rotation,
+  // else the freshest follower that can still serve at all.
+  if (!st.dead) return 0;
+  int best = -1;
+  uint64_t best_epoch = 0;
+  for (size_t i = 0; i < st.followers.size(); ++i) {
+    const FollowerReplica* f = st.followers[i].get();
+    if (!st.enabled[i] || !f->open() || !f->serving()) continue;
+    if (best < 0 || f->applied_epoch() > best_epoch) {
+      best = static_cast<int>(i);
+      best_epoch = f->applied_epoch();
+    }
+  }
+  return best < 0 ? -1 : 1 + best;
+}
+
+void ReplicaSet::ChargeService(Slot* slot) const {
+  if (options_.read_service_ms <= 0) return;
+  // One request at a time per backend: queueing delay emerges from the
+  // mutex, so adding replicas adds real parallel service capacity.
+  std::lock_guard<std::mutex> lock(slot->service_mu);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(options_.read_service_ms));
+}
+
+StatusOr<ShardSnapshot> ReplicaSet::PinSnapshot() const {
+  ShardSnapshot snap;
+  snap.router_ = router_;
+  snap.pool_ = &scatter_pool_;
+  std::lock_guard<std::mutex> lock(route_mu_);
+  for (int s = 0; s < num_shards(); ++s) {
+    ShardState& st = *shards_[s];
+    int idx = SelectSlotLocked(st);
+    EpochPin pin;
+    if (idx == 0) {
+      pin = st.primary->PinServing();
+    } else if (idx > 0) {
+      pin = st.followers[idx - 1]->PinServing();
+    }
+    if (!pin.valid()) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(s) + " has no serving backend");
+    }
+    snap.shard_reads_.push_back(st.slots[idx]->reads);
+    snap.epochs_.push_back(pin.epoch());
+    snap.pins_.push_back(std::move(pin));
+  }
+  snapshots_pinned_->Increment();
+  return snap;
+}
+
+StatusOr<std::string> ReplicaSet::Get(const std::string& key) const {
+  int s = router_->ShardOf(key);
+  EpochPin pin;
+  Slot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    ShardState& st = *shards_[s];
+    int idx = SelectSlotLocked(st);
+    if (idx == 0) {
+      pin = st.primary->PinServing();
+    } else if (idx > 0) {
+      pin = st.followers[idx - 1]->PinServing();
+    }
+    if (!pin.valid()) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(s) + " has no serving backend");
+    }
+    slot = st.slots[idx].get();
+  }
+  ChargeService(slot);
+  slot->reads->Increment();
+  return pin.Lookup(key);
+}
+
+StatusOr<uint64_t> ReplicaSet::Append(const DeltaKV& delta) {
+  int s = router_->ShardOf(delta.key);
+  Pipeline* primary = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    ShardState& st = *shards_[s];
+    if (st.dead) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(s) +
+          " primary is dead; promote a replica first");
+    }
+    primary = st.primary;
+  }
+  return primary->Append(delta);
+}
+
+Status ReplicaSet::AppendBatch(const std::vector<DeltaKV>& deltas) {
+  for (const DeltaKV& d : deltas) {
+    auto seq = Append(d);
+    if (!seq.ok()) return seq.status();
+  }
+  return Status::OK();
+}
+
+Status ReplicaSet::DrainAll() {
+  for (int s = 0; s < num_shards(); ++s) {
+    PipelineManager* manager = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      ShardState& st = *shards_[s];
+      if (st.dead) continue;
+      manager = st.promoted_manager != nullptr ? st.promoted_manager.get()
+                                               : router_->manager(s);
+    }
+    I2MR_RETURN_IF_ERROR(manager->DrainAll());
+  }
+  return Status::OK();
+}
+
+Status ReplicaSet::SyncAll() {
+  Status first_error = Status::OK();
+  for (int s = 0; s < num_shards(); ++s) {
+    ReplicaShipper* shipper = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      ShardState& st = *shards_[s];
+      if (st.dead) continue;
+      shipper = st.shipper.get();
+    }
+    Status st = shipper->SyncNow();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status ReplicaSet::KillReplica(int shard, int i) {
+  ReplicaShipper* shipper = nullptr;
+  int idx = -1;
+  FollowerReplica* f = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    ShardState& st = *shards_[shard];
+    st.enabled[i] = false;
+    shipper = st.shipper.get();
+    idx = st.shipper_idx[i];
+    f = st.followers[i].get();
+  }
+  if (shipper != nullptr && idx >= 0) shipper->SetFollowerEnabled(idx, false);
+  f->Close();
+  return Status::OK();
+}
+
+Status ReplicaSet::RestartReplica(int shard, int i) {
+  FollowerReplica* f = nullptr;
+  ReplicaShipper* shipper = nullptr;
+  int idx = -1;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    ShardState& st = *shards_[shard];
+    if (static_cast<int>(i) == st.promoted_replica) {
+      return Status::FailedPrecondition("replica was promoted to primary");
+    }
+    f = st.followers[i].get();
+    shipper = st.shipper.get();
+    idx = st.shipper_idx[i];
+  }
+  I2MR_RETURN_IF_ERROR(f->Open());
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    shards_[shard]->enabled[i] = true;
+  }
+  if (shipper != nullptr && idx >= 0) shipper->SetFollowerEnabled(idx, true);
+  return Status::OK();
+}
+
+Status ReplicaSet::KillPrimary(int shard) {
+  if (router_->coordinated()) {
+    return Status::FailedPrecondition(
+        "per-shard failover requires an independent (non-coordinated) "
+        "router");
+  }
+  ReplicaShipper* shipper = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    ShardState& st = *shards_[shard];
+    if (st.dead) return Status::OK();
+    st.dead = true;
+    shipper = st.shipper.get();
+  }
+  // Outside route_mu_: both stops join threads / wait out in-flight work.
+  shipper->Stop();
+  PipelineManager* manager = shards_[shard]->promoted_manager != nullptr
+                                 ? shards_[shard]->promoted_manager.get()
+                                 : router_->manager(shard);
+  manager->Stop();
+  return Status::OK();
+}
+
+bool ReplicaSet::primary_dead(int shard) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return shards_[shard]->dead;
+}
+
+Pipeline* ReplicaSet::primary(int shard) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return shards_[shard]->primary;
+}
+
+StatusOr<int> ReplicaSet::Promote(int shard) {
+  ShardState& st = *shards_[shard];
+  int best = -1;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (!st.dead) {
+      return Status::FailedPrecondition("shard primary is alive");
+    }
+    uint64_t best_epoch = 0;
+    for (size_t i = 0; i < st.followers.size(); ++i) {
+      const FollowerReplica* f = st.followers[i].get();
+      if (!st.enabled[i] || !f->open() || !f->serving()) continue;
+      if (best < 0 || f->applied_epoch() > best_epoch) {
+        best = static_cast<int>(i);
+        best_epoch = f->applied_epoch();
+      }
+    }
+    if (best < 0) {
+      return Status::FailedPrecondition(
+          "no caught-up replica available to promote");
+    }
+  }
+  FollowerReplica* f = st.followers[best].get();
+
+  // A/B promotion: drop any epoch the dead primary staged but never
+  // committed, then re-verify the applied epoch end to end (manifest CRC,
+  // record-file scans, serving-store parse) before trusting the root.
+  I2MR_RETURN_IF_ERROR(f->DiscardStaged());
+  I2MR_RETURN_IF_ERROR(f->VerifyCurrent());
+
+  // Open the real pipeline over the follower's root. Its CURRENT names the
+  // last epoch the primary durably committed; recovery restores the engine
+  // from that snapshot and replays shipped log segments past its
+  // watermark. The follower keeps serving reads until the cutover below.
+  auto cluster = std::make_unique<LocalCluster>(
+      f->root(), options_.promoted_workers, router_->options().cost,
+      /*reset=*/false);
+  PipelineManagerOptions mo = router_->options().manager;
+  mo.metrics = metrics_;
+  mo.metrics_prefix = MetricsPrefix(shard) + ".promoted";
+  auto manager = std::make_unique<PipelineManager>(cluster.get(), mo);
+  auto pipeline = manager->Register(router_->name(),
+                                    router_->options().pipeline);
+  if (!pipeline.ok()) return pipeline.status();
+  if ((*pipeline)->committed_epoch() < f->applied_epoch()) {
+    return Status::Corruption(
+        "promoted pipeline recovered epoch " +
+        std::to_string((*pipeline)->committed_epoch()) +
+        " below the replica's applied epoch " +
+        std::to_string(f->applied_epoch()));
+  }
+  manager->Start();
+
+  // Cutover: the promoted pipeline becomes the shard's primary, the
+  // follower leaves the read rotation (its pins keep their stores), and a
+  // fresh shipper feeds the surviving followers from the new primary.
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    st.promoted_cluster = std::move(cluster);
+    st.promoted_manager = std::move(manager);
+    st.primary = *pipeline;
+    st.promoted_replica = best;
+    st.enabled[best] = false;
+    st.dead = false;
+  }
+  f->Close();
+  f->RetireMetrics();
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    StartShipper(st);
+  }
+  failovers_->Increment();
+  return best;
+}
+
+uint64_t ReplicaSet::ReplicaLag(int shard, int i) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  const ShardState& st = *shards_[shard];
+  uint64_t committed = PrimaryEpoch(st);
+  uint64_t applied = st.followers[i]->applied_epoch();
+  return committed > applied ? committed - applied : 0;
+}
+
+bool ReplicaSet::IsReplicaStale(int shard, int i) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return StaleLocked(*shards_[shard], i);
+}
+
+}  // namespace i2mr

@@ -1,0 +1,204 @@
+#include "replication/replica_shipper.h"
+
+#include <chrono>
+#include <set>
+
+#include "common/logging.h"
+#include "io/env.h"
+
+namespace i2mr {
+namespace {
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+ReplicaShipper::ReplicaShipper(Pipeline* primary,
+                               std::vector<FollowerReplica*> followers,
+                               ReplicaShipperOptions options)
+    : primary_(primary),
+      followers_(std::move(followers)),
+      options_(options),
+      enabled_(followers_.size(), true) {}
+
+ReplicaShipper::~ReplicaShipper() { Stop(); }
+
+void ReplicaShipper::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return;
+    started_ = true;
+    stop_ = false;
+    dirty_ = true;  // ship whatever already exists
+  }
+  Pipeline::EpochListener listener;
+  listener.on_staged = [this](uint64_t epoch, const std::string& dir) {
+    std::lock_guard<std::mutex> lock(mu_);
+    staged_hint_epoch_ = epoch;
+    staged_hint_dir_ = dir;
+    dirty_ = true;
+    cv_.notify_all();
+  };
+  listener.on_committed = [this](uint64_t, const std::string&, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_ = true;
+    cv_.notify_all();
+  };
+  primary_->SetEpochListener(std::move(listener));
+  primary_->log()->SetSealListener([this](const std::string&, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_ = true;
+    cv_.notify_all();
+  });
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void ReplicaShipper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  // Detach first: both setters block until an in-flight notification
+  // drains, so after they return no callback can touch this object.
+  primary_->SetEpochListener({});
+  primary_->log()->SetSealListener(nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReplicaShipper::ThreadMain() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                   [this] { return stop_ || dirty_; });
+      if (stop_) return;
+      dirty_ = false;
+    }
+    Status st = ShipPass();
+    if (!st.ok()) {
+      LOG_WARN << "replica shipper pass failed (will retry): "
+               << st.ToString();
+    }
+  }
+}
+
+Status ReplicaShipper::SyncNow() {
+  return ShipPass();
+}
+
+Status ReplicaShipper::ShipPass() {
+  std::lock_guard<std::mutex> pass_lock(pass_mu_);
+  // Pinning the committed epoch keeps its dir on disk for the whole pass,
+  // so staging can never race the primary's post-commit GC.
+  EpochPin pin = primary_->PinServing();
+  if (!pin.valid()) return Status::OK();  // not bootstrapped yet
+
+  std::vector<std::string> segments = primary_->log()->SealedSegmentPaths();
+  auto archived = ListFiles(JoinPath(primary_->log()->dir(), "archive"));
+  if (archived.ok()) {
+    for (const auto& path : *archived) {
+      if (IsDeltaLogSegmentFile(path)) segments.push_back(path);
+    }
+  }
+
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < followers_.size(); ++i) {
+    if (!follower_enabled(i)) continue;
+    FollowerReplica* f = followers_[i];
+    if (!f->open()) continue;
+    Status st = ShipToFollower(f, pin, segments);
+    if (!st.ok() && first_error.ok()) first_error = st;
+    uint64_t committed = primary_->committed_epoch();
+    uint64_t applied = f->applied_epoch();
+    f->SetLagEpochs(committed > applied ? committed - applied : 0);
+  }
+  return first_error;
+}
+
+Status ReplicaShipper::ShipToFollower(FollowerReplica* f, const EpochPin& pin,
+                                      const std::vector<std::string>& segments) {
+  // 1. Log shipping: land every sealed/archived segment the follower
+  // doesn't hold. A segment can be retired (renamed into archive/, or
+  // re-encoded as .lzd) between listing and copy — that install fails,
+  // and the next pass ships its archived form instead.
+  std::set<std::string> have = f->SegmentBasenames();
+  for (const auto& seg : segments) {
+    if (have.count(Basename(seg)) > 0) continue;
+    if (!FileExists(seg)) continue;
+    Status st = f->InstallSegment(seg, nullptr);
+    if (!st.ok()) {
+      LOG_WARN << "segment ship " << seg << " -> " << f->root()
+               << " failed (will retry): " << st.ToString();
+    }
+  }
+
+  // 2. Epoch shipping: only the primary's durably committed epoch is ever
+  // promoted at the follower.
+  if (!f->serving() || pin.epoch() > f->applied_epoch()) {
+    I2MR_RETURN_IF_ERROR(
+        f->StageEpoch(pin.epoch(), pin.watermark(), pin.dir(), nullptr));
+    I2MR_RETURN_IF_ERROR(f->PromoteStaged(pin.epoch(), pin.watermark()));
+  }
+
+  // 3. Trim shipped history the follower's applied epoch has consumed.
+  I2MR_RETURN_IF_ERROR(f->PurgeShippedBelow(f->applied_watermark()));
+
+  // 4. Pre-stage a newer staged-but-uncommitted epoch so the eventual
+  // commit is promoted with a rename instead of a copy. Best-effort: a
+  // barrier abort removes the staged dir, and the stale slot is simply
+  // discarded by the next real promotion.
+  uint64_t hint_epoch = 0;
+  std::string hint_dir;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hint_epoch = staged_hint_epoch_;
+    hint_dir = staged_hint_dir_;
+  }
+  if (hint_epoch > pin.epoch() && FileExists(hint_dir)) {
+    uint64_t e = 0, w = 0;
+    if (Pipeline::ReadEpochManifest(hint_dir, &e, &w).ok() && e == hint_epoch) {
+      f->StageEpoch(e, w, hint_dir, nullptr).ok();
+    }
+  }
+  return Status::OK();
+}
+
+void ReplicaShipper::SetFollowerEnabled(size_t i, bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_[i] = enabled;
+  dirty_ = true;
+  cv_.notify_all();
+}
+
+bool ReplicaShipper::follower_enabled(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_[i];
+}
+
+uint64_t ReplicaShipper::lag_epochs(size_t i) const {
+  uint64_t committed = primary_->committed_epoch();
+  uint64_t applied = followers_[i]->applied_epoch();
+  return committed > applied ? committed - applied : 0;
+}
+
+bool ReplicaShipper::IsStale(size_t i) const {
+  if (!follower_enabled(i)) return true;
+  FollowerReplica* f = followers_[i];
+  if (!f->open() || !f->serving()) return true;
+  return lag_epochs(i) > options_.max_replica_lag_epochs;
+}
+
+bool ReplicaShipper::IsCaughtUp(size_t i) const {
+  return !IsStale(i) && lag_epochs(i) == 0;
+}
+
+}  // namespace i2mr

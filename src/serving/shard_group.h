@@ -71,6 +71,7 @@ class ShardSnapshot {
 
  private:
   friend class ShardGroup;
+  friend class ReplicaSet;  // builds snapshots over primary+replica pins
 
   const ShardRouter* router_ = nullptr;
   ThreadPool* pool_ = nullptr;              // borrowed from the group

@@ -190,6 +190,10 @@ class ShardRouter {
   PipelineManager* manager(int i) const { return shards_[i]->manager.get(); }
   LocalCluster* cluster(int i) const { return shards_[i]->cluster.get(); }
   MetricsRegistry* metrics() const { return options_.metrics; }
+  /// Effective options (metrics defaulted, templates as applied). The
+  /// replication layer clones the pipeline/cost templates from here when
+  /// it promotes a follower into a primary.
+  const ShardRouterOptions& options() const { return options_; }
 
  private:
   struct Shard {

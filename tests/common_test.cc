@@ -462,6 +462,54 @@ TEST(MetricsRegistryTest, ConcurrentGetAndIncrementIsSafe) {
   EXPECT_EQ(registry.SumPrefixed("concurrent.t"), kThreads * kIters);
 }
 
+TEST(MetricsRegistryTest, UnregisterRemovesSeriesButCountersStayValid) {
+  MetricsRegistry registry;
+  Counter* r0 = registry.Get("serving.pr.shard0.replica0.reads");
+  Counter* r1 = registry.Get("serving.pr.shard0.replica0.lag");
+  Counter* keep = registry.Get("serving.pr.shard0.replica1.reads");
+  r0->Add(3);
+  r1->Add(2);
+  keep->Add(7);
+
+  EXPECT_EQ(registry.Unregister("serving.pr.shard0.replica0."), 2u);
+  // Gone from every visible surface...
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
+  EXPECT_EQ(registry.SumPrefixed("serving.pr.shard0.replica0."), 0);
+  EXPECT_EQ(registry.ToString("serving.pr.shard0.replica0").size(), 0u);
+  // ...but retired Counter* held by callers remain safe to use.
+  r0->Increment();
+  EXPECT_EQ(r0->value(), 4);
+  EXPECT_EQ(keep->value(), 7);
+  // Re-registering the name starts a fresh series.
+  EXPECT_EQ(registry.Get("serving.pr.shard0.replica0.reads")->value(), 0);
+  EXPECT_EQ(registry.Unregister("no.such.prefix."), 0u);
+}
+
+TEST(MetricsRegistryTest, ScopedMetricPrefixRetiresExactlyItsFamily) {
+  MetricsRegistry registry;
+  // "replica1" must not swallow "replica10" when it unregisters.
+  Counter* ten = registry.Get("serving.pr.shard0.replica10.reads");
+  ten->Add(5);
+  {
+    ScopedMetricPrefix scope(&registry, "serving.pr.shard0.replica1");
+    scope.Get("reads")->Add(3);
+    scope.Get("lag")->Add(1);
+    EXPECT_EQ(registry.SumPrefixed("serving.pr.shard0.replica1."), 4);
+  }
+  EXPECT_EQ(registry.SumPrefixed("serving.pr.shard0.replica1."), 0);
+  EXPECT_EQ(registry.Get("serving.pr.shard0.replica10.reads")->value(), 5);
+
+  // Move transfers ownership; Reset is idempotent.
+  ScopedMetricPrefix a(&registry, "serving.pr.shard0.replica2");
+  a.Get("reads")->Increment();
+  ScopedMetricPrefix b(std::move(a));
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  b.Reset();
+  b.Reset();
+  EXPECT_EQ(registry.SumPrefixed("serving.pr.shard0.replica2."), 0);
+}
+
 TEST(StatusTest, ResourceExhaustedCode) {
   Status st = Status::ResourceExhausted("tenant over quota");
   EXPECT_FALSE(st.ok());

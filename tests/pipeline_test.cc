@@ -316,6 +316,97 @@ TEST_F(DeltaLogTest, ArchivalMovesConsumedSegmentsInsteadOfUnlinking) {
   EXPECT_EQ((*reopened)->last_seq(), 10u);
 }
 
+TEST_F(DeltaLogTest, CompressedArchiveShipsAndReplaysTransparently) {
+  DeltaLogOptions options = SmallSegments();
+  options.archive_purged = true;
+  options.compress_archive = true;
+  auto log = DeltaLog::Open(dir_, options);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(AppendN(log->get(), 10).ok());
+  ASSERT_TRUE((*log)->PurgeThrough(8).ok());
+
+  // Retired segments were compacted + compressed into .lzd archives.
+  auto archived = ListFiles(JoinPath(dir_, "archive"));
+  ASSERT_TRUE(archived.ok());
+  ASSERT_EQ(archived->size(), 2u);
+  for (const auto& f : *archived) {
+    EXPECT_EQ(f.compare(f.size() - 4, 4, ".lzd"), 0) << f;
+    EXPECT_TRUE(IsDeltaLogSegmentFile(f)) << f;
+    EXPECT_GT(DeltaLogSegmentFirstSeq(f), 0u) << f;
+  }
+  ASSERT_TRUE((*log)->Close().ok());
+
+  // A follower-style replay dir: shipped .lzd archives sitting in the log
+  // dir are scanned transparently; a fresh active segment opens past the
+  // compressed tail and the sequence continues.
+  std::string replay = dir_ + "_replay";
+  ASSERT_TRUE(ResetDir(replay).ok());
+  for (const auto& f : *archived) {
+    ASSERT_TRUE(
+        CopyFile(f, JoinPath(replay, f.substr(f.find_last_of('/') + 1))).ok());
+  }
+  auto follower = DeltaLog::Open(replay, options);
+  ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+  EXPECT_EQ((*follower)->recovery_stats().records, 8u);
+  EXPECT_EQ((*follower)->last_seq(), 8u);
+  auto all = (*follower)->ReadRange(0, UINT64_MAX);
+  ASSERT_EQ(all.size(), 8u);
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].seq, i + 1);
+  auto seq = (*follower)->Append(DeltaKV{DeltaOp::kInsert, "x", "y"});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 9u);
+  ASSERT_TRUE((*follower)->Close().ok());
+
+  // A corrupted compressed archive is a hard failure, never a silent
+  // truncation (only a raw active tail may be torn).
+  auto files = ListFiles(replay);
+  ASSERT_TRUE(files.ok());
+  std::string victim;
+  for (const auto& f : *files) {
+    if (f.size() > 4 && f.compare(f.size() - 4, 4, ".lzd") == 0) victim = f;
+  }
+  ASSERT_FALSE(victim.empty());
+  auto bytes = ReadFileToString(victim);
+  ASSERT_TRUE(bytes.ok());
+  std::string mangled = *bytes;
+  mangled[mangled.size() / 2] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFile(victim, mangled).ok());
+  EXPECT_FALSE(DeltaLog::Open(replay, options).ok());
+}
+
+TEST_F(DeltaLogTest, MmapRecoveryScanMatchesStreamingAndHandlesTornTail) {
+  DeltaLogOptions options = SmallSegments();
+  options.mmap_scan_bytes = 1;  // force the mmap path for every segment
+  {
+    auto log = DeltaLog::Open(dir_, options);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(AppendN(log->get(), 10).ok());
+    ASSERT_TRUE((*log)->Close().ok());
+  }
+  auto log = DeltaLog::Open(dir_, options);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ((*log)->recovery_stats().records, 10u);
+  auto all = (*log)->ReadRange(0, UINT64_MAX);
+  ASSERT_EQ(all.size(), 10u);
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].seq, i + 1);
+
+  // Torn active tail under the mmap scan: the mapping is released before
+  // the truncate, the torn frame is discarded, appends continue.
+  std::string active = (*log)->path();
+  ASSERT_TRUE((*log)->Close().ok());
+  auto data = ReadFileToString(active);
+  ASSERT_TRUE(data.ok());
+  ASSERT_FALSE(data->empty());
+  ASSERT_TRUE(WriteStringToFile(active, data->substr(0, data->size() - 5)).ok());
+  auto torn = DeltaLog::Open(dir_, options);
+  ASSERT_TRUE(torn.ok()) << torn.status().ToString();
+  EXPECT_EQ((*torn)->recovery_stats().records, 9u);
+  EXPECT_GT((*torn)->recovery_stats().discarded_bytes, 0u);
+  auto seq = (*torn)->Append(DeltaKV{DeltaOp::kInsert, "x", "y"});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 10u);
+}
+
 TEST_F(DeltaLogTest, CrashBetweenSealAndNewSegmentLosesNothing) {
   {
     // 90-byte threshold: the third 32-byte frame crosses it.

@@ -27,10 +27,10 @@ import json
 import sys
 
 
-def load(path, key):
+def load(path, key, results_key):
     with open(path) as f:
         data = json.load(f)
-    return data, {r[key]: r for r in data.get("results", []) if key in r}
+    return data, {r[key]: r for r in data.get(results_key, []) if key in r}
 
 
 def metric_value(data, rate_entry, metric, absolute):
@@ -54,7 +54,12 @@ def main():
         "--key", default="delta_rate",
         help="result field identifying comparable entries "
              "(delta_rate for the pipeline bench, shards for the serving "
-             "bench)")
+             "bench, replicas for the replica scaling section)")
+    parser.add_argument(
+        "--results-key", default="results",
+        help="top-level array holding the result entries (a bench file may "
+             "carry several sections, e.g. BENCH_serving.json's 'results' "
+             "and 'replica_results')")
     parser.add_argument(
         "--metric", default="mean_epoch_ms",
         help="per-entry metric to compare (default: mean_epoch_ms)")
@@ -63,8 +68,8 @@ def main():
         help="compare raw values instead of normalizing by full_recompute_ms")
     args = parser.parse_args()
 
-    baseline_data, baseline = load(args.baseline, args.key)
-    current_data, current = load(args.current, args.key)
+    baseline_data, baseline = load(args.baseline, args.key, args.results_key)
+    current_data, current = load(args.current, args.key, args.results_key)
     shared = sorted(set(baseline) & set(current))
     if not shared:
         print(f"check_bench_regression: no shared '{args.key}' entries "
