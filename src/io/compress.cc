@@ -1,5 +1,6 @@
 #include "io/compress.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -79,7 +80,12 @@ Status LzDecompress(std::string_view in, std::string* out) {
     return Status::Corruption("compressed frame claims implausible size");
   }
   const size_t base = out->size();
-  out->reserve(base + raw_len);
+  // The declared size is unauthenticated: reserve only what this input
+  // could plausibly need and let genuinely high-ratio (RLE-heavy) frames
+  // grow as their tokens validate, so a single corrupt header can't
+  // trigger a multi-GiB allocation during recovery or shipping.
+  out->reserve(base + static_cast<size_t>(std::min<uint64_t>(
+                          raw_len, in.size() * 4 + (64u << 10))));
   size_t pos = kHeader;
   while (pos < in.size()) {
     uint8_t token = static_cast<uint8_t>(in[pos++]);
@@ -89,6 +95,9 @@ Status LzDecompress(std::string_view in, std::string* out) {
       pos += 4;
       if (len == 0 || in.size() - pos < len) {
         return Status::Corruption("torn literal run");
+      }
+      if (out->size() - base + len > raw_len) {
+        return Status::Corruption("compressed frame overruns declared size");
       }
       out->append(in.data() + pos, len);
       pos += len;
@@ -101,14 +110,16 @@ Status LzDecompress(std::string_view in, std::string* out) {
       if (dist == 0 || len == 0 || dist > have) {
         return Status::Corruption("match outside decoded window");
       }
+      // Overrun is checked before expanding (not after), so a corrupt
+      // match length can't balloon the buffer past the declared size.
+      if (out->size() - base + len > raw_len) {
+        return Status::Corruption("compressed frame overruns declared size");
+      }
       // Byte-at-a-time: a match may overlap its own output (RLE-style).
       size_t from = out->size() - dist;
       for (uint32_t i = 0; i < len; ++i) out->push_back((*out)[from + i]);
     } else {
       return Status::Corruption("unknown compression token");
-    }
-    if (out->size() - base > raw_len) {
-      return Status::Corruption("compressed frame overruns declared size");
     }
   }
   if (out->size() - base != raw_len) {

@@ -98,6 +98,10 @@ bool IsDeltaLogSegmentFile(const std::string& path) {
   return IsSegmentPath(path);
 }
 
+bool IsCompressedDeltaLogSegmentFile(const std::string& path) {
+  return IsCompressedSegmentPath(path);
+}
+
 uint64_t DeltaLogSegmentFirstSeq(const std::string& path) {
   if (!IsSegmentPath(path)) return 0;
   std::string base = Basename(path);

@@ -253,6 +253,9 @@ std::string DeltaLogSegmentName(uint64_t first_seq);
 /// compressed archive ("seg-*.lzd").
 bool IsDeltaLogSegmentFile(const std::string& path);
 
+/// True for the compressed-archive form ("seg-*.lzd") specifically.
+bool IsCompressedDeltaLogSegmentFile(const std::string& path);
+
 /// First sequence number encoded in a segment file name (0 when `path` is
 /// not a segment file).
 uint64_t DeltaLogSegmentFirstSeq(const std::string& path);

@@ -120,6 +120,26 @@ Status FollowerReplica::Open() {
   staged_valid_ = false;
   staged_epoch_ = 0;
   staged_watermark_ = 0;
+  ++open_gen_;
+
+  // Self-heal twin segment files (raw `seg-X.dat` alongside its compressed
+  // `seg-X.lzd` re-encoding): both cover the same seq span, and a promoted
+  // pipeline's recovery scan would reject the pair as a sequence
+  // regression. Keep the compressed form — the primary's retained one.
+  auto log_files = ListFiles(LogDir());
+  if (!log_files.ok()) return log_files.status();
+  std::set<uint64_t> compressed_seqs;
+  for (const auto& e : *log_files) {
+    if (IsDeltaLogSegmentFile(e) && IsCompressedDeltaLogSegmentFile(e)) {
+      compressed_seqs.insert(DeltaLogSegmentFirstSeq(e));
+    }
+  }
+  for (const auto& e : *log_files) {
+    if (IsDeltaLogSegmentFile(e) && !IsCompressedDeltaLogSegmentFile(e) &&
+        compressed_seqs.count(DeltaLogSegmentFirstSeq(e)) > 0) {
+      I2MR_RETURN_IF_ERROR(RemoveAll(e));
+    }
+  }
 
   if (FileExists(CurrentPath())) {
     auto current = ReadFileToString(CurrentPath());
@@ -198,18 +218,32 @@ Status FollowerReplica::VerifyEpochDir(const std::string& dir,
 Status FollowerReplica::StageEpoch(uint64_t epoch, uint64_t watermark,
                                    const std::string& src_dir,
                                    uint64_t* shipped_bytes) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!open_) return Status::FailedPrecondition("replica closed");
-  if (store_ != nullptr && epoch <= applied_epoch_) return Status::OK();
-  if (staged_valid_ && staged_epoch_ == epoch &&
-      staged_watermark_ == watermark) {
-    return Status::OK();  // already staged and verified
+  // The tree copy + CRC scans below take seconds for a large epoch, and
+  // PinServing (called by the routing layer under its own lock) waits on
+  // mu_ — so the heavy work runs unlocked. Staging itself needs no mutual
+  // exclusion: shipper-side calls are serialized by the shipper's pass
+  // lock; mu_ only guards the bookkeeping reads and the final publish.
+  uint64_t gen = 0;
+  std::string stale_slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_) return Status::FailedPrecondition("replica closed");
+    if (store_ != nullptr && epoch <= applied_epoch_) return Status::OK();
+    if (staged_valid_ && staged_epoch_ == epoch &&
+        staged_watermark_ == watermark) {
+      return Status::OK();  // already staged and verified
+    }
+    if (staged_valid_) {
+      stale_slot = StageDir(staged_epoch_);
+      staged_valid_ = false;
+      staged_epoch_ = 0;
+      staged_watermark_ = 0;
+    }
+    gen = open_gen_;
   }
   // Drop a stale slot for a different (epoch, watermark).
-  if (staged_valid_) {
-    I2MR_RETURN_IF_ERROR(RemoveAll(StageDir(staged_epoch_)));
-    staged_valid_ = false;
-  }
+  if (!stale_slot.empty()) I2MR_RETURN_IF_ERROR(RemoveAll(stale_slot));
+
   std::string slot = StageDir(epoch);
   auto bytes = CopyTreeCounted(src_dir, slot);
   if (!bytes.ok()) {
@@ -222,11 +256,28 @@ Status FollowerReplica::StageEpoch(uint64_t epoch, uint64_t watermark,
     return verified;
   }
   if (options_.durability == DurabilityMode::kPowerFailure) {
-    I2MR_RETURN_IF_ERROR(SyncDir(PipelineDir()));
+    Status synced = SyncDir(PipelineDir());
+    if (!synced.ok()) {
+      RemoveAll(slot).ok();
+      return synced;
+    }
   }
-  staged_valid_ = true;
-  staged_epoch_ = epoch;
-  staged_watermark_ = watermark;
+  bool published = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A Close()/Open() cycle while the copy ran already wiped in-flight
+    // .ship slots; don't resurrect bookkeeping for a dir Open() deleted.
+    if (open_ && open_gen_ == gen) {
+      staged_valid_ = true;
+      staged_epoch_ = epoch;
+      staged_watermark_ = watermark;
+      published = true;
+    }
+  }
+  if (!published) {
+    RemoveAll(slot).ok();
+    return Status::FailedPrecondition("replica closed during staging");
+  }
   shipped_bytes_->Add(static_cast<int64_t>(*bytes));
   if (shipped_bytes != nullptr) *shipped_bytes += *bytes;
   return Status::OK();
@@ -319,6 +370,20 @@ Status FollowerReplica::InstallSegment(const std::string& src_path,
   std::string tmp = dst + ".tmp";
   I2MR_RETURN_IF_ERROR(CopyFile(src_path, tmp));
   I2MR_RETURN_IF_ERROR(RenameFile(tmp, dst));
+  // Drop any twin holding the same seq span under the other encoding (raw
+  // .dat vs compressed .lzd): recovery over a promoted root scans every
+  // segment file, and a duplicated span reads as a sequence regression.
+  uint64_t first_seq = DeltaLogSegmentFirstSeq(dst);
+  auto entries = ListFiles(LogDir());
+  if (entries.ok()) {
+    for (const auto& e : *entries) {
+      if (Basename(e) == Basename(dst)) continue;
+      if (IsDeltaLogSegmentFile(e) &&
+          DeltaLogSegmentFirstSeq(e) == first_seq) {
+        I2MR_RETURN_IF_ERROR(RemoveAll(e));
+      }
+    }
+  }
   if (options_.durability == DurabilityMode::kPowerFailure) {
     I2MR_RETURN_IF_ERROR(SyncFile(dst));
     I2MR_RETURN_IF_ERROR(SyncDir(LogDir()));
@@ -334,6 +399,16 @@ std::set<std::string> FollowerReplica::SegmentBasenames() const {
   if (!entries.ok()) return out;
   for (const auto& e : *entries) {
     if (IsDeltaLogSegmentFile(e)) out.insert(Basename(e));
+  }
+  return out;
+}
+
+std::set<uint64_t> FollowerReplica::SegmentFirstSeqs() const {
+  std::set<uint64_t> out;
+  auto entries = ListFiles(LogDir());
+  if (!entries.ok()) return out;
+  for (const auto& e : *entries) {
+    if (IsDeltaLogSegmentFile(e)) out.insert(DeltaLogSegmentFirstSeq(e));
   }
   return out;
 }

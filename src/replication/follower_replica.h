@@ -99,12 +99,20 @@ class FollowerReplica {
   Status DiscardStaged();
 
   /// Copy one sealed/archived segment file into the replica's log dir
-  /// (idempotent: already-present same-size files are skipped). Adds the
-  /// bytes copied to *shipped_bytes (may be null).
+  /// (idempotent: already-present same-size files are skipped). A segment's
+  /// identity is its first sequence number, not its filename: installing
+  /// one form (raw `seg-X.dat` vs compressed `seg-X.lzd`) removes the
+  /// other, so recovery over the root never sees the same seq span twice.
+  /// Adds the bytes copied to *shipped_bytes (may be null).
   Status InstallSegment(const std::string& src_path, uint64_t* shipped_bytes);
 
   /// Basenames of segment files currently held in the replica's log dir.
   std::set<std::string> SegmentBasenames() const;
+
+  /// First sequence numbers of the held segment files — the dedup key a
+  /// shipper must use (the primary re-encodes raw segments as compressed
+  /// archives; both forms cover the same records).
+  std::set<uint64_t> SegmentFirstSeqs() const;
 
   /// Compact retained history: durably advance the replica's PURGE mark to
   /// `watermark` and delete shipped segments that are fully below it (the
@@ -168,6 +176,7 @@ class FollowerReplica {
 
   mutable std::mutex mu_;
   bool open_ = false;
+  uint64_t open_gen_ = 0;  // bumped by Open(): invalidates in-flight stages
   uint64_t applied_epoch_ = 0;
   uint64_t applied_watermark_ = 0;
   bool staged_valid_ = false;       // a verified slot is waiting

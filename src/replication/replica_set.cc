@@ -263,26 +263,25 @@ Status ReplicaSet::SyncAll() {
 }
 
 Status ReplicaSet::KillReplica(int shard, int i) {
-  ReplicaShipper* shipper = nullptr;
-  int idx = -1;
   FollowerReplica* f = nullptr;
   {
     std::lock_guard<std::mutex> lock(route_mu_);
     ShardState& st = *shards_[shard];
     st.enabled[i] = false;
-    shipper = st.shipper.get();
-    idx = st.shipper_idx[i];
+    // Toggle while still holding route_mu_: Promote's StartShipper swaps
+    // st.shipper, so a pointer captured here can dangle once the lock
+    // drops. SetFollowerEnabled only flips a flag — no joins under lock.
+    if (st.shipper != nullptr && st.shipper_idx[i] >= 0) {
+      st.shipper->SetFollowerEnabled(st.shipper_idx[i], false);
+    }
     f = st.followers[i].get();
   }
-  if (shipper != nullptr && idx >= 0) shipper->SetFollowerEnabled(idx, false);
   f->Close();
   return Status::OK();
 }
 
 Status ReplicaSet::RestartReplica(int shard, int i) {
   FollowerReplica* f = nullptr;
-  ReplicaShipper* shipper = nullptr;
-  int idx = -1;
   {
     std::lock_guard<std::mutex> lock(route_mu_);
     ShardState& st = *shards_[shard];
@@ -290,15 +289,18 @@ Status ReplicaSet::RestartReplica(int shard, int i) {
       return Status::FailedPrecondition("replica was promoted to primary");
     }
     f = st.followers[i].get();
-    shipper = st.shipper.get();
-    idx = st.shipper_idx[i];
   }
-  I2MR_RETURN_IF_ERROR(f->Open());
+  I2MR_RETURN_IF_ERROR(f->Open());  // disk recovery: not under route_mu_
   {
     std::lock_guard<std::mutex> lock(route_mu_);
-    shards_[shard]->enabled[i] = true;
+    ShardState& st = *shards_[shard];
+    st.enabled[i] = true;
+    // Re-read st.shipper under the lock: a concurrent Promote may have
+    // replaced it (and the follower's index within it) since f->Open().
+    if (st.shipper != nullptr && st.shipper_idx[i] >= 0) {
+      st.shipper->SetFollowerEnabled(st.shipper_idx[i], true);
+    }
   }
-  if (shipper != nullptr && idx >= 0) shipper->SetFollowerEnabled(idx, true);
   return Status::OK();
 }
 
@@ -309,19 +311,30 @@ Status ReplicaSet::KillPrimary(int shard) {
         "router");
   }
   ReplicaShipper* shipper = nullptr;
+  PipelineManager* manager = nullptr;
   {
     std::lock_guard<std::mutex> lock(route_mu_);
     ShardState& st = *shards_[shard];
     if (st.dead) return Status::OK();
+    if (st.transitioning) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) + " failover is in progress");
+    }
+    st.transitioning = true;
     st.dead = true;
     shipper = st.shipper.get();
+    manager = st.promoted_manager != nullptr ? st.promoted_manager.get()
+                                             : router_->manager(shard);
   }
   // Outside route_mu_: both stops join threads / wait out in-flight work.
+  // The captured pointers stay valid: Promote (the only code that replaces
+  // them) refuses to start while `transitioning` is held.
   shipper->Stop();
-  PipelineManager* manager = shards_[shard]->promoted_manager != nullptr
-                                 ? shards_[shard]->promoted_manager.get()
-                                 : router_->manager(shard);
   manager->Stop();
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    shards_[shard]->transitioning = false;
+  }
   return Status::OK();
 }
 
@@ -343,6 +356,11 @@ StatusOr<int> ReplicaSet::Promote(int shard) {
     if (!st.dead) {
       return Status::FailedPrecondition("shard primary is alive");
     }
+    if (st.transitioning) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(shard) +
+          " promotion is already in progress");
+    }
     uint64_t best_epoch = 0;
     for (size_t i = 0; i < st.followers.size(); ++i) {
       const FollowerReplica* f = st.followers[i].get();
@@ -356,7 +374,22 @@ StatusOr<int> ReplicaSet::Promote(int shard) {
       return Status::FailedPrecondition(
           "no caught-up replica available to promote");
     }
+    st.transitioning = true;
   }
+  // Everything below runs unlocked (verification + recovery take seconds);
+  // `transitioning` keeps a second Promote — or a racing KillPrimary —
+  // from touching the same follower root or shipper until we finish. The
+  // guard clears the flag on every exit path, success included: after the
+  // cutover st.dead is false again, so a late second Promote fails the
+  // liveness check instead.
+  struct TransitionGuard {
+    ReplicaSet* set;
+    ShardState* st;
+    ~TransitionGuard() {
+      std::lock_guard<std::mutex> lock(set->route_mu_);
+      st->transitioning = false;
+    }
+  } guard{this, &st};
   FollowerReplica* f = st.followers[best].get();
 
   // A/B promotion: drop any epoch the dead primary staged but never

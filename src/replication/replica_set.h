@@ -162,6 +162,12 @@ class ReplicaSet {
   struct ShardState {
     Pipeline* primary = nullptr;  // router's shard, or promoted_manager's
     bool dead = false;
+    /// A KillPrimary/Promote transition is in flight (set/cleared under
+    /// route_mu_). Serializes failover steps that must run outside the
+    /// lock: concurrent promotions of one shard would both open a pipeline
+    /// over the chosen follower's root, and a promotion racing KillPrimary
+    /// could swap st.shipper out from under the Stop() in progress.
+    bool transitioning = false;
     int promoted_replica = -1;
     std::vector<std::unique_ptr<FollowerReplica>> followers;
     std::vector<bool> enabled;

@@ -5,16 +5,9 @@
 
 #include "common/logging.h"
 #include "io/env.h"
+#include "pipeline/delta_log.h"
 
 namespace i2mr {
-namespace {
-
-std::string Basename(const std::string& path) {
-  size_t slash = path.find_last_of('/');
-  return slash == std::string::npos ? path : path.substr(slash + 1);
-}
-
-}  // namespace
 
 ReplicaShipper::ReplicaShipper(Pipeline* primary,
                                std::vector<FollowerReplica*> followers,
@@ -129,13 +122,20 @@ Status ReplicaShipper::ShipToFollower(FollowerReplica* f, const EpochPin& pin,
   // 1. Log shipping: land every sealed/archived segment the follower
   // doesn't hold. A segment can be retired (renamed into archive/, or
   // re-encoded as .lzd) between listing and copy — that install fails,
-  // and the next pass ships its archived form instead.
-  std::set<std::string> have = f->SegmentBasenames();
+  // and the next pass ships its archived form instead. Dedup is by first
+  // sequence number, not filename: the primary re-encodes a raw sealed
+  // `seg-X.dat` as `archive/seg-X.lzd` once it's consumed, and a follower
+  // that kept the earlier raw copy already holds those records — shipping
+  // the compressed twin too would make a later promotion's recovery scan
+  // see the same seq span twice and fail as a sequence regression.
+  std::set<uint64_t> have = f->SegmentFirstSeqs();
   for (const auto& seg : segments) {
-    if (have.count(Basename(seg)) > 0) continue;
+    if (have.count(DeltaLogSegmentFirstSeq(seg)) > 0) continue;
     if (!FileExists(seg)) continue;
     Status st = f->InstallSegment(seg, nullptr);
-    if (!st.ok()) {
+    if (st.ok()) {
+      have.insert(DeltaLogSegmentFirstSeq(seg));
+    } else {
       LOG_WARN << "segment ship " << seg << " -> " << f->root()
                << " failed (will retry): " << st.ToString();
     }

@@ -257,6 +257,23 @@ TEST_F(IoTest, LzDecompressRejectsCorruption) {
   EXPECT_TRUE(!st.ok() || got != raw);
 }
 
+TEST_F(IoTest, LzCorruptHeaderLengthFailsWithoutHugeAllocation) {
+  std::string raw;
+  for (int i = 0; i < 300; ++i) raw += "abcdefgh-" + std::to_string(i);
+  std::string compressed;
+  LzCompress(raw, &compressed);
+  // Corrupt the declared raw length to ~4 GiB. The decoder must fail with
+  // Corruption once the real tokens run out — without having reserved the
+  // declared size up front (a single flipped header on an archived segment
+  // must not turn recovery/shipping into a multi-GiB allocation).
+  for (int i = 0; i < 4; ++i) compressed[4 + i] = static_cast<char>(0xff);
+  for (int i = 4; i < 8; ++i) compressed[4 + i] = 0;
+  std::string out;
+  Status st = LzDecompress(compressed, &out);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_LT(out.capacity(), 16u << 20);
+}
+
 // ---------------------------------------------------------------------------
 // Record files
 // ---------------------------------------------------------------------------

@@ -16,7 +16,9 @@
 
 #include "apps/pagerank.h"
 #include "data/graph_gen.h"
+#include "io/compress.h"
 #include "io/env.h"
+#include "pipeline/delta_log.h"
 #include "replication/replica_set.h"
 #include "serving/shard_router.h"
 
@@ -180,6 +182,77 @@ TEST_F(ReplicationTest, ShipsCompressedArchiveSegmentsTransparently) {
   auto refs = ShardReferences(**router, graph);
   auto served = (*set)->primary(0)->ServingSnapshot();
   EXPECT_LT(pagerank::MeanError(served, refs[0]), 1e-3);
+}
+
+TEST_F(ReplicationTest, ArchivedTwinOfShippedRawSegmentNeverBlocksPromotion) {
+  GraphGenOptions gen;
+  gen.num_vertices = 120;
+  gen.avg_degree = 4;
+  auto graph = GenGraph(gen);
+
+  ShardRouterOptions options = PageRankShards(2);
+  options.pipeline.log.segment_bytes = 2 << 10;  // rotate often
+  auto router = ShardRouter::Open(root_, "pr", options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  ASSERT_TRUE((*router)->Bootstrap(graph, UnitState(graph)).ok());
+
+  ReplicaSetOptions ro;
+  ro.replicas_per_shard = 1;
+  auto set = ReplicaSet::Open(router->get(), replicas_, ro);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_TRUE((*set)->SyncAll().ok());
+
+  // Seal fresh raw segments past the follower's applied watermark and ship
+  // them. No drain: the follower holds the raw records but never applies a
+  // newer epoch, so its purge mark can't retire them — the lagging
+  // follower failover exists for.
+  for (int round = 0; round < 8; ++round) {
+    AppendDelta(router->get(), &graph, gen, 77 + round);
+  }
+  ASSERT_TRUE((*set)->SyncAll().ok());
+  ASSERT_TRUE((*set)->KillPrimary(0).ok());
+
+  // Emulate the primary having archived those same spans as compressed
+  // `.lzd` twins before dying (the shipper's first-seq dedup normally
+  // skips them; a direct install must replace — never duplicate — the raw
+  // copy, since both cover the same seq range and a promoted root's
+  // recovery scan rejects a duplicated span as a sequence regression).
+  FollowerReplica* f = (*set)->replica(0, 0);
+  auto held = ListFiles(f->LogDir());
+  ASSERT_TRUE(held.ok());
+  std::string scratch = root_ + "_twin_scratch";
+  ASSERT_TRUE(ResetDir(scratch).ok());
+  int twins = 0;
+  for (const auto& seg : *held) {
+    if (!IsDeltaLogSegmentFile(seg) || IsCompressedDeltaLogSegmentFile(seg)) {
+      continue;
+    }
+    auto raw = ReadFileToString(seg);
+    ASSERT_TRUE(raw.ok());
+    std::string compressed;
+    LzCompress(*raw, &compressed);
+    std::string base = seg.substr(seg.find_last_of('/') + 1);
+    std::string lzd =
+        JoinPath(scratch, base.substr(0, base.size() - 4) + ".lzd");
+    ASSERT_TRUE(WriteStringToFile(lzd, compressed, false).ok());
+    ASSERT_TRUE(f->InstallSegment(lzd, nullptr).ok()) << lzd;
+    ++twins;
+  }
+  ASSERT_GT(twins, 0) << "no raw shipped segment to re-encode";
+  EXPECT_EQ(f->SegmentBasenames().size(), f->SegmentFirstSeqs().size())
+      << "follower holds twin raw+compressed copies of a segment";
+
+  // The promoted pipeline's recovery scans every held segment file; with
+  // exactly one form per span it replays the shipped backlog cleanly.
+  uint64_t pre_crash_applied = f->applied_epoch();
+  auto promoted = (*set)->Promote(0);
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ((*set)->primary(0)->committed_epoch(), pre_crash_applied);
+  for (const auto& kv : graph) {
+    if ((*router)->ShardOf(kv.key) != 0) continue;
+    EXPECT_TRUE((*set)->Get(kv.key).ok());
+    break;
+  }
 }
 
 // ---------------------------------------------------------------------------
