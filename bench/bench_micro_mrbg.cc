@@ -58,6 +58,9 @@ void BM_ApplyDelta(benchmark::State& state) {
 }
 BENCHMARK(BM_ApplyDelta)->Arg(8)->Arg(64)->Arg(512);
 
+/// range(0) = ReadMode, range(1) = layout (0 raw / 1 log-structured), so
+/// every store benchmark reports the paper-parity raw layout and the
+/// engine-default segmented layout side by side.
 class StoreFixture : public benchmark::Fixture {
  public:
   void SetUp(const benchmark::State& state) override {
@@ -65,6 +68,7 @@ class StoreFixture : public benchmark::Fixture {
     RemoveAll(dir_).ok();
     MRBGStoreOptions options;
     options.read_mode = static_cast<ReadMode>(state.range(0));
+    options.log_structured = state.range(1) != 0;
     auto s = MRBGStore::Open(dir_, options);
     store_ = std::move(s.value());
     // Two batches of 2000 chunks.
@@ -84,6 +88,11 @@ class StoreFixture : public benchmark::Fixture {
     RemoveAll(dir_).ok();
   }
 
+  static std::string Label(const benchmark::State& state) {
+    return std::string(ReadModeName(static_cast<ReadMode>(state.range(0)))) +
+           (state.range(1) != 0 ? "/log-structured" : "/raw");
+  }
+
  protected:
   std::string dir_;
   std::unique_ptr<MRBGStore> store_;
@@ -99,13 +108,17 @@ BENCHMARK_DEFINE_F(StoreFixture, QuerySweep)(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations() * keys_.size());
-  state.SetLabel(ReadModeName(static_cast<ReadMode>(state.range(0))));
+  state.SetLabel(Label(state));
 }
 BENCHMARK_REGISTER_F(StoreFixture, QuerySweep)
-    ->Arg(static_cast<int>(ReadMode::kIndexOnly))
-    ->Arg(static_cast<int>(ReadMode::kSingleFixedWindow))
-    ->Arg(static_cast<int>(ReadMode::kMultiFixedWindow))
-    ->Arg(static_cast<int>(ReadMode::kMultiDynamicWindow));
+    ->Args({static_cast<int>(ReadMode::kIndexOnly), 0})
+    ->Args({static_cast<int>(ReadMode::kSingleFixedWindow), 0})
+    ->Args({static_cast<int>(ReadMode::kMultiFixedWindow), 0})
+    ->Args({static_cast<int>(ReadMode::kMultiDynamicWindow), 0})
+    ->Args({static_cast<int>(ReadMode::kIndexOnly), 1})
+    ->Args({static_cast<int>(ReadMode::kSingleFixedWindow), 1})
+    ->Args({static_cast<int>(ReadMode::kMultiFixedWindow), 1})
+    ->Args({static_cast<int>(ReadMode::kMultiDynamicWindow), 1});
 
 BENCHMARK_DEFINE_F(StoreFixture, MergeGroups)(benchmark::State& state) {
   for (auto _ : state) {
@@ -119,11 +132,13 @@ BENCHMARK_DEFINE_F(StoreFixture, MergeGroups)(benchmark::State& state) {
     store_->FinishBatch();
   }
   state.SetItemsProcessed(state.iterations() * keys_.size());
-  state.SetLabel(ReadModeName(static_cast<ReadMode>(state.range(0))));
+  state.SetLabel(Label(state));
 }
 BENCHMARK_REGISTER_F(StoreFixture, MergeGroups)
-    ->Arg(static_cast<int>(ReadMode::kIndexOnly))
-    ->Arg(static_cast<int>(ReadMode::kMultiDynamicWindow));
+    ->Args({static_cast<int>(ReadMode::kIndexOnly), 0})
+    ->Args({static_cast<int>(ReadMode::kMultiDynamicWindow), 0})
+    ->Args({static_cast<int>(ReadMode::kIndexOnly), 1})
+    ->Args({static_cast<int>(ReadMode::kMultiDynamicWindow), 1});
 
 BENCHMARK_DEFINE_F(StoreFixture, Compact)(benchmark::State& state) {
   for (auto _ : state) {
@@ -136,9 +151,11 @@ BENCHMARK_DEFINE_F(StoreFixture, Compact)(benchmark::State& state) {
     state.ResumeTiming();
     store_->Compact();
   }
+  state.SetLabel(Label(state));
 }
 BENCHMARK_REGISTER_F(StoreFixture, Compact)
-    ->Arg(static_cast<int>(ReadMode::kMultiDynamicWindow))
+    ->Args({static_cast<int>(ReadMode::kMultiDynamicWindow), 0})
+    ->Args({static_cast<int>(ReadMode::kMultiDynamicWindow), 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,197 @@
+// Long-history soak for the log-structured MRBG store: hundreds of pipeline
+// epochs at a small, fixed delta rate. Without compaction the store
+// accumulates one sorted batch per refresh and merge cost grows with
+// epoch-history length; with the segmented log + background compaction it
+// must stay flat. The bench asserts that (and that segment files and file
+// descriptors do not leak), exits non-zero on violation, and emits
+// BENCH_soak.json for the nightly CI artifact.
+//
+// Runs ~2 minutes at default scale; the nightly job runs it as-is, and
+// I2MR_SOAK_EPOCHS can raise the epoch count for manual deep soaks.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "bench_util.h"
+#include "data/graph_gen.h"
+#include "io/env.h"
+#include "mr/cluster.h"
+#include "pipeline/pipeline.h"
+
+using namespace i2mr;
+
+namespace {
+
+/// Open file descriptors of this process (leak canary).
+int CountOpenFds() {
+  std::error_code ec;
+  int n = 0;
+  for (auto it = std::filesystem::directory_iterator("/proc/self/fd", ec);
+       !ec && it != std::filesystem::end(it); it.increment(ec)) {
+    ++n;
+  }
+  return n;
+}
+
+/// MRBG segment files anywhere under `root` (engine dirs + linked epoch
+/// snapshots). Epoch GC unlinks old snapshots and compaction unlinks
+/// victims, so this must plateau instead of growing with epoch count.
+int CountSegmentFiles(const std::string& root) {
+  std::error_code ec;
+  int n = 0;
+  for (auto it = std::filesystem::recursive_directory_iterator(root, ec);
+       !ec && it != std::filesystem::end(it); it.increment(ec)) {
+    if (it->is_regular_file(ec) &&
+        it->path().filename().string().rfind("seg-", 0) == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double Mean(const std::vector<double>& v, size_t begin, size_t end) {
+  double sum = 0;
+  size_t n = 0;
+  for (size_t i = begin; i < end && i < v.size(); ++i, ++n) sum += v[i];
+  return n > 0 ? sum / n : 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("MRBG soak: merge cost vs epoch-history length");
+
+  int epochs = 120;
+  if (const char* e = std::getenv("I2MR_SOAK_EPOCHS")) {
+    int v = std::atoi(e);
+    if (v > 0) epochs = v;
+  }
+  const double kDeltaRate = 0.02;
+  const std::string root = bench::BenchRoot("soak_mrbg");
+
+  GraphGenOptions gen;
+  gen.num_vertices = bench::ScaledInt(1500);
+  gen.avg_degree = 6;
+  auto graph = GenGraph(gen);
+
+  LocalCluster cluster(root, bench::Workers(), bench::PaperCosts());
+  PipelineOptions options;
+  options.spec = pagerank::MakeIterSpec("soak", bench::Workers(), 50, 1e-5);
+  options.engine.filter_threshold = 0.1;
+  auto pipeline = Pipeline::Open(&cluster, "soak", options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "open: %s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+  if (!(*pipeline)->Bootstrap(graph, bench::UnitState(graph)).ok()) return 1;
+
+  std::printf("graph: %zu pages | %d epochs at delta rate %.2f\n\n",
+              graph.size(), epochs, kDeltaRate);
+  std::printf("%-8s %-12s %-12s %-12s %-10s %s\n", "epoch", "refresh ms",
+              "merge ms", "reduce ms", "segments", "fds");
+
+  std::vector<double> merge_ms, reduce_ms, refresh_ms;
+  int fds_baseline = 0, segs_baseline = 0;
+  uint64_t delta_seed = 5000;
+  for (int e = 1; e <= epochs; ++e) {
+    GraphDeltaOptions dopt;
+    dopt.update_fraction = kDeltaRate;
+    dopt.seed = delta_seed++;
+    auto delta = GenGraphDelta(gen, dopt, &graph);
+    if (!(*pipeline)
+             ->AppendBatch(std::vector<DeltaKV>(delta.begin(), delta.end()))
+             .ok()) {
+      return 1;
+    }
+    auto stats = (*pipeline)->RunEpoch();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "epoch %d: %s\n", e,
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    merge_ms.push_back(stats->refresh_merge_ms);
+    reduce_ms.push_back(stats->refresh_reduce_ms);
+    refresh_ms.push_back(stats->refresh_ms);
+    if (e == 10) {
+      // Baselines taken after warm-up: open stores, serving snapshots and
+      // a steady epoch-GC window all exist by now.
+      fds_baseline = CountOpenFds();
+      segs_baseline = CountSegmentFiles(root);
+    }
+    if (e <= 4 || e % 20 == 0 || e == epochs) {
+      std::printf("%-8d %-12.1f %-12.1f %-12.1f %-10d %d\n", e,
+                  stats->refresh_ms, stats->refresh_merge_ms,
+                  stats->refresh_reduce_ms, CountSegmentFiles(root),
+                  CountOpenFds());
+    }
+  }
+
+  const int fds_final = CountOpenFds();
+  const int segs_final = CountSegmentFiles(root);
+
+  // Flatness: mean merge cost late in the run vs shortly after bootstrap.
+  // Early window starts at epoch 4 (epochs 1-3 still warm caches); late
+  // window is the last 10 epochs.
+  double early = Mean(merge_ms, 3, 13);
+  double late = Mean(merge_ms, merge_ms.size() - 10, merge_ms.size());
+  double ratio = early > 0 ? late / early : 0;
+
+  std::printf("\nmerge ms: epochs 4-13 mean %.2f | last 10 mean %.2f | "
+              "ratio %.2fx (limit 1.3x)\n", early, late, ratio);
+  std::printf("segments: epoch-10 %d | final %d (limit +%d)\n",
+              segs_baseline, segs_final, 16);
+  std::printf("fds: epoch-10 %d | final %d (limit +%d)\n", fds_baseline,
+              fds_final, 8);
+
+  bool ok = true;
+  if (ratio > 1.3) {
+    std::fprintf(stderr,
+                 "FAIL: merge cost grew %.2fx over %d epochs (limit 1.3x) — "
+                 "compaction is not keeping history bounded\n",
+                 ratio, epochs);
+    ok = false;
+  }
+  if (segs_final > segs_baseline + 16) {
+    std::fprintf(stderr, "FAIL: segment files leaked (%d -> %d)\n",
+                 segs_baseline, segs_final);
+    ok = false;
+  }
+  if (fds_final > fds_baseline + 8) {
+    std::fprintf(stderr, "FAIL: file descriptors leaked (%d -> %d)\n",
+                 fds_baseline, fds_final);
+    ok = false;
+  }
+
+  std::FILE* json = std::fopen("BENCH_soak.json", "w");
+  if (json == nullptr) return 1;
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"soak_mrbg\",\n");
+  std::fprintf(json, "  \"num_vertices\": %llu,\n",
+               (unsigned long long)gen.num_vertices);
+  std::fprintf(json, "  \"epochs\": %d,\n", epochs);
+  std::fprintf(json, "  \"delta_rate\": %.3f,\n", kDeltaRate);
+  std::fprintf(json, "  \"merge_ms_early\": %.2f,\n", early);
+  std::fprintf(json, "  \"merge_ms_late\": %.2f,\n", late);
+  std::fprintf(json, "  \"merge_flatness_ratio\": %.3f,\n", ratio);
+  std::fprintf(json, "  \"refresh_ms_late\": %.2f,\n",
+               Mean(refresh_ms, refresh_ms.size() - 10, refresh_ms.size()));
+  std::fprintf(json, "  \"reduce_ms_late\": %.2f,\n",
+               Mean(reduce_ms, reduce_ms.size() - 10, reduce_ms.size()));
+  std::fprintf(json, "  \"segments_epoch10\": %d,\n", segs_baseline);
+  std::fprintf(json, "  \"segments_final\": %d,\n", segs_final);
+  std::fprintf(json, "  \"fds_epoch10\": %d,\n", fds_baseline);
+  std::fprintf(json, "  \"fds_final\": %d,\n", fds_final);
+  std::fprintf(json, "  \"merge_ms\": [");
+  for (size_t i = 0; i < merge_ms.size(); ++i) {
+    std::fprintf(json, "%s%.2f", i > 0 ? ", " : "", merge_ms[i]);
+  }
+  std::fprintf(json, "],\n");
+  std::fprintf(json, "  \"pass\": %s\n", ok ? "true" : "false");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  bench::Note("\nwrote BENCH_soak.json");
+  return ok ? 0 : 1;
+}

@@ -159,7 +159,7 @@ Status IncrementalIterativeEngine::ApplyStructureDelta(
 // ---------------------------------------------------------------------------
 
 Status IncrementalIterativeEngine::OpenStores() {
-  stores_.clear();
+  if (!stores_.empty()) return Status::OK();  // resident across refreshes
   stores_.resize(spec_.num_partitions);
   for (int r = 0; r < spec_.num_partitions; ++r) {
     auto s = MRBGStore::Open(MrbgDir(r), options_.store_options);
@@ -173,13 +173,28 @@ Status IncrementalIterativeEngine::CloseStores(IncrIterRunStats* stats) {
   for (auto& s : stores_) {
     if (s == nullptr) continue;
     if (stats != nullptr) {
-      stats->store_io_reads += s->stats().io_reads;
-      stats->store_bytes_read += s->stats().bytes_read;
+      MRBGStoreStats ss = s->stats();
+      stats->store_io_reads += ss.io_reads;
+      stats->store_bytes_read += ss.bytes_read;
     }
     I2MR_RETURN_IF_ERROR(s->PersistIndex());
     I2MR_RETURN_IF_ERROR(s->Close());
   }
   stores_.clear();
+  return Status::OK();
+}
+
+Status IncrementalIterativeEngine::CollectStoreStats(IncrIterRunStats* stats) {
+  for (auto& s : stores_) {
+    if (s == nullptr) continue;
+    MRBGStoreStats ss = s->stats();
+    if (stats != nullptr) {
+      stats->store_io_reads += ss.io_reads;
+      stats->store_bytes_read += ss.bytes_read;
+    }
+    s->ResetStats();
+    I2MR_RETURN_IF_ERROR(s->PersistIndex());
+  }
   return Status::OK();
 }
 
@@ -198,13 +213,45 @@ Status IncrementalIterativeEngine::CompactMRBGraph() {
 StatusOr<uint64_t> IncrementalIterativeEngine::MrbgFileBytes() const {
   uint64_t total = 0;
   for (int r = 0; r < spec_.num_partitions; ++r) {
-    std::string path = JoinPath(MrbgDir(r), "mrbg.dat");
-    if (!FileExists(path)) continue;
-    auto sz = FileSize(path);
-    if (!sz.ok()) return sz.status();
-    total += *sz;
+    if (static_cast<size_t>(r) < stores_.size() && stores_[r] != nullptr) {
+      total += stores_[r]->file_bytes();
+      continue;
+    }
+    auto files = MRBGStore::ListStoreFiles(MrbgDir(r));
+    if (!files.ok()) return files.status();
+    for (const auto& path : *files) {
+      // Data footprint only: skip the MANIFEST / mrbg.idx metadata.
+      if ((path.size() >= 4 && path.compare(path.size() - 4, 4, ".idx") == 0) ||
+          (path.size() >= 8 &&
+           path.compare(path.size() - 8, 8, "MANIFEST") == 0)) {
+        continue;
+      }
+      if (!FileExists(path)) continue;
+      auto sz = FileSize(path);
+      if (!sz.ok()) return sz.status();
+      total += *sz;
+    }
   }
   return total;
+}
+
+Status IncrementalIterativeEngine::SnapshotMrbgPartition(
+    int p, const std::string& dst_dir, std::vector<std::string>* files) {
+  if (static_cast<size_t>(p) < stores_.size() && stores_[p] != nullptr) {
+    return stores_[p]->SnapshotInto(dst_dir, files);
+  }
+  auto src = MRBGStore::ListStoreFiles(MrbgDir(p));
+  if (!src.ok()) return src.status();
+  if (src->empty()) return Status::OK();
+  I2MR_RETURN_IF_ERROR(CreateDirs(dst_dir));
+  for (const auto& path : *src) {
+    size_t slash = path.find_last_of('/');
+    std::string dst = JoinPath(
+        dst_dir, slash == std::string::npos ? path : path.substr(slash + 1));
+    I2MR_RETURN_IF_ERROR(LinkOrCopyFile(path, dst));
+    if (files != nullptr) files->push_back(dst);
+  }
+  return Status::OK();
 }
 
 Status IncrementalIterativeEngine::PreserveMRBGraph(double* elapsed_ms) {
@@ -302,10 +349,34 @@ Status IncrementalIterativeEngine::Checkpoint(int iteration) {
     if (stores_.size() > static_cast<size_t>(p) && stores_[p] != nullptr) {
       // Flush pending appends so the on-disk files are complete.
       I2MR_RETURN_IF_ERROR(stores_[p]->FinishBatch());
-      I2MR_RETURN_IF_ERROR(
-          dfs->CheckpointIn(stores_[p]->data_path(), base + "/mrbg.dat" + tag));
-      I2MR_RETURN_IF_ERROR(
-          dfs->CheckpointIn(stores_[p]->index_path(), base + "/mrbg.idx" + tag));
+      if (stores_[p]->log_structured()) {
+        // Cut a frozen hard-link image (the segment set can change under a
+        // background compaction pass) and checkpoint its files, plus a
+        // small list naming them so the restore knows the file set.
+        std::string tmp = MrbgDir(p) + ".ckpt";
+        I2MR_RETURN_IF_ERROR(ResetDir(tmp));
+        std::vector<std::string> files;
+        I2MR_RETURN_IF_ERROR(stores_[p]->SnapshotInto(tmp, &files));
+        std::string list;
+        for (const auto& f : files) {
+          size_t slash = f.find_last_of('/');
+          std::string name =
+              slash == std::string::npos ? f : f.substr(slash + 1);
+          list += name + "\n";
+          I2MR_RETURN_IF_ERROR(
+              dfs->CheckpointIn(f, base + "/mrbg-" + name + tag));
+        }
+        std::string list_path = JoinPath(tmp, "mrbg.list");
+        I2MR_RETURN_IF_ERROR(WriteStringToFile(list_path, list));
+        I2MR_RETURN_IF_ERROR(
+            dfs->CheckpointIn(list_path, base + "/mrbg.list" + tag));
+        I2MR_RETURN_IF_ERROR(RemoveAll(tmp));
+      } else {
+        I2MR_RETURN_IF_ERROR(dfs->CheckpointIn(stores_[p]->data_path(),
+                                               base + "/mrbg.dat" + tag));
+        I2MR_RETURN_IF_ERROR(dfs->CheckpointIn(stores_[p]->index_path(),
+                                               base + "/mrbg.idx" + tag));
+      }
     }
   }
   return Status::OK();
@@ -323,9 +394,35 @@ Status IncrementalIterativeEngine::RestorePartition(int iteration,
   I2MR_RETURN_IF_ERROR(
       dfs->CheckpointOut(base + "/state" + tag, StatePath(partition)));
   I2MR_RETURN_IF_ERROR(states_[partition]->Load());
-  if (stores_.size() > static_cast<size_t>(partition) &&
-      stores_[partition] != nullptr &&
-      dfs->CheckpointExists(base + "/mrbg.dat" + tag)) {
+  bool have_store = stores_.size() > static_cast<size_t>(partition) &&
+                    stores_[partition] != nullptr;
+  if (have_store && dfs->CheckpointExists(base + "/mrbg.list" + tag)) {
+    // Log-structured checkpoint: wipe the partition's store directory and
+    // repopulate it with the checkpointed file set (the list names them).
+    std::string dir = MrbgDir(partition);
+    I2MR_RETURN_IF_ERROR(stores_[partition]->Close());
+    stores_[partition].reset();
+    I2MR_RETURN_IF_ERROR(ResetDir(dir));
+    std::string list_path = JoinPath(dir, "mrbg.list");
+    I2MR_RETURN_IF_ERROR(
+        dfs->CheckpointOut(base + "/mrbg.list" + tag, list_path));
+    auto list = ReadFileToString(list_path);
+    if (!list.ok()) return list.status();
+    size_t pos = 0;
+    while (pos < list->size()) {
+      size_t nl = list->find('\n', pos);
+      if (nl == std::string::npos) nl = list->size();
+      std::string name = list->substr(pos, nl - pos);
+      pos = nl + 1;
+      if (name.empty()) continue;
+      I2MR_RETURN_IF_ERROR(dfs->CheckpointOut(base + "/mrbg-" + name + tag,
+                                              JoinPath(dir, name)));
+    }
+    I2MR_RETURN_IF_ERROR(RemoveAll(list_path));
+    auto s = MRBGStore::Open(dir, options_.store_options);
+    if (!s.ok()) return s.status();
+    stores_[partition] = std::move(s.value());
+  } else if (have_store && dfs->CheckpointExists(base + "/mrbg.dat" + tag)) {
     std::string data_path = stores_[partition]->data_path();
     std::string index_path = stores_[partition]->index_path();
     I2MR_RETURN_IF_ERROR(stores_[partition]->Close());
@@ -874,10 +971,16 @@ StatusOr<IncrIterRunStats> IncrementalIterativeEngine::RunIncremental(
   }
 
   I2MR_RETURN_IF_ERROR(SaveStates());
-  I2MR_RETURN_IF_ERROR(CloseStores(&stats));
   if (auto_off && options_.maintain_mrbg) {
     // Rebuild a consistent MRBGraph so the next refresh can be incremental.
+    // The stores must be fully closed first: the preservation pass resets
+    // each partition's store directory out from under them.
+    I2MR_RETURN_IF_ERROR(CloseStores(&stats));
     I2MR_RETURN_IF_ERROR(PreserveMRBGraph(&stats.preserve_ms));
+  } else {
+    // Stores stay resident (their background compactors keep running
+    // between refreshes); harvest this refresh's read counters.
+    I2MR_RETURN_IF_ERROR(CollectStoreStats(&stats));
   }
   stats.wall_ms = wall.ElapsedMillis();
   return stats;

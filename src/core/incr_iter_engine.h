@@ -36,11 +36,16 @@ namespace i2mr {
 
 /// Engine-default MRBG store options: the appended-tail cache is on, so
 /// iteration j+1's merge reads the chunks iteration j just appended from
-/// memory instead of the file tail. Raw MRBGStore users (and the paper's
-/// read-strategy experiments) default to tail_cache_bytes = 0.
+/// memory instead of the file tail, and the store is log-structured with
+/// background compaction so merge cost stays flat in epoch-history length
+/// (superseded chunk versions are reclaimed concurrently with refreshes).
+/// Raw MRBGStore users (and the paper's read-strategy / Table-4 parity
+/// experiments) default to the raw layout with tail_cache_bytes = 0.
 inline MRBGStoreOptions DefaultIncrStoreOptions() {
   MRBGStoreOptions o;
   o.tail_cache_bytes = 4u << 20;
+  o.log_structured = true;
+  o.background_compaction = true;
   return o;
 }
 
@@ -156,6 +161,14 @@ class IncrementalIterativeEngine : public IterativeEngine {
   /// Total MRBGraph bytes across partitions (on-disk footprint).
   StatusOr<uint64_t> MrbgFileBytes() const;
 
+  /// Hard-link a self-consistent image of partition p's MRBG store into
+  /// `dst_dir` (the pipeline's epoch-commit path). Uses the open resident
+  /// store when there is one — safe concurrently with its background
+  /// compactor — and falls back to linking the closed on-disk file set.
+  /// No-op (and no dst_dir created) when the partition has no store files.
+  Status SnapshotMrbgPartition(int p, const std::string& dst_dir,
+                               std::vector<std::string>* files);
+
  private:
   /// Per-refresh, per-partition in-memory context.
   struct PartitionCtx {
@@ -185,8 +198,14 @@ class IncrementalIterativeEngine : public IterativeEngine {
   /// (then the store holds exactly one sorted batch).
   Status PreserveMRBGraph(double* elapsed_ms);
 
+  /// Idempotent: stores stay resident across refreshes so the background
+  /// compactor genuinely overlaps epoch commits.
   Status OpenStores();
   Status CloseStores(IncrIterRunStats* stats);
+  /// Per-refresh stat harvest for resident stores: fold the read counters
+  /// into `stats`, persist the index/manifest, reset the counters — but
+  /// keep the stores (and their compactors) open.
+  Status CollectStoreStats(IncrIterRunStats* stats);
 
   Status Checkpoint(int iteration);
   Status RestorePartition(int iteration, int partition);

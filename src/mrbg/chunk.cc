@@ -8,7 +8,8 @@
 namespace i2mr {
 namespace {
 
-constexpr uint32_t kChunkMagic = 0x4d524247;  // "MRBG"
+constexpr uint32_t kChunkMagic = 0x4d524247;      // "MRBG"
+constexpr uint32_t kTombstoneMagic = 0x4d524254;  // "MRBT"
 
 uint32_t PayloadChecksum(std::string_view payload) {
   return static_cast<uint32_t>(Hash64(payload.data(), payload.size()));
@@ -74,6 +75,44 @@ Status DecodeChunk(std::string_view data, Chunk* chunk) {
   if (crc != PayloadChecksum(payload)) {
     return Status::Corruption("chunk checksum mismatch for key " + chunk->key);
   }
+  return Status::OK();
+}
+
+uint32_t EncodeTombstone(const std::string& key, std::string* out) {
+  size_t start = out->size();
+  std::string payload;
+  PutLengthPrefixed(&payload, key);
+  PutFixed32(out, kTombstoneMagic);
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+  PutFixed32(out, PayloadChecksum(payload));
+  return static_cast<uint32_t>(out->size() - start);
+}
+
+Status ScanFrame(std::string_view data, ScannedFrame* frame) {
+  if (data.empty()) return Status::NotFound("end of log");
+  Decoder dec(data);
+  uint32_t magic, payload_len;
+  if (!dec.GetFixed32(&magic) ||
+      (magic != kChunkMagic && magic != kTombstoneMagic)) {
+    return Status::Corruption("bad frame magic");
+  }
+  if (!dec.GetFixed32(&payload_len) || dec.remaining() < payload_len + 4) {
+    return Status::Corruption("truncated frame");
+  }
+  std::string_view payload(data.data() + 8, payload_len);
+  Decoder crc_dec(data.data() + 8 + payload_len, 4);
+  uint32_t crc;
+  crc_dec.GetFixed32(&crc);
+  if (crc != PayloadChecksum(payload)) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  Decoder body(payload);
+  if (!body.GetLengthPrefixed(&frame->key)) {
+    return Status::Corruption("bad frame key");
+  }
+  frame->tombstone = magic == kTombstoneMagic;
+  frame->length = 8 + payload_len + 4;
   return Status::OK();
 }
 

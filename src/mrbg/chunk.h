@@ -55,6 +55,28 @@ Status DecodeChunk(std::string_view data, Chunk* chunk);
 /// Byte length of the encoding of `chunk` without encoding it.
 uint32_t EncodedChunkLength(const Chunk& chunk);
 
+/// Serialize a tombstone frame for `key` (appends to *out): same CRC
+/// framing as a chunk but with the tombstone magic and a zero-size value
+/// payload (just the key). The log-structured store appends one to delete
+/// a chunk durably; a sequential scan replays it as an index erase.
+/// Returns the encoded length.
+uint32_t EncodeTombstone(const std::string& key, std::string* out);
+
+/// One frame of the append-only chunk log, parsed in place by the
+/// log-structured store's open-time scan: either a live chunk version
+/// (`tombstone == false`; the `length`-byte prefix decodes with
+/// DecodeChunk) or a zero-size tombstone deleting `key`.
+struct ScannedFrame {
+  std::string key;
+  uint32_t length = 0;  // total frame bytes (header + payload + crc)
+  bool tombstone = false;
+};
+
+/// Parse the frame starting at data[0]. Verifies magic, bounds and
+/// checksum. Returns NotFound on empty input (clean end of scan),
+/// Corruption on a torn or garbled frame.
+Status ScanFrame(std::string_view data, ScannedFrame* frame);
+
 /// Apply a group of delta edges (all with k2 == chunk->key) to a chunk:
 /// deletions remove the matching MK; insertions upsert by MK (paper §3.3:
 /// "checks duplicates, inserts if no duplicate exists, else updates").

@@ -6,7 +6,7 @@
 namespace i2mr {
 namespace {
 
-constexpr uint32_t kIndexMagic = 0x49445831;  // "IDX1"
+constexpr uint32_t kIndexMagic = 0x49445832;  // "IDX2"
 
 }  // namespace
 
@@ -33,6 +33,7 @@ Status ChunkIndex::Save(const std::string& path) const {
   for (const auto& b : batches_) {
     PutFixed64(&buf, b.start);
     PutFixed64(&buf, b.end);
+    PutFixed64(&buf, b.segment);
   }
   PutFixed64(&buf, map_.size());
   for (const auto& [key, loc] : map_) {
@@ -40,6 +41,7 @@ Status ChunkIndex::Save(const std::string& path) const {
     PutFixed64(&buf, loc.offset);
     PutFixed32(&buf, loc.length);
     PutFixed32(&buf, loc.batch);
+    PutFixed64(&buf, loc.segment);
   }
   std::string tmp = path + ".tmp";
   I2MR_RETURN_IF_ERROR(WriteStringToFile(tmp, buf));
@@ -59,7 +61,8 @@ Status ChunkIndex::Load(const std::string& path) {
   if (!dec.GetFixed32(&num_batches)) return Status::Corruption("bad index");
   for (uint32_t i = 0; i < num_batches; ++i) {
     BatchInfo b;
-    if (!dec.GetFixed64(&b.start) || !dec.GetFixed64(&b.end)) {
+    if (!dec.GetFixed64(&b.start) || !dec.GetFixed64(&b.end) ||
+        !dec.GetFixed64(&b.segment)) {
       return Status::Corruption("bad batch info");
     }
     batches_.push_back(b);
@@ -71,7 +74,8 @@ Status ChunkIndex::Load(const std::string& path) {
     std::string key;
     ChunkLocation loc;
     if (!dec.GetLengthPrefixed(&key) || !dec.GetFixed64(&loc.offset) ||
-        !dec.GetFixed32(&loc.length) || !dec.GetFixed32(&loc.batch)) {
+        !dec.GetFixed32(&loc.length) || !dec.GetFixed32(&loc.batch) ||
+        !dec.GetFixed64(&loc.segment)) {
       return Status::Corruption("bad index entry");
     }
     map_[std::move(key)] = loc;

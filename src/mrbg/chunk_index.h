@@ -14,21 +14,28 @@
 
 namespace i2mr {
 
-/// Location of the latest version of a chunk in the MRBGraph file.
+/// Location of the latest version of a chunk. In the raw single-file
+/// layout `segment` is always 0 and `offset` is a mrbg.dat offset; in the
+/// log-structured layout `segment` is a segment file id and `offset` is
+/// relative to that segment.
 struct ChunkLocation {
   uint64_t offset = 0;
   uint32_t length = 0;
-  uint32_t batch = 0;  // which sorted batch the chunk belongs to
+  uint32_t batch = 0;    // which sorted batch the chunk belongs to
+  uint64_t segment = 0;  // which segment file holds it (0 in raw mode)
 
   friend bool operator==(const ChunkLocation& a, const ChunkLocation& b) {
-    return a.offset == b.offset && a.length == b.length && a.batch == b.batch;
+    return a.offset == b.offset && a.length == b.length && a.batch == b.batch &&
+           a.segment == b.segment;
   }
 };
 
-/// Byte range of one sorted batch of chunks (one merge epoch / iteration).
+/// Byte range of one sorted batch of chunks (one merge epoch / iteration),
+/// within `segment` (raw mode: segment 0, whole-file offsets).
 struct BatchInfo {
   uint64_t start = 0;
   uint64_t end = 0;
+  uint64_t segment = 0;
 };
 
 class ChunkIndex {
@@ -51,6 +58,16 @@ class ChunkIndex {
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const auto& [key, loc] : map_) fn(key, loc);
+  }
+
+  /// Iterate with mutable locations (compaction repoints entries in place).
+  template <typename Fn>
+  void ForEachMutable(Fn&& fn) {
+    for (auto& [key, loc] : map_) fn(key, loc);
+  }
+
+  void SetBatches(std::vector<BatchInfo> batches) {
+    batches_ = std::move(batches);
   }
 
   /// Persist to / load from an index file.

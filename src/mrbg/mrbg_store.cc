@@ -1,11 +1,100 @@
 #include "mrbg/mrbg_store.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "common/codec.h"
 #include "common/logging.h"
 #include "io/env.h"
 
 namespace i2mr {
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4d4d4631;  // "MMF1"
+constexpr char kManifestName[] = "MANIFEST";
+
+// MANIFEST format: [u32 magic][u64 next_segment_id][u32 count]
+// followed by count ([u64 id][u64 committed_length]) entries in logical
+// scan order. A segment's physical file may be longer than its committed
+// length (a dead tail grown through a hard link after the manifest was
+// written); the excess is never read.
+struct ManifestEntry {
+  uint64_t id = 0;
+  uint64_t length = 0;
+};
+
+Status ParseManifest(std::string_view data, uint64_t* next_id,
+                     std::vector<ManifestEntry>* entries) {
+  Decoder dec(data);
+  uint32_t magic, count;
+  if (!dec.GetFixed32(&magic) || magic != kManifestMagic) {
+    return Status::Corruption("bad manifest magic");
+  }
+  if (!dec.GetFixed64(next_id) || !dec.GetFixed32(&count)) {
+    return Status::Corruption("bad manifest header");
+  }
+  entries->clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    ManifestEntry e;
+    if (!dec.GetFixed64(&e.id) || !dec.GetFixed64(&e.length)) {
+      return Status::Corruption("bad manifest entry");
+    }
+    entries->push_back(e);
+  }
+  if (!dec.done()) return Status::Corruption("manifest trailing bytes");
+  return Status::OK();
+}
+
+std::string EncodeManifest(uint64_t next_id,
+                           const std::vector<ManifestEntry>& entries) {
+  std::string buf;
+  PutFixed32(&buf, kManifestMagic);
+  PutFixed64(&buf, next_id);
+  PutFixed32(&buf, static_cast<uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    PutFixed64(&buf, e.id);
+    PutFixed64(&buf, e.length);
+  }
+  return buf;
+}
+
+std::string SegmentFileName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.dat",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool ParseSegmentFileName(const std::string& name, uint64_t* id) {
+  constexpr char kPrefix[] = "seg-";
+  constexpr char kSuffix[] = ".dat";
+  if (name.size() <= 4 + 4 || name.compare(0, 4, kPrefix) != 0 ||
+      name.compare(name.size() - 4, 4, kSuffix) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = 4; i < name.size() - 4; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *id = v;
+  return true;
+}
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
 
 const char* ReadModeName(ReadMode mode) {
   switch (mode) {
@@ -22,6 +111,7 @@ StatusOr<std::unique_ptr<MRBGStore>> MRBGStore::Open(
   I2MR_RETURN_IF_ERROR(CreateDirs(dir));
   auto store = std::unique_ptr<MRBGStore>(new MRBGStore(dir, options));
   I2MR_RETURN_IF_ERROR(store->OpenFiles());
+  store->StartCompactor();
   return store;
 }
 
@@ -29,8 +119,25 @@ MRBGStore::~MRBGStore() { Close(); }
 
 std::string MRBGStore::data_path() const { return JoinPath(dir_, "mrbg.dat"); }
 std::string MRBGStore::index_path() const { return JoinPath(dir_, "mrbg.idx"); }
+std::string MRBGStore::ManifestPath() const {
+  return JoinPath(dir_, kManifestName);
+}
+std::string MRBGStore::SegmentPath(uint64_t id) const {
+  return JoinPath(dir_, SegmentFileName(id));
+}
+
+// ---------------------------------------------------------------------------
+// Open / recovery
+// ---------------------------------------------------------------------------
 
 Status MRBGStore::OpenFiles() {
+  // The on-disk format wins: a directory that already holds a MANIFEST is
+  // log-structured no matter what the caller asked for.
+  log_structured_ = options_.log_structured || FileExists(ManifestPath());
+  return log_structured_ ? OpenLogStructured() : OpenRaw();
+}
+
+Status MRBGStore::OpenRaw() {
   if (FileExists(index_path())) {
     I2MR_RETURN_IF_ERROR(index_.Load(index_path()));
   }
@@ -41,6 +148,10 @@ Status MRBGStore::OpenFiles() {
   } else {
     file_end_ = 0;
   }
+  live_bytes_ = 0;
+  index_.ForEach([&](const std::string&, const ChunkLocation& loc) {
+    live_bytes_ += loc.length;
+  });
   auto w = WritableFile::Create(data_path(), /*append=*/true);
   if (!w.ok()) return w.status();
   writer_ = std::move(w.value());
@@ -49,41 +160,292 @@ Status MRBGStore::OpenFiles() {
   return Status::OK();
 }
 
-Status MRBGStore::Close() {
-  if (writer_ == nullptr) return Status::OK();
-  uint64_t closed_end =
-      index_.batches().empty() ? 0 : index_.batches().back().end;
-  if (file_end_ > closed_end || !append_buf_.empty()) {
-    I2MR_RETURN_IF_ERROR(FinishBatch());
+Status MRBGStore::OpenLogStructured() {
+  bool have_manifest = FileExists(ManifestPath());
+  segments_.clear();
+  next_segment_id_ = 1;
+  if (have_manifest) {
+    auto data = ReadFileToString(ManifestPath());
+    if (!data.ok()) return data.status();
+    std::vector<ManifestEntry> entries;
+    I2MR_RETURN_IF_ERROR(ParseManifest(*data, &next_segment_id_, &entries));
+    for (const auto& e : entries) {
+      Segment seg;
+      seg.id = e.id;
+      seg.length = e.length;
+      segments_.push_back(std::move(seg));
+    }
   }
+
+  // Drop strays: tmp files of an interrupted rewrite, segments a crashed
+  // compaction renamed but never committed to the manifest (or, with no
+  // manifest at all, of an uncommitted migration), and — once a manifest
+  // exists — the raw-layout working files a committed migration left
+  // behind. The manifest is the commit point; anything it doesn't name is
+  // garbage.
+  std::unordered_set<uint64_t> referenced;
+  for (const auto& seg : segments_) referenced.insert(seg.id);
+  auto files = ListFiles(dir_);
+  if (!files.ok()) return files.status();
+  for (const auto& path : *files) {
+    std::string name = Basename(path);
+    bool stray = EndsWith(name, ".tmp") || EndsWith(name, ".compact");
+    uint64_t id;
+    if (ParseSegmentFileName(name, &id)) {
+      stray = !have_manifest || referenced.count(id) == 0;
+    }
+    if (have_manifest && (name == "mrbg.dat" || name == "mrbg.idx")) {
+      stray = true;
+    }
+    if (stray) I2MR_RETURN_IF_ERROR(RemoveAll(path));
+  }
+
+  if (!have_manifest) {
+    if (FileExists(index_path())) {
+      I2MR_RETURN_IF_ERROR(MigrateRawToLogStructuredLocked());
+    } else if (FileExists(data_path())) {
+      // Raw data without its index is unreadable in either layout.
+      I2MR_RETURN_IF_ERROR(RemoveAll(data_path()));
+    }
+  }
+
+  // Rebuild the chunk index by sequentially scanning the committed
+  // segments in logical order (last writer wins; tombstones erase).
+  index_.Clear();
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    I2MR_RETURN_IF_ERROR(ScanSegmentLocked(i));
+  }
+
+  // Always start a fresh active segment on a fresh inode: a restored
+  // segment file may share its inode with a committed epoch snapshot, so
+  // it must never be appended to in place.
+  Segment active;
+  active.id = next_segment_id_++;
+  auto w = WritableFile::Create(SegmentPath(active.id), /*append=*/false);
+  if (!w.ok()) return w.status();
+  writer_ = std::move(w.value());
+  segments_.push_back(std::move(active));
+  file_end_ = 0;
+  batch_start_ = 0;
+
+  live_bytes_ = 0;
+  live_active_bytes_ = 0;
+  sealed_bytes_ = 0;
+  index_.ForEach([&](const std::string&, const ChunkLocation& loc) {
+    live_bytes_ += loc.length;
+  });
+  for (size_t i = 0; i + 1 < segments_.size(); ++i) {
+    sealed_bytes_ += segments_[i].length;
+  }
+  crashed_ = false;
+  reader_.reset();
+  reader_stale_ = true;
+
+  // A compaction interrupted mid-pass left its waste behind; the policy
+  // check re-triggers it, which is how a half-finished pass "resumes".
+  if (options_.background_compaction && ShouldCompactLocked()) {
+    RequestCompactionLocked();
+  }
+  return Status::OK();
+}
+
+Status MRBGStore::ScanSegmentLocked(size_t pos) {
+  Segment& seg = segments_[pos];
+  if (seg.length == 0) return Status::OK();
+  std::string path = SegmentPath(seg.id);
+  auto sz = FileSize(path);
+  if (!sz.ok()) return sz.status();
+  if (*sz < seg.length) {
+    return Status::Corruption("segment shorter than manifest: " + path);
+  }
+  auto mm = MmapFile::Open(path);
+  if (!mm.ok()) return mm.status();
+  // Cap strictly at the committed length: anything past it is a dead tail
+  // grown through a hard link after this manifest was written.
+  std::string_view view = (*mm)->data().substr(0, seg.length);
+  uint32_t batch_id = static_cast<uint32_t>(index_.batches().size());
+  index_.AddBatch(BatchInfo{0, seg.length, seg.id});
+  uint64_t off = 0;
+  ScannedFrame frame;
+  while (off < seg.length) {
+    Status st = ScanFrame(view.substr(off), &frame);
+    if (!st.ok()) {
+      // The committed region must scan clean — torn frames can only exist
+      // past a manifest boundary, and those bytes were capped away.
+      return Status::Corruption("bad frame in " + path + " at offset " +
+                                std::to_string(off) + ": " + st.message());
+    }
+    if (frame.tombstone) {
+      index_.Erase(frame.key);
+    } else {
+      index_.Put(frame.key, ChunkLocation{off, frame.length, batch_id, seg.id});
+    }
+    off += frame.length;
+  }
+  return Status::OK();
+}
+
+Status MRBGStore::MigrateRawToLogStructuredLocked() {
+  // Live chunks are defined by the raw index — scanning mrbg.dat instead
+  // would resurrect raw-mode deletions, which live only in the index.
+  ChunkIndex raw;
+  I2MR_RETURN_IF_ERROR(raw.Load(index_path()));
+  std::vector<std::pair<std::string, ChunkLocation>> entries;
+  entries.reserve(raw.size());
+  raw.ForEach([&](const std::string& key, const ChunkLocation& loc) {
+    entries.emplace_back(key, loc);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const uint64_t out_id = 1;
+  uint64_t out_len = 0;
+  if (!entries.empty()) {
+    auto r = RandomAccessFile::Open(data_path());
+    if (!r.ok()) return r.status();
+    std::string tmp = SegmentPath(out_id) + ".tmp";
+    auto w = WritableFile::Create(tmp);
+    if (!w.ok()) return w.status();
+    std::string buf;
+    ScannedFrame frame;
+    for (const auto& [key, loc] : entries) {
+      I2MR_RETURN_IF_ERROR((*r)->Read(loc.offset, loc.length, &buf));
+      if (buf.size() < loc.length) {
+        return Status::Corruption("short chunk read migrating " + key);
+      }
+      Status st = ScanFrame(buf, &frame);
+      if (!st.ok() || frame.tombstone || frame.key != key) {
+        return Status::Corruption("bad chunk migrating " + key);
+      }
+      I2MR_RETURN_IF_ERROR(w.value()->Append(buf));
+      out_len += loc.length;
+    }
+    I2MR_RETURN_IF_ERROR(w.value()->Close());
+    I2MR_RETURN_IF_ERROR(RenameFile(tmp, SegmentPath(out_id)));
+  }
+  segments_.clear();
+  if (out_len > 0) {
+    Segment seg;
+    seg.id = out_id;
+    seg.length = out_len;
+    segments_.push_back(std::move(seg));
+  }
+  next_segment_id_ = out_id + 1;
+  // Commit point: once the manifest exists the store is log-structured and
+  // the raw files are garbage (a crash in between redoes the migration).
+  I2MR_RETURN_IF_ERROR(WriteManifestLocked());
+  I2MR_RETURN_IF_ERROR(RemoveAll(data_path()));
+  return RemoveAll(index_path());
+}
+
+Status MRBGStore::WriteManifestLocked() {
+  if (crashed_) return Status::OK();
+  std::vector<ManifestEntry> entries;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    bool is_active = writer_ != nullptr && i + 1 == segments_.size();
+    uint64_t len =
+        is_active ? file_end_ - append_buf_.size() : segments_[i].length;
+    if (len > 0) entries.push_back(ManifestEntry{segments_[i].id, len});
+  }
+  std::string tmp = ManifestPath() + ".tmp";
+  I2MR_RETURN_IF_ERROR(
+      WriteStringToFile(tmp, EncodeManifest(next_segment_id_, entries)));
+  return RenameFile(tmp, ManifestPath());
+}
+
+// ---------------------------------------------------------------------------
+// Close / reload
+// ---------------------------------------------------------------------------
+
+Status MRBGStore::Close() {
+  StopCompactor();
+  std::lock_guard<std::mutex> lk(mu_);
+  return CloseLocked();
+}
+
+Status MRBGStore::CloseLocked() {
+  if (writer_ == nullptr) return Status::OK();
+  if (crashed_) {
+    // Leave the disk exactly as the simulated crash left it: no final
+    // flush, no batch record, no manifest.
+    writer_->Close();
+    writer_.reset();
+    reader_.reset();
+    for (auto& s : segments_) s.reader.reset();
+    return Status::OK();
+  }
+  if (!log_structured_) {
+    uint64_t closed_end =
+        index_.batches().empty() ? 0 : index_.batches().back().end;
+    if (file_end_ > closed_end || !append_buf_.empty()) {
+      I2MR_RETURN_IF_ERROR(FinishBatchLocked(/*persist_index=*/true));
+    } else if (file_end_ > 0) {
+      // A raw-mode delete after the last batch lives only in the index;
+      // persist it, or Close would silently resurrect the chunk.
+      I2MR_RETURN_IF_ERROR(index_.Save(index_path()));
+    }
+    Status st = writer_->Close();
+    writer_.reset();
+    reader_.reset();
+    return st;
+  }
+  I2MR_RETURN_IF_ERROR(FlushAppendBufferLocked());
+  if (file_end_ > batch_start_) {
+    index_.AddBatch(BatchInfo{batch_start_, file_end_, active_id_locked()});
+    batch_start_ = file_end_;
+  }
+  segments_.back().length = file_end_;
   Status st = writer_->Close();
   writer_.reset();
+  if (file_end_ == 0) {
+    // Don't leave an empty active segment file behind.
+    std::string path = SegmentPath(segments_.back().id);
+    segments_.pop_back();
+    RemoveAll(path);
+  }
+  I2MR_RETURN_IF_ERROR(WriteManifestLocked());
+  for (auto& s : segments_) s.reader.reset();
   reader_.reset();
   return st;
 }
 
 Status MRBGStore::Reload() {
-  index_.Clear();
-  append_buf_.clear();
-  tail_buf_.clear();
-  tail_dead_ = 0;
-  tail_start_ = 0;
-  windows_.clear();
-  query_keys_.clear();
-  query_cursor_ = 0;
-  if (writer_ != nullptr) {
-    I2MR_RETURN_IF_ERROR(writer_->Close());
-    writer_.reset();
+  StopCompactor();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    index_.Clear();
+    append_buf_.clear();
+    tail_buf_.clear();
+    tail_dead_ = 0;
+    tail_start_ = 0;
+    windows_.clear();
+    query_keys_.clear();
+    query_cursor_ = 0;
+    if (writer_ != nullptr) {
+      I2MR_RETURN_IF_ERROR(writer_->Close());
+      writer_.reset();
+    }
+    reader_.reset();
+    segments_.clear();
+    next_segment_id_ = 1;
+    batch_start_ = 0;
+    file_end_ = 0;
+    live_bytes_ = 0;
+    live_active_bytes_ = 0;
+    sealed_bytes_ = 0;
+    crashed_ = false;
+    I2MR_RETURN_IF_ERROR(OpenFiles());
   }
-  return OpenFiles();
+  StartCompactor();
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
 // Write path
 // ---------------------------------------------------------------------------
 
-Status MRBGStore::FlushAppendBuffer() {
-  if (append_buf_.empty()) return Status::OK();
+Status MRBGStore::FlushAppendBufferLocked() {
+  if (append_buf_.empty() || crashed_) return Status::OK();
   I2MR_RETURN_IF_ERROR(writer_->Append(append_buf_));
   I2MR_RETURN_IF_ERROR(writer_->Flush());
   if (options_.tail_cache_bytes > 0) {
@@ -109,54 +471,144 @@ Status MRBGStore::FlushAppendBuffer() {
   }
   append_buf_.clear();
   reader_stale_ = true;
+  if (log_structured_) segments_.back().reader.reset();  // file grew
+  return Status::OK();
+}
+
+Status MRBGStore::AppendChunkLocked(const Chunk& chunk) {
+  if (const ChunkLocation* old = index_.Lookup(chunk.key)) {
+    live_bytes_ -= old->length;
+    if (log_structured_ && old->segment == active_id_locked()) {
+      live_active_bytes_ -= old->length;
+    }
+  }
+  uint64_t offset = file_end_;
+  uint32_t len = EncodeChunk(chunk, &append_buf_);
+  file_end_ += len;
+  live_bytes_ += len;
+  uint64_t seg = 0;
+  if (log_structured_) {
+    seg = active_id_locked();
+    live_active_bytes_ += len;
+  }
+  index_.Put(chunk.key, ChunkLocation{offset, len, open_batch_id_locked(), seg});
+  ++stats_.chunks_appended;
+  stats_.bytes_appended += len;
+  if (append_buf_.size() >= options_.append_buffer_bytes) {
+    return FlushAppendBufferLocked();
+  }
+  return Status::OK();
+}
+
+Status MRBGStore::RemoveChunkLocked(const std::string& key) {
+  const ChunkLocation* old = index_.Lookup(key);
+  if (old == nullptr) return Status::OK();
+  uint32_t old_len = old->length;
+  uint64_t old_seg = old->segment;
+  live_bytes_ -= old_len;
+  if (log_structured_) {
+    if (old_seg == active_id_locked()) live_active_bytes_ -= old_len;
+    // A durable delete: the tombstone replays as an erase when the index
+    // is rebuilt by scan.
+    uint32_t tlen = EncodeTombstone(key, &append_buf_);
+    file_end_ += tlen;
+    ++stats_.tombstones_appended;
+  }
+  index_.Erase(key);
+  ++stats_.chunks_removed;
+  if (log_structured_ && append_buf_.size() >= options_.append_buffer_bytes) {
+    return FlushAppendBufferLocked();
+  }
+  return Status::OK();
+}
+
+Status MRBGStore::FinishBatchLocked(bool persist_index) {
+  if (crashed_) return Status::OK();
+  I2MR_RETURN_IF_ERROR(FlushAppendBufferLocked());
+  if (log_structured_) {
+    if (file_end_ > batch_start_) {
+      index_.AddBatch(BatchInfo{batch_start_, file_end_, active_id_locked()});
+      batch_start_ = file_end_;
+    }
+    segments_.back().length = file_end_;
+    if (file_end_ >= options_.segment_target_bytes) {
+      I2MR_RETURN_IF_ERROR(RotateActiveLocked());
+    }
+  } else {
+    uint64_t start =
+        index_.batches().empty() ? 0 : index_.batches().back().end;
+    if (file_end_ > start) {
+      index_.AddBatch(BatchInfo{start, file_end_, 0});
+    }
+  }
+  if (persist_index) I2MR_RETURN_IF_ERROR(PersistIndexLocked());
+  if (log_structured_ && options_.background_compaction &&
+      ShouldCompactLocked()) {
+    RequestCompactionLocked();
+  }
+  return Status::OK();
+}
+
+Status MRBGStore::PersistIndexLocked() {
+  return log_structured_ ? WriteManifestLocked() : index_.Save(index_path());
+}
+
+Status MRBGStore::RotateActiveLocked() {
+  // Callers close the open batch and flush before rotating.
+  if (file_end_ == 0) return Status::OK();
+  I2MR_RETURN_IF_ERROR(writer_->Close());
+  writer_.reset();
+  segments_.back().length = file_end_;
+  segments_.back().reader.reset();
+  sealed_bytes_ += file_end_;
+  live_active_bytes_ = 0;
+  Segment next;
+  next.id = next_segment_id_++;
+  auto w = WritableFile::Create(SegmentPath(next.id), /*append=*/false);
+  if (!w.ok()) return w.status();
+  writer_ = std::move(w.value());
+  segments_.push_back(std::move(next));
+  file_end_ = 0;
+  batch_start_ = 0;
+  tail_buf_.clear();
+  tail_dead_ = 0;
+  tail_start_ = 0;
   return Status::OK();
 }
 
 Status MRBGStore::AppendChunk(const Chunk& chunk) {
-  uint64_t offset = file_end_;
-  uint32_t len = EncodeChunk(chunk, &append_buf_);
-  file_end_ += len;
-  index_.Put(chunk.key, ChunkLocation{offset, len, open_batch_id()});
-  ++stats_.chunks_appended;
-  stats_.bytes_appended += len;
-  if (append_buf_.size() >= options_.append_buffer_bytes) {
-    return FlushAppendBuffer();
-  }
-  return Status::OK();
+  std::lock_guard<std::mutex> lk(mu_);
+  return AppendChunkLocked(chunk);
 }
 
 Status MRBGStore::RemoveChunk(const std::string& key) {
-  if (index_.Contains(key)) {
-    index_.Erase(key);
-    ++stats_.chunks_removed;
-  }
-  return Status::OK();
+  std::lock_guard<std::mutex> lk(mu_);
+  return RemoveChunkLocked(key);
 }
 
 Status MRBGStore::FinishBatch(bool persist_index) {
-  I2MR_RETURN_IF_ERROR(FlushAppendBuffer());
-  uint64_t start = index_.batches().empty() ? 0 : index_.batches().back().end;
-  if (file_end_ > start) {
-    index_.AddBatch(BatchInfo{start, file_end_});
-  }
-  if (!persist_index) return Status::OK();
-  return PersistIndex();
+  std::lock_guard<std::mutex> lk(mu_);
+  return FinishBatchLocked(persist_index);
 }
 
-Status MRBGStore::PersistIndex() { return index_.Save(index_path()); }
+Status MRBGStore::PersistIndex() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return PersistIndexLocked();
+}
 
 // ---------------------------------------------------------------------------
 // Query path
 // ---------------------------------------------------------------------------
 
 Status MRBGStore::PrepareQueries(std::vector<std::string> sorted_keys) {
+  std::lock_guard<std::mutex> lk(mu_);
   query_keys_ = std::move(sorted_keys);
   query_cursor_ = 0;
   windows_.clear();
   return Status::OK();
 }
 
-Status MRBGStore::EnsureReader() {
+Status MRBGStore::EnsureReaderLocked() {
   if (reader_ != nullptr && !reader_stale_) return Status::OK();
   auto r = RandomAccessFile::Open(data_path());
   if (!r.ok()) return r.status();
@@ -165,8 +617,25 @@ Status MRBGStore::EnsureReader() {
   return Status::OK();
 }
 
-uint64_t MRBGStore::DynamicWindowEnd(const ChunkLocation& loc,
-                                     size_t qpos) const {
+MRBGStore::Segment* MRBGStore::FindSegmentLocked(uint64_t id) {
+  for (auto& s : segments_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+uint64_t MRBGStore::SegmentFlushedEndLocked(const ChunkLocation& loc) const {
+  if (!log_structured_ || loc.segment == segments_.back().id) {
+    return file_end_ - append_buf_.size();
+  }
+  for (const auto& s : segments_) {
+    if (s.id == loc.segment) return s.length;
+  }
+  return 0;
+}
+
+uint64_t MRBGStore::DynamicWindowEndLocked(const ChunkLocation& loc,
+                                           size_t qpos) const {
   // Algorithm 1 (+ §5.2 multi-batch skip): grow the window over upcoming
   // queried chunks in the same batch while the gap between consecutive
   // chunks stays below T and the window fits in the read cache.
@@ -174,9 +643,10 @@ uint64_t MRBGStore::DynamicWindowEnd(const ChunkLocation& loc,
   uint64_t last_end = loc.offset + loc.length;
   for (size_t j = qpos + 1; j < query_keys_.size(); ++j) {
     const ChunkLocation* next = index_.Lookup(query_keys_[j]);
-    if (next == nullptr) continue;          // key absent: no position
-    if (next->batch != loc.batch) continue; // other batch: other window
-    if (next->offset < last_end) continue;  // already covered
+    if (next == nullptr) continue;            // key absent: no position
+    if (next->segment != loc.segment) continue;  // other file: other window
+    if (next->batch != loc.batch) continue;   // other batch: other window
+    if (next->offset < last_end) continue;    // already covered
     uint64_t gap = next->offset - last_end;
     if (gap >= options_.gap_threshold_bytes) break;
     if (window_bytes + gap + next->length > options_.read_cache_bytes) break;
@@ -186,10 +656,14 @@ uint64_t MRBGStore::DynamicWindowEnd(const ChunkLocation& loc,
   return last_end;
 }
 
-StatusOr<std::string_view> MRBGStore::ReadChunkBytes(const ChunkLocation& loc) {
-  // Recently flushed? Serve from the retained tail copy, no I/O.
+StatusOr<std::string_view> MRBGStore::ReadChunkBytesLocked(
+    const ChunkLocation& loc) {
+  bool in_active = !log_structured_ || loc.segment == active_id_locked();
+
+  // Recently flushed? Serve from the retained tail copy, no I/O. (The tail
+  // cache covers the raw file / the active segment only.)
   size_t tail_live = tail_buf_.size() - tail_dead_;
-  if (tail_live > 0 && loc.offset >= tail_start_ &&
+  if (in_active && tail_live > 0 && loc.offset >= tail_start_ &&
       loc.offset + loc.length <= tail_start_ + tail_live) {
     ++stats_.cache_hits;
     return std::string_view(
@@ -197,12 +671,28 @@ StatusOr<std::string_view> MRBGStore::ReadChunkBytes(const ChunkLocation& loc) {
         loc.length);
   }
 
-  I2MR_RETURN_IF_ERROR(EnsureReader());
+  RandomAccessFile* reader = nullptr;
+  if (log_structured_) {
+    Segment* seg = FindSegmentLocked(loc.segment);
+    if (seg == nullptr) {
+      return Status::Corruption("chunk in unknown segment " +
+                                std::to_string(loc.segment));
+    }
+    if (seg->reader == nullptr) {
+      auto r = RandomAccessFile::Open(SegmentPath(seg->id));
+      if (!r.ok()) return r.status();
+      seg->reader = std::shared_ptr<RandomAccessFile>(std::move(r.value()));
+    }
+    reader = seg->reader.get();
+  } else {
+    I2MR_RETURN_IF_ERROR(EnsureReaderLocked());
+    reader = reader_.get();
+  }
 
   if (options_.read_mode == ReadMode::kIndexOnly) {
-    Window& w = windows_[~0u];  // scratch window
+    Window& w = windows_[~0ull];  // scratch window
     w.buf.clear();
-    I2MR_RETURN_IF_ERROR(reader_->Read(loc.offset, loc.length, &w.buf));
+    I2MR_RETURN_IF_ERROR(reader->Read(loc.offset, loc.length, &w.buf));
     ++stats_.io_reads;
     stats_.bytes_read += w.buf.size();
     if (w.buf.size() < loc.length) {
@@ -213,8 +703,15 @@ StatusOr<std::string_view> MRBGStore::ReadChunkBytes(const ChunkLocation& loc) {
     return std::string_view(w.buf.data(), loc.length);
   }
 
-  uint32_t wkey =
-      options_.read_mode == ReadMode::kSingleFixedWindow ? 0u : loc.batch;
+  // Offsets are segment-relative in the log-structured layout, so windows
+  // are keyed per segment there — even in single-window mode.
+  uint64_t wkey;
+  if (options_.read_mode == ReadMode::kSingleFixedWindow) {
+    wkey = log_structured_ ? (loc.segment << 32) : 0;
+  } else {
+    wkey = log_structured_ ? ((loc.segment << 32) | loc.batch)
+                           : static_cast<uint64_t>(loc.batch);
+  }
   Window& w = windows_[wkey];
   if (loc.offset >= w.start && loc.offset + loc.length <= w.end &&
       !w.buf.empty()) {
@@ -232,23 +729,23 @@ StatusOr<std::string_view> MRBGStore::ReadChunkBytes(const ChunkLocation& loc) {
       break;
     case ReadMode::kMultiDynamicWindow: {
       // Locate the query cursor position of this chunk's key to look ahead.
-      end = DynamicWindowEnd(loc, query_cursor_);
+      end = DynamicWindowEndLocked(loc, query_cursor_);
       break;
     }
     default:
       end = loc.offset + loc.length;
   }
-  // Never read past this batch (multi-window modes) or the flushed file.
+  // Never read past this batch (multi-window modes) or the flushed bytes
+  // of the chunk's file.
   if (options_.read_mode != ReadMode::kSingleFixedWindow &&
       loc.batch < index_.batches().size()) {
     end = std::min<uint64_t>(end, index_.batches()[loc.batch].end);
   }
-  uint64_t flushed_end = file_end_ - append_buf_.size();
-  end = std::min<uint64_t>(end, flushed_end);
+  end = std::min<uint64_t>(end, SegmentFlushedEndLocked(loc));
   end = std::max<uint64_t>(end, loc.offset + loc.length);
 
   I2MR_RETURN_IF_ERROR(
-      reader_->Read(loc.offset, static_cast<size_t>(end - loc.offset), &w.buf));
+      reader->Read(loc.offset, static_cast<size_t>(end - loc.offset), &w.buf));
   ++stats_.io_reads;
   stats_.bytes_read += w.buf.size();
   if (w.buf.size() < loc.length) {
@@ -259,7 +756,7 @@ StatusOr<std::string_view> MRBGStore::ReadChunkBytes(const ChunkLocation& loc) {
   return std::string_view(w.buf.data(), loc.length);
 }
 
-StatusOr<Chunk> MRBGStore::Query(const std::string& key) {
+StatusOr<Chunk> MRBGStore::QueryLocked(const std::string& key) {
   ++stats_.queries;
   // Advance the cursor to this key's position in L (queries arrive in
   // PrepareQueries order; unknown keys fall back to standalone lookups).
@@ -272,8 +769,9 @@ StatusOr<Chunk> MRBGStore::Query(const std::string& key) {
   if (loc == nullptr) return Status::NotFound("no chunk for key " + key);
 
   // Chunk still sitting (entirely or partly) in the append buffer?
+  bool in_active = !log_structured_ || loc->segment == active_id_locked();
   uint64_t flushed_end = file_end_ - append_buf_.size();
-  if (loc->offset >= flushed_end) {
+  if (in_active && loc->offset >= flushed_end) {
     std::string_view view(append_buf_.data() + (loc->offset - flushed_end),
                           loc->length);
     Chunk chunk;
@@ -282,7 +780,7 @@ StatusOr<Chunk> MRBGStore::Query(const std::string& key) {
     return chunk;
   }
 
-  auto bytes = ReadChunkBytes(*loc);
+  auto bytes = ReadChunkBytesLocked(*loc);
   if (!bytes.ok()) return bytes.status();
   Chunk chunk;
   I2MR_RETURN_IF_ERROR(DecodeChunk(*bytes, &chunk));
@@ -293,12 +791,33 @@ StatusOr<Chunk> MRBGStore::Query(const std::string& key) {
   return chunk;
 }
 
+StatusOr<Chunk> MRBGStore::Query(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return QueryLocked(key);
+}
+
+bool MRBGStore::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.Contains(key);
+}
+
+size_t MRBGStore::num_chunks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.size();
+}
+
+size_t MRBGStore::num_batches() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.batches().size();
+}
+
 Status MRBGStore::MergeGroup(const std::string& k2,
                              const std::vector<DeltaEdge>& deltas,
                              Chunk* merged) {
+  std::lock_guard<std::mutex> lk(mu_);
   merged->key = k2;
   merged->entries.clear();
-  auto existing = Query(k2);
+  auto existing = QueryLocked(k2);
   if (existing.ok()) {
     *merged = std::move(existing.value());
   } else if (!existing.status().IsNotFound()) {
@@ -306,18 +825,18 @@ Status MRBGStore::MergeGroup(const std::string& k2,
   }
   ApplyDeltaToChunk(deltas, merged);
   if (merged->empty()) {
-    return RemoveChunk(k2);
+    return RemoveChunkLocked(k2);
   }
-  return AppendChunk(*merged);
+  return AppendChunkLocked(*merged);
 }
 
 // ---------------------------------------------------------------------------
 // Iteration / compaction
 // ---------------------------------------------------------------------------
 
-Status MRBGStore::ForEachChunk(const std::function<Status(const Chunk&)>& fn) {
-  I2MR_RETURN_IF_ERROR(FlushAppendBuffer());
-  I2MR_RETURN_IF_ERROR(EnsureReader());
+Status MRBGStore::ForEachChunkLocked(
+    const std::function<Status(const Chunk&)>& fn) {
+  I2MR_RETURN_IF_ERROR(FlushAppendBufferLocked());
   std::vector<std::pair<std::string, ChunkLocation>> entries;
   entries.reserve(index_.size());
   index_.ForEach([&](const std::string& key, const ChunkLocation& loc) {
@@ -327,7 +846,21 @@ Status MRBGStore::ForEachChunk(const std::function<Status(const Chunk&)>& fn) {
             [](const auto& a, const auto& b) { return a.first < b.first; });
   std::string buf;
   for (const auto& [key, loc] : entries) {
-    I2MR_RETURN_IF_ERROR(reader_->Read(loc.offset, loc.length, &buf));
+    RandomAccessFile* reader = nullptr;
+    if (log_structured_) {
+      Segment* seg = FindSegmentLocked(loc.segment);
+      if (seg == nullptr) return Status::Corruption("chunk in unknown segment");
+      if (seg->reader == nullptr) {
+        auto r = RandomAccessFile::Open(SegmentPath(seg->id));
+        if (!r.ok()) return r.status();
+        seg->reader = std::shared_ptr<RandomAccessFile>(std::move(r.value()));
+      }
+      reader = seg->reader.get();
+    } else {
+      I2MR_RETURN_IF_ERROR(EnsureReaderLocked());
+      reader = reader_.get();
+    }
+    I2MR_RETURN_IF_ERROR(reader->Read(loc.offset, loc.length, &buf));
     if (buf.size() < loc.length) return Status::Corruption("short read");
     Chunk chunk;
     I2MR_RETURN_IF_ERROR(DecodeChunk(buf, &chunk));
@@ -336,8 +869,13 @@ Status MRBGStore::ForEachChunk(const std::function<Status(const Chunk&)>& fn) {
   return Status::OK();
 }
 
-Status MRBGStore::Compact() {
-  I2MR_RETURN_IF_ERROR(FlushAppendBuffer());
+Status MRBGStore::ForEachChunk(const std::function<Status(const Chunk&)>& fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ForEachChunkLocked(fn);
+}
+
+Status MRBGStore::CompactRawLocked() {
+  I2MR_RETURN_IF_ERROR(FlushAppendBufferLocked());
   std::string tmp_path = data_path() + ".compact";
   auto w = WritableFile::Create(tmp_path);
   if (!w.ok()) return w.status();
@@ -345,11 +883,11 @@ Status MRBGStore::Compact() {
   ChunkIndex new_index;
   uint64_t offset = 0;
   std::string buf;
-  Status st = ForEachChunk([&](const Chunk& chunk) -> Status {
+  Status st = ForEachChunkLocked([&](const Chunk& chunk) -> Status {
     buf.clear();
     uint32_t len = EncodeChunk(chunk, &buf);
     I2MR_RETURN_IF_ERROR(w.value()->Append(buf));
-    new_index.Put(chunk.key, ChunkLocation{offset, len, 0});
+    new_index.Put(chunk.key, ChunkLocation{offset, len, 0, 0});
     offset += len;
     return Status::OK();
   });
@@ -360,9 +898,10 @@ Status MRBGStore::Compact() {
   I2MR_RETURN_IF_ERROR(writer_->Close());
   writer_.reset();
   I2MR_RETURN_IF_ERROR(RenameFile(tmp_path, data_path()));
-  if (offset > 0) new_index.AddBatch(BatchInfo{0, offset});
+  if (offset > 0) new_index.AddBatch(BatchInfo{0, offset, 0});
   index_ = std::move(new_index);
   file_end_ = offset;
+  live_bytes_ = offset;
   I2MR_RETURN_IF_ERROR(index_.Save(index_path()));
 
   auto w2 = WritableFile::Create(data_path(), /*append=*/true);
@@ -375,6 +914,393 @@ Status MRBGStore::Compact() {
   tail_dead_ = 0;
   tail_start_ = 0;
   return Status::OK();
+}
+
+bool MRBGStore::ShouldCompactLocked() const {
+  if (!log_structured_ || segments_.size() <= 1) return false;
+  if (segments_.size() - 1 > options_.compact_max_segments) return true;
+  // Only sealed waste is reclaimable (victims are the sealed segments), so
+  // the ratio must ignore the active segment or it would re-trigger
+  // forever on waste a pass cannot touch.
+  uint64_t live_sealed = live_bytes_ - live_active_bytes_;
+  uint64_t waste =
+      sealed_bytes_ > live_sealed ? sealed_bytes_ - live_sealed : 0;
+  return waste >= options_.compact_min_wasted_bytes &&
+         static_cast<double>(waste) >=
+             options_.compact_wasted_ratio * static_cast<double>(sealed_bytes_);
+}
+
+void MRBGStore::RequestCompactionLocked() {
+  {
+    std::lock_guard<std::mutex> lk(compact_mu_);
+    compact_requested_ = true;
+  }
+  compact_cv_.notify_all();
+}
+
+Status MRBGStore::CompactPass(bool all) {
+  auto crash_at = [&](const char* stage) {
+    if (!options_.compact_crash_hook) return false;
+    if (!options_.compact_crash_hook(stage)) return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    crashed_ = true;
+    return true;
+  };
+
+  struct Victim {
+    uint64_t id;
+    uint64_t length;
+  };
+  std::vector<Victim> victims;
+  std::vector<std::pair<std::string, ChunkLocation>> lives;
+  uint64_t out_id = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (crashed_ || !log_structured_ || writer_ == nullptr) {
+      return Status::OK();
+    }
+    if (all) {
+      I2MR_RETURN_IF_ERROR(FlushAppendBufferLocked());
+      if (file_end_ > batch_start_) {
+        index_.AddBatch(
+            BatchInfo{batch_start_, file_end_, active_id_locked()});
+        batch_start_ = file_end_;
+      }
+      segments_.back().length = file_end_;
+      I2MR_RETURN_IF_ERROR(RotateActiveLocked());
+    }
+    if (segments_.size() <= 1) {
+      // Nothing sealed to rewrite.
+      return all ? WriteManifestLocked() : Status::OK();
+    }
+    victims.reserve(segments_.size() - 1);
+    for (size_t i = 0; i + 1 < segments_.size(); ++i) {
+      victims.push_back(Victim{segments_[i].id, segments_[i].length});
+    }
+    uint64_t active = active_id_locked();
+    index_.ForEach([&](const std::string& key, const ChunkLocation& loc) {
+      if (loc.segment != active) lives.emplace_back(key, loc);
+    });
+    out_id = next_segment_id_++;
+  }
+
+  // ---- Rewrite phase: no lock held. The victims are sealed (immutable)
+  // segments, read through private readers; appends, queries and epoch
+  // snapshots proceed concurrently.
+  std::sort(lives.begin(), lives.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::unordered_set<uint64_t> victim_ids;
+  for (const auto& v : victims) victim_ids.insert(v.id);
+
+  uint64_t out_len = 0;
+  std::unordered_map<std::string, uint64_t> new_off;
+  if (!lives.empty()) {
+    std::string tmp = SegmentPath(out_id) + ".tmp";
+    auto w = WritableFile::Create(tmp);
+    if (!w.ok()) return w.status();
+    std::unordered_map<uint64_t, std::unique_ptr<RandomAccessFile>> readers;
+    std::string buf;
+    ScannedFrame frame;
+    for (const auto& [key, loc] : lives) {
+      auto& r = readers[loc.segment];
+      if (r == nullptr) {
+        auto rr = RandomAccessFile::Open(SegmentPath(loc.segment));
+        if (!rr.ok()) return rr.status();
+        r = std::move(rr.value());
+      }
+      I2MR_RETURN_IF_ERROR(r->Read(loc.offset, loc.length, &buf));
+      if (buf.size() < loc.length) {
+        return Status::Corruption("short chunk read compacting " + key);
+      }
+      Status st = ScanFrame(buf, &frame);
+      if (!st.ok() || frame.tombstone || frame.key != key) {
+        return Status::Corruption("bad chunk compacting " + key);
+      }
+      I2MR_RETURN_IF_ERROR(w.value()->Append(buf));
+      new_off[key] = out_len;
+      out_len += loc.length;
+    }
+    I2MR_RETURN_IF_ERROR(w.value()->Close());
+    if (crash_at("rewrite")) return Status::OK();
+    I2MR_RETURN_IF_ERROR(RenameFile(tmp, SegmentPath(out_id)));
+    if (crash_at("rename")) return Status::OK();
+  } else {
+    if (crash_at("rewrite")) return Status::OK();
+    if (crash_at("rename")) return Status::OK();
+  }
+
+  // ---- Install phase: swap segment list, index entries and MANIFEST
+  // under the lock. Entries appended or removed while the rewrite ran
+  // point at the active segment (or newer sealed ones) and win over the
+  // compacted copies.
+  std::vector<std::string> victim_paths;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (crashed_) return Status::OK();
+    // The compacted segment goes FIRST in logical order: its data is older
+    // than everything appended since the pass began.
+    std::vector<Segment> new_segments;
+    if (out_len > 0) {
+      Segment out;
+      out.id = out_id;
+      out.length = out_len;
+      new_segments.push_back(std::move(out));
+    }
+    for (auto& seg : segments_) {
+      if (victim_ids.count(seg.id)) continue;
+      new_segments.push_back(std::move(seg));
+    }
+    segments_ = std::move(new_segments);
+
+    // Renumber batches: batch 0 is the compacted segment; batches of
+    // surviving segments keep their relative order after it.
+    std::vector<BatchInfo> new_batches;
+    std::unordered_map<uint32_t, uint32_t> batch_map;
+    if (out_len > 0) new_batches.push_back(BatchInfo{0, out_len, out_id});
+    {
+      const auto& old_batches = index_.batches();
+      for (uint32_t b = 0; b < old_batches.size(); ++b) {
+        if (victim_ids.count(old_batches[b].segment)) continue;
+        batch_map[b] = static_cast<uint32_t>(new_batches.size());
+        new_batches.push_back(old_batches[b]);
+      }
+      // The open batch (id == old size) maps to the new open id.
+      batch_map[static_cast<uint32_t>(old_batches.size())] =
+          static_cast<uint32_t>(new_batches.size());
+    }
+    index_.SetBatches(std::move(new_batches));
+
+    bool missing = false;
+    index_.ForEachMutable([&](const std::string& key, ChunkLocation& loc) {
+      if (victim_ids.count(loc.segment)) {
+        auto it = new_off.find(key);
+        if (it == new_off.end()) {
+          missing = true;
+          return;
+        }
+        loc = ChunkLocation{it->second, loc.length, 0, out_id};
+      } else {
+        auto it = batch_map.find(loc.batch);
+        if (it == batch_map.end()) {
+          missing = true;
+          return;
+        }
+        loc.batch = it->second;
+      }
+    });
+    if (missing) {
+      return Status::Corruption("compaction lost track of a live chunk");
+    }
+
+    uint64_t active = active_id_locked();
+    live_bytes_ = 0;
+    live_active_bytes_ = 0;
+    index_.ForEach([&](const std::string&, const ChunkLocation& loc) {
+      live_bytes_ += loc.length;
+      if (loc.segment == active) live_active_bytes_ += loc.length;
+    });
+    sealed_bytes_ = 0;
+    for (size_t i = 0; i + 1 < segments_.size(); ++i) {
+      sealed_bytes_ += segments_[i].length;
+    }
+    windows_.clear();
+
+    ++stats_.compaction_passes;
+    uint64_t victim_bytes = 0;
+    for (const auto& v : victims) victim_bytes += v.length;
+    if (victim_bytes > out_len) {
+      stats_.compaction_bytes_reclaimed += victim_bytes - out_len;
+    }
+    I2MR_RETURN_IF_ERROR(WriteManifestLocked());
+    for (const auto& v : victims) victim_paths.push_back(SegmentPath(v.id));
+  }
+  if (crash_at("manifest")) return Status::OK();
+
+  // Unlink the victims. Epoch snapshots that hard-linked them keep their
+  // bytes alive until the snapshot dir itself is garbage-collected.
+  for (const auto& p : victim_paths) RemoveAll(p);
+  return Status::OK();
+}
+
+Status MRBGStore::Compact() {
+  if (!log_structured_) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return CompactRawLocked();
+  }
+  std::unique_lock<std::mutex> clk(compact_mu_);
+  compact_cv_.wait(clk, [&] { return !compact_running_; });
+  compact_running_ = true;
+  compact_requested_ = false;
+  clk.unlock();
+  Status st = CompactPass(/*all=*/true);
+  clk.lock();
+  compact_running_ = false;
+  clk.unlock();
+  compact_cv_.notify_all();
+  return st;
+}
+
+Status MRBGStore::CompactIfNeeded() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!log_structured_ || !ShouldCompactLocked()) return Status::OK();
+  }
+  std::unique_lock<std::mutex> clk(compact_mu_);
+  compact_cv_.wait(clk, [&] { return !compact_running_; });
+  compact_running_ = true;
+  compact_requested_ = false;
+  clk.unlock();
+  Status st = CompactPass(/*all=*/false);
+  clk.lock();
+  compact_running_ = false;
+  clk.unlock();
+  compact_cv_.notify_all();
+  return st;
+}
+
+void MRBGStore::WaitForCompaction() {
+  std::unique_lock<std::mutex> lk(compact_mu_);
+  compact_cv_.wait(lk, [&] {
+    return compact_stop_ || (!compact_requested_ && !compact_running_);
+  });
+}
+
+void MRBGStore::CompactorMain() {
+  for (;;) {
+    std::unique_lock<std::mutex> lk(compact_mu_);
+    compact_cv_.wait(lk, [&] {
+      return compact_stop_ || (compact_requested_ && !compact_running_);
+    });
+    if (compact_stop_) return;
+    compact_requested_ = false;
+    compact_running_ = true;
+    lk.unlock();
+    Status st = CompactPass(/*all=*/false);
+    if (!st.ok()) {
+      LOG_WARN << "background compaction failed: " << st.ToString();
+    }
+    lk.lock();
+    compact_running_ = false;
+    lk.unlock();
+    compact_cv_.notify_all();
+  }
+}
+
+void MRBGStore::StartCompactor() {
+  if (!options_.background_compaction || !log_structured_) return;
+  if (compactor_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(compact_mu_);
+    compact_stop_ = false;
+  }
+  compactor_ = std::thread(&MRBGStore::CompactorMain, this);
+}
+
+void MRBGStore::StopCompactor() {
+  if (!compactor_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(compact_mu_);
+    compact_stop_ = true;
+  }
+  compact_cv_.notify_all();
+  compactor_.join();
+  compactor_ = std::thread();
+  std::lock_guard<std::mutex> lk(compact_mu_);
+  compact_stop_ = false;
+  compact_requested_ = false;
+  compact_running_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+Status MRBGStore::SnapshotInto(const std::string& dst_dir,
+                               std::vector<std::string>* files) {
+  I2MR_RETURN_IF_ERROR(CreateDirs(dst_dir));
+  std::lock_guard<std::mutex> lk(mu_);
+  I2MR_RETURN_IF_ERROR(FlushAppendBufferLocked());
+  if (!log_structured_) {
+    std::string idx = JoinPath(dst_dir, "mrbg.idx");
+    if (FileExists(data_path())) {
+      std::string dat = JoinPath(dst_dir, "mrbg.dat");
+      I2MR_RETURN_IF_ERROR(LinkOrCopyFile(data_path(), dat));
+      if (files != nullptr) files->push_back(dat);
+    }
+    I2MR_RETURN_IF_ERROR(index_.Save(idx));
+    if (files != nullptr) files->push_back(idx);
+    return Status::OK();
+  }
+  // Hard-link every non-empty segment at its current committed length and
+  // write a snapshot MANIFEST capping it there. The active segment keeps
+  // growing through the original path afterwards, but only past what this
+  // manifest references — restore scans stop at the recorded length.
+  std::vector<ManifestEntry> entries;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    bool is_active = writer_ != nullptr && i + 1 == segments_.size();
+    uint64_t len = is_active ? file_end_ : segments_[i].length;
+    if (len == 0) continue;
+    std::string dst = JoinPath(dst_dir, SegmentFileName(segments_[i].id));
+    I2MR_RETURN_IF_ERROR(LinkOrCopyFile(SegmentPath(segments_[i].id), dst));
+    entries.push_back(ManifestEntry{segments_[i].id, len});
+    if (files != nullptr) files->push_back(dst);
+  }
+  std::string mpath = JoinPath(dst_dir, kManifestName);
+  I2MR_RETURN_IF_ERROR(
+      WriteStringToFile(mpath, EncodeManifest(next_segment_id_, entries)));
+  if (files != nullptr) files->push_back(mpath);
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> MRBGStore::ListStoreFiles(
+    const std::string& dir) {
+  std::vector<std::string> out;
+  std::string manifest = JoinPath(dir, kManifestName);
+  if (FileExists(manifest)) {
+    auto data = ReadFileToString(manifest);
+    if (!data.ok()) return data.status();
+    uint64_t next_id;
+    std::vector<ManifestEntry> entries;
+    I2MR_RETURN_IF_ERROR(ParseManifest(*data, &next_id, &entries));
+    out.push_back(manifest);
+    for (const auto& e : entries) {
+      out.push_back(JoinPath(dir, SegmentFileName(e.id)));
+    }
+    return out;
+  }
+  std::string idx = JoinPath(dir, "mrbg.idx");
+  if (FileExists(idx)) {
+    std::string dat = JoinPath(dir, "mrbg.dat");
+    if (FileExists(dat)) out.push_back(dat);
+    out.push_back(idx);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+uint64_t MRBGStore::file_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return log_structured_ ? sealed_bytes_ + file_end_ : file_end_;
+}
+
+uint64_t MRBGStore::live_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_bytes_;
+}
+
+uint64_t MRBGStore::wasted_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t total = log_structured_ ? sealed_bytes_ + file_end_ : file_end_;
+  return total > live_bytes_ ? total - live_bytes_ : 0;
+}
+
+size_t MRBGStore::num_segments() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (log_structured_) return segments_.size();
+  return file_end_ > 0 ? 1 : 0;
 }
 
 }  // namespace i2mr

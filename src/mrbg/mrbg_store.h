@@ -11,16 +11,34 @@
 //                         queried chunks, per batch (the i2MapReduce
 //                         default)
 //
-// Each merge epoch appends one new sorted batch of chunks; obsolete chunk
-// versions remain as garbage until Compact() (the paper's off-line
-// reconstruction).
+// Two on-disk layouts share the query machinery:
+//
+//  * Raw (paper parity, the default): one append-only mrbg.dat plus a
+//    persisted mrbg.idx. Obsolete chunk versions remain as garbage until
+//    Compact() (the paper's off-line reconstruction), and deletions live
+//    only in the persisted index.
+//
+//  * Log-structured (options.log_structured; the incremental engine's
+//    default): CRC-framed chunk entries and zero-size tombstones appended
+//    to rotating segment files (seg-NNNNNN.dat), last-writer-wins per key.
+//    A small MANIFEST names the live segments in logical order with their
+//    committed lengths; the chunk index is rebuilt by sequentially
+//    scanning them on open. A compactor — inline at batch boundaries or
+//    on a background thread — rewrites live chunks into a fresh segment
+//    and drops superseded/tombstoned ones once the wasted-bytes ratio
+//    crosses a threshold. Sealed segments are immutable inodes, so epoch
+//    snapshots hard-link them (SnapshotInto) and pinned readers keep
+//    serving dropped segments until their links go away.
 #ifndef I2MR_MRBG_MRBG_STORE_H_
 #define I2MR_MRBG_MRBG_STORE_H_
 
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -63,6 +81,42 @@ struct MRBGStoreOptions {
   /// the paper's read-strategy experiments — it would mask the window
   /// machinery the modes compare).
   size_t tail_cache_bytes = 0;
+
+  // ---- Log-structured layout (segment log + compaction) -------------------
+
+  /// Use the segmented log layout described in the file header. A store
+  /// directory that already holds a MANIFEST opens log-structured
+  /// regardless of this flag (the on-disk format wins); a raw-layout
+  /// directory opened with the flag set is migrated (live chunks rewritten
+  /// into the first segment).
+  bool log_structured = false;
+
+  /// Seal the active segment at the next batch boundary once it exceeds
+  /// this size.
+  size_t segment_target_bytes = 8u << 20;
+
+  /// Compact once wasted bytes (superseded versions, tombstones, dead
+  /// tails) exceed this fraction of the sealed-segment bytes...
+  double compact_wasted_ratio = 0.35;
+
+  /// ...and exceed this floor (don't churn tiny stores)...
+  size_t compact_min_wasted_bytes = 128u << 10;
+
+  /// ...or whenever more than this many sealed segments accumulate
+  /// (bounds read amplification independent of the waste ratio).
+  size_t compact_max_segments = 8;
+
+  /// Run compaction on a background thread woken at batch boundaries.
+  /// Off: call CompactIfNeeded() (or Compact()) explicitly.
+  bool background_compaction = false;
+
+  /// Test hook, called at named compaction stages: "rewrite" (tmp segment
+  /// fully written), "rename" (tmp renamed to its final name), "manifest"
+  /// (new MANIFEST swapped in, victims not yet unlinked). Returning true
+  /// simulates a crash at that point: the pass is abandoned and the store
+  /// stops touching disk (Close() skips its final flush), so a reopen sees
+  /// exactly what a killed process would have left behind.
+  std::function<bool(const std::string& stage)> compact_crash_hook;
 };
 
 struct MRBGStoreStats {
@@ -73,12 +127,14 @@ struct MRBGStoreStats {
   uint64_t chunks_appended = 0;
   uint64_t bytes_appended = 0;
   uint64_t chunks_removed = 0;
+  uint64_t tombstones_appended = 0;
+  uint64_t compaction_passes = 0;
+  uint64_t compaction_bytes_reclaimed = 0;
 };
 
 class MRBGStore {
  public:
-  /// Open (or create) a store in directory `dir` (files mrbg.dat /
-  /// mrbg.idx).
+  /// Open (or create) a store in directory `dir`.
   static StatusOr<std::unique_ptr<MRBGStore>> Open(
       const std::string& dir, const MRBGStoreOptions& options = {});
 
@@ -97,9 +153,9 @@ class MRBGStore {
   /// PrepareQueries order. Returns NotFound if the key has no live chunk.
   StatusOr<Chunk> Query(const std::string& key);
 
-  bool Contains(const std::string& key) const { return index_.Contains(key); }
-  size_t num_chunks() const { return index_.size(); }
-  size_t num_batches() const { return index_.batches().size(); }
+  bool Contains(const std::string& key) const;
+  size_t num_chunks() const;
+  size_t num_batches() const;
 
   /// Iterate all live chunks in key order.
   Status ForEachChunk(const std::function<Status(const Chunk&)>& fn);
@@ -111,16 +167,22 @@ class MRBGStore {
   /// (the shuffle guarantees this for the engine).
   Status AppendChunk(const Chunk& chunk);
 
-  /// Drop a chunk from the index (its bytes become garbage).
+  /// Delete a chunk: log-structured stores append a zero-size tombstone
+  /// frame (the delete survives an index rebuild by scan); raw stores drop
+  /// the index entry and the bytes become garbage.
   Status RemoveChunk(const std::string& key);
 
   /// Close the open batch: flush the append buffer, record the batch
-  /// boundary and (by default) persist the index. Iterative jobs may defer
-  /// index persistence to the end of the job (`persist_index = false`) and
-  /// call PersistIndex() once — checkpoints persist explicitly.
+  /// boundary and (by default) persist the index (raw: mrbg.idx;
+  /// log-structured: the MANIFEST). Iterative jobs may defer persistence
+  /// to the end of the job (`persist_index = false`) and call
+  /// PersistIndex() once — checkpoints persist explicitly. Log-structured
+  /// stores also rotate an over-target active segment here and kick the
+  /// background compactor when the waste policy triggers.
   Status FinishBatch(bool persist_index = true);
 
-  /// Write the in-memory index to disk.
+  /// Write the in-memory index (raw) / segment MANIFEST (log-structured)
+  /// to disk.
   Status PersistIndex();
 
   /// Merge one delta group with the preserved chunk (index nested loop join
@@ -131,25 +193,69 @@ class MRBGStore {
   Status MergeGroup(const std::string& k2, const std::vector<DeltaEdge>& deltas,
                     Chunk* merged);
 
-  /// Off-line reconstruction: rewrite the file with only live chunks in key
+  /// Full reconstruction: rewrite the store with only live chunks in key
   /// order as a single batch (paper: "The MRBGraph file is reconstructed
-  /// off-line when the worker is idle").
+  /// off-line when the worker is idle"). Log-structured stores compact
+  /// every segment into one fresh segment.
   Status Compact();
 
-  // -- Introspection --------------------------------------------------------
+  /// Log-structured: run one compaction pass now if the waste policy
+  /// thresholds are crossed (no-op otherwise, and in raw mode).
+  Status CompactIfNeeded();
 
-  const MRBGStoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = MRBGStoreStats{}; }
-  uint64_t file_bytes() const { return file_end_; }
-  const std::string& dir() const { return dir_; }
+  /// Block until the background compactor is idle (no requested or
+  /// in-flight pass). No-op without background compaction.
+  void WaitForCompaction();
 
-  /// Paths (exposed for checkpointing).
-  std::string data_path() const;
-  std::string index_path() const;
+  // -- Snapshots / recovery -------------------------------------------------
+
+  /// Hard-link a self-consistent frozen image of the store into `dst_dir`
+  /// (created if needed): the data file(s) plus an index/MANIFEST that
+  /// references exactly the linked bytes. Safe concurrently with appends
+  /// and background compaction — the image is cut under the store lock,
+  /// and links keep dropped segments alive for the snapshot. Appends the
+  /// created paths to *files when non-null. This is the pipeline's epoch
+  /// commit path.
+  Status SnapshotInto(const std::string& dst_dir,
+                      std::vector<std::string>* files = nullptr);
+
+  /// The consistent on-disk file set of a closed store directory (for
+  /// snapshotting/checkpointing without opening it): MANIFEST + its
+  /// segments, or mrbg.dat + mrbg.idx. Empty if nothing durable exists.
+  static StatusOr<std::vector<std::string>> ListStoreFiles(
+      const std::string& dir);
 
   /// Re-load index and reopen files after an external restore (fault
   /// recovery path).
   Status Reload();
+
+  // -- Introspection --------------------------------------------------------
+
+  /// By value: the background compactor updates stats under the store lock.
+  MRBGStoreStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_ = MRBGStoreStats{};
+  }
+  /// Logical on-disk footprint (all segments / mrbg.dat, incl. unflushed
+  /// appends).
+  uint64_t file_bytes() const;
+  /// Bytes of live (indexed) chunk versions.
+  uint64_t live_bytes() const;
+  /// Bytes of superseded versions, tombstones and dead tails.
+  uint64_t wasted_bytes() const;
+  /// Sealed + active segment files (raw mode: 1 if any data).
+  size_t num_segments() const;
+  bool log_structured() const { return log_structured_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Raw-layout paths (exposed for checkpointing; meaningless once a store
+  /// is log-structured — use ListStoreFiles/SnapshotInto there).
+  std::string data_path() const;
+  std::string index_path() const;
 
  private:
   MRBGStore(std::string dir, const MRBGStoreOptions& options)
@@ -161,30 +267,111 @@ class MRBGStore {
     std::string buf;
   };
 
+  /// One segment file of the log-structured layout. `length` is the
+  /// committed (scannable) byte count — a restored segment's physical file
+  /// may be longer (a dead tail grown through a hard link after the
+  /// snapshot), and those bytes are never read.
+  struct Segment {
+    uint64_t id = 0;
+    uint64_t length = 0;
+    std::shared_ptr<RandomAccessFile> reader;  // lazily opened
+  };
+
   Status OpenFiles();
-  Status FlushAppendBuffer();
-  Status EnsureReader();
+  Status OpenRaw();
+  Status OpenLogStructured();
+  Status MigrateRawToLogStructuredLocked();
+  Status ScanSegmentLocked(size_t pos);
+  Status FlushAppendBufferLocked();
+  Status EnsureReaderLocked();
+  Status RotateActiveLocked();
+  Status WriteManifestLocked();
+  Status CloseLocked();
+  Status FinishBatchLocked(bool persist_index);
+  Status PersistIndexLocked();
+  Status AppendChunkLocked(const Chunk& chunk);
+  Status RemoveChunkLocked(const std::string& key);
+  StatusOr<Chunk> QueryLocked(const std::string& key);
+  Status ForEachChunkLocked(const std::function<Status(const Chunk&)>& fn);
+  Status CompactRawLocked();
+
+  /// Waste policy check (log-structured).
+  bool ShouldCompactLocked() const;
+  /// One compaction pass over the current sealed segments: rewrite live
+  /// chunks into a fresh segment (lock dropped during the rewrite), then
+  /// swap index + MANIFEST under the lock and unlink the victims.
+  /// `all` additionally seals the active segment first so the result is a
+  /// single segment (Compact() semantics).
+  Status CompactPass(bool all);
+  void RequestCompactionLocked();
+  void CompactorMain();
+  void StartCompactor();
+  void StopCompactor();
+
+  Segment* FindSegmentLocked(uint64_t id);
+  std::string SegmentPath(uint64_t id) const;
+  std::string ManifestPath() const;
+  uint64_t active_id_locked() const { return segments_.back().id; }
+  /// Flushed end of the segment holding `loc` (reads never pass it).
+  uint64_t SegmentFlushedEndLocked(const ChunkLocation& loc) const;
+
   /// Read [offset, offset+length) through the window machinery for a chunk
   /// in `batch`; returns a view valid until the next window load.
-  StatusOr<std::string_view> ReadChunkBytes(const ChunkLocation& loc);
+  StatusOr<std::string_view> ReadChunkBytesLocked(const ChunkLocation& loc);
   /// Compute the dynamic window size per Algorithm 1 starting at query
   /// cursor position `qpos`.
-  uint64_t DynamicWindowEnd(const ChunkLocation& loc, size_t qpos) const;
-  uint32_t open_batch_id() const {
+  uint64_t DynamicWindowEndLocked(const ChunkLocation& loc, size_t qpos) const;
+  uint32_t open_batch_id_locked() const {
     return static_cast<uint32_t>(index_.batches().size());
   }
 
   std::string dir_;
   MRBGStoreOptions options_;
+  bool log_structured_ = false;
+
+  /// Guards everything below. Held by every public entry point; the
+  /// background compactor holds it only for its short install phase, so
+  /// queries/appends overlap the expensive segment rewrite.
+  mutable std::mutex mu_;
+
   ChunkIndex index_;
-  std::unique_ptr<WritableFile> writer_;
-  std::unique_ptr<RandomAccessFile> reader_;
+  std::unique_ptr<WritableFile> writer_;  // raw file / active segment
+  std::unique_ptr<RandomAccessFile> reader_;  // raw-mode reader
   bool reader_stale_ = true;
   std::string append_buf_;
-  uint64_t file_end_ = 0;  // logical file size incl. unflushed buffer
+  /// Raw: logical mrbg.dat size incl. unflushed buffer. Log-structured:
+  /// logical active-segment size incl. unflushed buffer.
+  uint64_t file_end_ = 0;
+
+  /// Log-structured state. segments_ is the logical scan order; back() is
+  /// the active (appendable) segment, everything before it is sealed and
+  /// immutable.
+  std::vector<Segment> segments_;
+  uint64_t next_segment_id_ = 1;
+  uint64_t batch_start_ = 0;  // active-segment offset of the open batch
+  /// Incremental byte accounting, so the waste policy check is O(1):
+  /// live_bytes_ counts all indexed chunk versions, live_active_bytes_ the
+  /// subset living in the active segment, sealed_bytes_ the committed
+  /// lengths of all sealed segments. Sealed waste (the only kind a pass
+  /// can reclaim) = sealed_bytes_ - (live_bytes_ - live_active_bytes_).
+  uint64_t live_bytes_ = 0;
+  uint64_t live_active_bytes_ = 0;
+  uint64_t sealed_bytes_ = 0;
+  /// Set when the crash hook fired: disk must stay exactly as the
+  /// abandoned pass left it, so Close() skips its final flush.
+  bool crashed_ = false;
+
+  // Background compactor.
+  std::thread compactor_;
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  bool compact_requested_ = false;
+  bool compact_running_ = false;
+  bool compact_stop_ = false;
+
   // Tail cache (see MRBGStoreOptions::tail_cache_bytes): a retained copy
-  // of the most recently flushed bytes. The live region is
-  // tail_buf_[tail_dead_..end), covering file offsets
+  // of the most recently flushed bytes of the raw file / active segment.
+  // The live region is tail_buf_[tail_dead_..end), covering file offsets
   // [tail_start_, tail_start_ + live size); eviction just grows the dead
   // prefix, and the buffer is compacted only when the dead prefix exceeds
   // the cache budget (amortized, no per-flush memmove).
@@ -194,7 +381,11 @@ class MRBGStore {
 
   std::vector<std::string> query_keys_;  // L, sorted
   size_t query_cursor_ = 0;
-  std::map<uint32_t, Window> windows_;  // keyed by batch (single mode: key 0)
+  /// Keyed by (segment << 32) | batch — offsets are segment-relative in
+  /// the log-structured layout, so windows must never be shared across
+  /// segments (raw mode: segment 0 → plain batch id; single-window mode:
+  /// (segment << 32); index-only scratch: ~0ull).
+  std::map<uint64_t, Window> windows_;
 
   MRBGStoreStats stats_;
 };

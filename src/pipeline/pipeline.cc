@@ -183,7 +183,22 @@ Status Pipeline::RestoreCommitted() {
                                         engine_->StructurePath(p)));
     I2MR_RETURN_IF_ERROR(
         LinkOrCopyFile(JoinPath(src, "state.dat"), engine_->StatePath(p)));
-    if (FileExists(JoinPath(src, "mrbg.dat"))) {
+    std::string mrbg_src = JoinPath(src, "mrbg");
+    std::error_code mrbg_ec;
+    if (std::filesystem::is_directory(mrbg_src, mrbg_ec)) {
+      // Epoch-committed MRBG store image (raw or log-structured): link
+      // every file back; MRBGStore::Open works out the layout from the
+      // file set (a MANIFEST means log-structured).
+      I2MR_RETURN_IF_ERROR(CreateDirs(engine_->MrbgDir(p)));
+      auto files = ListFiles(mrbg_src);
+      if (!files.ok()) return files.status();
+      for (const auto& path : *files) {
+        std::string name = path.substr(path.find_last_of('/') + 1);
+        I2MR_RETURN_IF_ERROR(
+            LinkOrCopyFile(path, JoinPath(engine_->MrbgDir(p), name)));
+      }
+    } else if (FileExists(JoinPath(src, "mrbg.dat"))) {
+      // Epochs staged before the store image moved under mrbg/.
       I2MR_RETURN_IF_ERROR(CreateDirs(engine_->MrbgDir(p)));
       I2MR_RETURN_IF_ERROR(
           LinkOrCopyFile(JoinPath(src, "mrbg.dat"),
@@ -453,15 +468,16 @@ Status Pipeline::StageEpochLocked(uint64_t epoch, uint64_t watermark,
         LinkOrCopyFile(engine_->StatePath(p), JoinPath(pdir, "state.dat")));
     snapshot_files.push_back(JoinPath(pdir, "structure.dat"));
     snapshot_files.push_back(JoinPath(pdir, "state.dat"));
-    std::string mrbg_dat = JoinPath(engine_->MrbgDir(p), "mrbg.dat");
-    if (FileExists(mrbg_dat)) {
-      I2MR_RETURN_IF_ERROR(
-          LinkOrCopyFile(mrbg_dat, JoinPath(pdir, "mrbg.dat")));
-      I2MR_RETURN_IF_ERROR(
-          LinkOrCopyFile(JoinPath(engine_->MrbgDir(p), "mrbg.idx"),
-                         JoinPath(pdir, "mrbg.idx")));
-      snapshot_files.push_back(JoinPath(pdir, "mrbg.dat"));
-      snapshot_files.push_back(JoinPath(pdir, "mrbg.idx"));
+    // MRBG store image under pdir/mrbg/: the engine picks the file set —
+    // a frozen prefix of every segment plus a manifest naming exactly
+    // those lengths (log-structured), or mrbg.dat + mrbg.idx (raw). Safe
+    // concurrently with the store's background compactor: compaction
+    // installs fresh inodes and never mutates linked ones.
+    size_t before = snapshot_files.size();
+    I2MR_RETURN_IF_ERROR(engine_->SnapshotMrbgPartition(
+        p, JoinPath(pdir, "mrbg"), &snapshot_files));
+    if (sync && snapshot_files.size() > before) {
+      I2MR_RETURN_IF_ERROR(SyncDir(JoinPath(pdir, "mrbg")));
     }
     std::string remote_dat = JoinPath(engine_->PartitionDir(p), "remote.dat");
     if (FileExists(remote_dat)) {

@@ -402,6 +402,49 @@ TEST_F(CoreIncrIterTest, RefreshAcrossEngineRestarts) {
   }
 }
 
+TEST_F(CoreIncrIterTest, DeletionsStayDeletedAcrossRestart) {
+  // Structure deletions empty their MRBG chunks, which the log-structured
+  // store records as tombstone frames. A fresh engine's LoadExisting
+  // rebuilds each store's index by scanning the segment log — the
+  // tombstoned chunks must come back deleted, not resurrect as the
+  // pre-delete versions (which are still physically present in older
+  // segments until compaction drops them).
+  GraphGenOptions gen;
+  gen.num_vertices = 120;
+  gen.avg_degree = 4;
+  auto graph = GenGraph(gen);
+  std::string root = root_ + "_tombstone";
+  LocalCluster cluster(root, 3);
+  IncrIterOptions options;
+  options.filter_threshold = 0.0;
+  options.mrbg_auto_off_ratio = 2;
+  {
+    IncrementalIterativeEngine a1(
+        &cluster, pagerank::MakeIterSpec("pr_tomb", 3, 80, 1e-8), options);
+    ASSERT_TRUE(a1.RunInitial(graph, UnitState(graph)).ok());
+    GraphDeltaOptions dopt;
+    dopt.update_fraction = 0.0;
+    dopt.delete_fraction = 0.15;  // deletions only: every touched chunk
+    dopt.seed = 77;               // shrinks or disappears
+    auto delta = GenGraphDelta(gen, dopt, &graph);
+    auto refresh = a1.RunIncremental(delta);
+    ASSERT_TRUE(refresh.ok()) << refresh.status().ToString();
+    EXPECT_FALSE(refresh->mrbg_turned_off);
+  }  // engine destroyed; tombstones live only in the segment log
+  IncrementalIterativeEngine a2(
+      &cluster, pagerank::MakeIterSpec("pr_tomb", 3, 80, 1e-8), options);
+  GraphDeltaOptions dopt;
+  dopt.update_fraction = 0.05;
+  dopt.seed = 78;
+  auto delta = GenGraphDelta(gen, dopt, &graph);
+  auto refresh = a2.RunIncremental(delta);
+  ASSERT_TRUE(refresh.ok()) << refresh.status().ToString();
+  auto state = a2.StateSnapshot();
+  ASSERT_TRUE(state.ok());
+  auto reference = pagerank::Reference(graph, 80, 1e-8);
+  EXPECT_LT(pagerank::MeanError(*state, reference), 1e-4);
+}
+
 TEST_F(CoreIncrIterTest, SecondRefreshContinuesFromFirst) {
   LocalCluster cluster(root_, 3);
   GraphGenOptions gen;

@@ -2,6 +2,7 @@
 // behaviour, the four read modes, merge semantics, and compaction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <vector>
@@ -530,6 +531,292 @@ TEST_F(MRBGStoreTest, LargeValuesSpanAppendBufferFlushes) {
   ASSERT_TRUE(c.ok());
   EXPECT_EQ(c->entries[0].v2, big);
 }
+
+// ---------------------------------------------------------------------------
+// Log-structured layout
+// ---------------------------------------------------------------------------
+
+class LogStructuredStoreTest : public MRBGStoreTest {
+ protected:
+  /// Tiny segments so a handful of batches forces rotation; waste floor at
+  /// zero so compaction thresholds are reachable with test-sized data.
+  static MRBGStoreOptions LsOpts(size_t segment_target = 1024) {
+    MRBGStoreOptions o;
+    o.log_structured = true;
+    o.segment_target_bytes = segment_target;
+    o.compact_min_wasted_bytes = 0;
+    return o;
+  }
+
+  /// `rounds` overwrite rounds over `nkeys` keys, one batch per round.
+  static void WriteRounds(MRBGStore* store, int rounds, int nkeys) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int k = 0; k < nkeys; ++k) {
+        ASSERT_TRUE(store
+                        ->AppendChunk(MakeChunk(PaddedNum(k), 3, 100,
+                                                "r" + std::to_string(r) + "_"))
+                        .ok());
+      }
+      ASSERT_TRUE(store->FinishBatch().ok());
+    }
+  }
+
+  /// Every key must hold its round-`r` value; `gone` keys must be absent.
+  static void ExpectRound(MRBGStore* store, int r, int nkeys,
+                          const std::vector<int>& gone = {}) {
+    std::vector<std::string> keys;
+    for (int k = 0; k < nkeys; ++k) keys.push_back(PaddedNum(k));
+    ASSERT_TRUE(store->PrepareQueries(keys).ok());
+    for (int k = 0; k < nkeys; ++k) {
+      bool removed =
+          std::find(gone.begin(), gone.end(), k) != gone.end();
+      auto c = store->Query(PaddedNum(k));
+      if (removed) {
+        EXPECT_TRUE(c.status().IsNotFound()) << "k=" << k;
+      } else {
+        ASSERT_TRUE(c.ok()) << "k=" << k << ": " << c.status().ToString();
+        EXPECT_EQ(c->entries[0].v2, "r" + std::to_string(r) + "_0")
+            << "k=" << k;
+      }
+    }
+  }
+};
+
+TEST_F(LogStructuredStoreTest, PersistsAcrossReopenWithRotation) {
+  {
+    auto store = OpenStore(LsOpts());
+    ASSERT_TRUE(store->log_structured());
+    WriteRounds(store.get(), 4, 10);
+    EXPECT_GT(store->num_segments(), 1u);  // tiny target forced rotation
+    ASSERT_TRUE(store->Close().ok());
+  }
+  ASSERT_TRUE(FileExists(JoinPath(dir_, "store/MANIFEST")));
+  // Reopen without the flag: the on-disk MANIFEST wins.
+  auto store = OpenStore();
+  EXPECT_TRUE(store->log_structured());
+  EXPECT_EQ(store->num_chunks(), 10u);
+  ExpectRound(store.get(), 3, 10);
+}
+
+TEST_F(LogStructuredStoreTest, TombstoneSurvivesIndexRebuild) {
+  {
+    auto store = OpenStore(LsOpts());
+    WriteRounds(store.get(), 2, 6);
+    ASSERT_TRUE(store->RemoveChunk(PaddedNum(2)).ok());
+    ASSERT_TRUE(store->FinishBatch().ok());
+    EXPECT_GT(store->stats().tombstones_appended, 0u);
+    ASSERT_TRUE(store->Close().ok());
+  }
+  // The index is rebuilt by scanning the segments: the delete must come
+  // back as a delete, not resurrect the round-1 version.
+  auto store = OpenStore();
+  EXPECT_EQ(store->num_chunks(), 5u);
+  ExpectRound(store.get(), 1, 6, /*gone=*/{2});
+}
+
+TEST_F(LogStructuredStoreTest, LatestVersionWinsAcrossSegments) {
+  auto store = OpenStore(LsOpts(512));
+  WriteRounds(store.get(), 6, 4);
+  ASSERT_GT(store->num_segments(), 2u);
+  ExpectRound(store.get(), 5, 4);
+  ASSERT_TRUE(store->Close().ok());
+  auto reopened = OpenStore();
+  ExpectRound(reopened.get(), 5, 4);
+}
+
+TEST_F(LogStructuredStoreTest, CompactIfNeededReclaimsWaste) {
+  auto store = OpenStore(LsOpts(512));
+  WriteRounds(store.get(), 8, 8);
+  uint64_t wasted_before = store->wasted_bytes();
+  uint64_t bytes_before = store->file_bytes();
+  EXPECT_GT(wasted_before, 0u);
+  ASSERT_TRUE(store->CompactIfNeeded().ok());
+  auto st = store->stats();
+  EXPECT_GE(st.compaction_passes, 1u);
+  EXPECT_GT(st.compaction_bytes_reclaimed, 0u);
+  EXPECT_LT(store->file_bytes(), bytes_before);
+  EXPECT_LT(store->wasted_bytes(), wasted_before);
+  ExpectRound(store.get(), 7, 8);
+  // Still writable, and the result survives a reopen.
+  WriteRounds(store.get(), 1, 8);  // round 0 values again
+  ASSERT_TRUE(store->Close().ok());
+  auto reopened = OpenStore();
+  ExpectRound(reopened.get(), 0, 8);
+}
+
+TEST_F(LogStructuredStoreTest, FullCompactCollapsesSegments) {
+  auto store = OpenStore(LsOpts(512));
+  WriteRounds(store.get(), 6, 8);
+  ASSERT_TRUE(store->RemoveChunk(PaddedNum(3)).ok());
+  size_t segs_before = store->num_segments();
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_LT(store->num_segments(), segs_before);
+  EXPECT_EQ(store->num_chunks(), 7u);
+  ExpectRound(store.get(), 5, 8, /*gone=*/{3});
+}
+
+TEST_F(LogStructuredStoreTest, BackgroundCompactionAtBatchBoundaries) {
+  MRBGStoreOptions opts = LsOpts(512);
+  opts.background_compaction = true;
+  opts.compact_wasted_ratio = 0.1;
+  auto store = OpenStore(opts);
+  WriteRounds(store.get(), 10, 8);
+  store->WaitForCompaction();
+  EXPECT_GE(store->stats().compaction_passes, 1u);
+  ExpectRound(store.get(), 9, 8);
+  ASSERT_TRUE(store->Close().ok());
+  auto reopened = OpenStore(opts);
+  ExpectRound(reopened.get(), 9, 8);
+}
+
+TEST_F(LogStructuredStoreTest, MigratesRawStoreInPlace) {
+  {
+    auto raw = OpenStore();  // default: raw layout
+    ASSERT_FALSE(raw->log_structured());
+    WriteRounds(raw.get(), 3, 10);
+    // A raw-mode delete lives only in the persisted index; the migration
+    // must honour it rather than resurrect the chunk from mrbg.dat.
+    ASSERT_TRUE(raw->RemoveChunk(PaddedNum(4)).ok());
+    ASSERT_TRUE(raw->Close().ok());
+  }
+  auto store = OpenStore(LsOpts());
+  EXPECT_TRUE(store->log_structured());
+  EXPECT_EQ(store->num_chunks(), 9u);
+  ExpectRound(store.get(), 2, 10, /*gone=*/{4});
+  EXPECT_TRUE(FileExists(JoinPath(dir_, "store/MANIFEST")));
+  EXPECT_FALSE(FileExists(JoinPath(dir_, "store/mrbg.dat")));
+  EXPECT_FALSE(FileExists(JoinPath(dir_, "store/mrbg.idx")));
+}
+
+TEST_F(LogStructuredStoreTest, ReadModesReturnSameChunksAsRaw) {
+  for (ReadMode mode :
+       {ReadMode::kIndexOnly, ReadMode::kSingleFixedWindow,
+        ReadMode::kMultiFixedWindow, ReadMode::kMultiDynamicWindow}) {
+    MRBGStoreOptions opts = LsOpts(2048);
+    opts.read_mode = mode;
+    opts.fixed_window_bytes = 256;
+    opts.gap_threshold_bytes = 64;
+    opts.read_cache_bytes = 1024;
+    std::string sub = std::string("mode_") + ReadModeName(mode);
+    auto s = MRBGStore::Open(JoinPath(dir_, sub), opts);
+    ASSERT_TRUE(s.ok());
+    auto& store = s.value();
+    for (int k = 0; k < 50; ++k) {
+      ASSERT_TRUE(
+          store->AppendChunk(MakeChunk(PaddedNum(k), 2, 10, "b1_")).ok());
+    }
+    ASSERT_TRUE(store->FinishBatch().ok());
+    for (int k = 0; k < 50; k += 2) {
+      ASSERT_TRUE(
+          store->AppendChunk(MakeChunk(PaddedNum(k), 2, 10, "b2_")).ok());
+    }
+    ASSERT_TRUE(store->FinishBatch().ok());
+    std::vector<std::string> keys;
+    for (int k = 0; k < 50; k += 3) keys.push_back(PaddedNum(k));
+    ASSERT_TRUE(store->PrepareQueries(keys).ok());
+    for (int k = 0; k < 50; k += 3) {
+      auto c = store->Query(PaddedNum(k));
+      ASSERT_TRUE(c.ok()) << "mode=" << ReadModeName(mode) << " k=" << k;
+      ASSERT_EQ(c->entries.size(), 2u);
+      EXPECT_EQ(c->entries[0].v2, (k % 2 == 0 ? "b2_0" : "b1_0"))
+          << "mode=" << ReadModeName(mode) << " k=" << k;
+    }
+  }
+}
+
+TEST_F(LogStructuredStoreTest, SnapshotIsFrozenAgainstLaterAppends) {
+  auto store = OpenStore(LsOpts(512));
+  WriteRounds(store.get(), 3, 8);
+  std::string snap = JoinPath(dir_, "snap");
+  std::vector<std::string> files;
+  ASSERT_TRUE(store->SnapshotInto(snap, &files).ok());
+  EXPECT_FALSE(files.empty());
+  // Keep appending to the source: the snapshot must not see any of it,
+  // even though it shares inodes with the source's segments.
+  WriteRounds(store.get(), 2, 8);
+  ASSERT_TRUE(store->RemoveChunk(PaddedNum(0)).ok());
+  ASSERT_TRUE(store->FinishBatch().ok());
+
+  auto snap_store = MRBGStore::Open(snap);
+  ASSERT_TRUE(snap_store.ok()) << snap_store.status().ToString();
+  EXPECT_TRUE(snap_store.value()->log_structured());
+  EXPECT_EQ(snap_store.value()->num_chunks(), 8u);
+  ExpectRound(snap_store.value().get(), 2, 8);
+  // And the source still serves its latest state.
+  ExpectRound(store.get(), 1, 8, /*gone=*/{0});
+}
+
+TEST_F(LogStructuredStoreTest, ListStoreFilesCoversBothLayouts) {
+  // Nothing durable yet.
+  auto empty = MRBGStore::ListStoreFiles(JoinPath(dir_, "nothing"));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  {
+    auto store = OpenStore(LsOpts());
+    WriteRounds(store.get(), 2, 6);
+    ASSERT_TRUE(store->Close().ok());
+  }
+  auto ls = MRBGStore::ListStoreFiles(JoinPath(dir_, "store"));
+  ASSERT_TRUE(ls.ok());
+  bool has_manifest = false, has_segment = false;
+  for (const auto& f : *ls) {
+    if (f.find("MANIFEST") != std::string::npos) has_manifest = true;
+    if (f.find("seg-") != std::string::npos) has_segment = true;
+  }
+  EXPECT_TRUE(has_manifest);
+  EXPECT_TRUE(has_segment);
+
+  {
+    auto raw = MRBGStore::Open(JoinPath(dir_, "raw"));
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(raw.value()->AppendChunk(MakeChunk("a", 1)).ok());
+    ASSERT_TRUE(raw.value()->Close().ok());
+  }
+  auto rf = MRBGStore::ListStoreFiles(JoinPath(dir_, "raw"));
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(rf->size(), 2u);  // mrbg.dat + mrbg.idx
+}
+
+// Crash injection at each compaction stage: a kill between the segment
+// rewrite and the index/manifest swap must recover to the old state or the
+// new state, never a torn mixture.
+class CompactionCrashTest : public LogStructuredStoreTest,
+                            public ::testing::WithParamInterface<const char*> {
+};
+
+TEST_P(CompactionCrashTest, RecoversToConsistentState) {
+  const std::string stage = GetParam();
+  MRBGStoreOptions opts = LsOpts(512);
+  int fired = 0;
+  opts.compact_crash_hook = [&](const std::string& s) {
+    if (s != stage) return false;
+    ++fired;
+    return true;
+  };
+  {
+    auto store = OpenStore(opts);
+    WriteRounds(store.get(), 6, 10);
+    ASSERT_TRUE(store->RemoveChunk(PaddedNum(5)).ok());
+    ASSERT_TRUE(store->FinishBatch().ok());
+    ASSERT_TRUE(store->Compact().ok());  // abandoned at `stage`
+    EXPECT_EQ(fired, 1);
+    // The crashed store must stop touching disk, like a killed process.
+    ASSERT_TRUE(store->Close().ok());
+  }
+  // Recovery: reopen and verify the full logical state, whichever side of
+  // the crash point the on-disk files landed on.
+  auto store = OpenStore(LsOpts(512));
+  EXPECT_EQ(store->num_chunks(), 9u);
+  ExpectRound(store.get(), 5, 10, /*gone=*/{5});
+  // And the recovered store compacts + writes normally.
+  ASSERT_TRUE(store->Compact().ok());
+  WriteRounds(store.get(), 1, 10);
+  ExpectRound(store.get(), 0, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStages, CompactionCrashTest,
+                         ::testing::Values("rewrite", "rename", "manifest"));
 
 }  // namespace
 }  // namespace i2mr

@@ -61,12 +61,18 @@ def main():
              "carry several sections, e.g. BENCH_serving.json's 'results' "
              "and 'replica_results')")
     parser.add_argument(
-        "--metric", default="mean_epoch_ms",
-        help="per-entry metric to compare (default: mean_epoch_ms)")
+        "--metric", action="append", default=None,
+        help="per-entry metric to compare (default: mean_epoch_ms); "
+             "repeatable — each metric is gated individually, so a "
+             "regression in one stage (say mean_merge_ms) fails the job "
+             "even when the aggregate epoch time still squeaks under the "
+             "bar")
     parser.add_argument(
         "--absolute", action="store_true",
         help="compare raw values instead of normalizing by full_recompute_ms")
     args = parser.parse_args()
+
+    metrics = args.metric if args.metric else ["mean_epoch_ms"]
 
     baseline_data, baseline = load(args.baseline, args.key, args.results_key)
     current_data, current = load(args.current, args.key, args.results_key)
@@ -79,21 +85,22 @@ def main():
     normalized = (not args.absolute
                   and baseline_data.get("full_recompute_ms")
                   and current_data.get("full_recompute_ms"))
-    unit = f"{args.metric}/full_recompute_ms" if normalized else args.metric
     failed = False
-    for key in shared:
-        base = metric_value(baseline_data, baseline[key], args.metric,
-                            args.absolute)
-        cur = metric_value(current_data, current[key], args.metric,
-                           args.absolute)
-        if not base or cur is None:
-            continue
-        ratio = cur / base
-        verdict = "OK" if ratio <= args.max_ratio else "REGRESSED"
-        print(f"{args.key}={key}: {unit} {base:.4f} -> {cur:.4f} "
-              f"({ratio:.2f}x, limit {args.max_ratio:.2f}x) {verdict}")
-        if ratio > args.max_ratio:
-            failed = True
+    for metric in metrics:
+        unit = f"{metric}/full_recompute_ms" if normalized else metric
+        for key in shared:
+            base = metric_value(baseline_data, baseline[key], metric,
+                                args.absolute)
+            cur = metric_value(current_data, current[key], metric,
+                               args.absolute)
+            if not base or cur is None:
+                continue
+            ratio = cur / base
+            verdict = "OK" if ratio <= args.max_ratio else "REGRESSED"
+            print(f"{args.key}={key}: {unit} {base:.4f} -> {cur:.4f} "
+                  f"({ratio:.2f}x, limit {args.max_ratio:.2f}x) {verdict}")
+            if ratio > args.max_ratio:
+                failed = True
     return 1 if failed else 0
 
 
