@@ -24,6 +24,7 @@
 #include "apps/pagerank.h"
 #include "bench_util.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "data/graph_gen.h"
 #include "io/env.h"
 #include "mr/cluster.h"
@@ -161,6 +162,8 @@ StatusOr<double> MeasureAppends(const std::string& root, DurabilityMode mode,
 }  // namespace
 
 int main() {
+  // I2MR_TRACE_JSON=trace.json traces every epoch as Chrome trace events.
+  const bool traced = trace::StartFromEnv();
   bench::Title("Pipeline epochs: latency vs delta rate (PageRank)");
   const int n = bench::ScaledInt(4000);
   const int kEpochsPerRate = 4;
@@ -375,5 +378,13 @@ int main() {
   std::fprintf(json, "}\n");
   std::fclose(json);
   bench::Note("\nwrote BENCH_pipeline.json");
+  if (traced) {
+    auto st = trace::ExportFromEnv();
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    bench::Note("wrote trace (I2MR_TRACE_JSON)");
+  }
   return 0;
 }

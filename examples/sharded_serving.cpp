@@ -25,6 +25,7 @@
 #include "apps/pagerank.h"
 #include "common/codec.h"
 #include "data/graph_gen.h"
+#include "common/trace.h"
 #include "serving/admission.h"
 #include "serving/shard_group.h"
 #include "serving/shard_router.h"
@@ -55,6 +56,10 @@ double Rank(const KV& kv) {
 }  // namespace
 
 int main() {
+  // I2MR_TRACE_JSON=/tmp/trace.json ./sharded_serving records the whole run
+  // as a Chrome trace (load it in Perfetto / chrome://tracing).
+  const bool traced = trace::StartFromEnv();
+
   // -- Tenants: "gold" reads freely, "free" is throttled --------------------
   AdmissionController admission;
   TenantQuota free_tier;
@@ -185,5 +190,13 @@ int main() {
               MetricsRegistry::Default()
                   ->ToString("serving.rank.exchange")
                   .c_str());
+  if (traced) {
+    auto st = trace::ExportFromEnv();
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace to $I2MR_TRACE_JSON\n");
+  }
   return 0;
 }

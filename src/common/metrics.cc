@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace i2mr {
@@ -16,10 +17,100 @@ void StageMetrics::Add(const StageMetrics& other) {
   reduce_output_records += other.reduce_output_records.load();
 }
 
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+uint64_t Histogram::BucketMidpoint(int index) {
+  const uint64_t lo = BucketLowerBound(index);
+  if (index + 1 >= kNumBuckets) return lo;
+  const uint64_t hi = BucketLowerBound(index + 1);
+  return lo + (hi - lo) / 2;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+int64_t Histogram::ValueAtPercentile(double p) const {
+  p = std::min(1.0, std::max(0.0, p));
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  // Rank of the p-th sample (1-based), then walk the buckets to it.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return static_cast<int64_t>(BucketMidpoint(i));
+  }
+  // Concurrent recording moved the total under us; report the top
+  // non-empty bucket.
+  for (int i = kNumBuckets - 1; i >= 0; --i) {
+    if (buckets_[i].load(std::memory_order_relaxed) != 0) {
+      return static_cast<int64_t>(BucketMidpoint(i));
+    }
+  }
+  return 0;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::NonzeroBuckets() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.emplace_back(BucketLowerBound(i), n);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
 MetricsRegistry* MetricsRegistry::Default() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never freed
   return registry;
 }
+
+bool MetricsRegistry::InFamily(const std::string& name,
+                               const std::string& prefix) {
+  if (prefix.empty()) return true;
+  if (name.size() < prefix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  if (name.size() == prefix.size()) return true;
+  // "shard1" matches "shard1.reads" but not "shard10.reads"; a trailing
+  // dot in the prefix already supplies the boundary.
+  return prefix.back() == '.' || name[prefix.size()] == '.';
+}
+
+namespace {
+
+/// Walk `prefix`'s dot-bounded family in a name-keyed map. Family members
+/// share the raw string prefix, so lower_bound + the InFamily filter
+/// visits exactly them.
+template <typename Map, typename Fn>
+void ForFamily(Map& map, const std::string& prefix, Fn fn) {
+  for (auto it = map.lower_bound(prefix);
+       it != map.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;) {
+    if (MetricsRegistry::InFamily(it->first, prefix)) {
+      if (fn(it)) continue;  // fn advanced (erased) the iterator itself
+    }
+    ++it;
+  }
+}
+
+}  // namespace
 
 Counter* MetricsRegistry::Get(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -28,16 +119,41 @@ Counter* MetricsRegistry::Get(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
 size_t MetricsRegistry::Unregister(const std::string& prefix) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t removed = 0;
-  auto it = counters_.lower_bound(prefix);
-  while (it != counters_.end() &&
-         it->first.compare(0, prefix.size(), prefix) == 0) {
+  ForFamily(counters_, prefix, [&](auto& it) {
     retired_.push_back(std::move(it->second));
     it = counters_.erase(it);
     ++removed;
-  }
+    return true;
+  });
+  ForFamily(gauges_, prefix, [&](auto& it) {
+    retired_gauges_.push_back(std::move(it->second));
+    it = gauges_.erase(it);
+    ++removed;
+    return true;
+  });
+  ForFamily(histograms_, prefix, [&](auto& it) {
+    retired_histograms_.push_back(std::move(it->second));
+    it = histograms_.erase(it);
+    ++removed;
+    return true;
+  });
   return removed;
 }
 
@@ -51,25 +167,62 @@ std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Snapshot() const {
   return out;
 }
 
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::SnapshotGauges()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
 int64_t MetricsRegistry::SumPrefixed(const std::string& prefix) const {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t sum = 0;
-  for (auto it = counters_.lower_bound(prefix);
-       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
-       ++it) {
+  ForFamily(counters_, prefix, [&](const auto& it) {
     sum += it->second->value();
-  }
+    return false;
+  });
   return sum;
 }
 
 std::string MetricsRegistry::ToString(const std::string& prefix) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  for (auto it = counters_.lower_bound(prefix);
-       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
-       ++it) {
+  ForFamily(counters_, prefix, [&](const auto& it) {
     out += it->first + "=" + std::to_string(it->second->value()) + "\n";
-  }
+    return false;
+  });
+  ForFamily(gauges_, prefix, [&](const auto& it) {
+    out += it->first + "=" + std::to_string(it->second->value()) + "\n";
+    return false;
+  });
+  ForFamily(histograms_, prefix, [&](const auto& it) {
+    const Histogram& h = *it->second;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{count=%llu p50=%lld p95=%lld p99=%lld}\n",
+                  it->first.c_str(),
+                  static_cast<unsigned long long>(h.count()),
+                  static_cast<long long>(h.p50()),
+                  static_cast<long long>(h.p95()),
+                  static_cast<long long>(h.p99()));
+    out += buf;
+    return false;
+  });
   return out;
 }
 

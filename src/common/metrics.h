@@ -73,10 +73,94 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
-/// Registry of named counters. Get() is get-or-create and thread-safe;
-/// reads through the returned Counter* are lock-free. Names are
-/// dot-separated paths ("serving.pr.shard0.reads_served") so one registry
-/// can hold per-shard / per-tenant families side by side.
+/// A point-in-time level (queue depth, replica lag, resident bytes):
+/// Set() semantics rather than a counter's monotonic Add. Same pointer
+/// stability contract as Counter.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Lock-free fixed-log-bucket latency histogram (HdrHistogram-lite):
+/// non-negative int64 values land in one of ~500 buckets laid out as 8
+/// sub-buckets per power of two, giving <= ~9% relative value error at
+/// any magnitude. Record() is a handful of relaxed atomic adds, safe from
+/// any thread; Merge() adds another histogram's buckets in, so per-thread
+/// or per-shard histograms can be combined before extracting
+/// p50/p95/p99. Values are unit-agnostic integers — the convention in
+/// this codebase is nanoseconds for durations.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 3;  // 8 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kNumBuckets = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  void Record(int64_t value) {
+    const uint64_t v = value < 0 ? 0 : static_cast<uint64_t>(value);
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(static_cast<int64_t>(v), std::memory_order_relaxed);
+  }
+
+  /// Accumulate another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  /// Value at percentile p in [0, 1] (bucket midpoint; <= ~9% relative
+  /// error). Concurrent Record()s make this an approximation of a moving
+  /// population, never a torn read.
+  int64_t ValueAtPercentile(double p) const;
+  int64_t p50() const { return ValueAtPercentile(0.50); }
+  int64_t p95() const { return ValueAtPercentile(0.95); }
+  int64_t p99() const { return ValueAtPercentile(0.99); }
+
+  /// (bucket lower bound, count) for every non-empty bucket, ascending —
+  /// the compact export form bench JSON emits.
+  std::vector<std::pair<uint64_t, uint64_t>> NonzeroBuckets() const;
+
+  static int BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    const int exp = 63 - __builtin_clzll(v);
+    const int shift = exp - kSubBucketBits;
+    const int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+    return ((shift + 1) << kSubBucketBits) + sub;
+  }
+  static uint64_t BucketLowerBound(int index) {
+    const int shift = (index >> kSubBucketBits) - 1;
+    const uint64_t sub = static_cast<uint64_t>(index & (kSubBuckets - 1));
+    if (shift < 0) return sub;
+    return (static_cast<uint64_t>(kSubBuckets) + sub) << shift;
+  }
+  static uint64_t BucketMidpoint(int index);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Registry of named counters, gauges and histograms. Get*() is
+/// get-or-create and thread-safe; reads through the returned pointers are
+/// lock-free. Names are dot-separated paths
+/// ("serving.pr.shard0.reads_served") so one registry can hold per-shard
+/// / per-tenant families side by side.
+///
+/// Every prefix-taking call (Unregister / SumPrefixed / ToString) matches
+/// whole dot-separated families: `prefix` selects the series named
+/// exactly `prefix` plus everything under "prefix." — so "shard1" never
+/// swallows "shard10.reads". A trailing dot selects strictly-under
+/// ("shard1." == children of shard1), and "" selects everything.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -88,37 +172,58 @@ class MetricsRegistry {
   static MetricsRegistry* Default();
 
   /// Get-or-create the counter named `name`; the pointer stays valid for
-  /// the registry's lifetime (even across Unregister — see below).
+  /// the registry's lifetime (even across Unregister — see below). The
+  /// three kinds live in separate namespaces, but reusing one name across
+  /// kinds is a reporting bug waiting to happen — don't.
   Counter* Get(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
 
-  /// Remove every counter whose name starts with `prefix` from the
-  /// visible series (Snapshot / SumPrefixed / ToString / re-Get), so a
-  /// deregistered shard or replica doesn't leak stale series forever.
-  /// Returns the number of counters removed. Previously handed-out
-  /// Counter* stay valid (the objects are retired, not destroyed, until
-  /// the registry itself dies) — a racing holder at worst updates a
-  /// counter nobody reports anymore.
+  /// Remove every series in `prefix`'s family (dot-boundary semantics,
+  /// see class comment) from the visible set (Snapshot / SumPrefixed /
+  /// ToString / re-Get), so a deregistered shard or replica doesn't leak
+  /// stale series forever. Returns the number of series removed.
+  /// Previously handed-out pointers stay valid (the objects are retired,
+  /// not destroyed, until the registry itself dies) — a racing holder at
+  /// worst updates a series nobody reports anymore.
   size_t Unregister(const std::string& prefix);
 
   /// Point-in-time values of every counter, sorted by name. Counters are
   /// sampled individually (relaxed), not as one atomic cut.
   std::vector<std::pair<std::string, int64_t>> Snapshot() const;
 
-  /// Sum of all counters whose name starts with `prefix` (a cheap way to
-  /// aggregate a per-shard family).
+  /// Point-in-time values of every gauge, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> SnapshotGauges() const;
+
+  /// Name + stable pointer for every live histogram, sorted by name (for
+  /// exporters; the pointers outlive Unregister like all series objects).
+  std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+
+  /// Sum of all counters in `prefix`'s family (a cheap way to aggregate
+  /// per-shard series; dot-boundary semantics — see class comment).
   int64_t SumPrefixed(const std::string& prefix) const;
 
-  /// "name=value" lines for every counter under `prefix` ("" = all).
+  /// "name=value" lines for counters and gauges plus
+  /// "name{count,p50,p95,p99}" lines for histograms in `prefix`'s family
+  /// ("" = all).
   std::string ToString(const std::string& prefix = "") const;
+
+  /// Whether `name` belongs to `prefix`'s dot-separated family — the
+  /// boundary rule every prefix-taking call above applies.
+  static bool InFamily(const std::string& name, const std::string& prefix);
 
  private:
   mutable std::mutex mu_;
-  // Heap-allocated values, so Counter addresses are stable across inserts
+  // Heap-allocated values, so series addresses are stable across inserts
   // and survive Unregister (moved to retired_).
   std::map<std::string, std::unique_ptr<Counter>> counters_;
-  // Counters removed by Unregister: invisible to reads, kept alive so
-  // stale Counter* holders never dangle.
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Series removed by Unregister: invisible to reads, kept alive so stale
+  // pointer holders never dangle.
   std::vector<std::unique_ptr<Counter>> retired_;
+  std::vector<std::unique_ptr<Gauge>> retired_gauges_;
+  std::vector<std::unique_ptr<Histogram>> retired_histograms_;
 };
 
 /// RAII ownership of one dot-separated counter family: constructs around
@@ -149,12 +254,17 @@ class ScopedMetricPrefix {
   Counter* Get(const std::string& suffix) const {
     return registry_->Get(prefix_ + "." + suffix);
   }
+  Gauge* GetGauge(const std::string& suffix) const {
+    return registry_->GetGauge(prefix_ + "." + suffix);
+  }
+  Histogram* GetHistogram(const std::string& suffix) const {
+    return registry_->GetHistogram(prefix_ + "." + suffix);
+  }
 
-  /// Unregister the family now and detach. The trailing separator keeps
-  /// this from swallowing a sibling family that shares a name prefix
-  /// ("...replica1" must not remove "...replica10.*").
+  /// Unregister the family now and detach ("...replica1" never removes
+  /// "...replica10.*" — the registry's dot-boundary rule).
   void Reset() {
-    if (registry_ != nullptr) registry_->Unregister(prefix_ + ".");
+    if (registry_ != nullptr) registry_->Unregister(prefix_);
     registry_ = nullptr;
     prefix_.clear();
   }

@@ -1,0 +1,69 @@
+// Periodic Prometheus-style text exposition of a MetricsRegistry.
+//
+// A background thread renders every counter, gauge and histogram in the
+// registry into the standard text format (counters as `counter`, gauges
+// as `gauge`, histograms as `summary` with p50/p95/p99 quantile samples)
+// and writes it to a file via tmp+rename, so a scraper — or a human with
+// `watch cat` — always sees a complete exposition. Dot-separated i2mr
+// series names are sanitized to Prometheus identifiers by mapping every
+// non-[a-zA-Z0-9_] byte to '_' ("serving.pr.shard0.reads_served" →
+// "serving_pr_shard0_reads_served").
+#ifndef I2MR_COMMON_METRICS_EXPORTER_H_
+#define I2MR_COMMON_METRICS_EXPORTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace i2mr {
+
+struct MetricsExporterOptions {
+  /// Exposition file path. Required.
+  std::string path;
+
+  /// Rewrite cadence for Start().
+  double interval_ms = 1000;
+
+  /// Registry to export; nullptr = MetricsRegistry::Default().
+  MetricsRegistry* registry = nullptr;
+};
+
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(MetricsExporterOptions options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Begin periodic exposition writes. Stop() (or destruction) joins the
+  /// writer thread; the final state is flushed on Stop.
+  void Start();
+  void Stop();
+
+  /// One synchronous exposition write (also what the periodic thread runs).
+  Status WriteOnce();
+
+  /// The full exposition text, rendered now.
+  std::string Render() const;
+
+  static std::string SanitizeName(const std::string& name);
+
+ private:
+  void WriterLoop();
+
+  MetricsExporterOptions options_;
+  std::thread writer_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;  // guarded by mu_
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_COMMON_METRICS_EXPORTER_H_

@@ -1,14 +1,16 @@
 #include "common/thread_pool.h"
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace i2mr {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, std::string name)
+    : name_(std::move(name)) {
   I2MR_CHECK(num_threads > 0) << "thread pool needs >= 1 thread";
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -35,7 +37,10 @@ void ThreadPool::WaitIdle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker) {
+  if (!name_.empty()) {
+    trace::TraceCollector::SetThreadName(name_ + "-" + std::to_string(worker));
+  }
   for (;;) {
     std::function<void()> task;
     {

@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,7 +17,9 @@ namespace i2mr {
 /// idle. Destruction drains remaining tasks.
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads);
+  /// `name`, when set, labels the workers' tracks in exported traces
+  /// ("<name>-0" .. "<name>-N").
+  explicit ThreadPool(int num_threads, std::string name = "");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -28,7 +31,9 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker);
+
+  const std::string name_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;

@@ -1,0 +1,225 @@
+// Lock-free per-thread ring-buffer tracing with RAII scoped spans,
+// exported as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing).
+//
+//   TRACE_SPAN("epoch.commit");                       // span = this scope
+//   TRACE_SPAN("epoch.refresh", "epoch=%llu", e);     // with annotation
+//   TRACE_INSTANT("epoch.poisoned", "shard=%d", s);   // zero-duration mark
+//
+// Design: each emitting thread owns a fixed ring of seqlock-protected
+// slots; a span is recorded as ONE complete event at destruction, so the
+// hot path is two NowNanos() calls plus a handful of relaxed atomic
+// stores, with no locks and no allocation. When tracing is disabled every
+// macro costs a single relaxed atomic load. The ring wraps by overwriting
+// the OLDEST events; a reader (Snapshot/Export) validates each slot's
+// sequence number and simply drops slots torn by a concurrently wrapping
+// writer, so snapshotting while tracing is race-free. Rings are recycled
+// through a free list when their thread exits, bounding memory by the
+// peak number of concurrent threads rather than the total ever spawned
+// (shard fan-out and exchange transfers spawn short-lived threads per
+// round).
+//
+// Sessions: Start() stamps a session start time; Snapshot() returns only
+// events that began at or after it, so back-to-back sessions on the
+// process-wide collector don't bleed into each other without any racy
+// ring clearing.
+#ifndef I2MR_COMMON_TRACE_H_
+#define I2MR_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace i2mr {
+namespace trace {
+
+/// One decoded event, as returned by TraceCollector::Snapshot().
+struct Event {
+  const char* name = nullptr;  // the static string passed to the macro
+  uint32_t tid = 0;            // trace-local track id (ring id)
+  int64_t ts_ns = 0;           // steady-clock span start
+  int64_t dur_ns = -1;         // span duration; -1 = instant event
+  std::string args;            // preformatted "k=v ..." text, may be empty
+};
+
+namespace internal {
+
+inline constexpr size_t kArgCapacity = 64;
+
+/// Seqlock-protected slot. Every field is an atomic, so a reader racing a
+/// wrapping writer performs no data race; the seq check tells it whether
+/// the payload was torn, in which case the slot is dropped.
+struct Slot {
+  std::atomic<uint64_t> seq{0};  // 2e+1 while event e is written, 2e+2 after
+  std::atomic<const char*> name{nullptr};
+  std::atomic<int64_t> ts_ns{0};
+  std::atomic<int64_t> dur_ns{0};
+  std::atomic<uint8_t> arg_len{0};
+  std::atomic<char> args[kArgCapacity];
+};
+
+class ThreadRing {
+ public:
+  ThreadRing(uint32_t tid, size_t capacity_pow2);
+
+  /// Writer side: single-threaded (the owning thread only).
+  void Emit(const char* name, int64_t ts_ns, int64_t dur_ns, const char* args,
+            size_t arg_len);
+
+  /// Reader side: any thread, concurrently with Emit. Appends every
+  /// validated event with ts_ns >= min_ts_ns to `out`.
+  void Collect(int64_t min_ts_ns, std::vector<Event>* out) const;
+
+  uint32_t tid() const { return tid_; }
+  uint64_t emitted() const { return head_.load(std::memory_order_acquire); }
+  size_t capacity() const { return cap_; }
+
+ private:
+  const uint32_t tid_;
+  const size_t cap_;  // power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> head_{0};
+};
+
+extern std::atomic<bool> g_enabled;
+
+}  // namespace internal
+
+/// True while a trace session is active. A single relaxed load — the
+/// whole cost of TRACE_SPAN / TRACE_INSTANT when tracing is off.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide collector (never destroyed, like
+/// MetricsRegistry::Default()). Start/Stop/Snapshot/Export are
+/// thread-safe; Snapshot and Export may run while tracing is live.
+class TraceCollector {
+ public:
+  static TraceCollector* Get();
+
+  void Start();
+  void Stop();
+
+  /// Events of the current (or most recent) session, sorted by start time.
+  std::vector<Event> Snapshot() const;
+
+  /// Snapshot rendered as Chrome trace-event JSON:
+  /// {"traceEvents":[...]} with "X" (complete), "i" (instant) and "M"
+  /// (thread-name metadata) phases; timestamps in microseconds relative
+  /// to the session start.
+  std::string ToChromeJson() const;
+  Status ExportChromeJson(const std::string& path) const;
+
+  /// Approximate events lost to ring wraparound (lifetime, all rings).
+  uint64_t approx_dropped() const;
+
+  /// Label the calling thread's track in exported traces. Cheap: stashes
+  /// the name thread-locally and applies it when (if) the thread first
+  /// emits; never allocates a ring by itself.
+  static void SetThreadName(const std::string& name);
+
+  /// Events-per-thread ring capacity for rings created after this call
+  /// (rounded up to a power of two). Existing rings keep their size.
+  void set_ring_capacity(size_t events);
+
+  int64_t session_start_ns() const;
+
+  /// Emit path (macro implementation detail): the calling thread's ring,
+  /// acquired from the free list or freshly allocated.
+  internal::ThreadRing* RingForThisThread();
+
+ private:
+  TraceCollector() = default;
+
+  void ReleaseRing(internal::ThreadRing* ring);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<internal::ThreadRing>> rings_;  // never freed
+  std::vector<internal::ThreadRing*> free_rings_;
+  std::map<uint32_t, std::string> thread_names_;  // by ring tid, last owner
+  size_t ring_capacity_ = 4096;
+  std::atomic<int64_t> session_start_ns_{0};
+
+  friend struct ThreadRingHandle;
+};
+
+/// Starts a session on the default collector if I2MR_TRACE_JSON is set in
+/// the environment. Returns true if tracing started.
+bool StartFromEnv();
+
+/// Exports the default collector to $I2MR_TRACE_JSON, if set. No-op
+/// Status::OK when the variable is absent.
+Status ExportFromEnv();
+
+void EmitInstant(const char* name);
+inline void EmitInstantf(const char* name) { EmitInstant(name); }
+void EmitInstantf(const char* name, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// RAII span: records one complete event covering its own lifetime.
+/// `name` must be a string literal (stored by pointer, never copied).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (Enabled()) Begin(name);
+  }
+  ScopedSpan(const char* name, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4))) {
+    if (Enabled()) {
+      va_list ap;
+      va_start(ap, fmt);
+      BeginV(name, fmt, ap);
+      va_end(ap);
+    }
+  }
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// End the span now rather than at scope exit. Idempotent; the
+  /// destructor is then a no-op.
+  void End() {
+    if (name_ == nullptr) return;
+    Finish();
+    name_ = nullptr;
+  }
+
+ private:
+  void Begin(const char* name);
+  void BeginV(const char* name, const char* fmt, va_list ap);
+  void Finish();
+
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  uint8_t arg_len_ = 0;
+  char args_[internal::kArgCapacity];
+};
+
+}  // namespace trace
+}  // namespace i2mr
+
+#define I2MR_TRACE_CONCAT_(a, b) a##b
+#define I2MR_TRACE_CONCAT(a, b) I2MR_TRACE_CONCAT_(a, b)
+
+/// Span covering the enclosing scope. TRACE_SPAN("name") or
+/// TRACE_SPAN("name", "k=%d", v) — the annotation is printf-formatted
+/// only while tracing is enabled.
+#define TRACE_SPAN(...)                 \
+  ::i2mr::trace::ScopedSpan I2MR_TRACE_CONCAT(i2mr_trace_span_, \
+                                              __LINE__)(__VA_ARGS__)
+
+/// Zero-duration mark: TRACE_INSTANT("name") or
+/// TRACE_INSTANT("name", "k=%d", v).
+#define TRACE_INSTANT(...) ::i2mr::trace::EmitInstantf(__VA_ARGS__)
+
+#endif  // I2MR_COMMON_TRACE_H_

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/delta.h"
 #include "io/env.h"
 #include "io/record_file.h"
@@ -255,6 +256,7 @@ Status IncrementalIterativeEngine::SnapshotMrbgPartition(
 }
 
 Status IncrementalIterativeEngine::PreserveMRBGraph(double* elapsed_ms) {
+  TRACE_SPAN("engine.preserve", "job=%s", spec_.name.c_str());
   WallTimer timer;
   const int n = spec_.num_partitions;
   std::string job_dir = cluster_->NewJobDir(spec_.name + "-preserve");
@@ -445,6 +447,7 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
     const std::vector<std::vector<DeltaKV>>* struct_delta,
     IncrIterRunStats* run_stats) {
   const int n = spec_.num_partitions;
+  TRACE_SPAN("engine.iteration", "job=%s iter=%d", spec_.name.c_str(), iter);
   IterationStats stats;
   stats.iteration = iter;
   StageMetrics metrics;
@@ -488,6 +491,7 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
   // -- Incremental prime Map ------------------------------------------------
   std::atomic<int64_t> map_instances{0};
   std::vector<Status> map_status(n);
+  trace::ScopedSpan map_stage_span("stage.map", "iter=%d", iter);
   ParallelFor(cluster_->pool(), n, [&](int p) {
     map_status[p] = run_with_recovery(TaskId::Kind::kMap, p, [&]() -> Status {
       cluster_->cost().ChargeTaskStartup();
@@ -497,6 +501,7 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
       std::vector<DeltaEdge> boundary;
       TaggingMapContext ctx(&writer, &spec_.owns_key, &boundary);
       int64_t count = 0;
+      TRACE_SPAN("task.map", "part=%d iter=%d", p, iter);
       ScopedTimer t(&metrics.map_ns);
       ctx.Begin(Hash64("__setup__"), false);
       mapper->Setup(&ctx);
@@ -541,6 +546,7 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
       return writer.Finish(nullptr, &metrics);
     });
   });
+  map_stage_span.End();
   for (const auto& st : map_status) I2MR_RETURN_IF_ERROR(st);
 
   // -- Incremental prime Reduce (merge against preserved MRBGraph) ----------
@@ -549,10 +555,12 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
   std::atomic<int64_t> merge_ns{0};
   std::mutex diff_mu;
   double total_diff = 0;
+  trace::ScopedSpan reduce_stage_span("stage.reduce", "iter=%d", iter);
   ParallelFor(cluster_->pool(), n, [&](int r) {
     reduce_status[r] = run_with_recovery(TaskId::Kind::kReduce, r,
                                          [&]() -> Status {
       cluster_->cost().ChargeTaskStartup();
+      TRACE_SPAN("task.reduce", "part=%d iter=%d", r, iter);
       ShuffleReader::Source source;
       source.exchange = exchange.get();
       source.partition = r;
@@ -613,7 +621,10 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
       std::vector<std::string> keys;
       keys.reserve(groups.size());
       for (const auto& [k, _] : groups) keys.push_back(k);
-      I2MR_RETURN_IF_ERROR(store->PrepareQueries(keys));
+      {
+        TRACE_SPAN("task.mrbg_load", "part=%d groups=%zu", r, groups.size());
+        I2MR_RETURN_IF_ERROR(store->PrepareQueries(keys));
+      }
 
       auto reducer = spec_.reducer();
       auto& ctxr = (*ctxs)[r];
@@ -672,6 +683,7 @@ StatusOr<IterationStats> IncrementalIterativeEngine::RunIncrIteration(
       return Status::OK();
     });
   });
+  reduce_stage_span.End();
   for (const auto& st : reduce_status) I2MR_RETURN_IF_ERROR(st);
 
   I2MR_RETURN_IF_ERROR(ReplicateStateAllToOne());
@@ -829,6 +841,8 @@ StatusOr<IncrIterRunStats> IncrementalIterativeEngine::RunInitial(
     const std::vector<KV>& structure, const std::vector<KV>& initial_state) {
   IncrIterRunStats stats;
   WallTimer wall;
+  TRACE_SPAN("engine.initial", "job=%s records=%zu", spec_.name.c_str(),
+             structure.size());
   if (spec_.owns_key && !options_.maintain_mrbg) {
     // The exchange's export/fold machinery rides on the MRBGraph tagging
     // and merge; without it a sharded reduce would silently drop remote
@@ -858,6 +872,8 @@ StatusOr<IncrIterRunStats> IncrementalIterativeEngine::RunIncremental(
     const std::vector<DeltaKV>& delta_structure) {
   IncrIterRunStats stats;
   WallTimer wall;
+  TRACE_SPAN("engine.refresh", "job=%s deltas=%zu", spec_.name.c_str(),
+             delta_structure.size());
   if (!prepared_) I2MR_RETURN_IF_ERROR(LoadExisting());
   if (options_.charge_job_startup_per_refresh) {
     cluster_->cost().ChargeJobStartup();

@@ -35,7 +35,7 @@ LocalCluster::LocalCluster(std::string root, int num_workers, CostModel cost,
       num_workers_(num_workers),
       cost_(cost),
       dfs_(JoinPath(root_, "dfs")),
-      pool_(num_workers),
+      pool_(num_workers, "worker"),
       instance_(NextClusterInstanceToken()) {
   bool first_attach;
   {

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/timer.h"
+#include "common/trace.h"
 #include "io/env.h"
 #include "io/record_file.h"
 
@@ -163,6 +164,7 @@ Status ShuffleWriter::Finish(Reducer* combiner, StageMetrics* metrics) {
     auto& buf = buffers_[r];
     if (buf.empty()) continue;
     {
+      TRACE_SPAN("task.sort", "part=%d", r);
       ScopedTimer t(&metrics->sort_ns);
       I2MR_RETURN_IF_ERROR(SortAndCombine(&buf, combiner));
     }
@@ -211,6 +213,7 @@ StatusOr<std::unique_ptr<ShuffleReader>> ShuffleReader::Open(
   // in-memory or spill file — is one simulated network transfer, charged
   // from its record-file size so both paths cost the same.
   {
+    TRACE_SPAN("task.shuffle", "part=%d", source.partition);
     ScopedTimer t(&metrics->shuffle_ns);
     if (source.exchange != nullptr) {
       for (const FlatKVRun* run : source.exchange->Borrow(source.partition)) {
@@ -237,6 +240,7 @@ StatusOr<std::unique_ptr<ShuffleReader>> ShuffleReader::Open(
   // Sort stage: merge the sorted runs. Only the 8-byte refs move; the
   // comparator reads key/value views out of the runs' arenas.
   {
+    TRACE_SPAN("task.sort", "part=%d merge", source.partition);
     ScopedTimer t(&metrics->sort_ns);
     size_t total = 0;
     for (const auto* r : reader->runs_) total += r->size();

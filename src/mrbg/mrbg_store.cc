@@ -8,6 +8,7 @@
 
 #include "common/codec.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "io/env.h"
 
 namespace i2mr {
@@ -939,6 +940,7 @@ void MRBGStore::RequestCompactionLocked() {
 }
 
 Status MRBGStore::CompactPass(bool all) {
+  TRACE_SPAN("mrbg.compact", "all=%d", all ? 1 : 0);
   auto crash_at = [&](const char* stage) {
     if (!options_.compact_crash_hook) return false;
     if (!options_.compact_crash_hook(stage)) return false;
@@ -955,6 +957,7 @@ Status MRBGStore::CompactPass(bool all) {
   std::vector<std::pair<std::string, ChunkLocation>> lives;
   uint64_t out_id = 0;
   {
+    TRACE_SPAN("compact.snapshot");
     std::lock_guard<std::mutex> lk(mu_);
     if (crashed_ || !log_structured_ || writer_ == nullptr) {
       return Status::OK();
@@ -987,6 +990,8 @@ Status MRBGStore::CompactPass(bool all) {
   // ---- Rewrite phase: no lock held. The victims are sealed (immutable)
   // segments, read through private readers; appends, queries and epoch
   // snapshots proceed concurrently.
+  trace::ScopedSpan rewrite_span("compact.rewrite", "victims=%zu live=%zu",
+                                 victims.size(), lives.size());
   std::sort(lives.begin(), lives.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   std::unordered_set<uint64_t> victim_ids;
@@ -1034,7 +1039,9 @@ Status MRBGStore::CompactPass(bool all) {
   // point at the active segment (or newer sealed ones) and win over the
   // compacted copies.
   std::vector<std::string> victim_paths;
+  rewrite_span.End();
   {
+    TRACE_SPAN("compact.install");
     std::lock_guard<std::mutex> lk(mu_);
     if (crashed_) return Status::OK();
     // The compacted segment goes FIRST in logical order: its data is older
@@ -1166,6 +1173,7 @@ void MRBGStore::WaitForCompaction() {
 }
 
 void MRBGStore::CompactorMain() {
+  trace::TraceCollector::SetThreadName("mrbg-compactor");
   for (;;) {
     std::unique_lock<std::mutex> lk(compact_mu_);
     compact_cv_.wait(lk, [&] {

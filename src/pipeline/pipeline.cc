@@ -9,6 +9,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "io/env.h"
 #include "io/record_file.h"
 
@@ -274,6 +275,7 @@ Status Pipeline::Bootstrap(const std::vector<KV>& structure,
   if (bootstrapped_.load()) {
     return Status::FailedPrecondition("pipeline already bootstrapped");
   }
+  TRACE_SPAN("pipeline.bootstrap", "pipeline=%s", name_.c_str());
   auto run = engine_->RunInitial(structure, initial_state);
   if (!run.ok()) return run.status();
   double commit_ms = 0;
@@ -344,9 +346,13 @@ StatusOr<EpochStats> Pipeline::RunEpoch() {
   stats.epoch = committed_epoch_.load();
   stats.watermark = committed_watermark_.load();
 
+  TRACE_SPAN("pipeline.epoch", "pipeline=%s", name_.c_str());
   WallTimer wall;
-  std::vector<SeqDelta> drained =
-      log_->ReadRange(committed_watermark_.load(), UINT64_MAX);
+  std::vector<SeqDelta> drained;
+  {
+    TRACE_SPAN("epoch.drain");
+    drained = log_->ReadRange(committed_watermark_.load(), UINT64_MAX);
+  }
   if (drained.empty()) return stats;
   // Deltas appended past this point are not in this epoch; their max-lag
   // clock must restart from (at latest) now, not from commit time — a
@@ -436,6 +442,8 @@ Status Pipeline::Commit(uint64_t epoch, uint64_t watermark, double* commit_ms,
 Status Pipeline::StageEpochLocked(uint64_t epoch, uint64_t watermark,
                                   int64_t pending_since_ns,
                                   double* commit_ms) {
+  TRACE_SPAN("epoch.stage", "pipeline=%s epoch=%llu", name_.c_str(),
+             static_cast<unsigned long long>(epoch));
   WallTimer timer;
   const int n = options_.spec.num_partitions;
   const std::string final_name = EpochDirName(epoch);
@@ -541,6 +549,8 @@ Status Pipeline::FinalizeStagedLocked() {
   if (!staged_.valid) {
     return Status::FailedPrecondition("no staged epoch to finalize");
   }
+  TRACE_SPAN("epoch.flip", "pipeline=%s epoch=%llu", name_.c_str(),
+             static_cast<unsigned long long>(staged_.epoch));
   const bool sync = options_.durability == DurabilityMode::kPowerFailure;
   // The point of no return: CURRENT now names the new epoch. In
   // power-failure mode the rename itself is made durable (SyncDir), so an
@@ -574,6 +584,8 @@ Status Pipeline::FinalizeStagedLocked() {
   const uint64_t committed_epoch = staged_.epoch;
   const uint64_t committed_watermark = staged_.watermark;
   const std::string committed_dir = JoinPath(Dir(), staged_.final_name);
+  TRACE_INSTANT("epoch.committed", "pipeline=%s epoch=%llu", name_.c_str(),
+                static_cast<unsigned long long>(committed_epoch));
   // The engine's working state is exactly what was just committed.
   bootstrapped_.store(true);
   dirty_.store(false);
@@ -605,6 +617,7 @@ Status Pipeline::ReadEpochManifest(const std::string& dir, uint64_t* epoch,
 }
 
 Status Pipeline::CleanupCommittedLocked() {
+  TRACE_SPAN("epoch.cleanup", "pipeline=%s", name_.c_str());
   // Past the point of no return the epoch IS committed: cleanup failures
   // are logged, not reported — reporting them would mark a durably
   // committed epoch as failed and trigger a needless restore + replay.
@@ -633,6 +646,7 @@ Status Pipeline::BootstrapPrepare(const std::vector<KV>& structure,
   if (bootstrapped_.load()) {
     return Status::FailedPrecondition("pipeline already bootstrapped");
   }
+  TRACE_SPAN("pipeline.bootstrap", "pipeline=%s", name_.c_str());
   auto run = engine_->RunInitial(structure, initial_state);
   if (!run.ok()) return run.status();
   // Epoch 0 is now in flight: exchange rounds fold in the other shards'
@@ -648,6 +662,8 @@ Status Pipeline::BootstrapPrepare(const std::vector<KV>& structure,
 StatusOr<Pipeline::RoundResult> Pipeline::RefreshRound(
     bool first, const std::vector<DeltaEdge>& remote_in) {
   std::lock_guard<std::mutex> lock(epoch_mu_);
+  TRACE_SPAN("epoch.round", "pipeline=%s first=%d remote_in=%zu",
+             name_.c_str(), first ? 1 : 0, remote_in.size());
   RoundResult rr;
   if (first) {
     if (!bootstrapped_.load()) {

@@ -44,7 +44,8 @@ PipelineManager::PipelineManager(LocalCluster* cluster,
     : cluster_(cluster),
       options_(std::move(options)),
       sched_pool_(options_.scheduler_threads > 0 ? options_.scheduler_threads
-                                                 : 1),
+                                                 : 1,
+                  "epoch-sched"),
       view_(this) {
   if (options_.metrics == nullptr) options_.metrics = MetricsRegistry::Default();
   const std::string& prefix = options_.metrics_prefix;
@@ -53,6 +54,7 @@ PipelineManager::PipelineManager(LocalCluster* cluster,
   epoch_failures_.published = options_.metrics->Get(prefix + ".epoch_failures");
   epochs_deferred_.published = options_.metrics->Get(prefix + ".epochs_deferred");
   reads_served_.published = options_.metrics->Get(prefix + ".reads_served");
+  epoch_wall_hist_ = options_.metrics->GetHistogram(prefix + ".epoch_wall_ns");
 }
 
 PipelineManager::~PipelineManager() {
@@ -129,6 +131,24 @@ void PipelineManager::RunEpochTask(Entry* entry) {
     if (stats->deltas_applied > 0) {
       epochs_committed_.Increment();
       deltas_applied_.Add(stats->deltas_applied);
+      epoch_wall_hist_->Record(
+          static_cast<int64_t>(stats->wall_ms * 1e6));
+      if (options_.slow_epoch_ms > 0 &&
+          stats->wall_ms > options_.slow_epoch_ms) {
+        LOG_WARN << "slow_epoch pipeline=" << entry->pipeline->name()
+                 << " epoch=" << stats->epoch
+                 << " wall_ms=" << stats->wall_ms
+                 << " refresh_ms=" << stats->refresh_ms
+                 << " commit_ms=" << stats->commit_ms
+                 << " map_ms=" << stats->refresh_map_ms
+                 << " shuffle_ms=" << stats->refresh_shuffle_ms
+                 << " sort_ms=" << stats->refresh_sort_ms
+                 << " reduce_ms=" << stats->refresh_reduce_ms
+                 << " merge_ms=" << stats->refresh_merge_ms
+                 << " deltas=" << stats->deltas_applied
+                 << " iterations=" << stats->iterations
+                 << " threshold_ms=" << options_.slow_epoch_ms;
+      }
     }
     entry->consecutive_failures.store(0);
     entry->next_attempt_ns.store(0);

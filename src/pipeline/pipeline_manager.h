@@ -80,6 +80,13 @@ struct PipelineManagerOptions {
   /// whole fleet side by side.
   MetricsRegistry* metrics = nullptr;
   std::string metrics_prefix = "pipeline_manager";
+
+  /// Epochs slower than this log one structured `slow_epoch` WARN line
+  /// with the stage breakdown inline (map/shuffle/sort/reduce/merge), so
+  /// a tail-latency epoch explains itself without a trace attached.
+  /// <= 0 disables the log line. Every epoch's wall time additionally
+  /// lands in the "<metrics_prefix>.epoch_wall_ns" histogram.
+  double slow_epoch_ms = 1000;
 };
 
 class PipelineManager {
@@ -186,6 +193,7 @@ class PipelineManager {
   PublishedCounter epoch_failures_;
   PublishedCounter epochs_deferred_;
   mutable PublishedCounter reads_served_;
+  Histogram* epoch_wall_hist_ = nullptr;  // registry-owned
 
   friend class ServingView;
 };

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "io/env.h"
 #include "io/record_file.h"
 #include "pipeline/delta_log.h"
@@ -78,7 +79,7 @@ FollowerReplica::FollowerReplica(std::string root, std::string pipeline_name,
                             : options_.metrics_prefix);
   shipped_bytes_ = metric_scope_.Get("shipped_bytes");
   applied_epochs_ = metric_scope_.Get("applied_epochs");
-  lag_epochs_ = metric_scope_.Get("lag_epochs");
+  lag_epochs_ = metric_scope_.GetGauge("lag_epochs");
   reads_served_ = metric_scope_.Get("reads_served");
 }
 
@@ -218,6 +219,8 @@ Status FollowerReplica::VerifyEpochDir(const std::string& dir,
 Status FollowerReplica::StageEpoch(uint64_t epoch, uint64_t watermark,
                                    const std::string& src_dir,
                                    uint64_t* shipped_bytes) {
+  TRACE_SPAN("replica.verify", "epoch=%llu",
+             static_cast<unsigned long long>(epoch));
   // The tree copy + CRC scans below take seconds for a large epoch, and
   // PinServing (called by the routing layer under its own lock) waits on
   // mu_ — so the heavy work runs unlocked. Staging itself needs no mutual
@@ -284,6 +287,8 @@ Status FollowerReplica::StageEpoch(uint64_t epoch, uint64_t watermark,
 }
 
 Status FollowerReplica::PromoteStaged(uint64_t epoch, uint64_t watermark) {
+  TRACE_SPAN("replica.apply", "epoch=%llu",
+             static_cast<unsigned long long>(epoch));
   std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("replica closed");
   if (store_ != nullptr && epoch <= applied_epoch_) return Status::OK();
@@ -495,11 +500,7 @@ uint64_t FollowerReplica::staged_epoch() const {
 }
 
 void FollowerReplica::SetLagEpochs(uint64_t lag) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Monotonic counters double as gauges via signed deltas.
-  int64_t target = static_cast<int64_t>(lag);
-  lag_epochs_->Add(target - published_lag_);
-  published_lag_ = target;
+  lag_epochs_->Set(static_cast<int64_t>(lag));
 }
 
 void FollowerReplica::RetireMetrics() { metric_scope_.Reset(); }

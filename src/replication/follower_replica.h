@@ -170,9 +170,8 @@ class FollowerReplica {
   ScopedMetricPrefix metric_scope_;
   Counter* shipped_bytes_ = nullptr;
   Counter* applied_epochs_ = nullptr;
-  Counter* lag_epochs_ = nullptr;   // gauge via signed Add deltas
+  Gauge* lag_epochs_ = nullptr;
   Counter* reads_served_ = nullptr;
-  int64_t published_lag_ = 0;       // guarded by mu_
 
   mutable std::mutex mu_;
   bool open_ = false;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "io/env.h"
 #include "pipeline/delta_log.h"
 
@@ -68,6 +69,7 @@ void ReplicaShipper::Stop() {
 }
 
 void ReplicaShipper::ThreadMain() {
+  trace::TraceCollector::SetThreadName("replica-shipper");
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -119,6 +121,8 @@ Status ReplicaShipper::ShipPass() {
 
 Status ReplicaShipper::ShipToFollower(FollowerReplica* f, const EpochPin& pin,
                                       const std::vector<std::string>& segments) {
+  TRACE_SPAN("replica.ship", "epoch=%llu follower=%s",
+             static_cast<unsigned long long>(pin.epoch()), f->root().c_str());
   // 1. Log shipping: land every sealed/archived segment the follower
   // doesn't hold. A segment can be retired (renamed into archive/, or
   // re-encoded as .lzd) between listing and copy — that install fails,

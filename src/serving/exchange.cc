@@ -4,6 +4,7 @@
 
 #include "common/kv.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "core/delta.h"
 
 namespace i2mr {
@@ -43,6 +44,7 @@ Status CrossShardExchange::Offer(int from_shard,
 }
 
 std::vector<std::vector<DeltaEdge>> CrossShardExchange::Route() {
+  TRACE_SPAN("exchange.route", "shards=%d", num_shards_);
   std::vector<std::vector<DeltaEdge>> inbound(num_shards_);
   // One transfer per destination shard, in parallel — like the shuffle's
   // reduce-side fetches, a round's wall time pays max(batch transfer),
@@ -54,6 +56,8 @@ std::vector<std::vector<DeltaEdge>> CrossShardExchange::Route() {
     if (staged_[to].empty()) continue;
     any = true;
     transfers.emplace_back([this, to, &inbound, &bytes] {
+      trace::TraceCollector::SetThreadName("exchange-" + std::to_string(to));
+      TRACE_SPAN("exchange.transfer", "to=%d", to);
       // Pack the batch through a flat-KV transfer arena — (K2, encoded
       // edge) records, the same wire format the shuffle moves — and
       // charge the simulated network for the bytes its record-file spill

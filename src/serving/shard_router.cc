@@ -13,6 +13,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "io/env.h"
 
 namespace i2mr {
@@ -38,7 +39,12 @@ std::string PipelineDirOf(const std::string& root, const std::string& name,
 void ForEachShard(int n, const std::function<void(int)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(n);
-  for (int s = 0; s < n; ++s) threads.emplace_back([&fn, s] { fn(s); });
+  for (int s = 0; s < n; ++s) {
+    threads.emplace_back([&fn, s] {
+      trace::TraceCollector::SetThreadName("shard-" + std::to_string(s));
+      fn(s);
+    });
+  }
   for (auto& t : threads) t.join();
 }
 
@@ -399,6 +405,7 @@ StatusOr<int> ShardRouter::RunExchangeRounds(
     // No shard exported anything new: exact joint fixpoint (SSSP/ConComp
     // land here; their converged exports stop changing bit for bit).
     if (!any_offer) break;
+    TRACE_SPAN("exchange.round", "round=%d", rounds);
     auto inbound = exchange->Route();
     if (edges_exchanged != nullptr) {
       for (const auto& batch : inbound) *edges_exchanged += batch.size();
@@ -468,6 +475,8 @@ StatusOr<ShardRouter::CoordinatedEpochStats> ShardRouter::RefreshCoordinated() {
   std::lock_guard<std::mutex> lock(coord_mu_);
   CoordinatedEpochStats stats;
   WallTimer wall;
+  TRACE_SPAN("serving.coordinated_epoch", "router=%s shards=%d", name_.c_str(),
+             num_shards());
   if (!options_.cross_shard_exchange) {
     return Status::FailedPrecondition(
         "RefreshCoordinated requires cross_shard_exchange");
@@ -550,10 +559,13 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
   // Phase 1 (prepare): stage every shard's epoch dir. Nothing is visible
   // yet — a crash in here leaves orphan dirs the pipelines GC on reopen,
   // and every CURRENT still names N-1.
+  trace::ScopedSpan stage_span("barrier.stage", "epoch=%llu",
+                               static_cast<unsigned long long>(epoch));
   std::vector<Status> status(n);
   ForEachShard(n, [&](int s) {
     status[s] = shards_[s]->pipeline->StageEpoch(epoch, nullptr);
   });
+  stage_span.End();
   Status staged = FirstError(status);
   if (!staged.ok()) return fail(staged);
   if (crashed("staged")) {
@@ -564,6 +576,8 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
   // from here on is rolled back to N-1 everywhere by RecoverBarrier (the
   // log is not purged until after the barrier, so the deltas replay).
   const bool sync = options_.pipeline.durability == DurabilityMode::kPowerFailure;
+  trace::ScopedSpan record_span("barrier.record", "epoch=%llu",
+                                static_cast<unsigned long long>(epoch));
   std::string payload;
   PutFixed64(&payload, epoch);
   std::string record = payload;
@@ -572,6 +586,7 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
   Status wrote = WriteStringToFile(tmp, record, sync);
   if (wrote.ok()) wrote = RenameFile(tmp, BarrierPath());
   if (wrote.ok() && sync) wrote = SyncDir(root_);
+  record_span.End();
   if (!wrote.ok()) return fail(wrote);
   if (crashed("barrier")) {
     return fail(
@@ -584,6 +599,8 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
   // The seqlock goes odd around the flips so a concurrent PinSnapshot
   // retries instead of observing a mixed vector mid-publication; on a
   // mid-flip failure the router stays poisoned and pins are refused.
+  trace::ScopedSpan flip_span("barrier.flip", "epoch=%llu",
+                              static_cast<unsigned long long>(epoch));
   commit_seq_.fetch_add(1, std::memory_order_acq_rel);
   auto fail_mid_flip = [&](Status st) {
     poisoned_.store(true);
@@ -603,10 +620,13 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
         Status::Aborted("simulated coordinator crash before barrier removal"));
   }
   commit_seq_.fetch_add(1, std::memory_order_acq_rel);
+  flip_span.End();
 
   // Barrier complete: retire the decision record, then housekeeping (GC of
   // superseded epoch dirs + log purges) — deferred until now because a
   // rollback needs the N-1 dirs and the unpurged logs.
+  TRACE_SPAN("barrier.cleanup", "epoch=%llu",
+             static_cast<unsigned long long>(epoch));
   Status cleared = RemoveAll(BarrierPath());
   if (cleared.ok() && sync) cleared = SyncDir(root_);
   if (!cleared.ok()) {

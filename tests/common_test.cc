@@ -13,10 +13,13 @@
 #include "common/hash.h"
 #include "common/kv.h"
 #include "common/metrics.h"
+#include "common/metrics_exporter.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
+#include "io/env.h"
 
 namespace i2mr {
 namespace {
@@ -426,15 +429,38 @@ TEST(MetricsRegistryTest, SnapshotSortedAndPrefixAggregation) {
   ASSERT_EQ(snap.size(), 4u);
   EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
 
-  EXPECT_EQ(registry.SumPrefixed("serving.pr.shard"), 8);
+  EXPECT_EQ(registry.SumPrefixed("serving.pr.shard0"), 3);
   EXPECT_EQ(registry.SumPrefixed("serving.pr."), 15);
   EXPECT_EQ(registry.SumPrefixed(""), 26);
   EXPECT_EQ(registry.SumPrefixed("no.such."), 0);
+  // Families are dot-bounded: a partial last token matches nothing.
+  EXPECT_EQ(registry.SumPrefixed("serving.pr.shard"), 0);
 
-  std::string text = registry.ToString("serving.pr.shard");
+  std::string text = registry.ToString("serving.pr.");
   EXPECT_NE(text.find("serving.pr.shard0.reads=3"), std::string::npos);
   EXPECT_NE(text.find("serving.pr.shard1.reads=5"), std::string::npos);
   EXPECT_EQ(text.find("other.counter"), std::string::npos);
+  EXPECT_EQ(registry.ToString("serving.pr.shard").size(), 0u);
+}
+
+TEST(MetricsRegistryTest, FamilyMatchingIsDotBounded) {
+  MetricsRegistry registry;
+  registry.Get("serving.pr.shard1.reads")->Add(2);
+  registry.Get("serving.pr.shard1.lag")->Add(3);
+  registry.Get("serving.pr.shard10.reads")->Add(100);
+  registry.Get("serving.pr.shard1")->Add(40);  // exact name is in-family
+
+  // "shard1" must not swallow "shard10.*".
+  EXPECT_EQ(registry.SumPrefixed("serving.pr.shard1"), 45);
+  EXPECT_EQ(registry.SumPrefixed("serving.pr.shard1."), 5);
+  std::string text = registry.ToString("serving.pr.shard1");
+  EXPECT_EQ(text.find("shard10"), std::string::npos);
+  EXPECT_NE(text.find("serving.pr.shard1.reads=2"), std::string::npos);
+  EXPECT_NE(text.find("serving.pr.shard1=40"), std::string::npos);
+
+  EXPECT_EQ(registry.Unregister("serving.pr.shard1"), 3u);
+  EXPECT_EQ(registry.Get("serving.pr.shard10.reads")->value(), 100);
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
 }
 
 TEST(MetricsRegistryTest, ConcurrentGetAndIncrementIsSafe) {
@@ -459,7 +485,11 @@ TEST(MetricsRegistryTest, ConcurrentGetAndIncrementIsSafe) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(registry.Get("concurrent.shared")->value(), kThreads * kIters);
-  EXPECT_EQ(registry.SumPrefixed("concurrent.t"), kThreads * kIters);
+  int64_t per_thread_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    per_thread_sum += registry.SumPrefixed("concurrent.t" + std::to_string(t));
+  }
+  EXPECT_EQ(per_thread_sum, kThreads * kIters);
 }
 
 TEST(MetricsRegistryTest, UnregisterRemovesSeriesButCountersStayValid) {
@@ -508,6 +538,267 @@ TEST(MetricsRegistryTest, ScopedMetricPrefixRetiresExactlyItsFamily) {
   b.Reset();
   b.Reset();
   EXPECT_EQ(registry.SumPrefixed("serving.pr.shard0.replica2."), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge / Histogram
+// ---------------------------------------------------------------------------
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("replica.lag_epochs");
+  EXPECT_EQ(g, registry.GetGauge("replica.lag_epochs"));
+  g->Set(7);
+  EXPECT_EQ(g->value(), 7);
+  g->Set(2);  // gauges go DOWN without signed-delta bookkeeping
+  EXPECT_EQ(g->value(), 2);
+  g->Add(-2);
+  EXPECT_EQ(g->value(), 0);
+  auto snap = registry.SnapshotGauges();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, "replica.lag_epochs");
+}
+
+TEST(HistogramTest, PercentilesWithinBucketError) {
+  Histogram h;
+  for (int64_t v = 1; v <= 10000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.sum(), 10000LL * 10001 / 2);
+  // Log buckets with 8 sub-buckets per octave: <= ~9% relative error.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 5000, 5000 * 0.09);
+  EXPECT_NEAR(static_cast<double>(h.p95()), 9500, 9500 * 0.09);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 9900, 9900 * 0.09);
+  EXPECT_NEAR(h.mean(), 5000.5, 1.0);
+  h.Record(-17);  // negative clamps to 0 instead of indexing off the table
+  EXPECT_EQ(h.ValueAtPercentile(0.0), 0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int64_t v = 0; v < 8; ++v) h.Record(v);
+  EXPECT_EQ(h.ValueAtPercentile(0.01), 0);
+  EXPECT_EQ(h.p99(), 7);
+  auto buckets = h.NonzeroBuckets();
+  ASSERT_EQ(buckets.size(), 8u);
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    EXPECT_EQ(buckets[i].first, i);
+    EXPECT_EQ(buckets[i].second, 1u);
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordAndMerge) {
+  Histogram a, b;
+  const int kThreads = 8, kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&a, &b, t] {
+      Histogram* h = t % 2 == 0 ? &a : &b;
+      for (int i = 0; i < kIters; ++i) h->Record(t * 1000 + i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(a.count() + b.count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  Histogram merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(merged.sum(), a.sum() + b.sum());
+  EXPECT_GT(merged.p99(), merged.p50());
+}
+
+TEST(MetricsRegistryTest, UnregisterCoversGaugesAndHistograms) {
+  MetricsRegistry registry;
+  registry.Get("replica.r0.reads")->Add(1);
+  registry.GetGauge("replica.r0.lag")->Set(3);
+  registry.GetHistogram("replica.r0.read_ns")->Record(100);
+  registry.GetGauge("replica.r10.lag")->Set(9);
+  EXPECT_EQ(registry.Unregister("replica.r0"), 3u);
+  EXPECT_EQ(registry.SnapshotGauges().size(), 1u);
+  EXPECT_TRUE(registry.Histograms().empty());
+  EXPECT_EQ(registry.GetGauge("replica.r10.lag")->value(), 9);
+  // ToString renders a histogram as a percentile summary line.
+  registry.GetHistogram("replica.r10.read_ns")->Record(50);
+  std::string text = registry.ToString("replica.r10");
+  EXPECT_NE(text.find("replica.r10.lag=9"), std::string::npos);
+  EXPECT_NE(text.find("replica.r10.read_ns{count=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsExporter
+// ---------------------------------------------------------------------------
+
+TEST(MetricsExporterTest, WriteOnceRendersPrometheusText) {
+  MetricsRegistry registry;
+  registry.Get("pm.epochs_committed")->Add(4);
+  registry.GetGauge("replica.0.lag_epochs")->Set(2);
+  Histogram* h = registry.GetHistogram("pm.epoch_wall_ns");
+  for (int i = 1; i <= 100; ++i) h->Record(i * 1000);
+
+  MetricsExporterOptions opt;
+  opt.path = ::testing::TempDir() + "/i2mr_metrics.prom";
+  opt.registry = &registry;
+  MetricsExporter exporter(opt);
+  ASSERT_TRUE(exporter.WriteOnce().ok());
+
+  auto text = ReadFileToString(opt.path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("# TYPE pm_epochs_committed counter"),
+            std::string::npos);
+  EXPECT_NE(text->find("pm_epochs_committed 4"), std::string::npos);
+  EXPECT_NE(text->find("# TYPE replica_0_lag_epochs gauge"),
+            std::string::npos);
+  EXPECT_NE(text->find("replica_0_lag_epochs 2"), std::string::npos);
+  EXPECT_NE(text->find("# TYPE pm_epoch_wall_ns summary"), std::string::npos);
+  EXPECT_NE(text->find("pm_epoch_wall_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text->find("pm_epoch_wall_ns_count 100"), std::string::npos);
+}
+
+TEST(MetricsExporterTest, MissingPathIsInvalidArgument) {
+  MetricsExporter exporter(MetricsExporterOptions{});
+  EXPECT_FALSE(exporter.WriteOnce().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, SpansNestAndExportAsChromeJson) {
+  trace::TraceCollector* collector = trace::TraceCollector::Get();
+  collector->Start();
+  {
+    TRACE_SPAN("outer", "k=%d", 1);
+    {
+      TRACE_SPAN("inner");
+      TRACE_INSTANT("mark", "i=%d", 7);
+    }
+  }
+  collector->Stop();
+
+  auto events = collector->Snapshot();
+  const trace::Event* outer = nullptr;
+  const trace::Event* inner = nullptr;
+  const trace::Event* mark = nullptr;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "outer") outer = &e;
+    if (std::string(e.name) == "inner") inner = &e;
+    if (std::string(e.name) == "mark") mark = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(mark, nullptr);
+  EXPECT_EQ(outer->args, "k=1");
+  EXPECT_EQ(mark->args, "i=7");
+  EXPECT_EQ(mark->dur_ns, -1);  // instant
+  // RAII nesting: inner is contained in outer on the same track.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_GE(inner->ts_ns, outer->ts_ns);
+  EXPECT_LE(inner->ts_ns + inner->dur_ns, outer->ts_ns + outer->dur_ns);
+
+  std::string json = collector->ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"t\",\"name\":\"mark\""),
+            std::string::npos);
+}
+
+TEST(TraceTest, SessionsDoNotBleed) {
+  trace::TraceCollector* collector = trace::TraceCollector::Get();
+  collector->Start();
+  { TRACE_SPAN("first_session_span"); }
+  collector->Stop();
+  collector->Start();
+  { TRACE_SPAN("second_session_span"); }
+  collector->Stop();
+  bool saw_first = false, saw_second = false;
+  for (const auto& e : collector->Snapshot()) {
+    if (std::string(e.name) == "first_session_span") saw_first = true;
+    if (std::string(e.name) == "second_session_span") saw_second = true;
+  }
+  EXPECT_FALSE(saw_first);
+  EXPECT_TRUE(saw_second);
+}
+
+TEST(TraceTest, DisabledEmitsNothing) {
+  trace::TraceCollector* collector = trace::TraceCollector::Get();
+  ASSERT_FALSE(trace::Enabled());
+  { TRACE_SPAN("not_recorded"); }
+  collector->Start();
+  collector->Stop();
+  for (const auto& e : collector->Snapshot()) {
+    EXPECT_NE(std::string(e.name), "not_recorded");
+  }
+}
+
+TEST(TraceTest, WraparoundDropsOldestNotNewest) {
+  trace::TraceCollector* collector = trace::TraceCollector::Get();
+  collector->set_ring_capacity(64);
+  collector->Start();
+  const int kEvents = 200;
+  // A fresh thread gets a fresh (small) ring.
+  std::thread emitter([] {
+    trace::TraceCollector::SetThreadName("wrap-test");
+    for (int i = 0; i < kEvents; ++i) TRACE_INSTANT("wrap", "i=%d", i);
+  });
+  emitter.join();
+  collector->Stop();
+
+  int count = 0;
+  bool saw_first = false, saw_last = false;
+  for (const auto& e : collector->Snapshot()) {
+    if (std::string(e.name) != "wrap") continue;
+    ++count;
+    if (e.args == "i=0") saw_first = true;
+    if (e.args == "i=" + std::to_string(kEvents - 1)) saw_last = true;
+  }
+  EXPECT_LE(count, 64);
+  EXPECT_GT(count, 0);
+  EXPECT_TRUE(saw_last);    // the ring keeps the newest...
+  EXPECT_FALSE(saw_first);  // ...and overwrites the oldest
+  EXPECT_GT(collector->approx_dropped(), 0u);
+  collector->set_ring_capacity(4096);  // restore the default for later tests
+}
+
+TEST(TraceTest, SnapshotWhileTracingIsRaceFree) {
+  trace::TraceCollector* collector = trace::TraceCollector::Get();
+  collector->Start();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < 4; ++t) {
+    emitters.emplace_back([&stop, t] {
+      while (!stop.load()) {
+        TRACE_SPAN("contended", "t=%d", t);
+        TRACE_INSTANT("tick");
+      }
+    });
+  }
+  // Readers race the wrapping writers: torn slots must be dropped, never
+  // returned with garbage.
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& e : collector->Snapshot()) {
+      ASSERT_NE(e.name, nullptr);
+      ASSERT_GE(e.ts_ns, collector->session_start_ns());
+    }
+    std::string json = collector->ToChromeJson();
+    ASSERT_FALSE(json.empty());
+  }
+  stop.store(true);
+  for (auto& t : emitters) t.join();
+  collector->Stop();
+}
+
+TEST(TraceTest, ExportWritesParseableFile) {
+  trace::TraceCollector* collector = trace::TraceCollector::Get();
+  collector->Start();
+  { TRACE_SPAN("exported_span"); }
+  collector->Stop();
+  std::string path = ::testing::TempDir() + "/i2mr_trace.json";
+  ASSERT_TRUE(collector->ExportChromeJson(path).ok());
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->front(), '{');
+  EXPECT_NE(text->find("exported_span"), std::string::npos);
 }
 
 TEST(StatusTest, ResourceExhaustedCode) {

@@ -817,7 +817,7 @@ TEST_F(ServingTest, PerShardCountersSurfaceThroughTheRegistry) {
     epochs += metrics.Get(prefix + ".epochs_committed")->value();
   }
   EXPECT_EQ(epochs, 4);
-  EXPECT_GT(metrics.SumPrefixed("serving.pr.shard"), 0);
+  EXPECT_GT(metrics.SumPrefixed("serving.pr."), 0);
   int64_t replayed = 0;
   for (int s = 0; s < 4; ++s) {
     replayed += metrics
