@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/codec.h"
+#include "common/logging.h"
 #include "io/env.h"
 #include "mrbg/chunk.h"
 #include "mrbg/mrbg_store.h"
@@ -74,18 +75,18 @@ class StoreFixture : public benchmark::Fixture {
     // Two batches of 2000 chunks.
     for (int b = 0; b < 2; ++b) {
       for (int k = 0; k < 2000; ++k) {
-        store_->AppendChunk(MakeChunk(PaddedNum(k), 8, 24));
+        I2MR_CHECK_OK(store_->AppendChunk(MakeChunk(PaddedNum(k), 8, 24)));
       }
-      store_->FinishBatch();
+      I2MR_CHECK_OK(store_->FinishBatch());
     }
     keys_.clear();
     for (int k = 0; k < 2000; k += 2) keys_.push_back(PaddedNum(k));
   }
 
   void TearDown(const benchmark::State&) override {
-    store_->Close();
+    I2MR_CHECK_OK(store_->Close());
     store_.reset();
-    RemoveAll(dir_).ok();
+    (void)RemoveAll(dir_);
   }
 
   static std::string Label(const benchmark::State& state) {
@@ -101,7 +102,7 @@ class StoreFixture : public benchmark::Fixture {
 
 BENCHMARK_DEFINE_F(StoreFixture, QuerySweep)(benchmark::State& state) {
   for (auto _ : state) {
-    store_->PrepareQueries(keys_);
+    I2MR_CHECK_OK(store_->PrepareQueries(keys_));
     for (const auto& k : keys_) {
       auto c = store_->Query(k);
       benchmark::DoNotOptimize(c);
@@ -122,14 +123,14 @@ BENCHMARK_REGISTER_F(StoreFixture, QuerySweep)
 
 BENCHMARK_DEFINE_F(StoreFixture, MergeGroups)(benchmark::State& state) {
   for (auto _ : state) {
-    store_->PrepareQueries(keys_);
+    I2MR_CHECK_OK(store_->PrepareQueries(keys_));
     Chunk merged;
     for (const auto& k : keys_) {
       std::vector<DeltaEdge> deltas = {{k, 1, "new-value", false},
                                        {k, 8, "", true}};
-      store_->MergeGroup(k, deltas, &merged);
+      I2MR_CHECK_OK(store_->MergeGroup(k, deltas, &merged));
     }
-    store_->FinishBatch();
+    I2MR_CHECK_OK(store_->FinishBatch());
   }
   state.SetItemsProcessed(state.iterations() * keys_.size());
   state.SetLabel(Label(state));
@@ -145,11 +146,11 @@ BENCHMARK_DEFINE_F(StoreFixture, Compact)(benchmark::State& state) {
     state.PauseTiming();
     // Add garbage: overwrite every chunk once more.
     for (int k = 0; k < 2000; ++k) {
-      store_->AppendChunk(MakeChunk(PaddedNum(k), 8, 24));
+      I2MR_CHECK_OK(store_->AppendChunk(MakeChunk(PaddedNum(k), 8, 24)));
     }
-    store_->FinishBatch();
+    I2MR_CHECK_OK(store_->FinishBatch());
     state.ResumeTiming();
-    store_->Compact();
+    I2MR_CHECK_OK(store_->Compact());
   }
   state.SetLabel(Label(state));
 }

@@ -1,0 +1,67 @@
+// Process-wide component health: pipelines, the coordinated router, replica
+// shippers and the metrics exporter report kHealthy/kDegraded/kFailed with a
+// reason. States mirror into the MetricsRegistry as `health.<component>`
+// gauges (0/1/2) so the existing MetricsExporter publishes them for free.
+#ifndef I2MR_COMMON_HEALTH_H_
+#define I2MR_COMMON_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace i2mr {
+
+enum class HealthState : int {
+  kHealthy = 0,
+  kDegraded = 1,  // reduced service (e.g. read-only), self-recovery expected
+  kFailed = 2,    // not serving its function; operator action likely needed
+};
+
+const char* HealthStateName(HealthState state);
+
+struct ComponentHealth {
+  std::string component;
+  HealthState state = HealthState::kHealthy;
+  std::string reason;       // empty when healthy
+  int64_t since_ns = 0;     // wall time of the last state transition
+  uint64_t transitions = 0; // state changes since the component first reported
+};
+
+class HealthRegistry {
+ public:
+  /// Mirrors states into `metrics` (MetricsRegistry::Default() if null).
+  explicit HealthRegistry(MetricsRegistry* metrics = nullptr);
+
+  static HealthRegistry* Default();
+
+  /// Idempotent: re-reporting the current state only refreshes the reason.
+  /// Transitions are logged (WARN on degrade, INFO on recovery).
+  void Report(const std::string& component, HealthState state,
+              const std::string& reason = "");
+
+  /// kHealthy for components that never reported.
+  HealthState state(const std::string& component) const;
+  std::string reason(const std::string& component) const;
+
+  std::vector<ComponentHealth> Snapshot() const;
+  bool AllHealthy() const;
+
+  /// One line per component: "<component> <state> [<reason>]".
+  std::string ToString() const;
+
+  /// Forget a component (and retire its gauge). Returns true if it existed.
+  bool Remove(const std::string& component);
+
+ private:
+  MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  std::map<std::string, ComponentHealth> components_;
+};
+
+}  // namespace i2mr
+
+#endif  // I2MR_COMMON_HEALTH_H_

@@ -74,12 +74,25 @@ Status MetricsExporter::WriteOnce() {
 }
 
 void MetricsExporter::WriterLoop() {
+  HealthRegistry* health = options_.health != nullptr
+                               ? options_.health
+                               : HealthRegistry::Default();
+  bool degraded = false;
   std::unique_lock<std::mutex> lock(mu_);
   while (running_) {
     lock.unlock();
     Status st = WriteOnce();
     if (!st.ok()) {
-      LOG_WARN << "metrics exposition write failed: " << st.ToString();
+      // Scrapers keep the last complete exposition (tmp+rename); the next
+      // interval retries. Never worth failing the process over.
+      LOG_WARN << "metrics exposition write failed (will retry next "
+               << "interval): " << st.ToString();
+      health->Report("metrics.exporter", HealthState::kDegraded,
+                     st.ToString());
+      degraded = true;
+    } else if (degraded) {
+      health->Report("metrics.exporter", HealthState::kHealthy);
+      degraded = false;
     }
     lock.lock();
     cv_.wait_for(lock,

@@ -17,6 +17,7 @@
 #include <string>
 #include <thread>
 
+#include "common/health.h"
 #include "common/metrics.h"
 #include "common/status.h"
 
@@ -31,6 +32,14 @@ struct MetricsExporterOptions {
 
   /// Registry to export; nullptr = MetricsRegistry::Default().
   MetricsRegistry* registry = nullptr;
+
+  /// Health registry to report the writer's own state into; nullptr =
+  /// HealthRegistry::Default(). An interval write that fails (tmp write
+  /// or rename — e.g. the exposition volume ran out of space) is logged,
+  /// reported as "metrics.exporter" kDegraded, and retried on the next
+  /// interval; the exposition file keeps its last complete contents
+  /// (tmp+rename never leaves it torn). Recovery reports kHealthy.
+  HealthRegistry* health = nullptr;
 };
 
 class MetricsExporter {

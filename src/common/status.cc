@@ -15,6 +15,7 @@ const char* CodeName(Status::Code code) {
     case Status::Code::kFailedPrecondition: return "FAILED_PRECONDITION";
     case Status::Code::kInternal: return "INTERNAL";
     case Status::Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Status::Code::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

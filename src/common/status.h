@@ -10,7 +10,11 @@
 namespace i2mr {
 
 /// Result of a fallible operation. Cheap to copy when OK.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides I/O failures on commit
+/// paths; deliberate best-effort call sites must say so with a cast to void
+/// (or log the failure).
+class [[nodiscard]] Status {
  public:
   enum class Code : int {
     kOk = 0,
@@ -23,6 +27,7 @@ class Status {
     kFailedPrecondition = 7,
     kInternal = 8,
     kResourceExhausted = 9,
+    kUnavailable = 10,
   };
 
   Status() : code_(Code::kOk) {}
@@ -56,6 +61,11 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
+  /// The component is temporarily not serving this operation (e.g. a
+  /// pipeline in degraded read-only mode); retry after it recovers.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -66,6 +76,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// Human-readable "CODE: message" string.
   std::string ToString() const;
@@ -79,7 +90,7 @@ class Status {
 
 /// Either a value of T or an error Status. Access to value() requires ok().
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
     assert(!status_.ok() && "StatusOr from OK status needs a value");

@@ -10,11 +10,14 @@
 #include <filesystem>
 #include <system_error>
 
+#include "io/fault_env.h"
+
 namespace i2mr {
 
 namespace fs = std::filesystem;
 
 Status CreateDirs(const std::string& path) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kMkdir, path));
   std::error_code ec;
   fs::create_directories(path, ec);
   if (ec) return Status::IOError("create_directories " + path + ": " + ec.message());
@@ -22,6 +25,7 @@ Status CreateDirs(const std::string& path) {
 }
 
 Status RemoveAll(const std::string& path) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kRemove, path));
   std::error_code ec;
   fs::remove_all(path, ec);
   if (ec) return Status::IOError("remove_all " + path + ": " + ec.message());
@@ -41,6 +45,7 @@ StatusOr<uint64_t> FileSize(const std::string& path) {
 }
 
 Status RenameFile(const std::string& from, const std::string& to) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kRename, to));
   std::error_code ec;
   fs::rename(from, to, ec);
   if (ec) return Status::IOError("rename " + from + " -> " + to + ": " + ec.message());
@@ -48,6 +53,7 @@ Status RenameFile(const std::string& from, const std::string& to) {
 }
 
 Status CopyFile(const std::string& from, const std::string& to) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kLink, to));
   std::error_code ec;
   fs::copy_file(from, to, fs::copy_options::overwrite_existing, ec);
   if (ec) return Status::IOError("copy " + from + " -> " + to + ": " + ec.message());
@@ -55,6 +61,7 @@ Status CopyFile(const std::string& from, const std::string& to) {
 }
 
 Status LinkOrCopyFile(const std::string& from, const std::string& to) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kLink, to));
   std::error_code ec;
   fs::remove(to, ec);  // link(2) refuses to replace an existing target
   if (ec) return Status::IOError("remove " + to + ": " + ec.message());
@@ -64,6 +71,7 @@ Status LinkOrCopyFile(const std::string& from, const std::string& to) {
 }
 
 Status SyncFile(const std::string& path) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kSync, path));
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
@@ -77,6 +85,7 @@ Status SyncFile(const std::string& path) {
 }
 
 Status SyncDir(const std::string& dir) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kSyncDir, dir));
   int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) {
     return Status::IOError("open dir " + dir + ": " + std::strerror(errno));
@@ -102,24 +111,37 @@ StatusOr<std::vector<std::string>> ListFiles(const std::string& dir) {
 
 Status WriteStringToFile(const std::string& path, const std::string& data,
                          bool sync) {
+  size_t write_len = data.size();
+  Status injected_error;  // surfaced after the torn prefix (if any) lands
+  if (fault::FaultInjector::Armed()) {
+    auto injected = fault::FaultInjector::Instance()->MaybeWriteFault(
+        fault::kWriteFile, path, data.size());
+    if (!injected.status.ok()) {
+      if (injected.prefix_bytes == 0) return injected.status;
+      write_len = injected.prefix_bytes;  // torn write: land a prefix, fail
+      injected_error = injected.status;
+    }
+  }
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return Status::IOError("unlink " + path + ": " + std::strerror(errno));
   }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("open for write: " + path);
-  size_t n = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  size_t n = write_len == 0 ? 0 : std::fwrite(data.data(), 1, write_len, f);
   bool synced = true;
-  if (sync && n == data.size()) {
+  if (sync && n == write_len) {
     synced = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   }
   int rc = std::fclose(f);
-  if (n != data.size() || rc != 0 || !synced) {
+  if (!injected_error.ok()) return injected_error;
+  if (n != write_len || rc != 0 || !synced) {
     return Status::IOError("write: " + path);
   }
   return Status::OK();
 }
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kOpenRead, path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("open for read: " + path);
   std::string out;

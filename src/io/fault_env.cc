@@ -1,0 +1,402 @@
+#include "io/fault_env.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace i2mr {
+namespace fault {
+
+namespace {
+
+constexpr size_t kMaxEvents = 8192;
+
+struct OpNameEntry {
+  const char* name;
+  uint32_t mask;
+};
+
+// Spec tokens → op masks. Single-bit entries double as display names.
+const OpNameEntry kOpNames[] = {
+    {"append", kAppend},     {"sync", kSync},
+    {"flush", kFlush},       {"create", kOpenWrite},
+    {"open", kOpenRead},     {"read", kRead},
+    {"rename", kRename},     {"link", kLink},
+    {"syncdir", kSyncDir},   {"writefile", kWriteFile},
+    {"remove", kRemove},     {"mkdir", kMkdir},
+    {"crash", kCrashPoint},  {"io", kAllIO},
+};
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+StatusOr<uint32_t> ParseOps(const std::string& value) {
+  uint32_t mask = 0;
+  for (const auto& tok : Split(value, '|')) {
+    bool found = false;
+    for (const auto& entry : kOpNames) {
+      if (tok == entry.name) {
+        mask |= entry.mask;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown fault op '" + tok + "'");
+    }
+  }
+  if (mask == 0) return Status::InvalidArgument("empty fault op list");
+  return mask;
+}
+
+StatusOr<FaultKind> ParseKind(const std::string& value) {
+  if (value == "eio") return FaultKind::kEIO;
+  if (value == "enospc") return FaultKind::kENOSPC;
+  if (value == "torn") return FaultKind::kTorn;
+  if (value == "latency") return FaultKind::kLatency;
+  if (value == "crash" || value == "kill") return FaultKind::kCrash;
+  return Status::InvalidArgument("unknown fault kind '" + value + "'");
+}
+
+StatusOr<double> ParseNum(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad numeric value for " + key + ": '" +
+                                   value + "'");
+  }
+  return v;
+}
+
+void SleepMs(double ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  for (const auto& entry : kOpNames) {
+    if (entry.mask == static_cast<uint32_t>(op)) return entry.name;
+  }
+  return "op";
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEIO: return "eio";
+    case FaultKind::kENOSPC: return "enospc";
+    case FaultKind::kTorn: return "torn";
+    case FaultKind::kLatency: return "latency";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+// Arm the fast path at static-init when a spec is present in the
+// environment: production binaries reach Instance() only through an armed
+// Check, so a disarmed initial state would make I2MR_FAULTS a no-op. The
+// first armed Check calls Instance(), which parses the spec and re-arms
+// (or disarms again if the spec is malformed).
+std::atomic<bool> FaultInjector::armed_{[] {
+  const char* spec = std::getenv("I2MR_FAULTS");
+  return spec != nullptr && spec[0] != '\0';
+}()};
+
+FaultInjector* FaultInjector::Instance() {
+  static FaultInjector* instance = [] {
+    auto* inj = new FaultInjector();
+    const char* spec = std::getenv("I2MR_FAULTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      Status st = inj->LoadSpec(spec);
+      if (!st.ok()) {
+        LOG_ERROR << "ignoring malformed I2MR_FAULTS: " << st.ToString();
+        inj->Reset();  // drop the eager static-init arming
+      } else {
+        LOG_WARN << "fault injection armed from I2MR_FAULTS";
+      }
+    }
+    return inj;
+  }();
+  return instance;
+}
+
+void FaultInjector::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rule.hits = 0;
+  rule.fired = 0;
+  if (rule.every == 0) rule.every = 1;
+  // Crash rules only make sense against crash points; an explicit I/O mask
+  // on one is almost certainly a spec typo, so pin it.
+  if (rule.kind == FaultKind::kCrash) rule.ops = kCrashPoint;
+  rules_.push_back(std::move(rule));
+  RearmLocked();
+}
+
+Status FaultInjector::LoadSpec(const std::string& spec) {
+  std::vector<FaultRule> parsed;
+  bool start_chaos = false;
+  ChaosOptions chaos;
+  for (const auto& raw : Split(spec, ';')) {
+    std::string rule_spec = Trim(raw);
+    if (rule_spec.empty()) continue;
+    auto fields = Split(rule_spec, ',');
+    bool is_chaos = Trim(fields[0]) == "chaos";
+    FaultRule rule;
+    for (size_t i = is_chaos ? 1 : 0; i < fields.size(); ++i) {
+      std::string field = Trim(fields[i]);
+      if (field.empty()) continue;
+      size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("fault spec field without '=': '" +
+                                       field + "'");
+      }
+      std::string key = field.substr(0, eq);
+      std::string value = field.substr(eq + 1);
+      if (key == "path") {
+        rule.path_substr = value;
+        chaos.path_substr = value;
+        continue;
+      }
+      if (key == "op") {
+        auto ops = ParseOps(value);
+        if (!ops.ok()) return ops.status();
+        rule.ops = *ops;
+        chaos.ops = *ops;
+        continue;
+      }
+      if (is_chaos) {
+        auto num = ParseNum(key, value);
+        if (!num.ok()) return num.status();
+        if (key == "seed") chaos.seed = static_cast<uint64_t>(*num);
+        else if (key == "p_fail") chaos.p_fail = *num;
+        else if (key == "p_enospc") chaos.p_enospc = *num;
+        else if (key == "p_torn") chaos.p_torn = *num;
+        else if (key == "p_latency") chaos.p_latency = *num;
+        else if (key == "max_latency_ms") chaos.max_latency_ms = *num;
+        else return Status::InvalidArgument("unknown chaos field '" + key + "'");
+        continue;
+      }
+      if (key == "kind" || key == "mode") {
+        auto kind = ParseKind(value);
+        if (!kind.ok()) return kind.status();
+        rule.kind = *kind;
+        continue;
+      }
+      auto num = ParseNum(key, value);
+      if (!num.ok()) return num.status();
+      if (key == "after") rule.after = static_cast<uint64_t>(*num);
+      else if (key == "times") rule.times = static_cast<int64_t>(*num);
+      else if (key == "every") rule.every = std::max<uint64_t>(1, static_cast<uint64_t>(*num));
+      else if (key == "latency_ms") rule.latency_ms = *num;
+      else if (key == "torn") rule.torn_fraction = *num;
+      else return Status::InvalidArgument("unknown fault field '" + key + "'");
+    }
+    if (is_chaos) {
+      start_chaos = true;
+    } else {
+      parsed.push_back(std::move(rule));
+    }
+  }
+  for (auto& rule : parsed) AddRule(std::move(rule));
+  if (start_chaos) StartChaos(chaos);
+  return Status::OK();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  chaos_on_ = false;
+  injections_ = 0;
+  events_.clear();
+  RearmLocked();
+}
+
+void FaultInjector::StartChaos(const ChaosOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_ = options;
+  chaos_rng_ = Rng(options.seed);
+  chaos_on_ = true;
+  RearmLocked();
+}
+
+void FaultInjector::StopChaos() {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_on_ = false;
+  RearmLocked();
+}
+
+bool FaultInjector::chaos_running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chaos_on_;
+}
+
+std::string FaultInjector::ChaosSpec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "chaos,seed=" << chaos_.seed << ",p_fail=" << chaos_.p_fail
+      << ",p_enospc=" << chaos_.p_enospc << ",p_torn=" << chaos_.p_torn
+      << ",p_latency=" << chaos_.p_latency
+      << ",max_latency_ms=" << chaos_.max_latency_ms;
+  if (!chaos_.path_substr.empty()) out << ",path=" << chaos_.path_substr;
+  return out.str();
+}
+
+void FaultInjector::RearmLocked() {
+  armed_.store(!rules_.empty() || chaos_on_, std::memory_order_relaxed);
+}
+
+bool FaultInjector::RuleFiresLocked(FaultRule* rule) {
+  ++rule->hits;
+  if (rule->hits <= rule->after) return false;
+  uint64_t eligible = rule->hits - rule->after;  // 1-based
+  if ((eligible - 1) % rule->every != 0) return false;
+  if (rule->times >= 0 && rule->fired >= rule->times) return false;
+  ++rule->fired;
+  return true;
+}
+
+void FaultInjector::RecordLocked(FaultKind kind, FaultOp op,
+                                 const std::string& path) {
+  ++injections_;
+  if (events_.size() >= kMaxEvents) events_.pop_front();
+  events_.push_back(std::string(FaultKindName(kind)) + " " + FaultOpName(op) +
+                    " " + path);
+}
+
+Status FaultInjector::MakeError(FaultKind kind, FaultOp op,
+                                const std::string& path) {
+  if (kind == FaultKind::kENOSPC) {
+    return Status::IOError("injected ENOSPC on " +
+                           std::string(FaultOpName(op)) + " " + path +
+                           ": no space left on device");
+  }
+  return Status::IOError("injected EIO on " + std::string(FaultOpName(op)) +
+                         " " + path + ": input/output error");
+}
+
+Status FaultInjector::MaybeFault(FaultOp op, const std::string& path) {
+  WriteFaultResult r = MaybeWriteFault(op, path, 0);
+  return r.status;
+}
+
+WriteFaultResult FaultInjector::MaybeWriteFault(FaultOp op,
+                                                const std::string& path,
+                                                size_t len) {
+  WriteFaultResult result;
+  double stall_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& rule : rules_) {
+      if ((rule.ops & op) == 0 || rule.kind == FaultKind::kCrash) continue;
+      if (!rule.path_substr.empty() &&
+          path.find(rule.path_substr) == std::string::npos) {
+        continue;
+      }
+      if (!RuleFiresLocked(&rule)) continue;
+      if (rule.kind == FaultKind::kLatency) {
+        stall_ms += rule.latency_ms;
+        RecordLocked(rule.kind, op, path);
+        continue;
+      }
+      if (rule.kind == FaultKind::kTorn && len > 0) {
+        result.prefix_bytes = std::min(
+            len - 1, static_cast<size_t>(static_cast<double>(len) *
+                                         rule.torn_fraction));
+      }
+      result.status = MakeError(
+          rule.kind == FaultKind::kTorn ? FaultKind::kEIO : rule.kind, op,
+          path);
+      RecordLocked(rule.kind, op, path);
+      break;
+    }
+    if (result.status.ok() && chaos_on_ && (chaos_.ops & op) != 0 &&
+        (chaos_.path_substr.empty() ||
+         path.find(chaos_.path_substr) != std::string::npos)) {
+      if (chaos_.p_latency > 0 && chaos_rng_.Bernoulli(chaos_.p_latency)) {
+        stall_ms += chaos_rng_.NextDouble() * chaos_.max_latency_ms;
+        RecordLocked(FaultKind::kLatency, op, path);
+      }
+      if (chaos_rng_.Bernoulli(chaos_.p_fail)) {
+        FaultKind kind = chaos_rng_.Bernoulli(chaos_.p_enospc)
+                             ? FaultKind::kENOSPC
+                             : FaultKind::kEIO;
+        if (len > 0 && chaos_rng_.Bernoulli(chaos_.p_torn)) {
+          result.prefix_bytes =
+              std::min(len - 1,
+                       static_cast<size_t>(static_cast<double>(len) *
+                                           chaos_rng_.NextDouble()));
+          RecordLocked(FaultKind::kTorn, op, path);
+        } else {
+          RecordLocked(kind, op, path);
+        }
+        result.status = MakeError(kind, op, path);
+      }
+    }
+  }
+  SleepMs(stall_ms);
+  return result;
+}
+
+bool FaultInjector::AtCrashPoint(const std::string& point) {
+  if (!Armed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& rule : rules_) {
+    if (rule.kind != FaultKind::kCrash || (rule.ops & kCrashPoint) == 0) {
+      continue;
+    }
+    if (!rule.path_substr.empty() &&
+        point.find(rule.path_substr) == std::string::npos) {
+      continue;
+    }
+    if (!RuleFiresLocked(&rule)) continue;
+    RecordLocked(FaultKind::kCrash, kCrashPoint, point);
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::injections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injections_;
+}
+
+std::vector<std::string> FaultInjector::EventLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(events_.begin(), events_.end());
+}
+
+std::string FaultInjector::EventLogText() const {
+  std::string out;
+  for (const auto& event : EventLog()) {
+    out += event;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace fault
+}  // namespace i2mr

@@ -1,0 +1,191 @@
+// Fault-injection layer for the filesystem primitives in io/.
+//
+// Every Env/file operation consults the process-wide FaultInjector before
+// touching the real filesystem. When no fault plan is loaded the check is a
+// single relaxed atomic load — nil overhead on production paths. With a plan
+// loaded, operations matching a rule fail with injected ENOSPC/EIO, write a
+// torn prefix, stall for injected latency, or simulate a kill at a named
+// crash point.
+//
+// Plans come from three places:
+//   * programmatically: FaultInjector::Instance()->AddRule({...})
+//   * the I2MR_FAULTS env var, parsed on first use (spec grammar below)
+//   * a seeded random schedule for chaos runs: StartChaos({seed, ...})
+//
+// Spec grammar (I2MR_FAULTS or LoadSpec): rules separated by ';', fields by
+// ',', `key=value` each. Example:
+//
+//   I2MR_FAULTS='op=append|sync,path=seg-,kind=enospc,after=3,times=1;
+//                op=rename,kind=eio,every=5,times=-1'
+//
+// Fields:
+//   op=<name>[|<name>...]  ops to match: append sync flush create open read
+//                          rename link syncdir writefile remove mkdir crash
+//                          io (= every I/O op, the default)
+//   path=<substr>          only paths containing <substr> (default: all)
+//   kind=<k>               eio (default) | enospc | torn | latency | crash
+//   after=<N>              skip the first N matching ops
+//   times=<N>              fire at most N times; -1 = unlimited (default 1)
+//   every=<N>              fire on every Nth eligible match (default 1)
+//   latency_ms=<F>         stall duration for kind=latency
+//   torn=<F>               fraction of the payload written before failing
+//                          for kind=torn (default 0.5)
+//
+// A chaos schedule is one rule starting with the bare token `chaos`:
+//
+//   I2MR_FAULTS='chaos,seed=42,p_fail=0.02,p_torn=0.25,p_latency=0.05,
+//                max_latency_ms=2,path=/tmp/run'
+//
+// which draws per-op from a deterministic seeded RNG — the same spec string
+// replays the same schedule against the same op sequence.
+#ifndef I2MR_IO_FAULT_ENV_H_
+#define I2MR_IO_FAULT_ENV_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace i2mr {
+namespace fault {
+
+/// Bitmask of injectable operations. kCrashPoint is special: it only
+/// matches named crash points (AtCrashPoint), never real I/O calls.
+enum FaultOp : uint32_t {
+  kAppend = 1u << 0,     // WritableFile::Append
+  kSync = 1u << 1,       // WritableFile::Sync, SyncFile
+  kFlush = 1u << 2,      // WritableFile::Flush
+  kOpenWrite = 1u << 3,  // WritableFile::Create
+  kOpenRead = 1u << 4,   // RandomAccessFile/MmapFile/SequentialFile::Open
+  kRead = 1u << 5,       // RandomAccessFile::Read, SequentialFile::ReadExact
+  kRename = 1u << 6,     // RenameFile
+  kLink = 1u << 7,       // LinkOrCopyFile, CopyFile
+  kSyncDir = 1u << 8,    // SyncDir
+  kWriteFile = 1u << 9,  // WriteStringToFile
+  kRemove = 1u << 10,    // RemoveAll
+  kMkdir = 1u << 11,     // CreateDirs
+  kCrashPoint = 1u << 12,
+  kAllIO = (1u << 12) - 1,  // every real I/O op; excludes kCrashPoint
+};
+
+const char* FaultOpName(FaultOp op);
+
+enum class FaultKind {
+  kEIO,      // operation fails with an injected I/O error
+  kENOSPC,   // operation fails with an injected no-space error
+  kTorn,     // write lands a prefix of the payload, then fails
+  kLatency,  // operation stalls, then proceeds normally
+  kCrash,    // a named crash point fires (simulated process death)
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scriptable fault rule. Trigger semantics: the rule counts every
+/// matching op; it fires once `hits > after`, on every `every`-th eligible
+/// match, at most `times` times (-1 = unlimited).
+struct FaultRule {
+  uint32_t ops = kAllIO;
+  std::string path_substr;  // empty = match every path
+  FaultKind kind = FaultKind::kEIO;
+  uint64_t after = 0;
+  int64_t times = 1;  // -1 = unlimited
+  uint64_t every = 1;
+  double latency_ms = 0.0;    // kLatency
+  double torn_fraction = 0.5; // kTorn: fraction of bytes written before fail
+  // Trigger state (owned by the injector).
+  uint64_t hits = 0;
+  int64_t fired = 0;
+};
+
+/// Parameters of a seeded random fault schedule.
+struct ChaosOptions {
+  uint64_t seed = 1;
+  double p_fail = 0.01;     // per-op probability of an injected failure
+  double p_enospc = 0.5;    // of failures: fraction that are ENOSPC (vs EIO)
+  double p_torn = 0.25;     // of failed writes: fraction that land torn
+  double p_latency = 0.0;   // per-op probability of an injected stall
+  double max_latency_ms = 2.0;
+  std::string path_substr;  // scope the schedule, e.g. to one test dir
+  uint32_t ops = kAllIO;
+};
+
+/// Outcome of a write-shaped injection check. `prefix_bytes` is how much of
+/// the payload the caller should persist before returning `status` — only
+/// nonzero for torn writes.
+struct WriteFaultResult {
+  Status status;
+  size_t prefix_bytes = 0;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector* Instance();
+
+  /// Fast-path guard: false ⇒ no plan loaded, skip all injection logic.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+  void AddRule(FaultRule rule);
+  /// Parse a spec string (grammar above) and add its rules.
+  Status LoadSpec(const std::string& spec);
+  /// Drop every rule, stop chaos, clear the event log. Disarms the
+  /// fast-path guard.
+  void Reset();
+
+  void StartChaos(const ChaosOptions& options);
+  void StopChaos();
+  bool chaos_running() const;
+  /// Canonical spec string reproducing the running chaos schedule —
+  /// printable as `I2MR_FAULTS='...'` for local replay.
+  std::string ChaosSpec() const;
+
+  /// Consult the plan for a non-write op. OK ⇒ proceed (possibly after an
+  /// injected stall); error ⇒ the caller returns it without touching disk.
+  Status MaybeFault(FaultOp op, const std::string& path);
+  /// Consult the plan for a write of `len` bytes (Append/WriteStringToFile).
+  WriteFaultResult MaybeWriteFault(FaultOp op, const std::string& path,
+                                   size_t len);
+  /// True ⇒ a kill-at-point rule fired for this named crash point; the
+  /// caller simulates process death exactly as its legacy crash_hook did.
+  bool AtCrashPoint(const std::string& point);
+
+  uint64_t injections() const;
+  /// The most recent injected faults, oldest first ("<kind> <op> <path>").
+  std::vector<std::string> EventLog() const;
+  std::string EventLogText() const;
+
+ private:
+  FaultInjector() = default;
+
+  void RearmLocked();
+  bool RuleFiresLocked(FaultRule* rule);
+  void RecordLocked(FaultKind kind, FaultOp op, const std::string& path);
+  Status MakeError(FaultKind kind, FaultOp op, const std::string& path);
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;
+  std::vector<FaultRule> rules_;
+  bool chaos_on_ = false;
+  ChaosOptions chaos_;
+  Rng chaos_rng_{1};
+  uint64_t injections_ = 0;
+  std::deque<std::string> events_;
+};
+
+/// Injection check for error-only ops; inline so the disarmed case costs
+/// one relaxed load.
+inline Status Check(FaultOp op, const std::string& path) {
+  if (!FaultInjector::Armed()) return Status::OK();
+  return FaultInjector::Instance()->MaybeFault(op, path);
+}
+
+}  // namespace fault
+}  // namespace i2mr
+
+#endif  // I2MR_IO_FAULT_ENV_H_

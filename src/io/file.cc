@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "io/fault_env.h"
+
 namespace i2mr {
 
 // ---------------------------------------------------------------------------
@@ -16,6 +18,7 @@ namespace i2mr {
 
 StatusOr<std::unique_ptr<WritableFile>> WritableFile::Create(
     const std::string& path, bool append) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kOpenWrite, path));
   if (!append) {
     // Fresh-inode semantics: never truncate an existing inode in place —
     // a committed epoch snapshot may hard-link it.
@@ -44,6 +47,21 @@ WritableFile::~WritableFile() {
 
 Status WritableFile::Append(std::string_view data) {
   if (data.empty()) return Status::OK();
+  if (fault::FaultInjector::Armed()) {
+    auto injected = fault::FaultInjector::Instance()->MaybeWriteFault(
+        fault::kAppend, path_, data.size());
+    if (!injected.status.ok()) {
+      // Torn write: a prefix of the payload reaches the OS before the
+      // "device" fails — the bytes are really on disk (offset_ still points
+      // at the pre-append position, so a rollback truncate removes them,
+      // and a recovery scan must cope with the torn tail).
+      if (injected.prefix_bytes > 0) {
+        std::fwrite(data.data(), 1, injected.prefix_bytes, file_);
+        std::fflush(file_);
+      }
+      return injected.status;
+    }
+  }
   size_t n = std::fwrite(data.data(), 1, data.size(), file_);
   if (n != data.size()) return Status::IOError("append " + path_);
   offset_ += data.size();
@@ -51,11 +69,13 @@ Status WritableFile::Append(std::string_view data) {
 }
 
 Status WritableFile::Flush() {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kFlush, path_));
   if (std::fflush(file_) != 0) return Status::IOError("flush " + path_);
   return Status::OK();
 }
 
 Status WritableFile::Sync() {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kSync, path_));
   I2MR_RETURN_IF_ERROR(Flush());
   if (::fsync(::fileno(file_)) != 0) {
     return Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
@@ -77,6 +97,7 @@ Status WritableFile::Close() {
 
 StatusOr<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     const std::string& path) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kOpenRead, path));
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
@@ -87,7 +108,7 @@ StatusOr<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     return Status::IOError("stat " + path);
   }
   return std::unique_ptr<RandomAccessFile>(
-      new RandomAccessFile(fd, static_cast<uint64_t>(st.st_size)));
+      new RandomAccessFile(path, fd, static_cast<uint64_t>(st.st_size)));
 }
 
 RandomAccessFile::~RandomAccessFile() {
@@ -95,6 +116,7 @@ RandomAccessFile::~RandomAccessFile() {
 }
 
 Status RandomAccessFile::Read(uint64_t offset, size_t n, std::string* out) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kRead, path_));
   out->resize(n);
   size_t got = 0;
   while (got < n) {
@@ -118,6 +140,7 @@ Status RandomAccessFile::Read(uint64_t offset, size_t n, std::string* out) {
 // ---------------------------------------------------------------------------
 
 StatusOr<std::unique_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kOpenRead, path));
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
@@ -152,6 +175,7 @@ MmapFile::~MmapFile() {
 
 StatusOr<std::unique_ptr<SequentialFile>> SequentialFile::Open(
     const std::string& path) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kOpenRead, path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
@@ -164,6 +188,7 @@ SequentialFile::~SequentialFile() {
 }
 
 Status SequentialFile::ReadExact(size_t n, std::string* out) {
+  I2MR_RETURN_IF_ERROR(fault::Check(fault::kRead, path_));
   out->resize(n);
   size_t got = std::fread(out->data(), 1, n, file_);
   offset_ += got;

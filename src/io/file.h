@@ -74,8 +74,10 @@ class RandomAccessFile {
   void ResetStats() { num_reads_ = 0; bytes_read_ = 0; }
 
  private:
-  RandomAccessFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  RandomAccessFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
 
+  std::string path_;
   int fd_;
   uint64_t size_;
   uint64_t num_reads_ = 0;

@@ -165,9 +165,14 @@ StatusOr<uint64_t> ValidateWithReader(StatusOr<std::unique_ptr<Reader>> r) {
     Status st = (*r)->Next(&rec);
     if (st.IsNotFound()) return count;
     if (!st.ok()) {
-      return Status::Corruption(st.message() + " (record " +
+      const std::string where = st.message() + " (record " +
                                 std::to_string(count) + " at offset " +
-                                std::to_string(record_start) + ")");
+                                std::to_string(record_start) + ")";
+      // A failed device read says nothing about the bytes on disk: keep
+      // the I/O code so callers retry instead of quarantining the file as
+      // corrupt.
+      if (st.code() == Status::Code::kIOError) return Status::IOError(where);
+      return Status::Corruption(where);
     }
     ++count;
   }

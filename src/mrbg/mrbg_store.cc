@@ -116,7 +116,7 @@ StatusOr<std::unique_ptr<MRBGStore>> MRBGStore::Open(
   return store;
 }
 
-MRBGStore::~MRBGStore() { Close(); }
+MRBGStore::~MRBGStore() { (void)Close(); }
 
 std::string MRBGStore::data_path() const { return JoinPath(dir_, "mrbg.dat"); }
 std::string MRBGStore::index_path() const { return JoinPath(dir_, "mrbg.idx"); }
@@ -369,7 +369,7 @@ Status MRBGStore::CloseLocked() {
   if (crashed_) {
     // Leave the disk exactly as the simulated crash left it: no final
     // flush, no batch record, no manifest.
-    writer_->Close();
+    (void)writer_->Close();
     writer_.reset();
     reader_.reset();
     for (auto& s : segments_) s.reader.reset();
@@ -402,7 +402,9 @@ Status MRBGStore::CloseLocked() {
     // Don't leave an empty active segment file behind.
     std::string path = SegmentPath(segments_.back().id);
     segments_.pop_back();
-    RemoveAll(path);
+    if (Status st = RemoveAll(path); !st.ok()) {
+      LOG_WARN << "mrbg: leaking empty active segment: " << st.ToString();
+    }
   }
   I2MR_RETURN_IF_ERROR(WriteManifestLocked());
   for (auto& s : segments_) s.reader.reset();
@@ -1125,7 +1127,11 @@ Status MRBGStore::CompactPass(bool all) {
 
   // Unlink the victims. Epoch snapshots that hard-linked them keep their
   // bytes alive until the snapshot dir itself is garbage-collected.
-  for (const auto& p : victim_paths) RemoveAll(p);
+  for (const auto& p : victim_paths) {
+    if (Status st = RemoveAll(p); !st.ok()) {
+      LOG_WARN << "mrbg: compacted segment not reclaimed: " << st.ToString();
+    }
+  }
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "io/compress.h"
 #include "io/env.h"
+#include "io/fault_env.h"
 #include "io/record_file.h"
 
 namespace i2mr {
@@ -153,7 +154,7 @@ StatusOr<std::unique_ptr<DeltaLog>> DeltaLog::Open(const std::string& dir,
   return log;
 }
 
-DeltaLog::~DeltaLog() { Close().ok(); }
+DeltaLog::~DeltaLog() { (void)Close(); }
 
 Status DeltaLog::MigrateLegacyLog() {
   // Pre-segmentation layout: one rewrite-on-purge log.dat. Rename it into a
@@ -333,12 +334,17 @@ void DeltaLog::EnsureNextSeqAfter(uint64_t seq) {
 }
 
 bool DeltaLog::SimulateCrashLocked(const char* stage) {
-  if (!options_.crash_hook || !options_.crash_hook(stage)) return false;
+  bool crash = options_.crash_hook && options_.crash_hook(stage);
+  if (!crash && fault::FaultInjector::Armed()) {
+    crash = fault::FaultInjector::Instance()->AtCrashPoint(
+        std::string("delta_log/") + stage);
+  }
+  if (!crash) return false;
   LOG_WARN << "delta log " << dir_ << ": simulated crash at stage '" << stage
            << "'";
   if (file_ != nullptr) {
-    file_->Close().ok();
-    file_.reset();  // "process died": refuse further appends until reopen
+    (void)file_->Close();  // "process died": the file state is irrelevant
+    file_.reset();         // refuse further appends until reopen
   }
   return true;
 }
@@ -362,15 +368,36 @@ Status DeltaLog::RotateLocked() {
     return Status::Aborted("simulated crash between seal and new segment");
   }
 
-  active_path_ = JoinPath(dir_, DeltaLogSegmentName(next_seq_));
+  std::string new_path = JoinPath(dir_, DeltaLogSegmentName(next_seq_));
+  auto f = WritableFile::Create(new_path);
+  Status created = f.ok() ? Status::OK() : f.status();
+  if (created.ok() && options_.durability == DurabilityMode::kPowerFailure) {
+    created = SyncDir(dir_);
+  }
+  if (!created.ok()) {
+    // Un-seal: the new segment can't exist (e.g. ENOSPC), so reopen the
+    // old active segment for append instead of leaving the log dead. The
+    // seal notification already sent is a spurious wakeup, nothing more —
+    // the shipper re-derives the sealed list under mu_.
+    sealed_.pop_back();
+    if (Status st = RemoveAll(new_path); !st.ok()) {
+      LOG_WARN << "delta log " << dir_
+               << ": stray rotation segment left behind: " << st.ToString();
+    }
+    auto reopened = WritableFile::Create(active_path_, /*append=*/true);
+    if (reopened.ok()) {
+      file_ = std::move(reopened.value());
+    } else {
+      LOG_WARN << "delta log " << dir_ << ": could not reopen "
+               << active_path_ << " after failed rotation; log closed: "
+               << reopened.status().ToString();
+    }
+    return created;
+  }
+  active_path_ = std::move(new_path);
   active_last_seq_ = 0;
   active_records_ = 0;
-  auto f = WritableFile::Create(active_path_);
-  if (!f.ok()) return f.status();
   file_ = std::move(f.value());
-  if (options_.durability == DurabilityMode::kPowerFailure) {
-    I2MR_RETURN_IF_ERROR(SyncDir(dir_));
-  }
   return Status::OK();
 }
 

@@ -82,6 +82,9 @@ struct DeltaLogOptions {
   /// active was sealed but no new segment exists yet; "purge-marked" — the
   /// PURGE watermark is durable but consumed segments are not yet
   /// retired). The log then refuses further appends until reopened.
+  /// The same points fire from the fault-injection layer: a kind=crash
+  /// rule matching "delta_log/rotate" or "delta_log/purge-marked"
+  /// (io/fault_env.h) kills here without wiring a lambda.
   std::function<bool(const std::string& stage)> crash_hook;
 };
 

@@ -1,16 +1,20 @@
 #include "pipeline/pipeline.h"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 
 #include "common/codec.h"
 #include "common/hash.h"
+#include "common/health.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "io/env.h"
+#include "io/fault_env.h"
 #include "io/record_file.h"
 
 namespace i2mr {
@@ -95,6 +99,8 @@ Pipeline::Pipeline(LocalCluster* cluster, std::string name,
   options_.engine.charge_job_startup_per_refresh = false;
   engine_ = std::make_unique<IncrementalIterativeEngine>(
       cluster_, options_.spec, options_.engine);
+  health_ = options_.health != nullptr ? options_.health
+                                       : HealthRegistry::Default();
 }
 
 std::string Pipeline::Dir() const {
@@ -262,7 +268,12 @@ Status Pipeline::GarbageCollect(const std::string& keep_dir_name) {
 }
 
 bool Pipeline::SimulateCrash(uint64_t epoch, const char* stage) {
-  if (!options_.crash_hook || !options_.crash_hook(epoch, stage)) return false;
+  bool crash = options_.crash_hook && options_.crash_hook(epoch, stage);
+  if (!crash && fault::FaultInjector::Armed()) {
+    crash = fault::FaultInjector::Instance()->AtCrashPoint(
+        std::string("pipeline/") + stage);
+  }
+  if (!crash) return false;
   LOG_WARN << "pipeline " << name_ << ": simulated crash in epoch " << epoch
            << " at stage '" << stage << "'";
   dirty_.store(true);
@@ -292,18 +303,91 @@ void Pipeline::ArmLagTrigger() {
   if (oldest_pending_ns_.load() == 0) oldest_pending_ns_.store(NowNanos());
 }
 
+std::string Pipeline::degraded_reason() const {
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  return degraded_reason_;
+}
+
+Status Pipeline::AdmitAppend() {
+  if (!degraded()) return Status::OK();
+  // Elect at most one append per probe interval: the winner of the CAS
+  // goes through to the log as the recovery probe, everyone else bounces
+  // without touching the (presumed broken) disk.
+  int64_t now = NowNanos();
+  int64_t next = next_probe_ns_.load(std::memory_order_relaxed);
+  if (now >= next &&
+      next_probe_ns_.compare_exchange_strong(
+          next, now + static_cast<int64_t>(
+                          options_.degraded_probe_interval_ms * 1e6))) {
+    return Status::OK();
+  }
+  return Status::Unavailable("pipeline " + name_ +
+                             " is degraded (read-only): " + degraded_reason());
+}
+
+void Pipeline::EnterDegraded(const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    degraded_reason_ = cause.ToString();
+  }
+  next_probe_ns_.store(
+      NowNanos() +
+          static_cast<int64_t>(options_.degraded_probe_interval_ms * 1e6),
+      std::memory_order_relaxed);
+  bool was = degraded_.exchange(true, std::memory_order_release);
+  if (!was) {
+    LOG_WARN << "pipeline " << name_
+             << ": entering degraded read-only mode: " << cause.ToString();
+  }
+  // "log closed" (a failed rollback shut the log) needs a reopen to clear;
+  // probes can't fix it, so report kFailed instead of kDegraded.
+  health_->Report("pipeline." + name_,
+                  cause.code() == Status::Code::kFailedPrecondition
+                      ? HealthState::kFailed
+                      : HealthState::kDegraded,
+                  cause.ToString());
+}
+
+void Pipeline::ExitDegraded() {
+  if (!degraded_.exchange(false, std::memory_order_release)) return;
+  {
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    degraded_reason_.clear();
+  }
+  LOG_INFO << "pipeline " << name_
+           << ": probe write succeeded, resuming from degraded mode";
+  health_->Report("pipeline." + name_, HealthState::kHealthy);
+}
+
 StatusOr<uint64_t> Pipeline::Append(const DeltaKV& delta) {
-  auto seq = log_->Append(delta);
-  if (!seq.ok()) return seq;
-  ArmLagTrigger();
-  return seq;
+  return AppendBatch({delta});
 }
 
 StatusOr<uint64_t> Pipeline::AppendBatch(const std::vector<DeltaKV>& deltas) {
-  auto seq = log_->AppendBatch(deltas);
-  if (!seq.ok()) return seq;
-  if (!deltas.empty()) ArmLagTrigger();
-  return seq;
+  I2MR_RETURN_IF_ERROR(AdmitAppend());
+  bool was_degraded = degraded();
+  Status last;
+  for (int attempt = 0;; ++attempt) {
+    auto seq = log_->AppendBatch(deltas);
+    if (seq.ok()) {
+      if (was_degraded) ExitDegraded();
+      if (!deltas.empty()) ArmLagTrigger();
+      return seq;
+    }
+    last = seq.status();
+    // Only I/O errors are worth retrying or degrading over; a rejected
+    // batch (InvalidArgument) or a closed log (FailedPrecondition) won't
+    // heal with time — though a closed log still flips to read-only so
+    // callers stop hammering a dead log.
+    if (!last.IsIOError() || attempt >= options_.append_retries) break;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.append_retry_backoff_ms * static_cast<double>(1 << attempt)));
+  }
+  if (last.IsIOError() ||
+      last.code() == Status::Code::kFailedPrecondition) {
+    EnterDegraded(last);
+  }
+  return last;
 }
 
 uint64_t Pipeline::pending() const {

@@ -44,6 +44,8 @@
 
 namespace i2mr {
 
+class HealthRegistry;
+
 struct PipelineOptions {
   /// The app's iterative job spec. `spec.name` is overridden with the
   /// pipeline name so concurrent pipelines never share engine directories.
@@ -89,7 +91,26 @@ struct PipelineOptions {
   /// at the given stage ("drain", "refresh", "commit") without committing.
   /// The pipeline then refuses further epochs until reopened (or self-heals
   /// by restoring the committed snapshot on the next RunEpoch).
+  /// The same points fire from the fault-injection layer: a kind=crash
+  /// rule matching "pipeline/<stage>" (io/fault_env.h) kills here without
+  /// wiring a lambda.
   std::function<bool(uint64_t epoch, const std::string& stage)> crash_hook;
+
+  // -- Graceful degradation under write failures ----------------------------
+
+  /// A failed delta-log append (I/O error, e.g. disk full) is retried this
+  /// many times with exponential backoff before the pipeline gives up and
+  /// enters degraded read-only mode.
+  int append_retries = 2;
+  /// First retry delay; doubles per attempt.
+  double append_retry_backoff_ms = 1.0;
+  /// While degraded, one incoming append per this interval is admitted as a
+  /// probe; the rest bounce with Unavailable. A successful probe exits
+  /// degraded mode (auto-resume once space/device recovers).
+  double degraded_probe_interval_ms = 50;
+  /// Where to report kHealthy/kDegraded/kFailed as "pipeline.<name>"
+  /// (nullptr = HealthRegistry::Default()).
+  HealthRegistry* health = nullptr;
 };
 
 struct EpochStats {
@@ -176,9 +197,21 @@ class Pipeline {
 
   bool bootstrapped() const { return bootstrapped_.load(); }
 
-  /// Durably append one update / a batch to the delta log.
+  /// Durably append one update / a batch to the delta log. Transient I/O
+  /// failures are retried (options.append_retries); persistent failure
+  /// flips the pipeline into degraded read-only mode — further appends
+  /// bounce with Unavailable while reads, pinned snapshots and replica
+  /// shipping keep serving the committed state. One append per probe
+  /// interval is let through; the first one that succeeds exits degraded
+  /// mode automatically.
   StatusOr<uint64_t> Append(const DeltaKV& delta);
   StatusOr<uint64_t> AppendBatch(const std::vector<DeltaKV>& deltas);
+
+  /// True while the pipeline is in degraded read-only mode (appends bounce,
+  /// epoch scheduling pauses).
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  /// Why the pipeline degraded ("" when healthy).
+  std::string degraded_reason() const;
 
   /// Deltas logged but not yet consumed by a committed epoch.
   uint64_t pending() const;
@@ -321,6 +354,12 @@ class Pipeline {
 
   bool SimulateCrash(uint64_t epoch, const char* stage);
 
+  /// Degraded-mode gate for Append/AppendBatch: OK ⇒ this caller may hit
+  /// the log (healthy, or elected as the probe); Unavailable ⇒ bounce.
+  Status AdmitAppend();
+  void EnterDegraded(const Status& cause);
+  void ExitDegraded();
+
   friend class EpochPin;
   /// Drop one reference on `epoch`'s pin count (EpochPin destruction).
   void Unpin(uint64_t epoch) const;
@@ -362,6 +401,14 @@ class Pipeline {
   /// Set when an epoch died after possibly mutating engine state; the next
   /// RunEpoch restores the committed snapshot before proceeding.
   std::atomic<bool> dirty_{false};
+
+  /// Degraded read-only mode (persistent append failure). next_probe_ns_
+  /// elects one append per probe interval via CAS; the rest bounce.
+  HealthRegistry* health_ = nullptr;  // resolved in Open
+  std::atomic<bool> degraded_{false};
+  std::atomic<int64_t> next_probe_ns_{0};
+  mutable std::mutex degraded_mu_;  // guards degraded_reason_
+  std::string degraded_reason_;
   /// Arrival time of the oldest unconsumed delta (0 = none). Updates are
   /// serialized by trigger_mu_ so a commit deciding "nothing pending"
   /// cannot clobber a concurrent append that just armed the clock; reads

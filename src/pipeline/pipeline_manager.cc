@@ -184,6 +184,11 @@ int PipelineManager::ScheduleReady() {
     // quota once per poll round for a submission that cannot happen would
     // silently throttle it far below its configured rate.
     if (entry->running.load()) continue;
+    // A degraded (read-only) pipeline pauses epoch scheduling: its log is
+    // bouncing appends, so an epoch would either find nothing new or fail
+    // against the same sick disk. The append-side probe write flips the
+    // pipeline healthy again, and the next poll round resumes scheduling.
+    if (entry->pipeline->degraded()) continue;
     if (!entry->pipeline->EpochReady()) continue;
     if (options_.epoch_gate && !options_.epoch_gate(*entry->pipeline)) {
       // Admission said "not now" (e.g. the owning tenant is over its epoch

@@ -99,6 +99,13 @@ std::string FollowerReplica::StageDir(uint64_t epoch) const {
   return EpochDir(epoch) + kShipSuffix;
 }
 
+void FollowerReplica::DropSlot(const std::string& slot) {
+  if (Status st = RemoveAll(slot); !st.ok()) {
+    LOG_WARN << "replica " << PipelineDir()
+             << ": abandoned stage slot not removed: " << st.ToString();
+  }
+}
+
 std::string FollowerReplica::CurrentPath() const {
   return JoinPath(PipelineDir(), kCurrentFile);
 }
@@ -250,18 +257,18 @@ Status FollowerReplica::StageEpoch(uint64_t epoch, uint64_t watermark,
   std::string slot = StageDir(epoch);
   auto bytes = CopyTreeCounted(src_dir, slot);
   if (!bytes.ok()) {
-    RemoveAll(slot).ok();
+    DropSlot(slot);
     return bytes.status();
   }
   Status verified = VerifyEpochDir(slot, epoch, watermark);
   if (!verified.ok()) {
-    RemoveAll(slot).ok();
+    DropSlot(slot);
     return verified;
   }
   if (options_.durability == DurabilityMode::kPowerFailure) {
     Status synced = SyncDir(PipelineDir());
     if (!synced.ok()) {
-      RemoveAll(slot).ok();
+      DropSlot(slot);
       return synced;
     }
   }
@@ -278,7 +285,7 @@ Status FollowerReplica::StageEpoch(uint64_t epoch, uint64_t watermark,
     }
   }
   if (!published) {
-    RemoveAll(slot).ok();
+    DropSlot(slot);
     return Status::FailedPrecondition("replica closed during staging");
   }
   shipped_bytes_->Add(static_cast<int64_t>(*bytes));
@@ -355,7 +362,10 @@ void FollowerReplica::CollectOldEpochsLocked() {
       std::lock_guard<std::mutex> pin_lock(pin_mu_);
       if (pins_.count(epoch) > 0) continue;  // a reader still holds it
     }
-    RemoveAll(e).ok();
+    if (Status st = RemoveAll(e); !st.ok()) {
+      LOG_WARN << "replica " << PipelineDir()
+               << ": old epoch dir not reclaimed: " << st.ToString();
+    }
   }
 }
 

@@ -155,6 +155,9 @@ class FollowerReplica {
  private:
   std::string EpochDir(uint64_t epoch) const;
   std::string StageDir(uint64_t epoch) const;
+  /// Best-effort removal of an abandoned .ship slot (failure logged: a
+  /// leftover slot only wastes disk until the next staging overwrites it).
+  void DropSlot(const std::string& slot);
   std::string CurrentPath() const;
   /// Manifest + per-partition record files + serving snapshot.
   Status VerifyEpochDir(const std::string& dir, uint64_t expected_epoch,

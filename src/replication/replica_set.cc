@@ -76,7 +76,7 @@ StatusOr<std::unique_ptr<ReplicaSet>> ReplicaSet::Open(
       st->enabled.push_back(true);
       st->shipper_idx.push_back(i);
     }
-    set->StartShipper(*st);
+    set->StartShipper(*st, s);
     set->shards_.push_back(std::move(st));
   }
   set->snapshots_pinned_ = set->metrics_->Get(
@@ -86,7 +86,7 @@ StatusOr<std::unique_ptr<ReplicaSet>> ReplicaSet::Open(
   return set;
 }
 
-void ReplicaSet::StartShipper(ShardState& st) {
+void ReplicaSet::StartShipper(ShardState& st, int shard) {
   std::vector<FollowerReplica*> targets;
   std::vector<size_t> indices;  // follower index per shipper target
   for (size_t i = 0; i < st.followers.size(); ++i) {
@@ -99,6 +99,11 @@ void ReplicaSet::StartShipper(ShardState& st) {
   ReplicaShipperOptions so;
   so.poll_ms = options_.ship_poll_ms;
   so.max_replica_lag_epochs = options_.max_replica_lag_epochs;
+  // Per-shard health: "replication.<name>.shard<i>" goes kDegraded while
+  // this shard's ship passes fail (backoff in effect), kHealthy again on
+  // the first full success.
+  so.health_component =
+      "replication." + router_->name() + ".shard" + std::to_string(shard);
   st.shipper =
       std::make_unique<ReplicaShipper>(st.primary, std::move(targets), so);
   for (size_t t = 0; t < indices.size(); ++t) {
@@ -437,7 +442,7 @@ StatusOr<int> ReplicaSet::Promote(int shard) {
   f->RetireMetrics();
   {
     std::lock_guard<std::mutex> lock(route_mu_);
-    StartShipper(st);
+    StartShipper(st, shard);
   }
   failovers_->Increment();
   return best;

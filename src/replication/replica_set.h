@@ -194,7 +194,7 @@ class ReplicaSet {
   /// 1 + i = follower i); -1 when nothing can serve.
   int SelectSlotLocked(ShardState& st) const;
   void ChargeService(Slot* slot) const;
-  void StartShipper(ShardState& st);
+  void StartShipper(ShardState& st, int shard);
 
   ShardRouter* const router_;
   const std::string replicas_root_;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/random.h"
 #include "common/trace.h"
 #include "io/env.h"
 #include "pipeline/delta_log.h"
@@ -70,18 +71,54 @@ void ReplicaShipper::Stop() {
 
 void ReplicaShipper::ThreadMain() {
   trace::TraceCollector::SetThreadName("replica-shipper");
+  HealthRegistry* health = options_.health != nullptr
+                               ? options_.health
+                               : HealthRegistry::Default();
+  const bool report = !options_.health_component.empty();
+  // Jitter decorrelates the per-shard shippers of a ReplicaSet: without
+  // it they all fail on the same sick disk and all retry on the same
+  // beat. Seeded off `this` — determinism across runs doesn't matter
+  // here, only spread across instances.
+  Rng jitter(0x5eed0000ULL ^ reinterpret_cast<uintptr_t>(this));
+  int failures = 0;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
-                   [this] { return stop_ || dirty_; });
+      if (failures == 0) {
+        cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                     [this] { return stop_ || dirty_; });
+      } else {
+        // Failure backoff: poll_ms, 2*poll_ms, ... capped, +-25% jitter.
+        // Dirty notifications are deliberately ignored (every commit/seal
+        // on the primary raises one; honoring them would retry the sick
+        // follower at commit rate) — only stop_ cuts the wait short.
+        int64_t base = std::min<int64_t>(
+            options_.max_backoff_ms,
+            static_cast<int64_t>(options_.poll_ms)
+                << std::min(failures - 1, 16));
+        int64_t wait_ms =
+            base - base / 4 + static_cast<int64_t>(jitter.Uniform(
+                                  static_cast<uint64_t>(base / 2 + 1)));
+        cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                     [this] { return stop_; });
+      }
       if (stop_) return;
       dirty_ = false;
     }
     Status st = ShipPass();
     if (!st.ok()) {
-      LOG_WARN << "replica shipper pass failed (will retry): "
-               << st.ToString();
+      ++failures;
+      LOG_WARN << "replica shipper pass failed (attempt " << failures
+               << ", will retry with backoff): " << st.ToString();
+      if (report) {
+        health->Report(options_.health_component, HealthState::kDegraded,
+                       st.ToString());
+      }
+    } else {
+      if (failures > 0 && report) {
+        health->Report(options_.health_component, HealthState::kHealthy);
+      }
+      failures = 0;
     }
   }
 }
@@ -170,7 +207,10 @@ Status ReplicaShipper::ShipToFollower(FollowerReplica* f, const EpochPin& pin,
   if (hint_epoch > pin.epoch() && FileExists(hint_dir)) {
     uint64_t e = 0, w = 0;
     if (Pipeline::ReadEpochManifest(hint_dir, &e, &w).ok() && e == hint_epoch) {
-      f->StageEpoch(e, w, hint_dir, nullptr).ok();
+      if (Status st = f->StageEpoch(e, w, hint_dir, nullptr); !st.ok()) {
+        LOG_DEBUG << "pre-stage hint for epoch " << e
+                  << " not taken: " << st.ToString();
+      }
     }
   }
   return Status::OK();

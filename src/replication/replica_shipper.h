@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/health.h"
 #include "common/status.h"
 #include "pipeline/pipeline.h"
 #include "replication/follower_replica.h"
@@ -47,6 +48,20 @@ struct ReplicaShipperOptions {
   /// by more than this reports stale and is skipped by routing until it
   /// catches up.
   uint64_t max_replica_lag_epochs = 4;
+
+  /// Cap on the ship thread's failure backoff. Consecutive failed passes
+  /// back off exponentially (poll_ms, 2*poll_ms, ... max_backoff_ms) with
+  /// jitter, ignoring dirty notifications meanwhile — a follower on a
+  /// sick disk must not be retried at commit rate. Any successful pass
+  /// resets the backoff.
+  int max_backoff_ms = 1000;
+
+  /// When health_component is non-empty the shipper reports it into
+  /// `health` (Default() when null): kDegraded while passes are failing,
+  /// kHealthy once a pass fully succeeds again. ReplicaSet wires
+  /// "replication.<name>.shard<i>" here.
+  HealthRegistry* health = nullptr;
+  std::string health_component;
 };
 
 class ReplicaShipper {

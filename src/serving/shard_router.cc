@@ -11,10 +11,12 @@
 
 #include "common/codec.h"
 #include "common/hash.h"
+#include "common/health.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "io/env.h"
+#include "io/fault_env.h"
 
 namespace i2mr {
 namespace {
@@ -84,8 +86,15 @@ StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
         "cross_shard_exchange requires a partition-by-key app");
   }
   if (options.metrics == nullptr) options.metrics = MetricsRegistry::Default();
+  if (options.health == nullptr) options.health = HealthRegistry::Default();
+  // Shard pipelines report their own degraded read-only mode through the
+  // same registry unless the caller wired a different one explicitly.
+  if (options.pipeline.health == nullptr) {
+    options.pipeline.health = options.health;
+  }
   std::unique_ptr<ShardRouter> router(
       new ShardRouter(name, root, std::move(options)));
+  router->health_ = router->options_.health;
   const ShardRouterOptions& opts = router->options_;
   I2MR_RETURN_IF_ERROR(CreateDirs(root));
   if (opts.cross_shard_exchange) {
@@ -316,6 +325,16 @@ void ShardRouter::Start() {
   coordinator_ = std::thread([this] {
     const auto poll = std::chrono::microseconds(
         static_cast<int64_t>(options_.manager.poll_interval_ms * 1000));
+    // Failure backoff: consecutive failed coordinated epochs (a sick disk
+    // fails every tick) back off exponentially instead of hammering the
+    // same fault at poll rate. Sliced sleeps keep Stop() responsive.
+    int failures = 0;
+    auto backoff_sleep = [this](int64_t ms) {
+      const int64_t deadline = NowNanos() + ms * 1000000;
+      while (coordinating_.load() && NowNanos() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    };
     while (coordinating_.load()) {
       bool ready = false;
       for (const auto& shard : shards_) {
@@ -324,16 +343,31 @@ void ShardRouter::Start() {
           break;
         }
       }
-      if (ready && !poisoned_.load()) {
-        bool admitted = options_.admission == nullptr ||
+      // A pending roll-forward counts as ready even with the router
+      // poisoned: RefreshCoordinated resumes the interrupted barrier
+      // before (or instead of) taking new work.
+      const bool resumable = pending_flip_epoch_.load() != 0;
+      if ((ready && !poisoned_.load()) || resumable) {
+        bool admitted = resumable || options_.admission == nullptr ||
                         options_.tenant.empty() ||
                         options_.admission->AdmitEpoch(options_.tenant);
         if (admitted) {
           auto st = RefreshCoordinated();
           if (!st.ok()) {
+            ++failures;
+            int64_t backoff_ms = std::min<int64_t>(
+                5000, 100LL << std::min(failures - 1, 20));
             LOG_WARN << "serving " << name_ << ": coordinated epoch failed ("
-                     << st.status().ToString() << ")";
-            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+                     << st.status().ToString() << "); backing off "
+                     << backoff_ms << "ms";
+            health_->Report("serving." + name_, HealthState::kDegraded,
+                            st.status().ToString());
+            backoff_sleep(backoff_ms);
+          } else {
+            if (failures > 0) {
+              health_->Report("serving." + name_, HealthState::kHealthy);
+            }
+            failures = 0;
           }
         }
       }
@@ -482,9 +516,21 @@ StatusOr<ShardRouter::CoordinatedEpochStats> ShardRouter::RefreshCoordinated() {
         "RefreshCoordinated requires cross_shard_exchange");
   }
   if (poisoned_.load()) {
-    return Status::FailedPrecondition(
-        "a barrier commit was left incomplete; reopen the router "
-        "(reset=false) to recover");
+    if (pending_flip_epoch_.load() != 0) {
+      // The interrupted barrier was *decided* (record durable, staged
+      // slots intact): roll it forward before taking new work. Failure
+      // keeps the router poisoned and the next tick retries.
+      Status resumed = ResumeBarrierLocked();
+      if (!resumed.ok()) {
+        return Status::Unavailable(
+            "interrupted barrier commit not yet rolled forward: " +
+            resumed.ToString());
+      }
+    } else {
+      return Status::FailedPrecondition(
+          "a barrier commit was left incomplete; reopen the router "
+          "(reset=false) to recover");
+    }
   }
   if (!bootstrapped()) {
     return Status::FailedPrecondition("router not bootstrapped");
@@ -549,7 +595,13 @@ StatusOr<ShardRouter::CoordinatedEpochStats> ShardRouter::RefreshCoordinated() {
 Status ShardRouter::CommitBarrier(uint64_t epoch) {
   const int n = num_shards();
   auto crashed = [this](const std::string& stage) {
-    return options_.barrier_crash_hook && options_.barrier_crash_hook(stage);
+    if (options_.barrier_crash_hook && options_.barrier_crash_hook(stage)) {
+      return true;
+    }
+    if (fault::FaultInjector::Armed()) {
+      return fault::FaultInjector::Instance()->AtCrashPoint("barrier/" + stage);
+    }
+    return false;
   };
   auto fail = [this](Status st) {
     MarkAllDirty();
@@ -607,9 +659,28 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
     commit_seq_.fetch_add(1, std::memory_order_acq_rel);  // release readers
     return fail(st);
   };
+  // A *real* I/O failure past the decision record is recoverable without
+  // a reopen: the epoch is decided (BARRIER durable) and every unflipped
+  // shard's staged slot is still valid, so the commit can roll *forward*
+  // once the disk heals. Keep the slots (no MarkAllDirty), poison reads,
+  // and arm the resume path. Bootstrap (epoch 0) stays non-resumable —
+  // its rollback lands on "nothing committed", which reopen handles.
+  auto fail_resumable = [&](Status st) {
+    if (epoch == 0) return fail_mid_flip(std::move(st));
+    poisoned_.store(true);
+    pending_flip_epoch_.store(epoch);
+    commit_seq_.fetch_add(1, std::memory_order_acq_rel);  // release readers
+    LOG_WARN << "serving " << name_ << ": barrier commit of epoch " << epoch
+             << " interrupted by I/O failure (" << st.ToString()
+             << "); will roll forward on the next coordinated tick";
+    health_->Report("serving." + name_, HealthState::kDegraded,
+                    "barrier commit of epoch " + std::to_string(epoch) +
+                        " awaiting roll-forward: " + st.ToString());
+    return st;
+  };
   for (int s = 0; s < n; ++s) {
     Status flipped = shards_[s]->pipeline->FinalizeStagedEpoch();
-    if (!flipped.ok()) return fail_mid_flip(flipped);
+    if (!flipped.ok()) return fail_resumable(std::move(flipped));
     if (s == 0 && crashed("mid_flip")) {
       return fail_mid_flip(
           Status::Aborted("simulated coordinator crash mid-flip"));
@@ -630,8 +701,20 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
   Status cleared = RemoveAll(BarrierPath());
   if (cleared.ok() && sync) cleared = SyncDir(root_);
   if (!cleared.ok()) {
-    // The commit stands (every CURRENT names N); a stale barrier record
-    // would only trigger a needless rollback on reopen, so surface it.
+    // The commit stands (every CURRENT names N) but the stale barrier
+    // record would trigger a needless rollback on reopen. Resumable like
+    // a mid-flip failure: the next coordinated tick finds every shard
+    // already on N and just retries the removal.
+    if (epoch > 0) {
+      poisoned_.store(true);
+      pending_flip_epoch_.store(epoch);
+      LOG_WARN << "serving " << name_ << ": barrier record of epoch " << epoch
+               << " not retired (" << cleared.ToString()
+               << "); will retry on the next coordinated tick";
+      health_->Report("serving." + name_, HealthState::kDegraded,
+                      "barrier record removal pending: " + cleared.ToString());
+      return cleared;
+    }
     poisoned_.store(true);
     return fail(cleared);
   }
@@ -643,6 +726,48 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
                << ")";
     }
   });
+  return Status::OK();
+}
+
+Status ShardRouter::ResumeBarrierLocked() {
+  const uint64_t epoch = pending_flip_epoch_.load();
+  const int n = num_shards();
+  const bool sync =
+      options_.pipeline.durability == DurabilityMode::kPowerFailure;
+  TRACE_SPAN("barrier.resume", "epoch=%llu",
+             static_cast<unsigned long long>(epoch));
+  // Finish the flips sequentially, exactly like the interrupted phase 2.
+  // FinalizeStagedEpoch is idempotent up to the CURRENT rename, and a
+  // shard that already flipped reports committed_epoch() == epoch. The
+  // seqlock goes odd around the flips for symmetry (pins are refused
+  // while poisoned anyway).
+  commit_seq_.fetch_add(1, std::memory_order_acq_rel);
+  Status st;
+  for (int s = 0; s < n && st.ok(); ++s) {
+    if (shards_[s]->pipeline->committed_epoch() >= epoch) continue;
+    st = shards_[s]->pipeline->FinalizeStagedEpoch();
+  }
+  commit_seq_.fetch_add(1, std::memory_order_acq_rel);
+  if (!st.ok()) return st;  // still poisoned; retried next tick
+
+  Status cleared = RemoveAll(BarrierPath());
+  if (cleared.ok() && sync) cleared = SyncDir(root_);
+  if (!cleared.ok()) return cleared;  // commit stands; retried next tick
+
+  pending_flip_epoch_.store(0);
+  poisoned_.store(false);
+  for (int s = 0; s < n; ++s) shard_epochs_committed_[s]->Increment();
+  ForEachShard(n, [&](int s) {
+    Status cleaned = shards_[s]->pipeline->CleanupCommitted();
+    if (!cleaned.ok()) {
+      LOG_WARN << "serving " << name_ << ": shard " << s
+               << " post-barrier cleanup failed (" << cleaned.ToString()
+               << ")";
+    }
+  });
+  LOG_INFO << "serving " << name_ << ": rolled interrupted barrier commit of "
+           << "epoch " << epoch << " forward";
+  health_->Report("serving." + name_, HealthState::kHealthy);
   return Status::OK();
 }
 

@@ -52,6 +52,8 @@
 
 namespace i2mr {
 
+class HealthRegistry;
+
 struct ShardRouterOptions {
   int num_shards = 4;
   int workers_per_shard = 2;
@@ -73,7 +75,10 @@ struct ShardRouterOptions {
   /// (exactly one shard's CURRENT flipped), "flipped" (all flipped,
   /// BARRIER not yet removed). Return true to abandon the commit with the
   /// on-disk state exactly as a crash would leave it; the router marks
-  /// every shard dirty and refuses the epoch.
+  /// every shard dirty and refuses the epoch. The same points fire from
+  /// the fault-injection layer: a kind=crash rule matching
+  /// "barrier/<stage>" (io/fault_env.h) kills here without wiring a
+  /// lambda.
   std::function<bool(const std::string& stage)> barrier_crash_hook;
 
   /// Per-shard cluster cost model.
@@ -101,6 +106,13 @@ struct ShardRouterOptions {
 
   /// Counter registry (Default() when null).
   MetricsRegistry* metrics = nullptr;
+
+  /// Health registry (Default() when null). The router reports
+  /// "serving.<name>" — kDegraded while coordinated epochs are failing or
+  /// an interrupted barrier awaits roll-forward, kHealthy once epochs
+  /// commit again — and forwards the registry into every shard pipeline
+  /// (which reports "pipeline.<name>" for its degraded read-only mode).
+  HealthRegistry* health = nullptr;
 };
 
 class ShardRouter {
@@ -183,6 +195,12 @@ class ShardRouter {
   /// last CURRENT flip: the on-disk state needs the reopen recovery, and
   /// cross-shard reads are refused rather than served mixed.
   bool poisoned() const { return poisoned_.load(); }
+  /// Nonzero when a *real* I/O failure (not a simulated coordinator
+  /// crash) interrupted the barrier after its decision record was
+  /// durable: the epoch is decided, the staged slots are intact, and the
+  /// next coordinated tick rolls the commit *forward* in-process instead
+  /// of requiring a reopen. Zero otherwise.
+  uint64_t pending_flip_epoch() const { return pending_flip_epoch_.load(); }
 
   const std::string& name() const { return name_; }
   const std::string& tenant() const { return options_.tenant; }
@@ -216,8 +234,18 @@ class ShardRouter {
                                   uint64_t* edges_exchanged);
 
   /// Two-phase barrier commit of epoch `epoch` on every shard. On error
-  /// (or a simulated coordinator crash) every shard is marked dirty.
+  /// (or a simulated coordinator crash) every shard is marked dirty —
+  /// except a real I/O failure after the decision record, which leaves
+  /// the staged slots intact and arms pending_flip_epoch_ for
+  /// ResumeBarrierLocked.
   Status CommitBarrier(uint64_t epoch);
+
+  /// Roll an interrupted-but-decided barrier commit forward: finish
+  /// flipping every shard still on N-1 (their staged slots survived),
+  /// retire the BARRIER record, and unpoison the router. Caller holds
+  /// coord_mu_. On failure the router stays poisoned and the next
+  /// coordinated tick retries.
+  Status ResumeBarrierLocked();
 
   /// Path of the coordinator's durable barrier decision record.
   std::string BarrierPath() const;
@@ -252,6 +280,11 @@ class ShardRouter {
   /// but before every CURRENT flipped: the on-disk state needs the reopen
   /// recovery (RecoverBarrier); further coordinated epochs are refused.
   std::atomic<bool> poisoned_{false};
+  /// See pending_flip_epoch(). Epoch 0 (bootstrap) is never resumable —
+  /// its rollback already lands on "nothing committed".
+  std::atomic<uint64_t> pending_flip_epoch_{0};
+  /// Resolved health registry (options_.health or Default()).
+  HealthRegistry* health_ = nullptr;
   /// Per-shard commit counters (the manager publishes these for solo
   /// epochs; the router does for barrier commits).
   std::vector<Counter*> shard_epochs_committed_;
