@@ -6,11 +6,14 @@
 #define I2MR_MRBG_CHUNK_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "io/file.h"
 
 namespace i2mr {
 
@@ -77,6 +80,72 @@ class ChunkIndex {
  private:
   std::unordered_map<std::string, ChunkLocation> map_;
   std::vector<BatchInfo> batches_;
+};
+
+/// Address of one content chunk in a ContentChunkStore: identity is
+/// (hash, length, crc) — the content — and (segment, offset) says where
+/// the bytes live.
+struct ContentChunkRef {
+  uint64_t hash = 0;
+  uint32_t length = 0;
+  uint32_t crc = 0;
+  uint64_t segment = 0;
+  uint64_t offset = 0;  // of the payload, past the frame header
+};
+
+/// Content-addressed chunk store + index, the transfer substrate of an
+/// elastic reshard (serving/reshard.h). Donor state is cut into chunks and
+/// Put() here; a destination that needs a chunk whose (hash, length, crc)
+/// the store already holds — from a previous reshard attempt that crashed,
+/// or from another destination's identical slice — reuses the stored bytes
+/// instead of a second copy. Attach() scans the segment files under the
+/// store dir, so reuse survives process restarts.
+///
+/// On-disk layout: append-only segment files `chunks-NNNNNN.dat` of frames
+///   [u64 content-hash][u32 payload-len][u32 payload-crc][payload]
+/// A torn tail frame (crash mid-append) is detected by length/CRC at
+/// Attach() and truncated from the index (the file keeps the garbage tail;
+/// the next Put() rotates to a fresh segment).
+///
+/// Single writer (the reshard coordinator); concurrent readers are fine
+/// once Put() calls stop.
+class ContentChunkStore {
+ public:
+  explicit ContentChunkStore(uint64_t segment_max_bytes = 8ull << 20);
+  ~ContentChunkStore();
+  ContentChunkStore(const ContentChunkStore&) = delete;
+  ContentChunkStore& operator=(const ContentChunkStore&) = delete;
+
+  /// Create (or reopen) the store under `dir` and index every intact
+  /// frame already present.
+  Status Attach(const std::string& dir);
+
+  /// Store `payload` (or find it already stored). Sets *reused (may be
+  /// null) to true when an identical chunk was already present and no
+  /// bytes were written.
+  StatusOr<ContentChunkRef> Put(std::string_view payload, bool* reused);
+
+  /// Read a chunk's payload back, verifying length + CRC.
+  StatusOr<std::string> Read(const ContentChunkRef& ref) const;
+
+  /// Flush (and with sync=true fsync) the open segment.
+  Status Flush(bool sync);
+
+  size_t chunk_count() const { return index_.size(); }
+  uint64_t bytes_stored() const { return bytes_stored_; }
+
+ private:
+  std::string SegmentPath(uint64_t segment) const;
+  Status RotateLocked();
+
+  const uint64_t segment_max_bytes_;
+  std::string dir_;
+  uint64_t open_segment_ = 0;
+  std::unique_ptr<WritableFile> writer_;
+  /// content-hash -> every distinct chunk with that hash (collisions keep
+  /// both; identity requires length + crc to also match).
+  std::unordered_multimap<uint64_t, ContentChunkRef> index_;
+  uint64_t bytes_stored_ = 0;
 };
 
 }  // namespace i2mr

@@ -30,28 +30,39 @@ std::string PartDirName(int p) {
   return buf;
 }
 
-// MANIFEST: [u64 epoch][u64 watermark][u32 crc32-of-first-16-bytes].
+// MANIFEST: [u64 epoch][u64 watermark][u32 crc32-of-first-16-bytes], or —
+// when the pipeline belongs to a resharded (generation > 0) fleet —
+// [u64 epoch][u64 watermark][u64 generation][u32 crc32-of-first-24-bytes].
+// Generation-0 manifests keep the legacy 20-byte form so every existing
+// epoch dir (and replica verification of it) stays byte-compatible.
 Status WriteManifest(const std::string& path, uint64_t epoch,
-                     uint64_t watermark, bool sync) {
+                     uint64_t watermark, uint64_t generation, bool sync) {
   std::string payload;
   PutFixed64(&payload, epoch);
   PutFixed64(&payload, watermark);
+  if (generation != 0) PutFixed64(&payload, generation);
   std::string data = payload;
   PutFixed32(&data, Crc32(payload));
   return WriteStringToFile(path, data, sync);
 }
 
 Status ReadManifest(const std::string& path, uint64_t* epoch,
-                    uint64_t* watermark) {
+                    uint64_t* watermark, uint64_t* generation = nullptr) {
   auto data = ReadFileToString(path);
   if (!data.ok()) return data.status();
-  if (data->size() != 20) return Status::Corruption("bad manifest size");
-  std::string_view payload(data->data(), 16);
-  if (DecodeFixed32(data->data() + 16) != Crc32(payload)) {
+  if (data->size() != 20 && data->size() != 28) {
+    return Status::Corruption("bad manifest size");
+  }
+  const size_t payload_size = data->size() - 4;
+  std::string_view payload(data->data(), payload_size);
+  if (DecodeFixed32(data->data() + payload_size) != Crc32(payload)) {
     return Status::Corruption("manifest crc mismatch");
   }
   *epoch = DecodeFixed64(data->data());
   *watermark = DecodeFixed64(data->data() + 8);
+  if (generation != nullptr) {
+    *generation = payload_size == 24 ? DecodeFixed64(data->data() + 16) : 0;
+  }
   return Status::OK();
 }
 
@@ -602,8 +613,8 @@ Status Pipeline::StageEpochLocked(uint64_t epoch, uint64_t watermark,
   I2MR_RETURN_IF_ERROR(serving_store->SaveAs(JoinPath(tmp, "serving.dat")));
   if (sync) I2MR_RETURN_IF_ERROR(SyncFile(JoinPath(tmp, "serving.dat")));
 
-  I2MR_RETURN_IF_ERROR(
-      WriteManifest(JoinPath(tmp, kManifestFile), epoch, watermark, sync));
+  I2MR_RETURN_IF_ERROR(WriteManifest(JoinPath(tmp, kManifestFile), epoch,
+                                     watermark, options_.generation, sync));
   if (sync) I2MR_RETURN_IF_ERROR(SyncDir(tmp));
   I2MR_RETURN_IF_ERROR(RenameFile(tmp, final_dir));
   if (sync) I2MR_RETURN_IF_ERROR(SyncDir(Dir()));
@@ -698,6 +709,12 @@ void Pipeline::SetEpochListener(EpochListener listener) {
 Status Pipeline::ReadEpochManifest(const std::string& dir, uint64_t* epoch,
                                    uint64_t* watermark) {
   return ReadManifest(JoinPath(dir, kManifestFile), epoch, watermark);
+}
+
+Status Pipeline::ReadEpochManifest(const std::string& dir, uint64_t* epoch,
+                                   uint64_t* watermark, uint64_t* generation) {
+  return ReadManifest(JoinPath(dir, kManifestFile), epoch, watermark,
+                      generation);
 }
 
 Status Pipeline::CleanupCommittedLocked() {

@@ -87,6 +87,13 @@ struct PipelineOptions {
   /// reconstructible from the log until the post-commit purge.
   bool materialize_inflight_delta = true;
 
+  /// Partition-map generation this pipeline's shard belongs to (0 for an
+  /// unsharded pipeline or a generation-0 fleet). Stamped into every epoch
+  /// MANIFEST so replicas detect that shipped state was partitioned by a
+  /// different map after an elastic reshard; generation 0 keeps the legacy
+  /// 20-byte manifest form.
+  uint64_t generation = 0;
+
   /// Test hook simulating process death: return true to abandon the epoch
   /// at the given stage ("drain", "refresh", "commit") without committing.
   /// The pipeline then refuses further epochs until reopened (or self-heals
@@ -313,8 +320,14 @@ class Pipeline {
   /// ship-side and promotion-time verification.
   static Status ReadEpochManifest(const std::string& dir, uint64_t* epoch,
                                   uint64_t* watermark);
+  /// Variant that also returns the partition-map generation the epoch was
+  /// committed under (0 for legacy 20-byte manifests).
+  static Status ReadEpochManifest(const std::string& dir, uint64_t* epoch,
+                                  uint64_t* watermark, uint64_t* generation);
 
   uint64_t committed_epoch() const { return committed_epoch_.load(); }
+  /// Partition-map generation this pipeline stamps into its manifests.
+  uint64_t generation() const { return options_.generation; }
   uint64_t committed_watermark() const { return committed_watermark_.load(); }
   /// On-disk name of an epoch's snapshot dir ("epoch-%08u"). Shared with
   /// the serving layer's barrier recovery, which rewinds CURRENT files

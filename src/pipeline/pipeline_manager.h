@@ -126,6 +126,10 @@ class PipelineManager {
   /// in-flight epochs.
   void Start();
   void Stop();
+  /// True while the background poller is scheduling epochs. The reshard
+  /// coordinator uses this to carry the donors' scheduling state over to
+  /// the destination fleet at cutover.
+  bool running() const { return polling_.load(); }
 
   const ServingView& view() const { return view_; }
 

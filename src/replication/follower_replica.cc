@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <vector>
 
@@ -110,6 +111,10 @@ std::string FollowerReplica::CurrentPath() const {
   return JoinPath(PipelineDir(), kCurrentFile);
 }
 
+std::string FollowerReplica::GenPath() const {
+  return JoinPath(PipelineDir(), "GEN");
+}
+
 Status FollowerReplica::Open() {
   std::lock_guard<std::mutex> lock(mu_);
   I2MR_RETURN_IF_ERROR(CreateDirs(PipelineDir()));
@@ -147,6 +152,15 @@ Status FollowerReplica::Open() {
         compressed_seqs.count(DeltaLogSegmentFirstSeq(e)) > 0) {
       I2MR_RETURN_IF_ERROR(RemoveAll(e));
     }
+  }
+
+  // Recover the generation binding (absent file = generation 0, the
+  // pre-resharding layout).
+  generation_ = 0;
+  if (FileExists(GenPath())) {
+    auto gen = ReadFileToString(GenPath());
+    if (!gen.ok()) return gen.status();
+    generation_ = std::strtoull(gen->c_str(), nullptr, 10);
   }
 
   if (FileExists(CurrentPath())) {
@@ -347,6 +361,44 @@ Status FollowerReplica::DiscardStaged() {
   staged_epoch_ = 0;
   staged_watermark_ = 0;
   return st;
+}
+
+Status FollowerReplica::EnsureGeneration(uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("replica closed");
+  if (generation_ == generation) return Status::OK();
+  LOG_INFO << "replica " << PipelineDir() << ": primary moved from "
+           << "generation " << generation_ << " to " << generation
+           << "; discarding replicated state for re-sync";
+  // Everything replicated under the old generation — applied epochs, the
+  // staged slot, shipped log segments, CURRENT — was partitioned by a map
+  // that no longer exists. Wipe the pipeline dir wholesale and restart
+  // from nothing; the next ship passes re-seed segments and the epoch.
+  // Pins taken before the bump keep their in-memory stores, as always.
+  I2MR_RETURN_IF_ERROR(RemoveAll(PipelineDir()));
+  I2MR_RETURN_IF_ERROR(CreateDirs(PipelineDir()));
+  I2MR_RETURN_IF_ERROR(CreateDirs(LogDir()));
+  staged_valid_ = false;
+  staged_epoch_ = 0;
+  staged_watermark_ = 0;
+  applied_epoch_ = 0;
+  applied_watermark_ = 0;
+  purge_mark_ = 0;
+  store_ = nullptr;
+  ++open_gen_;  // invalidate any in-flight stage against the old layout
+  const bool sync = options_.durability == DurabilityMode::kPowerFailure;
+  std::string tmp = GenPath() + ".tmp";
+  I2MR_RETURN_IF_ERROR(
+      WriteStringToFile(tmp, std::to_string(generation), sync));
+  I2MR_RETURN_IF_ERROR(RenameFile(tmp, GenPath()));
+  if (sync) I2MR_RETURN_IF_ERROR(SyncDir(PipelineDir()));
+  generation_ = generation;
+  return Status::OK();
+}
+
+uint64_t FollowerReplica::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
 }
 
 void FollowerReplica::CollectOldEpochsLocked() {

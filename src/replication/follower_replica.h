@@ -98,6 +98,18 @@ class FollowerReplica {
   /// or promotion deciding the slot is not trustworthy).
   Status DiscardStaged();
 
+  /// Bind the replica to the primary's partition-map generation. A reshard
+  /// bumps the primary's generation and re-partitions every key, so state
+  /// replicated under an older generation is unusable: on a mismatch the
+  /// follower discards its staged slot, wipes its applied epochs and
+  /// shipped log segments, durably records the new generation (GEN file in
+  /// the pipeline dir), and re-syncs from scratch on the following ship
+  /// passes. Shippers call this at the top of every pass, before any
+  /// segment install (seq-based dedup would otherwise skip re-shipped
+  /// spans). No-op when the generation already matches.
+  Status EnsureGeneration(uint64_t generation);
+  uint64_t generation() const;
+
   /// Copy one sealed/archived segment file into the replica's log dir
   /// (idempotent: already-present same-size files are skipped). A segment's
   /// identity is its first sequence number, not its filename: installing
@@ -159,6 +171,7 @@ class FollowerReplica {
   /// leftover slot only wastes disk until the next staging overwrites it).
   void DropSlot(const std::string& slot);
   std::string CurrentPath() const;
+  std::string GenPath() const;
   /// Manifest + per-partition record files + serving snapshot.
   Status VerifyEpochDir(const std::string& dir, uint64_t expected_epoch,
                         uint64_t expected_watermark) const;
@@ -179,6 +192,7 @@ class FollowerReplica {
   mutable std::mutex mu_;
   bool open_ = false;
   uint64_t open_gen_ = 0;  // bumped by Open(): invalidates in-flight stages
+  uint64_t generation_ = 0;  // partition-map generation (GEN file)
   uint64_t applied_epoch_ = 0;
   uint64_t applied_watermark_ = 0;
   bool staged_valid_ = false;       // a verified slot is waiting

@@ -9,15 +9,6 @@
 #include "io/env.h"
 
 namespace i2mr {
-namespace {
-
-std::string ShardDirName(int s) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "shard-%03d", s);
-  return buf;
-}
-
-}  // namespace
 
 ReplicaSet::ReplicaSet(ShardRouter* router, std::string replicas_root,
                        ReplicaSetOptions options)
@@ -38,7 +29,7 @@ ReplicaSet::~ReplicaSet() {
 }
 
 std::string ReplicaSet::MetricsPrefix(int shard) const {
-  return "serving." + router_->name() + ".shard" + std::to_string(shard);
+  return bound_map_.ShardMetricsPrefix(router_->name(), shard);
 }
 
 StatusOr<std::unique_ptr<ReplicaSet>> ReplicaSet::Open(
@@ -49,24 +40,34 @@ StatusOr<std::unique_ptr<ReplicaSet>> ReplicaSet::Open(
   }
   std::unique_ptr<ReplicaSet> set(
       new ReplicaSet(router, replicas_root, options));
-  const ReplicaSetOptions& opts = set->options_;
-  for (int s = 0; s < router->num_shards(); ++s) {
+  set->bound_map_ = router->partition_map();
+  I2MR_RETURN_IF_ERROR(set->BindShards());
+  set->snapshots_pinned_ = set->metrics_->Get(
+      "serving." + router->name() + ".replicaset.snapshots_pinned");
+  set->failovers_ = set->metrics_->Get("serving." + router->name() +
+                                       ".replicaset.failovers");
+  return set;
+}
+
+Status ReplicaSet::BindShards() {
+  const PartitionMap& map = bound_map_;
+  for (int s = 0; s < map.num_shards; ++s) {
     auto st = std::make_unique<ShardState>();
-    st->primary = router->shard(s);
+    st->primary = router_->shard(s);
     st->slots.push_back(std::make_unique<Slot>());
     st->slots[0]->reads =
-        set->metrics_->Get(set->MetricsPrefix(s) + ".primary.reads_served");
-    for (int i = 0; i < opts.replicas_per_shard; ++i) {
-      std::string root = JoinPath(JoinPath(replicas_root, ShardDirName(s)),
-                                  "replica-" + std::to_string(i));
-      if (opts.reset) I2MR_RETURN_IF_ERROR(RemoveAll(root));
+        metrics_->Get(MetricsPrefix(s) + ".primary.reads_served");
+    for (int i = 0; i < options_.replicas_per_shard; ++i) {
+      std::string root =
+          JoinPath(JoinPath(replicas_root_, map.ShardDirName(s)),
+                   "replica-" + std::to_string(i));
+      if (options_.reset) I2MR_RETURN_IF_ERROR(RemoveAll(root));
       FollowerReplicaOptions fo;
-      fo.durability = opts.durability;
-      fo.num_partitions = router->options().pipeline.spec.num_partitions;
-      fo.metrics = set->metrics_;
-      fo.metrics_prefix =
-          set->MetricsPrefix(s) + ".replica" + std::to_string(i);
-      auto f = std::make_unique<FollowerReplica>(root, router->name(),
+      fo.durability = options_.durability;
+      fo.num_partitions = router_->options().pipeline.spec.num_partitions;
+      fo.metrics = metrics_;
+      fo.metrics_prefix = MetricsPrefix(s) + ".replica" + std::to_string(i);
+      auto f = std::make_unique<FollowerReplica>(root, router_->name(),
                                                  std::move(fo));
       I2MR_RETURN_IF_ERROR(f->Open());
       auto slot = std::make_unique<Slot>();
@@ -76,14 +77,57 @@ StatusOr<std::unique_ptr<ReplicaSet>> ReplicaSet::Open(
       st->enabled.push_back(true);
       st->shipper_idx.push_back(i);
     }
-    set->StartShipper(*st, s);
-    set->shards_.push_back(std::move(st));
+    StartShipper(*st, s);
+    shards_.push_back(std::move(st));
   }
-  set->snapshots_pinned_ = set->metrics_->Get(
-      "serving." + router->name() + ".replicaset.snapshots_pinned");
-  set->failovers_ = set->metrics_->Get("serving." + router->name() +
-                                       ".replicaset.failovers");
-  return set;
+  return Status::OK();
+}
+
+Status ReplicaSet::CheckGenerationLocked() const {
+  uint64_t live = router_->generation();
+  if (live == bound_map_.generation) return Status::OK();
+  return Status::FailedPrecondition(
+      "replica set is bound to partition-map generation " +
+      std::to_string(bound_map_.generation) + " but the router is at " +
+      std::to_string(live) + "; call Rebind()");
+}
+
+uint64_t ReplicaSet::bound_generation() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return bound_map_.generation;
+}
+
+Status ReplicaSet::Rebind() {
+  PartitionMap map = router_->partition_map();
+  std::vector<std::unique_ptr<ShardState>> old;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (map.generation == bound_map_.generation) return Status::OK();
+    for (const auto& st : shards_) {
+      if (st->transitioning) {
+        return Status::FailedPrecondition(
+            "a failover is in flight; retry Rebind() after it settles");
+      }
+    }
+    old = std::move(shards_);
+    shards_.clear();
+  }
+  // Stops join threads — outside route_mu_. The old states are retired,
+  // not destroyed: snapshot pins taken before the cutover hold unpin
+  // callbacks into their FollowerReplica instances.
+  for (auto& st : old) {
+    if (st->shipper != nullptr) st->shipper->Stop();
+    if (st->promoted_manager != nullptr) st->promoted_manager->Stop();
+    for (auto& f : st->followers) f->RetireMetrics();
+  }
+  // One critical section for the map swap AND the rebuild: a reader must
+  // never observe the new map with an empty/partial shard list. Follower
+  // Open() is disk recovery — rebind is a rare admin step, blocking reads
+  // for its duration is fine.
+  std::lock_guard<std::mutex> lock(route_mu_);
+  for (auto& st : old) retired_.push_back(std::move(st));
+  bound_map_ = map;
+  return BindShards();
 }
 
 void ReplicaSet::StartShipper(ShardState& st, int shard) {
@@ -167,6 +211,8 @@ StatusOr<ShardSnapshot> ReplicaSet::PinSnapshot() const {
   snap.router_ = router_;
   snap.pool_ = &scatter_pool_;
   std::lock_guard<std::mutex> lock(route_mu_);
+  I2MR_RETURN_IF_ERROR(CheckGenerationLocked());
+  snap.map_ = std::make_shared<const PartitionMap>(bound_map_);
   for (int s = 0; s < num_shards(); ++s) {
     ShardState& st = *shards_[s];
     int idx = SelectSlotLocked(st);
@@ -189,11 +235,12 @@ StatusOr<ShardSnapshot> ReplicaSet::PinSnapshot() const {
 }
 
 StatusOr<std::string> ReplicaSet::Get(const std::string& key) const {
-  int s = router_->ShardOf(key);
   EpochPin pin;
   Slot* slot = nullptr;
   {
     std::lock_guard<std::mutex> lock(route_mu_);
+    I2MR_RETURN_IF_ERROR(CheckGenerationLocked());
+    int s = bound_map_.ShardOf(key);
     ShardState& st = *shards_[s];
     int idx = SelectSlotLocked(st);
     if (idx == 0) {
@@ -213,10 +260,12 @@ StatusOr<std::string> ReplicaSet::Get(const std::string& key) const {
 }
 
 StatusOr<uint64_t> ReplicaSet::Append(const DeltaKV& delta) {
-  int s = router_->ShardOf(delta.key);
   Pipeline* primary = nullptr;
+  int s = 0;
   {
     std::lock_guard<std::mutex> lock(route_mu_);
+    I2MR_RETURN_IF_ERROR(CheckGenerationLocked());
+    s = bound_map_.ShardOf(delta.key);
     ShardState& st = *shards_[s];
     if (st.dead) {
       return Status::FailedPrecondition(
@@ -237,6 +286,10 @@ Status ReplicaSet::AppendBatch(const std::vector<DeltaKV>& deltas) {
 }
 
 Status ReplicaSet::DrainAll() {
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    I2MR_RETURN_IF_ERROR(CheckGenerationLocked());
+  }
   for (int s = 0; s < num_shards(); ++s) {
     PipelineManager* manager = nullptr;
     {

@@ -135,6 +135,19 @@ class ReplicaSet {
 
   // -- Introspection ---------------------------------------------------------
 
+  /// Re-bind the set to the router's current partition map after an
+  /// elastic reshard bumped the generation: stop the old shippers, retire
+  /// the old per-shard state (outstanding snapshot pins keep serving), and
+  /// rebuild followers + shippers against the new generation's shards
+  /// (replica roots under `<replicas_root>/<gen-shard-dir>/replica-<i>`).
+  /// No-op when the generations already match. Reads and writes between
+  /// the cutover and Rebind() fail with FailedPrecondition rather than
+  /// routing by a stale map.
+  Status Rebind();
+
+  /// The partition-map generation this set's shard states were built for.
+  uint64_t bound_generation() const;
+
   /// Lag of follower (shard, i) behind the shard's primary, in epochs.
   uint64_t ReplicaLag(int shard, int i) const;
   /// Skipped by routing: killed, closed, not serving, or lag beyond max.
@@ -186,6 +199,14 @@ class ReplicaSet {
   ReplicaSet(ShardRouter* router, std::string replicas_root,
              ReplicaSetOptions options);
 
+  /// Build shards_ (followers, slots, shippers) for bound_map_. Caller
+  /// guarantees shards_ is empty and no reader is concurrent (Open/Rebind).
+  Status BindShards();
+
+  /// FailedPrecondition when the router's live generation moved past the
+  /// one this set was built for (reshard cutover without Rebind()).
+  Status CheckGenerationLocked() const;
+
   std::string MetricsPrefix(int shard) const;
   /// Committed epoch of the shard's primary (frozen while it is dead).
   uint64_t PrimaryEpoch(const ShardState& st) const;
@@ -209,6 +230,13 @@ class ReplicaSet {
   /// shipper pass runs.
   mutable std::mutex route_mu_;
   std::vector<std::unique_ptr<ShardState>> shards_;
+  /// The partition map shards_ was built against (guarded by route_mu_;
+  /// replaced only by Rebind).
+  PartitionMap bound_map_{0, 0};
+  /// Previous generations' shard states, kept alive by Rebind: follower
+  /// pins hand out unpin callbacks into their FollowerReplica, so a
+  /// pre-cutover snapshot must outlive the rebind.
+  std::vector<std::unique_ptr<ShardState>> retired_;
 };
 
 }  // namespace i2mr

@@ -143,11 +143,17 @@ Status ReplicaShipper::ShipPass() {
   }
 
   Status first_error = Status::OK();
+  const uint64_t generation = primary_->generation();
   for (size_t i = 0; i < followers_.size(); ++i) {
     if (!follower_enabled(i)) continue;
     FollowerReplica* f = followers_[i];
     if (!f->open()) continue;
-    Status st = ShipToFollower(f, pin, segments);
+    // Generation binding comes FIRST: after a reshard bumped the primary's
+    // partition-map generation, the follower wipes its old-generation
+    // state here — before any segment install, whose first-seq dedup
+    // would otherwise skip re-shipped spans as "already held".
+    Status st = f->EnsureGeneration(generation);
+    if (st.ok()) st = ShipToFollower(f, pin, segments);
     if (!st.ok() && first_error.ok()) first_error = st;
     uint64_t committed = primary_->committed_epoch();
     uint64_t applied = f->applied_epoch();

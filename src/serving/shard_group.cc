@@ -13,7 +13,10 @@ namespace i2mr {
 
 StatusOr<std::string> ShardSnapshot::Get(const std::string& key) const {
   if (!valid()) return Status::FailedPrecondition("empty shard snapshot");
-  int s = router_->ShardOf(key);
+  // Route by the snapshot's own map: the router may have cut over to a
+  // new generation since the pins were taken, and these stores are
+  // partitioned by the map that produced them.
+  int s = map_->ShardOf(key);
   shard_reads_[s]->Increment();
   return pins_[s].Lookup(key);
 }
@@ -129,13 +132,23 @@ ShardGroup::ShardGroup(ShardRouter* router, ShardGroupOptions options)
                         : std::min(router->num_shards(), 8)) {
   MetricsRegistry* metrics = router_->metrics();
   const std::string base = "serving." + router_->name();
-  shard_reads_.reserve(router_->num_shards());
-  for (int s = 0; s < router_->num_shards(); ++s) {
-    shard_reads_.push_back(metrics->Get(base + ".shard" + std::to_string(s) +
-                                        ".snapshot_reads"));
-  }
   snapshots_pinned_ = metrics->Get(base + ".snapshots_pinned");
   reads_rejected_ = metrics->Get(base + ".reads_rejected");
+}
+
+const std::vector<Counter*>& ShardGroup::ReadsFor(
+    const PartitionMap& map) const {
+  std::lock_guard<std::mutex> lock(reads_mu_);
+  auto it = reads_by_gen_.find(map.generation);
+  if (it != reads_by_gen_.end()) return it->second;
+  MetricsRegistry* metrics = router_->metrics();
+  std::vector<Counter*> reads;
+  reads.reserve(map.num_shards);
+  for (int s = 0; s < map.num_shards; ++s) {
+    reads.push_back(metrics->Get(map.ShardMetricsPrefix(router_->name(), s) +
+                                 ".snapshot_reads"));
+  }
+  return reads_by_gen_.emplace(map.generation, std::move(reads)).first->second;
 }
 
 StatusOr<ShardSnapshot> ShardGroup::PinSnapshot(
@@ -149,7 +162,6 @@ StatusOr<ShardSnapshot> ShardGroup::PinSnapshot(
   ShardSnapshot snap;
   snap.router_ = router_;
   snap.pool_ = &scatter_pool_;
-  snap.shard_reads_ = shard_reads_;
   // Coordinated mode: bracket the per-shard pins with the router's
   // barrier-flip seqlock so the vector is always one uniform cut — a
   // barrier commit landing mid-pin (it flips CURRENTs one shard at a
@@ -157,6 +169,10 @@ StatusOr<ShardSnapshot> ShardGroup::PinSnapshot(
   // default durability mode but per-shard fsyncs under kPowerFailure, so
   // the wait backs off from yields to short sleeps instead of burning a
   // core. Independent mode pins whatever each shard committed, as before.
+  // Pins always come from one atomically-grabbed TopologyView, so even a
+  // reshard cutover landing mid-pin can only yield a uniform vector of
+  // ONE generation (retired donor slices stay pinnable); the seqlock —
+  // which the cutover also brackets — then retries onto the new map.
   const bool coordinated = router_->coordinated();
   int spins = 0;
   for (;;) {
@@ -175,12 +191,13 @@ StatusOr<ShardSnapshot> ShardGroup::PinSnapshot(
       }
       continue;
     }
+    ShardRouter::TopologyView view = router_->topology();
     snap.pins_.clear();
     snap.epochs_.clear();
-    snap.pins_.reserve(router_->num_shards());
-    snap.epochs_.reserve(router_->num_shards());
-    for (int s = 0; s < router_->num_shards(); ++s) {
-      EpochPin pin = router_->shard(s)->PinServing();
+    snap.pins_.reserve(view.pipelines.size());
+    snap.epochs_.reserve(view.pipelines.size());
+    for (size_t s = 0; s < view.pipelines.size(); ++s) {
+      EpochPin pin = view.pipelines[s]->PinServing();
       if (!pin.valid()) {
         return Status::FailedPrecondition("shard " + std::to_string(s) +
                                           " not bootstrapped");
@@ -188,7 +205,11 @@ StatusOr<ShardSnapshot> ShardGroup::PinSnapshot(
       snap.epochs_.push_back(pin.epoch());
       snap.pins_.push_back(std::move(pin));
     }
-    if (!coordinated || router_->commit_seq() == seq) break;
+    if (!coordinated || router_->commit_seq() == seq) {
+      snap.map_ = view.map;
+      snap.shard_reads_ = ReadsFor(*view.map);
+      break;
+    }
     // A barrier flip interleaved with our pins: drop them and re-pin.
   }
   snapshots_pinned_->Increment();

@@ -28,7 +28,9 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -74,7 +76,12 @@ class ShardSnapshot {
   friend class ReplicaSet;  // builds snapshots over primary+replica pins
 
   const ShardRouter* router_ = nullptr;
-  ThreadPool* pool_ = nullptr;              // borrowed from the group
+  ThreadPool* pool_ = nullptr;  // borrowed from the group
+  /// The partition map the pins were taken under. Routing MUST go through
+  /// this copy, not the router's live map: a reshard cutover can publish a
+  /// new generation while this snapshot is alive, and the pinned stores
+  /// are partitioned by the generation that produced them.
+  std::shared_ptr<const PartitionMap> map_;
   std::vector<Counter*> shard_reads_ = {};  // per-shard snapshot_reads
   std::vector<EpochPin> pins_;
   std::vector<uint64_t> epochs_;
@@ -118,10 +125,17 @@ class ShardGroup {
   ShardRouter* router() const { return router_; }
 
  private:
+  /// Per-shard snapshot_reads counters for one generation's map, built
+  /// lazily: a reshard changes both the shard count and the metric prefix,
+  /// and snapshots pinned before the cutover keep charging the old
+  /// generation's counters.
+  const std::vector<Counter*>& ReadsFor(const PartitionMap& map) const;
+
   ShardRouter* router_;
   ShardGroupOptions options_;
   mutable ThreadPool scatter_pool_;
-  std::vector<Counter*> shard_reads_;
+  mutable std::mutex reads_mu_;
+  mutable std::unordered_map<uint64_t, std::vector<Counter*>> reads_by_gen_;
   Counter* snapshots_pinned_;
   Counter* reads_rejected_;
 };

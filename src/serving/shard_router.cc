@@ -21,19 +21,9 @@
 namespace i2mr {
 namespace {
 
-std::string ShardDirName(int s) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "shard-%03d", s);
-  return buf;
-}
-
-std::string ShardMetricsPrefix(const std::string& name, int s) {
-  return "serving." + name + ".shard" + std::to_string(s);
-}
-
 std::string PipelineDirOf(const std::string& root, const std::string& name,
-                          int s) {
-  return JoinPath(JoinPath(root, ShardDirName(s)), "pipeline/" + name);
+                          const PartitionMap& map, int s) {
+  return JoinPath(JoinPath(root, map.ShardDirName(s)), "pipeline/" + name);
 }
 
 /// One thread per shard — the coordinated rounds and the barrier phases
@@ -67,14 +57,47 @@ ShardRouter::ShardRouter(std::string name, std::string root,
 
 ShardRouter::~ShardRouter() { Stop(); }
 
+std::string ShardRouter::BarrierPathFor(const std::string& root,
+                                        const std::string& name,
+                                        const PartitionMap& map) {
+  if (map.generation == 0) return JoinPath(root, name + ".BARRIER");
+  return JoinPath(root, name + ".g" + std::to_string(map.generation) +
+                            ".BARRIER");
+}
+
 std::string ShardRouter::BarrierPath() const {
-  return JoinPath(root_, name_ + ".BARRIER");
+  return BarrierPathFor(root_, name_, partition_map());
+}
+
+std::string ShardRouter::ReshardMarkerPath(const std::string& root,
+                                           const std::string& name) {
+  return JoinPath(root, name + ".RESHARD");
+}
+
+Status ShardRouter::RecoverReshard(const std::string& root,
+                                   const std::string& name, bool sync) {
+  const std::string marker = ReshardMarkerPath(root, name);
+  if (!FileExists(marker)) return Status::OK();
+  // The marker is written only after the destination fleet durably
+  // committed its state, so its presence means the new map was decided:
+  // roll forward by publishing it, exactly like the barrier record's
+  // roll-forward (PR 9).
+  auto decided = PartitionMap::Load(marker);
+  if (!decided.ok()) return decided.status();
+  I2MR_RETURN_IF_ERROR(
+      PartitionMap::Save(PartitionMap::RecordPath(root, name), *decided, sync));
+  I2MR_RETURN_IF_ERROR(RemoveAll(marker));
+  if (sync) I2MR_RETURN_IF_ERROR(SyncDir(root));
+  LOG_INFO << "serving " << name << ": rolled interrupted reshard forward to "
+           << "generation " << decided->generation << " (" << decided->num_shards
+           << " shards)";
+  return Status::OK();
 }
 
 StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     const std::string& root, const std::string& name,
     ShardRouterOptions options) {
-  if (options.num_shards <= 0) {
+  if (options.num_shards <= 0 && options.partition_map.num_shards <= 0) {
     return Status::InvalidArgument("num_shards must be > 0");
   }
   if (options.cross_shard_exchange &&
@@ -92,33 +115,76 @@ StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
   if (options.pipeline.health == nullptr) {
     options.pipeline.health = options.health;
   }
+  I2MR_RETURN_IF_ERROR(CreateDirs(root));
+  const bool sync =
+      options.pipeline.durability == DurabilityMode::kPowerFailure;
+
+  // Resolve the authoritative partition map. Precedence: an explicit
+  // internal map (a reshard's staging fleet) > the durable PARTMAP record
+  // (reset=false: the on-disk shards were partitioned by it, whatever
+  // shard count the options carry) > {generation 0, options.num_shards}.
+  PartitionMap map{0, options.num_shards};
+  const std::string map_path = PartitionMap::RecordPath(root, name);
+  if (options.partition_map.num_shards > 0) {
+    map = options.partition_map;
+  } else if (options.persist_partition_map && !options.reset) {
+    // An interrupted cutover first: a durable RESHARD marker decides for
+    // the new map before we read the record.
+    I2MR_RETURN_IF_ERROR(RecoverReshard(root, name, sync));
+    if (FileExists(map_path)) {
+      auto loaded = PartitionMap::Load(map_path);
+      if (!loaded.ok()) return loaded.status();
+      if (*loaded != map) {
+        LOG_INFO << "serving " << name << ": PARTMAP record (generation "
+                 << loaded->generation << ", " << loaded->num_shards
+                 << " shards) overrides options.num_shards="
+                 << options.num_shards;
+      }
+      map = *loaded;
+    }
+  }
+  options.num_shards = map.num_shards;
+  options.pipeline.generation = map.generation;
+  if (options.persist_partition_map) {
+    if (options.reset) {
+      // Fresh deployment: retire this computation's reshard leftovers
+      // (records are name-qualified; shard dirs are wiped per cluster).
+      I2MR_RETURN_IF_ERROR(RemoveAll(ReshardMarkerPath(root, name)));
+      I2MR_RETURN_IF_ERROR(RemoveAll(JoinPath(root, name + ".reshard-chunks")));
+      map = PartitionMap{0, options.num_shards};
+    }
+    if (options.reset || !FileExists(map_path)) {
+      I2MR_RETURN_IF_ERROR(PartitionMap::Save(map_path, map, sync));
+    }
+  }
+
   std::unique_ptr<ShardRouter> router(
       new ShardRouter(name, root, std::move(options)));
   router->health_ = router->options_.health;
+  router->map_ = std::make_shared<const PartitionMap>(map);
   const ShardRouterOptions& opts = router->options_;
-  I2MR_RETURN_IF_ERROR(CreateDirs(root));
   if (opts.cross_shard_exchange) {
     if (opts.reset) {
       // Fresh deployment: a leftover barrier record belongs to wiped state.
-      I2MR_RETURN_IF_ERROR(RemoveAll(router->BarrierPath()));
+      I2MR_RETURN_IF_ERROR(RemoveAll(BarrierPathFor(root, name, map)));
     } else {
       // A crash inside a barrier commit left the decision record behind:
       // roll every shard back to the previous epoch before the pipelines
       // open, so no reader (and no replay) ever observes a mixed vector.
-      I2MR_RETURN_IF_ERROR(RecoverBarrier(root, name, opts));
+      I2MR_RETURN_IF_ERROR(RecoverBarrier(root, name, opts, map));
     }
   }
-  for (int s = 0; s < opts.num_shards; ++s) {
+  for (int s = 0; s < map.num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     // Each shard's cluster root is disjoint by construction; reset=false
     // re-attaches all of them for crash recovery (collision-free now that
     // LocalCluster job dirs are instance-namespaced).
     shard->cluster = std::make_unique<LocalCluster>(
-        JoinPath(root, ShardDirName(s)), opts.workers_per_shard, opts.cost,
+        JoinPath(root, map.ShardDirName(s)), opts.workers_per_shard, opts.cost,
         opts.reset);
     PipelineManagerOptions mopts = opts.manager;
     mopts.metrics = opts.metrics;
-    mopts.metrics_prefix = ShardMetricsPrefix(name, s);
+    mopts.metrics_prefix = map.ShardMetricsPrefix(name, s);
     if (!opts.cross_shard_exchange && opts.admission != nullptr &&
         !opts.tenant.empty()) {
       // The tenant's epoch quota gates every shard's refresh scheduling.
@@ -135,11 +201,13 @@ StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     PipelineOptions popts = opts.pipeline;
     if (opts.cross_shard_exchange) {
       // The engine-boundary hook: this shard owns exactly the keys the
-      // router would route to it, so map emissions to any other key are
+      // partition map assigns to it, so map emissions to any other key are
       // captured for the exchange instead of reducing here as phantoms.
-      const int num = opts.num_shards;
-      popts.spec.owns_key = [num, s](std::string_view key) {
-        return ShardOfKey(key, num) == s;
+      // The map is captured by value: a shard slice belongs to exactly one
+      // generation, and keeps its own-map semantics even while a reshard
+      // builds the next generation alongside.
+      popts.spec.owns_key = [map, s](std::string_view key) {
+        return map.ShardOf(key) == s;
       };
     }
     auto pipeline = shard->manager->Register(name, popts);
@@ -152,22 +220,57 @@ StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Open(
   router->lookups_routed_ =
       opts.metrics->Get("serving." + name + ".router.lookups_routed");
   if (opts.cross_shard_exchange) {
-    const int num = opts.num_shards;
     router->exchange_ = std::make_unique<CrossShardExchange>(
-        num, [num](std::string_view key) { return ShardOfKey(key, num); },
-        opts.cost, opts.metrics, "serving." + name + ".exchange");
-    for (int s = 0; s < num; ++s) {
+        map.num_shards,
+        [map](std::string_view key) { return map.ShardOf(key); }, opts.cost,
+        opts.metrics, "serving." + name + ".exchange");
+    for (int s = 0; s < map.num_shards; ++s) {
       router->shard_epochs_committed_.push_back(opts.metrics->Get(
-          ShardMetricsPrefix(name, s) + ".epochs_committed"));
-      router->shard_deltas_applied_.push_back(
-          opts.metrics->Get(ShardMetricsPrefix(name, s) + ".deltas_applied"));
+          map.ShardMetricsPrefix(name, s) + ".epochs_committed"));
+      router->shard_deltas_applied_.push_back(opts.metrics->Get(
+          map.ShardMetricsPrefix(name, s) + ".deltas_applied"));
     }
   }
   return router;
 }
 
 int ShardRouter::ShardOf(std::string_view key) const {
-  return ShardOfKey(key, static_cast<int>(shards_.size()));
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return map_->ShardOf(key);
+}
+
+PartitionMap ShardRouter::partition_map() const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return *map_;
+}
+
+ShardRouter::TopologyView ShardRouter::topology() const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  TopologyView view;
+  view.map = map_;
+  view.pipelines.reserve(shards_.size());
+  for (const auto& shard : shards_) view.pipelines.push_back(shard->pipeline);
+  return view;
+}
+
+int ShardRouter::num_shards() const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return map_->num_shards;
+}
+
+Pipeline* ShardRouter::shard(int i) const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return shards_[i]->pipeline;
+}
+
+PipelineManager* ShardRouter::manager(int i) const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return shards_[i]->manager.get();
+}
+
+LocalCluster* ShardRouter::cluster(int i) const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return shards_[i]->cluster.get();
 }
 
 // ---------------------------------------------------------------------------
@@ -176,10 +279,15 @@ int ShardRouter::ShardOf(std::string_view key) const {
 
 Status ShardRouter::Bootstrap(const std::vector<KV>& structure,
                               const std::vector<KV>& initial_state) {
-  const int n = num_shards();
+  TopologyView view = topology();
+  const int n = view.map->num_shards;
   std::vector<std::vector<KV>> structure_parts(n), state_parts(n);
-  for (const auto& kv : structure) structure_parts[ShardOf(kv.key)].push_back(kv);
-  for (const auto& kv : initial_state) state_parts[ShardOf(kv.key)].push_back(kv);
+  for (const auto& kv : structure) {
+    structure_parts[view.map->ShardOf(kv.key)].push_back(kv);
+  }
+  for (const auto& kv : initial_state) {
+    state_parts[view.map->ShardOf(kv.key)].push_back(kv);
+  }
   if (options_.cross_shard_exchange) {
     return BootstrapCoordinated(std::move(structure_parts),
                                 std::move(state_parts));
@@ -189,7 +297,7 @@ Status ShardRouter::Bootstrap(const std::vector<KV>& structure,
   std::vector<Status> status(n);
   ForEachShard(n, [&](int s) {
     status[s] =
-        shards_[s]->pipeline->Bootstrap(structure_parts[s], state_parts[s]);
+        view.pipelines[s]->Bootstrap(structure_parts[s], state_parts[s]);
   });
   return FirstError(status);
 }
@@ -198,13 +306,14 @@ Status ShardRouter::BootstrapCoordinated(
     std::vector<std::vector<KV>> structure_parts,
     std::vector<std::vector<KV>> state_parts) {
   std::lock_guard<std::mutex> lock(coord_mu_);
-  const int n = num_shards();
+  TopologyView view = topology();
+  const int n = view.map->num_shards;
   // Phase 1: every shard's full computation over its own subgraph — no
   // commit yet. Emissions to non-owned keys are captured, not reduced.
   std::vector<Status> status(n);
   ForEachShard(n, [&](int s) {
-    status[s] = shards_[s]->pipeline->BootstrapPrepare(structure_parts[s],
-                                                       state_parts[s]);
+    status[s] = view.pipelines[s]->BootstrapPrepare(structure_parts[s],
+                                                    state_parts[s]);
   });
   I2MR_RETURN_IF_ERROR(FirstError(status));
 
@@ -213,7 +322,7 @@ Status ShardRouter::BootstrapCoordinated(
   std::vector<std::vector<DeltaEdge>> offers(n);
   std::vector<Status> round_status(n);
   ForEachShard(n, [&](int s) {
-    auto rr = shards_[s]->pipeline->RefreshRound(/*first=*/false, {});
+    auto rr = view.pipelines[s]->RefreshRound(/*first=*/false, {});
     if (!rr.ok()) {
       round_status[s] = rr.status();
       return;
@@ -235,10 +344,11 @@ Status ShardRouter::BootstrapCoordinated(
 }
 
 bool ShardRouter::bootstrapped() const {
-  for (const auto& shard : shards_) {
-    if (!shard->pipeline->bootstrapped()) return false;
+  TopologyView view = topology();
+  for (Pipeline* pipeline : view.pipelines) {
+    if (!pipeline->bootstrapped()) return false;
   }
-  return !shards_.empty();
+  return !view.pipelines.empty();
 }
 
 // ---------------------------------------------------------------------------
@@ -246,24 +356,41 @@ bool ShardRouter::bootstrapped() const {
 // ---------------------------------------------------------------------------
 
 StatusOr<uint64_t> ShardRouter::Append(const DeltaKV& delta) {
-  auto seq = shards_[ShardOf(delta.key)]->pipeline->Append(delta);
+  // The gate is shared for normal traffic; a reshard holds it exclusive
+  // only for the watermark fence and the final cutover, so appends pause
+  // for microseconds-to-one-epoch, never for the whole move.
+  std::shared_lock<std::shared_mutex> gate(append_gate_);
+  TopologyView view = topology();
+  auto seq = view.pipelines[view.map->ShardOf(delta.key)]->Append(delta);
   // Successes only: a failed log append was not routed into any shard.
-  if (seq.ok()) deltas_routed_->Increment();
+  if (seq.ok()) {
+    deltas_routed_->Increment();
+    // Mid-reshard: dual-journal the delta to the destination fleet (the
+    // sink routes by the next generation's map).
+    if (journal_) journal_(delta);
+  }
   return seq;
 }
 
 Status ShardRouter::AppendBatch(const std::vector<DeltaKV>& deltas) {
-  const int n = num_shards();
+  std::shared_lock<std::shared_mutex> gate(append_gate_);
+  TopologyView view = topology();
+  const int n = view.map->num_shards;
   std::vector<std::vector<DeltaKV>> parts(n);
-  for (const auto& d : deltas) parts[ShardOf(d.key)].push_back(d);
+  for (const auto& d : deltas) parts[view.map->ShardOf(d.key)].push_back(d);
   std::vector<int> targets;
   for (int s = 0; s < n; ++s) {
     if (!parts[s].empty()) targets.push_back(s);
   }
+  auto journal_part = [this](const std::vector<DeltaKV>& part) {
+    if (!journal_) return;
+    for (const auto& d : part) journal_(d);
+  };
   if (targets.size() == 1) {
-    auto seq = shards_[targets[0]]->pipeline->AppendBatch(parts[targets[0]]);
+    auto seq = view.pipelines[targets[0]]->AppendBatch(parts[targets[0]]);
     if (!seq.ok()) return seq.status();
     deltas_routed_->Add(static_cast<int64_t>(parts[targets[0]].size()));
+    journal_part(parts[targets[0]]);
     return Status::OK();
   }
   // Shard logs are independent: overlap the per-shard appends so a synced
@@ -272,8 +399,8 @@ Status ShardRouter::AppendBatch(const std::vector<DeltaKV>& deltas) {
   std::vector<std::thread> threads;
   threads.reserve(targets.size());
   for (size_t i = 0; i < targets.size(); ++i) {
-    threads.emplace_back([this, i, &targets, &parts, &status] {
-      auto seq = shards_[targets[i]]->pipeline->AppendBatch(parts[targets[i]]);
+    threads.emplace_back([&view, i, &targets, &parts, &status] {
+      auto seq = view.pipelines[targets[i]]->AppendBatch(parts[targets[i]]);
       status[i] = seq.ok() ? Status::OK() : seq.status();
     });
   }
@@ -282,7 +409,10 @@ Status ShardRouter::AppendBatch(const std::vector<DeltaKV>& deltas) {
   // records never reached its log).
   int64_t routed = 0;
   for (size_t i = 0; i < targets.size(); ++i) {
-    if (status[i].ok()) routed += static_cast<int64_t>(parts[targets[i]].size());
+    if (status[i].ok()) {
+      routed += static_cast<int64_t>(parts[targets[i]].size());
+      journal_part(parts[targets[i]]);
+    }
   }
   if (routed > 0) deltas_routed_->Add(routed);
   return FirstError(status);
@@ -298,7 +428,8 @@ StatusOr<std::string> ShardRouter::Lookup(const std::string& key) const {
         "a barrier commit was left incomplete; reopen the router "
         "(reset=false) to recover");
   }
-  auto result = shards_[ShardOf(key)]->pipeline->Lookup(key);
+  TopologyView view = topology();
+  auto result = view.pipelines[view.map->ShardOf(key)]->Lookup(key);
   // An answered lookup — including a definitive NotFound — was served; a
   // shard that failed to answer (e.g. not bootstrapped) was not.
   if (result.ok() || result.status().IsNotFound()) {
@@ -313,6 +444,7 @@ StatusOr<std::string> ShardRouter::Lookup(const std::string& key) const {
 
 void ShardRouter::Start() {
   if (!options_.cross_shard_exchange) {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
     for (const auto& shard : shards_) shard->manager->Start();
     return;
   }
@@ -337,8 +469,8 @@ void ShardRouter::Start() {
     };
     while (coordinating_.load()) {
       bool ready = false;
-      for (const auto& shard : shards_) {
-        if (shard->pipeline->EpochReady()) {
+      for (Pipeline* pipeline : topology().pipelines) {
+        if (pipeline->EpochReady()) {
           ready = true;
           break;
         }
@@ -380,7 +512,11 @@ void ShardRouter::Stop() {
   if (coordinating_.exchange(false)) {
     if (coordinator_.joinable()) coordinator_.join();
   }
-  for (const auto& shard : shards_) shard->manager->Stop();
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    for (const auto& shard : shards_) shard->manager->Stop();
+    for (const auto& shard : retired_) shard->manager->Stop();
+  }
 }
 
 Status ShardRouter::DrainAll() {
@@ -391,24 +527,32 @@ Status ShardRouter::DrainAll() {
       if (TotalPending() == 0) return Status::OK();
     }
   }
-  std::vector<Status> status(shards_.size());
-  ForEachShard(static_cast<int>(shards_.size()), [&](int s) {
-    status[s] = shards_[s]->manager->DrainAll();
-  });
+  TopologyView view = topology();
+  const int n = static_cast<int>(view.pipelines.size());
+  std::vector<Status> status(n);
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    std::vector<PipelineManager*> managers;
+    managers.reserve(n);
+    for (const auto& shard : shards_) managers.push_back(shard->manager.get());
+    topo.unlock();
+    ForEachShard(n, [&](int s) { status[s] = managers[s]->DrainAll(); });
+  }
   return FirstError(status);
 }
 
 uint64_t ShardRouter::TotalPending() const {
   uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->pipeline->pending();
+  for (Pipeline* pipeline : topology().pipelines) total += pipeline->pending();
   return total;
 }
 
 std::vector<uint64_t> ShardRouter::CommittedEpochs() const {
+  TopologyView view = topology();
   std::vector<uint64_t> epochs;
-  epochs.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    epochs.push_back(shard->pipeline->committed_epoch());
+  epochs.reserve(view.pipelines.size());
+  for (Pipeline* pipeline : view.pipelines) {
+    epochs.push_back(pipeline->committed_epoch());
   }
   return epochs;
 }
@@ -418,13 +562,14 @@ std::vector<uint64_t> ShardRouter::CommittedEpochs() const {
 // ---------------------------------------------------------------------------
 
 void ShardRouter::MarkAllDirty() {
-  for (const auto& shard : shards_) shard->pipeline->AbortCoordinated();
+  for (Pipeline* pipeline : topology().pipelines) pipeline->AbortCoordinated();
 }
 
 StatusOr<int> ShardRouter::RunExchangeRounds(
     CrossShardExchange* exchange, std::vector<std::vector<DeltaEdge>> offers,
     uint64_t* edges_exchanged) {
-  const int n = num_shards();
+  TopologyView view = topology();
+  const int n = view.map->num_shards;
   const double eps = options_.pipeline.spec.convergence_epsilon;
   int rounds = 0;
   bool absorb_and_stop = false;
@@ -465,8 +610,8 @@ StatusOr<int> ShardRouter::RunExchangeRounds(
       std::vector<Status> status(n);
       ForEachShard(n, [&](int s) {
         if (inbound[s].empty()) return;
-        auto rr = shards_[s]->pipeline->RefreshRound(/*first=*/false,
-                                                     inbound[s]);
+        auto rr = view.pipelines[s]->RefreshRound(/*first=*/false,
+                                                  inbound[s]);
         status[s] = rr.ok() ? Status::OK() : rr.status();
       });
       I2MR_RETURN_IF_ERROR(FirstError(status));
@@ -480,8 +625,8 @@ StatusOr<int> ShardRouter::RunExchangeRounds(
     std::vector<Pipeline::RoundResult> results(n);
     ForEachShard(n, [&](int s) {
       if (inbound[s].empty()) return;
-      auto rr = shards_[s]->pipeline->RefreshRound(/*first=*/false,
-                                                   inbound[s]);
+      auto rr = view.pipelines[s]->RefreshRound(/*first=*/false,
+                                                inbound[s]);
       if (!rr.ok()) {
         status[s] = rr.status();
         return;
@@ -507,6 +652,11 @@ StatusOr<int> ShardRouter::RunExchangeRounds(
 
 StatusOr<ShardRouter::CoordinatedEpochStats> ShardRouter::RefreshCoordinated() {
   std::lock_guard<std::mutex> lock(coord_mu_);
+  return RefreshCoordinatedLocked();
+}
+
+StatusOr<ShardRouter::CoordinatedEpochStats>
+ShardRouter::RefreshCoordinatedLocked() {
   CoordinatedEpochStats stats;
   WallTimer wall;
   TRACE_SPAN("serving.coordinated_epoch", "router=%s shards=%d", name_.c_str(),
@@ -540,13 +690,16 @@ StatusOr<ShardRouter::CoordinatedEpochStats> ShardRouter::RefreshCoordinated() {
     return stats;  // nothing to commit anywhere
   }
 
-  const int n = num_shards();
+  // The topology is stable for the whole locked body: a reshard cutover
+  // swaps it only while holding coord_mu_ (coordinated fleets).
+  TopologyView view = topology();
+  const int n = view.map->num_shards;
   // Round 0: every shard drains its log and refreshes its own subgraph,
   // capturing boundary exports.
   std::vector<Status> status(n);
   std::vector<Pipeline::RoundResult> results(n);
   ForEachShard(n, [&](int s) {
-    auto rr = shards_[s]->pipeline->RefreshRound(/*first=*/true, {});
+    auto rr = view.pipelines[s]->RefreshRound(/*first=*/true, {});
     if (!rr.ok()) {
       status[s] = rr.status();
       return;
@@ -580,10 +733,13 @@ StatusOr<ShardRouter::CoordinatedEpochStats> ShardRouter::RefreshCoordinated() {
   for (uint64_t e : CommittedEpochs()) epoch = std::max(epoch, e);
   ++epoch;
   I2MR_RETURN_IF_ERROR(CommitBarrier(epoch));
-  for (int s = 0; s < n; ++s) {
-    shard_epochs_committed_[s]->Increment();
-    if (drained[s] > 0) {
-      shard_deltas_applied_[s]->Add(static_cast<int64_t>(drained[s]));
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    for (int s = 0; s < n; ++s) {
+      shard_epochs_committed_[s]->Increment();
+      if (drained[s] > 0) {
+        shard_deltas_applied_[s]->Add(static_cast<int64_t>(drained[s]));
+      }
     }
   }
   stats.committed = true;
@@ -593,7 +749,8 @@ StatusOr<ShardRouter::CoordinatedEpochStats> ShardRouter::RefreshCoordinated() {
 }
 
 Status ShardRouter::CommitBarrier(uint64_t epoch) {
-  const int n = num_shards();
+  TopologyView view = topology();
+  const int n = view.map->num_shards;
   auto crashed = [this](const std::string& stage) {
     if (options_.barrier_crash_hook && options_.barrier_crash_hook(stage)) {
       return true;
@@ -615,7 +772,7 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
                                static_cast<unsigned long long>(epoch));
   std::vector<Status> status(n);
   ForEachShard(n, [&](int s) {
-    status[s] = shards_[s]->pipeline->StageEpoch(epoch, nullptr);
+    status[s] = view.pipelines[s]->StageEpoch(epoch, nullptr);
   });
   stage_span.End();
   Status staged = FirstError(status);
@@ -634,9 +791,10 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
   PutFixed64(&payload, epoch);
   std::string record = payload;
   PutFixed32(&record, Crc32(payload));
-  std::string tmp = BarrierPath() + ".tmp";
+  const std::string barrier_path = BarrierPathFor(root_, name_, *view.map);
+  std::string tmp = barrier_path + ".tmp";
   Status wrote = WriteStringToFile(tmp, record, sync);
-  if (wrote.ok()) wrote = RenameFile(tmp, BarrierPath());
+  if (wrote.ok()) wrote = RenameFile(tmp, barrier_path);
   if (wrote.ok() && sync) wrote = SyncDir(root_);
   record_span.End();
   if (!wrote.ok()) return fail(wrote);
@@ -679,7 +837,7 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
     return st;
   };
   for (int s = 0; s < n; ++s) {
-    Status flipped = shards_[s]->pipeline->FinalizeStagedEpoch();
+    Status flipped = view.pipelines[s]->FinalizeStagedEpoch();
     if (!flipped.ok()) return fail_resumable(std::move(flipped));
     if (s == 0 && crashed("mid_flip")) {
       return fail_mid_flip(
@@ -698,7 +856,7 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
   // rollback needs the N-1 dirs and the unpurged logs.
   TRACE_SPAN("barrier.cleanup", "epoch=%llu",
              static_cast<unsigned long long>(epoch));
-  Status cleared = RemoveAll(BarrierPath());
+  Status cleared = RemoveAll(barrier_path);
   if (cleared.ok() && sync) cleared = SyncDir(root_);
   if (!cleared.ok()) {
     // The commit stands (every CURRENT names N) but the stale barrier
@@ -719,7 +877,7 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
     return fail(cleared);
   }
   ForEachShard(n, [&](int s) {
-    Status cleaned = shards_[s]->pipeline->CleanupCommitted();
+    Status cleaned = view.pipelines[s]->CleanupCommitted();
     if (!cleaned.ok()) {
       LOG_WARN << "serving " << name_ << ": shard " << s
                << " post-barrier cleanup failed (" << cleaned.ToString()
@@ -731,7 +889,8 @@ Status ShardRouter::CommitBarrier(uint64_t epoch) {
 
 Status ShardRouter::ResumeBarrierLocked() {
   const uint64_t epoch = pending_flip_epoch_.load();
-  const int n = num_shards();
+  TopologyView view = topology();
+  const int n = view.map->num_shards;
   const bool sync =
       options_.pipeline.durability == DurabilityMode::kPowerFailure;
   TRACE_SPAN("barrier.resume", "epoch=%llu",
@@ -744,21 +903,24 @@ Status ShardRouter::ResumeBarrierLocked() {
   commit_seq_.fetch_add(1, std::memory_order_acq_rel);
   Status st;
   for (int s = 0; s < n && st.ok(); ++s) {
-    if (shards_[s]->pipeline->committed_epoch() >= epoch) continue;
-    st = shards_[s]->pipeline->FinalizeStagedEpoch();
+    if (view.pipelines[s]->committed_epoch() >= epoch) continue;
+    st = view.pipelines[s]->FinalizeStagedEpoch();
   }
   commit_seq_.fetch_add(1, std::memory_order_acq_rel);
   if (!st.ok()) return st;  // still poisoned; retried next tick
 
-  Status cleared = RemoveAll(BarrierPath());
+  Status cleared = RemoveAll(BarrierPathFor(root_, name_, *view.map));
   if (cleared.ok() && sync) cleared = SyncDir(root_);
   if (!cleared.ok()) return cleared;  // commit stands; retried next tick
 
   pending_flip_epoch_.store(0);
   poisoned_.store(false);
-  for (int s = 0; s < n; ++s) shard_epochs_committed_[s]->Increment();
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    for (int s = 0; s < n; ++s) shard_epochs_committed_[s]->Increment();
+  }
   ForEachShard(n, [&](int s) {
-    Status cleaned = shards_[s]->pipeline->CleanupCommitted();
+    Status cleaned = view.pipelines[s]->CleanupCommitted();
     if (!cleaned.ok()) {
       LOG_WARN << "serving " << name_ << ": shard " << s
                << " post-barrier cleanup failed (" << cleaned.ToString()
@@ -773,8 +935,9 @@ Status ShardRouter::ResumeBarrierLocked() {
 
 Status ShardRouter::RecoverBarrier(const std::string& root,
                                    const std::string& name,
-                                   const ShardRouterOptions& options) {
-  const std::string barrier = JoinPath(root, name + ".BARRIER");
+                                   const ShardRouterOptions& options,
+                                   const PartitionMap& map) {
+  const std::string barrier = BarrierPathFor(root, name, map);
   if (!FileExists(barrier)) return Status::OK();
   auto data = ReadFileToString(barrier);
   if (!data.ok()) return data.status();
@@ -788,8 +951,8 @@ Status ShardRouter::RecoverBarrier(const std::string& root,
   const bool sync =
       options.pipeline.durability == DurabilityMode::kPowerFailure;
 
-  for (int s = 0; s < options.num_shards; ++s) {
-    std::string pdir = PipelineDirOf(root, name, s);
+  for (int s = 0; s < map.num_shards; ++s) {
+    std::string pdir = PipelineDirOf(root, name, map, s);
     std::string current_path = JoinPath(pdir, "CURRENT");
     if (FileExists(current_path)) {
       auto current = ReadFileToString(current_path);
@@ -845,6 +1008,32 @@ Status ShardRouter::RecoverBarrier(const std::string& root,
   I2MR_RETURN_IF_ERROR(RemoveAll(barrier));
   if (sync) I2MR_RETURN_IF_ERROR(SyncDir(root));
   return Status::OK();
+}
+
+void ShardRouter::AdoptTopology(std::vector<std::unique_ptr<Shard>> shards,
+                                std::unique_ptr<CrossShardExchange> exchange,
+                                std::shared_ptr<const PartitionMap> map,
+                                std::vector<Counter*> epochs_committed,
+                                std::vector<Counter*> deltas_applied) {
+  // The swap itself: pointer moves under the exclusive topology lock,
+  // bracketed by the barrier-flip seqlock so coordinated pins retry
+  // instead of pinning across two generations. Old slices move to
+  // retired_ (the caller stops their managers afterwards); their
+  // pipelines stay alive so pre-cutover pins and views keep serving the
+  // old map until the router dies.
+  commit_seq_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::unique_lock<std::shared_mutex> topo(topo_mu_);
+    for (auto& shard : shards_) retired_.push_back(std::move(shard));
+    shards_ = std::move(shards);
+    exchange_ = std::move(exchange);
+    map_ = std::move(map);
+    shard_epochs_committed_ = std::move(epochs_committed);
+    shard_deltas_applied_ = std::move(deltas_applied);
+    options_.num_shards = map_->num_shards;
+    options_.pipeline.generation = map_->generation;
+  }
+  commit_seq_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace i2mr

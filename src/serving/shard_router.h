@@ -1,14 +1,20 @@
 // ShardRouter: hash-partitions one continuously-refreshed computation
 // across N shards. Each shard is a full vertical slice — its own
-// LocalCluster (under <root>/shard-NNN/), its own Pipeline (own DeltaLog,
+// LocalCluster (under <root>/<shard-dir>/), its own Pipeline (own DeltaLog,
 // epoch dirs, engine state) and its own PipelineManager scheduling that
 // pipeline's epochs — so shards ingest, refresh and serve independently;
 // nothing is shared but the process.
 //
-// Routing is by key: ShardOf(key) = Hash64(key) % num_shards, stable
-// across runs (the same property the shuffle partitioner relies on), so a
+// Routing is by key through the router's versioned PartitionMap (see
+// serving/partition_map.h) — one stable key-hash partition function,
+// durable as the `<name>.PARTMAP` record, shared with the exchange's
+// owner map, bootstrap splitting and the engines' owns_key filter, so a
 // key's deltas, its committed state and its lookups always meet on the
-// same shard. Bootstrap() splits the initial structure/state the same way.
+// same shard and no layer can ever compute the split from a different
+// shard count. An elastic reshard (serving/reshard.h) replaces the whole
+// topology — map, shard slices, exchange — with a new generation in one
+// atomic cutover; retired donor slices stay alive until the router dies
+// so pre-cutover pins keep serving the old map.
 //
 // Two consistency modes:
 //
@@ -39,6 +45,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -49,10 +56,12 @@
 #include "pipeline/pipeline_manager.h"
 #include "serving/admission.h"
 #include "serving/exchange.h"
+#include "serving/partition_map.h"
 
 namespace i2mr {
 
 class HealthRegistry;
+class ReshardCoordinator;
 
 struct ShardRouterOptions {
   int num_shards = 4;
@@ -85,7 +94,10 @@ struct ShardRouterOptions {
   CostModel cost;
 
   /// true: wipe the shard roots (fresh deployment). false: re-attach and
-  /// recover every shard's committed epoch + delta log from disk.
+  /// recover every shard's committed epoch + delta log from disk — and
+  /// trust the durable PARTMAP record over num_shards above, because the
+  /// record names the partitioning the on-disk shards were actually built
+  /// with (it differs after an elastic reshard).
   bool reset = true;
 
   /// Template for every shard's pipeline (spec, engine knobs, triggers,
@@ -93,8 +105,9 @@ struct ShardRouterOptions {
   PipelineOptions pipeline;
 
   /// Template for every shard's manager; metrics_prefix is overridden with
-  /// "serving.<name>.shard<i>" so one registry holds per-shard counter
-  /// families, and epoch_gate is overridden when admission is wired below.
+  /// the partition map's per-shard prefix ("serving.<name>.shard<i>" at
+  /// generation 0) so one registry holds per-shard counter families, and
+  /// epoch_gate is overridden when admission is wired below.
   PipelineManagerOptions manager;
 
   /// Owning tenant + admission control: when both are set, every shard
@@ -113,6 +126,15 @@ struct ShardRouterOptions {
   /// commit again — and forwards the registry into every shard pipeline
   /// (which reports "pipeline.<name>" for its degraded read-only mode).
   HealthRegistry* health = nullptr;
+
+  /// Internal (ReshardCoordinator): open this fleet under an explicit
+  /// partition map instead of {generation 0, num_shards}. Ignored when
+  /// its num_shards is 0.
+  PartitionMap partition_map{0, 0};
+
+  /// Internal (ReshardCoordinator): a staging fleet must not write the
+  /// live PARTMAP record — publishing the new map is the cutover.
+  bool persist_partition_map = true;
 };
 
 class ShardRouter {
@@ -127,13 +149,25 @@ class ShardRouter {
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
-  /// Stable shard assignment for a key. The single partition function —
-  /// routing, the engines' owns_key boundary filter and the exchange's
-  /// owner map all call this, so they can never disagree.
-  static int ShardOfKey(std::string_view key, int num_shards) {
-    return static_cast<int>(Hash64(key) % static_cast<uint64_t>(num_shards));
-  }
+  /// Stable shard assignment for a key under the current partition map.
   int ShardOf(std::string_view key) const;
+
+  /// The current partition map (by value: a reshard publishes a whole new
+  /// map, it never mutates one in place).
+  PartitionMap partition_map() const;
+  uint64_t generation() const { return partition_map().generation; }
+
+  /// An atomically-grabbed view of the current topology: the map and the
+  /// per-shard pipelines that belong to it. Readers that touch more than
+  /// one shard (snapshot pinning, the replication layer) hold a view so a
+  /// concurrent reshard cutover can never hand them a torn mix of
+  /// generations — retired slices stay alive, so a pre-cutover view keeps
+  /// working on the old map.
+  struct TopologyView {
+    std::shared_ptr<const PartitionMap> map;
+    std::vector<Pipeline*> pipelines;
+  };
+  TopologyView topology() const;
 
   /// Split the initial structure/state by key and run every shard's full
   /// computation + epoch-0 commit. Shards bootstrap concurrently.
@@ -180,14 +214,15 @@ class ShardRouter {
   /// Committed epoch id per shard (the version vector readers pin).
   std::vector<uint64_t> CommittedEpochs() const;
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const;
   bool coordinated() const { return options_.cross_shard_exchange; }
 
   /// Barrier-flip seqlock for uniform reads: even = stable, odd = a
-  /// barrier commit is mid-flip. ShardGroup::PinSnapshot brackets its
-  /// per-shard pins with this (wait while odd, retry if it moved), so a
-  /// coordinated-mode pin is always a uniform epoch vector even while the
-  /// flips land one CURRENT at a time.
+  /// barrier commit (or a reshard cutover) is mid-flip. ShardGroup::
+  /// PinSnapshot brackets its per-shard pins with this (wait while odd,
+  /// retry if it moved), so a coordinated-mode pin is always a uniform
+  /// epoch vector of one generation even while flips land one CURRENT at
+  /// a time.
   uint64_t commit_seq() const {
     return commit_seq_.load(std::memory_order_acquire);
   }
@@ -204,16 +239,19 @@ class ShardRouter {
 
   const std::string& name() const { return name_; }
   const std::string& tenant() const { return options_.tenant; }
-  Pipeline* shard(int i) const { return shards_[i]->pipeline; }
-  PipelineManager* manager(int i) const { return shards_[i]->manager.get(); }
-  LocalCluster* cluster(int i) const { return shards_[i]->cluster.get(); }
+  Pipeline* shard(int i) const;
+  PipelineManager* manager(int i) const;
+  LocalCluster* cluster(int i) const;
   MetricsRegistry* metrics() const { return options_.metrics; }
-  /// Effective options (metrics defaulted, templates as applied). The
+  /// Effective options (metrics defaulted, templates as applied; after a
+  /// reshard, num_shards and pipeline.generation track the live map). The
   /// replication layer clones the pipeline/cost templates from here when
   /// it promotes a follower into a primary.
   const ShardRouterOptions& options() const { return options_; }
 
  private:
+  friend class ReshardCoordinator;
+
   struct Shard {
     std::unique_ptr<LocalCluster> cluster;
     std::unique_ptr<PipelineManager> manager;
@@ -226,6 +264,10 @@ class ShardRouter {
   /// the joint fixpoint, then the epoch-0 barrier commit.
   Status BootstrapCoordinated(std::vector<std::vector<KV>> structure_parts,
                               std::vector<std::vector<KV>> state_parts);
+
+  /// RefreshCoordinated body; caller holds coord_mu_ (the reshard
+  /// coordinator drains donors while holding the lock for the whole move).
+  StatusOr<CoordinatedEpochStats> RefreshCoordinatedLocked();
 
   /// Exchange rounds (after per-shard refreshes produced `offers`) until
   /// the joint fixpoint; returns the number of rounds run.
@@ -247,8 +289,16 @@ class ShardRouter {
   /// coordinated tick retries.
   Status ResumeBarrierLocked();
 
-  /// Path of the coordinator's durable barrier decision record.
+  /// Path of the coordinator's durable barrier decision record
+  /// (generation-qualified past generation 0, so a staging fleet's
+  /// barrier never collides with the live one's).
+  static std::string BarrierPathFor(const std::string& root,
+                                    const std::string& name,
+                                    const PartitionMap& map);
   std::string BarrierPath() const;
+  /// Path of the durable reshard decision record (`<name>.RESHARD`).
+  static std::string ReshardMarkerPath(const std::string& root,
+                                       const std::string& name);
 
   /// Roll an incomplete barrier commit back to epoch N-1 on every shard
   /// (reset=false reopen): shards whose CURRENT already names the barrier
@@ -257,19 +307,60 @@ class ShardRouter {
   /// pipelines open.
   static Status RecoverBarrier(const std::string& root,
                                const std::string& name,
-                               const ShardRouterOptions& options);
+                               const ShardRouterOptions& options,
+                               const PartitionMap& map);
+
+  /// Roll an interrupted reshard cutover forward on reopen: a durable
+  /// RESHARD marker means the destination fleet was fully committed and
+  /// the new map was decided — install it as the PARTMAP and retire the
+  /// marker. No marker: the old map stands (a crash anywhere earlier in
+  /// the move recovers to exactly the old partitioning).
+  static Status RecoverReshard(const std::string& root,
+                               const std::string& name, bool sync);
+
+  /// The reshard cutover: replace the whole topology (map, shard slices,
+  /// exchange, per-shard counters, options' shard count + generation)
+  /// with the staging fleet's, bracketed by the barrier-flip seqlock.
+  /// Retired slices (managers stopped by the caller) are kept alive until
+  /// the router dies so pre-cutover pins and views keep serving.
+  void AdoptTopology(std::vector<std::unique_ptr<Shard>> shards,
+                     std::unique_ptr<CrossShardExchange> exchange,
+                     std::shared_ptr<const PartitionMap> map,
+                     std::vector<Counter*> epochs_committed,
+                     std::vector<Counter*> deltas_applied);
 
   void MarkAllDirty();
 
   const std::string name_;
   const std::string root_;
   ShardRouterOptions options_;
+
+  /// Guards the live topology — map_, shards_, exchange_, the per-shard
+  /// counter vectors — shared for every read/route, exclusive only for
+  /// the reshard cutover's pointer swap. Lock order: append_gate_ (when
+  /// taken) before topo_mu_ before anything inside a pipeline.
+  mutable std::shared_mutex topo_mu_;
+  std::shared_ptr<const PartitionMap> map_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Donor slices of previous generations, retired at cutover: managers
+  /// stopped, pipelines alive so pre-cutover pins stay valid.
+  std::vector<std::unique_ptr<Shard>> retired_;
+
+  /// Append gate: appends hold it shared; the reshard coordinator takes
+  /// it exclusive for the brief watermark fence (enable dual-journaling
+  /// against a drained fleet) and the final cutover. Reads never touch it.
+  mutable std::shared_mutex append_gate_;
+  /// Dual-journal sink (set only mid-reshard, under the exclusive gate):
+  /// every successfully routed append is also offered to the destination
+  /// fleet. Called with the append gate held shared.
+  std::function<void(const DeltaKV& delta)> journal_;
+
   Counter* deltas_routed_ = nullptr;
   Counter* lookups_routed_ = nullptr;
 
   /// Coordinated mode: serializes RefreshCoordinated / DrainAll / the
-  /// coordinator thread.
+  /// coordinator thread (and, for the length of a move, the reshard
+  /// coordinator).
   std::mutex coord_mu_;
   std::unique_ptr<CrossShardExchange> exchange_;
   std::thread coordinator_;
@@ -286,7 +377,7 @@ class ShardRouter {
   /// Resolved health registry (options_.health or Default()).
   HealthRegistry* health_ = nullptr;
   /// Per-shard commit counters (the manager publishes these for solo
-  /// epochs; the router does for barrier commits).
+  /// epochs; the router does for barrier commits). Guarded by topo_mu_.
   std::vector<Counter*> shard_epochs_committed_;
   std::vector<Counter*> shard_deltas_applied_;
 };

@@ -21,6 +21,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -34,6 +35,7 @@
 #include "io/env.h"
 #include "io/fault_env.h"
 #include "replication/replica_set.h"
+#include "serving/reshard.h"
 #include "serving/shard_router.h"
 
 namespace i2mr {
@@ -387,6 +389,109 @@ TEST_F(FaultChaosTest, InterruptedBarrierRollsForwardWithoutReopen) {
   }
   ASSERT_TRUE((*router)->DrainAll().ok());
   EXPECT_TRUE((*router)->Lookup(VertexKey(0)).ok());
+}
+
+// Mid-reshard kill sweep: each chaos seed kills the reshard coordinator
+// at a seed-derived stage via the same fault-spec grammar the storm uses
+// ("reshard/<stage>" kill points), on a fleet that has already absorbed
+// real delta history. The invariant is the reshard crash contract: the
+// reopened fleet serves exactly the old map or exactly the new one —
+// never a mix — with every committed value intact, the durable RESHARD
+// marker retired, and a clean retry (or the roll-forward) finishing the
+// move so the fleet keeps ingesting at the target shape.
+TEST_F(FaultChaosTest, MidReshardKillRecoversToOldOrNewMapAndCompletes) {
+  const std::vector<std::string> stages = {"plan", "dual_journal", "transfer",
+                                           "flip", "flip_marker"};
+  for (uint64_t seed : ChaosSeeds()) {
+    const std::string stage = stages[seed % stages.size()];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " kills at reshard/" +
+                 stage);
+    const std::string root = ::testing::TempDir() + "/i2mr_chaos_reshard" +
+                             std::to_string(seed);
+    ASSERT_TRUE(ResetDir(root).ok());
+    MetricsRegistry metrics;
+    HealthRegistry health(&metrics);
+
+    std::map<std::string, std::string> before;
+    {
+      auto router = ShardRouter::Open(
+          root, "sys", RouterOptions(&metrics, &health, /*reset=*/true));
+      ASSERT_TRUE(router.ok()) << router.status().ToString();
+      auto graph = RingGraph(kVertices);
+      ASSERT_TRUE(
+          (*router)
+              ->Bootstrap(graph,
+                          InitStateFor(RouterOptions(nullptr, nullptr, true)
+                                           .pipeline.spec,
+                                       graph))
+              .ok());
+      // Real history before the kill: the transfer then moves converged
+      // incremental state, not a fresh bootstrap image.
+      for (int round = 0; round < 2; ++round) {
+        for (const DeltaKV& delta : RoundDeltas(seed, round)) {
+          ASSERT_TRUE((*router)->Append(delta).ok());
+        }
+        ASSERT_TRUE((*router)->DrainAll().ok());
+      }
+      for (int i = 0; i < kVertices; ++i) {
+        auto v = (*router)->Lookup(VertexKey(i));
+        ASSERT_TRUE(v.ok()) << v.status().ToString();
+        before[VertexKey(i)] = *v;
+      }
+
+      ASSERT_TRUE(fault::FaultInjector::Instance()
+                      ->LoadSpec("op=crash,path=reshard/" + stage +
+                                 ",kind=crash")
+                      .ok());
+      ReshardOptions opts;
+      opts.new_num_shards = 3;
+      opts.chunk_max_bytes = 512;
+      ReshardCoordinator coordinator(router->get(), opts);
+      ASSERT_FALSE(coordinator.Run().ok()) << "injected kill must surface";
+      fault::FaultInjector::Instance()->Reset();
+      if (stage == "flip_marker") {
+        // Decision durable, topology not swapped: reads are refused until
+        // the roll-forward reopen, never served from the superseded map.
+        EXPECT_TRUE((*router)->poisoned());
+        ASSERT_FALSE((*router)->Lookup(VertexKey(0)).ok());
+      }
+      // The killed coordinator's process is gone; recovery is the reopen.
+    }
+
+    auto options = RouterOptions(&metrics, &health, /*reset=*/false);
+    auto reopened = ShardRouter::Open(root, "sys", options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    ASSERT_TRUE((*reopened)->bootstrapped());
+    const bool rolled_forward = stage == "flip_marker";
+    EXPECT_EQ((*reopened)->generation(), rolled_forward ? 1u : 0u);
+    EXPECT_EQ((*reopened)->num_shards(), rolled_forward ? 3 : kShards);
+    EXPECT_FALSE(FileExists(JoinPath(root, "sys.RESHARD")));
+    for (const auto& [key, value] : before) {
+      auto v = (*reopened)->Lookup(key);
+      ASSERT_TRUE(v.ok()) << key << ": " << v.status().ToString();
+      EXPECT_EQ(*v, value) << key;
+    }
+
+    // Finish what the kill interrupted: a clean retry reaches the target
+    // shape (roll-forward already did), and ingestion continues on it.
+    if (!rolled_forward) {
+      ReshardOptions opts;
+      opts.new_num_shards = 3;
+      opts.chunk_max_bytes = 512;
+      ReshardCoordinator retry(reopened->get(), opts);
+      auto stats = retry.Run();
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    }
+    EXPECT_EQ((*reopened)->num_shards(), 3);
+    EXPECT_EQ((*reopened)->generation(), 1u);
+    for (const DeltaKV& delta : RoundDeltas(seed, /*round=*/7)) {
+      ASSERT_TRUE((*reopened)->Append(delta).ok());
+    }
+    ASSERT_TRUE((*reopened)->DrainAll().ok());
+    for (const auto& [key, value] : before) {
+      ASSERT_TRUE((*reopened)->Lookup(key).ok()) << key;
+    }
+  }
 }
 
 }  // namespace
