@@ -182,6 +182,14 @@ StatusOr<ReshardStats> ReshardCoordinator::Run() {
   // the gate closed. Once the gate is held with zero pending, pin every
   // donor's committed epoch: the pins + every journaled delta after them
   // cover the full history exactly once.
+  // Mirror failures are fatal to the move, not to the donor ack: the
+  // donor durably owns the delta either way, so a delta that failed to
+  // reach the staging logs just means the new generation would be missing
+  // an acked write. The flag is read under the cutover's exclusive gate
+  // (no mirror can be in flight there) and aborts before the commit
+  // point. Outlives journal_guard below, which disarms the capturing
+  // lambda first.
+  std::atomic<uint64_t> journal_errors{0};
   std::vector<EpochPin> pins;
   {
     std::unique_lock<std::shared_mutex> gate(router_->append_gate_,
@@ -211,13 +219,15 @@ StatusOr<ReshardStats> ReshardCoordinator::Run() {
       pins.push_back(std::move(pin));
     }
     ShardRouter* staging_ptr = staging.get();
-    router_->journal_ = [staging_ptr, dual_journal](const DeltaKV& d) {
+    std::atomic<uint64_t>* errors = &journal_errors;
+    router_->journal_ = [staging_ptr, dual_journal, errors](const DeltaKV& d) {
       auto seq = staging_ptr->Append(d);
       if (seq.ok()) {
         dual_journal->Increment();
       } else {
-        LOG_WARN << "reshard dual-journal append dropped: "
-                 << seq.status().ToString();
+        errors->fetch_add(1);
+        LOG_WARN << "reshard dual-journal append failed (move will abort "
+                 << "before cutover): " << seq.status().ToString();
       }
     };
   }
@@ -383,6 +393,18 @@ StatusOr<ReshardStats> ReshardCoordinator::Run() {
   WallTimer cutover_timer;
   {
     std::unique_lock<std::shared_mutex> gate(router_->append_gate_);
+    // The gate is exclusive: no mirror is in flight, so the error count
+    // is final. Any delta a donor acked but the staging fleet missed
+    // would be permanently absent from the new generation past the flip —
+    // abort instead; the old map still serves every acked write.
+    const uint64_t mirror_failures = journal_errors.load();
+    if (mirror_failures != 0) {
+      return Status::Aborted(
+          "reshard aborted before cutover: " +
+          std::to_string(mirror_failures) +
+          " dual-journal append(s) failed to mirror acked deltas to the "
+          "destination fleet; the old map still serves");
+    }
     // Tail drain: every delta accepted before the gate closed is in the
     // staging logs; consume them so the flip loses nothing.
     I2MR_RETURN_IF_ERROR(staging->DrainAll());
@@ -391,10 +413,50 @@ StatusOr<ReshardStats> ReshardCoordinator::Run() {
       return Status::Aborted(
           "simulated coordinator crash at cutover before the marker");
     }
+    // Any in-process failure between the marker write and the topology
+    // swap leaves a durable decision the live fleet contradicts: serving
+    // (and acking) on the old map would be silently rolled forward over
+    // by RecoverReshard on reopen. Revoke the decision — retire the
+    // marker and make sure the PARTMAP still names the old map — so the
+    // old generation stands consistently; if revocation itself fails,
+    // poison the router (appends and lookups refused until the
+    // roll-forward reopen), exactly like the flip_marker crash hook.
+    auto revoke_or_poison = [&](const Status& cause) {
+      Status revoked = RemoveAll(ShardRouter::ReshardMarkerPath(root, name));
+      if (revoked.ok() && sync) revoked = SyncDir(root);
+      if (revoked.ok()) {
+        // The PARTMAP publish uses tmp + rename; the live record is
+        // untouched unless the rename landed (e.g. only the directory
+        // sync failed). Restore it only in that case.
+        auto on_disk = PartitionMap::Load(PartitionMap::RecordPath(root, name));
+        if (!on_disk.ok() || *on_disk != old_map) {
+          revoked = PartitionMap::Save(PartitionMap::RecordPath(root, name),
+                                       old_map, sync);
+        }
+      }
+      if (revoked.ok()) {
+        LOG_WARN << "reshard " << name << ": cutover failed after the marker "
+                 << "write (" << cause.ToString()
+                 << "); decision revoked, the old map stands";
+      } else {
+        router_->poisoned_.store(true);
+        LOG_WARN << "reshard " << name << ": cutover failed after the marker "
+                 << "write (" << cause.ToString()
+                 << ") and the decision could not be revoked ("
+                 << revoked.ToString()
+                 << "); router poisoned until the roll-forward reopen";
+      }
+    };
     // Commit point: the durable marker carries the new map. From here a
     // crash rolls FORWARD (RecoverReshard installs it on reopen).
-    I2MR_RETURN_IF_ERROR(PartitionMap::Save(
-        ShardRouter::ReshardMarkerPath(root, name), new_map, sync));
+    Status marked = PartitionMap::Save(
+        ShardRouter::ReshardMarkerPath(root, name), new_map, sync);
+    if (!marked.ok()) {
+      // The save's own failure can still have left a durable marker (tmp
+      // + rename, with only the directory sync failing); revoke it.
+      revoke_or_poison(marked);
+      return marked;
+    }
     if (Crashed("flip_marker")) {
       // In-process simulation of dying right after the decision: the old
       // topology must not serve new reads that recovery would contradict.
@@ -402,8 +464,12 @@ StatusOr<ReshardStats> ReshardCoordinator::Run() {
       return Status::Aborted(
           "simulated coordinator crash after the reshard marker");
     }
-    I2MR_RETURN_IF_ERROR(PartitionMap::Save(
-        PartitionMap::RecordPath(root, name), new_map, sync));
+    Status published =
+        PartitionMap::Save(PartitionMap::RecordPath(root, name), new_map, sync);
+    if (!published.ok()) {
+      revoke_or_poison(published);
+      return published;
+    }
     router_->journal_ = nullptr;
     journal_guard.active = false;  // cleared under this gate hold
     router_->AdoptTopology(std::move(staging->shards_),

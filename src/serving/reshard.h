@@ -12,7 +12,12 @@
 //      donor's committed epoch, and arm dual-journaling — from here every
 //      accepted append lands in the donor's log AND the staging fleet's
 //      logs (routed by the new map). The pinned epochs plus the journal
-//      cover the full history with no gap.
+//      cover the full history with no gap. A delta that the donor acked
+//      but the mirror failed to land is counted, and the move aborts
+//      before the cutover commit point rather than cut over without it.
+//      Ordering: the mirror runs synchronously before each ack, so
+//      caller-serialized appends journal in order; only appends racing on
+//      the same key may reach the two logs in different orders.
 //   3. Transfer: cut the pinned structure + state into content-addressed
 //      chunks (ContentChunkStore under `<root>/<name>.reshard-chunks/`,
 //      bucketed by key hash and sorted so equal slices chunk identically).
@@ -34,7 +39,12 @@
 // PARTMAP record is untouched and stale staging dirs are inert. A crash
 // after it rolls forward: ShardRouter::RecoverReshard installs the
 // marker's map as the PARTMAP and the reopened fleet is the new
-// generation, bootstrapped from its own durably committed epoch 0+.
+// generation, bootstrapped from its own durably committed epoch 0+. An
+// in-process I/O failure between the marker write and the topology swap
+// revokes the decision (marker retired, PARTMAP restored to the old map)
+// so the old generation stands consistently; if revocation itself fails,
+// the router is poisoned — appends and lookups refused — until the
+// roll-forward reopen, so no acked write can be contradicted by recovery.
 //
 // Metrics (serving.<name>.reshard.*): chunks_total, chunks_reused,
 // bytes_moved, dual_journal_deltas, cutover_ms. Health: every donor and
@@ -103,8 +113,9 @@ class ReshardCoordinator {
 
   /// Execute the full reshard. On success the router serves the new
   /// generation and the returned stats describe the move. On failure the
-  /// router still serves the old map (or, after the "flip_marker" point,
-  /// is poisoned pending the roll-forward reopen) — never a mix.
+  /// router still serves the old map (or — after the "flip_marker" point,
+  /// or when a post-marker failure's decision could not be revoked — is
+  /// poisoned pending the roll-forward reopen) — never a mix.
   StatusOr<ReshardStats> Run();
 
  private:

@@ -356,6 +356,15 @@ bool ShardRouter::bootstrapped() const {
 // ---------------------------------------------------------------------------
 
 StatusOr<uint64_t> ShardRouter::Append(const DeltaKV& delta) {
+  if (poisoned_.load()) {
+    // A durable decision (a barrier record or a reshard marker) already
+    // supersedes the live topology: an ack against this generation's log
+    // could be discarded by the recovery that resolves the poison. Refuse
+    // like Lookup does — an acked append must survive recovery.
+    return Status::FailedPrecondition(
+        "a barrier commit or reshard cutover was left incomplete; appends "
+        "are refused until recovery");
+  }
   // The gate is shared for normal traffic; a reshard holds it exclusive
   // only for the watermark fence and the final cutover, so appends pause
   // for microseconds-to-one-epoch, never for the whole move.
@@ -366,13 +375,22 @@ StatusOr<uint64_t> ShardRouter::Append(const DeltaKV& delta) {
   if (seq.ok()) {
     deltas_routed_->Increment();
     // Mid-reshard: dual-journal the delta to the destination fleet (the
-    // sink routes by the next generation's map).
+    // sink routes by the next generation's map). The mirror runs
+    // synchronously before the ack, so appends the caller serializes
+    // reach the staging logs in that order; only appends racing on the
+    // SAME key can land in the donor log and the staging log in opposite
+    // orders (no order was promised to the racing callers to begin with).
     if (journal_) journal_(delta);
   }
   return seq;
 }
 
 Status ShardRouter::AppendBatch(const std::vector<DeltaKV>& deltas) {
+  if (poisoned_.load()) {
+    return Status::FailedPrecondition(
+        "a barrier commit or reshard cutover was left incomplete; appends "
+        "are refused until recovery");
+  }
   std::shared_lock<std::shared_mutex> gate(append_gate_);
   TopologyView view = topology();
   const int n = view.map->num_shards;

@@ -175,7 +175,10 @@ class ShardRouter {
                    const std::vector<KV>& initial_state);
   bool bootstrapped() const;
 
-  /// Durably append one update to its key's shard.
+  /// Durably append one update to its key's shard. Refused (like Lookup)
+  /// while the router is poisoned: a durable barrier/reshard decision
+  /// already supersedes the live topology, and recovery could discard an
+  /// ack made against it.
   StatusOr<uint64_t> Append(const DeltaKV& delta);
   /// Partition a batch by key and append per shard (one group per shard).
   Status AppendBatch(const std::vector<DeltaKV>& deltas);
@@ -352,7 +355,12 @@ class ShardRouter {
   mutable std::shared_mutex append_gate_;
   /// Dual-journal sink (set only mid-reshard, under the exclusive gate):
   /// every successfully routed append is also offered to the destination
-  /// fleet. Called with the append gate held shared.
+  /// fleet. Called with the append gate held shared, synchronously before
+  /// the append acks — so appends the caller serializes mirror in that
+  /// order. Appends racing on the SAME key carry no ordering promise: the
+  /// donor log and the staging log may order such a pair differently, so
+  /// callers whose deltas don't commute per key must serialize their own
+  /// same-key appends.
   std::function<void(const DeltaKV& delta)> journal_;
 
   Counter* deltas_routed_ = nullptr;

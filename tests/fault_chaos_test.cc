@@ -454,6 +454,10 @@ TEST_F(FaultChaosTest, MidReshardKillRecoversToOldOrNewMapAndCompletes) {
         // the roll-forward reopen, never served from the superseded map.
         EXPECT_TRUE((*router)->poisoned());
         ASSERT_FALSE((*router)->Lookup(VertexKey(0)).ok());
+        ASSERT_FALSE((*router)
+                         ->Append(DeltaKV{DeltaOp::kInsert, VertexKey(0),
+                                          VertexKey(1) + ":1"})
+                         .ok());
       }
       // The killed coordinator's process is gone; recovery is the reopen.
     }

@@ -433,6 +433,12 @@ TEST_F(ReshardingTest, CrashAtEveryStageRecoversToExactlyOldOrNewMap) {
         // state that recovery is about to replace.
         EXPECT_TRUE((*router)->poisoned());
         EXPECT_FALSE((*router)->Lookup(graph.front().key).ok());
+        // ...and refuse appends too: an ack into the superseded
+        // generation's donor logs would be discarded by the roll-forward.
+        EXPECT_FALSE((*router)
+                         ->Append(DeltaKV{DeltaOp::kInsert, graph.front().key,
+                                          graph.front().value})
+                         .ok());
       } else {
         // Anywhere earlier: the move simply didn't happen. Old map, old
         // values, journal disarmed, and the fleet still ingests.
@@ -511,6 +517,146 @@ TEST_F(ReshardingTest, FaultInjectorCrashPointsFireWithoutAWiredHook) {
   auto stats = retry.Run();
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ((*router)->num_shards(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Acked-write safety under real I/O faults
+// ---------------------------------------------------------------------------
+
+// A delta the donor acked mid-move but the dual journal failed to mirror
+// must abort the move before the cutover commit point: past the flip it
+// would be permanently missing from the new generation — silent
+// acked-write loss. Aborting is safe; the old map serves every acked
+// write.
+TEST_F(ReshardingTest, DualJournalMirrorFailureAbortsTheMoveBeforeCutover) {
+  const int n = 24;
+  auto graph = RingGraph(n, /*weighted=*/true);
+  auto spec = sssp::MakeIterSpec("sp", PaddedNum(0), 2, 200);
+  auto router = ShardRouter::Open(root_, "sp", CoordinatedOptions(spec, 2));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  ASSERT_TRUE((*router)->Bootstrap(graph, InitStateFor(spec, graph)).ok());
+
+  // Right after the journal arms: every write under the staging fleet's
+  // generation-1 dirs fails, so the donors ack a batch whose mirror is
+  // lost. The faults lift immediately after, so nothing else is affected.
+  size_t acked = 0;
+  ReshardOptions opts;
+  opts.new_num_shards = 3;
+  opts.chunk_max_bytes = 512;
+  opts.crash_hook = [&](const std::string& stage) {
+    if (stage == "dual_journal") {
+      fault::FaultRule rule;
+      rule.ops = fault::kAppend | fault::kSync | fault::kFlush |
+                 fault::kWriteFile | fault::kOpenWrite;
+      rule.path_substr = "g1-";
+      rule.kind = fault::FaultKind::kEIO;
+      rule.times = -1;
+      fault::FaultInjector::Instance()->AddRule(rule);
+      auto batch = AddShortcut(&graph, 5, 13, "0.25");
+      acked = batch.size();
+      EXPECT_TRUE((*router)->AppendBatch(batch).ok());
+      fault::FaultInjector::Instance()->Reset();
+    }
+    return false;
+  };
+  ReshardCoordinator coordinator(router->get(), opts);
+  auto stats = coordinator.Run();
+  ASSERT_FALSE(stats.ok()) << "a lost mirror must abort the move";
+  ASSERT_GT(acked, 0u);
+
+  // No marker, no poison, old map — and the acked batch still serves.
+  EXPECT_FALSE(FileExists(JoinPath(root_, "sp.RESHARD")));
+  EXPECT_FALSE((*router)->poisoned());
+  EXPECT_EQ((*router)->generation(), 0u);
+  EXPECT_EQ((*router)->num_shards(), 2);
+  ASSERT_TRUE((*router)->DrainAll().ok());
+  std::map<std::string, std::string> before;
+  for (const auto& kv : graph) {
+    auto v = (*router)->Lookup(kv.key);
+    ASSERT_TRUE(v.ok()) << kv.key;
+    before[kv.key] = *v;
+  }
+
+  // A clean retry completes the move with the acked history intact.
+  ReshardOptions clean;
+  clean.new_num_shards = 3;
+  clean.chunk_max_bytes = 512;
+  ReshardCoordinator retry(router->get(), clean);
+  auto retried = retry.Run();
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ((*router)->generation(), 1u);
+  EXPECT_EQ((*router)->num_shards(), 3);
+  for (const auto& [key, value] : before) {
+    auto v = (*router)->Lookup(key);
+    ASSERT_TRUE(v.ok()) << key;
+    EXPECT_EQ(*v, value) << key;
+  }
+}
+
+// An I/O failure on the PARTMAP publish AFTER the RESHARD marker is
+// durable must not leave the marker behind: the live fleet keeps serving
+// and acking the old generation, and a surviving marker would roll those
+// acks forward into oblivion on reopen. The coordinator revokes the
+// decision instead, so the old map stands consistently.
+TEST_F(ReshardingTest, PartmapPublishFailureRevokesTheMarkerAndKeepsOldMap) {
+  const int n = 24;
+  auto graph = RingGraph(n, /*weighted=*/true);
+  auto spec = sssp::MakeIterSpec("sp", PaddedNum(0), 2, 200);
+  auto router = ShardRouter::Open(root_, "sp", CoordinatedOptions(spec, 2));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  ASSERT_TRUE((*router)->Bootstrap(graph, InitStateFor(spec, graph)).ok());
+  ASSERT_TRUE((*router)->AppendBatch(AddShortcut(&graph, 3, 15, "0.5")).ok());
+  ASSERT_TRUE((*router)->DrainAll().ok());
+  std::map<std::string, std::string> before;
+  for (const auto& kv : graph) {
+    auto v = (*router)->Lookup(kv.key);
+    ASSERT_TRUE(v.ok());
+    before[kv.key] = *v;
+  }
+
+  // The PARTMAP record is rewritten only at the publish (the staging
+  // fleet never persists it), so one EIO on its path hits exactly the
+  // write after the marker.
+  fault::FaultRule rule;
+  rule.ops = fault::kWriteFile;
+  rule.path_substr = "sp.PARTMAP";
+  rule.kind = fault::FaultKind::kEIO;
+  rule.times = 1;
+  fault::FaultInjector::Instance()->AddRule(rule);
+
+  ReshardOptions opts;
+  opts.new_num_shards = 3;
+  opts.chunk_max_bytes = 512;
+  ReshardCoordinator coordinator(router->get(), opts);
+  auto stats = coordinator.Run();
+  ASSERT_FALSE(stats.ok()) << "the failed publish must surface";
+  fault::FaultInjector::Instance()->Reset();
+
+  // The decision was revoked: no marker, no poison, old map serving every
+  // committed value, and appends ack safely (nothing can roll them over).
+  EXPECT_FALSE(FileExists(JoinPath(root_, "sp.RESHARD")));
+  EXPECT_FALSE((*router)->poisoned());
+  EXPECT_EQ((*router)->generation(), 0u);
+  EXPECT_EQ((*router)->num_shards(), 2);
+  EXPECT_EQ((*router)->partition_map(), (PartitionMap{0, 2}));
+  for (const auto& [key, value] : before) {
+    auto v = (*router)->Lookup(key);
+    ASSERT_TRUE(v.ok()) << key;
+    EXPECT_EQ(*v, value) << key;
+  }
+  ASSERT_TRUE((*router)->AppendBatch(AddShortcut(&graph, 7, 19, "0.5")).ok());
+  ASSERT_TRUE((*router)->DrainAll().ok());
+
+  // With the disk healed, a retry completes the interrupted move.
+  ReshardCoordinator retry(router->get(), opts);
+  auto retried = retry.Run();
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ((*router)->generation(), 1u);
+  EXPECT_EQ((*router)->num_shards(), 3);
+  ASSERT_TRUE((*router)->DrainAll().ok());
+  for (const auto& kv : graph) {
+    ASSERT_TRUE((*router)->Lookup(kv.key).ok()) << kv.key;
+  }
 }
 
 // ---------------------------------------------------------------------------
